@@ -1,0 +1,62 @@
+//! Criterion micro-benchmarks for experiment E6: the distance-2 colouring baselines
+//! versus the tiling schedule on growing deployments.
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use latsched_coloring::{dsatur_coloring, greedy_coloring, GreedyOrder, InterferenceGraph};
+use latsched_core::{theorem1, Deployment};
+use latsched_lattice::BoxRegion;
+use latsched_tiling::{find_tiling, shapes};
+
+fn conflict_graph(side: i64) -> latsched_coloring::ConflictGraph {
+    let window = BoxRegion::square_window(2, side).unwrap();
+    InterferenceGraph::from_window(&window, Deployment::Homogeneous(shapes::moore()))
+        .unwrap()
+        .conflict_graph()
+}
+
+fn bench_graph_construction(c: &mut Criterion) {
+    let mut group = c.benchmark_group("conflict_graph_construction");
+    for side in [8i64, 16, 24] {
+        group.bench_with_input(BenchmarkId::from_parameter(side), &side, |bencher, &side| {
+            bencher.iter(|| conflict_graph(black_box(side)))
+        });
+    }
+    group.finish();
+}
+
+fn bench_heuristics(c: &mut Criterion) {
+    let mut group = c.benchmark_group("coloring_heuristics");
+    for side in [8i64, 16] {
+        let graph = conflict_graph(side);
+        group.bench_with_input(
+            BenchmarkId::new("greedy_welsh_powell", side),
+            &graph,
+            |bencher, g| {
+                bencher.iter(|| greedy_coloring(black_box(g), GreedyOrder::LargestDegreeFirst).unwrap())
+            },
+        );
+        group.bench_with_input(BenchmarkId::new("dsatur", side), &graph, |bencher, g| {
+            bencher.iter(|| dsatur_coloring(black_box(g)).unwrap())
+        });
+    }
+    group.finish();
+}
+
+fn bench_tiling_schedule_vs_graph_size(c: &mut Criterion) {
+    // The tiling schedule's construction cost does not depend on the deployment size
+    // at all — this bench documents the contrast with the graph algorithms above.
+    c.bench_function("tiling_schedule_construction", |bencher| {
+        bencher.iter(|| {
+            let tiling = find_tiling(&shapes::moore()).unwrap().unwrap();
+            theorem1::schedule_from_tiling(black_box(&tiling))
+        })
+    });
+}
+
+criterion_group!(
+    benches,
+    bench_graph_construction,
+    bench_heuristics,
+    bench_tiling_schedule_vs_graph_size
+);
+criterion_main!(benches);

@@ -1,0 +1,56 @@
+//! Criterion micro-benchmarks for experiment E2: exactness testing via boundary-word
+//! (Beauquier–Nivat) factorization versus the sublattice search.
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use latsched_tiling::{
+    boundary_word, is_exact_polyomino, shapes, sublattice_search, tetromino, Prototile, Tetromino,
+};
+
+fn test_shapes() -> Vec<(&'static str, Prototile)> {
+    vec![
+        ("moore9", shapes::chebyshev_ball(2, 1).unwrap()),
+        ("plus5", shapes::euclidean_ball(2, 1).unwrap()),
+        ("antenna8", shapes::directional_antenna()),
+        ("S4", Tetromino::S.prototile()),
+        ("U5", tetromino::u_pentomino()),
+        ("ball13", shapes::euclidean_ball(2, 2).unwrap()),
+    ]
+}
+
+fn bench_boundary_words(c: &mut Criterion) {
+    let mut group = c.benchmark_group("boundary_word");
+    for (name, shape) in test_shapes() {
+        group.bench_with_input(BenchmarkId::from_parameter(name), &shape, |bencher, s| {
+            bencher.iter(|| boundary_word(black_box(s)).unwrap())
+        });
+    }
+    group.finish();
+}
+
+fn bench_beauquier_nivat(c: &mut Criterion) {
+    let mut group = c.benchmark_group("beauquier_nivat");
+    for (name, shape) in test_shapes() {
+        group.bench_with_input(BenchmarkId::from_parameter(name), &shape, |bencher, s| {
+            bencher.iter(|| is_exact_polyomino(black_box(s)).unwrap())
+        });
+    }
+    group.finish();
+}
+
+fn bench_sublattice_search(c: &mut Criterion) {
+    let mut group = c.benchmark_group("sublattice_search");
+    for (name, shape) in test_shapes() {
+        group.bench_with_input(BenchmarkId::from_parameter(name), &shape, |bencher, s| {
+            bencher.iter(|| sublattice_search::tiling_sublattices(black_box(s)).unwrap())
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_boundary_words,
+    bench_beauquier_nivat,
+    bench_sublattice_search
+);
+criterion_main!(benches);

@@ -1,0 +1,60 @@
+//! Criterion micro-benchmarks for experiment E5: the torus tiling search, the
+//! Theorem 2 construction and the exact tile-wise optimality search on the Figure 5
+//! tilings.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use latsched_core::{optimality, theorem2};
+use latsched_lattice::{Point, Sublattice};
+use latsched_tiling::{tile_torus_with_all, MultiTiling, Tetromino};
+
+fn symmetric_tiling() -> MultiTiling {
+    MultiTiling::new(
+        vec![Tetromino::S.prototile()],
+        Sublattice::scaled(2, 2).unwrap(),
+        vec![vec![Point::xy(0, 0)]],
+    )
+    .unwrap()
+}
+
+fn mixed_tiling() -> MultiTiling {
+    tile_torus_with_all(
+        &[Tetromino::S.prototile(), Tetromino::Z.prototile()],
+        &Sublattice::scaled(2, 4).unwrap(),
+    )
+    .unwrap()
+    .unwrap()
+}
+
+fn bench_torus_search(c: &mut Criterion) {
+    c.bench_function("figure5/mixed_torus_search", |bencher| {
+        bencher.iter(|| {
+            tile_torus_with_all(
+                &[Tetromino::S.prototile(), Tetromino::Z.prototile()],
+                &Sublattice::scaled(2, 4).unwrap(),
+            )
+            .unwrap()
+            .unwrap()
+        })
+    });
+}
+
+fn bench_theorem2(c: &mut Criterion) {
+    let mixed = mixed_tiling();
+    c.bench_function("figure5/theorem2_schedule", |bencher| {
+        bencher.iter(|| theorem2::schedule_from_multi_tiling(black_box(&mixed)))
+    });
+}
+
+fn bench_exact_optimum(c: &mut Criterion) {
+    let symmetric = symmetric_tiling();
+    let mixed = mixed_tiling();
+    c.bench_function("figure5/optimum_symmetric", |bencher| {
+        bencher.iter(|| optimality::minimal_tilewise_schedule(black_box(&symmetric), 8).unwrap())
+    });
+    c.bench_function("figure5/optimum_mixed", |bencher| {
+        bencher.iter(|| optimality::minimal_tilewise_schedule(black_box(&mixed), 10).unwrap())
+    });
+}
+
+criterion_group!(benches, bench_torus_search, bench_theorem2, bench_exact_optimum);
+criterion_main!(benches);

@@ -1,0 +1,52 @@
+//! Criterion micro-benchmarks for experiment E1 (lattice substrate): point
+//! arithmetic, Hermite normal forms, coset reduction and coset enumeration.
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use latsched_lattice::{hermite_normal_form, IntMatrix, Point, Sublattice};
+
+fn bench_point_ops(c: &mut Criterion) {
+    let a = Point::xy(123, -456);
+    let b = Point::xy(-789, 321);
+    c.bench_function("point/add", |bencher| {
+        bencher.iter(|| black_box(&a) + black_box(&b))
+    });
+    c.bench_function("point/norm_sq", |bencher| {
+        bencher.iter(|| black_box(&a).norm_sq())
+    });
+}
+
+fn bench_hnf(c: &mut Criterion) {
+    let mut group = c.benchmark_group("hermite_normal_form");
+    for dim in [2usize, 3, 4] {
+        let mut rows = Vec::new();
+        for i in 0..dim {
+            let mut row = vec![0i64; dim];
+            for (j, cell) in row.iter_mut().enumerate() {
+                *cell = ((i * 7 + j * 3) % 9) as i64 + if i == j { 5 } else { 0 };
+            }
+            rows.push(row);
+        }
+        let matrix = IntMatrix::from_rows(rows).unwrap();
+        group.bench_with_input(BenchmarkId::from_parameter(dim), &matrix, |bencher, m| {
+            bencher.iter(|| hermite_normal_form(black_box(m)).unwrap())
+        });
+    }
+    group.finish();
+}
+
+fn bench_reduce_and_cosets(c: &mut Criterion) {
+    let lambda = Sublattice::from_vectors(&[Point::xy(5, 2), Point::xy(-1, 4)]).unwrap();
+    let p = Point::xy(1234, -987);
+    c.bench_function("sublattice/reduce", |bencher| {
+        bencher.iter(|| lambda.reduce(black_box(&p)).unwrap())
+    });
+    c.bench_function("sublattice/coset_representatives", |bencher| {
+        bencher.iter(|| black_box(&lambda).coset_representatives())
+    });
+    c.bench_function("sublattice/enumerate_index_9", |bencher| {
+        bencher.iter(|| Sublattice::enumerate_with_index(2, 9).unwrap())
+    });
+}
+
+criterion_group!(benches, bench_point_ops, bench_hnf, bench_reduce_and_cosets);
+criterion_main!(benches);

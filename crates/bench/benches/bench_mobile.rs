@@ -1,0 +1,57 @@
+//! Criterion micro-benchmarks for experiment E8: the mobile (location-based)
+//! scheduler and the finite-restriction machinery.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use latsched_core::mobile::{LocationSchedule, MobileSensor};
+use latsched_core::{theorem1, FiniteDeployment};
+use latsched_lattice::{BoxRegion, Embedding};
+use latsched_tiling::{find_tiling, shapes};
+
+fn location_schedule() -> LocationSchedule {
+    let tiling = find_tiling(&shapes::moore()).unwrap().unwrap();
+    LocationSchedule::new(tiling, Embedding::standard(2)).unwrap()
+}
+
+fn bench_mobile_queries(c: &mut Criterion) {
+    let schedule = location_schedule();
+    c.bench_function("mobile/slot_of_position", |bencher| {
+        bencher.iter(|| schedule.slot_of_position(black_box([3.4, -7.8])).unwrap())
+    });
+    c.bench_function("mobile/range_fits_tile", |bencher| {
+        bencher.iter(|| schedule.range_fits_tile(black_box([3.4, -7.8]), 0.4).unwrap())
+    });
+    let sensors: Vec<MobileSensor> = (0..64)
+        .map(|id| MobileSensor {
+            id,
+            position: [(id % 8) as f64 + 0.2, (id / 8) as f64 - 0.1],
+            range: 0.3,
+        })
+        .collect();
+    c.bench_function("mobile/transmitters_at_64_sensors", |bencher| {
+        bencher.iter(|| schedule.transmitters_at(black_box(&sensors), 3).unwrap())
+    });
+}
+
+fn bench_restriction(c: &mut Criterion) {
+    let tiling = find_tiling(&shapes::moore()).unwrap().unwrap();
+    let schedule = theorem1::schedule_from_tiling(&tiling);
+    let deployment = theorem1::deployment_for(&tiling);
+    let finite = FiniteDeployment::window(
+        &BoxRegion::square_window(2, 5).unwrap(),
+        deployment,
+    )
+    .unwrap();
+    let moore = shapes::moore();
+    c.bench_function("restriction/optimality_condition_5x5", |bencher| {
+        bencher.iter(|| finite.satisfies_optimality_condition(black_box(&moore)).unwrap())
+    });
+    c.bench_function("restriction/collisions_5x5", |bencher| {
+        bencher.iter(|| finite.collisions(black_box(&schedule)).unwrap())
+    });
+    c.bench_function("restriction/minimum_slots_5x5", |bencher| {
+        bencher.iter(|| finite.minimum_slots_finite(12).unwrap())
+    });
+}
+
+criterion_group!(benches, bench_mobile_queries, bench_restriction);
+criterion_main!(benches);

@@ -1,0 +1,65 @@
+//! Criterion micro-benchmarks for experiment E3: Theorem 1 schedule construction,
+//! slot queries and exact verification.
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use latsched_core::{theorem1, verify};
+use latsched_lattice::{BoxRegion, Point};
+use latsched_tiling::{find_tiling, shapes, Prototile};
+
+fn prototiles() -> Vec<(&'static str, Prototile)> {
+    vec![
+        ("plus5", shapes::euclidean_ball(2, 1).unwrap()),
+        ("antenna8", shapes::directional_antenna()),
+        ("moore9", shapes::chebyshev_ball(2, 1).unwrap()),
+        ("ball13", shapes::euclidean_ball(2, 2).unwrap()),
+        ("moore25", shapes::chebyshev_ball(2, 2).unwrap()),
+    ]
+}
+
+fn bench_construction(c: &mut Criterion) {
+    let mut group = c.benchmark_group("theorem1_construction");
+    for (name, shape) in prototiles() {
+        group.bench_with_input(BenchmarkId::from_parameter(name), &shape, |bencher, s| {
+            bencher.iter(|| {
+                let tiling = find_tiling(black_box(s)).unwrap().unwrap();
+                theorem1::schedule_from_tiling(&tiling)
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_slot_queries(c: &mut Criterion) {
+    let tiling = find_tiling(&shapes::directional_antenna()).unwrap().unwrap();
+    let schedule = theorem1::schedule_from_tiling(&tiling);
+    let p = Point::xy(1_000_003, -999_999);
+    c.bench_function("schedule/slot_of", |bencher| {
+        bencher.iter(|| schedule.slot_of(black_box(&p)).unwrap())
+    });
+    let window = BoxRegion::square_window(2, 32).unwrap();
+    c.bench_function("schedule/slot_histogram_32x32", |bencher| {
+        bencher.iter(|| verify::slot_histogram(&schedule, black_box(&window)).unwrap())
+    });
+}
+
+fn bench_verification(c: &mut Criterion) {
+    let mut group = c.benchmark_group("exact_verification");
+    for (name, shape) in prototiles() {
+        let tiling = find_tiling(&shape).unwrap().unwrap();
+        let schedule = theorem1::schedule_from_tiling(&tiling);
+        let deployment = theorem1::deployment_for(&tiling);
+        group.bench_with_input(
+            BenchmarkId::from_parameter(name),
+            &(schedule, deployment),
+            |bencher, (schedule, deployment)| {
+                bencher.iter(|| {
+                    verify::verify_schedule(black_box(schedule), black_box(deployment)).unwrap()
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_construction, bench_slot_queries, bench_verification);
+criterion_main!(benches);

@@ -1,0 +1,63 @@
+//! Criterion micro-benchmarks for experiment E7: simulator throughput for the
+//! different MAC policies.
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use latsched_sensornet::{
+    aloha_mac, grid_network, run_simulation, tiling_mac, MacPolicy, SimConfig, TrafficModel,
+};
+use latsched_tiling::shapes;
+
+fn bench_simulation_by_mac(c: &mut Criterion) {
+    let shape = shapes::moore();
+    let network = grid_network(8, &shape).unwrap();
+    let macs: Vec<(&str, MacPolicy)> = vec![
+        ("tiling", tiling_mac(&shape).unwrap()),
+        ("tdma", MacPolicy::Tdma),
+        ("aloha", aloha_mac(shape.len())),
+    ];
+    let mut group = c.benchmark_group("simulate_256_slots_8x8");
+    for (name, mac) in macs {
+        group.bench_with_input(BenchmarkId::from_parameter(name), &mac, |bencher, mac| {
+            bencher.iter(|| {
+                run_simulation(
+                    black_box(&network),
+                    &SimConfig {
+                        mac: mac.clone(),
+                        traffic: TrafficModel::Periodic { period: 16 },
+                        slots: 256,
+                        ..SimConfig::default()
+                    },
+                )
+                .unwrap()
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_simulation_by_network_size(c: &mut Criterion) {
+    let shape = shapes::moore();
+    let mut group = c.benchmark_group("simulate_tiling_by_size");
+    for side in [6i64, 10, 14] {
+        let network = grid_network(side, &shape).unwrap();
+        let mac = tiling_mac(&shape).unwrap();
+        group.bench_with_input(BenchmarkId::from_parameter(side), &network, |bencher, net| {
+            bencher.iter(|| {
+                run_simulation(
+                    black_box(net),
+                    &SimConfig {
+                        mac: mac.clone(),
+                        traffic: TrafficModel::Periodic { period: 16 },
+                        slots: 128,
+                        ..SimConfig::default()
+                    },
+                )
+                .unwrap()
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_simulation_by_mac, bench_simulation_by_network_size);
+criterion_main!(benches);

@@ -1,0 +1,32 @@
+//! Criterion micro-benchmarks for experiment E4: Voronoi cell construction and
+//! geometric queries.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use latsched_lattice::{hexagonal_lattice, square_lattice, voronoi_cell, Embedding};
+
+fn bench_voronoi_cells(c: &mut Criterion) {
+    c.bench_function("voronoi/square_cell", |bencher| {
+        bencher.iter(|| voronoi_cell(black_box(&square_lattice())).unwrap())
+    });
+    c.bench_function("voronoi/hexagonal_cell", |bencher| {
+        bencher.iter(|| voronoi_cell(black_box(&hexagonal_lattice())).unwrap())
+    });
+    let skewed = Embedding::new(vec![vec![2.0, 0.3], vec![0.1, 1.4]]).unwrap();
+    c.bench_function("voronoi/skewed_cell", |bencher| {
+        bencher.iter(|| voronoi_cell(black_box(&skewed)).unwrap())
+    });
+}
+
+fn bench_geometry_queries(c: &mut Criterion) {
+    let hex = hexagonal_lattice();
+    let cell = voronoi_cell(&hex).unwrap();
+    c.bench_function("voronoi/polygon_distance", |bencher| {
+        bencher.iter(|| cell.distance_to(black_box([1.7, 0.4])))
+    });
+    c.bench_function("voronoi/nearest_lattice_point", |bencher| {
+        bencher.iter(|| hex.nearest_lattice_point(black_box(&[17.3, -42.9])))
+    });
+}
+
+criterion_group!(benches, bench_voronoi_cells, bench_geometry_queries);
+criterion_main!(benches);

@@ -1,0 +1,72 @@
+//! The experiment harness: regenerates every figure-level experiment of the paper and
+//! prints the result tables (optionally also writing them to JSON).
+//!
+//! Usage:
+//!
+//! ```bash
+//! harness                      # run all experiments (E1..E8)
+//! harness E3 E5                # run selected experiments
+//! harness --json results.json  # also write the tables as JSON
+//! ```
+
+use latsched_bench::{run_all, run_by_id, Table};
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut json_path: Option<String> = None;
+    let mut ids: Vec<String> = Vec::new();
+    let mut iter = args.into_iter();
+    while let Some(arg) = iter.next() {
+        match arg.as_str() {
+            "--json" => match iter.next() {
+                Some(path) => json_path = Some(path),
+                None => {
+                    eprintln!("--json requires a file path");
+                    return ExitCode::FAILURE;
+                }
+            },
+            "--help" | "-h" => {
+                println!("usage: harness [--json FILE] [E1..E8 | all]...");
+                return ExitCode::SUCCESS;
+            }
+            other => ids.push(other.to_string()),
+        }
+    }
+
+    let run_everything = ids.is_empty() || ids.iter().any(|id| id.eq_ignore_ascii_case("all"));
+    let tables: Result<Vec<Table>, _> = if run_everything {
+        run_all()
+    } else {
+        ids.iter().map(|id| run_by_id(id)).collect()
+    };
+
+    let tables = match tables {
+        Ok(tables) => tables,
+        Err(err) => {
+            eprintln!("experiment failed: {err}");
+            return ExitCode::FAILURE;
+        }
+    };
+
+    for table in &tables {
+        println!("{table}");
+    }
+
+    if let Some(path) = json_path {
+        match serde_json::to_string_pretty(&tables) {
+            Ok(json) => {
+                if let Err(err) = std::fs::write(&path, json) {
+                    eprintln!("failed to write {path}: {err}");
+                    return ExitCode::FAILURE;
+                }
+                println!("wrote {} experiment table(s) to {path}", tables.len());
+            }
+            Err(err) => {
+                eprintln!("failed to serialize results: {err}");
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+    ExitCode::SUCCESS
+}

@@ -1,0 +1,82 @@
+//! Experiment E2 — Figure 2: the three neighbourhood shapes and their exactness.
+//!
+//! Builds the Chebyshev ball, the Euclidean ball and the directional-antenna
+//! prototile, decides exactness with both independent criteria (Beauquier–Nivat and
+//! sublattice search), and reports sizes, perimeters and certificate counts.
+
+use super::ExpResult;
+use crate::report::Table;
+use latsched_tiling::{boundary_word, check_exactness, shapes, tetromino, Prototile};
+
+fn shape_row(name: &str, shape: &Prototile) -> Result<Vec<String>, Box<dyn std::error::Error>> {
+    let report = check_exactness(shape)?;
+    let perimeter = if report.polyomino {
+        boundary_word(shape)?.len().to_string()
+    } else {
+        "-".to_string()
+    };
+    Ok(vec![
+        name.to_string(),
+        shape.len().to_string(),
+        perimeter,
+        report.polyomino.to_string(),
+        report.is_exact().to_string(),
+        report.tiling_sublattices.len().to_string(),
+        report.bn_certificate.is_some().to_string(),
+        report.criteria_agree().to_string(),
+    ])
+}
+
+/// Runs the experiment.
+///
+/// # Errors
+///
+/// Propagates exactness-checking errors.
+pub fn run() -> ExpResult {
+    let mut table = Table::new(
+        "E2",
+        "Figure 2: neighbourhood shapes (Chebyshev ball, Euclidean ball, directional antenna)",
+        &[
+            "shape",
+            "|N|",
+            "perimeter",
+            "polyomino",
+            "exact",
+            "tiling sublattices",
+            "BN certificate",
+            "criteria agree",
+        ],
+    );
+    table.push_row(shape_row("chebyshev ball r=1", &shapes::chebyshev_ball(2, 1)?)?);
+    table.push_row(shape_row("euclidean ball r=1", &shapes::euclidean_ball(2, 1)?)?);
+    table.push_row(shape_row("directional antenna", &shapes::directional_antenna())?);
+    // Extra context rows: larger balls and a known non-exact shape.
+    table.push_row(shape_row("chebyshev ball r=2", &shapes::chebyshev_ball(2, 2)?)?);
+    table.push_row(shape_row("euclidean ball r=2", &shapes::euclidean_ball(2, 2)?)?);
+    table.push_row(shape_row("U pentomino (control)", &tetromino::u_pentomino())?);
+    table.note(
+        "the paper states every Figure 2 prototile is exact; both independent criteria confirm it, \
+         and the U pentomino control is correctly rejected",
+    );
+    Ok(table)
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn e2_reports_exactness_as_in_the_paper() {
+        let table = super::run().unwrap();
+        assert_eq!(table.rows.len(), 6);
+        // The three Figure 2 shapes are exact.
+        for row in &table.rows[0..3] {
+            assert_eq!(row[4], "true", "{row:?}");
+            assert_eq!(row[7], "true", "criteria must agree: {row:?}");
+        }
+        // Sizes 9, 5, 8 as drawn in the figure.
+        assert_eq!(table.rows[0][1], "9");
+        assert_eq!(table.rows[1][1], "5");
+        assert_eq!(table.rows[2][1], "8");
+        // The control shape is not exact.
+        assert_eq!(table.rows[5][4], "false");
+    }
+}

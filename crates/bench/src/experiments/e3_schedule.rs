@@ -1,0 +1,81 @@
+//! Experiment E3 — Figure 3: the 8-slot schedule from the directional-antenna tiling.
+//!
+//! Finds the tiling, constructs the Theorem 1 schedule, verifies collision-freedom
+//! exactly, and measures construction/verification cost across growing windows. The
+//! figure-level claim is the shape of the result: 8 slots, collision-free, optimal,
+//! and the slot pattern repeats with the tiling's period.
+
+use super::ExpResult;
+use crate::report::Table;
+use latsched_core::{optimality, theorem1, verify};
+use latsched_lattice::BoxRegion;
+use latsched_tiling::{find_tiling, shapes};
+use std::time::Instant;
+
+/// Runs the experiment.
+///
+/// # Errors
+///
+/// Propagates scheduling and verification errors.
+pub fn run() -> ExpResult {
+    let mut table = Table::new(
+        "E3",
+        "Figure 3: collision-free 8-slot schedule for the directional antenna",
+        &[
+            "window",
+            "sensors",
+            "slots",
+            "lower bound",
+            "optimal",
+            "collision-free (exact)",
+            "window collisions",
+            "construct+verify ms",
+        ],
+    );
+
+    let antenna = shapes::directional_antenna();
+    for side in [8i64, 16, 32, 48] {
+        let start = Instant::now();
+        let tiling = find_tiling(&antenna)?.expect("the antenna prototile is exact");
+        let schedule = theorem1::schedule_from_tiling(&tiling);
+        let deployment = theorem1::deployment_for(&tiling);
+        let exact_report = verify::verify_schedule(&schedule, &deployment)?;
+        let window = BoxRegion::square_window(2, side)?;
+        let window_collisions = verify::collisions_in_window(&schedule, &deployment, &window)?;
+        let elapsed = start.elapsed().as_secs_f64() * 1e3;
+
+        table.push_row(vec![
+            format!("{side}x{side}"),
+            window.len().to_string(),
+            schedule.num_slots().to_string(),
+            optimality::slot_lower_bound(&deployment).to_string(),
+            optimality::is_optimal(&schedule, &deployment).to_string(),
+            exact_report.collision_free().to_string(),
+            window_collisions.len().to_string(),
+            format!("{elapsed:.2}"),
+        ]);
+    }
+    table.note("paper: Theorem 1 gives m = |N| = 8 slots and no fewer slots suffice");
+    table.note(
+        "the schedule and its verification are independent of the window size (the exact check \
+         runs on coset representatives), so the cost column is dominated by the brute-force \
+         window cross-check",
+    );
+    Ok(table)
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn e3_reports_eight_optimal_collision_free_slots() {
+        let table = super::run().unwrap();
+        assert_eq!(table.rows.len(), 4);
+        for row in &table.rows {
+            assert_eq!(row[2], "8");
+            assert_eq!(row[3], "8");
+            assert_eq!(row[4], "true");
+            assert_eq!(row[5], "true");
+            assert_eq!(row[6], "0");
+        }
+    }
+}

@@ -1,0 +1,79 @@
+//! Experiment E4 — Figure 4: Voronoi cells, quasi-polyominoes and quasi-polyhexes.
+//!
+//! Computes the Voronoi cell of the square and hexagonal lattices, checks the cell
+//! area equals the lattice covolume, and computes quasi-polyform areas for a few
+//! prototiles — the geometric bridge (Section 3) between lattice tilings and tilings
+//! of the plane.
+
+use super::ExpResult;
+use crate::report::Table;
+use latsched_lattice::{hexagonal_lattice, quasi_polyform_area, square_lattice, voronoi_cell};
+use latsched_tiling::{shapes, tetromino, Tetromino};
+
+/// Runs the experiment.
+///
+/// # Errors
+///
+/// Propagates geometry errors.
+pub fn run() -> ExpResult {
+    let mut table = Table::new(
+        "E4",
+        "Figure 4: Voronoi cells and quasi-polyform areas",
+        &["lattice", "prototile", "cells", "cell area", "quasi-polyform area"],
+    );
+    let square = square_lattice();
+    let hex = hexagonal_lattice();
+    let square_cell = voronoi_cell(&square)?;
+    let hex_cell = voronoi_cell(&hex)?;
+
+    let prototiles = vec![
+        ("single cell", shapes::rectangle(1, 1)?),
+        ("L tromino", tetromino::l_tromino()),
+        ("S tetromino", Tetromino::S.prototile()),
+        ("chebyshev ball r=1", shapes::chebyshev_ball(2, 1)?),
+    ];
+    for (name, tile) in &prototiles {
+        table.push_row(vec![
+            "square".to_string(),
+            name.to_string(),
+            tile.len().to_string(),
+            format!("{:.6}", square_cell.area()),
+            format!("{:.6}", quasi_polyform_area(&square, &tile.to_points())?),
+        ]);
+    }
+    for (name, tile) in &prototiles {
+        table.push_row(vec![
+            "hexagonal".to_string(),
+            name.to_string(),
+            tile.len().to_string(),
+            format!("{:.6}", hex_cell.area()),
+            format!("{:.6}", quasi_polyform_area(&hex, &tile.to_points())?),
+        ]);
+    }
+    table.note(format!(
+        "square Voronoi cell: {} vertices, area {:.6} (unit square, Figure 4a)",
+        square_cell.vertex_count(),
+        square_cell.area()
+    ));
+    table.note(format!(
+        "hexagonal Voronoi cell: {} vertices, area {:.6} (regular hexagon, Figure 4b)",
+        hex_cell.vertex_count(),
+        hex_cell.area()
+    ));
+    table.note("quasi-polyform area = |N| x cell area, as used in Section 3 to relate lattice tilings to plane tilings");
+    Ok(table)
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn e4_cell_shapes_match_figure4() {
+        let table = super::run().unwrap();
+        assert_eq!(table.rows.len(), 8);
+        // Square rows have cell area 1, hexagonal rows have area √3/2 ≈ 0.866.
+        assert!(table.rows[0][3].starts_with("1.0000"));
+        assert!(table.rows[4][3].starts_with("0.8660"));
+        // Quasi-polyomino of the 9-cell ball has area 9.
+        assert!(table.rows[3][4].starts_with("9.0000"));
+    }
+}

@@ -1,0 +1,88 @@
+//! Experiment E7 — the synthetic systems evaluation: collisions waste energy.
+//!
+//! The paper motivates collision-free schedules by the energy cost of resending
+//! collided messages. The simulator quantifies that motivation: across offered loads,
+//! the tiling schedule and the colouring schedule deliver everything without
+//! collisions, TDMA also avoids collisions but pays `n²`-scale latency, and slotted
+//! ALOHA collides and burns energy per delivered packet.
+
+use super::ExpResult;
+use crate::report::Table;
+use latsched_sensornet::{
+    aloha_mac, coloring_mac, grid_network, run_comparison, tiling_mac, MacPolicy, TrafficModel,
+};
+use latsched_tiling::shapes;
+
+/// Runs the experiment.
+///
+/// # Errors
+///
+/// Propagates simulator errors.
+pub fn run() -> ExpResult {
+    let mut table = Table::new(
+        "E7",
+        "Network simulation: delivery, latency and energy under the paper's interference model",
+        &[
+            "load (pkt/node/slot)",
+            "mac",
+            "delivery",
+            "mean latency",
+            "tx per delivered",
+            "energy per delivered",
+            "collisions",
+        ],
+    );
+    let shape = shapes::moore();
+    let side = 10;
+    let network = grid_network(side, &shape)?;
+    let macs: Vec<MacPolicy> = vec![
+        tiling_mac(&shape)?,
+        MacPolicy::Tdma,
+        coloring_mac(&network)?,
+        aloha_mac(shape.len()),
+    ];
+    for period in [64u64, 32, 16, 8] {
+        let traffic = TrafficModel::Periodic { period };
+        let rows = run_comparison(&network, &macs, traffic, 2048, 2008)?;
+        for row in rows {
+            table.push_row(vec![
+                format!("{:.4}", row.load),
+                row.mac.clone(),
+                format!("{:.3}", row.metrics.delivery_ratio()),
+                format!("{:.1}", row.metrics.mean_latency()),
+                format!("{:.2}", row.metrics.transmissions_per_delivered()),
+                format!("{:.2}", row.metrics.energy_per_delivered()),
+                row.metrics.collisions.to_string(),
+            ]);
+        }
+    }
+    table.note("expected shape: tiling and colouring schedules deliver ~100% with latency ~m/2; TDMA never collides but its latency is ~n^2/2; ALOHA's collisions grow with load and its energy per delivered packet explodes");
+    Ok(table)
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn e7_shape_matches_the_papers_motivation() {
+        let table = super::run().unwrap();
+        // Group rows by MAC prefix.
+        let rows = |prefix: &str| -> Vec<&Vec<String>> {
+            table.rows.iter().filter(|r| r[1].starts_with(prefix)).collect()
+        };
+        for row in rows("tiling") {
+            assert_eq!(row[6], "0", "tiling schedule must never collide");
+        }
+        for row in rows("tdma") {
+            assert_eq!(row[6], "0", "TDMA must never collide");
+        }
+        // ALOHA collides at every load.
+        for row in rows("aloha") {
+            let collisions: u64 = row[6].parse().unwrap();
+            assert!(collisions > 0);
+        }
+        // At the lightest load, the tiling schedule's latency beats TDMA's.
+        let tiling_latency: f64 = rows("tiling")[0][3].parse().unwrap();
+        let tdma_latency: f64 = rows("tdma")[0][3].parse().unwrap();
+        assert!(tiling_latency < tdma_latency);
+    }
+}

@@ -1,0 +1,76 @@
+//! The experiment implementations, one module per paper artifact (figures 1–5 plus
+//! the quantitative claims of the introduction, related work and conclusions).
+//!
+//! Every experiment builds its workload from the public APIs of the other crates and
+//! returns a [`crate::report::Table`]; the `harness` binary prints the tables and
+//! EXPERIMENTS.md records the paper-vs-measured comparison.
+
+pub mod e1_lattices;
+pub mod e2_neighbourhoods;
+pub mod e3_schedule;
+pub mod e4_voronoi;
+pub mod e5_nonrespectable;
+pub mod e6_coloring;
+pub mod e7_simulation;
+pub mod e8_restriction_mobile;
+
+use crate::report::Table;
+
+/// The result type shared by every experiment.
+pub type ExpResult = Result<Table, Box<dyn std::error::Error>>;
+
+/// Runs every experiment in order (E1–E8).
+///
+/// # Errors
+///
+/// Propagates the first experiment failure.
+pub fn run_all() -> Result<Vec<Table>, Box<dyn std::error::Error>> {
+    Ok(vec![
+        e1_lattices::run()?,
+        e2_neighbourhoods::run()?,
+        e3_schedule::run()?,
+        e4_voronoi::run()?,
+        e5_nonrespectable::run()?,
+        e6_coloring::run()?,
+        e7_simulation::run()?,
+        e8_restriction_mobile::run()?,
+    ])
+}
+
+/// Runs one experiment by its identifier (`"E1"` … `"E8"`, case-insensitive).
+///
+/// # Errors
+///
+/// Returns an error for unknown identifiers or if the experiment itself fails.
+pub fn run_by_id(id: &str) -> ExpResult {
+    match id.to_ascii_uppercase().as_str() {
+        "E1" => e1_lattices::run(),
+        "E2" => e2_neighbourhoods::run(),
+        "E3" => e3_schedule::run(),
+        "E4" => e4_voronoi::run(),
+        "E5" => e5_nonrespectable::run(),
+        "E6" => e6_coloring::run(),
+        "E7" => e7_simulation::run(),
+        "E8" => e8_restriction_mobile::run(),
+        other => Err(format!("unknown experiment id {other}; expected E1..E8").into()),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn unknown_ids_are_rejected() {
+        assert!(run_by_id("E99").is_err());
+        assert!(run_by_id("nonsense").is_err());
+    }
+
+    #[test]
+    fn fast_experiments_run_by_id() {
+        for id in ["e1", "E2", "e4"] {
+            let table = run_by_id(id).unwrap();
+            assert!(!table.rows.is_empty(), "{id}");
+        }
+    }
+}

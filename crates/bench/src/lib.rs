@@ -1,0 +1,27 @@
+//! # latsched-bench
+//!
+//! The experiment harness and micro-benchmarks of the `latsched` reproduction of
+//! *Scheduling Sensors by Tiling Lattices* (Klappenecker, Lee, Welch, 2008).
+//!
+//! The paper contains no numbered tables; its evaluation content is Figures 1–5 plus
+//! the quantitative claims in the introduction, related work and conclusions. Each of
+//! those artifacts has an experiment here (E1–E8, see DESIGN.md §3 for the mapping),
+//! runnable via the `harness` binary:
+//!
+//! ```bash
+//! cargo run --release -p latsched-bench --bin harness            # all experiments
+//! cargo run --release -p latsched-bench --bin harness -- E5      # one experiment
+//! cargo run --release -p latsched-bench --bin harness -- --json out.json all
+//! ```
+//!
+//! Criterion micro-benchmarks live under `benches/` (one per experiment family) and
+//! are run with `cargo bench -p latsched-bench`.
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+pub mod experiments;
+pub mod report;
+
+pub use experiments::{run_all, run_by_id, ExpResult};
+pub use report::Table;

@@ -1,0 +1,105 @@
+//! Plain-text and JSON reporting for the experiment harness.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// A single experiment result: a titled table of rows, plus free-form notes that
+//  record the paper-vs-measured comparison.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct Table {
+    /// Experiment identifier (e.g. "E3").
+    pub id: String,
+    /// Human-readable title, naming the paper artifact being reproduced.
+    pub title: String,
+    /// Column headers.
+    pub headers: Vec<String>,
+    /// Data rows (each the same length as `headers`).
+    pub rows: Vec<Vec<String>>,
+    /// Notes comparing the measured outcome with the paper's claim.
+    pub notes: Vec<String>,
+}
+
+impl Table {
+    /// Creates an empty table.
+    pub fn new(id: &str, title: &str, headers: &[&str]) -> Self {
+        Table {
+            id: id.to_string(),
+            title: title.to_string(),
+            headers: headers.iter().map(|h| h.to_string()).collect(),
+            rows: Vec::new(),
+            notes: Vec::new(),
+        }
+    }
+
+    /// Appends a row (stringifying each cell).
+    pub fn push_row(&mut self, cells: Vec<String>) {
+        debug_assert_eq!(cells.len(), self.headers.len());
+        self.rows.push(cells);
+    }
+
+    /// Appends a note.
+    pub fn note(&mut self, text: impl Into<String>) {
+        self.notes.push(text.into());
+    }
+}
+
+impl fmt::Display for Table {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "== {} — {} ==", self.id, self.title)?;
+        // Column widths.
+        let mut widths: Vec<usize> = self.headers.iter().map(String::len).collect();
+        for row in &self.rows {
+            for (i, cell) in row.iter().enumerate() {
+                if i < widths.len() {
+                    widths[i] = widths[i].max(cell.len());
+                }
+            }
+        }
+        let render_row = |cells: &[String]| -> String {
+            cells
+                .iter()
+                .enumerate()
+                .map(|(i, c)| format!("{:>width$}", c, width = widths.get(i).copied().unwrap_or(8)))
+                .collect::<Vec<_>>()
+                .join("  ")
+        };
+        writeln!(f, "{}", render_row(&self.headers))?;
+        writeln!(f, "{}", "-".repeat(widths.iter().sum::<usize>() + 2 * widths.len()))?;
+        for row in &self.rows {
+            writeln!(f, "{}", render_row(row))?;
+        }
+        for note in &self.notes {
+            writeln!(f, "note: {note}")?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table_renders_headers_rows_and_notes() {
+        let mut t = Table::new("E0", "demo", &["a", "longer"]);
+        t.push_row(vec!["1".into(), "2".into()]);
+        t.push_row(vec!["300".into(), "4".into()]);
+        t.note("everything matches");
+        let s = t.to_string();
+        assert!(s.contains("E0"));
+        assert!(s.contains("demo"));
+        assert!(s.contains("longer"));
+        assert!(s.contains("300"));
+        assert!(s.contains("note: everything matches"));
+    }
+
+    #[test]
+    fn table_serializes_to_json() {
+        let mut t = Table::new("E1", "lattices", &["x"]);
+        t.push_row(vec!["y".into()]);
+        let json = serde_json::to_string(&t).unwrap();
+        assert!(json.contains("\"id\":\"E1\""));
+        let back: Table = serde_json::from_str(&json).unwrap();
+        assert_eq!(back.rows.len(), 1);
+    }
+}

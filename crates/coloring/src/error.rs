@@ -1,0 +1,91 @@
+//! Error types for interference graphs and colouring algorithms.
+
+use std::fmt;
+
+/// Errors produced by graph construction and colouring.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum ColoringError {
+    /// The graph has no vertices.
+    EmptyGraph,
+    /// A vertex index was out of range.
+    VertexOutOfRange {
+        /// The offending index.
+        vertex: usize,
+        /// The number of vertices.
+        vertices: usize,
+    },
+    /// No colouring with at most the given number of colours exists (or was found
+    /// within the algorithm's budget).
+    Infeasible {
+        /// The colour budget that was exceeded.
+        max_colors: usize,
+    },
+    /// An underlying schedule/lattice computation failed.
+    Schedule(latsched_core::ScheduleError),
+}
+
+impl fmt::Display for ColoringError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ColoringError::EmptyGraph => write!(f, "graph has no vertices"),
+            ColoringError::VertexOutOfRange { vertex, vertices } => {
+                write!(f, "vertex {vertex} is out of range for a graph with {vertices} vertices")
+            }
+            ColoringError::Infeasible { max_colors } => {
+                write!(f, "no colouring with at most {max_colors} colours was found")
+            }
+            ColoringError::Schedule(e) => write!(f, "schedule error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for ColoringError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            ColoringError::Schedule(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<latsched_core::ScheduleError> for ColoringError {
+    fn from(e: latsched_core::ScheduleError) -> Self {
+        ColoringError::Schedule(e)
+    }
+}
+
+/// Convenience alias used throughout the crate.
+pub type Result<T> = std::result::Result<T, ColoringError>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages() {
+        assert_eq!(ColoringError::EmptyGraph.to_string(), "graph has no vertices");
+        assert!(ColoringError::VertexOutOfRange {
+            vertex: 7,
+            vertices: 3
+        }
+        .to_string()
+        .contains("7"));
+        assert!(ColoringError::Infeasible { max_colors: 4 }
+            .to_string()
+            .contains("4"));
+    }
+
+    #[test]
+    fn conversion_from_schedule_error() {
+        let e: ColoringError = latsched_core::ScheduleError::EmptyDeployment.into();
+        assert!(std::error::Error::source(&e).is_some());
+        assert!(std::error::Error::source(&ColoringError::EmptyGraph).is_none());
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_traits<T: std::error::Error + Send + Sync + 'static>() {}
+        assert_traits::<ColoringError>();
+    }
+}

@@ -1,0 +1,63 @@
+//! Plain TDMA: one slot per sensor.
+//!
+//! The simplest collision-free scheme in the paper's related work: each of the `k`
+//! sensors receives its own time slot and scheduling is round-robin. It is trivially
+//! collision-free but does not scale — with many sensors each one transmits rarely —
+//! which is exactly the shortcoming the tiling schedules remove.
+
+use crate::error::{ColoringError, Result};
+use crate::graph::{Coloring, ConflictGraph};
+
+/// Assigns every sensor its own slot (colour `i` to vertex `i`).
+///
+/// # Errors
+///
+/// Returns [`ColoringError::EmptyGraph`] for an empty graph.
+pub fn tdma_coloring(graph: &ConflictGraph) -> Result<Coloring> {
+    if graph.is_empty() {
+        return Err(ColoringError::EmptyGraph);
+    }
+    Ok(Coloring::from_assignment((0..graph.len()).collect()))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::graph::InterferenceGraph;
+    use latsched_core::Deployment;
+    use latsched_lattice::BoxRegion;
+    use latsched_tiling::shapes;
+
+    #[test]
+    fn tdma_uses_one_slot_per_sensor_and_is_proper() {
+        let window = BoxRegion::square_window(2, 5).unwrap();
+        let graph = InterferenceGraph::from_window(
+            &window,
+            Deployment::Homogeneous(shapes::von_neumann()),
+        )
+        .unwrap()
+        .conflict_graph();
+        let coloring = tdma_coloring(&graph).unwrap();
+        assert_eq!(coloring.colors_used, 25);
+        assert!(graph.is_proper(&coloring.colors));
+    }
+
+    #[test]
+    fn tdma_slot_count_grows_linearly_with_network_size() {
+        // The scaling failure highlighted in the paper's introduction.
+        let mut previous = 0;
+        for side in [2, 4, 8] {
+            let window = BoxRegion::square_window(2, side).unwrap();
+            let graph = InterferenceGraph::from_window(
+                &window,
+                Deployment::Homogeneous(shapes::von_neumann()),
+            )
+            .unwrap()
+            .conflict_graph();
+            let coloring = tdma_coloring(&graph).unwrap();
+            assert_eq!(coloring.colors_used, (side * side) as usize);
+            assert!(coloring.colors_used > previous);
+            previous = coloring.colors_used;
+        }
+    }
+}

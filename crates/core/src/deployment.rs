@@ -1,0 +1,217 @@
+//! Sensor deployments: which interference neighbourhood each lattice point has.
+//!
+//! The paper considers two settings. In the *homogeneous* setting (Sections 2–3)
+//! every sensor at `t` affects exactly `t + N` for a single prototile `N`. In the
+//! *heterogeneous* setting (Section 4) the lattice is tiled by several prototiles and
+//! sensors are deployed according to rule D1: a sensor located inside a tile
+//! `t_k + N_k` has interference neighbourhood `s + N_k` (a translate of that tile's
+//! prototile).
+
+use crate::error::Result;
+use latsched_lattice::Point;
+use latsched_tiling::{MultiTiling, Prototile};
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// The interference model of a deployment: how to obtain the neighbourhood of any
+/// lattice point.
+#[derive(Clone, PartialEq, Eq, Debug, Serialize, Deserialize)]
+pub enum Deployment {
+    /// Every sensor has the same neighbourhood shape `N` (Sections 2–3).
+    Homogeneous(Prototile),
+    /// Sensors are deployed over a multi-prototile tiling according to rule D1
+    /// (Section 4): the neighbourhood type of a sensor is the prototile of the tile
+    /// containing it.
+    Tiled(MultiTiling),
+}
+
+impl Deployment {
+    /// The ambient dimension.
+    pub fn dim(&self) -> usize {
+        match self {
+            Deployment::Homogeneous(n) => n.dim(),
+            Deployment::Tiled(t) => t.dim(),
+        }
+    }
+
+    /// The prototile governing the interference neighbourhood of the sensor at `p`.
+    ///
+    /// # Errors
+    ///
+    /// Returns a dimension-mismatch error if `p` has the wrong dimension.
+    pub fn prototile_of(&self, p: &Point) -> Result<&Prototile> {
+        match self {
+            Deployment::Homogeneous(n) => Ok(n),
+            Deployment::Tiled(t) => Ok(t.neighbourhood_type_of(p)?),
+        }
+    }
+
+    /// The index of the prototile type of the sensor at `p` (always `0` for
+    /// homogeneous deployments).
+    ///
+    /// # Errors
+    ///
+    /// Returns a dimension-mismatch error if `p` has the wrong dimension.
+    pub fn prototile_index_of(&self, p: &Point) -> Result<usize> {
+        match self {
+            Deployment::Homogeneous(_) => Ok(0),
+            Deployment::Tiled(t) => Ok(t.covering(p)?.prototile_index),
+        }
+    }
+
+    /// The distinct prototile types present in the deployment.
+    pub fn prototiles(&self) -> Vec<&Prototile> {
+        match self {
+            Deployment::Homogeneous(n) => vec![n],
+            Deployment::Tiled(t) => t.prototiles().iter().collect(),
+        }
+    }
+
+    /// The set of sensors affected by a broadcast of the sensor at `p`
+    /// (the translate `p + N_p`).
+    ///
+    /// # Errors
+    ///
+    /// Returns a dimension-mismatch error if `p` has the wrong dimension.
+    pub fn neighbourhood_of(&self, p: &Point) -> Result<Vec<Point>> {
+        Ok(self.prototile_of(p)?.translated(p))
+    }
+
+    /// The largest neighbourhood size over all prototile types; for homogeneous and
+    /// respectable deployments this is the optimal slot count.
+    pub fn max_neighbourhood_size(&self) -> usize {
+        self.prototiles().iter().map(|n| n.len()).max().unwrap_or(0)
+    }
+
+    /// The largest Chebyshev radius of any prototile; used when sizing verification
+    /// windows and tori.
+    pub fn max_radius(&self) -> i64 {
+        self.prototiles()
+            .iter()
+            .map(|n| n.radius_linf())
+            .max()
+            .unwrap_or(0)
+    }
+
+    /// Returns `true` if two distinct sensors at `p` and `q` would experience a
+    /// collision problem when broadcasting simultaneously, i.e. if their affected
+    /// neighbourhoods intersect: `(p + N_p) ∩ (q + N_q) ≠ ∅`.
+    ///
+    /// # Errors
+    ///
+    /// Returns a dimension-mismatch error on inconsistent dimensions.
+    pub fn interferes(&self, p: &Point, q: &Point) -> Result<bool> {
+        if p == q {
+            return Ok(false);
+        }
+        let np = self.prototile_of(p)?;
+        let nq = self.prototile_of(q)?;
+        // (p + N_p) ∩ (q + N_q) ≠ ∅ ⇔ q - p ∈ N_p - N_q.
+        let diff = q.checked_sub(p).map_err(crate::error::ScheduleError::Lattice)?;
+        for a in np.iter() {
+            for b in nq.iter() {
+                if &(a - b) == &diff {
+                    return Ok(true);
+                }
+            }
+        }
+        Ok(false)
+    }
+}
+
+impl fmt::Display for Deployment {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Deployment::Homogeneous(n) => write!(f, "homogeneous deployment with {n}"),
+            Deployment::Tiled(t) => write!(f, "tiled deployment over {t}"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use latsched_lattice::Sublattice;
+    use latsched_tiling::{shapes, Tetromino};
+
+    fn tiled_deployment() -> Deployment {
+        // O squares and dominoes on a period of index 8 (same construction as the
+        // multi-tiling unit tests).
+        let tiling = MultiTiling::new(
+            vec![Tetromino::O.prototile(), latsched_tiling::tetromino::domino()],
+            Sublattice::from_vectors(&[Point::xy(2, 0), Point::xy(0, 4)]).unwrap(),
+            vec![vec![Point::xy(0, 0)], vec![Point::xy(0, 2), Point::xy(0, 3)]],
+        )
+        .unwrap();
+        Deployment::Tiled(tiling)
+    }
+
+    #[test]
+    fn homogeneous_accessors() {
+        let d = Deployment::Homogeneous(shapes::moore());
+        assert_eq!(d.dim(), 2);
+        assert_eq!(d.max_neighbourhood_size(), 9);
+        assert_eq!(d.max_radius(), 1);
+        assert_eq!(d.prototiles().len(), 1);
+        assert_eq!(d.prototile_index_of(&Point::xy(5, 5)).unwrap(), 0);
+        assert_eq!(d.neighbourhood_of(&Point::xy(2, 2)).unwrap().len(), 9);
+        assert!(d.to_string().contains("homogeneous"));
+    }
+
+    #[test]
+    fn tiled_accessors_follow_rule_d1() {
+        let d = tiled_deployment();
+        assert_eq!(d.dim(), 2);
+        assert_eq!(d.prototiles().len(), 2);
+        assert_eq!(d.max_neighbourhood_size(), 4);
+        // (0,0) lies in an O-square tile, (0,2) in a domino tile.
+        assert_eq!(d.prototile_of(&Point::xy(0, 0)).unwrap().len(), 4);
+        assert_eq!(d.prototile_of(&Point::xy(0, 2)).unwrap().len(), 2);
+        assert_eq!(d.prototile_index_of(&Point::xy(0, 2)).unwrap(), 1);
+        assert!(d.to_string().contains("tiled"));
+    }
+
+    #[test]
+    fn interference_is_symmetric_for_homogeneous_deployments() {
+        let d = Deployment::Homogeneous(shapes::von_neumann());
+        for x in -2..3 {
+            for y in -2..3 {
+                let p = Point::xy(0, 0);
+                let q = Point::xy(x, y);
+                if p == q {
+                    assert!(!d.interferes(&p, &q).unwrap());
+                    continue;
+                }
+                assert_eq!(
+                    d.interferes(&p, &q).unwrap(),
+                    d.interferes(&q, &p).unwrap()
+                );
+            }
+        }
+        // Adjacent plus-shapes intersect; far-apart ones do not.
+        assert!(d.interferes(&Point::xy(0, 0), &Point::xy(1, 0)).unwrap());
+        assert!(d.interferes(&Point::xy(0, 0), &Point::xy(2, 0)).unwrap());
+        assert!(!d.interferes(&Point::xy(0, 0), &Point::xy(3, 0)).unwrap());
+    }
+
+    #[test]
+    fn interference_in_heterogeneous_deployments() {
+        let d = tiled_deployment();
+        // Two sensors in the same O tile always interfere.
+        assert!(d.interferes(&Point::xy(0, 0), &Point::xy(1, 1)).unwrap());
+        // A domino sensor and a far-away square sensor do not.
+        assert!(!d.interferes(&Point::xy(0, 2), &Point::xy(10, 10)).unwrap());
+        // A sensor never interferes with itself (the paper requires distinct sensors).
+        assert!(!d.interferes(&Point::xy(0, 0), &Point::xy(0, 0)).unwrap());
+    }
+
+    #[test]
+    fn neighbourhood_is_a_translate() {
+        let d = Deployment::Homogeneous(shapes::von_neumann());
+        let nb = d.neighbourhood_of(&Point::xy(3, 4)).unwrap();
+        assert!(nb.contains(&Point::xy(3, 4)));
+        assert!(nb.contains(&Point::xy(4, 4)));
+        assert!(nb.contains(&Point::xy(3, 3)));
+        assert_eq!(nb.len(), 5);
+    }
+}

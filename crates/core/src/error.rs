@@ -1,0 +1,143 @@
+//! Error types for schedule construction and verification.
+
+use latsched_lattice::LatticeError;
+use latsched_tiling::TilingError;
+use std::fmt;
+
+/// Errors produced when building, querying or verifying schedules.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum ScheduleError {
+    /// A point or region had a dimension different from the schedule's.
+    DimensionMismatch {
+        /// Dimension expected by the receiver.
+        expected: usize,
+        /// Dimension actually supplied.
+        found: usize,
+    },
+    /// A schedule was constructed with a slot number `≥` the declared slot count.
+    SlotOutOfRange {
+        /// The offending slot.
+        slot: usize,
+        /// The declared number of slots.
+        slots: usize,
+    },
+    /// A schedule was constructed that does not assign a slot to every coset of its
+    /// period sublattice.
+    IncompleteAssignment,
+    /// The requested verification torus is not contained in the schedule's (or the
+    /// deployment's) period sublattice, so slots or neighbourhood types would not be
+    /// well defined on it.
+    IncompatibleTorus,
+    /// The verification torus is too small: a nonzero torus vector connects two
+    /// points whose neighbourhoods intersect, which would make the finite check
+    /// unsound. The string names the offending difference vector.
+    TorusTooSmall(String),
+    /// An exhaustive optimality search exceeded its slot budget without finding a
+    /// collision-free schedule.
+    SearchExhausted {
+        /// The largest slot count tried.
+        max_slots: usize,
+    },
+    /// No tile-wise schedule exists because two sensors forced to share a slot by the
+    /// paper's ground rules (same prototile, same position within the tile) have
+    /// intersecting neighbourhoods.
+    NoTilewiseSchedule,
+    /// A finite deployment contained no sensors.
+    EmptyDeployment,
+    /// An underlying tiling computation failed.
+    Tiling(TilingError),
+    /// An underlying lattice computation failed.
+    Lattice(LatticeError),
+}
+
+impl fmt::Display for ScheduleError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ScheduleError::DimensionMismatch { expected, found } => {
+                write!(f, "dimension mismatch: expected {expected}, found {found}")
+            }
+            ScheduleError::SlotOutOfRange { slot, slots } => {
+                write!(f, "slot {slot} is out of range for a schedule with {slots} slots")
+            }
+            ScheduleError::IncompleteAssignment => {
+                write!(f, "schedule does not assign a slot to every coset of its period")
+            }
+            ScheduleError::IncompatibleTorus => {
+                write!(f, "verification torus is not contained in the schedule period")
+            }
+            ScheduleError::TorusTooSmall(v) => {
+                write!(f, "verification torus is too small (wrap-around along {v})")
+            }
+            ScheduleError::SearchExhausted { max_slots } => {
+                write!(f, "no collision-free schedule found with at most {max_slots} slots")
+            }
+            ScheduleError::NoTilewiseSchedule => write!(
+                f,
+                "no tile-wise schedule exists: sensors sharing a slot by the ground rules interfere"
+            ),
+            ScheduleError::EmptyDeployment => write!(f, "deployment contains no sensors"),
+            ScheduleError::Tiling(e) => write!(f, "tiling error: {e}"),
+            ScheduleError::Lattice(e) => write!(f, "lattice error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for ScheduleError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            ScheduleError::Tiling(e) => Some(e),
+            ScheduleError::Lattice(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<TilingError> for ScheduleError {
+    fn from(e: TilingError) -> Self {
+        ScheduleError::Tiling(e)
+    }
+}
+
+impl From<LatticeError> for ScheduleError {
+    fn from(e: LatticeError) -> Self {
+        ScheduleError::Lattice(e)
+    }
+}
+
+/// Convenience alias used throughout the crate.
+pub type Result<T> = std::result::Result<T, ScheduleError>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages() {
+        assert_eq!(
+            ScheduleError::SlotOutOfRange { slot: 9, slots: 8 }.to_string(),
+            "slot 9 is out of range for a schedule with 8 slots"
+        );
+        assert!(ScheduleError::TorusTooSmall("(1, 0)".into())
+            .to_string()
+            .contains("(1, 0)"));
+        assert!(ScheduleError::SearchExhausted { max_slots: 7 }
+            .to_string()
+            .contains("7"));
+    }
+
+    #[test]
+    fn conversions_and_sources() {
+        let e: ScheduleError = TilingError::MissingOrigin.into();
+        assert!(std::error::Error::source(&e).is_some());
+        let e: ScheduleError = LatticeError::SingularBasis.into();
+        assert!(std::error::Error::source(&e).is_some());
+        assert!(std::error::Error::source(&ScheduleError::IncompleteAssignment).is_none());
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_traits<T: std::error::Error + Send + Sync + 'static>() {}
+        assert_traits::<ScheduleError>();
+    }
+}

@@ -1,0 +1,311 @@
+//! Scheduling mobile sensors by assigning slots to locations (paper, conclusions).
+//!
+//! For mobile sensors the schedule is attached to *locations* rather than to sensors:
+//! the plane is partitioned into the Voronoi cells of the lattice points, every
+//! lattice point `p` keeps its slot `k` from the stationary schedule, and a sensor
+//! currently inside the open Voronoi cell of `p` may broadcast at time `t` iff
+//! `t ≡ k (mod m)` **and** its interference range fits within the tile of `p` (the
+//! union of Voronoi cells of the lattice points of the tile containing `p`). Because
+//! tiles transmitting in the same slot are disjoint, the resulting transmissions are
+//! collision-free.
+
+use crate::error::{Result, ScheduleError};
+use crate::schedule::PeriodicSchedule;
+use crate::theorem1::schedule_from_tiling;
+use latsched_lattice::{voronoi_cell, Embedding, Point, Polygon};
+use latsched_tiling::Tiling;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// A mobile sensor: a continuous position in the plane and an interference radius
+/// (its broadcasts reach every point within `range`).
+#[derive(Clone, PartialEq, Debug, Serialize, Deserialize)]
+pub struct MobileSensor {
+    /// An identifier chosen by the caller.
+    pub id: usize,
+    /// The current Cartesian position.
+    pub position: [f64; 2],
+    /// The interference radius of the sensor's radio.
+    pub range: f64,
+}
+
+/// A location-based schedule for mobile sensors over a two-dimensional lattice
+/// tiling.
+///
+/// # Examples
+///
+/// ```
+/// use latsched_core::mobile::{LocationSchedule, MobileSensor};
+/// use latsched_tiling::{shapes, find_tiling};
+/// use latsched_lattice::Embedding;
+///
+/// let tiling = find_tiling(&shapes::moore())?.unwrap();
+/// let schedule = LocationSchedule::new(tiling, Embedding::standard(2))?;
+/// let sensor = MobileSensor { id: 0, position: [0.2, -0.1], range: 0.4 };
+/// // The sensor is inside the cell of the origin; it may transmit only in the
+/// // origin's slot, and only because its range fits inside the origin's tile.
+/// let slot = schedule.slot_of_position(sensor.position)?;
+/// assert!(schedule.may_transmit(&sensor, slot as u64)?);
+/// # Ok::<(), Box<dyn std::error::Error>>(())
+/// ```
+#[derive(Clone, Debug)]
+pub struct LocationSchedule {
+    tiling: Tiling,
+    schedule: PeriodicSchedule,
+    embedding: Embedding,
+    cell: Polygon,
+}
+
+impl LocationSchedule {
+    /// Creates a location schedule from a (two-dimensional) tiling and an embedding
+    /// of its lattice; the per-location slots are those of Theorem 1.
+    ///
+    /// # Errors
+    ///
+    /// Returns a dimension-mismatch error unless both the tiling and the embedding
+    /// are two-dimensional.
+    pub fn new(tiling: Tiling, embedding: Embedding) -> Result<Self> {
+        if tiling.dim() != 2 || embedding.dim() != 2 {
+            return Err(ScheduleError::DimensionMismatch {
+                expected: 2,
+                found: tiling.dim().max(embedding.dim()),
+            });
+        }
+        let schedule = schedule_from_tiling(&tiling);
+        let cell = voronoi_cell(&embedding)?;
+        Ok(LocationSchedule {
+            tiling,
+            schedule,
+            embedding,
+            cell,
+        })
+    }
+
+    /// The underlying per-location periodic schedule.
+    pub fn schedule(&self) -> &PeriodicSchedule {
+        &self.schedule
+    }
+
+    /// The number of slots `m`.
+    pub fn num_slots(&self) -> usize {
+        self.schedule.num_slots()
+    }
+
+    /// The lattice point whose (closed) Voronoi cell contains the position.
+    pub fn home_lattice_point(&self, position: [f64; 2]) -> Point {
+        self.embedding.nearest_lattice_point(&position)
+    }
+
+    /// The slot assigned to the location (the slot of its home lattice point).
+    ///
+    /// # Errors
+    ///
+    /// Propagates lattice-arithmetic errors.
+    pub fn slot_of_position(&self, position: [f64; 2]) -> Result<usize> {
+        self.schedule.slot_of(&self.home_lattice_point(position))
+    }
+
+    /// Returns `true` if a disk of the given radius around the position fits strictly
+    /// inside the tile of the position's home lattice point (the union of Voronoi
+    /// cells of the lattice points of that tile).
+    ///
+    /// # Errors
+    ///
+    /// Propagates lattice-arithmetic errors.
+    pub fn range_fits_tile(&self, position: [f64; 2], range: f64) -> Result<bool> {
+        let home = self.home_lattice_point(position);
+        let covering = self.tiling.covering(&home)?;
+        let tile: Vec<Point> = self
+            .tiling
+            .prototile()
+            .translated(&covering.translation);
+        // Any lattice point outside the tile whose Voronoi cell meets the disk
+        // invalidates the fit. Only points within a bounded lattice-coordinate box
+        // around the home point can possibly be that close.
+        let search_radius = self.tiling.prototile().radius_linf() + range.ceil() as i64 + 2;
+        for dx in -search_radius..=search_radius {
+            for dy in -search_radius..=search_radius {
+                let q = Point::xy(home.x() + dx, home.y() + dy);
+                if tile.contains(&q) {
+                    continue;
+                }
+                let q_pos = self.embedding.to_euclidean(&q);
+                let cell_q = self.cell.translated(q_pos[0], q_pos[1]);
+                if cell_q.distance_to(position) <= range {
+                    return Ok(false);
+                }
+            }
+        }
+        Ok(true)
+    }
+
+    /// Returns `true` if the mobile sensor may broadcast at time `t`: the slot of its
+    /// current location must match and its interference range must fit inside the
+    /// location's tile.
+    ///
+    /// # Errors
+    ///
+    /// Propagates lattice-arithmetic errors.
+    pub fn may_transmit(&self, sensor: &MobileSensor, t: u64) -> Result<bool> {
+        let slot = self.slot_of_position(sensor.position)?;
+        if t % self.num_slots() as u64 != slot as u64 {
+            return Ok(false);
+        }
+        self.range_fits_tile(sensor.position, sensor.range)
+    }
+
+    /// The sensors (among the given ones) that transmit at time `t`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates lattice-arithmetic errors.
+    pub fn transmitters_at<'a>(
+        &self,
+        sensors: &'a [MobileSensor],
+        t: u64,
+    ) -> Result<Vec<&'a MobileSensor>> {
+        let mut out = Vec::new();
+        for s in sensors {
+            if self.may_transmit(s, t)? {
+                out.push(s);
+            }
+        }
+        Ok(out)
+    }
+}
+
+impl fmt::Display for LocationSchedule {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "location-based mobile schedule with {} slots",
+            self.num_slots()
+        )
+    }
+}
+
+/// Returns `true` if the interference disks of the given transmitters are pairwise
+/// disjoint — i.e. simultaneous broadcasts cannot collide at any point of the plane.
+pub fn interference_disks_disjoint(transmitters: &[&MobileSensor]) -> bool {
+    for (i, a) in transmitters.iter().enumerate() {
+        for b in transmitters.iter().skip(i + 1) {
+            let dx = a.position[0] - b.position[0];
+            let dy = a.position[1] - b.position[1];
+            let dist = (dx * dx + dy * dy).sqrt();
+            if dist <= a.range + b.range {
+                return false;
+            }
+        }
+    }
+    true
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use latsched_lattice::Sublattice;
+    use latsched_tiling::{shapes, Tiling};
+
+    fn moore_location_schedule() -> LocationSchedule {
+        let n = shapes::moore();
+        let lambda = Sublattice::from_vectors(&[Point::xy(3, 0), Point::xy(0, 3)]).unwrap();
+        let tiling = Tiling::from_sublattice(n, lambda).unwrap();
+        LocationSchedule::new(tiling, Embedding::standard(2)).unwrap()
+    }
+
+    #[test]
+    fn construction_and_basics() {
+        let ls = moore_location_schedule();
+        assert_eq!(ls.num_slots(), 9);
+        assert_eq!(ls.home_lattice_point([0.3, -0.4]), Point::xy(0, 0));
+        assert_eq!(ls.home_lattice_point([2.6, 1.2]), Point::xy(3, 1));
+        assert!(ls.to_string().contains("9 slots"));
+        assert_eq!(ls.schedule().num_slots(), 9);
+    }
+
+    #[test]
+    fn non_planar_inputs_are_rejected() {
+        let cube =
+            latsched_tiling::Prototile::new(vec![latsched_lattice::Point::zero(3)]).unwrap();
+        let tiling = Tiling::from_sublattice(cube, Sublattice::full(3).unwrap()).unwrap();
+        assert!(LocationSchedule::new(tiling, Embedding::standard(3)).is_err());
+    }
+
+    #[test]
+    fn small_range_in_tile_center_fits_large_range_does_not() {
+        let ls = moore_location_schedule();
+        // The tile containing the origin is the 3×3 block centred at (0, 0) (the
+        // covering translation of the origin within the Moore tiling with 3Z²); a
+        // small disk near the centre fits, a disk of radius 3 cannot.
+        assert!(ls.range_fits_tile([0.0, 0.0], 0.4).unwrap());
+        assert!(!ls.range_fits_tile([0.0, 0.0], 3.0).unwrap());
+    }
+
+    #[test]
+    fn transmission_requires_both_slot_and_fit() {
+        let ls = moore_location_schedule();
+        let position = [0.1, 0.1];
+        let slot = ls.slot_of_position(position).unwrap() as u64;
+        let small = MobileSensor {
+            id: 1,
+            position,
+            range: 0.3,
+        };
+        let huge = MobileSensor {
+            id: 2,
+            position,
+            range: 10.0,
+        };
+        assert!(ls.may_transmit(&small, slot).unwrap());
+        assert!(!ls.may_transmit(&small, slot + 1).unwrap());
+        assert!(!ls.may_transmit(&huge, slot).unwrap());
+    }
+
+    #[test]
+    fn simultaneous_transmitters_never_overlap() {
+        // Place a sensor near the centre of many different cells; at any time step,
+        // the sensors allowed to transmit have pairwise disjoint interference disks.
+        let ls = moore_location_schedule();
+        let mut sensors = Vec::new();
+        let mut id = 0;
+        for x in -4..5 {
+            for y in -4..5 {
+                sensors.push(MobileSensor {
+                    id,
+                    position: [x as f64 + 0.15, y as f64 - 0.1],
+                    range: 0.3,
+                });
+                id += 1;
+            }
+        }
+        for t in 0..9u64 {
+            let transmitters = ls.transmitters_at(&sensors, t).unwrap();
+            assert!(
+                interference_disks_disjoint(&transmitters),
+                "overlap at time {t}"
+            );
+        }
+    }
+
+    #[test]
+    fn disk_disjointness_helper() {
+        let a = MobileSensor {
+            id: 0,
+            position: [0.0, 0.0],
+            range: 1.0,
+        };
+        let b = MobileSensor {
+            id: 1,
+            position: [3.0, 0.0],
+            range: 1.0,
+        };
+        let c = MobileSensor {
+            id: 2,
+            position: [1.5, 0.0],
+            range: 1.0,
+        };
+        assert!(interference_disks_disjoint(&[&a, &b]));
+        assert!(!interference_disks_disjoint(&[&a, &c]));
+        assert!(interference_disks_disjoint(&[]));
+    }
+}

@@ -1,0 +1,351 @@
+//! Optimality of schedules: lower bounds and exact minimal tile-wise schedules.
+//!
+//! Theorems 1 and 2 prove their schedules optimal through a clique argument: any two
+//! sensors inside one tile interfere (if `n'` and `n''` lie in the same tile, the
+//! point `n' + n''` relative to the tile's translation lies in both neighbourhoods),
+//! so every tile of size `s` forces at least `s` distinct slots. For homogeneous and
+//! respectable deployments this bound matches the construction.
+//!
+//! For *non-respectable* tilings the paper's Section 4 ground rules apply: every
+//! translated copy of a prototile uses the same slot assignment, but the assignments
+//! of different prototiles may be chosen independently. Under those rules, finding
+//! the minimal number of slots reduces to a graph colouring problem on the finitely
+//! many *(prototile, position-within-tile)* classes; [`minimal_tilewise_schedule`]
+//! solves it exactly, which is how the Figure 5 comparison (6 slots for the mixed S/Z
+//! tiling versus 4 for the symmetric tiling) is reproduced.
+
+use crate::deployment::Deployment;
+use crate::error::{Result, ScheduleError};
+use crate::schedule::PeriodicSchedule;
+use crate::verify::verify_schedule;
+use latsched_lattice::Point;
+use latsched_tiling::MultiTiling;
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeSet;
+
+/// The clique lower bound on the number of slots of any collision-free periodic
+/// schedule for the deployment: the size of the largest neighbourhood present.
+///
+/// For homogeneous deployments this is `|N|`; for tiled deployments it is
+/// `max_k |N_k|`, which equals `|N_1|` when the tiling is respectable.
+pub fn slot_lower_bound(deployment: &Deployment) -> usize {
+    deployment.max_neighbourhood_size()
+}
+
+/// Returns `true` if the schedule matches the clique lower bound for the deployment,
+/// i.e. is optimal in the sense of Theorems 1 and 2.
+pub fn is_optimal(schedule: &PeriodicSchedule, deployment: &Deployment) -> bool {
+    schedule.num_slots() == slot_lower_bound(deployment)
+}
+
+/// The outcome of the exact tile-wise optimality search.
+#[derive(Clone, PartialEq, Eq, Debug, Serialize, Deserialize)]
+pub struct TilewiseOptimum {
+    /// The minimal number of slots of a collision-free tile-wise schedule.
+    pub slots: usize,
+    /// A schedule achieving the minimum.
+    pub schedule: PeriodicSchedule,
+    /// The number of (prototile, element) classes — the variables of the colouring.
+    pub classes: usize,
+    /// The number of conflicting class pairs.
+    pub conflicts: usize,
+}
+
+/// Computes the exact minimal number of slots of a collision-free schedule obeying
+/// the paper's Section 4 ground rules ("for each translated version of a prototile
+/// the schedule is the same"), together with a witness schedule.
+///
+/// The slot of a sensor may depend only on its *(prototile, position-within-tile)*
+/// class; two classes conflict when some pair of sensors of those classes interfere.
+/// A schedule is collision-free iff the class assignment is a proper colouring of
+/// this conflict graph, so the minimum slot count is its chromatic number, computed
+/// exactly (the graph has only `Σ_k |N_k|` vertices).
+///
+/// # Errors
+///
+/// * [`ScheduleError::NoTilewiseSchedule`] if two sensors of the *same* class
+///   interfere (the ground rules then force a collision at any slot count);
+/// * [`ScheduleError::SearchExhausted`] if no colouring with at most `max_slots`
+///   colours exists;
+/// * lattice/tiling errors are propagated.
+///
+/// # Examples
+///
+/// ```
+/// use latsched_core::optimality::minimal_tilewise_schedule;
+/// use latsched_tiling::{MultiTiling, Tetromino};
+/// use latsched_lattice::{Point, Sublattice};
+///
+/// // The symmetric all-S tiling of Figure 5 (right) needs exactly 4 slots.
+/// let tiling = MultiTiling::new(
+///     vec![Tetromino::S.prototile()],
+///     Sublattice::scaled(2, 2).unwrap(),
+///     vec![vec![Point::xy(0, 0)]],
+/// )?;
+/// let optimum = minimal_tilewise_schedule(&tiling, 8)?;
+/// assert_eq!(optimum.slots, 4);
+/// # Ok::<(), Box<dyn std::error::Error>>(())
+/// ```
+pub fn minimal_tilewise_schedule(
+    tiling: &MultiTiling,
+    max_slots: usize,
+) -> Result<TilewiseOptimum> {
+    let deployment = Deployment::Tiled(tiling.clone());
+    // Enumerate the classes: (prototile index, element index).
+    let mut classes: Vec<(usize, usize)> = Vec::new();
+    for (k, tile) in tiling.prototiles().iter().enumerate() {
+        for ei in 0..tile.len() {
+            classes.push((k, ei));
+        }
+    }
+    let class_of = |p: &Point| -> Result<usize> {
+        let covering = tiling.covering(p)?;
+        let elements = tiling.prototiles()[covering.prototile_index].to_points();
+        let ei = elements
+            .binary_search(&covering.element)
+            .expect("covering element belongs to its prototile");
+        Ok(classes
+            .iter()
+            .position(|&(k, e)| k == covering.prototile_index && e == ei)
+            .expect("class enumeration covers all (prototile, element) pairs"))
+    };
+
+    // Build the class conflict graph by enumerating, for each canonical period
+    // representative, the finitely many offsets at which another sensor could
+    // interfere with it (exactly as in the exact verifier).
+    let period = tiling.period();
+    let mut offsets: BTreeSet<Point> = BTreeSet::new();
+    for a in tiling.prototiles() {
+        for b in tiling.prototiles() {
+            for na in a.iter() {
+                for nb in b.iter() {
+                    offsets.insert(na - nb);
+                }
+            }
+        }
+    }
+    let n_classes = classes.len();
+    let mut adjacency = vec![vec![false; n_classes]; n_classes];
+    let mut self_conflict = false;
+    for p in period.coset_representatives() {
+        let cp = class_of(&p)?;
+        for d in &offsets {
+            if d.is_zero() {
+                continue;
+            }
+            let q = &p + d;
+            if !deployment.interferes(&p, &q)? {
+                continue;
+            }
+            let cq = class_of(&q)?;
+            if cp == cq {
+                self_conflict = true;
+            } else {
+                adjacency[cp][cq] = true;
+                adjacency[cq][cp] = true;
+            }
+        }
+    }
+    if self_conflict {
+        return Err(ScheduleError::NoTilewiseSchedule);
+    }
+    let conflicts = adjacency
+        .iter()
+        .enumerate()
+        .map(|(i, row)| row.iter().skip(i + 1).filter(|&&b| b).count())
+        .sum();
+
+    // Exact chromatic number by iterative-deepening backtracking.
+    let lower = slot_lower_bound(&deployment);
+    for m in lower..=max_slots {
+        if let Some(colouring) = colour_graph(&adjacency, m) {
+            // Build the schedule: slot of a point = colour of its class.
+            let assignment: Result<Vec<(Point, usize)>> = period
+                .coset_representatives()
+                .into_iter()
+                .map(|rep| {
+                    let c = class_of(&rep)?;
+                    Ok((rep, colouring[c]))
+                })
+                .collect();
+            let schedule = PeriodicSchedule::new(period.clone(), m, assignment?)?;
+            debug_assert!(verify_schedule(&schedule, &deployment)?.collision_free());
+            return Ok(TilewiseOptimum {
+                slots: m,
+                schedule,
+                classes: n_classes,
+                conflicts,
+            });
+        }
+    }
+    Err(ScheduleError::SearchExhausted { max_slots })
+}
+
+/// Exact graph colouring with at most `colours` colours by backtracking (the graphs
+/// here have at most a few dozen vertices).
+fn colour_graph(adjacency: &[Vec<bool>], colours: usize) -> Option<Vec<usize>> {
+    let n = adjacency.len();
+    let mut assignment = vec![usize::MAX; n];
+    // Order vertices by decreasing degree for better pruning.
+    let mut order: Vec<usize> = (0..n).collect();
+    order.sort_by_key(|&v| std::cmp::Reverse(adjacency[v].iter().filter(|&&b| b).count()));
+
+    fn backtrack(
+        adjacency: &[Vec<bool>],
+        order: &[usize],
+        assignment: &mut Vec<usize>,
+        idx: usize,
+        colours: usize,
+    ) -> bool {
+        if idx == order.len() {
+            return true;
+        }
+        let v = order[idx];
+        // Symmetry breaking: the first `idx` vertices restrict the palette.
+        let used_so_far = assignment
+            .iter()
+            .filter(|&&c| c != usize::MAX)
+            .max()
+            .map(|&c| c + 1)
+            .unwrap_or(0);
+        let palette = colours.min(used_so_far + 1);
+        for c in 0..palette {
+            if (0..adjacency.len())
+                .any(|u| adjacency[v][u] && assignment[u] == c)
+            {
+                continue;
+            }
+            assignment[v] = c;
+            if backtrack(adjacency, order, assignment, idx + 1, colours) {
+                return true;
+            }
+            assignment[v] = usize::MAX;
+        }
+        false
+    }
+
+    if backtrack(adjacency, &order, &mut assignment, 0, colours) {
+        Some(assignment)
+    } else {
+        None
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::theorem1;
+    use crate::theorem2;
+    use latsched_lattice::Sublattice;
+    use latsched_tiling::{find_tiling, shapes, tile_torus_with_all, Tetromino};
+
+    #[test]
+    fn theorem1_schedules_are_optimal() {
+        for shape in [
+            shapes::chebyshev_ball(2, 1).unwrap(),
+            shapes::euclidean_ball(2, 1).unwrap(),
+            shapes::directional_antenna(),
+        ] {
+            let tiling = find_tiling(&shape).unwrap().unwrap();
+            let schedule = theorem1::schedule_from_tiling(&tiling);
+            let deployment = theorem1::deployment_for(&tiling);
+            assert_eq!(slot_lower_bound(&deployment), shape.len());
+            assert!(is_optimal(&schedule, &deployment));
+        }
+    }
+
+    #[test]
+    fn symmetric_s_tiling_needs_exactly_four_slots() {
+        // Figure 5 (right): the symmetric all-S tiling has a 4-slot optimal schedule.
+        let tiling = MultiTiling::new(
+            vec![Tetromino::S.prototile()],
+            Sublattice::scaled(2, 2).unwrap(),
+            vec![vec![Point::xy(0, 0)]],
+        )
+        .unwrap();
+        let optimum = minimal_tilewise_schedule(&tiling, 8).unwrap();
+        assert_eq!(optimum.slots, 4);
+        assert_eq!(optimum.classes, 4);
+        let deployment = theorem2::deployment_for(&tiling);
+        assert!(verify_schedule(&optimum.schedule, &deployment)
+            .unwrap()
+            .collision_free());
+    }
+
+    #[test]
+    fn mixed_s_z_tiling_needs_more_than_four_slots() {
+        // Figure 5 (left): a mixed S/Z tiling (non-respectable) needs more slots than
+        // the symmetric tiling — the optimal slot count depends on the chosen tiling.
+        let s = Tetromino::S.prototile();
+        let z = Tetromino::Z.prototile();
+        let period = Sublattice::scaled(2, 4).unwrap();
+        let tiling = tile_torus_with_all(&[s, z], &period).unwrap().unwrap();
+        assert!(!tiling.is_respectable());
+        let optimum = minimal_tilewise_schedule(&tiling, 10).unwrap();
+        assert!(
+            optimum.slots > 4,
+            "mixed tiling should need more than 4 slots, got {}",
+            optimum.slots
+        );
+        assert!(optimum.slots <= 6, "Theorem 2 gives a 6-slot schedule");
+        // The Theorem 2 schedule for the same tiling uses |N_S ∪ N_Z| = 6 slots.
+        let schedule2 = theorem2::schedule_from_multi_tiling(&tiling);
+        assert_eq!(schedule2.num_slots(), 6);
+        let deployment = theorem2::deployment_for(&tiling);
+        assert!(verify_schedule(&optimum.schedule, &deployment)
+            .unwrap()
+            .collision_free());
+        assert!(verify_schedule(&schedule2, &deployment)
+            .unwrap()
+            .collision_free());
+    }
+
+    #[test]
+    fn respectable_two_prototile_tiling_matches_lower_bound() {
+        use latsched_tiling::tetromino::domino;
+        let tiling = MultiTiling::new(
+            vec![Tetromino::O.prototile(), domino()],
+            Sublattice::from_vectors(&[Point::xy(2, 0), Point::xy(0, 4)]).unwrap(),
+            vec![vec![Point::xy(0, 0)], vec![Point::xy(0, 2), Point::xy(0, 3)]],
+        )
+        .unwrap();
+        let schedule = theorem2::schedule_from_multi_tiling(&tiling);
+        let deployment = theorem2::deployment_for(&tiling);
+        assert!(is_optimal(&schedule, &deployment));
+        // The exact tile-wise optimum agrees.
+        let optimum = minimal_tilewise_schedule(&tiling, 8).unwrap();
+        assert_eq!(optimum.slots, 4);
+    }
+
+    #[test]
+    fn search_exhaustion_is_reported() {
+        let tiling = MultiTiling::new(
+            vec![Tetromino::S.prototile()],
+            Sublattice::scaled(2, 2).unwrap(),
+            vec![vec![Point::xy(0, 0)]],
+        )
+        .unwrap();
+        assert!(matches!(
+            minimal_tilewise_schedule(&tiling, 3),
+            Err(ScheduleError::SearchExhausted { max_slots: 3 })
+        ));
+    }
+
+    #[test]
+    fn colour_graph_handles_small_graphs() {
+        // Triangle needs 3 colours.
+        let triangle = vec![
+            vec![false, true, true],
+            vec![true, false, true],
+            vec![true, true, false],
+        ];
+        assert!(colour_graph(&triangle, 2).is_none());
+        let c = colour_graph(&triangle, 3).unwrap();
+        assert_ne!(c[0], c[1]);
+        assert_ne!(c[1], c[2]);
+        assert_ne!(c[0], c[2]);
+        // Empty graph is 1-colourable.
+        let empty = vec![vec![false; 3]; 3];
+        assert!(colour_graph(&empty, 1).is_some());
+    }
+}

@@ -1,0 +1,370 @@
+//! Restricting schedules to finite deployments (the paper's conclusions).
+//!
+//! Real deployments are finite subsets `D ⊂ L`. Restricting a collision-free
+//! schedule to `D` trivially remains collision-free; the interesting question is
+//! whether it remains *optimal*. The paper answers affirmatively whenever `D`
+//! contains a translate of `N_1 + N_1` (the respectable prototile plus its
+//! neighbours), because the optimality argument only inspects that finite
+//! configuration. When `D` is smaller, fewer slots may suffice; the exact minimum for
+//! a finite deployment is the chromatic number of its finite conflict graph, which
+//! [`minimum_slots_finite`] computes for small instances.
+
+use crate::deployment::Deployment;
+use crate::error::{Result, ScheduleError};
+use crate::schedule::PeriodicSchedule;
+use latsched_lattice::{BoxRegion, Point};
+use latsched_tiling::Prototile;
+use serde::{Deserialize, Serialize};
+use std::collections::{BTreeMap, BTreeSet};
+use std::fmt;
+
+/// A finite set of sensor positions together with the interference model governing
+/// them.
+#[derive(Clone, PartialEq, Eq, Debug, Serialize, Deserialize)]
+pub struct FiniteDeployment {
+    positions: Vec<Point>,
+    deployment: Deployment,
+}
+
+impl FiniteDeployment {
+    /// Creates a finite deployment from sensor positions (duplicates are collapsed,
+    /// order is normalized to lexicographic).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ScheduleError::EmptyDeployment`] if no positions are given and a
+    /// dimension-mismatch error if positions disagree with the deployment dimension.
+    pub fn new(positions: impl IntoIterator<Item = Point>, deployment: Deployment) -> Result<Self> {
+        let set: BTreeSet<Point> = positions.into_iter().collect();
+        if set.is_empty() {
+            return Err(ScheduleError::EmptyDeployment);
+        }
+        for p in &set {
+            if p.dim() != deployment.dim() {
+                return Err(ScheduleError::DimensionMismatch {
+                    expected: deployment.dim(),
+                    found: p.dim(),
+                });
+            }
+        }
+        Ok(FiniteDeployment {
+            positions: set.into_iter().collect(),
+            deployment,
+        })
+    }
+
+    /// All sensors inside a box window, with the given interference model.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`FiniteDeployment::new`].
+    pub fn window(window: &BoxRegion, deployment: Deployment) -> Result<Self> {
+        FiniteDeployment::new(window.points(), deployment)
+    }
+
+    /// The sensor positions in lexicographic order.
+    pub fn positions(&self) -> &[Point] {
+        &self.positions
+    }
+
+    /// The number of sensors.
+    pub fn len(&self) -> usize {
+        self.positions.len()
+    }
+
+    /// Whether the deployment is empty (never true for a validly constructed value).
+    pub fn is_empty(&self) -> bool {
+        self.positions.is_empty()
+    }
+
+    /// The underlying interference model.
+    pub fn deployment(&self) -> &Deployment {
+        &self.deployment
+    }
+
+    /// Restricts a periodic schedule to the finite deployment, returning the slot of
+    /// every sensor.
+    ///
+    /// # Errors
+    ///
+    /// Propagates dimension mismatches.
+    pub fn restrict(&self, schedule: &PeriodicSchedule) -> Result<BTreeMap<Point, usize>> {
+        self.positions
+            .iter()
+            .map(|p| Ok((p.clone(), schedule.slot_of(p)?)))
+            .collect()
+    }
+
+    /// The number of distinct slots the restricted schedule actually uses.
+    ///
+    /// # Errors
+    ///
+    /// Propagates dimension mismatches.
+    pub fn slots_used(&self, schedule: &PeriodicSchedule) -> Result<usize> {
+        let slots: BTreeSet<usize> = self
+            .restrict(schedule)?
+            .into_values()
+            .collect();
+        Ok(slots.len())
+    }
+
+    /// All collisions of the restricted schedule among the deployed sensors (empty
+    /// for any restriction of a collision-free periodic schedule).
+    ///
+    /// # Errors
+    ///
+    /// Propagates dimension mismatches.
+    pub fn collisions(&self, schedule: &PeriodicSchedule) -> Result<Vec<(Point, Point)>> {
+        let mut out = Vec::new();
+        for (i, p) in self.positions.iter().enumerate() {
+            for q in self.positions.iter().skip(i + 1) {
+                if schedule.slot_of(p)? == schedule.slot_of(q)?
+                    && self.deployment.interferes(p, q)?
+                {
+                    out.push((p.clone(), q.clone()));
+                }
+            }
+        }
+        Ok(out)
+    }
+
+    /// Returns `true` if the deployment contains a translate of the given point set
+    /// (used with `N₁ + N₁` for the paper's optimality condition).
+    pub fn contains_translate_of(&self, shape: &BTreeSet<Point>) -> bool {
+        if shape.is_empty() {
+            return true;
+        }
+        let set: BTreeSet<&Point> = self.positions.iter().collect();
+        let anchor = shape.iter().next().expect("non-empty shape");
+        for p in &self.positions {
+            let t = p - anchor;
+            if shape.iter().all(|s| set.contains(&(s + &t))) {
+                return true;
+            }
+        }
+        false
+    }
+
+    /// The paper's sufficient condition for the restriction of an optimal schedule to
+    /// remain optimal: the deployment contains a translate of `N₁ + N₁`, where `N₁`
+    /// is the (respectable) prototile.
+    ///
+    /// # Errors
+    ///
+    /// Propagates dimension mismatches from the Minkowski sum.
+    pub fn satisfies_optimality_condition(&self, respectable: &Prototile) -> Result<bool> {
+        let sum = respectable
+            .minkowski_sum(respectable)
+            .map_err(ScheduleError::Tiling)?;
+        Ok(self.contains_translate_of(&sum))
+    }
+
+    /// The exact minimal number of slots of a collision-free schedule for this finite
+    /// deployment (every sensor may be assigned its slot independently), i.e. the
+    /// chromatic number of the finite conflict graph. Exponential in the worst case;
+    /// intended for the small instances used to validate optimality claims.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ScheduleError::SearchExhausted`] if no schedule with at most
+    /// `max_slots` slots exists, and propagates dimension mismatches.
+    pub fn minimum_slots_finite(&self, max_slots: usize) -> Result<usize> {
+        // Build the conflict graph.
+        let n = self.positions.len();
+        let mut adjacency = vec![vec![false; n]; n];
+        for i in 0..n {
+            for j in i + 1..n {
+                if self
+                    .deployment
+                    .interferes(&self.positions[i], &self.positions[j])?
+                {
+                    adjacency[i][j] = true;
+                    adjacency[j][i] = true;
+                }
+            }
+        }
+        // A greedily found maximal clique gives a lower bound that lets the exact
+        // search skip slot counts that cannot possibly suffice.
+        let clique = greedy_clique_size(&adjacency);
+        for m in clique.max(1)..=max_slots {
+            if colourable(&adjacency, m) {
+                return Ok(m);
+            }
+        }
+        Err(ScheduleError::SearchExhausted { max_slots })
+    }
+}
+
+/// Size of a maximal clique found greedily (largest-degree-first); a lower bound on
+/// the chromatic number of the conflict graph.
+fn greedy_clique_size(adjacency: &[Vec<bool>]) -> usize {
+    let n = adjacency.len();
+    let mut order: Vec<usize> = (0..n).collect();
+    order.sort_by_key(|&v| std::cmp::Reverse(adjacency[v].iter().filter(|&&b| b).count()));
+    let mut clique: Vec<usize> = Vec::new();
+    for v in order {
+        if clique.iter().all(|&u| adjacency[v][u]) {
+            clique.push(v);
+        }
+    }
+    clique.len()
+}
+
+/// Exact `m`-colourability test by backtracking with largest-degree-first ordering.
+fn colourable(adjacency: &[Vec<bool>], colours: usize) -> bool {
+    let n = adjacency.len();
+    let mut order: Vec<usize> = (0..n).collect();
+    order.sort_by_key(|&v| std::cmp::Reverse(adjacency[v].iter().filter(|&&b| b).count()));
+    let mut assignment = vec![usize::MAX; n];
+
+    fn backtrack(
+        adjacency: &[Vec<bool>],
+        order: &[usize],
+        assignment: &mut Vec<usize>,
+        idx: usize,
+        colours: usize,
+    ) -> bool {
+        if idx == order.len() {
+            return true;
+        }
+        let v = order[idx];
+        let used = assignment
+            .iter()
+            .filter(|&&c| c != usize::MAX)
+            .max()
+            .map(|&c| c + 1)
+            .unwrap_or(0);
+        for c in 0..colours.min(used + 1) {
+            if (0..adjacency.len()).any(|u| adjacency[v][u] && assignment[u] == c) {
+                continue;
+            }
+            assignment[v] = c;
+            if backtrack(adjacency, order, assignment, idx + 1, colours) {
+                return true;
+            }
+            assignment[v] = usize::MAX;
+        }
+        false
+    }
+    backtrack(adjacency, &order, &mut assignment, 0, colours)
+}
+
+impl fmt::Display for FiniteDeployment {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "finite deployment of {} sensors", self.positions.len())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::theorem1;
+    use latsched_tiling::{find_tiling, shapes};
+
+    fn moore_schedule_and_deployment() -> (PeriodicSchedule, Deployment) {
+        let tiling = find_tiling(&shapes::moore()).unwrap().unwrap();
+        (
+            theorem1::schedule_from_tiling(&tiling),
+            theorem1::deployment_for(&tiling),
+        )
+    }
+
+    #[test]
+    fn construction_and_accessors() {
+        let (_, deployment) = moore_schedule_and_deployment();
+        let window = BoxRegion::square_window(2, 3).unwrap();
+        let finite = FiniteDeployment::window(&window, deployment).unwrap();
+        assert_eq!(finite.len(), 9);
+        assert!(!finite.is_empty());
+        assert_eq!(finite.positions().len(), 9);
+        assert!(finite.to_string().contains("9 sensors"));
+        assert!(finite.deployment().max_neighbourhood_size() == 9);
+    }
+
+    #[test]
+    fn empty_and_mismatched_deployments_are_rejected() {
+        let (_, deployment) = moore_schedule_and_deployment();
+        assert!(matches!(
+            FiniteDeployment::new(Vec::<Point>::new(), deployment.clone()),
+            Err(ScheduleError::EmptyDeployment)
+        ));
+        assert!(matches!(
+            FiniteDeployment::new(vec![Point::xyz(0, 0, 0)], deployment),
+            Err(ScheduleError::DimensionMismatch { .. })
+        ));
+    }
+
+    #[test]
+    fn restriction_of_collision_free_schedule_has_no_collisions() {
+        let (schedule, deployment) = moore_schedule_and_deployment();
+        let window = BoxRegion::square_window(2, 10).unwrap();
+        let finite = FiniteDeployment::window(&window, deployment).unwrap();
+        assert!(finite.collisions(&schedule).unwrap().is_empty());
+        let slots = finite.restrict(&schedule).unwrap();
+        assert_eq!(slots.len(), 100);
+    }
+
+    #[test]
+    fn large_window_satisfies_optimality_condition_and_needs_all_slots() {
+        let (schedule, deployment) = moore_schedule_and_deployment();
+        let moore = shapes::moore();
+        // A 5×5 window contains a translate of N + N (a 5×5 block) …
+        let window = BoxRegion::square_window(2, 5).unwrap();
+        let finite = FiniteDeployment::window(&window, deployment).unwrap();
+        assert!(finite.satisfies_optimality_condition(&moore).unwrap());
+        // … so the restricted schedule's 9 slots are necessary:
+        assert_eq!(finite.slots_used(&schedule).unwrap(), 9);
+        assert_eq!(finite.minimum_slots_finite(12).unwrap(), 9);
+    }
+
+    #[test]
+    fn small_window_may_need_fewer_slots() {
+        let (_, deployment) = moore_schedule_and_deployment();
+        let moore = shapes::moore();
+        // A 2×2 window does not contain N + N, and 4 slots suffice (all four sensors
+        // pairwise interfere, no more).
+        let window = BoxRegion::square_window(2, 2).unwrap();
+        let finite = FiniteDeployment::window(&window, deployment).unwrap();
+        assert!(!finite.satisfies_optimality_condition(&moore).unwrap());
+        assert_eq!(finite.minimum_slots_finite(12).unwrap(), 4);
+    }
+
+    #[test]
+    fn contains_translate_of_detects_shifted_shapes() {
+        let (_, deployment) = moore_schedule_and_deployment();
+        let positions: Vec<Point> = (10..13)
+            .flat_map(|x| (20..23).map(move |y| Point::xy(x, y)))
+            .collect();
+        let finite = FiniteDeployment::new(positions, deployment).unwrap();
+        let block: BTreeSet<Point> = (0..3)
+            .flat_map(|x| (0..3).map(move |y| Point::xy(x, y)))
+            .collect();
+        assert!(finite.contains_translate_of(&block));
+        let bigger: BTreeSet<Point> = (0..4).map(|x| Point::xy(x, 0)).collect();
+        assert!(!finite.contains_translate_of(&bigger));
+        assert!(finite.contains_translate_of(&BTreeSet::new()));
+    }
+
+    #[test]
+    fn minimum_slots_exhaustion() {
+        let (_, deployment) = moore_schedule_and_deployment();
+        let window = BoxRegion::square_window(2, 3).unwrap();
+        let finite = FiniteDeployment::window(&window, deployment).unwrap();
+        // All 9 sensors of a 3×3 block pairwise interfere, so 5 slots are not enough.
+        assert!(matches!(
+            finite.minimum_slots_finite(5),
+            Err(ScheduleError::SearchExhausted { max_slots: 5 })
+        ));
+    }
+
+    #[test]
+    fn duplicates_are_collapsed() {
+        let (_, deployment) = moore_schedule_and_deployment();
+        let finite = FiniteDeployment::new(
+            vec![Point::xy(0, 0), Point::xy(0, 0), Point::xy(1, 0)],
+            deployment,
+        )
+        .unwrap();
+        assert_eq!(finite.len(), 2);
+    }
+}

@@ -1,0 +1,288 @@
+//! Deterministic periodic broadcast schedules.
+//!
+//! A schedule assigns each sensor (lattice point) an integer slot `k ∈ {0, …, m-1}`;
+//! the sensor may broadcast at time `t` if and only if `t ≡ k (mod m)`. The schedules
+//! constructed in this library are *periodic in space* as well: the slot of a point
+//! depends only on its coset modulo a period sublattice, which is what makes them
+//! finitely representable and O(d²) to query.
+
+use crate::error::{Result, ScheduleError};
+use latsched_lattice::{BoxRegion, Point, Sublattice};
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// A deterministic periodic broadcast schedule `L → {0, …, m-1}` that is constant on
+/// the cosets of a period sublattice.
+///
+/// # Examples
+///
+/// ```
+/// use latsched_core::{theorem1, PeriodicSchedule};
+/// use latsched_tiling::{shapes, find_tiling};
+/// use latsched_lattice::Point;
+///
+/// let tiling = find_tiling(&shapes::moore())?.unwrap();
+/// let schedule = theorem1::schedule_from_tiling(&tiling);
+/// assert_eq!(schedule.num_slots(), 9);
+/// let slot = schedule.slot_of(&Point::xy(4, -7))?;
+/// assert!(slot < 9);
+/// # Ok::<(), Box<dyn std::error::Error>>(())
+/// ```
+#[derive(Clone, PartialEq, Eq, Debug, Serialize, Deserialize)]
+pub struct PeriodicSchedule {
+    period: Sublattice,
+    num_slots: usize,
+    /// canonical coset representative ↦ slot
+    slots: BTreeMap<Point, usize>,
+}
+
+impl PeriodicSchedule {
+    /// Creates a schedule from an explicit slot assignment on the cosets of the
+    /// period sublattice.
+    ///
+    /// The keys of `slots` may be arbitrary coset representatives; they are reduced
+    /// to canonical form. Every coset must receive exactly one slot.
+    ///
+    /// # Errors
+    ///
+    /// * [`ScheduleError::SlotOutOfRange`] if any slot is `≥ num_slots`;
+    /// * [`ScheduleError::IncompleteAssignment`] if some coset has no slot;
+    /// * dimension-mismatch errors if keys have the wrong dimension.
+    pub fn new(
+        period: Sublattice,
+        num_slots: usize,
+        slots: impl IntoIterator<Item = (Point, usize)>,
+    ) -> Result<Self> {
+        let mut canonical = BTreeMap::new();
+        for (p, slot) in slots {
+            if slot >= num_slots {
+                return Err(ScheduleError::SlotOutOfRange {
+                    slot,
+                    slots: num_slots,
+                });
+            }
+            let rep = period.reduce(&p)?;
+            canonical.insert(rep, slot);
+        }
+        if canonical.len() as u64 != period.index() {
+            return Err(ScheduleError::IncompleteAssignment);
+        }
+        Ok(PeriodicSchedule {
+            period,
+            num_slots,
+            slots: canonical,
+        })
+    }
+
+    /// The number of time slots `m` (the temporal period of the schedule).
+    pub fn num_slots(&self) -> usize {
+        self.num_slots
+    }
+
+    /// The spatial period sublattice: two sensors in the same coset always share a
+    /// slot.
+    pub fn period(&self) -> &Sublattice {
+        &self.period
+    }
+
+    /// The ambient dimension.
+    pub fn dim(&self) -> usize {
+        self.period.dim()
+    }
+
+    /// The slot assigned to the sensor at `p`.
+    ///
+    /// # Errors
+    ///
+    /// Returns a dimension-mismatch error if `p` has the wrong dimension.
+    pub fn slot_of(&self, p: &Point) -> Result<usize> {
+        let rep = self.period.reduce(p)?;
+        Ok(*self
+            .slots
+            .get(&rep)
+            .expect("construction guarantees every coset has a slot"))
+    }
+
+    /// Returns `true` if the sensor at `p` may broadcast at (integer) time `t`,
+    /// i.e. if `t ≡ slot(p) (mod m)`.
+    ///
+    /// # Errors
+    ///
+    /// Returns a dimension-mismatch error if `p` has the wrong dimension.
+    pub fn may_transmit(&self, p: &Point, t: u64) -> Result<bool> {
+        Ok(t % self.num_slots as u64 == self.slot_of(p)? as u64)
+    }
+
+    /// The points of the given box that are assigned the given slot, in lexicographic
+    /// order.
+    ///
+    /// # Errors
+    ///
+    /// Returns a dimension-mismatch error if the region has the wrong dimension.
+    pub fn points_in_slot(&self, slot: usize, region: &BoxRegion) -> Result<Vec<Point>> {
+        let mut out = Vec::new();
+        for p in region.iter() {
+            if self.slot_of(&p)? == slot {
+                out.push(p);
+            }
+        }
+        Ok(out)
+    }
+
+    /// The slot assignment restricted to the canonical coset representatives, as a
+    /// map. Useful for serialization and for rendering Figure 3 style pictures.
+    pub fn slot_table(&self) -> &BTreeMap<Point, usize> {
+        &self.slots
+    }
+
+    /// The number of distinct slots actually used (≤ `num_slots`).
+    pub fn slots_used(&self) -> usize {
+        let mut used: Vec<usize> = self.slots.values().copied().collect();
+        used.sort_unstable();
+        used.dedup();
+        used.len()
+    }
+
+    /// Fraction of time each sensor is allowed to transmit (`1/m`); the paper's
+    /// schedules maximize this among collision-free periodic schedules because `m`
+    /// is minimal.
+    pub fn duty_cycle(&self) -> f64 {
+        1.0 / self.num_slots as f64
+    }
+
+    /// Renders the slot assignment over a window as an ASCII grid (2-D only), one row
+    /// per `y` from top to bottom, slots printed in a fixed-width column. This is the
+    /// textual analogue of Figure 3.
+    ///
+    /// # Errors
+    ///
+    /// Returns a dimension-mismatch error for non-2-D schedules.
+    pub fn render_window(&self, window: &BoxRegion) -> Result<String> {
+        if self.dim() != 2 || window.dim() != 2 {
+            return Err(ScheduleError::DimensionMismatch {
+                expected: 2,
+                found: self.dim().max(window.dim()),
+            });
+        }
+        let width = format!("{}", self.num_slots.saturating_sub(1)).len().max(1);
+        let mut out = String::new();
+        for y in (window.min().y()..=window.max().y()).rev() {
+            for x in window.min().x()..=window.max().x() {
+                let slot = self.slot_of(&Point::xy(x, y))?;
+                out.push_str(&format!("{slot:>width$} "));
+            }
+            out.push('\n');
+        }
+        Ok(out)
+    }
+}
+
+impl fmt::Display for PeriodicSchedule {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "periodic schedule with {} slots, spatial period {}",
+            self.num_slots, self.period
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn checkerboard() -> PeriodicSchedule {
+        // Slot = parity of x + y, period 2Z².
+        let period = Sublattice::scaled(2, 2).unwrap();
+        let assignment = vec![
+            (Point::xy(0, 0), 0),
+            (Point::xy(1, 0), 1),
+            (Point::xy(0, 1), 1),
+            (Point::xy(1, 1), 0),
+        ];
+        PeriodicSchedule::new(period, 2, assignment).unwrap()
+    }
+
+    #[test]
+    fn construction_and_queries() {
+        let s = checkerboard();
+        assert_eq!(s.num_slots(), 2);
+        assert_eq!(s.dim(), 2);
+        assert_eq!(s.slots_used(), 2);
+        assert!((s.duty_cycle() - 0.5).abs() < 1e-12);
+        for x in -3i64..3 {
+            for y in -3i64..3 {
+                let expected = ((x + y).rem_euclid(2)) as usize;
+                assert_eq!(s.slot_of(&Point::xy(x, y)).unwrap(), expected);
+            }
+        }
+    }
+
+    #[test]
+    fn may_transmit_matches_slot() {
+        let s = checkerboard();
+        assert!(s.may_transmit(&Point::xy(0, 0), 0).unwrap());
+        assert!(!s.may_transmit(&Point::xy(0, 0), 1).unwrap());
+        assert!(s.may_transmit(&Point::xy(0, 0), 4).unwrap());
+        assert!(s.may_transmit(&Point::xy(1, 0), 3).unwrap());
+    }
+
+    #[test]
+    fn points_in_slot_partition_the_window() {
+        let s = checkerboard();
+        let window = BoxRegion::square_window(2, 4).unwrap();
+        let zero = s.points_in_slot(0, &window).unwrap();
+        let one = s.points_in_slot(1, &window).unwrap();
+        assert_eq!(zero.len() + one.len(), 16);
+        assert_eq!(zero.len(), 8);
+        for p in &zero {
+            assert!(!one.contains(p));
+        }
+    }
+
+    #[test]
+    fn invalid_constructions_are_rejected() {
+        let period = Sublattice::scaled(2, 2).unwrap();
+        // Slot out of range.
+        let err = PeriodicSchedule::new(period.clone(), 2, vec![(Point::xy(0, 0), 2)]);
+        assert!(matches!(err, Err(ScheduleError::SlotOutOfRange { .. })));
+        // Missing cosets.
+        let err = PeriodicSchedule::new(period, 2, vec![(Point::xy(0, 0), 0)]);
+        assert!(matches!(err, Err(ScheduleError::IncompleteAssignment)));
+    }
+
+    #[test]
+    fn keys_are_reduced_to_canonical_form() {
+        let period = Sublattice::scaled(2, 2).unwrap();
+        // Provide the assignment using non-canonical representatives.
+        let s = PeriodicSchedule::new(
+            period,
+            2,
+            vec![
+                (Point::xy(2, 2), 0),
+                (Point::xy(-1, 0), 1),
+                (Point::xy(0, 3), 1),
+                (Point::xy(3, 3), 0),
+            ],
+        )
+        .unwrap();
+        assert_eq!(s.slot_of(&Point::xy(0, 0)).unwrap(), 0);
+        assert_eq!(s.slot_of(&Point::xy(1, 0)).unwrap(), 1);
+    }
+
+    #[test]
+    fn render_window_shows_slots() {
+        let s = checkerboard();
+        let window = BoxRegion::square_window(2, 2).unwrap();
+        let art = s.render_window(&window).unwrap();
+        assert_eq!(art, "1 0 \n0 1 \n");
+    }
+
+    #[test]
+    fn slot_table_has_one_entry_per_coset() {
+        let s = checkerboard();
+        assert_eq!(s.slot_table().len(), 4);
+        assert!(s.to_string().contains("2 slots"));
+    }
+}

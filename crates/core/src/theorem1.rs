@@ -1,0 +1,146 @@
+//! The schedule construction of Theorem 1.
+//!
+//! Let `T` be a tiling of the lattice `L` with neighbourhoods of the form `N`, and
+//! write `N = {n_1, …, n_m}`. Theorem 1 schedules the sensors at `n_k + T` at times
+//! `t ≡ k (mod m)`. Because `T + N = L` (condition T1) every sensor gets a slot, and
+//! because the tiles are disjoint (condition T2) no two sensors scheduled in the same
+//! slot have intersecting interference neighbourhoods. The schedule uses `m = |N|`
+//! slots, which is optimal: any two elements `n'`, `n''` of a single neighbourhood
+//! must differ in slot, since `n' + n''` lies in both `n' + N` and `n'' + N`.
+
+use crate::deployment::Deployment;
+use crate::schedule::PeriodicSchedule;
+use latsched_tiling::Tiling;
+
+/// Builds the collision-free schedule of Theorem 1 from a tiling.
+///
+/// The slot of the sensor at `p` is the index (in the lexicographic ordering of the
+/// prototile's elements) of the element `n_k` such that `p ∈ n_k + T`; equivalently,
+/// the position of `p` within its tile. The schedule has `m = |N|` slots and is
+/// constant on the cosets of the tiling's period sublattice.
+///
+/// # Examples
+///
+/// ```
+/// use latsched_core::theorem1::schedule_from_tiling;
+/// use latsched_tiling::{shapes, find_tiling};
+///
+/// // Figure 3: the 8-element directional antenna yields an 8-slot schedule.
+/// let tiling = find_tiling(&shapes::directional_antenna())?.unwrap();
+/// let schedule = schedule_from_tiling(&tiling);
+/// assert_eq!(schedule.num_slots(), 8);
+/// # Ok::<(), Box<dyn std::error::Error>>(())
+/// ```
+pub fn schedule_from_tiling(tiling: &Tiling) -> PeriodicSchedule {
+    let period = tiling.period().clone();
+    let m = tiling.slot_count();
+    let assignment: Vec<(latsched_lattice::Point, usize)> = period
+        .coset_representatives()
+        .into_iter()
+        .map(|rep| {
+            let covering = tiling
+                .covering(&rep)
+                .expect("coset representatives have the right dimension");
+            (rep, covering.element_index)
+        })
+        .collect();
+    PeriodicSchedule::new(period, m, assignment)
+        .expect("a verified tiling induces a complete slot assignment")
+}
+
+/// The homogeneous deployment that Theorem 1 assumes: every sensor's interference
+/// neighbourhood is a translate of the tiling's prototile.
+pub fn deployment_for(tiling: &Tiling) -> Deployment {
+    Deployment::Homogeneous(tiling.prototile().clone())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::verify;
+    use latsched_lattice::{BoxRegion, Point, Sublattice};
+    use latsched_tiling::{find_tiling, shapes, Tiling};
+
+    fn chebyshev_tiling() -> Tiling {
+        let n = shapes::chebyshev_ball(2, 1).unwrap();
+        let lambda = Sublattice::from_vectors(&[Point::xy(3, 0), Point::xy(0, 3)]).unwrap();
+        Tiling::from_sublattice(n, lambda).unwrap()
+    }
+
+    #[test]
+    fn slot_count_equals_prototile_size() {
+        let schedule = schedule_from_tiling(&chebyshev_tiling());
+        assert_eq!(schedule.num_slots(), 9);
+        assert_eq!(schedule.slots_used(), 9);
+    }
+
+    #[test]
+    fn every_slot_is_used_exactly_once_per_tile() {
+        let tiling = chebyshev_tiling();
+        let schedule = schedule_from_tiling(&tiling);
+        // Within a single tile (the prototile translated by a tiling translation),
+        // the nine sensors receive nine distinct slots.
+        let translation = Point::xy(3, 3);
+        let mut seen = std::collections::BTreeSet::new();
+        for n in tiling.prototile().iter() {
+            let slot = schedule.slot_of(&(&translation + n)).unwrap();
+            assert!(seen.insert(slot));
+        }
+        assert_eq!(seen.len(), 9);
+    }
+
+    #[test]
+    fn schedule_is_collision_free_figure3() {
+        // Figure 3's construction: directional antenna, 8 slots, no collisions.
+        let tiling = find_tiling(&shapes::directional_antenna()).unwrap().unwrap();
+        let schedule = schedule_from_tiling(&tiling);
+        let deployment = deployment_for(&tiling);
+        assert_eq!(schedule.num_slots(), 8);
+        let report = verify::verify_schedule(&schedule, &deployment).unwrap();
+        assert!(report.collision_free());
+    }
+
+    #[test]
+    fn schedule_is_collision_free_for_all_figure2_shapes() {
+        for shape in [
+            shapes::chebyshev_ball(2, 1).unwrap(),
+            shapes::euclidean_ball(2, 1).unwrap(),
+            shapes::directional_antenna(),
+        ] {
+            let tiling = find_tiling(&shape).unwrap().unwrap();
+            let schedule = schedule_from_tiling(&tiling);
+            let deployment = deployment_for(&tiling);
+            assert_eq!(schedule.num_slots(), shape.len());
+            let report = verify::verify_schedule(&schedule, &deployment).unwrap();
+            assert!(report.collision_free(), "collision for shape {shape}");
+        }
+    }
+
+    #[test]
+    fn same_slot_sensors_form_a_shifted_tiling() {
+        // The observation illustrated by Figure 3 (right): the sensors broadcasting
+        // in a fixed slot, together with their neighbourhoods, again tile the lattice
+        // — they are exactly n_k + T, a shift of T.
+        let tiling = chebyshev_tiling();
+        let schedule = schedule_from_tiling(&tiling);
+        let window = BoxRegion::square_window(2, 9).unwrap();
+        for slot in 0..schedule.num_slots() {
+            let senders = schedule.points_in_slot(slot, &window).unwrap();
+            // All pairwise differences of same-slot senders lie in the tiling's
+            // translation sublattice.
+            for a in &senders {
+                for b in &senders {
+                    let diff = a - b;
+                    assert!(tiling.period().contains(&diff).unwrap());
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn deployment_for_uses_the_tiling_prototile() {
+        let tiling = chebyshev_tiling();
+        let deployment = deployment_for(&tiling);
+        assert_eq!(deployment.max_neighbourhood_size(), 9);
+    }
+}

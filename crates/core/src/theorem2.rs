@@ -1,0 +1,159 @@
+//! The schedule construction of Theorem 2 (several prototiles).
+//!
+//! Let `T_1, …, T_n` be a tiling of `L` with neighbourhoods of the types
+//! `N_1, …, N_n`, with sensors deployed according to rule D1. Write
+//! `N = ⋃ N_k = {n_1, …, n_m}`. The schedule of Theorem 2 lets the sensors at
+//! `n_j + T_ℓ` broadcast at times `t ≡ j (mod m)` whenever `n_j ∈ N_ℓ`. The schedule
+//! is collision-free; if the tiling is *respectable* (some `N_1` contains every other
+//! prototile) it uses `m = |N_1|` slots and is optimal.
+
+use crate::deployment::Deployment;
+use crate::schedule::PeriodicSchedule;
+use latsched_lattice::Point;
+use latsched_tiling::MultiTiling;
+
+/// Builds the collision-free schedule of Theorem 2 from a multi-prototile tiling.
+///
+/// The number of slots is `|⋃ N_k|`; the slot of a sensor is the index of its
+/// position-within-tile in the lexicographic ordering of the union `⋃ N_k`. For a
+/// respectable tiling the union equals the respectable prototile `N_1`, so the
+/// schedule uses the optimal `|N_1|` slots.
+///
+/// # Examples
+///
+/// ```
+/// use latsched_core::theorem2::schedule_from_multi_tiling;
+/// use latsched_tiling::{MultiTiling, Tetromino};
+/// use latsched_lattice::{Point, Sublattice};
+///
+/// let tiling = MultiTiling::new(
+///     vec![Tetromino::S.prototile()],
+///     Sublattice::scaled(2, 2).unwrap(),
+///     vec![vec![Point::xy(0, 0)]],
+/// )?;
+/// let schedule = schedule_from_multi_tiling(&tiling);
+/// assert_eq!(schedule.num_slots(), 4);
+/// # Ok::<(), Box<dyn std::error::Error>>(())
+/// ```
+pub fn schedule_from_multi_tiling(tiling: &MultiTiling) -> PeriodicSchedule {
+    let union = tiling.element_union();
+    let m = union.len();
+    let slot_of_element = |n: &Point| -> usize {
+        union
+            .binary_search(n)
+            .expect("every tile element belongs to the union")
+    };
+    let period = tiling.period().clone();
+    let assignment: Vec<(Point, usize)> = period
+        .coset_representatives()
+        .into_iter()
+        .map(|rep| {
+            let covering = tiling
+                .covering(&rep)
+                .expect("coset representatives have the right dimension");
+            let slot = slot_of_element(&covering.element);
+            (rep, slot)
+        })
+        .collect();
+    PeriodicSchedule::new(period, m, assignment)
+        .expect("a verified multi-tiling induces a complete slot assignment")
+}
+
+/// The heterogeneous deployment assumed by Theorem 2: rule D1 over the given tiling.
+pub fn deployment_for(tiling: &MultiTiling) -> Deployment {
+    Deployment::Tiled(tiling.clone())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::theorem1;
+    use crate::verify;
+    use latsched_lattice::Sublattice;
+    use latsched_tiling::{find_tiling, shapes, tetromino::domino, Tetromino, tile_torus_with_all};
+
+    fn square_and_domino_tiling() -> MultiTiling {
+        MultiTiling::new(
+            vec![Tetromino::O.prototile(), domino()],
+            Sublattice::from_vectors(&[Point::xy(2, 0), Point::xy(0, 4)]).unwrap(),
+            vec![vec![Point::xy(0, 0)], vec![Point::xy(0, 2), Point::xy(0, 3)]],
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn respectable_tiling_uses_respectable_prototile_slot_count() {
+        let tiling = square_and_domino_tiling();
+        assert!(tiling.is_respectable());
+        let schedule = schedule_from_multi_tiling(&tiling);
+        // N₁ = O square (4 elements) contains the domino, so m = |N₁| = 4.
+        assert_eq!(schedule.num_slots(), 4);
+        let report =
+            verify::verify_schedule(&schedule, &deployment_for(&tiling)).unwrap();
+        assert!(report.collision_free());
+    }
+
+    #[test]
+    fn theorem2_generalizes_theorem1() {
+        // On a single-prototile tiling, the Theorem 2 construction coincides with the
+        // Theorem 1 construction.
+        let single = find_tiling(&shapes::euclidean_ball(2, 1).unwrap())
+            .unwrap()
+            .unwrap();
+        let schedule1 = theorem1::schedule_from_tiling(&single);
+        let multi = MultiTiling::from_single(&single);
+        let schedule2 = schedule_from_multi_tiling(&multi);
+        assert_eq!(schedule1.num_slots(), schedule2.num_slots());
+        for x in -5..5 {
+            for y in -5..5 {
+                let p = Point::xy(x, y);
+                assert_eq!(
+                    schedule1.slot_of(&p).unwrap(),
+                    schedule2.slot_of(&p).unwrap()
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn mixed_s_z_tiling_is_collision_free_with_six_slots() {
+        // The non-respectable S/Z mix of Figure 5 (left): the Theorem 2 construction
+        // yields |N_S ∪ N_Z| = 6 slots and remains collision-free (collision freedom
+        // does not require respectability — only optimality does).
+        let s = Tetromino::S.prototile();
+        let z = Tetromino::Z.prototile();
+        let period = Sublattice::scaled(2, 4).unwrap();
+        let tiling = tile_torus_with_all(&[s, z], &period).unwrap().unwrap();
+        assert!(!tiling.is_respectable());
+        let schedule = schedule_from_multi_tiling(&tiling);
+        assert_eq!(schedule.num_slots(), 6);
+        let report =
+            verify::verify_schedule(&schedule, &deployment_for(&tiling)).unwrap();
+        assert!(report.collision_free());
+    }
+
+    #[test]
+    fn within_one_tile_all_slots_are_distinct() {
+        let tiling = square_and_domino_tiling();
+        let schedule = schedule_from_multi_tiling(&tiling);
+        // The O tile at the origin occupies 4 distinct slots.
+        let mut seen = std::collections::BTreeSet::new();
+        for n in Tetromino::O.prototile().iter() {
+            seen.insert(schedule.slot_of(n).unwrap());
+        }
+        assert_eq!(seen.len(), 4);
+        // The domino tile at (0,2) occupies 2 distinct slots.
+        let mut seen = std::collections::BTreeSet::new();
+        for n in domino().iter() {
+            seen.insert(schedule.slot_of(&(&Point::xy(0, 2) + n)).unwrap());
+        }
+        assert_eq!(seen.len(), 2);
+    }
+
+    #[test]
+    fn deployment_for_is_tiled() {
+        let tiling = square_and_domino_tiling();
+        let deployment = deployment_for(&tiling);
+        assert_eq!(deployment.prototiles().len(), 2);
+    }
+}

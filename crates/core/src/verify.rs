@@ -1,0 +1,419 @@
+//! Collision-freedom verification.
+//!
+//! A schedule is *collision-free* for a deployment when no two distinct sensors that
+//! are scheduled in the same slot have intersecting interference neighbourhoods
+//! (`(s + N_s) ∩ (t + N_t) = ∅` whenever `slot(s) = slot(t)`, `s ≠ t`).
+//!
+//! Two checkers are provided:
+//!
+//! * [`verify_schedule`] — an **exact, whole-lattice** verdict for periodic schedules
+//!   over periodic deployments. Because both the slot and the neighbourhood type of a
+//!   point depend only on its coset modulo a common period sublattice, every
+//!   potential collision is a translate of one whose first transmitter is a canonical
+//!   coset representative and whose second transmitter is at bounded distance; the
+//!   checker enumerates exactly those finitely many candidates.
+//! * [`collisions_in_window`] — a brute-force check over a finite window, used for
+//!   finite deployments and as an independent cross-check in tests.
+
+use crate::deployment::Deployment;
+use crate::error::{Result, ScheduleError};
+use crate::schedule::PeriodicSchedule;
+use latsched_lattice::{BoxRegion, Point, Sublattice};
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeSet;
+use std::fmt;
+
+/// A witnessed collision: two distinct sensors sharing a slot whose neighbourhoods
+/// intersect.
+#[derive(Clone, PartialEq, Eq, Debug, Serialize, Deserialize)]
+pub struct Collision {
+    /// The first transmitter.
+    pub transmitter_a: Point,
+    /// The second transmitter.
+    pub transmitter_b: Point,
+    /// The shared slot.
+    pub slot: usize,
+    /// A sensor lying in both interference neighbourhoods (it would be unable to
+    /// receive either message).
+    pub affected: Point,
+}
+
+impl fmt::Display for Collision {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "sensors {} and {} share slot {} and both affect {}",
+            self.transmitter_a, self.transmitter_b, self.slot, self.affected
+        )
+    }
+}
+
+/// The outcome of an exact whole-lattice verification.
+#[derive(Clone, PartialEq, Eq, Debug, Serialize, Deserialize)]
+pub struct VerificationReport {
+    /// All collisions found, up to translation by the common period (empty iff the
+    /// schedule is collision-free on the entire infinite lattice).
+    pub collisions: Vec<Collision>,
+    /// Number of candidate transmitter pairs examined.
+    pub pairs_checked: usize,
+    /// Number of canonical representatives (one per coset of the common period) from
+    /// which candidates were generated.
+    pub representatives_checked: usize,
+}
+
+impl VerificationReport {
+    /// Whether the schedule is collision-free for the deployment (on the whole
+    /// lattice).
+    pub fn collision_free(&self) -> bool {
+        self.collisions.is_empty()
+    }
+}
+
+impl fmt::Display for VerificationReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.collision_free() {
+            write!(
+                f,
+                "collision-free ({} candidate pairs over {} representatives)",
+                self.pairs_checked, self.representatives_checked
+            )
+        } else {
+            write!(f, "{} collision(s) found", self.collisions.len())
+        }
+    }
+}
+
+/// Finds a full-rank sublattice contained in both periods, on whose cosets slots and
+/// neighbourhood types are simultaneously constant.
+fn common_period(schedule: &PeriodicSchedule, deployment: &Deployment) -> Result<Sublattice> {
+    let s_period = schedule.period();
+    match deployment {
+        Deployment::Homogeneous(_) => Ok(s_period.clone()),
+        Deployment::Tiled(tiling) => {
+            let t_period = tiling.period();
+            if t_period.contains_sublattice(s_period)? {
+                Ok(s_period.clone())
+            } else if s_period.contains_sublattice(t_period)? {
+                Ok(t_period.clone())
+            } else {
+                // Fall back to a scaled integer lattice contained in both: c·Z^d lies
+                // in a sublattice Λ whenever c is a multiple of the exponent of
+                // Z^d / Λ (its largest invariant factor).
+                let exp_s = *s_period
+                    .invariant_factors()?
+                    .last()
+                    .expect("full-rank sublattice has invariant factors");
+                let exp_t = *t_period
+                    .invariant_factors()?
+                    .last()
+                    .expect("full-rank sublattice has invariant factors");
+                let c = lcm(exp_s, exp_t);
+                Ok(Sublattice::scaled(s_period.dim(), c as u64)?)
+            }
+        }
+    }
+}
+
+fn lcm(a: i64, b: i64) -> i64 {
+    fn gcd(a: i64, b: i64) -> i64 {
+        if b == 0 {
+            a.abs()
+        } else {
+            gcd(b, a % b)
+        }
+    }
+    (a / gcd(a, b)) * b
+}
+
+/// Exactly verifies collision-freedom of a periodic schedule over a periodic
+/// deployment, for the entire infinite lattice.
+///
+/// Every collision in the lattice is a translate (by the common period) of a
+/// collision whose first transmitter is a canonical coset representative; the second
+/// transmitter then lies within the bounded difference set `N_a - N_b` of the two
+/// neighbourhood types. The checker enumerates exactly these candidates, so an empty
+/// report is a proof of collision-freedom and a non-empty report exhibits genuine
+/// colliding sensor pairs.
+///
+/// # Errors
+///
+/// Propagates dimension mismatches and lattice-arithmetic errors.
+///
+/// # Examples
+///
+/// ```
+/// use latsched_core::{theorem1, verify};
+/// use latsched_tiling::{shapes, find_tiling};
+///
+/// let tiling = find_tiling(&shapes::moore())?.unwrap();
+/// let schedule = theorem1::schedule_from_tiling(&tiling);
+/// let deployment = theorem1::deployment_for(&tiling);
+/// let report = verify::verify_schedule(&schedule, &deployment)?;
+/// assert!(report.collision_free());
+/// # Ok::<(), Box<dyn std::error::Error>>(())
+/// ```
+pub fn verify_schedule(
+    schedule: &PeriodicSchedule,
+    deployment: &Deployment,
+) -> Result<VerificationReport> {
+    if schedule.dim() != deployment.dim() {
+        return Err(ScheduleError::DimensionMismatch {
+            expected: schedule.dim(),
+            found: deployment.dim(),
+        });
+    }
+    let period = common_period(schedule, deployment)?;
+    let reps = period.coset_representatives();
+
+    // Union of all pairwise difference sets N_a - N_b over the prototile types; the
+    // second transmitter of any collision involving a given first transmitter lies at
+    // one of these offsets.
+    let mut candidate_offsets: BTreeSet<Point> = BTreeSet::new();
+    for a in deployment.prototiles() {
+        for b in deployment.prototiles() {
+            for na in a.iter() {
+                for nb in b.iter() {
+                    candidate_offsets.insert(na - nb);
+                }
+            }
+        }
+    }
+
+    let mut collisions = Vec::new();
+    let mut pairs_checked = 0usize;
+    for p in &reps {
+        let slot_p = schedule.slot_of(p)?;
+        let n_p = deployment.prototile_of(p)?.clone();
+        for d in &candidate_offsets {
+            if d.is_zero() {
+                continue;
+            }
+            let q = p + d;
+            pairs_checked += 1;
+            if schedule.slot_of(&q)? != slot_p {
+                continue;
+            }
+            let n_q = deployment.prototile_of(&q)?;
+            // Interference: q - p = d must equal n_a - n_b for some n_a ∈ N_p,
+            // n_b ∈ N_q; record the witness p + n_a = q + n_b.
+            let mut witness = None;
+            'outer: for na in n_p.iter() {
+                for nb in n_q.iter() {
+                    if &(na - nb) == d {
+                        witness = Some(p + na);
+                        break 'outer;
+                    }
+                }
+            }
+            if let Some(affected) = witness {
+                collisions.push(Collision {
+                    transmitter_a: p.clone(),
+                    transmitter_b: q,
+                    slot: slot_p,
+                    affected,
+                });
+            }
+        }
+    }
+    Ok(VerificationReport {
+        collisions,
+        pairs_checked,
+        representatives_checked: reps.len(),
+    })
+}
+
+/// Brute-force collision search over a finite window: every pair of distinct window
+/// points sharing a slot is tested for intersecting neighbourhoods.
+///
+/// # Errors
+///
+/// Propagates dimension mismatches and lattice-arithmetic errors.
+pub fn collisions_in_window(
+    schedule: &PeriodicSchedule,
+    deployment: &Deployment,
+    window: &BoxRegion,
+) -> Result<Vec<Collision>> {
+    let points = window.points();
+    let radius = 2 * deployment.max_radius();
+    let mut collisions = Vec::new();
+    for (i, p) in points.iter().enumerate() {
+        let slot_p = schedule.slot_of(p)?;
+        for q in points.iter().skip(i + 1) {
+            if (q - p).norm_linf() > radius {
+                continue;
+            }
+            if schedule.slot_of(q)? != slot_p {
+                continue;
+            }
+            if let Some(affected) = intersection_witness(deployment, p, q)? {
+                collisions.push(Collision {
+                    transmitter_a: p.clone(),
+                    transmitter_b: q.clone(),
+                    slot: slot_p,
+                    affected,
+                });
+            }
+        }
+    }
+    Ok(collisions)
+}
+
+/// Returns a point lying in both neighbourhoods `(p + N_p)` and `(q + N_q)`, if any.
+fn intersection_witness(
+    deployment: &Deployment,
+    p: &Point,
+    q: &Point,
+) -> Result<Option<Point>> {
+    let np = deployment.prototile_of(p)?;
+    let nq = deployment.prototile_of(q)?;
+    let d = q.checked_sub(p).map_err(ScheduleError::Lattice)?;
+    for na in np.iter() {
+        for nb in nq.iter() {
+            if na - nb == d {
+                return Ok(Some(p + na));
+            }
+        }
+    }
+    Ok(None)
+}
+
+/// Counts, for every slot, how many sensors of the window transmit in that slot.
+/// Mostly a reporting helper for the experiment harness.
+///
+/// # Errors
+///
+/// Propagates dimension mismatches.
+pub fn slot_histogram(
+    schedule: &PeriodicSchedule,
+    window: &BoxRegion,
+) -> Result<Vec<usize>> {
+    let mut histogram = vec![0usize; schedule.num_slots()];
+    for p in window.iter() {
+        histogram[schedule.slot_of(&p)?] += 1;
+    }
+    Ok(histogram)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::theorem1::{deployment_for, schedule_from_tiling};
+    use latsched_tiling::{find_tiling, shapes, Prototile};
+
+    fn moore_setup() -> (PeriodicSchedule, Deployment) {
+        let tiling = find_tiling(&shapes::moore()).unwrap().unwrap();
+        (schedule_from_tiling(&tiling), deployment_for(&tiling))
+    }
+
+    #[test]
+    fn theorem1_schedule_verifies_clean() {
+        let (schedule, deployment) = moore_setup();
+        let report = verify_schedule(&schedule, &deployment).unwrap();
+        assert!(report.collision_free());
+        assert!(report.pairs_checked > 0);
+        assert_eq!(report.representatives_checked, 9);
+        assert!(report.to_string().contains("collision-free"));
+    }
+
+    #[test]
+    fn bad_schedule_is_caught_exactly() {
+        // Assign everyone slot 0: with a 9-point neighbourhood this is full of
+        // collisions, and the exact checker must find them.
+        let (_, deployment) = moore_setup();
+        let all_zero = PeriodicSchedule::new(
+            Sublattice::full(2).unwrap(),
+            1,
+            vec![(Point::xy(0, 0), 0)],
+        )
+        .unwrap();
+        let report = verify_schedule(&all_zero, &deployment).unwrap();
+        assert!(!report.collision_free());
+        let c = &report.collisions[0];
+        // The witness must really lie in both neighbourhoods.
+        let na = deployment.neighbourhood_of(&c.transmitter_a).unwrap();
+        let nb = deployment.neighbourhood_of(&c.transmitter_b).unwrap();
+        assert!(na.contains(&c.affected));
+        assert!(nb.contains(&c.affected));
+        assert_ne!(c.transmitter_a, c.transmitter_b);
+        assert!(c.to_string().contains("slot 0"));
+    }
+
+    #[test]
+    fn too_few_slots_always_collide() {
+        // A 2-slot checkerboard cannot be collision-free for the 9-point Moore
+        // neighbourhood (optimal is 9 slots).
+        let (_, deployment) = moore_setup();
+        let period = Sublattice::scaled(2, 2).unwrap();
+        let checkerboard = PeriodicSchedule::new(
+            period,
+            2,
+            vec![
+                (Point::xy(0, 0), 0),
+                (Point::xy(1, 0), 1),
+                (Point::xy(0, 1), 1),
+                (Point::xy(1, 1), 0),
+            ],
+        )
+        .unwrap();
+        let report = verify_schedule(&checkerboard, &deployment).unwrap();
+        assert!(!report.collision_free());
+    }
+
+    #[test]
+    fn window_check_agrees_with_exact_check() {
+        let (schedule, deployment) = moore_setup();
+        let window = BoxRegion::square_window(2, 12).unwrap();
+        assert!(collisions_in_window(&schedule, &deployment, &window)
+            .unwrap()
+            .is_empty());
+
+        // And for a bad schedule both checkers find collisions.
+        let bad = PeriodicSchedule::new(
+            Sublattice::full(2).unwrap(),
+            1,
+            vec![(Point::xy(0, 0), 0)],
+        )
+        .unwrap();
+        assert!(!collisions_in_window(&bad, &deployment, &window)
+            .unwrap()
+            .is_empty());
+        assert!(!verify_schedule(&bad, &deployment).unwrap().collision_free());
+    }
+
+    #[test]
+    fn dimension_mismatch_is_rejected() {
+        let (schedule, _) = moore_setup();
+        let deployment3 =
+            Deployment::Homogeneous(Prototile::new(vec![Point::zero(3)]).unwrap());
+        assert!(matches!(
+            verify_schedule(&schedule, &deployment3),
+            Err(ScheduleError::DimensionMismatch { .. })
+        ));
+    }
+
+    #[test]
+    fn slot_histogram_is_balanced_for_theorem1_schedules() {
+        let (schedule, _) = moore_setup();
+        let window = BoxRegion::square_window(2, 9).unwrap();
+        let hist = slot_histogram(&schedule, &window).unwrap();
+        assert_eq!(hist.len(), 9);
+        assert_eq!(hist.iter().sum::<usize>(), 81);
+        // Over a window aligned with the period every slot appears equally often.
+        assert!(hist.iter().all(|&c| c == 9));
+    }
+
+    #[test]
+    fn common_period_with_tiled_deployment() {
+        use latsched_tiling::{MultiTiling, Tetromino};
+        let tiling = MultiTiling::new(
+            vec![Tetromino::O.prototile()],
+            Sublattice::scaled(2, 2).unwrap(),
+            vec![vec![Point::xy(0, 0)]],
+        )
+        .unwrap();
+        let deployment = Deployment::Tiled(tiling.clone());
+        let schedule = crate::theorem2::schedule_from_multi_tiling(&tiling);
+        let report = verify_schedule(&schedule, &deployment).unwrap();
+        assert!(report.collision_free());
+    }
+}

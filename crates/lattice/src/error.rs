@@ -1,0 +1,110 @@
+//! Error types for lattice operations.
+
+use std::fmt;
+
+/// Errors produced by lattice, matrix and sublattice operations.
+///
+/// All fallible public functions in this crate return [`LatticeError`] inside a
+/// [`Result`]; the variants carry enough context to report the failure without
+/// needing access to the inputs.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum LatticeError {
+    /// Two operands had different dimensions (e.g. adding a 2-D and a 3-D point).
+    DimensionMismatch {
+        /// Dimension expected by the receiver.
+        expected: usize,
+        /// Dimension actually supplied.
+        found: usize,
+    },
+    /// A lattice or sublattice basis was singular (its vectors are linearly
+    /// dependent over the rationals), so it does not span a full-rank lattice.
+    SingularBasis,
+    /// An empty set of basis vectors was supplied where at least one is required.
+    EmptyBasis,
+    /// A matrix operation received matrices of incompatible shapes.
+    ShapeMismatch {
+        /// Rows × columns of the left operand.
+        left: (usize, usize),
+        /// Rows × columns of the right operand.
+        right: (usize, usize),
+    },
+    /// An arithmetic operation overflowed the fixed-width integer range.
+    Overflow,
+    /// A dimension of zero (or otherwise unusable) was requested.
+    InvalidDimension(usize),
+    /// A requested index (e.g. sublattice index) was zero or otherwise invalid.
+    InvalidIndex(u64),
+    /// A point lies outside the region or structure it was queried against.
+    OutOfRange,
+}
+
+impl fmt::Display for LatticeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            LatticeError::DimensionMismatch { expected, found } => {
+                write!(f, "dimension mismatch: expected {expected}, found {found}")
+            }
+            LatticeError::SingularBasis => write!(f, "basis vectors are linearly dependent"),
+            LatticeError::EmptyBasis => write!(f, "basis must contain at least one vector"),
+            LatticeError::ShapeMismatch { left, right } => write!(
+                f,
+                "matrix shape mismatch: {}x{} incompatible with {}x{}",
+                left.0, left.1, right.0, right.1
+            ),
+            LatticeError::Overflow => write!(f, "integer overflow in lattice arithmetic"),
+            LatticeError::InvalidDimension(d) => write!(f, "invalid lattice dimension {d}"),
+            LatticeError::InvalidIndex(m) => write!(f, "invalid sublattice index {m}"),
+            LatticeError::OutOfRange => write!(f, "point is out of range for this operation"),
+        }
+    }
+}
+
+impl std::error::Error for LatticeError {}
+
+/// Convenience alias used throughout the crate.
+pub type Result<T> = std::result::Result<T, LatticeError>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages_are_lowercase_and_informative() {
+        let cases: Vec<(LatticeError, &str)> = vec![
+            (
+                LatticeError::DimensionMismatch {
+                    expected: 2,
+                    found: 3,
+                },
+                "dimension mismatch: expected 2, found 3",
+            ),
+            (LatticeError::SingularBasis, "basis vectors are linearly dependent"),
+            (LatticeError::EmptyBasis, "basis must contain at least one vector"),
+            (LatticeError::Overflow, "integer overflow in lattice arithmetic"),
+            (LatticeError::InvalidDimension(0), "invalid lattice dimension 0"),
+            (LatticeError::InvalidIndex(0), "invalid sublattice index 0"),
+            (LatticeError::OutOfRange, "point is out of range for this operation"),
+        ];
+        for (err, expected) in cases {
+            assert_eq!(err.to_string(), expected);
+        }
+    }
+
+    #[test]
+    fn shape_mismatch_message_mentions_both_shapes() {
+        let err = LatticeError::ShapeMismatch {
+            left: (2, 3),
+            right: (4, 5),
+        };
+        let msg = err.to_string();
+        assert!(msg.contains("2x3"));
+        assert!(msg.contains("4x5"));
+    }
+
+    #[test]
+    fn error_is_send_sync_and_std_error() {
+        fn assert_traits<T: std::error::Error + Send + Sync + 'static>() {}
+        assert_traits::<LatticeError>();
+    }
+}

@@ -1,0 +1,221 @@
+//! Hermite normal form of full-rank integer matrices.
+//!
+//! The library uses the *row-style* Hermite normal form (HNF): for a nonsingular
+//! `d × d` integer matrix `B` whose rows generate a sublattice `Λ ⊆ Z^d`, the HNF is
+//! the unique matrix `H` with the same row span over `Z` such that
+//!
+//! * `H` is upper triangular with strictly positive diagonal entries, and
+//! * every entry above a diagonal pivot is reduced: `0 ≤ H[r][c] < H[c][c]` for `r < c`.
+//!
+//! The HNF is the workhorse behind sublattice membership tests, canonical coset
+//! representatives and coset enumeration (see [`crate::sublattice`]).
+
+use crate::error::{LatticeError, Result};
+use crate::matrix::IntMatrix;
+
+/// Floor division (rounds toward negative infinity), e.g. `floor_div(-3, 2) == -2`.
+pub(crate) fn floor_div(a: i64, b: i64) -> i64 {
+    debug_assert!(b > 0, "floor_div expects a positive divisor");
+    a.div_euclid(b)
+}
+
+/// Computes the row-style Hermite normal form of a nonsingular square matrix.
+///
+/// The returned matrix generates the same sublattice of `Z^d` (same integer row span)
+/// as the input.
+///
+/// # Errors
+///
+/// Returns [`LatticeError::SingularBasis`] if the matrix is singular,
+/// [`LatticeError::ShapeMismatch`] if it is not square, and
+/// [`LatticeError::Overflow`] if intermediate arithmetic overflows.
+///
+/// # Examples
+///
+/// ```
+/// use latsched_lattice::{hermite_normal_form, IntMatrix};
+///
+/// let b = IntMatrix::from_rows(vec![vec![2, 4], vec![1, 3]]).unwrap();
+/// let h = hermite_normal_form(&b).unwrap();
+/// assert!(h.is_upper_triangular());
+/// assert_eq!(h.determinant().unwrap().abs(), b.determinant().unwrap().abs());
+/// ```
+pub fn hermite_normal_form(matrix: &IntMatrix) -> Result<IntMatrix> {
+    if !matrix.is_square() {
+        return Err(LatticeError::ShapeMismatch {
+            left: (matrix.rows(), matrix.cols()),
+            right: (matrix.cols(), matrix.cols()),
+        });
+    }
+    let n = matrix.rows();
+    let det = matrix.determinant()?;
+    if det == 0 {
+        return Err(LatticeError::SingularBasis);
+    }
+    let mut h = matrix.clone();
+
+    for col in 0..n {
+        // Gcd-eliminate entries below the pivot position (rows col+1..n) in `col`.
+        loop {
+            // Choose the row in col..n with the smallest nonzero absolute value in
+            // this column as the pivot row.
+            let pivot_row = (col..n)
+                .filter(|&r| h.get(r, col) != 0)
+                .min_by_key(|&r| h.get(r, col).unsigned_abs());
+            let pivot_row = match pivot_row {
+                Some(r) => r,
+                // A zero column below the diagonal contradicts nonsingularity.
+                None => return Err(LatticeError::SingularBasis),
+            };
+            h.swap_rows(col, pivot_row);
+            let pivot = h.get(col, col);
+            let mut all_zero_below = true;
+            for r in col + 1..n {
+                let entry = h.get(r, col);
+                if entry != 0 {
+                    let q = entry / pivot; // truncated division; loop re-reduces remainders
+                    h.add_scaled_row(r, col, -q);
+                    if h.get(r, col) != 0 {
+                        all_zero_below = false;
+                    }
+                }
+            }
+            if all_zero_below {
+                break;
+            }
+        }
+        if h.get(col, col) < 0 {
+            h.negate_row(col);
+        }
+        // Reduce the entries above the pivot into [0, pivot).
+        let pivot = h.get(col, col);
+        for r in 0..col {
+            let q = floor_div(h.get(r, col), pivot);
+            if q != 0 {
+                h.add_scaled_row(r, col, -q);
+            }
+        }
+    }
+    debug_assert!(h.is_upper_triangular());
+    Ok(h)
+}
+
+/// Returns `true` if `h` is in row-style Hermite normal form (upper triangular,
+/// positive diagonal, entries above each pivot reduced modulo the pivot).
+pub fn is_hermite_normal_form(h: &IntMatrix) -> bool {
+    if !h.is_square() || !h.is_upper_triangular() {
+        return false;
+    }
+    let n = h.rows();
+    for c in 0..n {
+        let pivot = h.get(c, c);
+        if pivot <= 0 {
+            return false;
+        }
+        for r in 0..c {
+            let e = h.get(r, c);
+            if e < 0 || e >= pivot {
+                return false;
+            }
+        }
+    }
+    true
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn hnf(rows: Vec<Vec<i64>>) -> IntMatrix {
+        hermite_normal_form(&IntMatrix::from_rows(rows).unwrap()).unwrap()
+    }
+
+    #[test]
+    fn identity_is_its_own_hnf() {
+        let h = hnf(vec![vec![1, 0], vec![0, 1]]);
+        assert_eq!(h, IntMatrix::identity(2));
+        assert!(is_hermite_normal_form(&h));
+    }
+
+    #[test]
+    fn hnf_preserves_determinant_up_to_sign() {
+        let m = IntMatrix::from_rows(vec![vec![3, 1], vec![1, 3]]).unwrap();
+        let h = hermite_normal_form(&m).unwrap();
+        assert_eq!(h.determinant().unwrap(), m.determinant().unwrap().abs());
+        assert!(is_hermite_normal_form(&h));
+    }
+
+    #[test]
+    fn hnf_of_negative_rows() {
+        let h = hnf(vec![vec![-2, 0], vec![0, -3]]);
+        assert_eq!(h, IntMatrix::diagonal(&[2, 3]));
+    }
+
+    #[test]
+    fn hnf_reduces_entries_above_pivot() {
+        // Rows generate the sublattice {(x, y) : x ≡ y (mod 5), x arbitrary}… really
+        // just check the canonical form has 0 ≤ entry < pivot above the diagonal.
+        let h = hnf(vec![vec![1, 7], vec![0, 5]]);
+        assert_eq!(h, IntMatrix::from_rows(vec![vec![1, 2], vec![0, 5]]).unwrap());
+    }
+
+    #[test]
+    fn hnf_rejects_singular_matrices() {
+        let m = IntMatrix::from_rows(vec![vec![1, 2], vec![2, 4]]).unwrap();
+        assert_eq!(
+            hermite_normal_form(&m).unwrap_err(),
+            LatticeError::SingularBasis
+        );
+    }
+
+    #[test]
+    fn hnf_rejects_non_square() {
+        let m = IntMatrix::from_rows(vec![vec![1, 2, 3]]).unwrap();
+        assert!(hermite_normal_form(&m).is_err());
+    }
+
+    #[test]
+    fn hnf_three_dimensional() {
+        let m = IntMatrix::from_rows(vec![
+            vec![2, 3, 5],
+            vec![4, 1, 0],
+            vec![0, 0, 7],
+        ])
+        .unwrap();
+        let h = hermite_normal_form(&m).unwrap();
+        assert!(is_hermite_normal_form(&h));
+        assert_eq!(
+            h.determinant().unwrap(),
+            m.determinant().unwrap().abs()
+        );
+    }
+
+    #[test]
+    fn hnf_is_canonical_for_equivalent_bases() {
+        // Two bases of the same sublattice (index 4 in Z^2): {(2,0),(0,2)} and
+        // {(2,2),(0,2)} — wait, (2,2),(0,2) spans {(2a, 2a+2b)} = {(x,y): x,y even}? yes.
+        let h1 = hnf(vec![vec![2, 0], vec![0, 2]]);
+        let h2 = hnf(vec![vec![2, 2], vec![0, 2]]);
+        let h3 = hnf(vec![vec![2, 0], vec![2, 2]]);
+        assert_eq!(h1, h2);
+        assert_eq!(h1, h3);
+    }
+
+    #[test]
+    fn floor_div_rounds_toward_negative_infinity() {
+        assert_eq!(floor_div(7, 2), 3);
+        assert_eq!(floor_div(-7, 2), -4);
+        assert_eq!(floor_div(-4, 2), -2);
+        assert_eq!(floor_div(0, 5), 0);
+    }
+
+    #[test]
+    fn is_hnf_rejects_bad_forms() {
+        let neg_pivot = IntMatrix::from_rows(vec![vec![-1, 0], vec![0, 1]]).unwrap();
+        assert!(!is_hermite_normal_form(&neg_pivot));
+        let unreduced = IntMatrix::from_rows(vec![vec![1, 5], vec![0, 3]]).unwrap();
+        assert!(!is_hermite_normal_form(&unreduced));
+        let lower = IntMatrix::from_rows(vec![vec![1, 0], vec![1, 1]]).unwrap();
+        assert!(!is_hermite_normal_form(&lower));
+    }
+}

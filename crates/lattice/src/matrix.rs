@@ -1,0 +1,513 @@
+//! Dense integer matrices with exact arithmetic.
+//!
+//! The lattice algorithms in this crate (sublattice indices, Hermite and Smith normal
+//! forms, coset arithmetic) require *exact* integer linear algebra. [`IntMatrix`] is a
+//! small dense row-major matrix over `i64` whose potentially-overflowing operations
+//! (determinants, products) are carried out in `i128` and checked.
+
+use crate::error::{LatticeError, Result};
+use crate::point::Point;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// A dense `rows × cols` matrix over `i64`, stored row-major.
+///
+/// # Examples
+///
+/// ```
+/// use latsched_lattice::IntMatrix;
+///
+/// let m = IntMatrix::from_rows(vec![vec![2, 1], vec![0, 3]]).unwrap();
+/// assert_eq!(m.determinant().unwrap(), 6);
+/// ```
+#[derive(Clone, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct IntMatrix {
+    rows: usize,
+    cols: usize,
+    data: Vec<i64>,
+}
+
+impl IntMatrix {
+    /// Creates a matrix of zeros.
+    pub fn zeros(rows: usize, cols: usize) -> Self {
+        IntMatrix {
+            rows,
+            cols,
+            data: vec![0; rows * cols],
+        }
+    }
+
+    /// Creates the `n × n` identity matrix.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use latsched_lattice::IntMatrix;
+    /// assert_eq!(IntMatrix::identity(3).determinant().unwrap(), 1);
+    /// ```
+    pub fn identity(n: usize) -> Self {
+        let mut m = IntMatrix::zeros(n, n);
+        for i in 0..n {
+            m.set(i, i, 1);
+        }
+        m
+    }
+
+    /// Builds a matrix from row vectors.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`LatticeError::EmptyBasis`] if `rows` is empty and
+    /// [`LatticeError::ShapeMismatch`] if the rows have differing lengths.
+    pub fn from_rows(rows: Vec<Vec<i64>>) -> Result<Self> {
+        if rows.is_empty() {
+            return Err(LatticeError::EmptyBasis);
+        }
+        let cols = rows[0].len();
+        if cols == 0 {
+            return Err(LatticeError::InvalidDimension(0));
+        }
+        for r in &rows {
+            if r.len() != cols {
+                return Err(LatticeError::ShapeMismatch {
+                    left: (rows.len(), cols),
+                    right: (rows.len(), r.len()),
+                });
+            }
+        }
+        let n = rows.len();
+        let data = rows.into_iter().flatten().collect();
+        Ok(IntMatrix { rows: n, cols, data })
+    }
+
+    /// Builds a square diagonal matrix with the given diagonal entries.
+    pub fn diagonal(diag: &[i64]) -> Self {
+        let n = diag.len();
+        let mut m = IntMatrix::zeros(n, n);
+        for (i, &d) in diag.iter().enumerate() {
+            m.set(i, i, d);
+        }
+        m
+    }
+
+    /// Builds a matrix whose rows are the coordinates of the given points.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`LatticeError::EmptyBasis`] if `points` is empty and
+    /// [`LatticeError::ShapeMismatch`] if the points have differing dimensions.
+    pub fn from_points(points: &[Point]) -> Result<Self> {
+        IntMatrix::from_rows(points.iter().map(|p| p.coords().to_vec()).collect())
+    }
+
+    /// Number of rows.
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Number of columns.
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// Returns `true` if the matrix is square.
+    pub fn is_square(&self) -> bool {
+        self.rows == self.cols
+    }
+
+    /// Returns the entry at `(row, col)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the indices are out of bounds.
+    pub fn get(&self, row: usize, col: usize) -> i64 {
+        assert!(row < self.rows && col < self.cols, "index out of bounds");
+        self.data[row * self.cols + col]
+    }
+
+    /// Sets the entry at `(row, col)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the indices are out of bounds.
+    pub fn set(&mut self, row: usize, col: usize, value: i64) {
+        assert!(row < self.rows && col < self.cols, "index out of bounds");
+        self.data[row * self.cols + col] = value;
+    }
+
+    /// Returns row `r` as a slice.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `r` is out of bounds.
+    pub fn row(&self, r: usize) -> &[i64] {
+        assert!(r < self.rows, "row index out of bounds");
+        &self.data[r * self.cols..(r + 1) * self.cols]
+    }
+
+    /// Returns row `r` as a [`Point`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if `r` is out of bounds.
+    pub fn row_point(&self, r: usize) -> Point {
+        Point::new(self.row(r).to_vec())
+    }
+
+    /// Returns all rows as points.
+    pub fn rows_as_points(&self) -> Vec<Point> {
+        (0..self.rows).map(|r| self.row_point(r)).collect()
+    }
+
+    /// Swaps two rows in place.
+    pub fn swap_rows(&mut self, a: usize, b: usize) {
+        if a == b {
+            return;
+        }
+        for c in 0..self.cols {
+            let tmp = self.get(a, c);
+            self.set(a, c, self.get(b, c));
+            self.set(b, c, tmp);
+        }
+    }
+
+    /// Adds `factor` times row `src` to row `dst` in place.
+    ///
+    /// # Panics
+    ///
+    /// Panics on integer overflow of any entry.
+    pub fn add_scaled_row(&mut self, dst: usize, src: usize, factor: i64) {
+        for c in 0..self.cols {
+            let v = self
+                .get(dst, c)
+                .checked_add(
+                    self.get(src, c)
+                        .checked_mul(factor)
+                        .expect("row operation overflow"),
+                )
+                .expect("row operation overflow");
+            self.set(dst, c, v);
+        }
+    }
+
+    /// Multiplies row `r` by `-1` in place.
+    pub fn negate_row(&mut self, r: usize) {
+        for c in 0..self.cols {
+            self.set(r, c, -self.get(r, c));
+        }
+    }
+
+    /// Swaps two columns in place.
+    pub fn swap_cols(&mut self, a: usize, b: usize) {
+        if a == b {
+            return;
+        }
+        for r in 0..self.rows {
+            let tmp = self.get(r, a);
+            self.set(r, a, self.get(r, b));
+            self.set(r, b, tmp);
+        }
+    }
+
+    /// Adds `factor` times column `src` to column `dst` in place.
+    ///
+    /// # Panics
+    ///
+    /// Panics on integer overflow of any entry.
+    pub fn add_scaled_col(&mut self, dst: usize, src: usize, factor: i64) {
+        for r in 0..self.rows {
+            let v = self
+                .get(r, dst)
+                .checked_add(
+                    self.get(r, src)
+                        .checked_mul(factor)
+                        .expect("column operation overflow"),
+                )
+                .expect("column operation overflow");
+            self.set(r, dst, v);
+        }
+    }
+
+    /// Multiplies column `c` by `-1` in place.
+    pub fn negate_col(&mut self, c: usize) {
+        for r in 0..self.rows {
+            self.set(r, c, -self.get(r, c));
+        }
+    }
+
+    /// Returns the transpose.
+    pub fn transpose(&self) -> IntMatrix {
+        let mut t = IntMatrix::zeros(self.cols, self.rows);
+        for r in 0..self.rows {
+            for c in 0..self.cols {
+                t.set(c, r, self.get(r, c));
+            }
+        }
+        t
+    }
+
+    /// Matrix product `self * other`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`LatticeError::ShapeMismatch`] if the inner dimensions differ and
+    /// [`LatticeError::Overflow`] if any entry of the product overflows `i64`.
+    pub fn multiply(&self, other: &IntMatrix) -> Result<IntMatrix> {
+        if self.cols != other.rows {
+            return Err(LatticeError::ShapeMismatch {
+                left: (self.rows, self.cols),
+                right: (other.rows, other.cols),
+            });
+        }
+        let mut out = IntMatrix::zeros(self.rows, other.cols);
+        for r in 0..self.rows {
+            for c in 0..other.cols {
+                let mut acc: i128 = 0;
+                for k in 0..self.cols {
+                    acc += (self.get(r, k) as i128) * (other.get(k, c) as i128);
+                }
+                let v = i64::try_from(acc).map_err(|_| LatticeError::Overflow)?;
+                out.set(r, c, v);
+            }
+        }
+        Ok(out)
+    }
+
+    /// Applies the matrix (acting on row vectors from the left: `p ↦ p · M`).
+    ///
+    /// This is the natural action when the matrix rows are basis vectors and `p`
+    /// holds integer coefficients.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`LatticeError::DimensionMismatch`] if `p.dim() != self.rows()` and
+    /// [`LatticeError::Overflow`] on overflow.
+    pub fn apply_row_vector(&self, p: &Point) -> Result<Point> {
+        if p.dim() != self.rows {
+            return Err(LatticeError::DimensionMismatch {
+                expected: self.rows,
+                found: p.dim(),
+            });
+        }
+        let mut out = vec![0i64; self.cols];
+        for (c, slot) in out.iter_mut().enumerate() {
+            let mut acc: i128 = 0;
+            for r in 0..self.rows {
+                acc += (p.coord(r) as i128) * (self.get(r, c) as i128);
+            }
+            *slot = i64::try_from(acc).map_err(|_| LatticeError::Overflow)?;
+        }
+        Ok(Point::new(out))
+    }
+
+    /// Exact determinant of a square matrix via the Bareiss fraction-free algorithm.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`LatticeError::ShapeMismatch`] if the matrix is not square and
+    /// [`LatticeError::Overflow`] if an intermediate value exceeds `i128`.
+    pub fn determinant(&self) -> Result<i128> {
+        if !self.is_square() {
+            return Err(LatticeError::ShapeMismatch {
+                left: (self.rows, self.cols),
+                right: (self.cols, self.rows),
+            });
+        }
+        let n = self.rows;
+        if n == 0 {
+            return Ok(1);
+        }
+        let mut a: Vec<Vec<i128>> = (0..n)
+            .map(|r| self.row(r).iter().map(|&v| v as i128).collect())
+            .collect();
+        let mut sign: i128 = 1;
+        let mut prev: i128 = 1;
+        for k in 0..n - 1 {
+            if a[k][k] == 0 {
+                // Pivot: find a row below with nonzero entry in column k.
+                let swap = (k + 1..n).find(|&r| a[r][k] != 0);
+                match swap {
+                    Some(r) => {
+                        a.swap(k, r);
+                        sign = -sign;
+                    }
+                    None => return Ok(0),
+                }
+            }
+            for i in k + 1..n {
+                for j in k + 1..n {
+                    let num = a[i][j]
+                        .checked_mul(a[k][k])
+                        .and_then(|x| x.checked_sub(a[i][k].checked_mul(a[k][j])?))
+                        .ok_or(LatticeError::Overflow)?;
+                    a[i][j] = num / prev;
+                }
+                a[i][k] = 0;
+            }
+            prev = a[k][k];
+        }
+        Ok(sign * a[n - 1][n - 1])
+    }
+
+    /// Returns `true` if the matrix is upper triangular (all entries strictly below
+    /// the main diagonal are zero).
+    pub fn is_upper_triangular(&self) -> bool {
+        for r in 0..self.rows {
+            for c in 0..r.min(self.cols) {
+                if self.get(r, c) != 0 {
+                    return false;
+                }
+            }
+        }
+        true
+    }
+}
+
+impl fmt::Debug for IntMatrix {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "IntMatrix {}x{} [", self.rows, self.cols)?;
+        for r in 0..self.rows {
+            writeln!(f, "  {:?}", self.row(r))?;
+        }
+        write!(f, "]")
+    }
+}
+
+impl fmt::Display for IntMatrix {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        for r in 0..self.rows {
+            for c in 0..self.cols {
+                if c > 0 {
+                    write!(f, " ")?;
+                }
+                write!(f, "{:4}", self.get(r, c))?;
+            }
+            if r + 1 < self.rows {
+                writeln!(f)?;
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn construction_and_accessors() {
+        let m = IntMatrix::from_rows(vec![vec![1, 2], vec![3, 4]]).unwrap();
+        assert_eq!(m.rows(), 2);
+        assert_eq!(m.cols(), 2);
+        assert_eq!(m.get(0, 1), 2);
+        assert_eq!(m.row(1), &[3, 4]);
+        assert_eq!(m.row_point(0), Point::xy(1, 2));
+        assert!(m.is_square());
+    }
+
+    #[test]
+    fn from_rows_rejects_bad_shapes() {
+        assert_eq!(
+            IntMatrix::from_rows(vec![]).unwrap_err(),
+            LatticeError::EmptyBasis
+        );
+        assert!(IntMatrix::from_rows(vec![vec![1, 2], vec![3]]).is_err());
+        assert!(IntMatrix::from_rows(vec![vec![]]).is_err());
+    }
+
+    #[test]
+    fn identity_and_diagonal() {
+        let id = IntMatrix::identity(3);
+        assert_eq!(id.get(0, 0), 1);
+        assert_eq!(id.get(0, 1), 0);
+        let d = IntMatrix::diagonal(&[2, 5]);
+        assert_eq!(d.determinant().unwrap(), 10);
+    }
+
+    #[test]
+    fn determinant_small_cases() {
+        let m = IntMatrix::from_rows(vec![vec![1, 2], vec![3, 4]]).unwrap();
+        assert_eq!(m.determinant().unwrap(), -2);
+        let singular = IntMatrix::from_rows(vec![vec![1, 2], vec![2, 4]]).unwrap();
+        assert_eq!(singular.determinant().unwrap(), 0);
+        let m3 = IntMatrix::from_rows(vec![vec![2, 0, 1], vec![1, 3, 2], vec![0, 1, 4]]).unwrap();
+        // 2*(12-2) - 0 + 1*(1-0) = 21
+        assert_eq!(m3.determinant().unwrap(), 21);
+    }
+
+    #[test]
+    fn determinant_needs_pivoting() {
+        let m = IntMatrix::from_rows(vec![vec![0, 1], vec![1, 0]]).unwrap();
+        assert_eq!(m.determinant().unwrap(), -1);
+        let m3 =
+            IntMatrix::from_rows(vec![vec![0, 0, 1], vec![0, 1, 0], vec![1, 0, 0]]).unwrap();
+        assert_eq!(m3.determinant().unwrap(), -1);
+    }
+
+    #[test]
+    fn determinant_rejects_non_square() {
+        let m = IntMatrix::from_rows(vec![vec![1, 2, 3]]).unwrap();
+        assert!(m.determinant().is_err());
+    }
+
+    #[test]
+    fn multiply_and_transpose() {
+        let a = IntMatrix::from_rows(vec![vec![1, 2], vec![0, 1]]).unwrap();
+        let b = IntMatrix::from_rows(vec![vec![3, 0], vec![1, 1]]).unwrap();
+        let ab = a.multiply(&b).unwrap();
+        assert_eq!(ab, IntMatrix::from_rows(vec![vec![5, 2], vec![1, 1]]).unwrap());
+        assert_eq!(
+            a.transpose(),
+            IntMatrix::from_rows(vec![vec![1, 0], vec![2, 1]]).unwrap()
+        );
+        let bad = IntMatrix::from_rows(vec![vec![1, 2, 3]]).unwrap();
+        assert!(a.multiply(&bad).is_err());
+    }
+
+    #[test]
+    fn apply_row_vector_acts_by_basis_combination() {
+        // Rows are basis vectors (2,1) and (0,3); coefficients (1,2) give (2,7).
+        let b = IntMatrix::from_rows(vec![vec![2, 1], vec![0, 3]]).unwrap();
+        let p = b.apply_row_vector(&Point::xy(1, 2)).unwrap();
+        assert_eq!(p, Point::xy(2, 7));
+        assert!(b.apply_row_vector(&Point::xyz(1, 2, 3)).is_err());
+    }
+
+    #[test]
+    fn row_and_column_operations() {
+        let mut m = IntMatrix::from_rows(vec![vec![1, 2], vec![3, 4]]).unwrap();
+        m.swap_rows(0, 1);
+        assert_eq!(m.row(0), &[3, 4]);
+        m.add_scaled_row(0, 1, -3);
+        assert_eq!(m.row(0), &[0, -2]);
+        m.negate_row(0);
+        assert_eq!(m.row(0), &[0, 2]);
+        m.swap_cols(0, 1);
+        assert_eq!(m.row(0), &[2, 0]);
+        m.add_scaled_col(1, 0, 1);
+        assert_eq!(m.get(0, 1), 2);
+        m.negate_col(0);
+        assert_eq!(m.get(0, 0), -2);
+    }
+
+    #[test]
+    fn upper_triangular_detection() {
+        let ut = IntMatrix::from_rows(vec![vec![2, 5], vec![0, 3]]).unwrap();
+        assert!(ut.is_upper_triangular());
+        let not = IntMatrix::from_rows(vec![vec![2, 5], vec![1, 3]]).unwrap();
+        assert!(!not.is_upper_triangular());
+    }
+
+    #[test]
+    fn from_points_builds_basis_matrix() {
+        let m = IntMatrix::from_points(&[Point::xy(1, 0), Point::xy(2, 3)]).unwrap();
+        assert_eq!(m.determinant().unwrap(), 3);
+        assert_eq!(m.rows_as_points(), vec![Point::xy(1, 0), Point::xy(2, 3)]);
+    }
+
+    #[test]
+    fn determinant_of_empty_matrix_is_one() {
+        let m = IntMatrix::zeros(0, 0);
+        assert_eq!(m.determinant().unwrap(), 1);
+    }
+}

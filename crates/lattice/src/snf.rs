@@ -1,0 +1,197 @@
+//! Smith normal form of square integer matrices.
+//!
+//! For a nonsingular integer matrix `B` whose rows generate a sublattice `Λ ⊆ Z^d`,
+//! the Smith normal form yields the invariant factors `d_1 | d_2 | … | d_d` of the
+//! finite quotient group `Z^d / Λ ≅ Z_{d_1} × … × Z_{d_d}`. The product of the
+//! invariant factors equals the sublattice index `[Z^d : Λ]`.
+//!
+//! The schedules of the paper only need coset arithmetic (provided by the Hermite
+//! normal form in [`crate::hnf`]); the Smith form is exposed because it describes the
+//! *structure* of the quotient group, which is useful for reasoning about periodic
+//! schedules (the schedule of Theorem 1 is constant on cosets of `Λ`).
+
+use crate::error::{LatticeError, Result};
+use crate::matrix::IntMatrix;
+
+/// Computes the invariant factors `d_1 | d_2 | … | d_n` of a nonsingular square
+/// integer matrix (the diagonal of its Smith normal form), all positive.
+///
+/// # Errors
+///
+/// Returns [`LatticeError::ShapeMismatch`] if the matrix is not square,
+/// [`LatticeError::SingularBasis`] if it is singular, and
+/// [`LatticeError::Overflow`] if intermediate arithmetic overflows.
+///
+/// # Examples
+///
+/// ```
+/// use latsched_lattice::{smith_invariant_factors, IntMatrix};
+///
+/// // The sublattice 2Z × 4Z of Z² has quotient Z_2 × Z_4.
+/// let m = IntMatrix::diagonal(&[2, 4]);
+/// assert_eq!(smith_invariant_factors(&m).unwrap(), vec![2, 4]);
+///
+/// // A sublattice of index 4 whose quotient is cyclic Z_4.
+/// let m = IntMatrix::from_rows(vec![vec![1, 2], vec![-2, 0]]).unwrap();
+/// assert_eq!(smith_invariant_factors(&m).unwrap(), vec![1, 4]);
+/// ```
+pub fn smith_invariant_factors(matrix: &IntMatrix) -> Result<Vec<i64>> {
+    if !matrix.is_square() {
+        return Err(LatticeError::ShapeMismatch {
+            left: (matrix.rows(), matrix.cols()),
+            right: (matrix.cols(), matrix.cols()),
+        });
+    }
+    if matrix.determinant()? == 0 {
+        return Err(LatticeError::SingularBasis);
+    }
+    let n = matrix.rows();
+    let mut a = matrix.clone();
+    let mut factors = Vec::with_capacity(n);
+
+    for k in 0..n {
+        loop {
+            // Move a nonzero entry of minimal absolute value in the trailing
+            // submatrix to position (k, k).
+            let mut best: Option<(usize, usize)> = None;
+            for r in k..n {
+                for c in k..n {
+                    let v = a.get(r, c);
+                    if v != 0 {
+                        let better = match best {
+                            None => true,
+                            Some((br, bc)) => v.unsigned_abs() < a.get(br, bc).unsigned_abs(),
+                        };
+                        if better {
+                            best = Some((r, c));
+                        }
+                    }
+                }
+            }
+            let (pr, pc) = best.ok_or(LatticeError::SingularBasis)?;
+            a.swap_rows(k, pr);
+            a.swap_cols(k, pc);
+            if a.get(k, k) < 0 {
+                a.negate_row(k);
+            }
+            let pivot = a.get(k, k);
+
+            // Eliminate the rest of row k and column k by the pivot. If a remainder
+            // appears, loop again with the (smaller) remainder as the new pivot.
+            let mut clean = true;
+            for r in k + 1..n {
+                let v = a.get(r, k);
+                if v != 0 {
+                    let q = v.div_euclid(pivot);
+                    a.add_scaled_row(r, k, -q);
+                    if a.get(r, k) != 0 {
+                        clean = false;
+                    }
+                }
+            }
+            for c in k + 1..n {
+                let v = a.get(k, c);
+                if v != 0 {
+                    let q = v.div_euclid(pivot);
+                    a.add_scaled_col(c, k, -q);
+                    if a.get(k, c) != 0 {
+                        clean = false;
+                    }
+                }
+            }
+            if !clean {
+                continue;
+            }
+
+            // Divisibility fix-up: the pivot must divide every entry of the trailing
+            // submatrix; if some entry resists, add its row to row k and restart.
+            let mut offending = None;
+            'search: for r in k + 1..n {
+                for c in k + 1..n {
+                    if a.get(r, c) % pivot != 0 {
+                        offending = Some(r);
+                        break 'search;
+                    }
+                }
+            }
+            match offending {
+                Some(r) => {
+                    a.add_scaled_row(k, r, 1);
+                    continue;
+                }
+                None => {
+                    factors.push(pivot);
+                    break;
+                }
+            }
+        }
+    }
+    Ok(factors)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::hnf::hermite_normal_form;
+
+    #[test]
+    fn diagonal_matrices_with_divisibility_are_fixed_points() {
+        let m = IntMatrix::diagonal(&[1, 2, 6]);
+        assert_eq!(smith_invariant_factors(&m).unwrap(), vec![1, 2, 6]);
+    }
+
+    #[test]
+    fn diagonal_without_divisibility_gets_fixed() {
+        // diag(2, 3): quotient Z_2 × Z_3 ≅ Z_6, so invariant factors are 1, 6.
+        let m = IntMatrix::diagonal(&[2, 3]);
+        assert_eq!(smith_invariant_factors(&m).unwrap(), vec![1, 6]);
+        // diag(4, 6): gcd 2, lcm 12.
+        let m = IntMatrix::diagonal(&[4, 6]);
+        assert_eq!(smith_invariant_factors(&m).unwrap(), vec![2, 12]);
+    }
+
+    #[test]
+    fn product_of_invariant_factors_equals_index() {
+        let m = IntMatrix::from_rows(vec![vec![3, 1, 4], vec![1, 5, 9], vec![2, 6, 5]]).unwrap();
+        let det = m.determinant().unwrap().abs();
+        let factors = smith_invariant_factors(&m).unwrap();
+        let product: i128 = factors.iter().map(|&f| f as i128).product();
+        assert_eq!(product, det);
+        for w in factors.windows(2) {
+            assert_eq!(w[1] % w[0], 0, "invariant factors must divide in order");
+        }
+    }
+
+    #[test]
+    fn invariant_factors_agree_for_equivalent_bases() {
+        // Same sublattice described by two bases must give the same factors.
+        let b1 = IntMatrix::from_rows(vec![vec![2, 0], vec![0, 2]]).unwrap();
+        let b2 = IntMatrix::from_rows(vec![vec![2, 2], vec![0, 2]]).unwrap();
+        assert_eq!(
+            hermite_normal_form(&b1).unwrap(),
+            hermite_normal_form(&b2).unwrap()
+        );
+        assert_eq!(
+            smith_invariant_factors(&b1).unwrap(),
+            smith_invariant_factors(&b2).unwrap()
+        );
+    }
+
+    #[test]
+    fn rejects_singular_and_non_square() {
+        let singular = IntMatrix::from_rows(vec![vec![1, 1], vec![1, 1]]).unwrap();
+        assert_eq!(
+            smith_invariant_factors(&singular).unwrap_err(),
+            LatticeError::SingularBasis
+        );
+        let rect = IntMatrix::from_rows(vec![vec![1, 0]]).unwrap();
+        assert!(smith_invariant_factors(&rect).is_err());
+    }
+
+    #[test]
+    fn cyclic_quotient_example() {
+        // Rows (1, 2), (-2, 0): index 4, quotient cyclic of order 4.
+        let m = IntMatrix::from_rows(vec![vec![1, 2], vec![-2, 0]]).unwrap();
+        assert_eq!(smith_invariant_factors(&m).unwrap(), vec![1, 4]);
+    }
+}

@@ -1,0 +1,338 @@
+//! Voronoi cells of two-dimensional lattices and quasi-polyform geometry (Figure 4).
+//!
+//! The Voronoi region about a lattice point is the set of positions in `R²` closer to
+//! that point than to any other lattice point. For the square lattice it is a unit
+//! square, for the hexagonal lattice a regular hexagon. Unions of Voronoi cells about
+//! the points of a prototile are the *quasi-polyforms* (quasi-polyominoes /
+//! quasi-polyhexes) through which Section 3 of the paper connects lattice tilings to
+//! tilings of the plane.
+
+use crate::embedding::Embedding;
+use crate::error::{LatticeError, Result};
+use crate::point::Point;
+use crate::region::BoxRegion;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// A convex polygon in the plane given by its vertices in counter-clockwise order.
+#[derive(Clone, PartialEq, Debug, Serialize, Deserialize)]
+pub struct Polygon {
+    vertices: Vec<[f64; 2]>,
+}
+
+impl Polygon {
+    /// Creates a polygon from vertices in counter-clockwise order.
+    pub fn new(vertices: Vec<[f64; 2]>) -> Self {
+        Polygon { vertices }
+    }
+
+    /// The vertices in counter-clockwise order.
+    pub fn vertices(&self) -> &[[f64; 2]] {
+        &self.vertices
+    }
+
+    /// Number of vertices.
+    pub fn vertex_count(&self) -> usize {
+        self.vertices.len()
+    }
+
+    /// Signed area by the shoelace formula (positive for counter-clockwise order).
+    pub fn area(&self) -> f64 {
+        let n = self.vertices.len();
+        if n < 3 {
+            return 0.0;
+        }
+        let mut sum = 0.0;
+        for i in 0..n {
+            let [x1, y1] = self.vertices[i];
+            let [x2, y2] = self.vertices[(i + 1) % n];
+            sum += x1 * y2 - x2 * y1;
+        }
+        sum / 2.0
+    }
+
+    /// Returns `true` if the point is inside or on the boundary (within `eps`).
+    pub fn contains(&self, point: [f64; 2], eps: f64) -> bool {
+        let n = self.vertices.len();
+        if n < 3 {
+            return false;
+        }
+        for i in 0..n {
+            let [x1, y1] = self.vertices[i];
+            let [x2, y2] = self.vertices[(i + 1) % n];
+            let cross = (x2 - x1) * (point[1] - y1) - (y2 - y1) * (point[0] - x1);
+            if cross < -eps {
+                return false;
+            }
+        }
+        true
+    }
+
+    /// Returns the polygon translated by `(dx, dy)`.
+    pub fn translated(&self, dx: f64, dy: f64) -> Polygon {
+        Polygon {
+            vertices: self.vertices.iter().map(|[x, y]| [x + dx, y + dy]).collect(),
+        }
+    }
+
+    /// Euclidean distance from a point to the polygon (zero if the point is inside).
+    pub fn distance_to(&self, point: [f64; 2]) -> f64 {
+        if self.contains(point, 1e-12) {
+            return 0.0;
+        }
+        let n = self.vertices.len();
+        let mut best = f64::INFINITY;
+        for i in 0..n {
+            let a = self.vertices[i];
+            let b = self.vertices[(i + 1) % n];
+            best = best.min(point_segment_distance(point, a, b));
+        }
+        best
+    }
+
+    /// Clips the polygon by the half-plane `{x : n·x ≤ c}` (Sutherland–Hodgman).
+    fn clip_half_plane(&self, normal: [f64; 2], c: f64) -> Polygon {
+        let inside = |p: [f64; 2]| normal[0] * p[0] + normal[1] * p[1] <= c + 1e-12;
+        let n = self.vertices.len();
+        let mut out = Vec::new();
+        for i in 0..n {
+            let cur = self.vertices[i];
+            let next = self.vertices[(i + 1) % n];
+            let cur_in = inside(cur);
+            let next_in = inside(next);
+            if cur_in {
+                out.push(cur);
+            }
+            if cur_in != next_in {
+                // Intersection of segment (cur, next) with the line n·x = c.
+                let denom = normal[0] * (next[0] - cur[0]) + normal[1] * (next[1] - cur[1]);
+                if denom.abs() > 1e-15 {
+                    let t = (c - normal[0] * cur[0] - normal[1] * cur[1]) / denom;
+                    out.push([
+                        cur[0] + t * (next[0] - cur[0]),
+                        cur[1] + t * (next[1] - cur[1]),
+                    ]);
+                }
+            }
+        }
+        Polygon { vertices: out }
+    }
+
+    /// Removes nearly-duplicate consecutive vertices (artifacts of clipping).
+    fn deduplicated(mut self, eps: f64) -> Polygon {
+        let mut cleaned: Vec<[f64; 2]> = Vec::with_capacity(self.vertices.len());
+        for v in self.vertices.drain(..) {
+            let dup = cleaned
+                .last()
+                .map(|u| (u[0] - v[0]).abs() < eps && (u[1] - v[1]).abs() < eps)
+                .unwrap_or(false);
+            if !dup {
+                cleaned.push(v);
+            }
+        }
+        if cleaned.len() >= 2 {
+            let first = cleaned[0];
+            let last = *cleaned.last().unwrap();
+            if (first[0] - last[0]).abs() < eps && (first[1] - last[1]).abs() < eps {
+                cleaned.pop();
+            }
+        }
+        Polygon { vertices: cleaned }
+    }
+}
+
+/// Distance from a point to a line segment.
+fn point_segment_distance(p: [f64; 2], a: [f64; 2], b: [f64; 2]) -> f64 {
+    let ab = [b[0] - a[0], b[1] - a[1]];
+    let ap = [p[0] - a[0], p[1] - a[1]];
+    let len_sq = ab[0] * ab[0] + ab[1] * ab[1];
+    let t = if len_sq > 0.0 {
+        ((ap[0] * ab[0] + ap[1] * ab[1]) / len_sq).clamp(0.0, 1.0)
+    } else {
+        0.0
+    };
+    let closest = [a[0] + t * ab[0], a[1] + t * ab[1]];
+    ((p[0] - closest[0]).powi(2) + (p[1] - closest[1]).powi(2)).sqrt()
+}
+
+impl fmt::Display for Polygon {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "polygon[")?;
+        for (i, v) in self.vertices.iter().enumerate() {
+            if i > 0 {
+                write!(f, ", ")?;
+            }
+            write!(f, "({:.4}, {:.4})", v[0], v[1])?;
+        }
+        write!(f, "]")
+    }
+}
+
+/// Computes the Voronoi cell (as a convex polygon) of the origin of a two-dimensional
+/// lattice under the given embedding.
+///
+/// The cell is obtained by intersecting the perpendicular-bisector half-planes of the
+/// origin against all lattice points in a `[-2, 2]²` coordinate neighbourhood, which
+/// is sufficient for every reduced two-dimensional lattice basis used in this library.
+///
+/// # Errors
+///
+/// Returns [`LatticeError::InvalidDimension`] if the embedding is not two-dimensional.
+///
+/// # Examples
+///
+/// ```
+/// use latsched_lattice::{voronoi_cell, Embedding};
+///
+/// // Figure 4(a): the Voronoi cell of Z² is the unit square.
+/// let square = voronoi_cell(&Embedding::standard(2)).unwrap();
+/// assert_eq!(square.vertex_count(), 4);
+/// assert!((square.area() - 1.0).abs() < 1e-9);
+///
+/// // Figure 4(b): the Voronoi cell of the hexagonal lattice is a regular hexagon.
+/// let hex = voronoi_cell(&Embedding::hexagonal()).unwrap();
+/// assert_eq!(hex.vertex_count(), 6);
+/// assert!((hex.area() - 3f64.sqrt() / 2.0).abs() < 1e-9);
+/// ```
+pub fn voronoi_cell(embedding: &Embedding) -> Result<Polygon> {
+    if embedding.dim() != 2 {
+        return Err(LatticeError::InvalidDimension(embedding.dim()));
+    }
+    // Start from a generous bounding square.
+    let bound = embedding
+        .basis()
+        .iter()
+        .map(|v| v[0].abs() + v[1].abs())
+        .fold(0.0f64, f64::max)
+        * 4.0
+        + 1.0;
+    let mut cell = Polygon::new(vec![
+        [-bound, -bound],
+        [bound, -bound],
+        [bound, bound],
+        [-bound, bound],
+    ]);
+    for p in BoxRegion::centered(2, 2)?.iter() {
+        if p.is_zero() {
+            continue;
+        }
+        let v = embedding.to_euclidean(&p);
+        let norm_sq = v[0] * v[0] + v[1] * v[1];
+        // Half-plane: x · v ≤ |v|²/2 (closer to the origin than to v).
+        cell = cell.clip_half_plane([v[0], v[1]], norm_sq / 2.0);
+    }
+    Ok(cell.deduplicated(1e-9))
+}
+
+/// Computes the total area of the quasi-polyform formed by the union of Voronoi cells
+/// about the given (distinct) lattice points: `|points| ·` (area of one cell).
+///
+/// # Errors
+///
+/// Returns [`LatticeError::InvalidDimension`] if the embedding is not two-dimensional.
+pub fn quasi_polyform_area(embedding: &Embedding, points: &[Point]) -> Result<f64> {
+    let cell = voronoi_cell(embedding)?;
+    Ok(cell.area() * points.len() as f64)
+}
+
+/// Returns the Cartesian centres of the Voronoi cells for the given lattice points —
+/// i.e. the embedded positions — handy when rendering Figure 4-style pictures.
+pub fn cell_centers(embedding: &Embedding, points: &[Point]) -> Vec<[f64; 2]> {
+    points
+        .iter()
+        .map(|p| {
+            let v = embedding.to_euclidean(p);
+            [v[0], v[1]]
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn square_lattice_cell_is_unit_square() {
+        let cell = voronoi_cell(&Embedding::standard(2)).unwrap();
+        assert_eq!(cell.vertex_count(), 4);
+        assert!((cell.area() - 1.0).abs() < 1e-9);
+        assert!(cell.contains([0.0, 0.0], 1e-9));
+        assert!(cell.contains([0.5, 0.5], 1e-9));
+        assert!(!cell.contains([0.75, 0.0], 1e-9));
+    }
+
+    #[test]
+    fn hexagonal_lattice_cell_is_regular_hexagon() {
+        let cell = voronoi_cell(&Embedding::hexagonal()).unwrap();
+        assert_eq!(cell.vertex_count(), 6);
+        // Area equals the lattice co-volume √3/2.
+        assert!((cell.area() - 3f64.sqrt() / 2.0).abs() < 1e-9);
+        // All vertices are equidistant from the origin (regular hexagon).
+        let r: Vec<f64> = cell
+            .vertices()
+            .iter()
+            .map(|v| (v[0] * v[0] + v[1] * v[1]).sqrt())
+            .collect();
+        for w in r.windows(2) {
+            assert!((w[0] - w[1]).abs() < 1e-9);
+        }
+        assert!((r[0] - 1.0 / 3f64.sqrt()).abs() < 1e-9);
+    }
+
+    #[test]
+    fn voronoi_cell_area_equals_covolume_for_skewed_lattice() {
+        let emb = Embedding::new(vec![vec![2.0, 0.0], vec![0.5, 1.5]]).unwrap();
+        let cell = voronoi_cell(&emb).unwrap();
+        assert!((cell.area() - emb.volume().abs()).abs() < 1e-9);
+    }
+
+    #[test]
+    fn rejects_non_planar_embeddings() {
+        assert!(voronoi_cell(&Embedding::standard(3)).is_err());
+        assert!(quasi_polyform_area(&Embedding::standard(3), &[]).is_err());
+    }
+
+    #[test]
+    fn quasi_polyomino_area_is_cell_count() {
+        let pts = vec![Point::xy(0, 0), Point::xy(1, 0), Point::xy(0, 1)];
+        let area = quasi_polyform_area(&Embedding::standard(2), &pts).unwrap();
+        assert!((area - 3.0).abs() < 1e-9);
+        let hex_area = quasi_polyform_area(&Embedding::hexagonal(), &pts).unwrap();
+        assert!((hex_area - 3.0 * 3f64.sqrt() / 2.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn polygon_helpers() {
+        let tri = Polygon::new(vec![[0.0, 0.0], [1.0, 0.0], [0.0, 1.0]]);
+        assert!((tri.area() - 0.5).abs() < 1e-12);
+        assert!(tri.contains([0.2, 0.2], 1e-9));
+        assert!(!tri.contains([0.8, 0.8], 1e-9));
+        let degenerate = Polygon::new(vec![[0.0, 0.0], [1.0, 1.0]]);
+        assert_eq!(degenerate.area(), 0.0);
+        assert!(!degenerate.contains([0.0, 0.0], 1e-9));
+        assert!(tri.to_string().starts_with("polygon["));
+    }
+
+    #[test]
+    fn polygon_distance_and_translation() {
+        let square = voronoi_cell(&Embedding::standard(2)).unwrap();
+        // Inside: distance zero.
+        assert_eq!(square.distance_to([0.2, 0.1]), 0.0);
+        // Straight out of an edge.
+        assert!((square.distance_to([1.5, 0.0]) - 1.0).abs() < 1e-9);
+        // Out of a corner: distance to the corner (0.5, 0.5).
+        let d = square.distance_to([1.5, 1.5]);
+        assert!((d - 2f64.sqrt()).abs() < 1e-9);
+        // Translation moves the cell.
+        let moved = square.translated(10.0, 0.0);
+        assert_eq!(moved.distance_to([10.0, 0.0]), 0.0);
+        assert!(moved.distance_to([0.0, 0.0]) > 8.0);
+    }
+
+    #[test]
+    fn cell_centers_are_embedded_positions() {
+        let centers = cell_centers(&Embedding::hexagonal(), &[Point::xy(0, 1)]);
+        assert!((centers[0][0] - 0.5).abs() < 1e-12);
+        assert!((centers[0][1] - 3f64.sqrt() / 2.0).abs() < 1e-12);
+    }
+}

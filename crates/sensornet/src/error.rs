@@ -1,0 +1,113 @@
+//! Error types for the sensor-network simulator.
+
+use std::fmt;
+
+/// Errors produced when configuring or running simulations.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum SimError {
+    /// The scenario contains no sensors.
+    EmptyNetwork,
+    /// A node id was out of range.
+    NodeOutOfRange {
+        /// The offending node id.
+        node: usize,
+        /// The number of nodes.
+        nodes: usize,
+    },
+    /// A MAC protocol was given a slot assignment of the wrong length.
+    AssignmentLengthMismatch {
+        /// Expected number of entries (one per node).
+        expected: usize,
+        /// Actual number of entries.
+        found: usize,
+    },
+    /// A probability parameter was outside `[0, 1]`.
+    InvalidProbability(String),
+    /// An underlying scheduling computation failed.
+    Schedule(latsched_core::ScheduleError),
+    /// An underlying colouring computation failed.
+    Coloring(latsched_coloring::ColoringError),
+}
+
+impl fmt::Display for SimError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SimError::EmptyNetwork => write!(f, "scenario contains no sensors"),
+            SimError::NodeOutOfRange { node, nodes } => {
+                write!(f, "node {node} is out of range for a network of {nodes} nodes")
+            }
+            SimError::AssignmentLengthMismatch { expected, found } => write!(
+                f,
+                "slot assignment has {found} entries but the network has {expected} nodes"
+            ),
+            SimError::InvalidProbability(what) => {
+                write!(f, "probability out of range for {what}")
+            }
+            SimError::Schedule(e) => write!(f, "schedule error: {e}"),
+            SimError::Coloring(e) => write!(f, "colouring error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for SimError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            SimError::Schedule(e) => Some(e),
+            SimError::Coloring(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<latsched_core::ScheduleError> for SimError {
+    fn from(e: latsched_core::ScheduleError) -> Self {
+        SimError::Schedule(e)
+    }
+}
+
+impl From<latsched_coloring::ColoringError> for SimError {
+    fn from(e: latsched_coloring::ColoringError) -> Self {
+        SimError::Coloring(e)
+    }
+}
+
+/// Convenience alias used throughout the crate.
+pub type Result<T> = std::result::Result<T, SimError>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages() {
+        assert_eq!(SimError::EmptyNetwork.to_string(), "scenario contains no sensors");
+        assert!(SimError::NodeOutOfRange { node: 5, nodes: 3 }
+            .to_string()
+            .contains("5"));
+        assert!(SimError::AssignmentLengthMismatch {
+            expected: 4,
+            found: 2
+        }
+        .to_string()
+        .contains("4"));
+        assert!(SimError::InvalidProbability("aloha".into())
+            .to_string()
+            .contains("aloha"));
+    }
+
+    #[test]
+    fn conversions() {
+        let e: SimError = latsched_core::ScheduleError::EmptyDeployment.into();
+        assert!(std::error::Error::source(&e).is_some());
+        let e: SimError = latsched_coloring::ColoringError::EmptyGraph.into();
+        assert!(std::error::Error::source(&e).is_some());
+        assert!(std::error::Error::source(&SimError::EmptyNetwork).is_none());
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_traits<T: std::error::Error + Send + Sync + 'static>() {}
+        assert_traits::<SimError>();
+    }
+}

@@ -1,0 +1,55 @@
+//! # latsched-sensornet
+//!
+//! A slot-synchronous wireless sensor network simulator for the `latsched` library,
+//! built around exactly the interference model of *Scheduling Sensors by Tiling
+//! Lattices* (Klappenecker, Lee, Welch, 2008): the sensor at `t` affects the sensors
+//! at `t + N_t`, a sensor cannot receive while transmitting, and a sensor hearing two
+//! simultaneous in-range transmitters decodes nothing.
+//!
+//! The paper is a theory paper with no systems evaluation; this crate is the
+//! synthetic evaluation substrate (see DESIGN.md §5) used to demonstrate the paper's
+//! motivation quantitatively: collision-free tiling schedules deliver every broadcast
+//! with short periods, whereas TDMA scales poorly in latency and random access wastes
+//! energy on collisions.
+//!
+//! ## Example
+//!
+//! ```
+//! use latsched_sensornet::{grid_network, tiling_mac, run_simulation, SimConfig, TrafficModel};
+//! use latsched_tiling::shapes;
+//!
+//! let shape = shapes::moore();
+//! let network = grid_network(6, &shape)?;
+//! let config = SimConfig {
+//!     mac: tiling_mac(&shape)?,
+//!     traffic: TrafficModel::Periodic { period: 32 },
+//!     slots: 256,
+//!     ..SimConfig::default()
+//! };
+//! let metrics = run_simulation(&network, &config)?;
+//! assert_eq!(metrics.collisions, 0);
+//! # Ok::<(), Box<dyn std::error::Error>>(())
+//! ```
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+mod energy;
+mod error;
+mod mac;
+mod metrics;
+mod node;
+mod scenario;
+mod sim;
+mod traffic;
+
+pub use energy::{EnergyAccount, EnergyModel};
+pub use error::{Result, SimError};
+pub use mac::{CompiledMac, MacPolicy};
+pub use metrics::SimMetrics;
+pub use node::{Node, Packet};
+pub use scenario::{
+    aloha_mac, coloring_mac, grid_network, run_comparison, tiling_mac, ComparisonRow,
+};
+pub use sim::{run_simulation, Network, SimConfig};
+pub use traffic::TrafficModel;

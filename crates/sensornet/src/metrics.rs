@@ -1,0 +1,153 @@
+//! Simulation metrics.
+
+use crate::energy::EnergyAccount;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Aggregate results of one simulation run.
+#[derive(Clone, PartialEq, Debug, Default, Serialize, Deserialize)]
+pub struct SimMetrics {
+    /// Number of slots simulated.
+    pub slots_simulated: u64,
+    /// Number of nodes in the network.
+    pub nodes: usize,
+    /// Packets generated across all nodes.
+    pub packets_generated: u64,
+    /// Packets whose broadcast eventually reached every intended neighbour.
+    pub packets_delivered: u64,
+    /// Packets dropped after exhausting their retransmission budget.
+    pub packets_dropped: u64,
+    /// Packets still queued when the simulation ended.
+    pub packets_pending: u64,
+    /// Individual transmissions performed.
+    pub transmissions: u64,
+    /// Successful link-level receptions (one per neighbour that decoded a packet).
+    pub receptions: u64,
+    /// Link-level losses due to interference (a neighbour heard two or more
+    /// simultaneous in-range transmitters) or because the neighbour was itself
+    /// transmitting.
+    pub collisions: u64,
+    /// Sum of per-packet delivery latencies in slots (generation → successful
+    /// broadcast), over delivered packets.
+    pub total_latency: u64,
+    /// Energy spent by the whole network.
+    pub energy: EnergyAccount,
+}
+
+impl SimMetrics {
+    /// Fraction of generated packets that were fully delivered.
+    pub fn delivery_ratio(&self) -> f64 {
+        if self.packets_generated == 0 {
+            return 1.0;
+        }
+        self.packets_delivered as f64 / self.packets_generated as f64
+    }
+
+    /// Mean latency (in slots) of delivered packets.
+    pub fn mean_latency(&self) -> f64 {
+        if self.packets_delivered == 0 {
+            return 0.0;
+        }
+        self.total_latency as f64 / self.packets_delivered as f64
+    }
+
+    /// Total energy divided by the number of delivered packets (infinite if nothing
+    /// was delivered but energy was spent).
+    pub fn energy_per_delivered(&self) -> f64 {
+        if self.packets_delivered == 0 {
+            return if self.energy.total() > 0.0 {
+                f64::INFINITY
+            } else {
+                0.0
+            };
+        }
+        self.energy.total() / self.packets_delivered as f64
+    }
+
+    /// Average number of transmissions needed per delivered packet (retransmission
+    /// overhead; 1.0 is ideal).
+    pub fn transmissions_per_delivered(&self) -> f64 {
+        if self.packets_delivered == 0 {
+            return 0.0;
+        }
+        self.transmissions as f64 / self.packets_delivered as f64
+    }
+
+    /// Delivered packets per node per slot.
+    pub fn throughput(&self) -> f64 {
+        if self.slots_simulated == 0 || self.nodes == 0 {
+            return 0.0;
+        }
+        self.packets_delivered as f64 / (self.slots_simulated as f64 * self.nodes as f64)
+    }
+}
+
+impl fmt::Display for SimMetrics {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "delivery {:.3}, latency {:.1} slots, {:.2} tx/delivered, {:.2} energy/delivered, {} collisions",
+            self.delivery_ratio(),
+            self.mean_latency(),
+            self.transmissions_per_delivered(),
+            self.energy_per_delivered(),
+            self.collisions
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn derived_metrics() {
+        let metrics = SimMetrics {
+            slots_simulated: 100,
+            nodes: 10,
+            packets_generated: 50,
+            packets_delivered: 40,
+            packets_dropped: 5,
+            packets_pending: 5,
+            transmissions: 60,
+            receptions: 200,
+            collisions: 30,
+            total_latency: 120,
+            energy: EnergyAccount {
+                tx: 60.0,
+                rx: 20.0,
+                idle: 20.0,
+            },
+        };
+        assert!((metrics.delivery_ratio() - 0.8).abs() < 1e-12);
+        assert!((metrics.mean_latency() - 3.0).abs() < 1e-12);
+        assert!((metrics.energy_per_delivered() - 2.5).abs() < 1e-12);
+        assert!((metrics.transmissions_per_delivered() - 1.5).abs() < 1e-12);
+        assert!((metrics.throughput() - 0.04).abs() < 1e-12);
+        let s = metrics.to_string();
+        assert!(s.contains("delivery 0.800"));
+        assert!(s.contains("30 collisions"));
+    }
+
+    #[test]
+    fn degenerate_cases() {
+        let empty = SimMetrics::default();
+        assert_eq!(empty.delivery_ratio(), 1.0);
+        assert_eq!(empty.mean_latency(), 0.0);
+        assert_eq!(empty.energy_per_delivered(), 0.0);
+        assert_eq!(empty.transmissions_per_delivered(), 0.0);
+        assert_eq!(empty.throughput(), 0.0);
+
+        let wasted = SimMetrics {
+            packets_generated: 10,
+            energy: EnergyAccount {
+                tx: 1.0,
+                rx: 0.0,
+                idle: 0.0,
+            },
+            ..SimMetrics::default()
+        };
+        assert_eq!(wasted.delivery_ratio(), 0.0);
+        assert!(wasted.energy_per_delivered().is_infinite());
+    }
+}

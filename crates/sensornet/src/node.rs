@@ -1,0 +1,89 @@
+//! Per-node state of the simulator.
+
+use latsched_lattice::Point;
+use serde::{Deserialize, Serialize};
+use std::collections::VecDeque;
+
+/// A packet waiting in (or moving through) a node's transmit queue.
+#[derive(Clone, PartialEq, Eq, Debug, Serialize, Deserialize)]
+pub struct Packet {
+    /// Sequence number (unique per generating node).
+    pub sequence: u64,
+    /// The slot at which the packet was generated.
+    pub generated_at: u64,
+    /// How many times the packet has been transmitted so far.
+    pub attempts: u32,
+}
+
+/// The state of one sensor node.
+#[derive(Clone, PartialEq, Eq, Debug, Serialize, Deserialize)]
+pub struct Node {
+    /// The node's id (index into the network's node list).
+    pub id: usize,
+    /// The node's lattice position.
+    pub position: Point,
+    /// The ids of the nodes affected by this node's broadcasts (its intended
+    /// receivers), restricted to the finite network.
+    pub neighbours: Vec<usize>,
+    /// The transmit queue (front = oldest packet).
+    pub queue: VecDeque<Packet>,
+    /// Next sequence number to assign to a generated packet.
+    pub next_sequence: u64,
+}
+
+impl Node {
+    /// Creates an idle node.
+    pub fn new(id: usize, position: Point, neighbours: Vec<usize>) -> Self {
+        Node {
+            id,
+            position,
+            neighbours,
+            queue: VecDeque::new(),
+            next_sequence: 0,
+        }
+    }
+
+    /// Generates a new packet at the given slot and appends it to the queue.
+    pub fn generate_packet(&mut self, now: u64) {
+        let packet = Packet {
+            sequence: self.next_sequence,
+            generated_at: now,
+            attempts: 0,
+        };
+        self.next_sequence += 1;
+        self.queue.push_back(packet);
+    }
+
+    /// Whether the node has a packet ready to send.
+    pub fn has_packet(&self) -> bool {
+        !self.queue.is_empty()
+    }
+
+    /// Current queue length.
+    pub fn queue_len(&self) -> usize {
+        self.queue.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn packet_generation_and_queueing() {
+        let mut node = Node::new(3, Point::xy(1, 2), vec![0, 1]);
+        assert!(!node.has_packet());
+        assert_eq!(node.queue_len(), 0);
+        node.generate_packet(7);
+        node.generate_packet(9);
+        assert!(node.has_packet());
+        assert_eq!(node.queue_len(), 2);
+        assert_eq!(node.queue[0].sequence, 0);
+        assert_eq!(node.queue[1].sequence, 1);
+        assert_eq!(node.queue[0].generated_at, 7);
+        assert_eq!(node.queue[0].attempts, 0);
+        assert_eq!(node.id, 3);
+        assert_eq!(node.position, Point::xy(1, 2));
+        assert_eq!(node.neighbours, vec![0, 1]);
+    }
+}

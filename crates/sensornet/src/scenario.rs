@@ -1,0 +1,184 @@
+//! Ready-made scenarios and MAC constructors for the experiments.
+//!
+//! Experiment E7 compares the tiling schedule against TDMA, a distance-2-colouring
+//! schedule and slotted ALOHA on square-grid deployments across a range of offered
+//! loads. The helpers here build those networks and policies so examples, benchmarks
+//! and the harness all run exactly the same scenarios.
+
+use crate::error::{Result, SimError};
+use crate::mac::MacPolicy;
+use crate::metrics::SimMetrics;
+use crate::sim::{run_simulation, Network, SimConfig};
+use crate::traffic::TrafficModel;
+use latsched_coloring::{dsatur_coloring, InterferenceGraph};
+use latsched_core::{theorem1, Deployment, FiniteDeployment};
+use latsched_lattice::BoxRegion;
+use latsched_tiling::{find_tiling, Prototile};
+use serde::{Deserialize, Serialize};
+
+/// Builds the network of all sensors in a `side × side` window with a homogeneous
+/// interference neighbourhood.
+///
+/// # Errors
+///
+/// Propagates lattice and graph construction errors.
+pub fn grid_network(side: i64, prototile: &Prototile) -> Result<Network> {
+    let window = BoxRegion::square_window(2, side).map_err(|e| {
+        SimError::Schedule(latsched_core::ScheduleError::Lattice(e))
+    })?;
+    Network::from_window(&window, Deployment::Homogeneous(prototile.clone()))
+}
+
+/// The tiling-schedule MAC of Theorem 1 for a homogeneous prototile (the paper's
+/// proposal).
+///
+/// # Errors
+///
+/// Returns an error if the prototile is not exact (then no tiling schedule exists).
+pub fn tiling_mac(prototile: &Prototile) -> Result<MacPolicy> {
+    let tiling = find_tiling(prototile)
+        .map_err(|e| SimError::Schedule(latsched_core::ScheduleError::Tiling(e)))?
+        .ok_or_else(|| {
+            SimError::Schedule(latsched_core::ScheduleError::Tiling(
+                latsched_tiling::TilingError::CoverageGap {
+                    witness: "prototile admits no tiling".to_string(),
+                },
+            ))
+        })?;
+    Ok(MacPolicy::TilingSchedule(theorem1::schedule_from_tiling(
+        &tiling,
+    )))
+}
+
+/// A distance-2-colouring MAC computed with DSATUR on the network's finite conflict
+/// graph (the strongest polynomial baseline from the related work).
+///
+/// # Errors
+///
+/// Propagates graph and colouring errors.
+pub fn coloring_mac(network: &Network) -> Result<MacPolicy> {
+    let finite = FiniteDeployment::new(network.positions(), network.deployment().clone())?;
+    let graph = InterferenceGraph::from_deployment(&finite)?;
+    let coloring = dsatur_coloring(&graph.conflict_graph())?;
+    Ok(MacPolicy::SlotAssignment {
+        slots: coloring.colors,
+        period: coloring.colors_used,
+    })
+}
+
+/// A slotted-ALOHA MAC whose transmission probability matches the duty cycle of an
+/// `m`-slot schedule (`p = 1/m`), the natural random-access comparison point.
+pub fn aloha_mac(slots: usize) -> MacPolicy {
+    MacPolicy::SlottedAloha {
+        p: 1.0 / slots.max(1) as f64,
+    }
+}
+
+/// One row of a comparison run: the MAC's name and its metrics.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct ComparisonRow {
+    /// Name of the MAC policy.
+    pub mac: String,
+    /// The offered load (packets per node per slot).
+    pub load: f64,
+    /// Metrics of the run.
+    pub metrics: SimMetrics,
+}
+
+/// Runs the same traffic through each MAC policy on the same network and returns one
+/// row per policy.
+///
+/// # Errors
+///
+/// Propagates simulation errors.
+pub fn run_comparison(
+    network: &Network,
+    macs: &[MacPolicy],
+    traffic: TrafficModel,
+    slots: u64,
+    seed: u64,
+) -> Result<Vec<ComparisonRow>> {
+    let mut rows = Vec::with_capacity(macs.len());
+    for mac in macs {
+        let config = SimConfig {
+            mac: mac.clone(),
+            traffic,
+            slots,
+            seed,
+            ..SimConfig::default()
+        };
+        let metrics = run_simulation(network, &config)?;
+        rows.push(ComparisonRow {
+            mac: mac.name(),
+            load: traffic.load(),
+            metrics,
+        });
+    }
+    Ok(rows)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use latsched_tiling::shapes;
+
+    #[test]
+    fn grid_network_and_macs_compose() {
+        let shape = shapes::moore();
+        let network = grid_network(6, &shape).unwrap();
+        assert_eq!(network.len(), 36);
+        let tiling = tiling_mac(&shape).unwrap();
+        assert!(tiling.name().contains("m=9"));
+        let coloring = coloring_mac(&network).unwrap();
+        assert!(coloring.name().starts_with("slot-assignment"));
+        let aloha = aloha_mac(9);
+        assert!(aloha.name().contains("0.111"));
+    }
+
+    #[test]
+    fn tiling_mac_fails_for_non_exact_prototiles() {
+        let u = latsched_tiling::tetromino::u_pentomino();
+        assert!(tiling_mac(&u).is_err());
+    }
+
+    #[test]
+    fn comparison_orders_protocols_as_the_paper_expects() {
+        let shape = shapes::moore();
+        let network = grid_network(6, &shape).unwrap();
+        let macs = vec![
+            tiling_mac(&shape).unwrap(),
+            MacPolicy::Tdma,
+            coloring_mac(&network).unwrap(),
+            aloha_mac(9),
+        ];
+        let rows = run_comparison(
+            &network,
+            &macs,
+            TrafficModel::Periodic { period: 64 },
+            1024,
+            7,
+        )
+        .unwrap();
+        assert_eq!(rows.len(), 4);
+        let by_name = |name: &str| {
+            rows.iter()
+                .find(|r| r.mac.starts_with(name))
+                .unwrap()
+                .metrics
+                .clone()
+        };
+        let tiling = by_name("tiling");
+        let tdma = by_name("tdma");
+        let coloring = by_name("slot-assignment");
+        let aloha = by_name("aloha");
+        // Deterministic schedules never collide; random access does.
+        assert_eq!(tiling.collisions, 0);
+        assert_eq!(tdma.collisions, 0);
+        assert_eq!(coloring.collisions, 0);
+        assert!(aloha.collisions > 0);
+        // The tiling schedule beats TDMA on latency (9 slots versus 36).
+        assert!(tiling.mean_latency() < tdma.mean_latency());
+        // All rows report the same offered load.
+        assert!(rows.iter().all(|r| (r.load - 1.0 / 64.0).abs() < 1e-12));
+    }
+}

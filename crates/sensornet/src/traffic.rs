@@ -1,0 +1,129 @@
+//! Traffic generation models.
+//!
+//! Sensors produce readings that must be broadcast to their neighbours. Two standard
+//! models are provided: strictly periodic sensing and Bernoulli (memoryless) arrivals,
+//! both parameterized by the offered load in packets per node per slot.
+
+use crate::error::{Result, SimError};
+use rand::Rng;
+use rand_chacha::ChaCha8Rng;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// A per-node traffic model.
+#[derive(Clone, Copy, PartialEq, Debug, Serialize, Deserialize)]
+pub enum TrafficModel {
+    /// Every node generates one packet every `period` slots (all nodes phase-aligned
+    /// at slot 0).
+    Periodic {
+        /// Slots between consecutive packets of one node.
+        period: u64,
+    },
+    /// Every node independently generates a packet in each slot with probability `p`.
+    Bernoulli {
+        /// Per-slot generation probability.
+        p: f64,
+    },
+    /// No traffic is generated (useful for protocol-overhead measurements).
+    None,
+}
+
+impl TrafficModel {
+    /// Validates the model's parameters.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::InvalidProbability`] for a Bernoulli probability outside
+    /// `[0, 1]` or a periodic period of zero.
+    pub fn validate(&self) -> Result<()> {
+        match self {
+            TrafficModel::Periodic { period } if *period == 0 => {
+                Err(SimError::InvalidProbability("periodic traffic period".into()))
+            }
+            TrafficModel::Bernoulli { p } if !(0.0..=1.0).contains(p) => {
+                Err(SimError::InvalidProbability("bernoulli traffic".into()))
+            }
+            _ => Ok(()),
+        }
+    }
+
+    /// Whether the given node generates a packet at the given slot.
+    pub fn generates(&self, time: u64, rng: &mut ChaCha8Rng) -> bool {
+        match self {
+            TrafficModel::Periodic { period } => time % period == 0,
+            TrafficModel::Bernoulli { p } => rng.gen::<f64>() < *p,
+            TrafficModel::None => false,
+        }
+    }
+
+    /// The offered load in packets per node per slot.
+    pub fn load(&self) -> f64 {
+        match self {
+            TrafficModel::Periodic { period } => 1.0 / *period as f64,
+            TrafficModel::Bernoulli { p } => *p,
+            TrafficModel::None => 0.0,
+        }
+    }
+}
+
+impl fmt::Display for TrafficModel {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TrafficModel::Periodic { period } => write!(f, "periodic(every {period} slots)"),
+            TrafficModel::Bernoulli { p } => write!(f, "bernoulli(p={p:.3})"),
+            TrafficModel::None => write!(f, "no traffic"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    #[test]
+    fn periodic_generates_on_multiples() {
+        let model = TrafficModel::Periodic { period: 4 };
+        let mut rng = ChaCha8Rng::seed_from_u64(0);
+        assert!(model.generates(0, &mut rng));
+        assert!(!model.generates(1, &mut rng));
+        assert!(model.generates(8, &mut rng));
+        assert!((model.load() - 0.25).abs() < 1e-12);
+    }
+
+    #[test]
+    fn bernoulli_rate_is_close_to_p() {
+        let model = TrafficModel::Bernoulli { p: 0.3 };
+        let mut rng = ChaCha8Rng::seed_from_u64(7);
+        let count = (0..10_000).filter(|&t| model.generates(t, &mut rng)).count();
+        let rate = count as f64 / 10_000.0;
+        assert!((rate - 0.3).abs() < 0.03);
+        assert!((model.load() - 0.3).abs() < 1e-12);
+    }
+
+    #[test]
+    fn none_never_generates() {
+        let model = TrafficModel::None;
+        let mut rng = ChaCha8Rng::seed_from_u64(0);
+        assert!(!(0..100).any(|t| model.generates(t, &mut rng)));
+        assert_eq!(model.load(), 0.0);
+    }
+
+    #[test]
+    fn validation() {
+        assert!(TrafficModel::Periodic { period: 0 }.validate().is_err());
+        assert!(TrafficModel::Bernoulli { p: -0.1 }.validate().is_err());
+        assert!(TrafficModel::Bernoulli { p: 0.5 }.validate().is_ok());
+        assert!(TrafficModel::None.validate().is_ok());
+    }
+
+    #[test]
+    fn display() {
+        assert_eq!(
+            TrafficModel::Periodic { period: 9 }.to_string(),
+            "periodic(every 9 slots)"
+        );
+        assert!(TrafficModel::Bernoulli { p: 0.1 }.to_string().contains("0.100"));
+        assert_eq!(TrafficModel::None.to_string(), "no traffic");
+    }
+}

@@ -1,0 +1,241 @@
+//! The Beauquier–Nivat exactness criterion for polyominoes.
+//!
+//! Beauquier and Nivat [1] proved that a polyomino tiles the plane by translation
+//! (i.e. is *exact*) if and only if its boundary word `W` can be written, up to
+//! cyclic rotation, as
+//!
+//! ```text
+//! W = A · B · C · Â · B̂ · Ĉ
+//! ```
+//!
+//! where `X̂` denotes the *hat* of `X` (reverse the word and complement every letter,
+//! `r ↔ l`, `u ↔ d`) and at most one of the factors `A`, `B`, `C` is empty. A
+//! factorization with one empty factor is called a *pseudo-square*, a factorization
+//! with all three non-empty a *pseudo-hexagon*.
+//!
+//! The paper cites the original O(n⁴) test and the improved O(n²) algorithm of
+//! Gambini and Vuillon; this implementation favours the straightforward certified
+//! search (worst case O(n³) for the prototile sizes relevant to sensor neighbourhoods),
+//! returning the factorization itself as an exactness certificate.
+
+use crate::boundary::{boundary_word, BoundaryWord, Step};
+use crate::error::Result;
+use crate::prototile::Prototile;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// A Beauquier–Nivat factorization `W = A·B·C·Â·B̂·Ĉ` of a boundary word, serving as a
+/// certificate that the polyomino tiles the plane by translation.
+#[derive(Clone, PartialEq, Eq, Debug, Serialize, Deserialize)]
+pub struct BnFactorization {
+    /// The rotation of the boundary word at which the factorization starts.
+    pub rotation: usize,
+    /// The factors `A`, `B`, `C` as letter strings (the hats are determined by them).
+    pub factors: [String; 3],
+}
+
+impl BnFactorization {
+    /// Returns `true` if one of the three factors is empty (a pseudo-square
+    /// factorization).
+    pub fn is_pseudo_square(&self) -> bool {
+        self.factors.iter().any(String::is_empty)
+    }
+}
+
+impl fmt::Display for BnFactorization {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "W ≅ A·B·C·Â·B̂·Ĉ with A=\"{}\", B=\"{}\", C=\"{}\" (rotation {})",
+            self.factors[0], self.factors[1], self.factors[2], self.rotation
+        )
+    }
+}
+
+/// The hat operation: reverse the word and complement every step.
+pub fn hat(word: &[Step]) -> Vec<Step> {
+    word.iter().rev().map(Step::complement).collect()
+}
+
+fn rotation(word: &[Step], start: usize) -> Vec<Step> {
+    let n = word.len();
+    (0..n).map(|i| word[(start + i) % n]).collect()
+}
+
+fn letters(word: &[Step]) -> String {
+    word.iter().map(Step::letter).collect()
+}
+
+/// Searches for a Beauquier–Nivat factorization of the boundary word.
+///
+/// Returns `None` if no factorization exists (the polyomino is not exact).
+pub fn bn_factorization(word: &BoundaryWord) -> Option<BnFactorization> {
+    let steps = word.steps();
+    let n = steps.len();
+    if n == 0 || n % 2 != 0 {
+        return None;
+    }
+    let half = n / 2;
+    for start in 0..n {
+        let w = rotation(steps, start);
+        // Factors A = w[0..a], B = w[a..a+b], C = w[a+b..half]; their hats must match
+        // w[half..half+a], w[half+a..half+a+b], w[half+a+b..n] respectively.
+        for a in 0..=half {
+            for b in 0..=(half - a) {
+                let c = half - a - b;
+                // At most one of the three factors may be empty.
+                let empties = [a, b, c].iter().filter(|&&x| x == 0).count();
+                if empties > 1 {
+                    continue;
+                }
+                let a_part = &w[0..a];
+                let b_part = &w[a..a + b];
+                let c_part = &w[a + b..half];
+                if w[half..half + a] == hat(a_part)[..]
+                    && w[half + a..half + a + b] == hat(b_part)[..]
+                    && w[half + a + b..n] == hat(c_part)[..]
+                {
+                    return Some(BnFactorization {
+                        rotation: start,
+                        factors: [letters(a_part), letters(b_part), letters(c_part)],
+                    });
+                }
+            }
+        }
+    }
+    None
+}
+
+/// Decides exactness of a polyomino via the Beauquier–Nivat criterion.
+///
+/// # Errors
+///
+/// Propagates the boundary-word errors: the prototile must be a two-dimensional,
+/// 4-connected, simply connected polyomino.
+///
+/// # Examples
+///
+/// ```
+/// use latsched_tiling::{is_exact_polyomino, Tetromino, tetromino};
+///
+/// assert!(is_exact_polyomino(&Tetromino::S.prototile())?);
+/// assert!(!is_exact_polyomino(&tetromino::u_pentomino())?);
+/// # Ok::<(), latsched_tiling::TilingError>(())
+/// ```
+pub fn is_exact_polyomino(prototile: &Prototile) -> Result<bool> {
+    Ok(bn_factorization(&boundary_word(prototile)?).is_some())
+}
+
+/// Like [`is_exact_polyomino`], but returns the factorization certificate.
+///
+/// # Errors
+///
+/// Propagates the boundary-word errors.
+pub fn exactness_certificate(prototile: &Prototile) -> Result<Option<BnFactorization>> {
+    Ok(bn_factorization(&boundary_word(prototile)?))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::shapes;
+    use crate::sublattice_search::admits_sublattice_tiling;
+    use crate::tetromino::{self, Tetromino};
+
+    #[test]
+    fn unit_square_is_a_pseudo_square() {
+        let cell = Prototile::from_cells(&[(0, 0)]).unwrap();
+        let cert = exactness_certificate(&cell).unwrap().unwrap();
+        assert!(cert.is_pseudo_square());
+    }
+
+    #[test]
+    fn all_tetrominoes_are_exact() {
+        for t in Tetromino::ALL {
+            assert!(
+                is_exact_polyomino(&t.prototile()).unwrap(),
+                "{t} tiles the plane by translation"
+            );
+        }
+    }
+
+    #[test]
+    fn figure2_shapes_are_exact_by_bn() {
+        for tile in [
+            shapes::chebyshev_ball(2, 1).unwrap(),
+            shapes::euclidean_ball(2, 1).unwrap(),
+            shapes::directional_antenna(),
+        ] {
+            assert!(is_exact_polyomino(&tile).unwrap());
+        }
+    }
+
+    #[test]
+    fn u_pentomino_is_not_exact() {
+        assert!(!is_exact_polyomino(&tetromino::u_pentomino()).unwrap());
+        assert!(exactness_certificate(&tetromino::u_pentomino())
+            .unwrap()
+            .is_none());
+    }
+
+    #[test]
+    fn bn_agrees_with_sublattice_search_on_small_polyominoes() {
+        // Independent cross-check of the two exactness procedures on a family of
+        // connected polyominoes (all sub-shapes of a 2×3 box plus known pentominoes).
+        let shapes: Vec<Prototile> = vec![
+            Prototile::from_cells(&[(0, 0)]).unwrap(),
+            tetromino::domino(),
+            tetromino::l_tromino(),
+            tetromino::i_tromino(),
+            Tetromino::I.prototile(),
+            Tetromino::O.prototile(),
+            Tetromino::T.prototile(),
+            Tetromino::S.prototile(),
+            Tetromino::Z.prototile(),
+            Tetromino::L.prototile(),
+            Tetromino::J.prototile(),
+            tetromino::p_pentomino(),
+            tetromino::plus_pentomino(),
+            tetromino::u_pentomino(),
+        ];
+        for tile in shapes {
+            let bn = is_exact_polyomino(&tile).unwrap();
+            let lattice = admits_sublattice_tiling(&tile).unwrap();
+            assert_eq!(
+                bn, lattice,
+                "Beauquier–Nivat and sublattice search disagree on {tile}"
+            );
+        }
+    }
+
+    #[test]
+    fn hat_is_an_involution() {
+        let w = boundary_word(&Tetromino::S.prototile()).unwrap();
+        let steps = w.steps().to_vec();
+        assert_eq!(hat(&hat(&steps)), steps);
+    }
+
+    #[test]
+    fn factorization_halves_match() {
+        let w = boundary_word(&shapes::directional_antenna()).unwrap();
+        let cert = bn_factorization(&w).unwrap();
+        let total: usize = cert.factors.iter().map(String::len).sum();
+        assert_eq!(total, w.len() / 2);
+    }
+
+    #[test]
+    fn odd_length_words_never_factor() {
+        // Construct a fake odd-length word; bn_factorization must reject it.
+        let w = BoundaryWord::from_steps(vec![Step::Right, Step::Up, Step::Left]);
+        assert!(bn_factorization(&w).is_none());
+    }
+
+    #[test]
+    fn display_of_certificate() {
+        let cell = Prototile::from_cells(&[(0, 0)]).unwrap();
+        let cert = exactness_certificate(&cell).unwrap().unwrap();
+        let s = cert.to_string();
+        assert!(s.contains("A="));
+        assert!(s.contains("rotation"));
+    }
+}

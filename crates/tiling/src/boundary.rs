@@ -1,0 +1,342 @@
+//! Boundary words of polyominoes.
+//!
+//! Section 3 of the paper recalls that exactness of a polyomino can be decided from
+//! its boundary, "described by a word over the alphabet {u, d, l, r}". This module
+//! extracts that word: the cells of a 2-D prototile are treated as unit squares, and
+//! the outer boundary of their union is traced counter-clockwise (interior kept on
+//! the left), producing one letter per unit edge.
+
+use crate::error::{Result, TilingError};
+use crate::prototile::Prototile;
+use latsched_lattice::Point;
+use serde::{Deserialize, Serialize};
+use std::collections::{BTreeMap, BTreeSet};
+use std::fmt;
+
+/// One step of a boundary word: a unit move right, up, left or down.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug, Serialize, Deserialize)]
+pub enum Step {
+    /// `r`: move in the `+x` direction.
+    Right,
+    /// `u`: move in the `+y` direction.
+    Up,
+    /// `l`: move in the `-x` direction.
+    Left,
+    /// `d`: move in the `-y` direction.
+    Down,
+}
+
+impl Step {
+    /// The unit displacement of the step.
+    pub fn delta(&self) -> (i64, i64) {
+        match self {
+            Step::Right => (1, 0),
+            Step::Up => (0, 1),
+            Step::Left => (-1, 0),
+            Step::Down => (0, -1),
+        }
+    }
+
+    /// The opposite step (`r ↔ l`, `u ↔ d`). The Beauquier–Nivat "hat" operation
+    /// reverses a word and complements each letter with this map.
+    pub fn complement(&self) -> Step {
+        match self {
+            Step::Right => Step::Left,
+            Step::Left => Step::Right,
+            Step::Up => Step::Down,
+            Step::Down => Step::Up,
+        }
+    }
+
+    /// The single-character name used in the paper (`r`, `u`, `l`, `d`).
+    pub fn letter(&self) -> char {
+        match self {
+            Step::Right => 'r',
+            Step::Up => 'u',
+            Step::Left => 'l',
+            Step::Down => 'd',
+        }
+    }
+}
+
+impl fmt::Display for Step {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.letter())
+    }
+}
+
+/// The boundary word of a polyomino: the sequence of unit steps tracing the outer
+/// boundary counter-clockwise, starting from the bottom-left corner of the
+/// bottom-left-most cell.
+#[derive(Clone, PartialEq, Eq, Debug, Serialize, Deserialize)]
+pub struct BoundaryWord {
+    steps: Vec<Step>,
+}
+
+impl BoundaryWord {
+    /// Builds a boundary word directly from a sequence of steps (useful for tools and
+    /// tests that construct words by hand; no closedness check is performed).
+    pub fn from_steps(steps: Vec<Step>) -> Self {
+        BoundaryWord { steps }
+    }
+
+    /// The steps of the word.
+    pub fn steps(&self) -> &[Step] {
+        &self.steps
+    }
+
+    /// The length of the word (the perimeter of the polyomino).
+    pub fn len(&self) -> usize {
+        self.steps.len()
+    }
+
+    /// Whether the word is empty (never the case for a valid polyomino).
+    pub fn is_empty(&self) -> bool {
+        self.steps.is_empty()
+    }
+
+    /// The word as a string over `{r, u, l, d}`.
+    pub fn to_letters(&self) -> String {
+        self.steps.iter().map(Step::letter).collect()
+    }
+
+    /// The total displacement of the word (always `(0, 0)` for a closed boundary).
+    pub fn displacement(&self) -> (i64, i64) {
+        self.steps.iter().fold((0, 0), |(x, y), s| {
+            let (dx, dy) = s.delta();
+            (x + dx, y + dy)
+        })
+    }
+}
+
+impl fmt::Display for BoundaryWord {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.to_letters())
+    }
+}
+
+/// Extracts the boundary word of a two-dimensional, 4-connected, simply connected
+/// prototile (a polyomino homeomorphic to a disk).
+///
+/// # Errors
+///
+/// * [`TilingError::NotTwoDimensional`] for non-planar prototiles;
+/// * [`TilingError::NotConnected`] if the cells are not 4-connected;
+/// * [`TilingError::NotSimplyConnected`] if the cell union has a hole or a pinch
+///   point, in which case the outer trace does not account for the whole boundary.
+///
+/// # Examples
+///
+/// ```
+/// use latsched_tiling::{boundary_word, Prototile};
+///
+/// // A single cell is a unit square with boundary word "ruld".
+/// let cell = Prototile::from_cells(&[(0, 0)])?;
+/// assert_eq!(boundary_word(&cell)?.to_letters(), "ruld");
+/// # Ok::<(), latsched_tiling::TilingError>(())
+/// ```
+pub fn boundary_word(prototile: &Prototile) -> Result<BoundaryWord> {
+    if prototile.dim() != 2 {
+        return Err(TilingError::NotTwoDimensional(prototile.dim()));
+    }
+    if !prototile.is_connected() {
+        return Err(TilingError::NotConnected);
+    }
+    let cells: BTreeSet<Point> = prototile.iter().cloned().collect();
+
+    // Collect the directed boundary edges, oriented so the interior lies on the left.
+    // Each edge is keyed by its start vertex; a vertex can carry up to two outgoing
+    // edges (at pinch points).
+    let mut outgoing: BTreeMap<(i64, i64), Vec<((i64, i64), Step)>> = BTreeMap::new();
+    let mut edge_count = 0usize;
+    for cell in &cells {
+        let (x, y) = (cell.x(), cell.y());
+        let neighbours = [
+            // (neighbour, edge start, edge end, step) — interior on the left.
+            (Point::xy(x, y - 1), (x, y), (x + 1, y), Step::Right),
+            (Point::xy(x + 1, y), (x + 1, y), (x + 1, y + 1), Step::Up),
+            (Point::xy(x, y + 1), (x + 1, y + 1), (x, y + 1), Step::Left),
+            (Point::xy(x - 1, y), (x, y + 1), (x, y), Step::Down),
+        ];
+        for (nb, start, end, step) in neighbours {
+            if !cells.contains(&nb) {
+                outgoing.entry(start).or_default().push((end, step));
+                edge_count += 1;
+            }
+        }
+    }
+
+    // Start at the bottom-left corner of the lexicographically smallest cell in
+    // (y, x) order; its bottom edge is guaranteed to be a boundary edge.
+    let start_cell = cells
+        .iter()
+        .min_by_key(|c| (c.y(), c.x()))
+        .expect("prototile is non-empty");
+    let start_vertex = (start_cell.x(), start_cell.y());
+
+    let mut steps = Vec::with_capacity(edge_count);
+    let mut current = start_vertex;
+    let mut prev_step: Option<Step> = None;
+    let mut used: BTreeSet<((i64, i64), (i64, i64))> = BTreeSet::new();
+    loop {
+        let candidates = outgoing
+            .get(&current)
+            .ok_or(TilingError::NotSimplyConnected)?;
+        // Choose the unused outgoing edge that turns most sharply left relative to
+        // the previous direction (left-hand rule); at ordinary vertices there is only
+        // one candidate.
+        let chosen = candidates
+            .iter()
+            .filter(|(end, _)| !used.contains(&(current, *end)))
+            .min_by_key(|(_, step)| turn_priority(prev_step, *step))
+            .cloned();
+        let (end, step) = match chosen {
+            Some(c) => c,
+            None => return Err(TilingError::NotSimplyConnected),
+        };
+        used.insert((current, end));
+        steps.push(step);
+        prev_step = Some(step);
+        current = end;
+        if current == start_vertex {
+            break;
+        }
+        if steps.len() > edge_count {
+            return Err(TilingError::NotSimplyConnected);
+        }
+    }
+
+    // If the traced cycle did not use every boundary edge, the region has a hole or a
+    // pinch point and is not a polyomino homeomorphic to a disk.
+    if steps.len() != edge_count {
+        return Err(TilingError::NotSimplyConnected);
+    }
+    Ok(BoundaryWord { steps })
+}
+
+/// Rank of a turn: sharper left turns first. `prev = None` only happens at the very
+/// first edge, where any candidate is fine.
+fn turn_priority(prev: Option<Step>, next: Step) -> u8 {
+    let prev = match prev {
+        Some(p) => p,
+        None => return 0,
+    };
+    let dir = |s: Step| match s {
+        Step::Right => 0i8,
+        Step::Up => 1,
+        Step::Left => 2,
+        Step::Down => 3,
+    };
+    // Left turn = +1 (mod 4), straight = 0, right turn = -1, U-turn = +2.
+    let diff = (dir(next) - dir(prev)).rem_euclid(4);
+    match diff {
+        1 => 0, // left turn
+        0 => 1, // straight
+        3 => 2, // right turn
+        _ => 3, // U-turn (only at degenerate single-cell bridges)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::shapes;
+    use crate::tetromino::{self, Tetromino};
+
+    #[test]
+    fn single_cell_boundary() {
+        let cell = Prototile::from_cells(&[(0, 0)]).unwrap();
+        let w = boundary_word(&cell).unwrap();
+        assert_eq!(w.to_letters(), "ruld");
+        assert_eq!(w.len(), 4);
+        assert_eq!(w.displacement(), (0, 0));
+        assert!(!w.is_empty());
+    }
+
+    #[test]
+    fn domino_boundary() {
+        let w = boundary_word(&tetromino::domino()).unwrap();
+        assert_eq!(w.to_letters(), "rrulld");
+        assert_eq!(w.displacement(), (0, 0));
+    }
+
+    #[test]
+    fn perimeters_of_known_shapes() {
+        // Perimeter of a polyomino with n cells and a adjacent cell pairs is 4n - 2a.
+        let cases = [
+            (Tetromino::I.prototile(), 10),
+            (Tetromino::O.prototile(), 8),
+            (Tetromino::T.prototile(), 10),
+            (Tetromino::S.prototile(), 10),
+            (Tetromino::Z.prototile(), 10),
+            (Tetromino::L.prototile(), 10),
+            (shapes::chebyshev_ball(2, 1).unwrap(), 12),
+            (shapes::euclidean_ball(2, 1).unwrap(), 12),
+            (shapes::directional_antenna(), 12),
+        ];
+        for (tile, perimeter) in cases {
+            let w = boundary_word(&tile).unwrap();
+            assert_eq!(w.len(), perimeter, "{tile}");
+            assert_eq!(w.displacement(), (0, 0), "{tile}");
+        }
+    }
+
+    #[test]
+    fn boundary_is_balanced_in_each_direction() {
+        for t in Tetromino::ALL {
+            let w = boundary_word(&t.prototile()).unwrap();
+            let rights = w.steps().iter().filter(|s| **s == Step::Right).count();
+            let lefts = w.steps().iter().filter(|s| **s == Step::Left).count();
+            let ups = w.steps().iter().filter(|s| **s == Step::Up).count();
+            let downs = w.steps().iter().filter(|s| **s == Step::Down).count();
+            assert_eq!(rights, lefts, "{t}");
+            assert_eq!(ups, downs, "{t}");
+        }
+    }
+
+    #[test]
+    fn disconnected_and_non_planar_are_rejected() {
+        let disc = Prototile::from_cells(&[(0, 0), (2, 0)]).unwrap();
+        assert_eq!(boundary_word(&disc).unwrap_err(), TilingError::NotConnected);
+        let cube = Prototile::new(vec![Point::zero(3)]).unwrap();
+        assert_eq!(
+            boundary_word(&cube).unwrap_err(),
+            TilingError::NotTwoDimensional(3)
+        );
+    }
+
+    #[test]
+    fn holed_region_is_rejected() {
+        // A 3×3 ring of cells with the centre missing has an inner boundary the outer
+        // trace cannot reach.
+        let mut cells = Vec::new();
+        for x in 0..3 {
+            for y in 0..3 {
+                if !(x == 1 && y == 1) {
+                    cells.push((x, y));
+                }
+            }
+        }
+        let ring = Prototile::from_cells(&cells).unwrap();
+        assert_eq!(
+            boundary_word(&ring).unwrap_err(),
+            TilingError::NotSimplyConnected
+        );
+    }
+
+    #[test]
+    fn step_helpers() {
+        assert_eq!(Step::Right.complement(), Step::Left);
+        assert_eq!(Step::Up.complement(), Step::Down);
+        assert_eq!(Step::Right.delta(), (1, 0));
+        assert_eq!(Step::Down.letter(), 'd');
+        assert_eq!(Step::Up.to_string(), "u");
+    }
+
+    #[test]
+    fn u_pentomino_boundary_length() {
+        let w = boundary_word(&tetromino::u_pentomino()).unwrap();
+        // 5 cells, 4 adjacencies: perimeter 4·5 − 2·4 = 12.
+        assert_eq!(w.len(), 12);
+    }
+}

@@ -1,0 +1,171 @@
+//! Top-level exactness queries (the paper's question Q1).
+//!
+//! "When is a given prototile `N` exact, i.e. when does there exist a subset `T` of
+//! `L` such that conditions T1 and T2 are satisfied?" This module combines the two
+//! decision procedures of this crate — the sublattice search and the Beauquier–Nivat
+//! boundary-word criterion — and reports which one certified the answer, so callers
+//! (and the experiment harness) can cross-check them against each other.
+
+use crate::beauquier_nivat::{exactness_certificate, BnFactorization};
+use crate::error::{Result, TilingError};
+use crate::prototile::Prototile;
+use crate::sublattice_search::{find_sublattice_tiling, tiling_sublattices};
+use crate::tiling::Tiling;
+use latsched_lattice::Sublattice;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// The outcome of an exactness check, including which certificates were obtained.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct ExactnessReport {
+    /// Number of elements of the prototile (`m = |N|`, the optimal slot count when a
+    /// tiling exists).
+    pub size: usize,
+    /// Sublattices of index `|N|` that tile with the prototile (possibly empty).
+    pub tiling_sublattices: Vec<Sublattice>,
+    /// A Beauquier–Nivat factorization, when the prototile is a polyomino and one
+    /// exists. `None` either because the prototile is not a polyomino or because no
+    /// factorization exists; `polyomino` disambiguates.
+    pub bn_certificate: Option<BnFactorization>,
+    /// Whether the prototile is a two-dimensional, simply connected polyomino (so the
+    /// Beauquier–Nivat criterion applies and is conclusive).
+    pub polyomino: bool,
+}
+
+impl ExactnessReport {
+    /// Whether the prototile admits a tiling of the lattice (is exact), according to
+    /// the strongest applicable criterion.
+    pub fn is_exact(&self) -> bool {
+        !self.tiling_sublattices.is_empty() || self.bn_certificate.is_some()
+    }
+
+    /// Whether the two independent criteria were both applicable and agreed.
+    pub fn criteria_agree(&self) -> bool {
+        if !self.polyomino {
+            return true;
+        }
+        self.tiling_sublattices.is_empty() == self.bn_certificate.is_none()
+    }
+}
+
+impl fmt::Display for ExactnessReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "prototile of size {}: {} ({} tiling sublattice(s){})",
+            self.size,
+            if self.is_exact() { "exact" } else { "not exact" },
+            self.tiling_sublattices.len(),
+            if self.bn_certificate.is_some() {
+                ", Beauquier-Nivat certificate found"
+            } else {
+                ""
+            }
+        )
+    }
+}
+
+/// Runs every applicable exactness criterion on the prototile and reports the
+/// certificates.
+///
+/// # Errors
+///
+/// Propagates lattice-arithmetic errors; boundary-word failures for non-polyomino
+/// prototiles are *not* errors (the report simply records `polyomino: false`).
+pub fn check_exactness(prototile: &Prototile) -> Result<ExactnessReport> {
+    let tiling_sublattices = tiling_sublattices(prototile)?;
+    let (polyomino, bn_certificate) = match exactness_certificate(prototile) {
+        Ok(cert) => (true, cert),
+        Err(TilingError::NotTwoDimensional(_))
+        | Err(TilingError::NotConnected)
+        | Err(TilingError::NotSimplyConnected) => (false, None),
+        Err(e) => return Err(e),
+    };
+    Ok(ExactnessReport {
+        size: prototile.len(),
+        tiling_sublattices,
+        bn_certificate,
+        polyomino,
+    })
+}
+
+/// Returns `true` if the prototile is exact (admits a tiling of the lattice).
+///
+/// # Errors
+///
+/// Propagates lattice-arithmetic errors.
+pub fn is_exact(prototile: &Prototile) -> Result<bool> {
+    Ok(check_exactness(prototile)?.is_exact())
+}
+
+/// Finds a tiling of the lattice by the prototile, if one exists (currently always a
+/// sublattice tiling, which suffices for every exact polyomino and every prototile of
+/// prime cardinality).
+///
+/// # Errors
+///
+/// Propagates lattice-arithmetic errors.
+pub fn find_tiling(prototile: &Prototile) -> Result<Option<Tiling>> {
+    find_sublattice_tiling(prototile)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::shapes;
+    use crate::tetromino::{self, Tetromino};
+    use latsched_lattice::Point;
+
+    #[test]
+    fn report_for_exact_polyomino() {
+        let report = check_exactness(&Tetromino::S.prototile()).unwrap();
+        assert!(report.is_exact());
+        assert!(report.polyomino);
+        assert!(report.criteria_agree());
+        assert!(report.bn_certificate.is_some());
+        assert!(!report.tiling_sublattices.is_empty());
+        assert_eq!(report.size, 4);
+        assert!(report.to_string().contains("exact"));
+    }
+
+    #[test]
+    fn report_for_non_exact_polyomino() {
+        let report = check_exactness(&tetromino::u_pentomino()).unwrap();
+        assert!(!report.is_exact());
+        assert!(report.polyomino);
+        assert!(report.criteria_agree());
+        assert!(report.to_string().contains("not exact"));
+    }
+
+    #[test]
+    fn report_for_disconnected_prototile() {
+        // Disconnected prototiles fall back to the sublattice criterion only.
+        let n = Prototile::from_cells(&[(0, 0), (2, 0), (4, 0)]).unwrap();
+        let report = check_exactness(&n).unwrap();
+        assert!(!report.polyomino);
+        assert!(report.bn_certificate.is_none());
+        assert!(report.is_exact());
+        assert!(report.criteria_agree());
+    }
+
+    #[test]
+    fn report_for_three_dimensional_prototile() {
+        let n = Prototile::new(vec![Point::xyz(0, 0, 0), Point::xyz(1, 0, 0)]).unwrap();
+        let report = check_exactness(&n).unwrap();
+        assert!(!report.polyomino);
+        assert!(report.is_exact());
+    }
+
+    #[test]
+    fn find_tiling_for_figure3_prototile() {
+        let tiling = find_tiling(&shapes::directional_antenna()).unwrap().unwrap();
+        assert_eq!(tiling.slot_count(), 8);
+        assert!(is_exact(&shapes::directional_antenna()).unwrap());
+    }
+
+    #[test]
+    fn find_tiling_none_for_non_exact() {
+        assert!(find_tiling(&tetromino::u_pentomino()).unwrap().is_none());
+        assert!(!is_exact(&tetromino::u_pentomino()).unwrap());
+    }
+}

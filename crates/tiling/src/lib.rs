@@ -1,0 +1,60 @@
+//! # latsched-tiling
+//!
+//! Prototiles, lattice tilings and exactness criteria for the `latsched` library, a
+//! reproduction of *Scheduling Sensors by Tiling Lattices* (Klappenecker, Lee, Welch,
+//! 2008).
+//!
+//! The paper's combinatorial engine is the notion of a tiling of the lattice `L` by
+//! translates of a prototile `N` (the interference neighbourhood of a sensor):
+//!
+//! * [`Prototile`] — a finite subset of `Z^d` containing the origin; Figure 2 shapes
+//!   are provided in [`shapes`], tetrominoes and small polyominoes in [`tetromino`].
+//! * [`Tiling`] / [`MultiTiling`] — verified tilings with one or several prototiles
+//!   (conditions T1/T2 and GT1/GT2 respectively); the schedules of Theorems 1 and 2
+//!   are read off these (see the `latsched-core` crate).
+//! * Exactness (the paper's question Q1): [`sublattice_search`] decides whether a
+//!   sublattice tiling exists, [`is_exact_polyomino`] implements the Beauquier–Nivat
+//!   boundary-word criterion, and [`tile_torus`] searches for arbitrary periodic
+//!   tilings (including the mixed, non-respectable tilings of Figure 5).
+//!
+//! ## Example
+//!
+//! ```
+//! use latsched_tiling::{shapes, find_tiling};
+//!
+//! // The 8-point directional-antenna neighbourhood of Figure 3 is exact, and the
+//! // resulting tiling has 8 tiles per period — i.e. an 8-slot optimal schedule.
+//! let antenna = shapes::directional_antenna();
+//! let tiling = find_tiling(&antenna)?.expect("the antenna prototile tiles Z^2");
+//! assert_eq!(tiling.slot_count(), 8);
+//! # Ok::<(), latsched_tiling::TilingError>(())
+//! ```
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+mod beauquier_nivat;
+mod boundary;
+mod error;
+mod exact;
+mod multi;
+mod prototile;
+pub mod shapes;
+pub mod sublattice_search;
+pub mod tetromino;
+mod tiling;
+mod torus;
+mod transform;
+
+pub use beauquier_nivat::{
+    bn_factorization, exactness_certificate, hat, is_exact_polyomino, BnFactorization,
+};
+pub use boundary::{boundary_word, BoundaryWord, Step};
+pub use error::{Result, TilingError};
+pub use exact::{check_exactness, find_tiling, is_exact, ExactnessReport};
+pub use multi::{MultiCovering, MultiTiling};
+pub use prototile::Prototile;
+pub use tetromino::Tetromino;
+pub use tiling::{Covering, Tiling, TranslationSet};
+pub use torus::{tile_torus, tile_torus_with_all, TorusSearch};
+pub use transform::{symmetry_orbit, Transform2D};

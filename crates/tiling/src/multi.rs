@@ -1,0 +1,398 @@
+//! Tilings with several prototiles (Section 4 of the paper, conditions GT1/GT2).
+//!
+//! Heterogeneous deployments — sensors with rotated antennas, different power levels
+//! or different antenna styles — are modelled by tiling the lattice with translates
+//! of several prototiles `N_1 … N_n` and deploying sensors according to rule D1:
+//! every sensor inside a tile `t_k + N_k` has interference neighbourhood of type
+//! `N_k`. Theorem 2 derives an optimal schedule when the tiling is *respectable*
+//! (`N_1 ⊇ N_k` for all `k`); Figure 5 shows that without respectability the optimal
+//! slot count depends on the chosen tiling.
+
+use crate::error::{Result, TilingError};
+use crate::prototile::Prototile;
+use crate::tiling::{Tiling, TranslationSet};
+use latsched_lattice::{Point, Sublattice};
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// The tile covering a given lattice point in a multi-prototile tiling.
+#[derive(Clone, PartialEq, Eq, Debug, Serialize, Deserialize)]
+pub struct MultiCovering {
+    /// Index of the prototile `N_k` of the covering tile.
+    pub prototile_index: usize,
+    /// The translation `t ∈ T_k` of the covering tile.
+    pub translation: Point,
+    /// The element `n ∈ N_k` with `point = t + n`.
+    pub element: Point,
+}
+
+/// A verified periodic tiling of `Z^d` by translates of several prototiles
+/// (conditions GT1 and GT2), with all translation sets expressed as unions of cosets
+/// of a common period sublattice.
+///
+/// # Examples
+///
+/// ```
+/// use latsched_tiling::{MultiTiling, Tetromino};
+/// use latsched_lattice::{Point, Sublattice};
+///
+/// // A single-prototile tiling expressed in the multi-prototile form: the S
+/// // tetromino with period 2Z².
+/// let tiling = MultiTiling::new(
+///     vec![Tetromino::S.prototile()],
+///     Sublattice::scaled(2, 2).unwrap(),
+///     vec![vec![Point::xy(0, 0)]],
+/// )?;
+/// assert_eq!(tiling.prototiles().len(), 1);
+/// assert!(tiling.respectable_prototile().is_some());
+/// # Ok::<(), latsched_tiling::TilingError>(())
+/// ```
+#[derive(Clone, PartialEq, Eq, Debug, Serialize, Deserialize)]
+pub struct MultiTiling {
+    prototiles: Vec<Prototile>,
+    period: Sublattice,
+    /// `offsets[k]` are the canonical coset offsets whose tiles use prototile `k`.
+    offsets: Vec<Vec<Point>>,
+    /// canonical coset representative ↦ (prototile index, offset index, element index)
+    cover: BTreeMap<Point, (usize, usize, usize)>,
+    /// elements of each prototile in lexicographic order (parallel to `prototiles`)
+    elements: Vec<Vec<Point>>,
+}
+
+impl MultiTiling {
+    /// Creates a multi-prototile tiling after verifying GT1 (coverage) and GT2
+    /// (disjointness) on the quotient `Z^d / Λ`, where `Λ` is the period sublattice.
+    ///
+    /// `offsets[k]` lists the coset offsets whose tiles carry prototile `k`; the full
+    /// translation set is `T_k = offsets[k] + Λ`.
+    ///
+    /// # Errors
+    ///
+    /// * [`TilingError::NoPrototiles`] if no prototiles are given or the offsets list
+    ///   has a different length;
+    /// * [`TilingError::DimensionMismatch`] on inconsistent dimensions;
+    /// * [`TilingError::Overlap`] if two tiles overlap (GT2 fails);
+    /// * [`TilingError::CoverageGap`] if some coset is uncovered (GT1 fails).
+    pub fn new(
+        prototiles: Vec<Prototile>,
+        period: Sublattice,
+        offsets: Vec<Vec<Point>>,
+    ) -> Result<Self> {
+        if prototiles.is_empty() || prototiles.len() != offsets.len() {
+            return Err(TilingError::NoPrototiles);
+        }
+        let dim = period.dim();
+        for p in &prototiles {
+            if p.dim() != dim {
+                return Err(TilingError::DimensionMismatch {
+                    expected: dim,
+                    found: p.dim(),
+                });
+            }
+        }
+        let elements: Vec<Vec<Point>> = prototiles.iter().map(Prototile::to_points).collect();
+        let mut canonical_offsets: Vec<Vec<Point>> = Vec::with_capacity(offsets.len());
+        let mut cover: BTreeMap<Point, (usize, usize, usize)> = BTreeMap::new();
+        for (k, offs) in offsets.iter().enumerate() {
+            let mut canon = Vec::with_capacity(offs.len());
+            for (oi, o) in offs.iter().enumerate() {
+                if o.dim() != dim {
+                    return Err(TilingError::DimensionMismatch {
+                        expected: dim,
+                        found: o.dim(),
+                    });
+                }
+                canon.push(period.reduce(o)?);
+                for (ei, n) in elements[k].iter().enumerate() {
+                    let rep = period.reduce(&(o + n))?;
+                    if cover.insert(rep.clone(), (k, oi, ei)).is_some() {
+                        return Err(TilingError::Overlap {
+                            witness: rep.to_string(),
+                        });
+                    }
+                }
+            }
+            canonical_offsets.push(canon);
+        }
+        if (cover.len() as u64) != period.index() {
+            let witness = period
+                .coset_representatives()
+                .into_iter()
+                .find(|r| !cover.contains_key(r))
+                .map(|r| r.to_string())
+                .unwrap_or_else(|| "unknown".to_string());
+            return Err(TilingError::CoverageGap { witness });
+        }
+        Ok(MultiTiling {
+            prototiles,
+            period,
+            offsets: canonical_offsets,
+            cover,
+            elements,
+        })
+    }
+
+    /// Converts a single-prototile [`Tiling`] into the multi-prototile representation.
+    pub fn from_single(tiling: &Tiling) -> Self {
+        let offsets = match tiling.translations() {
+            TranslationSet::Sublattice(s) => vec![vec![Point::zero(s.dim())]],
+            TranslationSet::Cosets { offsets, .. } => vec![offsets.clone()],
+        };
+        MultiTiling::new(
+            vec![tiling.prototile().clone()],
+            tiling.period().clone(),
+            offsets,
+        )
+        .expect("a verified tiling converts to a verified multi-tiling")
+    }
+
+    /// The prototiles `N_1 … N_n`.
+    pub fn prototiles(&self) -> &[Prototile] {
+        &self.prototiles
+    }
+
+    /// The common period sublattice `Λ`.
+    pub fn period(&self) -> &Sublattice {
+        &self.period
+    }
+
+    /// The coset offsets of each translation set `T_k`, as canonical representatives.
+    pub fn offsets(&self) -> &[Vec<Point>] {
+        &self.offsets
+    }
+
+    /// The ambient dimension.
+    pub fn dim(&self) -> usize {
+        self.period.dim()
+    }
+
+    /// The index of a prototile containing every other prototile, if one exists —
+    /// i.e. whether the tiling is *respectable* and which `N_k` plays the role of
+    /// `N_1` in Theorem 2.
+    pub fn respectable_prototile(&self) -> Option<usize> {
+        (0..self.prototiles.len()).find(|&k| {
+            self.prototiles
+                .iter()
+                .all(|other| self.prototiles[k].contains_tile(other))
+        })
+    }
+
+    /// Returns `true` if the tiling is respectable.
+    pub fn is_respectable(&self) -> bool {
+        self.respectable_prototile().is_some()
+    }
+
+    /// The union `N = ⋃ N_k` of all prototile elements, in lexicographic order; the
+    /// schedule of Theorem 2 assigns one slot per element of this union.
+    pub fn element_union(&self) -> Vec<Point> {
+        let mut set = std::collections::BTreeSet::new();
+        for elems in &self.elements {
+            set.extend(elems.iter().cloned());
+        }
+        set.into_iter().collect()
+    }
+
+    /// Finds the unique tile covering a lattice point (which prototile, which
+    /// translation, which element).
+    ///
+    /// # Errors
+    ///
+    /// Returns a dimension-mismatch error if `p` has the wrong dimension.
+    pub fn covering(&self, p: &Point) -> Result<MultiCovering> {
+        let rep = self.period.reduce(p)?;
+        let &(k, _, ei) = self
+            .cover
+            .get(&rep)
+            .expect("construction guarantees every coset is covered");
+        let element = self.elements[k][ei].clone();
+        Ok(MultiCovering {
+            prototile_index: k,
+            translation: p - &element,
+            element,
+        })
+    }
+
+    /// The prototile governing the interference neighbourhood of the sensor at `p`
+    /// under deployment rule D1 (the prototile of the tile containing `p`).
+    ///
+    /// # Errors
+    ///
+    /// Returns a dimension-mismatch error if `p` has the wrong dimension.
+    pub fn neighbourhood_type_of(&self, p: &Point) -> Result<&Prototile> {
+        let c = self.covering(p)?;
+        Ok(&self.prototiles[c.prototile_index])
+    }
+
+    /// Total number of tiles per period (the number of coset offsets across all
+    /// prototiles).
+    pub fn tiles_per_period(&self) -> usize {
+        self.offsets.iter().map(Vec::len).sum()
+    }
+}
+
+impl fmt::Display for MultiTiling {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "tiling of Z^{} by {} prototile(s) ({} tiles per period, period {})",
+            self.dim(),
+            self.prototiles.len(),
+            self.tiles_per_period(),
+            self.period
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::shapes;
+    use crate::tetromino::{domino, Tetromino};
+
+    fn s_tiling_multi() -> MultiTiling {
+        MultiTiling::new(
+            vec![Tetromino::S.prototile()],
+            Sublattice::scaled(2, 2).unwrap(),
+            vec![vec![Point::xy(0, 0)]],
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn single_prototile_roundtrip() {
+        let n = shapes::chebyshev_ball(2, 1).unwrap();
+        let lambda = Sublattice::from_vectors(&[Point::xy(3, 0), Point::xy(0, 3)]).unwrap();
+        let single = Tiling::from_sublattice(n, lambda).unwrap();
+        let multi = MultiTiling::from_single(&single);
+        assert_eq!(multi.prototiles().len(), 1);
+        assert_eq!(multi.element_union().len(), 9);
+        assert!(multi.is_respectable());
+        for x in -4..4 {
+            for y in -4..4 {
+                let p = Point::xy(x, y);
+                let c1 = single.covering(&p).unwrap();
+                let c2 = multi.covering(&p).unwrap();
+                assert_eq!(c1.translation, c2.translation);
+                assert_eq!(c1.element, c2.element);
+            }
+        }
+    }
+
+    #[test]
+    fn two_prototile_tiling_dominoes_and_squares() {
+        // Tile Z² with 2×2 squares and horizontal dominoes: period 2Z×4Z? Use a
+        // simple construction: period ⟨(2,0),(0,4)⟩ (index 8); one O tetromino at
+        // (0,0) covering {(0,0),(1,0),(0,1),(1,1)} and two dominoes at (0,2), (0,3).
+        let square = Tetromino::O.prototile();
+        let dom = domino();
+        let period = Sublattice::from_vectors(&[Point::xy(2, 0), Point::xy(0, 4)]).unwrap();
+        let tiling = MultiTiling::new(
+            vec![square.clone(), dom.clone()],
+            period,
+            vec![vec![Point::xy(0, 0)], vec![Point::xy(0, 2), Point::xy(0, 3)]],
+        )
+        .unwrap();
+        assert_eq!(tiling.tiles_per_period(), 3);
+        assert!(tiling.is_respectable(), "the square contains the domino");
+        assert_eq!(tiling.respectable_prototile(), Some(0));
+        assert_eq!(tiling.element_union().len(), 4);
+        // Rule D1: points in domino tiles have the domino neighbourhood.
+        assert_eq!(
+            tiling.neighbourhood_type_of(&Point::xy(0, 2)).unwrap(),
+            &dom
+        );
+        assert_eq!(
+            tiling.neighbourhood_type_of(&Point::xy(1, 1)).unwrap(),
+            &square
+        );
+        // Every point is covered consistently.
+        for x in -4..4 {
+            for y in -4..4 {
+                let p = Point::xy(x, y);
+                let c = tiling.covering(&p).unwrap();
+                assert_eq!(&c.translation + &c.element, p);
+            }
+        }
+    }
+
+    #[test]
+    fn overlap_and_gap_detection() {
+        let square = Tetromino::O.prototile();
+        let period = Sublattice::from_vectors(&[Point::xy(2, 0), Point::xy(0, 4)]).unwrap();
+        // Two overlapping squares.
+        let err = MultiTiling::new(
+            vec![square.clone()],
+            period.clone(),
+            vec![vec![Point::xy(0, 0), Point::xy(0, 1)]],
+        )
+        .unwrap_err();
+        assert!(matches!(err, TilingError::Overlap { .. }));
+        // A single square leaves half the period uncovered.
+        let err = MultiTiling::new(vec![square], period, vec![vec![Point::xy(0, 0)]]).unwrap_err();
+        assert!(matches!(err, TilingError::CoverageGap { .. }));
+    }
+
+    #[test]
+    fn bad_inputs_are_rejected() {
+        assert!(matches!(
+            MultiTiling::new(vec![], Sublattice::full(2).unwrap(), vec![]).unwrap_err(),
+            TilingError::NoPrototiles
+        ));
+        assert!(matches!(
+            MultiTiling::new(
+                vec![domino()],
+                Sublattice::scaled(2, 2).unwrap(),
+                vec![vec![Point::xy(0, 0)], vec![Point::xy(0, 1)]],
+            )
+            .unwrap_err(),
+            TilingError::NoPrototiles
+        ));
+        assert!(matches!(
+            MultiTiling::new(
+                vec![Prototile::new(vec![Point::zero(3)]).unwrap()],
+                Sublattice::full(2).unwrap(),
+                vec![vec![Point::zero(2)]],
+            )
+            .unwrap_err(),
+            TilingError::DimensionMismatch { .. }
+        ));
+    }
+
+    #[test]
+    fn non_respectable_s_and_z() {
+        // S and Z tetrominoes do not contain each other, so any tiling using both is
+        // non-respectable. Build one on a period of index 8: S at (0,0) ∪ Z at (0,2)?
+        // Verify programmatically that some arrangement exists by brute force over
+        // offsets of a small period; correctness of the search itself is tested in
+        // the torus module — here we only need respectability logic.
+        let s = Tetromino::S.prototile();
+        let z = Tetromino::Z.prototile();
+        assert!(!s.contains_tile(&z));
+        assert!(!z.contains_tile(&s));
+        let single = s_tiling_multi();
+        assert!(single.is_respectable());
+    }
+
+    #[test]
+    fn covering_respects_period_translation() {
+        let t = s_tiling_multi();
+        for x in -3..3 {
+            for y in -3..3 {
+                let p = Point::xy(x, y);
+                let c1 = t.covering(&p).unwrap();
+                let c2 = t.covering(&(&p + &Point::xy(2, 2))).unwrap();
+                assert_eq!(c1.prototile_index, c2.prototile_index);
+                assert_eq!(c1.element, c2.element);
+            }
+        }
+    }
+
+    #[test]
+    fn display_is_informative() {
+        let t = s_tiling_multi();
+        let s = t.to_string();
+        assert!(s.contains("1 prototile(s)"));
+        assert!(s.contains("index 4"));
+    }
+}

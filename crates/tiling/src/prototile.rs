@@ -1,0 +1,411 @@
+//! Prototiles: the interference neighbourhoods of sensors.
+//!
+//! Following Section 2 of the paper, a *prototile* (or *neighbourhood*) `N` is a
+//! finite subset of the lattice containing the origin. The sensor located at a point
+//! `t` affects exactly the sensors at `t + N`. The shape of `N` is determined by the
+//! antenna and the signal strength (Figure 2 shows a Chebyshev ball, a Euclidean ball
+//! and a directional antenna pattern).
+
+use crate::error::{Result, TilingError};
+use latsched_lattice::{BoxRegion, Point};
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeSet;
+use std::fmt;
+
+/// A finite subset `N ⊂ Z^d` containing the origin: the interference neighbourhood of
+/// a sensor located at `0`.
+///
+/// # Examples
+///
+/// ```
+/// use latsched_tiling::Prototile;
+/// use latsched_lattice::Point;
+///
+/// let n = Prototile::new(vec![Point::xy(0, 0), Point::xy(1, 0), Point::xy(0, 1)])?;
+/// assert_eq!(n.len(), 3);
+/// assert!(n.contains(&Point::xy(1, 0)));
+/// # Ok::<(), latsched_tiling::TilingError>(())
+/// ```
+#[derive(Clone, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct Prototile {
+    dim: usize,
+    points: BTreeSet<Point>,
+}
+
+impl Prototile {
+    /// Creates a prototile from a set of points, which must be non-empty, of uniform
+    /// dimension, and contain the origin.
+    ///
+    /// Duplicate points are collapsed.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TilingError::EmptyPrototile`], [`TilingError::DimensionMismatch`] or
+    /// [`TilingError::MissingOrigin`] accordingly.
+    pub fn new(points: impl IntoIterator<Item = Point>) -> Result<Self> {
+        let points: BTreeSet<Point> = points.into_iter().collect();
+        let first = points.iter().next().ok_or(TilingError::EmptyPrototile)?;
+        let dim = first.dim();
+        for p in &points {
+            if p.dim() != dim {
+                return Err(TilingError::DimensionMismatch {
+                    expected: dim,
+                    found: p.dim(),
+                });
+            }
+        }
+        if !points.contains(&Point::zero(dim)) {
+            return Err(TilingError::MissingOrigin);
+        }
+        Ok(Prototile { dim, points })
+    }
+
+    /// Creates a prototile by translating the given points so that `anchor` becomes
+    /// the origin. Useful when a shape is described by cell coordinates that do not
+    /// happen to include `(0, …, 0)`.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`Prototile::new`]; additionally the anchor must be one of the points
+    /// (otherwise the translated set would not contain the origin).
+    pub fn anchored_at(points: impl IntoIterator<Item = Point>, anchor: &Point) -> Result<Self> {
+        let translated: Vec<Point> = points.into_iter().map(|p| &p - anchor).collect();
+        Prototile::new(translated)
+    }
+
+    /// Creates a 2-D prototile from `(x, y)` cell coordinates.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`Prototile::new`].
+    pub fn from_cells(cells: &[(i64, i64)]) -> Result<Self> {
+        Prototile::new(cells.iter().map(|&(x, y)| Point::xy(x, y)))
+    }
+
+    /// Dimension of the ambient lattice.
+    pub fn dim(&self) -> usize {
+        self.dim
+    }
+
+    /// Number of elements `m = |N|`; this is the number of time slots of the optimal
+    /// schedule of Theorem 1.
+    pub fn len(&self) -> usize {
+        self.points.len()
+    }
+
+    /// Returns `true` if the prototile has exactly one element (just the origin).
+    pub fn is_empty(&self) -> bool {
+        false // A valid prototile always contains the origin.
+    }
+
+    /// Returns `true` if the prototile contains the point.
+    pub fn contains(&self, p: &Point) -> bool {
+        self.points.contains(p)
+    }
+
+    /// Returns `true` if every element of `other` is an element of `self`.
+    ///
+    /// This is the *respectability* relation of Section 4: a tiling with prototiles
+    /// `N_1 … N_n` is respectable when `N_1 ⊇ N_k` for all `k`.
+    pub fn contains_tile(&self, other: &Prototile) -> bool {
+        other.points.is_subset(&self.points)
+    }
+
+    /// Iterates over the elements in lexicographic order.
+    pub fn iter(&self) -> impl Iterator<Item = &Point> + '_ {
+        self.points.iter()
+    }
+
+    /// The elements in lexicographic order.
+    pub fn to_points(&self) -> Vec<Point> {
+        self.points.iter().cloned().collect()
+    }
+
+    /// The translate `t + N`.
+    pub fn translated(&self, t: &Point) -> Vec<Point> {
+        self.points.iter().map(|n| n + t).collect()
+    }
+
+    /// The smallest axis-aligned box containing the prototile.
+    pub fn bounding_box(&self) -> BoxRegion {
+        BoxRegion::bounding(&self.to_points()).expect("prototile is non-empty")
+    }
+
+    /// The difference set `N - N = {a - b : a, b ∈ N}`.
+    ///
+    /// Two sensors at `s` and `t` have intersecting interference neighbourhoods
+    /// exactly when `s - t ∈ N - N`, so this set drives collision checks and the
+    /// interference-graph construction.
+    pub fn difference_set(&self) -> BTreeSet<Point> {
+        let mut out = BTreeSet::new();
+        for a in &self.points {
+            for b in &self.points {
+                out.insert(a - b);
+            }
+        }
+        out
+    }
+
+    /// The Minkowski sum `N + M = {a + b : a ∈ N, b ∈ M}`.
+    ///
+    /// The paper's conclusions use `N₁ + N₁` to state when a finite restriction of
+    /// the schedule remains optimal.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TilingError::DimensionMismatch`] if the dimensions differ.
+    pub fn minkowski_sum(&self, other: &Prototile) -> Result<BTreeSet<Point>> {
+        if self.dim != other.dim {
+            return Err(TilingError::DimensionMismatch {
+                expected: self.dim,
+                found: other.dim,
+            });
+        }
+        let mut out = BTreeSet::new();
+        for a in &self.points {
+            for b in &other.points {
+                out.insert(a + b);
+            }
+        }
+        Ok(out)
+    }
+
+    /// The union `N ∪ M` as a plain point set.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TilingError::DimensionMismatch`] if the dimensions differ.
+    pub fn union(&self, other: &Prototile) -> Result<BTreeSet<Point>> {
+        if self.dim != other.dim {
+            return Err(TilingError::DimensionMismatch {
+                expected: self.dim,
+                found: other.dim,
+            });
+        }
+        Ok(self.points.union(&other.points).cloned().collect())
+    }
+
+    /// Maximum Chebyshev norm of any element; a cheap bound on the tile's extent used
+    /// when sizing verification windows and tori.
+    pub fn radius_linf(&self) -> i64 {
+        self.points.iter().map(Point::norm_linf).max().unwrap_or(0)
+    }
+
+    /// Returns `true` if the prototile is two-dimensional and its cells form a
+    /// 4-connected set (edge-connected unit squares), i.e. a polyomino candidate.
+    pub fn is_connected(&self) -> bool {
+        if self.dim != 2 || self.points.is_empty() {
+            return false;
+        }
+        let mut visited = BTreeSet::new();
+        let start = self.points.iter().next().unwrap().clone();
+        let mut stack = vec![start];
+        while let Some(p) = stack.pop() {
+            if !visited.insert(p.clone()) {
+                continue;
+            }
+            for (dx, dy) in [(1, 0), (-1, 0), (0, 1), (0, -1)] {
+                let q = Point::xy(p.x() + dx, p.y() + dy);
+                if self.points.contains(&q) && !visited.contains(&q) {
+                    stack.push(q);
+                }
+            }
+        }
+        visited.len() == self.points.len()
+    }
+
+    /// Renders a 2-D prototile as an ASCII grid (`#` for cells, `O` for the origin,
+    /// `.` elsewhere), rows listed top (largest `y`) to bottom.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TilingError::NotTwoDimensional`] for other dimensions.
+    pub fn to_ascii(&self) -> Result<String> {
+        if self.dim != 2 {
+            return Err(TilingError::NotTwoDimensional(self.dim));
+        }
+        let bbox = self.bounding_box();
+        let mut out = String::new();
+        let (min, max) = (bbox.min().clone(), bbox.max().clone());
+        for y in (min.y()..=max.y()).rev() {
+            for x in min.x()..=max.x() {
+                let p = Point::xy(x, y);
+                if p.is_zero() && self.points.contains(&p) {
+                    out.push('O');
+                } else if self.points.contains(&p) {
+                    out.push('#');
+                } else {
+                    out.push('.');
+                }
+            }
+            out.push('\n');
+        }
+        Ok(out)
+    }
+}
+
+impl fmt::Debug for Prototile {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Prototile(dim={}, {:?})", self.dim, self.to_points())
+    }
+}
+
+impl fmt::Display for Prototile {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "N = {{")?;
+        for (i, p) in self.points.iter().enumerate() {
+            if i > 0 {
+                write!(f, ", ")?;
+            }
+            write!(f, "{p}")?;
+        }
+        write!(f, "}}")
+    }
+}
+
+impl<'a> IntoIterator for &'a Prototile {
+    type Item = &'a Point;
+    type IntoIter = std::collections::btree_set::Iter<'a, Point>;
+
+    fn into_iter(self) -> Self::IntoIter {
+        self.points.iter()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn l_tile() -> Prototile {
+        Prototile::from_cells(&[(0, 0), (1, 0), (0, 1), (0, 2)]).unwrap()
+    }
+
+    #[test]
+    fn construction_requires_origin_and_uniform_dim() {
+        assert_eq!(
+            Prototile::new(Vec::<Point>::new()).unwrap_err(),
+            TilingError::EmptyPrototile
+        );
+        assert_eq!(
+            Prototile::new(vec![Point::xy(1, 0)]).unwrap_err(),
+            TilingError::MissingOrigin
+        );
+        assert!(matches!(
+            Prototile::new(vec![Point::xy(0, 0), Point::xyz(0, 0, 0)]).unwrap_err(),
+            TilingError::DimensionMismatch { .. }
+        ));
+        assert_eq!(Prototile::new(vec![Point::zero(3)]).unwrap().len(), 1);
+    }
+
+    #[test]
+    fn duplicates_are_collapsed() {
+        let t = Prototile::from_cells(&[(0, 0), (1, 0), (1, 0)]).unwrap();
+        assert_eq!(t.len(), 2);
+    }
+
+    #[test]
+    fn anchoring_translates_to_origin() {
+        let t = Prototile::anchored_at(
+            vec![Point::xy(5, 5), Point::xy(6, 5), Point::xy(5, 6)],
+            &Point::xy(5, 5),
+        )
+        .unwrap();
+        assert!(t.contains(&Point::xy(0, 0)));
+        assert!(t.contains(&Point::xy(1, 0)));
+        assert!(t.contains(&Point::xy(0, 1)));
+        // Anchoring at a non-member leaves the origin out.
+        assert!(Prototile::anchored_at(vec![Point::xy(5, 5)], &Point::xy(4, 4)).is_err());
+    }
+
+    #[test]
+    fn membership_and_subset() {
+        let big = Prototile::from_cells(&[(0, 0), (1, 0), (0, 1), (1, 1)]).unwrap();
+        let small = Prototile::from_cells(&[(0, 0), (1, 0)]).unwrap();
+        assert!(big.contains_tile(&small));
+        assert!(!small.contains_tile(&big));
+        assert!(big.contains(&Point::xy(1, 1)));
+        assert!(!big.contains(&Point::xy(2, 0)));
+    }
+
+    #[test]
+    fn translation_and_bounding_box() {
+        let t = l_tile();
+        let shifted = t.translated(&Point::xy(10, 20));
+        assert!(shifted.contains(&Point::xy(10, 20)));
+        assert!(shifted.contains(&Point::xy(11, 20)));
+        assert_eq!(shifted.len(), 4);
+        let bbox = t.bounding_box();
+        assert_eq!(bbox.min(), &Point::xy(0, 0));
+        assert_eq!(bbox.max(), &Point::xy(1, 2));
+        assert_eq!(t.radius_linf(), 2);
+    }
+
+    #[test]
+    fn difference_set_is_symmetric_and_contains_zero() {
+        let t = l_tile();
+        let d = t.difference_set();
+        assert!(d.contains(&Point::zero(2)));
+        for p in &d {
+            assert!(d.contains(&p.negated()));
+        }
+        // |N - N| ≤ |N|² and ≥ 2|N| - 1.
+        assert!(d.len() <= t.len() * t.len());
+        assert!(d.len() >= 2 * t.len() - 1);
+    }
+
+    #[test]
+    fn minkowski_sum_and_union() {
+        let a = Prototile::from_cells(&[(0, 0), (1, 0)]).unwrap();
+        let b = Prototile::from_cells(&[(0, 0), (0, 1)]).unwrap();
+        let sum = a.minkowski_sum(&b).unwrap();
+        assert_eq!(sum.len(), 4);
+        assert!(sum.contains(&Point::xy(1, 1)));
+        let u = a.union(&b).unwrap();
+        assert_eq!(u.len(), 3);
+        let c3 = Prototile::new(vec![Point::zero(3)]).unwrap();
+        assert!(a.minkowski_sum(&c3).is_err());
+        assert!(a.union(&c3).is_err());
+    }
+
+    #[test]
+    fn connectivity() {
+        assert!(l_tile().is_connected());
+        let disconnected = Prototile::from_cells(&[(0, 0), (2, 0)]).unwrap();
+        assert!(!disconnected.is_connected());
+        let diag_only = Prototile::from_cells(&[(0, 0), (1, 1)]).unwrap();
+        assert!(!diag_only.is_connected());
+        let three_d = Prototile::new(vec![Point::zero(3)]).unwrap();
+        assert!(!three_d.is_connected());
+    }
+
+    #[test]
+    fn ascii_rendering() {
+        let t = l_tile();
+        let art = t.to_ascii().unwrap();
+        assert_eq!(art, "#.\n#.\nO#\n");
+        assert!(Prototile::new(vec![Point::zero(3)]).unwrap().to_ascii().is_err());
+    }
+
+    #[test]
+    fn ordering_of_points_is_deterministic() {
+        let t = l_tile();
+        let pts = t.to_points();
+        let mut sorted = pts.clone();
+        sorted.sort();
+        assert_eq!(pts, sorted);
+        assert_eq!(t.iter().count(), 4);
+        assert_eq!((&t).into_iter().count(), 4);
+    }
+
+    #[test]
+    fn display_lists_elements() {
+        let t = Prototile::from_cells(&[(0, 0), (1, 0)]).unwrap();
+        assert_eq!(t.to_string(), "N = {(0, 0), (1, 0)}");
+        assert!(format!("{t:?}").contains("dim=2"));
+    }
+
+    #[test]
+    fn is_empty_is_always_false_for_valid_prototiles() {
+        assert!(!l_tile().is_empty());
+    }
+}

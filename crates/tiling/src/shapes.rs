@@ -1,0 +1,163 @@
+//! Standard neighbourhood shapes (Figure 2 of the paper) and other common prototiles.
+//!
+//! The shape of a sensor's interference neighbourhood is determined by its antenna
+//! and transmit power. The paper's Figure 2 shows three examples on the square
+//! lattice: a Chebyshev ball of radius 1 (omnidirectional, 9 points), a Euclidean
+//! ball of radius 1 (5 points), and an 8-point pattern produced by a directional
+//! antenna. Figure 3 builds its 8-slot schedule from the directional pattern.
+
+use crate::error::Result;
+use crate::prototile::Prototile;
+use latsched_lattice::{ball_points, Metric, Point};
+
+/// The Chebyshev (`ℓ∞`) ball of the given radius: the `(2r+1)^d`-point neighbourhood
+/// of an omnidirectional antenna whose range covers a square of cells
+/// (Figure 2, left, for `d = 2, r = 1`).
+///
+/// # Errors
+///
+/// Propagates errors for `dim == 0` or negative radius.
+pub fn chebyshev_ball(dim: usize, radius: i64) -> Result<Prototile> {
+    Ok(Prototile::new(ball_points(dim, radius, Metric::Chebyshev)?)?)
+}
+
+/// The Euclidean (`ℓ²`) ball of the given radius (Figure 2, middle, for
+/// `d = 2, r = 1`: the 5-point "plus" neighbourhood).
+///
+/// # Errors
+///
+/// Propagates errors for `dim == 0` or negative radius.
+pub fn euclidean_ball(dim: usize, radius: i64) -> Result<Prototile> {
+    Ok(Prototile::new(ball_points(dim, radius, Metric::Euclidean)?)?)
+}
+
+/// The Manhattan (`ℓ¹`) ball of the given radius (a diamond in two dimensions).
+///
+/// # Errors
+///
+/// Propagates errors for `dim == 0` or negative radius.
+pub fn manhattan_ball(dim: usize, radius: i64) -> Result<Prototile> {
+    Ok(Prototile::new(ball_points(dim, radius, Metric::Manhattan)?)?)
+}
+
+/// The `width × height` rectangle of cells with the origin at its lower-left corner.
+///
+/// # Errors
+///
+/// Returns an error if either side is not positive.
+pub fn rectangle(width: i64, height: i64) -> Result<Prototile> {
+    let mut cells = Vec::new();
+    for x in 0..width.max(0) {
+        for y in 0..height.max(0) {
+            cells.push(Point::xy(x, y));
+        }
+    }
+    Ok(Prototile::new(cells)?)
+}
+
+/// The 8-point directional-antenna neighbourhood of Figures 2 (right) and 3.
+///
+/// The paper draws a 2×4 block of lattice points with the transmitting sensor at the
+/// lower-left position: the antenna radiates "forward and up", covering the sensor's
+/// own position plus seven positions to its right and above. The exact embedding in
+/// coordinates is `{0,1,2,3} × {0,1}`, anchored at the origin.
+///
+/// This prototile is exact (it tiles `Z²`), and Theorem 1 turns any such tiling into
+/// the 8-slot collision-free schedule shown in Figure 3.
+pub fn directional_antenna() -> Prototile {
+    rectangle(4, 2).expect("static shape is valid")
+}
+
+/// A horizontal line segment of `len` cells starting at the origin.
+///
+/// # Errors
+///
+/// Returns an error if `len < 1`.
+pub fn horizontal_line(len: i64) -> Result<Prototile> {
+    rectangle(len, 1)
+}
+
+/// The "plus"/von-Neumann neighbourhood of radius 1 (an alias for the 2-D Euclidean
+/// ball of radius 1, provided because the wireless-networking literature usually
+/// calls it the von Neumann neighbourhood).
+pub fn von_neumann() -> Prototile {
+    euclidean_ball(2, 1).expect("static shape is valid")
+}
+
+/// The Moore neighbourhood of radius 1 (an alias for the 2-D Chebyshev ball of radius
+/// 1; the 3×3 block around the sensor).
+pub fn moore() -> Prototile {
+    chebyshev_ball(2, 1).expect("static shape is valid")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn figure2_shapes_have_the_sizes_shown_in_the_paper() {
+        assert_eq!(chebyshev_ball(2, 1).unwrap().len(), 9);
+        assert_eq!(euclidean_ball(2, 1).unwrap().len(), 5);
+        assert_eq!(directional_antenna().len(), 8);
+    }
+
+    #[test]
+    fn balls_contain_origin_and_respect_radius() {
+        let b = chebyshev_ball(2, 2).unwrap();
+        assert_eq!(b.len(), 25);
+        assert!(b.contains(&Point::zero(2)));
+        assert!(b.contains(&Point::xy(2, -2)));
+        assert!(!b.contains(&Point::xy(3, 0)));
+        let e = euclidean_ball(2, 2).unwrap();
+        assert_eq!(e.len(), 13);
+        assert!(e.contains(&Point::xy(1, 1)));
+        assert!(!e.contains(&Point::xy(2, 1)));
+        let m = manhattan_ball(2, 2).unwrap();
+        assert_eq!(m.len(), 13);
+        assert!(!m.contains(&Point::xy(2, 1)));
+    }
+
+    #[test]
+    fn three_dimensional_balls() {
+        assert_eq!(chebyshev_ball(3, 1).unwrap().len(), 27);
+        assert_eq!(manhattan_ball(3, 1).unwrap().len(), 7);
+        assert_eq!(euclidean_ball(3, 1).unwrap().len(), 7);
+    }
+
+    #[test]
+    fn degenerate_inputs_error() {
+        assert!(chebyshev_ball(0, 1).is_err());
+        assert!(euclidean_ball(2, -1).is_err());
+        assert!(rectangle(0, 3).is_err());
+        assert!(horizontal_line(0).is_err());
+    }
+
+    #[test]
+    fn rectangle_and_line() {
+        let r = rectangle(3, 2).unwrap();
+        assert_eq!(r.len(), 6);
+        assert!(r.contains(&Point::xy(2, 1)));
+        assert!(!r.contains(&Point::xy(3, 0)));
+        let l = horizontal_line(4).unwrap();
+        assert_eq!(l.len(), 4);
+        assert!(l.contains(&Point::xy(3, 0)));
+    }
+
+    #[test]
+    fn directional_antenna_matches_figure3_shape() {
+        let d = directional_antenna();
+        assert_eq!(d.len(), 8);
+        assert!(d.contains(&Point::zero(2)));
+        assert!(d.contains(&Point::xy(3, 1)));
+        assert!(!d.contains(&Point::xy(-1, 0)));
+        assert!(d.is_connected());
+        assert_eq!(d.to_ascii().unwrap(), "####\nO###\n");
+    }
+
+    #[test]
+    fn named_neighbourhoods() {
+        assert_eq!(von_neumann().len(), 5);
+        assert_eq!(moore().len(), 9);
+        assert!(moore().contains_tile(&von_neumann()));
+    }
+}

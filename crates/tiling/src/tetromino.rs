@@ -1,0 +1,175 @@
+//! Tetrominoes and other small polyominoes.
+//!
+//! Figure 5 of the paper builds its non-respectable example from S- and Z-shaped
+//! tetrominoes. This module provides the seven tetrominoes, a few common smaller
+//! polyominoes, and helpers to pick shapes by name in examples and benchmarks.
+
+use crate::prototile::Prototile;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// The seven tetrominoes (4-cell polyominoes), named as in the paper and in common
+/// usage. All are anchored so that they contain the origin.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug, Serialize, Deserialize)]
+pub enum Tetromino {
+    /// The 1×4 line.
+    I,
+    /// The 2×2 square.
+    O,
+    /// The T shape.
+    T,
+    /// The S shape: cells `(0,0), (1,0), (1,1), (2,1)`.
+    S,
+    /// The Z shape: cells `(0,0), (1,0), (1,-1), (2,-1)` (the mirror image of S).
+    Z,
+    /// The L shape.
+    L,
+    /// The J shape (mirror image of L).
+    J,
+}
+
+impl Tetromino {
+    /// All seven tetrominoes in a fixed order.
+    pub const ALL: [Tetromino; 7] = [
+        Tetromino::I,
+        Tetromino::O,
+        Tetromino::T,
+        Tetromino::S,
+        Tetromino::Z,
+        Tetromino::L,
+        Tetromino::J,
+    ];
+
+    /// The cells of the tetromino as `(x, y)` pairs (always containing `(0, 0)`).
+    pub fn cells(&self) -> [(i64, i64); 4] {
+        match self {
+            Tetromino::I => [(0, 0), (1, 0), (2, 0), (3, 0)],
+            Tetromino::O => [(0, 0), (1, 0), (0, 1), (1, 1)],
+            Tetromino::T => [(0, 0), (1, 0), (2, 0), (1, 1)],
+            Tetromino::S => [(0, 0), (1, 0), (1, 1), (2, 1)],
+            Tetromino::Z => [(0, 0), (1, 0), (1, -1), (2, -1)],
+            Tetromino::L => [(0, 0), (1, 0), (2, 0), (0, 1)],
+            Tetromino::J => [(0, 0), (1, 0), (2, 0), (2, 1)],
+        }
+    }
+
+    /// The tetromino as a [`Prototile`].
+    pub fn prototile(&self) -> Prototile {
+        Prototile::from_cells(&self.cells()).expect("tetromino shapes are valid prototiles")
+    }
+
+    /// Whether the tetromino tiles the plane by *translation only*.
+    ///
+    /// All seven tetrominoes do; this constant exists so tests can assert the
+    /// exactness algorithms agree with the classical facts.
+    pub fn tiles_by_translation(&self) -> bool {
+        true
+    }
+}
+
+impl fmt::Display for Tetromino {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let name = match self {
+            Tetromino::I => "I",
+            Tetromino::O => "O",
+            Tetromino::T => "T",
+            Tetromino::S => "S",
+            Tetromino::Z => "Z",
+            Tetromino::L => "L",
+            Tetromino::J => "J",
+        };
+        write!(f, "{name}-tetromino")
+    }
+}
+
+/// The domino (two horizontally adjacent cells).
+pub fn domino() -> Prototile {
+    Prototile::from_cells(&[(0, 0), (1, 0)]).expect("static shape is valid")
+}
+
+/// The L-shaped tromino (three cells in an L).
+pub fn l_tromino() -> Prototile {
+    Prototile::from_cells(&[(0, 0), (1, 0), (0, 1)]).expect("static shape is valid")
+}
+
+/// The straight tromino (three cells in a row).
+pub fn i_tromino() -> Prototile {
+    Prototile::from_cells(&[(0, 0), (1, 0), (2, 0)]).expect("static shape is valid")
+}
+
+/// The P-pentomino, an example of a pentomino that tiles the plane by translation.
+pub fn p_pentomino() -> Prototile {
+    Prototile::from_cells(&[(0, 0), (1, 0), (0, 1), (1, 1), (0, 2)]).expect("static shape is valid")
+}
+
+/// A 5-cell "plus" pentomino (the von Neumann neighbourhood of radius 1), which also
+/// tiles the plane by translation.
+pub fn plus_pentomino() -> Prototile {
+    Prototile::from_cells(&[(0, 0), (1, 0), (-1, 0), (0, 1), (0, -1)])
+        .expect("static shape is valid")
+}
+
+/// A U-shaped pentomino, the classical example of a polyomino that does **not** tile
+/// the plane by translation alone (it needs rotations), used as a negative test case
+/// for the exactness algorithms.
+pub fn u_pentomino() -> Prototile {
+    Prototile::from_cells(&[(0, 0), (1, 0), (2, 0), (0, 1), (2, 1)]).expect("static shape is valid")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use latsched_lattice::Point;
+
+    #[test]
+    fn all_tetrominoes_have_four_connected_cells_containing_origin() {
+        for t in Tetromino::ALL {
+            let p = t.prototile();
+            assert_eq!(p.len(), 4, "{t}");
+            assert!(p.contains(&Point::zero(2)), "{t}");
+            assert!(p.is_connected(), "{t}");
+            assert!(t.tiles_by_translation());
+        }
+    }
+
+    #[test]
+    fn s_and_z_are_mirror_images() {
+        use crate::transform::Transform2D;
+        let s = Tetromino::S.prototile();
+        let z = Tetromino::Z.prototile();
+        let reflected = Transform2D::ReflectX.apply_to_prototile(&s).unwrap();
+        // Reflecting S across the x-axis gives a translate of Z; compare via the
+        // normalized difference sets, which are translation invariant.
+        assert_eq!(reflected.difference_set(), z.difference_set());
+        assert_ne!(s, z);
+    }
+
+    #[test]
+    fn s_union_z_has_six_elements() {
+        // This is the |N₁ ∪ N₂| = 6 that yields the 6-slot schedule of Figure 5 (left).
+        let s = Tetromino::S.prototile();
+        let z = Tetromino::Z.prototile();
+        assert_eq!(s.union(&z).unwrap().len(), 6);
+    }
+
+    #[test]
+    fn small_polyominoes() {
+        assert_eq!(domino().len(), 2);
+        assert_eq!(l_tromino().len(), 3);
+        assert_eq!(i_tromino().len(), 3);
+        assert_eq!(p_pentomino().len(), 5);
+        assert_eq!(plus_pentomino().len(), 5);
+        assert_eq!(u_pentomino().len(), 5);
+        for t in [domino(), l_tromino(), i_tromino(), p_pentomino(), plus_pentomino(), u_pentomino()]
+        {
+            assert!(t.is_connected());
+            assert!(t.contains(&Point::zero(2)));
+        }
+    }
+
+    #[test]
+    fn display_names() {
+        assert_eq!(Tetromino::S.to_string(), "S-tetromino");
+        assert_eq!(Tetromino::I.to_string(), "I-tetromino");
+    }
+}

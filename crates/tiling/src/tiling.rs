@@ -1,0 +1,466 @@
+//! Tilings of the lattice by translates of a single prototile (conditions T1 and T2).
+//!
+//! A subset `T ⊆ L` *tiles* the lattice with neighbourhoods of the form `N` when the
+//! translates `t + N` (for `t ∈ T`) cover every lattice point (T1) and are pairwise
+//! disjoint (T2). Theorem 1 of the paper converts any such tiling into an optimal
+//! collision-free schedule with `|N|` slots.
+//!
+//! Two representations of the translation set are supported:
+//!
+//! * **Sublattice tilings** — `T` is a full-rank sublattice `Λ` of index `|N|`; this
+//!   is the regular ("lattice") tiling case, and by the classical results cited in
+//!   Section 3 it suffices for every exact polyomino.
+//! * **Coset (periodic) tilings** — `T` is a finite union of cosets `o_i + Λ` of a
+//!   period sublattice `Λ`; this covers every periodic tiling, including ones that
+//!   are not sublattice tilings.
+
+use crate::error::{Result, TilingError};
+use crate::prototile::Prototile;
+use latsched_lattice::{BoxRegion, Point, Sublattice};
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// The translation set `T` of a tiling.
+#[derive(Clone, PartialEq, Eq, Debug, Serialize, Deserialize)]
+pub enum TranslationSet {
+    /// `T = Λ`, a full-rank sublattice.
+    Sublattice(Sublattice),
+    /// `T = ⋃ (o_i + Λ)`, a union of cosets of the period sublattice `Λ`.
+    Cosets {
+        /// The period sublattice `Λ`.
+        period: Sublattice,
+        /// The coset offsets `o_i` (stored as canonical representatives).
+        offsets: Vec<Point>,
+    },
+}
+
+impl TranslationSet {
+    /// The ambient dimension.
+    pub fn dim(&self) -> usize {
+        match self {
+            TranslationSet::Sublattice(s) => s.dim(),
+            TranslationSet::Cosets { period, .. } => period.dim(),
+        }
+    }
+
+    /// The period sublattice under which the translation set is invariant.
+    pub fn period(&self) -> &Sublattice {
+        match self {
+            TranslationSet::Sublattice(s) => s,
+            TranslationSet::Cosets { period, .. } => period,
+        }
+    }
+
+    /// The coset offsets of the translation set relative to its period (for a plain
+    /// sublattice this is just the origin).
+    pub fn offsets(&self) -> Vec<Point> {
+        match self {
+            TranslationSet::Sublattice(s) => vec![Point::zero(s.dim())],
+            TranslationSet::Cosets { offsets, .. } => offsets.clone(),
+        }
+    }
+
+    /// Returns `true` if the point belongs to the translation set.
+    ///
+    /// # Errors
+    ///
+    /// Returns a dimension-mismatch error if `p` has the wrong dimension.
+    pub fn contains(&self, p: &Point) -> Result<bool> {
+        match self {
+            TranslationSet::Sublattice(s) => Ok(s.contains(p)?),
+            TranslationSet::Cosets { period, offsets } => {
+                let rep = period.reduce(p)?;
+                Ok(offsets.iter().any(|o| {
+                    period
+                        .reduce(o)
+                        .map(|orep| orep == rep)
+                        .unwrap_or(false)
+                }))
+            }
+        }
+    }
+}
+
+/// A point of the lattice together with the tile covering it: the translation `t ∈ T`
+/// and the index of the element `n ∈ N` such that the point equals `t + n`.
+#[derive(Clone, PartialEq, Eq, Debug, Serialize, Deserialize)]
+pub struct Covering {
+    /// The translation `t ∈ T` of the tile containing the queried point.
+    pub translation: Point,
+    /// The index (into the prototile's lexicographically ordered elements) of the
+    /// element `n` with `point = t + n`.
+    pub element_index: usize,
+    /// The element `n` itself.
+    pub element: Point,
+}
+
+/// A verified tiling of `Z^d` by translates of a single prototile.
+///
+/// Construction checks conditions T1 and T2, so every value of this type *is* a
+/// tiling; the optimal schedule of Theorem 1 can be read off it directly.
+///
+/// # Examples
+///
+/// ```
+/// use latsched_tiling::{shapes, Tiling};
+/// use latsched_lattice::{Point, Sublattice};
+///
+/// // The 3×3 Chebyshev ball tiles Z² with the sublattice 3Z² (Figure 2, left).
+/// let n = shapes::chebyshev_ball(2, 1)?;
+/// let lambda = Sublattice::from_vectors(&[Point::xy(3, 0), Point::xy(0, 3)]).unwrap();
+/// let tiling = Tiling::from_sublattice(n, lambda)?;
+/// assert_eq!(tiling.prototile().len(), 9);
+/// # Ok::<(), latsched_tiling::TilingError>(())
+/// ```
+#[derive(Clone, PartialEq, Eq, Debug, Serialize, Deserialize)]
+pub struct Tiling {
+    prototile: Prototile,
+    elements: Vec<Point>,
+    translations: TranslationSet,
+    /// canonical coset representative (mod the period) ↦ (offset index, element index)
+    cover: BTreeMap<Point, (usize, usize)>,
+}
+
+impl Tiling {
+    /// Creates a tiling after verifying conditions T1 (coverage) and T2
+    /// (disjointness).
+    ///
+    /// # Errors
+    ///
+    /// * [`TilingError::DimensionMismatch`] if the prototile and translation set have
+    ///   different dimensions;
+    /// * [`TilingError::Overlap`] if two tiles would overlap (T2 fails);
+    /// * [`TilingError::CoverageGap`] if some lattice point would be uncovered (T1
+    ///   fails).
+    pub fn new(prototile: Prototile, translations: TranslationSet) -> Result<Self> {
+        if prototile.dim() != translations.dim() {
+            return Err(TilingError::DimensionMismatch {
+                expected: translations.dim(),
+                found: prototile.dim(),
+            });
+        }
+        let period = translations.period().clone();
+        let offsets = translations.offsets();
+        let elements = prototile.to_points();
+
+        let mut cover: BTreeMap<Point, (usize, usize)> = BTreeMap::new();
+        for (oi, o) in offsets.iter().enumerate() {
+            for (ei, n) in elements.iter().enumerate() {
+                let rep = period.reduce(&(o + n))?;
+                if cover.insert(rep.clone(), (oi, ei)).is_some() {
+                    return Err(TilingError::Overlap {
+                        witness: rep.to_string(),
+                    });
+                }
+            }
+        }
+        if (cover.len() as u64) != period.index() {
+            // Find an uncovered coset to report.
+            let witness = period
+                .coset_representatives()
+                .into_iter()
+                .find(|r| !cover.contains_key(r))
+                .map(|r| r.to_string())
+                .unwrap_or_else(|| "unknown".to_string());
+            return Err(TilingError::CoverageGap { witness });
+        }
+        Ok(Tiling {
+            prototile,
+            elements,
+            translations,
+            cover,
+        })
+    }
+
+    /// Creates a tiling whose translation set is the given sublattice.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`Tiling::new`].
+    pub fn from_sublattice(prototile: Prototile, sublattice: Sublattice) -> Result<Self> {
+        Tiling::new(prototile, TranslationSet::Sublattice(sublattice))
+    }
+
+    /// The prototile `N`.
+    pub fn prototile(&self) -> &Prototile {
+        &self.prototile
+    }
+
+    /// The elements of `N` in lexicographic order; the element index in a
+    /// [`Covering`] refers to this ordering.
+    pub fn elements(&self) -> &[Point] {
+        &self.elements
+    }
+
+    /// The translation set `T`.
+    pub fn translations(&self) -> &TranslationSet {
+        &self.translations
+    }
+
+    /// The period sublattice of the tiling (equal to `T` itself for sublattice
+    /// tilings).
+    pub fn period(&self) -> &Sublattice {
+        self.translations.period()
+    }
+
+    /// The ambient dimension.
+    pub fn dim(&self) -> usize {
+        self.prototile.dim()
+    }
+
+    /// Finds the unique tile covering a lattice point.
+    ///
+    /// # Errors
+    ///
+    /// Returns a dimension-mismatch error if `p` has the wrong dimension.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use latsched_tiling::{shapes, Tiling};
+    /// use latsched_lattice::{Point, Sublattice};
+    ///
+    /// let n = shapes::chebyshev_ball(2, 1)?;
+    /// let lambda = Sublattice::from_vectors(&[Point::xy(3, 0), Point::xy(0, 3)]).unwrap();
+    /// let tiling = Tiling::from_sublattice(n, lambda)?;
+    /// let cover = tiling.covering(&Point::xy(4, 4))?;
+    /// assert_eq!(&cover.translation + &cover.element, Point::xy(4, 4));
+    /// # Ok::<(), latsched_tiling::TilingError>(())
+    /// ```
+    pub fn covering(&self, p: &Point) -> Result<Covering> {
+        let rep = self.period().reduce(p)?;
+        let &(_, ei) = self
+            .cover
+            .get(&rep)
+            .expect("construction guarantees every coset is covered");
+        let element = self.elements[ei].clone();
+        Ok(Covering {
+            translation: p - &element,
+            element_index: ei,
+            element,
+        })
+    }
+
+    /// Enumerates the translations `t ∈ T` whose tiles intersect the given box.
+    ///
+    /// # Errors
+    ///
+    /// Returns a dimension-mismatch error if the region has the wrong dimension.
+    pub fn translations_in(&self, region: &BoxRegion) -> Result<Vec<Point>> {
+        let radius = self.prototile.radius_linf();
+        let grown = region
+            .grown(radius)
+            .map_err(TilingError::Lattice)?;
+        let mut out = Vec::new();
+        for t in grown.iter() {
+            if self.translations.contains(&t)? {
+                // Keep only translates whose tile actually meets the region.
+                if self
+                    .prototile
+                    .iter()
+                    .any(|n| region.contains(&(&t + n)))
+                {
+                    out.push(t);
+                }
+            }
+        }
+        Ok(out)
+    }
+
+    /// The number of time slots `m = |N|` of the schedule of Theorem 1.
+    pub fn slot_count(&self) -> usize {
+        self.prototile.len()
+    }
+}
+
+impl fmt::Display for Tiling {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "tiling of Z^{} by a {}-element prototile with period {}",
+            self.dim(),
+            self.prototile.len(),
+            self.period()
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::shapes;
+    use crate::tetromino::Tetromino;
+
+    fn chebyshev_tiling() -> Tiling {
+        let n = shapes::chebyshev_ball(2, 1).unwrap();
+        let lambda = Sublattice::from_vectors(&[Point::xy(3, 0), Point::xy(0, 3)]).unwrap();
+        Tiling::from_sublattice(n, lambda).unwrap()
+    }
+
+    #[test]
+    fn chebyshev_ball_tiles_with_3z_times_3z() {
+        let t = chebyshev_tiling();
+        assert_eq!(t.slot_count(), 9);
+        assert_eq!(t.period().index(), 9);
+        assert_eq!(t.dim(), 2);
+    }
+
+    #[test]
+    fn overlap_is_rejected() {
+        // The 3×3 ball with the sublattice 2Z × 2Z (index 4 < 9): two elements fall in
+        // the same coset, violating T2.
+        let n = shapes::chebyshev_ball(2, 1).unwrap();
+        let lambda = Sublattice::scaled(2, 2).unwrap();
+        let err = Tiling::from_sublattice(n, lambda).unwrap_err();
+        assert!(matches!(err, TilingError::Overlap { .. }));
+    }
+
+    #[test]
+    fn coverage_gap_is_rejected() {
+        // A 2-element prototile with a period of index 4 and a single offset covers
+        // only half the cosets.
+        let n = Prototile::from_cells(&[(0, 0), (1, 0)]).unwrap();
+        let period = Sublattice::scaled(2, 2).unwrap();
+        let err = Tiling::new(
+            n,
+            TranslationSet::Cosets {
+                period,
+                offsets: vec![Point::xy(0, 0)],
+            },
+        )
+        .unwrap_err();
+        assert!(matches!(err, TilingError::CoverageGap { .. }));
+    }
+
+    #[test]
+    fn dimension_mismatch_is_rejected() {
+        let n = Prototile::new(vec![Point::zero(3)]).unwrap();
+        let lambda = Sublattice::full(2).unwrap();
+        assert!(matches!(
+            Tiling::from_sublattice(n, lambda).unwrap_err(),
+            TilingError::DimensionMismatch { .. }
+        ));
+    }
+
+    #[test]
+    fn covering_is_consistent_everywhere() {
+        let t = chebyshev_tiling();
+        for x in -6..6 {
+            for y in -6..6 {
+                let p = Point::xy(x, y);
+                let c = t.covering(&p).unwrap();
+                assert_eq!(&c.translation + &c.element, p);
+                assert!(t.translations().contains(&c.translation).unwrap());
+                assert!(t.prototile().contains(&c.element));
+                assert_eq!(t.elements()[c.element_index], c.element);
+            }
+        }
+    }
+
+    #[test]
+    fn covering_is_translation_equivariant_under_the_period() {
+        let t = chebyshev_tiling();
+        let period_vec = Point::xy(3, 0);
+        for x in -3..3 {
+            for y in -3..3 {
+                let p = Point::xy(x, y);
+                let c1 = t.covering(&p).unwrap();
+                let c2 = t.covering(&(&p + &period_vec)).unwrap();
+                assert_eq!(c1.element_index, c2.element_index);
+                assert_eq!(&c2.translation - &c1.translation, period_vec);
+            }
+        }
+    }
+
+    #[test]
+    fn domino_brick_tiling_via_cosets() {
+        // Dominoes in a running-bond (brick) pattern: period Λ = <(2,0),(1,1)>? That
+        // sublattice has index 2 and the domino is a transversal. Use the coset form
+        // with a single offset to exercise the Cosets variant.
+        let domino = crate::tetromino::domino();
+        let period = Sublattice::from_vectors(&[Point::xy(2, 0), Point::xy(1, 1)]).unwrap();
+        assert_eq!(period.index(), 2);
+        let tiling = Tiling::new(
+            domino,
+            TranslationSet::Cosets {
+                period: period.clone(),
+                offsets: vec![Point::xy(0, 0)],
+            },
+        )
+        .unwrap();
+        for x in -4..4 {
+            for y in -4..4 {
+                let p = Point::xy(x, y);
+                let c = tiling.covering(&p).unwrap();
+                assert_eq!(&c.translation + &c.element, p);
+            }
+        }
+    }
+
+    #[test]
+    fn s_tetromino_tiles_with_2z_squared_but_not_every_index4_sublattice() {
+        // The S tetromino {(0,0),(1,0),(1,1),(2,1)} hits all four residues mod 2, so
+        // it is a transversal of 2Z² and tiles with that sublattice.
+        let s = Tetromino::S.prototile();
+        let two_z = Sublattice::scaled(2, 2).unwrap();
+        assert!(Tiling::from_sublattice(s.clone(), two_z).is_ok());
+        // …but not with ⟨(2,1),(0,2)⟩: there (2,1) ≡ (0,0), so tiles overlap.
+        let bad = Sublattice::from_vectors(&[Point::xy(2, 1), Point::xy(0, 2)]).unwrap();
+        assert!(matches!(
+            Tiling::from_sublattice(s, bad).unwrap_err(),
+            TilingError::Overlap { .. }
+        ));
+    }
+
+    #[test]
+    fn translations_in_region() {
+        let t = chebyshev_tiling();
+        let window = BoxRegion::square_window(2, 9).unwrap();
+        let translations = t.translations_in(&window).unwrap();
+        // The window [0,9)² is exactly covered by 9 full tiles plus boundary tiles
+        // whose centres lie just outside; every returned translate must intersect it.
+        assert!(translations.len() >= 9);
+        for tr in &translations {
+            assert!(t.translations().contains(tr).unwrap());
+            assert!(t.prototile().iter().any(|n| window.contains(&(tr + n))));
+        }
+        // Full coverage: every window point is covered by exactly one returned tile.
+        let mut covered = std::collections::BTreeSet::new();
+        for tr in &translations {
+            for n in t.prototile().iter() {
+                let p = tr + n;
+                if window.contains(&p) {
+                    assert!(covered.insert(p), "tiles must not overlap");
+                }
+            }
+        }
+        assert_eq!(covered.len() as u64, window.len());
+    }
+
+    #[test]
+    fn translation_set_accessors() {
+        let lambda = Sublattice::scaled(2, 2).unwrap();
+        let ts = TranslationSet::Sublattice(lambda.clone());
+        assert_eq!(ts.dim(), 2);
+        assert_eq!(ts.offsets(), vec![Point::zero(2)]);
+        assert!(ts.contains(&Point::xy(2, -2)).unwrap());
+        assert!(!ts.contains(&Point::xy(1, 0)).unwrap());
+
+        let cosets = TranslationSet::Cosets {
+            period: lambda,
+            offsets: vec![Point::xy(0, 0), Point::xy(1, 1)],
+        };
+        assert_eq!(cosets.offsets().len(), 2);
+        assert!(cosets.contains(&Point::xy(3, 3)).unwrap());
+        assert!(!cosets.contains(&Point::xy(1, 0)).unwrap());
+    }
+
+    #[test]
+    fn display_mentions_size_and_period() {
+        let t = chebyshev_tiling();
+        let s = t.to_string();
+        assert!(s.contains("9-element"));
+        assert!(s.contains("index 9"));
+    }
+}

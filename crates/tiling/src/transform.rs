@@ -1,0 +1,237 @@
+//! Lattice symmetries of `Z²` applied to prototiles.
+//!
+//! Section 4 of the paper motivates multiple prototiles by "different rotated
+//! versions of the tile if the radiation pattern of the antenna … is asymmetrical".
+//! The eight elements of the dihedral group of the square lattice are provided here
+//! so that such rotated/reflected variants can be generated from one base shape.
+
+use crate::error::{Result, TilingError};
+use crate::prototile::Prototile;
+use latsched_lattice::Point;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// A symmetry of the square lattice `Z²` fixing the origin (an element of the
+/// dihedral group `D₄`).
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug, Serialize, Deserialize)]
+pub enum Transform2D {
+    /// The identity.
+    Identity,
+    /// Counter-clockwise rotation by 90°: `(x, y) ↦ (-y, x)`.
+    Rotate90,
+    /// Rotation by 180°: `(x, y) ↦ (-x, -y)`.
+    Rotate180,
+    /// Counter-clockwise rotation by 270°: `(x, y) ↦ (y, -x)`.
+    Rotate270,
+    /// Reflection across the `x`-axis: `(x, y) ↦ (x, -y)`.
+    ReflectX,
+    /// Reflection across the `y`-axis: `(x, y) ↦ (-x, y)`.
+    ReflectY,
+    /// Reflection across the main diagonal: `(x, y) ↦ (y, x)`.
+    ReflectDiagonal,
+    /// Reflection across the anti-diagonal: `(x, y) ↦ (-y, -x)`.
+    ReflectAntiDiagonal,
+}
+
+impl Transform2D {
+    /// All eight symmetries in a fixed order.
+    pub const ALL: [Transform2D; 8] = [
+        Transform2D::Identity,
+        Transform2D::Rotate90,
+        Transform2D::Rotate180,
+        Transform2D::Rotate270,
+        Transform2D::ReflectX,
+        Transform2D::ReflectY,
+        Transform2D::ReflectDiagonal,
+        Transform2D::ReflectAntiDiagonal,
+    ];
+
+    /// Applies the symmetry to a two-dimensional point.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TilingError::NotTwoDimensional`] if `p.dim() != 2`.
+    pub fn apply(&self, p: &Point) -> Result<Point> {
+        if p.dim() != 2 {
+            return Err(TilingError::NotTwoDimensional(p.dim()));
+        }
+        let (x, y) = (p.x(), p.y());
+        let (nx, ny) = match self {
+            Transform2D::Identity => (x, y),
+            Transform2D::Rotate90 => (-y, x),
+            Transform2D::Rotate180 => (-x, -y),
+            Transform2D::Rotate270 => (y, -x),
+            Transform2D::ReflectX => (x, -y),
+            Transform2D::ReflectY => (-x, y),
+            Transform2D::ReflectDiagonal => (y, x),
+            Transform2D::ReflectAntiDiagonal => (-y, -x),
+        };
+        Ok(Point::xy(nx, ny))
+    }
+
+    /// Applies the symmetry to every element of a prototile. The origin is fixed, so
+    /// the result is again a valid prototile.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TilingError::NotTwoDimensional`] if the prototile is not planar.
+    pub fn apply_to_prototile(&self, tile: &Prototile) -> Result<Prototile> {
+        let points: Result<Vec<Point>> = tile.iter().map(|p| self.apply(p)).collect();
+        Prototile::new(points?)
+    }
+
+    /// The composition `self ∘ other` (apply `other` first).
+    pub fn compose(&self, other: &Transform2D) -> Transform2D {
+        // Compose by examining the images of the two basis vectors.
+        let e1 = other
+            .apply(&Point::xy(1, 0))
+            .and_then(|p| self.apply(&p))
+            .expect("2-D points");
+        let e2 = other
+            .apply(&Point::xy(0, 1))
+            .and_then(|p| self.apply(&p))
+            .expect("2-D points");
+        for t in Transform2D::ALL {
+            if t.apply(&Point::xy(1, 0)).unwrap() == e1 && t.apply(&Point::xy(0, 1)).unwrap() == e2
+            {
+                return t;
+            }
+        }
+        unreachable!("composition of lattice symmetries is a lattice symmetry")
+    }
+
+    /// The inverse symmetry.
+    pub fn inverse(&self) -> Transform2D {
+        for t in Transform2D::ALL {
+            if t.compose(self) == Transform2D::Identity {
+                return t;
+            }
+        }
+        unreachable!("every symmetry has an inverse")
+    }
+}
+
+impl fmt::Display for Transform2D {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let name = match self {
+            Transform2D::Identity => "identity",
+            Transform2D::Rotate90 => "rotate 90",
+            Transform2D::Rotate180 => "rotate 180",
+            Transform2D::Rotate270 => "rotate 270",
+            Transform2D::ReflectX => "reflect across x-axis",
+            Transform2D::ReflectY => "reflect across y-axis",
+            Transform2D::ReflectDiagonal => "reflect across diagonal",
+            Transform2D::ReflectAntiDiagonal => "reflect across anti-diagonal",
+        };
+        write!(f, "{name}")
+    }
+}
+
+/// Returns the distinct prototiles obtained by applying all eight symmetries of `Z²`
+/// to the given prototile (the orbit under `D₄`), in a deterministic order.
+///
+/// # Errors
+///
+/// Returns [`TilingError::NotTwoDimensional`] if the prototile is not planar.
+pub fn symmetry_orbit(tile: &Prototile) -> Result<Vec<Prototile>> {
+    let mut orbit = Vec::new();
+    for t in Transform2D::ALL {
+        let image = t.apply_to_prototile(tile)?;
+        if !orbit.contains(&image) {
+            orbit.push(image);
+        }
+    }
+    Ok(orbit)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::shapes;
+
+    #[test]
+    fn rotations_act_as_expected() {
+        let p = Point::xy(2, 1);
+        assert_eq!(Transform2D::Rotate90.apply(&p).unwrap(), Point::xy(-1, 2));
+        assert_eq!(Transform2D::Rotate180.apply(&p).unwrap(), Point::xy(-2, -1));
+        assert_eq!(Transform2D::Rotate270.apply(&p).unwrap(), Point::xy(1, -2));
+        assert_eq!(Transform2D::Identity.apply(&p).unwrap(), p);
+    }
+
+    #[test]
+    fn reflections_act_as_expected() {
+        let p = Point::xy(2, 1);
+        assert_eq!(Transform2D::ReflectX.apply(&p).unwrap(), Point::xy(2, -1));
+        assert_eq!(Transform2D::ReflectY.apply(&p).unwrap(), Point::xy(-2, 1));
+        assert_eq!(Transform2D::ReflectDiagonal.apply(&p).unwrap(), Point::xy(1, 2));
+        assert_eq!(
+            Transform2D::ReflectAntiDiagonal.apply(&p).unwrap(),
+            Point::xy(-1, -2)
+        );
+    }
+
+    #[test]
+    fn non_planar_points_are_rejected() {
+        assert!(Transform2D::Rotate90.apply(&Point::xyz(1, 2, 3)).is_err());
+        let cube = Prototile::new(vec![Point::zero(3)]).unwrap();
+        assert!(Transform2D::Rotate90.apply_to_prototile(&cube).is_err());
+    }
+
+    #[test]
+    fn group_structure() {
+        // Rotations compose cyclically.
+        assert_eq!(
+            Transform2D::Rotate90.compose(&Transform2D::Rotate90),
+            Transform2D::Rotate180
+        );
+        assert_eq!(
+            Transform2D::Rotate90.compose(&Transform2D::Rotate270),
+            Transform2D::Identity
+        );
+        // Every element has the correct inverse.
+        for t in Transform2D::ALL {
+            assert_eq!(t.compose(&t.inverse()), Transform2D::Identity);
+            assert_eq!(t.inverse().compose(&t), Transform2D::Identity);
+        }
+        // The group has order 8 and composition is closed (spot check).
+        for a in Transform2D::ALL {
+            for b in Transform2D::ALL {
+                let _ = a.compose(&b);
+            }
+        }
+    }
+
+    #[test]
+    fn prototile_transforms_preserve_size_and_origin() {
+        let d = shapes::directional_antenna();
+        for t in Transform2D::ALL {
+            let image = t.apply_to_prototile(&d).unwrap();
+            assert_eq!(image.len(), d.len());
+            assert!(image.contains(&Point::zero(2)));
+        }
+        let rotated = Transform2D::Rotate90.apply_to_prototile(&d).unwrap();
+        assert!(rotated.contains(&Point::xy(-1, 3)));
+    }
+
+    #[test]
+    fn symmetry_orbit_sizes() {
+        // A fully symmetric shape has a singleton orbit.
+        let moore = shapes::moore();
+        assert_eq!(symmetry_orbit(&moore).unwrap().len(), 1);
+        // The 4×2 directional antenna is anchored at a corner, so none of the eight
+        // symmetries maps its point set to itself: the orbit has all 8 images (they
+        // coincide pairwise only as shapes up to translation, not as point sets).
+        let d = shapes::directional_antenna();
+        assert_eq!(symmetry_orbit(&d).unwrap().len(), 8);
+        // An L-shaped tromino has orbit size 4 (it is symmetric under the diagonal
+        // reflection that fixes its corner).
+        let l = Prototile::from_cells(&[(0, 0), (1, 0), (0, 1)]).unwrap();
+        assert_eq!(symmetry_orbit(&l).unwrap().len(), 4);
+    }
+
+    #[test]
+    fn display_names() {
+        assert_eq!(Transform2D::Rotate90.to_string(), "rotate 90");
+        assert_eq!(Transform2D::ReflectX.to_string(), "reflect across x-axis");
+    }
+}

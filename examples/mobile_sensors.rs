@@ -1,0 +1,96 @@
+//! Mobile sensors scheduled by location (the paper's concluding construction).
+//!
+//! Slots are assigned to the Voronoi cells of the lattice points rather than to the
+//! sensors themselves. A sensor may broadcast when the slot of the cell it currently
+//! occupies comes up **and** its interference range fits inside that cell's tile.
+//! The example moves a population of sensors with a simple random-waypoint walk and
+//! checks, at every slot, that the transmitting sensors' interference disks are
+//! pairwise disjoint — i.e. the schedule stays collision-free under mobility.
+//!
+//! Run with: `cargo run --example mobile_sensors`
+
+use latsched::core::mobile::{interference_disks_disjoint, LocationSchedule, MobileSensor};
+use latsched::prelude::*;
+use rand::{Rng, SeedableRng};
+use rand_chacha::ChaCha8Rng;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // Stationary scaffolding: the Moore neighbourhood tiling of Z² and the standard
+    // square-lattice geometry.
+    let tiling = find_tiling(&shapes::moore())?.expect("the Moore neighbourhood is exact");
+    let schedule = LocationSchedule::new(tiling, Embedding::standard(2))?;
+    println!("Location schedule: {schedule}");
+
+    // A population of mobile sensors wandering inside a 12×12 arena.
+    let mut rng = ChaCha8Rng::seed_from_u64(2008);
+    let arena = 12.0;
+    let mut sensors: Vec<MobileSensor> = (0..40)
+        .map(|id| MobileSensor {
+            id,
+            position: [rng.gen::<f64>() * arena, rng.gen::<f64>() * arena],
+            range: 0.35,
+        })
+        .collect();
+
+    let slots = 200u64;
+    let mut transmissions = 0usize;
+    let mut silent_due_to_fit = 0usize;
+    let mut silent_due_to_crowding = 0usize;
+    for t in 0..slots {
+        // The paper assumes the lattice is fine enough that at most one sensor sits
+        // in any Voronoi cell. The random walk can violate that, so the example
+        // operationalizes the assumption: a sensor may only use its cell's slot if it
+        // is the sole occupant of the cell.
+        let mut occupancy = std::collections::BTreeMap::new();
+        for s in &sensors {
+            *occupancy
+                .entry(schedule.home_lattice_point(s.position))
+                .or_insert(0usize) += 1;
+        }
+        // Who may transmit right now?
+        let candidates = schedule.transmitters_at(&sensors, t)?;
+        let transmitters: Vec<&MobileSensor> = candidates
+            .into_iter()
+            .filter(|s| occupancy[&schedule.home_lattice_point(s.position)] == 1)
+            .collect();
+        // Sensors sharing a cell with another sensor cannot use the cell's slot.
+        silent_due_to_crowding +=
+            sensors.len() - occupancy.values().filter(|&&c| c == 1).count();
+        transmissions += transmitters.len();
+        assert!(
+            interference_disks_disjoint(&transmitters),
+            "mobile schedule produced overlapping interference disks at t={t}"
+        );
+        // Count sensors whose slot came up but whose range did not fit their tile.
+        for s in &sensors {
+            let slot = schedule.slot_of_position(s.position)?;
+            if t % schedule.num_slots() as u64 == slot as u64
+                && !schedule.may_transmit(s, t)?
+            {
+                silent_due_to_fit += 1;
+            }
+        }
+        // Random-waypoint-style jitter: every sensor takes a small random step,
+        // reflected back into the arena.
+        for s in &mut sensors {
+            for axis in 0..2 {
+                let step = rng.gen_range(-0.25..0.25);
+                s.position[axis] = (s.position[axis] + step).clamp(0.0, arena);
+            }
+        }
+    }
+
+    println!(
+        "Simulated {slots} slots with 40 mobile sensors: {transmissions} transmissions, \
+         0 collisions (verified every slot)."
+    );
+    println!(
+        "{silent_due_to_fit} transmission opportunities were skipped because the sensor's \
+         range did not fit its current tile (the price of mobility in this scheme)."
+    );
+    println!(
+        "{silent_due_to_crowding} sensor-slots were spent sharing a Voronoi cell with another \
+         sensor (the paper assumes the lattice is fine enough for this never to happen)."
+    );
+    Ok(())
+}

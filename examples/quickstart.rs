@@ -1,0 +1,52 @@
+//! Quickstart: derive an optimal collision-free broadcast schedule for sensors on the
+//! square lattice with an omnidirectional (Moore / Chebyshev-ball) interference
+//! neighbourhood, verify it, and print a window of the slot assignment.
+//!
+//! Run with: `cargo run --example quickstart`
+
+use latsched::prelude::*;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // 1. The interference neighbourhood of every sensor: the 3×3 Chebyshev ball of
+    //    radius 1 (Figure 2, left, of the paper). |N| = 9.
+    let neighbourhood = shapes::moore();
+    println!("Interference neighbourhood ({} sensors affected):", neighbourhood.len());
+    println!("{}", neighbourhood.to_ascii()?);
+
+    // 2. Find a tiling of the lattice by translates of N. The search enumerates the
+    //    sublattices of index |N| and returns one for which N is a transversal.
+    let tiling = find_tiling(&neighbourhood)?.expect("the Moore neighbourhood tiles Z^2");
+    println!("Tiling found: {tiling}");
+
+    // 3. Theorem 1: read the schedule off the tiling. Each sensor's slot is its
+    //    position within its tile, so the schedule has m = |N| = 9 slots.
+    let schedule = theorem1::schedule_from_tiling(&tiling);
+    let deployment = theorem1::deployment_for(&tiling);
+    println!("Schedule: {schedule}");
+
+    // 4. Verify collision-freedom exactly (for the entire infinite lattice) and check
+    //    optimality against the clique lower bound.
+    let report = verify::verify_schedule(&schedule, &deployment)?;
+    println!("Verification: {report}");
+    assert!(report.collision_free());
+    assert!(optimality::is_optimal(&schedule, &deployment));
+    println!(
+        "The schedule is optimal: no collision-free periodic schedule uses fewer than {} slots.",
+        optimality::slot_lower_bound(&deployment)
+    );
+
+    // 5. Show the slot of every sensor in a 9×9 window (the textual analogue of
+    //    Figure 3 of the paper).
+    let window = BoxRegion::square_window(2, 9)?;
+    println!("\nSlot assignment on a 9x9 window:");
+    println!("{}", schedule.render_window(&window)?);
+
+    // 6. A sensor may broadcast at time t iff t ≡ slot (mod 9).
+    let p = Point::xy(4, 7);
+    println!(
+        "Sensor at {p} has slot {} and may transmit at t=100: {}",
+        schedule.slot_of(&p)?,
+        schedule.may_transmit(&p, 100)?
+    );
+    Ok(())
+}

@@ -1,0 +1,150 @@
+//! Property-based tests of the algebraic substrate (Hermite/Smith normal forms,
+//! sublattice equality, symmetry orbits) that the scheduling results rest on.
+
+use latsched::lattice::{hermite_normal_form, is_hermite_normal_form, smith_invariant_factors};
+use latsched::prelude::*;
+use latsched::tiling::{symmetry_orbit, Transform2D};
+use proptest::prelude::*;
+
+/// Strategy: a random nonsingular 2×2 integer matrix with small entries.
+fn nonsingular_matrix() -> impl Strategy<Value = IntMatrix> {
+    ((-6i64..7), (-6i64..7), (-6i64..7), (-6i64..7)).prop_filter_map(
+        "matrix must be nonsingular",
+        |(a, b, c, d)| {
+            if a * d - b * c == 0 {
+                None
+            } else {
+                IntMatrix::from_rows(vec![vec![a, b], vec![c, d]]).ok()
+            }
+        },
+    )
+}
+
+/// Strategy: a small connected polyomino grown from the origin.
+fn polyomino(max_cells: usize) -> impl Strategy<Value = Prototile> {
+    proptest::collection::vec((0usize..4, 0usize..8), 0..max_cells).prop_map(|steps| {
+        let mut cells = vec![Point::xy(0, 0)];
+        for (direction, which) in steps {
+            let base = cells[which % cells.len()].clone();
+            let delta = match direction {
+                0 => Point::xy(1, 0),
+                1 => Point::xy(-1, 0),
+                2 => Point::xy(0, 1),
+                _ => Point::xy(0, -1),
+            };
+            let candidate = &base + &delta;
+            if !cells.contains(&candidate) {
+                cells.push(candidate);
+            }
+        }
+        Prototile::new(cells).expect("grown polyomino contains the origin")
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn hnf_is_canonical_and_preserves_the_lattice(m in nonsingular_matrix()) {
+        let h = hermite_normal_form(&m).unwrap();
+        prop_assert!(is_hermite_normal_form(&h));
+        // Same absolute determinant (same index).
+        prop_assert_eq!(h.determinant().unwrap(), m.determinant().unwrap().abs());
+        // Same row span: the sublattices built from both bases are equal.
+        let original = Sublattice::from_basis(&m).unwrap();
+        let canonical = Sublattice::from_basis(&h).unwrap();
+        prop_assert_eq!(original.clone(), canonical);
+        // Idempotence.
+        prop_assert_eq!(hermite_normal_form(&h).unwrap(), h);
+        // Every original row belongs to the sublattice described by the HNF.
+        for r in 0..m.rows() {
+            prop_assert!(original.contains(&m.row_point(r)).unwrap());
+        }
+    }
+
+    #[test]
+    fn smith_invariant_factors_divide_and_multiply_to_the_index(m in nonsingular_matrix()) {
+        let factors = smith_invariant_factors(&m).unwrap();
+        let det = m.determinant().unwrap().abs();
+        let product: i128 = factors.iter().map(|&f| f as i128).product();
+        prop_assert_eq!(product, det);
+        for pair in factors.windows(2) {
+            prop_assert!(pair[0] > 0);
+            prop_assert_eq!(pair[1] % pair[0], 0);
+        }
+    }
+
+    #[test]
+    fn sublattice_membership_is_closed_under_the_group_operations(
+        m in nonsingular_matrix(),
+        a in (-5i64..6, -5i64..6),
+        b in (-5i64..6, -5i64..6),
+    ) {
+        let lambda = Sublattice::from_basis(&m).unwrap();
+        let u = m.row_point(0).scaled(a.0) + m.row_point(1).scaled(a.1);
+        let v = m.row_point(0).scaled(b.0) + m.row_point(1).scaled(b.1);
+        prop_assert!(lambda.contains(&u).unwrap());
+        prop_assert!(lambda.contains(&v).unwrap());
+        prop_assert!(lambda.contains(&(&u + &v)).unwrap());
+        prop_assert!(lambda.contains(&(-&u)).unwrap());
+    }
+
+    #[test]
+    fn exactness_is_invariant_under_lattice_symmetries(tile in polyomino(6)) {
+        // Rotating or reflecting a prototile cannot change whether it tiles the
+        // lattice.
+        let base = is_exact(&tile).unwrap();
+        for image in symmetry_orbit(&tile).unwrap() {
+            prop_assert_eq!(is_exact(&image).unwrap(), base, "symmetry changed exactness of {}", tile);
+        }
+    }
+
+    #[test]
+    fn symmetry_transforms_preserve_size_and_difference_sets(tile in polyomino(6)) {
+        for t in Transform2D::ALL {
+            let image = t.apply_to_prototile(&tile).unwrap();
+            prop_assert_eq!(image.len(), tile.len());
+            // The difference set transforms with the same symmetry, so its size is
+            // preserved.
+            prop_assert_eq!(image.difference_set().len(), tile.difference_set().len());
+        }
+    }
+
+    #[test]
+    fn boundary_words_close_and_have_even_length_for_connected_polyominoes(tile in polyomino(7)) {
+        let word = boundary_word(&tile);
+        // Growth always yields a connected, simply connected polyomino, so the word
+        // exists; it must close up and (as a closed curve on the grid) have even
+        // length.
+        if let Ok(word) = word {
+            prop_assert_eq!(word.displacement(), (0, 0));
+            prop_assert_eq!(word.len() % 2, 0);
+            prop_assert!(word.len() >= 4);
+        }
+    }
+
+    #[test]
+    fn schedules_from_any_found_tiling_have_balanced_slots(tile in polyomino(5)) {
+        if let Some(tiling) = find_tiling(&tile).unwrap() {
+            let schedule = theorem1::schedule_from_tiling(&tiling);
+            // Over one fundamental domain every slot is used exactly once.
+            let mut counts = vec![0usize; schedule.num_slots()];
+            for rep in tiling.period().coset_representatives() {
+                counts[schedule.slot_of(&rep).unwrap()] += 1;
+            }
+            prop_assert!(counts.iter().all(|&c| c == 1));
+        }
+    }
+}
+
+#[test]
+fn hnf_and_snf_agree_on_handpicked_textbook_cases() {
+    // ⟨(2,0),(0,2)⟩: quotient Z_2 × Z_2.
+    let m = IntMatrix::diagonal(&[2, 2]);
+    assert_eq!(smith_invariant_factors(&m).unwrap(), vec![2, 2]);
+    // ⟨(1,2),(3,4)⟩: determinant -2, quotient Z_2.
+    let m = IntMatrix::from_rows(vec![vec![1, 2], vec![3, 4]]).unwrap();
+    assert_eq!(smith_invariant_factors(&m).unwrap(), vec![1, 2]);
+    let h = hermite_normal_form(&m).unwrap();
+    assert_eq!(h.determinant().unwrap(), 2);
+}

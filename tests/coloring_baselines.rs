@@ -1,0 +1,99 @@
+//! Consistency of the colouring baselines across crates: every algorithm produces a
+//! proper colouring, the exact solver is never beaten, and on symmetric lattice
+//! neighbourhoods the tiling schedule matches the exact optimum.
+
+use latsched::prelude::*;
+
+fn conflicts(side: i64, shape: &Prototile) -> ConflictGraph {
+    let window = BoxRegion::square_window(2, side).unwrap();
+    InterferenceGraph::from_window(&window, Deployment::Homogeneous(shape.clone()))
+        .unwrap()
+        .conflict_graph()
+}
+
+#[test]
+fn all_algorithms_produce_proper_colourings() {
+    for shape in [shapes::von_neumann(), shapes::moore()] {
+        let graph = conflicts(6, &shape);
+        let results = vec![
+            ("tdma", tdma_coloring(&graph).unwrap()),
+            ("greedy-natural", greedy_coloring(&graph, GreedyOrder::Natural).unwrap()),
+            (
+                "greedy-degree",
+                greedy_coloring(&graph, GreedyOrder::LargestDegreeFirst).unwrap(),
+            ),
+            ("greedy-random", greedy_coloring(&graph, GreedyOrder::Random(3)).unwrap()),
+            ("dsatur", dsatur_coloring(&graph).unwrap()),
+            (
+                "annealing",
+                latsched::coloring::annealing_coloring(
+                    &graph,
+                    &latsched::coloring::AnnealingParams::default(),
+                )
+                .unwrap(),
+            ),
+            ("exact", exact_coloring(&graph, 64).unwrap()),
+        ];
+        let exact_count = results.last().unwrap().1.colors_used;
+        for (name, coloring) in &results {
+            assert!(graph.is_proper(&coloring.colors), "{name} on {shape}");
+            assert!(
+                coloring.colors_used >= exact_count,
+                "{name} beat the exact optimum on {shape}"
+            );
+        }
+    }
+}
+
+#[test]
+fn tiling_schedule_matches_exact_chromatic_number_for_symmetric_neighbourhoods() {
+    // Symmetric neighbourhoods: the paper's collision model equals distance-2
+    // colouring, so the |N|-slot tiling schedule should match the chromatic number of
+    // windows that contain N + N.
+    for (shape, expected) in [(shapes::von_neumann(), 5usize), (shapes::moore(), 9usize)] {
+        let graph = conflicts(6, &shape);
+        let exact = exact_coloring(&graph, 32).unwrap();
+        assert_eq!(exact.colors_used, expected, "{shape}");
+        let tiling = find_tiling(&shape).unwrap().unwrap();
+        assert_eq!(theorem1::schedule_from_tiling(&tiling).num_slots(), expected);
+    }
+}
+
+#[test]
+fn heuristic_quality_ordering_on_larger_instances() {
+    let shape = shapes::moore();
+    let graph = conflicts(10, &shape);
+    let tdma = tdma_coloring(&graph).unwrap().colors_used;
+    let greedy = greedy_coloring(&graph, GreedyOrder::Natural).unwrap().colors_used;
+    let dsatur = dsatur_coloring(&graph).unwrap().colors_used;
+    // The paper's scaling point: TDMA uses |V| slots, the clever schemes stay near
+    // the neighbourhood size regardless of the network size.
+    assert_eq!(tdma, 100);
+    assert!(greedy <= 2 * shape.len());
+    assert!(dsatur <= greedy + 2);
+    assert!(dsatur >= shape.len());
+}
+
+#[test]
+fn interference_graph_edge_counts_scale_with_window_size() {
+    let shape = shapes::von_neumann();
+    let small = InterferenceGraph::from_window(
+        &BoxRegion::square_window(2, 4).unwrap(),
+        Deployment::Homogeneous(shape.clone()),
+    )
+    .unwrap();
+    let large = InterferenceGraph::from_window(
+        &BoxRegion::square_window(2, 8).unwrap(),
+        Deployment::Homogeneous(shape),
+    )
+    .unwrap();
+    assert!(large.len() == 64 && small.len() == 16);
+    assert!(large.edge_count() > small.edge_count());
+    // Interior vertices affect exactly 4 neighbours.
+    let interior = large
+        .positions()
+        .iter()
+        .position(|p| p == &Point::xy(4, 4))
+        .unwrap();
+    assert_eq!(large.affected_by(interior).unwrap().len(), 4);
+}

@@ -1,0 +1,144 @@
+//! Property-based tests of the core scheduling invariants (proptest).
+//!
+//! These tests generate random prototiles, random tiling sublattices and random
+//! query points, and check the structural invariants the paper's proofs rely on:
+//! reductions are canonical, transversals induce collision-free schedules, slots are
+//! constant on cosets, and the lower bound argument always holds.
+
+use latsched::prelude::*;
+use proptest::prelude::*;
+
+/// Strategy: a random point of Z² with small coordinates.
+fn small_point() -> impl Strategy<Value = Point> {
+    (-20i64..20, -20i64..20).prop_map(|(x, y)| Point::xy(x, y))
+}
+
+/// Strategy: a random full-rank sublattice of Z² with index between 1 and ~32.
+fn sublattice() -> impl Strategy<Value = Sublattice> {
+    ((1i64..5), (0i64..5), (-4i64..5), (1i64..5)).prop_filter_map(
+        "basis must be nonsingular",
+        |(a, b, c, d)| {
+            // Rows (a, b) and (c, d); determinant a*d - b*c must be nonzero.
+            if a * d - b * c == 0 {
+                None
+            } else {
+                Sublattice::from_vectors(&[Point::xy(a, b), Point::xy(c, d)]).ok()
+            }
+        },
+    )
+}
+
+/// Strategy: a random connected polyomino with up to `max_cells` cells, grown from
+/// the origin by repeatedly attaching a random neighbouring cell.
+fn polyomino(max_cells: usize) -> impl Strategy<Value = Prototile> {
+    proptest::collection::vec((0usize..4, 0usize..8), 0..max_cells).prop_map(|steps| {
+        let mut cells = vec![Point::xy(0, 0)];
+        for (direction, which) in steps {
+            let base = cells[which % cells.len()].clone();
+            let delta = match direction {
+                0 => Point::xy(1, 0),
+                1 => Point::xy(-1, 0),
+                2 => Point::xy(0, 1),
+                _ => Point::xy(0, -1),
+            };
+            let candidate = &base + &delta;
+            if !cells.contains(&candidate) {
+                cells.push(candidate);
+            }
+        }
+        Prototile::new(cells).expect("grown polyomino contains the origin")
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    #[test]
+    fn reduction_is_idempotent_and_congruent(lambda in sublattice(), p in small_point()) {
+        let r = lambda.reduce(&p).unwrap();
+        prop_assert_eq!(lambda.reduce(&r).unwrap(), r.clone());
+        prop_assert!(lambda.contains(&(&p - &r)).unwrap());
+    }
+
+    #[test]
+    fn number_of_cosets_equals_index(lambda in sublattice()) {
+        let reps = lambda.coset_representatives();
+        prop_assert_eq!(reps.len() as u64, lambda.index());
+        // All representatives are canonical and distinct.
+        let set: std::collections::BTreeSet<_> = reps.iter().cloned().collect();
+        prop_assert_eq!(set.len(), reps.len());
+        for r in &reps {
+            prop_assert_eq!(&lambda.reduce(r).unwrap(), r);
+        }
+    }
+
+    #[test]
+    fn transversal_prototiles_always_schedule_collision_free(lambda in sublattice()) {
+        // The canonical coset representatives themselves form a prototile that is a
+        // transversal (it contains 0 because 0 is canonical), so Theorem 1 applies.
+        let prototile = Prototile::new(lambda.coset_representatives()).unwrap();
+        let tiling = Tiling::from_sublattice(prototile.clone(), lambda).unwrap();
+        let schedule = theorem1::schedule_from_tiling(&tiling);
+        let deployment = theorem1::deployment_for(&tiling);
+        prop_assert_eq!(schedule.num_slots(), prototile.len());
+        let report = verify::verify_schedule(&schedule, &deployment).unwrap();
+        prop_assert!(report.collision_free());
+        prop_assert!(optimality::is_optimal(&schedule, &deployment));
+    }
+
+    #[test]
+    fn slots_are_constant_on_cosets(lambda in sublattice(), p in small_point(), q in small_point()) {
+        let prototile = Prototile::new(lambda.coset_representatives()).unwrap();
+        let tiling = Tiling::from_sublattice(prototile, lambda.clone()).unwrap();
+        let schedule = theorem1::schedule_from_tiling(&tiling);
+        if lambda.congruent(&p, &q).unwrap() {
+            prop_assert_eq!(schedule.slot_of(&p).unwrap(), schedule.slot_of(&q).unwrap());
+        }
+        prop_assert!(schedule.slot_of(&p).unwrap() < schedule.num_slots());
+    }
+
+    #[test]
+    fn exactness_criteria_agree_on_random_polyominoes(tile in polyomino(7)) {
+        // Independent cross-check of the Beauquier–Nivat criterion against the
+        // complete sublattice search (they must agree on every polyomino).
+        let by_bn = is_exact_polyomino(&tile).unwrap();
+        let by_lattice = !latsched::tiling::sublattice_search::tiling_sublattices(&tile)
+            .unwrap()
+            .is_empty();
+        prop_assert_eq!(by_bn, by_lattice, "disagreement on {}", tile);
+    }
+
+    #[test]
+    fn exact_polyominoes_schedule_collision_free(tile in polyomino(6)) {
+        if let Some(tiling) = find_tiling(&tile).unwrap() {
+            let schedule = theorem1::schedule_from_tiling(&tiling);
+            let deployment = theorem1::deployment_for(&tiling);
+            prop_assert!(verify::verify_schedule(&schedule, &deployment)
+                .unwrap()
+                .collision_free());
+            prop_assert_eq!(schedule.num_slots(), tile.len());
+        }
+    }
+
+    #[test]
+    fn difference_sets_are_symmetric_and_bound_interference(tile in polyomino(6), p in small_point(), q in small_point()) {
+        let deployment = Deployment::Homogeneous(tile.clone());
+        let interferes = deployment.interferes(&p, &q).unwrap();
+        // Interference is symmetric and characterized by the difference set N - N.
+        prop_assert_eq!(interferes, deployment.interferes(&q, &p).unwrap());
+        let diff = tile.difference_set();
+        let expected = p != q && diff.contains(&(&q - &p));
+        prop_assert_eq!(interferes, expected);
+    }
+
+    #[test]
+    fn minkowski_sum_contains_both_summands_translates(tile in polyomino(5)) {
+        let sum = tile.minkowski_sum(&tile).unwrap();
+        // N + N contains N (because 0 ∈ N) and has size at most |N|².
+        for n in tile.iter() {
+            prop_assert!(sum.contains(n));
+        }
+        prop_assert!(sum.len() <= tile.len() * tile.len());
+        prop_assert!(sum.len() >= tile.len());
+    }
+}

@@ -1,0 +1,127 @@
+//! Cross-crate invariants of the network simulator, including property-based checks
+//! of its conservation laws.
+
+use latsched::prelude::*;
+use proptest::prelude::*;
+
+fn run(side: i64, mac: MacPolicy, traffic: TrafficModel, slots: u64, seed: u64) -> latsched::sensornet::SimMetrics {
+    let shape = shapes::moore();
+    let network = grid_network(side, &shape).unwrap();
+    run_simulation(
+        &network,
+        &SimConfig {
+            mac,
+            traffic,
+            slots,
+            seed,
+            ..SimConfig::default()
+        },
+    )
+    .unwrap()
+}
+
+#[test]
+fn packet_conservation_for_deterministic_schedules() {
+    let metrics = run(
+        6,
+        tiling_mac(&shapes::moore()).unwrap(),
+        TrafficModel::Periodic { period: 16 },
+        512,
+        1,
+    );
+    assert_eq!(
+        metrics.packets_generated,
+        metrics.packets_delivered + metrics.packets_dropped + metrics.packets_pending
+    );
+    assert_eq!(metrics.collisions, 0);
+    assert_eq!(metrics.packets_dropped, 0);
+}
+
+#[test]
+fn link_accounting_matches_transmissions() {
+    // receptions + collisions counts exactly one outcome per (transmission, intended
+    // receiver) pair, for every MAC.
+    for mac in [
+        tiling_mac(&shapes::moore()).unwrap(),
+        MacPolicy::Tdma,
+        MacPolicy::SlottedAloha { p: 0.2 },
+    ] {
+        let metrics = run(5, mac, TrafficModel::Bernoulli { p: 0.1 }, 300, 9);
+        assert!(metrics.receptions + metrics.collisions >= metrics.transmissions.saturating_sub(
+            // transmitters with no in-window neighbours produce no link outcomes; on
+            // a 5×5 Moore grid every node has at least 3 neighbours, so none.
+            0
+        ));
+        assert_eq!(
+            metrics.packets_generated,
+            metrics.packets_delivered + metrics.packets_dropped + metrics.packets_pending
+        );
+    }
+}
+
+#[test]
+fn energy_is_nonnegative_and_grows_with_time() {
+    let short = run(4, MacPolicy::Tdma, TrafficModel::Periodic { period: 8 }, 64, 3);
+    let long = run(4, MacPolicy::Tdma, TrafficModel::Periodic { period: 8 }, 512, 3);
+    assert!(short.energy.total() > 0.0);
+    assert!(long.energy.total() > short.energy.total());
+    assert!(short.energy.tx >= 0.0 && short.energy.rx >= 0.0 && short.energy.idle >= 0.0);
+}
+
+#[test]
+fn colouring_schedule_matches_tiling_schedule_quality_on_symmetric_neighbourhoods() {
+    let shape = shapes::moore();
+    let network = grid_network(8, &shape).unwrap();
+    let macs = vec![tiling_mac(&shape).unwrap(), coloring_mac(&network).unwrap()];
+    let rows = run_comparison(
+        &network,
+        &macs,
+        TrafficModel::Periodic { period: 32 },
+        1024,
+        5,
+    )
+    .unwrap();
+    for row in &rows {
+        assert_eq!(row.metrics.collisions, 0, "{}", row.mac);
+        assert!(row.metrics.delivery_ratio() > 0.9, "{}", row.mac);
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    #[test]
+    fn conservation_laws_hold_for_random_configurations(
+        seed in 0u64..1000,
+        p_traffic in 0.01f64..0.3,
+        p_aloha in 0.05f64..0.9,
+        side in 3i64..6,
+    ) {
+        let metrics = run(
+            side,
+            MacPolicy::SlottedAloha { p: p_aloha },
+            TrafficModel::Bernoulli { p: p_traffic },
+            200,
+            seed,
+        );
+        // Packets are conserved.
+        prop_assert_eq!(
+            metrics.packets_generated,
+            metrics.packets_delivered + metrics.packets_dropped + metrics.packets_pending
+        );
+        // Rates are within their ranges.
+        prop_assert!(metrics.delivery_ratio() >= 0.0 && metrics.delivery_ratio() <= 1.0);
+        prop_assert!(metrics.mean_latency() >= 0.0);
+        prop_assert!(metrics.energy.total() > 0.0);
+        // Every transmission came from a generated packet and packets are transmitted
+        // at most (max_retries + 1) times.
+        prop_assert!(metrics.transmissions <= metrics.packets_generated * 9);
+    }
+
+    #[test]
+    fn deterministic_replay(seed in 0u64..500) {
+        let a = run(4, MacPolicy::SlottedAloha { p: 0.3 }, TrafficModel::Bernoulli { p: 0.1 }, 128, seed);
+        let b = run(4, MacPolicy::SlottedAloha { p: 0.3 }, TrafficModel::Bernoulli { p: 0.1 }, 128, seed);
+        prop_assert_eq!(a, b);
+    }
+}

@@ -1,0 +1,133 @@
+//! End-to-end tests of Theorem 2 (multi-prototile tilings, deployment rule D1) and of
+//! the Figure 5 phenomenon.
+
+use latsched::prelude::*;
+
+fn respectable_square_domino_tiling() -> MultiTiling {
+    MultiTiling::new(
+        vec![Tetromino::O.prototile(), tetromino::domino()],
+        Sublattice::from_vectors(&[Point::xy(2, 0), Point::xy(0, 4)]).unwrap(),
+        vec![vec![Point::xy(0, 0)], vec![Point::xy(0, 2), Point::xy(0, 3)]],
+    )
+    .unwrap()
+}
+
+#[test]
+fn respectable_tilings_give_optimal_schedules() {
+    let tiling = respectable_square_domino_tiling();
+    assert!(tiling.is_respectable());
+    let schedule = theorem2::schedule_from_multi_tiling(&tiling);
+    let deployment = theorem2::deployment_for(&tiling);
+    assert_eq!(schedule.num_slots(), 4);
+    assert!(verify::verify_schedule(&schedule, &deployment)
+        .unwrap()
+        .collision_free());
+    assert!(optimality::is_optimal(&schedule, &deployment));
+    // The independent exact tile-wise search agrees.
+    let optimum = optimality::minimal_tilewise_schedule(&tiling, 8).unwrap();
+    assert_eq!(optimum.slots, 4);
+}
+
+#[test]
+fn figure5_mixed_tiling_needs_six_slots_and_symmetric_needs_four() {
+    let s = Tetromino::S.prototile();
+    let z = Tetromino::Z.prototile();
+
+    // Figure 5 (right): symmetric S-only tiling.
+    let symmetric = MultiTiling::new(
+        vec![s.clone()],
+        Sublattice::scaled(2, 2).unwrap(),
+        vec![vec![Point::xy(0, 0)]],
+    )
+    .unwrap();
+    let sym_opt = optimality::minimal_tilewise_schedule(&symmetric, 8).unwrap();
+    assert_eq!(sym_opt.slots, 4);
+
+    // Figure 5 (left): a mixed S/Z tiling found on the 4×4 torus.
+    let mixed = tile_torus_with_all(&[s, z], &Sublattice::scaled(2, 4).unwrap())
+        .unwrap()
+        .expect("mixed S/Z tiling exists");
+    assert!(!mixed.is_respectable());
+    let theorem2_schedule = theorem2::schedule_from_multi_tiling(&mixed);
+    assert_eq!(theorem2_schedule.num_slots(), 6, "|N_S ∪ N_Z| = 6");
+    let deployment = theorem2::deployment_for(&mixed);
+    assert!(verify::verify_schedule(&theorem2_schedule, &deployment)
+        .unwrap()
+        .collision_free());
+
+    let mixed_opt = optimality::minimal_tilewise_schedule(&mixed, 10).unwrap();
+    assert_eq!(mixed_opt.slots, 6, "the mixed tiling of Figure 5 needs 6 slots");
+    assert!(verify::verify_schedule(&mixed_opt.schedule, &deployment)
+        .unwrap()
+        .collision_free());
+
+    // The paper's message: the optimum depends on the chosen tiling.
+    assert!(mixed_opt.slots > sym_opt.slots);
+}
+
+#[test]
+fn rotated_antennas_form_a_respectable_family_only_if_contained() {
+    // Two rotations of an asymmetric antenna do not contain each other, so any tiling
+    // mixing them is non-respectable; adding the full Chebyshev ball (which contains
+    // both) as the first prototile restores respectability conceptually.
+    let east = shapes::rectangle(2, 1).unwrap();
+    let north = latsched::tiling::Transform2D::Rotate90
+        .apply_to_prototile(&east)
+        .unwrap();
+    assert!(!east.contains_tile(&north));
+    assert!(!north.contains_tile(&east));
+    let ball = shapes::moore();
+    assert!(ball.contains_tile(&east));
+    assert!(ball.contains_tile(&north));
+}
+
+#[test]
+fn theorem2_reduces_to_theorem1_for_single_prototile_tilings() {
+    for prototile in [shapes::von_neumann(), Tetromino::L.prototile()] {
+        let single = find_tiling(&prototile).unwrap().unwrap();
+        let multi = MultiTiling::from_single(&single);
+        let s1 = theorem1::schedule_from_tiling(&single);
+        let s2 = theorem2::schedule_from_multi_tiling(&multi);
+        assert_eq!(s1.num_slots(), s2.num_slots());
+        for x in -6..6 {
+            for y in -6..6 {
+                let p = Point::xy(x, y);
+                assert_eq!(s1.slot_of(&p).unwrap(), s2.slot_of(&p).unwrap());
+            }
+        }
+    }
+}
+
+#[test]
+fn rule_d1_neighbourhoods_follow_the_covering_tile() {
+    let tiling = respectable_square_domino_tiling();
+    let deployment = theorem2::deployment_for(&tiling);
+    let window = BoxRegion::square_window(2, 8).unwrap();
+    for p in window.iter() {
+        let covering = tiling.covering(&p).unwrap();
+        let expected = &tiling.prototiles()[covering.prototile_index];
+        assert_eq!(deployment.prototile_of(&p).unwrap(), expected);
+    }
+}
+
+#[test]
+fn torus_search_finds_only_valid_tilings() {
+    // Whatever the torus search returns is, by construction, a verified MultiTiling;
+    // additionally its schedule must verify collision-free.
+    for period_scale in [2u64, 4] {
+        let period = Sublattice::scaled(2, period_scale).unwrap();
+        if let Some(tiling) = tile_torus(
+            &[Tetromino::T.prototile()],
+            &period,
+            &TorusSearch::default(),
+        )
+        .unwrap()
+        {
+            let schedule = theorem2::schedule_from_multi_tiling(&tiling);
+            let deployment = theorem2::deployment_for(&tiling);
+            assert!(verify::verify_schedule(&schedule, &deployment)
+                .unwrap()
+                .collision_free());
+        }
+    }
+}
