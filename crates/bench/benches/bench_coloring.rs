@@ -17,9 +17,11 @@ fn conflict_graph(side: i64) -> latsched_coloring::ConflictGraph {
 fn bench_graph_construction(c: &mut Criterion) {
     let mut group = c.benchmark_group("conflict_graph_construction");
     for side in [8i64, 16, 24] {
-        group.bench_with_input(BenchmarkId::from_parameter(side), &side, |bencher, &side| {
-            bencher.iter(|| conflict_graph(black_box(side)))
-        });
+        group.bench_with_input(
+            BenchmarkId::from_parameter(side),
+            &side,
+            |bencher, &side| bencher.iter(|| conflict_graph(black_box(side))),
+        );
     }
     group.finish();
 }
@@ -32,7 +34,9 @@ fn bench_heuristics(c: &mut Criterion) {
             BenchmarkId::new("greedy_welsh_powell", side),
             &graph,
             |bencher, g| {
-                bencher.iter(|| greedy_coloring(black_box(g), GreedyOrder::LargestDegreeFirst).unwrap())
+                bencher.iter(|| {
+                    greedy_coloring(black_box(g), GreedyOrder::LargestDegreeFirst).unwrap()
+                })
             },
         );
         group.bench_with_input(BenchmarkId::new("dsatur", side), &graph, |bencher, g| {

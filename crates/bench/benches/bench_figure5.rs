@@ -56,5 +56,10 @@ fn bench_exact_optimum(c: &mut Criterion) {
     });
 }
 
-criterion_group!(benches, bench_torus_search, bench_theorem2, bench_exact_optimum);
+criterion_group!(
+    benches,
+    bench_torus_search,
+    bench_theorem2,
+    bench_exact_optimum
+);
 criterion_main!(benches);

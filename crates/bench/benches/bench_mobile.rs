@@ -18,7 +18,11 @@ fn bench_mobile_queries(c: &mut Criterion) {
         bencher.iter(|| schedule.slot_of_position(black_box([3.4, -7.8])).unwrap())
     });
     c.bench_function("mobile/range_fits_tile", |bencher| {
-        bencher.iter(|| schedule.range_fits_tile(black_box([3.4, -7.8]), 0.4).unwrap())
+        bencher.iter(|| {
+            schedule
+                .range_fits_tile(black_box([3.4, -7.8]), 0.4)
+                .unwrap()
+        })
     });
     let sensors: Vec<MobileSensor> = (0..64)
         .map(|id| MobileSensor {
@@ -36,14 +40,15 @@ fn bench_restriction(c: &mut Criterion) {
     let tiling = find_tiling(&shapes::moore()).unwrap().unwrap();
     let schedule = theorem1::schedule_from_tiling(&tiling);
     let deployment = theorem1::deployment_for(&tiling);
-    let finite = FiniteDeployment::window(
-        &BoxRegion::square_window(2, 5).unwrap(),
-        deployment,
-    )
-    .unwrap();
+    let finite =
+        FiniteDeployment::window(&BoxRegion::square_window(2, 5).unwrap(), deployment).unwrap();
     let moore = shapes::moore();
     c.bench_function("restriction/optimality_condition_5x5", |bencher| {
-        bencher.iter(|| finite.satisfies_optimality_condition(black_box(&moore)).unwrap())
+        bencher.iter(|| {
+            finite
+                .satisfies_optimality_condition(black_box(&moore))
+                .unwrap()
+        })
     });
     c.bench_function("restriction/collisions_5x5", |bencher| {
         bencher.iter(|| finite.collisions(black_box(&schedule)).unwrap())

@@ -30,7 +30,9 @@ fn bench_construction(c: &mut Criterion) {
 }
 
 fn bench_slot_queries(c: &mut Criterion) {
-    let tiling = find_tiling(&shapes::directional_antenna()).unwrap().unwrap();
+    let tiling = find_tiling(&shapes::directional_antenna())
+        .unwrap()
+        .unwrap();
     let schedule = theorem1::schedule_from_tiling(&tiling);
     let p = Point::xy(1_000_003, -999_999);
     c.bench_function("schedule/slot_of", |bencher| {
@@ -61,5 +63,10 @@ fn bench_verification(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_construction, bench_slot_queries, bench_verification);
+criterion_group!(
+    benches,
+    bench_construction,
+    bench_slot_queries,
+    bench_verification
+);
 criterion_main!(benches);

@@ -41,23 +41,31 @@ fn bench_simulation_by_network_size(c: &mut Criterion) {
     for side in [6i64, 10, 14] {
         let network = grid_network(side, &shape).unwrap();
         let mac = tiling_mac(&shape).unwrap();
-        group.bench_with_input(BenchmarkId::from_parameter(side), &network, |bencher, net| {
-            bencher.iter(|| {
-                run_simulation(
-                    black_box(net),
-                    &SimConfig {
-                        mac: mac.clone(),
-                        traffic: TrafficModel::Periodic { period: 16 },
-                        slots: 128,
-                        ..SimConfig::default()
-                    },
-                )
-                .unwrap()
-            })
-        });
+        group.bench_with_input(
+            BenchmarkId::from_parameter(side),
+            &network,
+            |bencher, net| {
+                bencher.iter(|| {
+                    run_simulation(
+                        black_box(net),
+                        &SimConfig {
+                            mac: mac.clone(),
+                            traffic: TrafficModel::Periodic { period: 16 },
+                            slots: 128,
+                            ..SimConfig::default()
+                        },
+                    )
+                    .unwrap()
+                })
+            },
+        );
     }
     group.finish();
 }
 
-criterion_group!(benches, bench_simulation_by_mac, bench_simulation_by_network_size);
+criterion_group!(
+    benches,
+    bench_simulation_by_mac,
+    bench_simulation_by_network_size
+);
 criterion_main!(benches);

@@ -54,19 +54,14 @@ fn main() -> ExitCode {
     }
 
     if let Some(path) = json_path {
-        match serde_json::to_string_pretty(&tables) {
-            Ok(json) => {
-                if let Err(err) = std::fs::write(&path, json) {
-                    eprintln!("failed to write {path}: {err}");
-                    return ExitCode::FAILURE;
-                }
-                println!("wrote {} experiment table(s) to {path}", tables.len());
-            }
-            Err(err) => {
-                eprintln!("failed to serialize results: {err}");
-                return ExitCode::FAILURE;
-            }
+        let json = serde_json::to_string_pretty(&serde_json::Value::Array(
+            tables.iter().map(Table::to_json_value).collect(),
+        ));
+        if let Err(err) = std::fs::write(&path, json) {
+            eprintln!("failed to write {path}: {err}");
+            return ExitCode::FAILURE;
         }
+        println!("wrote {} experiment table(s) to {path}", tables.len());
     }
     ExitCode::SUCCESS
 }

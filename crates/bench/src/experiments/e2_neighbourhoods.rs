@@ -47,13 +47,31 @@ pub fn run() -> ExpResult {
             "criteria agree",
         ],
     );
-    table.push_row(shape_row("chebyshev ball r=1", &shapes::chebyshev_ball(2, 1)?)?);
-    table.push_row(shape_row("euclidean ball r=1", &shapes::euclidean_ball(2, 1)?)?);
-    table.push_row(shape_row("directional antenna", &shapes::directional_antenna())?);
+    table.push_row(shape_row(
+        "chebyshev ball r=1",
+        &shapes::chebyshev_ball(2, 1)?,
+    )?);
+    table.push_row(shape_row(
+        "euclidean ball r=1",
+        &shapes::euclidean_ball(2, 1)?,
+    )?);
+    table.push_row(shape_row(
+        "directional antenna",
+        &shapes::directional_antenna(),
+    )?);
     // Extra context rows: larger balls and a known non-exact shape.
-    table.push_row(shape_row("chebyshev ball r=2", &shapes::chebyshev_ball(2, 2)?)?);
-    table.push_row(shape_row("euclidean ball r=2", &shapes::euclidean_ball(2, 2)?)?);
-    table.push_row(shape_row("U pentomino (control)", &tetromino::u_pentomino())?);
+    table.push_row(shape_row(
+        "chebyshev ball r=2",
+        &shapes::chebyshev_ball(2, 2)?,
+    )?);
+    table.push_row(shape_row(
+        "euclidean ball r=2",
+        &shapes::euclidean_ball(2, 2)?,
+    )?);
+    table.push_row(shape_row(
+        "U pentomino (control)",
+        &tetromino::u_pentomino(),
+    )?);
     table.note(
         "the paper states every Figure 2 prototile is exact; both independent criteria confirm it, \
          and the U pentomino control is correctly rejected",

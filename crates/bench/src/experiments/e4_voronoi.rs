@@ -19,7 +19,13 @@ pub fn run() -> ExpResult {
     let mut table = Table::new(
         "E4",
         "Figure 4: Voronoi cells and quasi-polyform areas",
-        &["lattice", "prototile", "cells", "cell area", "quasi-polyform area"],
+        &[
+            "lattice",
+            "prototile",
+            "cells",
+            "cell area",
+            "quasi-polyform area",
+        ],
     );
     let square = square_lattice();
     let hex = hexagonal_lattice();

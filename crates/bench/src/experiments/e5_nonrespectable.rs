@@ -11,10 +11,7 @@ use latsched_core::{optimality, theorem2, verify};
 use latsched_lattice::{Point, Sublattice};
 use latsched_tiling::{tile_torus_with_all, MultiTiling, Tetromino};
 
-fn row(
-    name: &str,
-    tiling: &MultiTiling,
-) -> Result<Vec<String>, Box<dyn std::error::Error>> {
+fn row(name: &str, tiling: &MultiTiling) -> Result<Vec<String>, Box<dyn std::error::Error>> {
     let schedule = theorem2::schedule_from_multi_tiling(tiling);
     let deployment = theorem2::deployment_for(tiling);
     let report = verify::verify_schedule(&schedule, &deployment)?;
@@ -66,9 +63,10 @@ pub fn run() -> ExpResult {
     table.push_row(row("mixed S/Z (Fig. 5 left)", &mixed)?);
 
     // A second, larger mixed tiling as a robustness check on a coarser period.
-    if let Some(bigger) =
-        tile_torus_with_all(&[s, z], &Sublattice::from_vectors(&[Point::xy(4, 0), Point::xy(0, 8)])?)?
-    {
+    if let Some(bigger) = tile_torus_with_all(
+        &[s, z],
+        &Sublattice::from_vectors(&[Point::xy(4, 0), Point::xy(0, 8)])?,
+    )? {
         table.push_row(row("mixed S/Z (4x8 period)", &bigger)?);
     }
 

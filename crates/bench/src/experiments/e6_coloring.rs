@@ -10,8 +10,7 @@
 use super::ExpResult;
 use crate::report::Table;
 use latsched_coloring::{
-    dsatur_coloring, exact_coloring, greedy_coloring, tdma_coloring, GreedyOrder,
-    InterferenceGraph,
+    dsatur_coloring, exact_coloring, greedy_coloring, tdma_coloring, GreedyOrder, InterferenceGraph,
 };
 use latsched_core::{theorem1, Deployment};
 use latsched_lattice::BoxRegion;
@@ -123,7 +122,7 @@ mod tests {
         // Heuristics never beat 9 (the clique bound) on these windows.
         for row in table.rows.iter().filter(|r| r[2] == "dsatur") {
             let slots: usize = row[3].parse().unwrap();
-            assert!(slots >= 9 && slots <= 16);
+            assert!((9..=16).contains(&slots));
         }
     }
 }

@@ -67,7 +67,11 @@ mod tests {
         let table = super::run().unwrap();
         // Group rows by MAC prefix.
         let rows = |prefix: &str| -> Vec<&Vec<String>> {
-            table.rows.iter().filter(|r| r[1].starts_with(prefix)).collect()
+            table
+                .rows
+                .iter()
+                .filter(|r| r[1].starts_with(prefix))
+                .collect()
         };
         for row in rows("tiling") {
             assert_eq!(row[6], "0", "tiling schedule must never collide");

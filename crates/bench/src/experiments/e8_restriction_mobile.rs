@@ -23,7 +23,14 @@ pub fn run() -> ExpResult {
     let mut table = Table::new(
         "E8",
         "Conclusions: restriction to finite deployments and mobile sensors",
-        &["case", "parameter", "contains N+N", "slots used", "exact minimum", "collisions"],
+        &[
+            "case",
+            "parameter",
+            "contains N+N",
+            "slots used",
+            "exact minimum",
+            "collisions",
+        ],
     );
     let moore = shapes::moore();
     let tiling = find_tiling(&moore)?.expect("the Moore neighbourhood is exact");

@@ -1,11 +1,10 @@
 //! Plain-text and JSON reporting for the experiment harness.
 
-use serde::{Deserialize, Serialize};
 use std::fmt;
 
 /// A single experiment result: a titled table of rows, plus free-form notes that
 //  record the paper-vs-measured comparison.
-#[derive(Clone, Debug, Serialize, Deserialize)]
+#[derive(Clone, Debug)]
 pub struct Table {
     /// Experiment identifier (e.g. "E3").
     pub id: String,
@@ -41,6 +40,73 @@ impl Table {
     pub fn note(&mut self, text: impl Into<String>) {
         self.notes.push(text.into());
     }
+
+    /// The table as a JSON value (for `harness --json` output).
+    pub fn to_json_value(&self) -> serde_json::Value {
+        use serde_json::Value;
+        let strings =
+            |items: &[String]| Value::Array(items.iter().map(|s| Value::from(s.clone())).collect());
+        let mut map = std::collections::BTreeMap::new();
+        map.insert("id".to_string(), Value::from(self.id.clone()));
+        map.insert("title".to_string(), Value::from(self.title.clone()));
+        map.insert("headers".to_string(), strings(&self.headers));
+        map.insert(
+            "rows".to_string(),
+            Value::Array(self.rows.iter().map(|row| strings(row)).collect()),
+        );
+        map.insert("notes".to_string(), strings(&self.notes));
+        Value::Object(map)
+    }
+
+    /// Rebuilds a table from the JSON produced by [`Table::to_json_value`].
+    ///
+    /// # Errors
+    ///
+    /// Returns a message naming the first missing or mistyped field.
+    pub fn from_json_value(value: &serde_json::Value) -> Result<Self, String> {
+        let field = |name: &str| value.get(name).ok_or(format!("missing field '{name}'"));
+        let strings = |name: &str| -> Result<Vec<String>, String> {
+            field(name)?
+                .as_array()
+                .ok_or(format!("field '{name}' must be an array"))?
+                .iter()
+                .map(|v| {
+                    v.as_str()
+                        .map(str::to_string)
+                        .ok_or(format!("field '{name}' must contain strings"))
+                })
+                .collect()
+        };
+        let text = |name: &str| -> Result<String, String> {
+            field(name)?
+                .as_str()
+                .map(str::to_string)
+                .ok_or(format!("field '{name}' must be a string"))
+        };
+        let rows = field("rows")?
+            .as_array()
+            .ok_or("field 'rows' must be an array".to_string())?
+            .iter()
+            .map(|row| {
+                row.as_array()
+                    .ok_or("rows must be arrays".to_string())?
+                    .iter()
+                    .map(|cell| {
+                        cell.as_str()
+                            .map(str::to_string)
+                            .ok_or("cells must be strings".to_string())
+                    })
+                    .collect()
+            })
+            .collect::<Result<Vec<Vec<String>>, String>>()?;
+        Ok(Table {
+            id: text("id")?,
+            title: text("title")?,
+            headers: strings("headers")?,
+            rows,
+            notes: strings("notes")?,
+        })
+    }
 }
 
 impl fmt::Display for Table {
@@ -64,7 +130,11 @@ impl fmt::Display for Table {
                 .join("  ")
         };
         writeln!(f, "{}", render_row(&self.headers))?;
-        writeln!(f, "{}", "-".repeat(widths.iter().sum::<usize>() + 2 * widths.len()))?;
+        writeln!(
+            f,
+            "{}",
+            "-".repeat(widths.iter().sum::<usize>() + 2 * widths.len())
+        )?;
         for row in &self.rows {
             writeln!(f, "{}", render_row(row))?;
         }
@@ -97,9 +167,14 @@ mod tests {
     fn table_serializes_to_json() {
         let mut t = Table::new("E1", "lattices", &["x"]);
         t.push_row(vec!["y".into()]);
-        let json = serde_json::to_string(&t).unwrap();
+        t.note("matches");
+        let json = serde_json::to_string(&t.to_json_value());
         assert!(json.contains("\"id\":\"E1\""));
-        let back: Table = serde_json::from_str(&json).unwrap();
+        let back = Table::from_json_value(&serde_json::from_str(&json).unwrap()).unwrap();
         assert_eq!(back.rows.len(), 1);
+        assert_eq!(back.id, t.id);
+        assert_eq!(back.headers, t.headers);
+        assert_eq!(back.notes, t.notes);
+        assert!(Table::from_json_value(&serde_json::Value::Null).is_err());
     }
 }

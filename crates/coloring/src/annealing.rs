@@ -81,8 +81,8 @@ pub fn anneal_with_colors(
                     delta += 1;
                 }
             }
-            let accept = delta <= 0
-                || rng.gen::<f64>() < (-(delta as f64) / temperature.max(1e-9)).exp();
+            let accept =
+                delta <= 0 || rng.gen::<f64>() < (-(delta as f64) / temperature.max(1e-9)).exp();
             if accept {
                 assignment[v] = new;
                 conflicts = (conflicts as i64 + delta) as usize;

@@ -41,7 +41,13 @@ pub fn dsatur_coloring(graph: &ConflictGraph) -> Result<Coloring> {
         // index (for determinism).
         let v = (0..n)
             .filter(|&v| colors[v] == usize::MAX)
-            .max_by_key(|&v| (neighbour_colors[v].len(), graph.degree(v), std::cmp::Reverse(v)))
+            .max_by_key(|&v| {
+                (
+                    neighbour_colors[v].len(),
+                    graph.degree(v),
+                    std::cmp::Reverse(v),
+                )
+            })
             .expect("an uncoloured vertex remains");
         let c = (0..n)
             .find(|c| !neighbour_colors[v].contains(c))
@@ -101,8 +107,8 @@ mod tests {
 
     #[test]
     fn two_isolated_vertices_share_a_colour() {
-        let g = ConflictGraph::from_adjacency(vec![vec![false, false], vec![false, false]])
-            .unwrap();
+        let g =
+            ConflictGraph::from_adjacency(vec![vec![false, false], vec![false, false]]).unwrap();
         assert_eq!(dsatur_coloring(&g).unwrap().colors_used, 1);
     }
 }

@@ -30,10 +30,16 @@ impl fmt::Display for ColoringError {
         match self {
             ColoringError::EmptyGraph => write!(f, "graph has no vertices"),
             ColoringError::VertexOutOfRange { vertex, vertices } => {
-                write!(f, "vertex {vertex} is out of range for a graph with {vertices} vertices")
+                write!(
+                    f,
+                    "vertex {vertex} is out of range for a graph with {vertices} vertices"
+                )
             }
             ColoringError::Infeasible { max_colors } => {
-                write!(f, "no colouring with at most {max_colors} colours was found")
+                write!(
+                    f,
+                    "no colouring with at most {max_colors} colours was found"
+                )
             }
             ColoringError::Schedule(e) => write!(f, "schedule error: {e}"),
         }
@@ -64,7 +70,10 @@ mod tests {
 
     #[test]
     fn display_messages() {
-        assert_eq!(ColoringError::EmptyGraph.to_string(), "graph has no vertices");
+        assert_eq!(
+            ColoringError::EmptyGraph.to_string(),
+            "graph has no vertices"
+        );
         assert!(ColoringError::VertexOutOfRange {
             vertex: 7,
             vertices: 3

@@ -100,10 +100,7 @@ fn colour_with(graph: &ConflictGraph, k: usize) -> Option<Vec<usize>> {
             .map(|&c| c + 1)
             .unwrap_or(0);
         for c in 0..k.min(used_so_far + 1) {
-            let clash = graph
-                .neighbours(v)
-                .into_iter()
-                .any(|u| colors[u] == c);
+            let clash = graph.neighbours(v).into_iter().any(|u| colors[u] == c);
             if clash {
                 continue;
             }
@@ -156,12 +153,10 @@ mod tests {
     #[test]
     fn exact_coloring_is_proper_and_minimal_on_lattice_windows() {
         let window = BoxRegion::square_window(2, 5).unwrap();
-        let graph = InterferenceGraph::from_window(
-            &window,
-            Deployment::Homogeneous(shapes::moore()),
-        )
-        .unwrap()
-        .conflict_graph();
+        let graph =
+            InterferenceGraph::from_window(&window, Deployment::Homogeneous(shapes::moore()))
+                .unwrap()
+                .conflict_graph();
         let coloring = exact_coloring(&graph, 16).unwrap();
         assert!(graph.is_proper(&coloring.colors));
         // The window contains a 5×5 full clique of the Moore distance-2 relation? No:
@@ -188,12 +183,10 @@ mod tests {
     #[test]
     fn exact_never_beats_the_clique_bound() {
         let window = BoxRegion::square_window(2, 6).unwrap();
-        let graph = InterferenceGraph::from_window(
-            &window,
-            Deployment::Homogeneous(shapes::von_neumann()),
-        )
-        .unwrap()
-        .conflict_graph();
+        let graph =
+            InterferenceGraph::from_window(&window, Deployment::Homogeneous(shapes::von_neumann()))
+                .unwrap()
+                .conflict_graph();
         let coloring = exact_coloring(&graph, 16).unwrap();
         assert!(coloring.colors_used >= graph.greedy_clique_bound());
         assert!(graph.is_proper(&coloring.colors));

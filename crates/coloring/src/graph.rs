@@ -336,10 +336,18 @@ mod tests {
         assert_eq!(g.len(), 16);
         assert!(!g.is_empty());
         // A corner sensor affects its two in-window neighbours.
-        let corner = g.positions().iter().position(|p| p == &Point::xy(0, 0)).unwrap();
+        let corner = g
+            .positions()
+            .iter()
+            .position(|p| p == &Point::xy(0, 0))
+            .unwrap();
         assert_eq!(g.affected_by(corner).unwrap().len(), 2);
         // An interior sensor affects four neighbours.
-        let interior = g.positions().iter().position(|p| p == &Point::xy(1, 1)).unwrap();
+        let interior = g
+            .positions()
+            .iter()
+            .position(|p| p == &Point::xy(1, 1))
+            .unwrap();
         assert_eq!(g.affected_by(interior).unwrap().len(), 4);
         assert!(g.edge_count() > 0);
         assert!(g.to_string().contains("16 sensors"));

@@ -66,7 +66,9 @@ pub fn greedy_coloring(graph: &ConflictGraph, order: GreedyOrder) -> Result<Colo
                 used[colors[u]] = true;
             }
         }
-        let c = (0..n).find(|&c| !used[c]).expect("n colours always suffice");
+        let c = (0..n)
+            .find(|&c| !used[c])
+            .expect("n colours always suffice");
         colors[v] = c;
     }
     Ok(Coloring::from_assignment(colors))

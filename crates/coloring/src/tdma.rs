@@ -31,12 +31,10 @@ mod tests {
     #[test]
     fn tdma_uses_one_slot_per_sensor_and_is_proper() {
         let window = BoxRegion::square_window(2, 5).unwrap();
-        let graph = InterferenceGraph::from_window(
-            &window,
-            Deployment::Homogeneous(shapes::von_neumann()),
-        )
-        .unwrap()
-        .conflict_graph();
+        let graph =
+            InterferenceGraph::from_window(&window, Deployment::Homogeneous(shapes::von_neumann()))
+                .unwrap()
+                .conflict_graph();
         let coloring = tdma_coloring(&graph).unwrap();
         assert_eq!(coloring.colors_used, 25);
         assert!(graph.is_proper(&coloring.colors));

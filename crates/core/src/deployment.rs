@@ -107,10 +107,12 @@ impl Deployment {
         let np = self.prototile_of(p)?;
         let nq = self.prototile_of(q)?;
         // (p + N_p) ∩ (q + N_q) ≠ ∅ ⇔ q - p ∈ N_p - N_q.
-        let diff = q.checked_sub(p).map_err(crate::error::ScheduleError::Lattice)?;
+        let diff = q
+            .checked_sub(p)
+            .map_err(crate::error::ScheduleError::Lattice)?;
         for a in np.iter() {
             for b in nq.iter() {
-                if &(a - b) == &diff {
+                if (a - b) == diff {
                     return Ok(true);
                 }
             }
@@ -138,9 +140,15 @@ mod tests {
         // O squares and dominoes on a period of index 8 (same construction as the
         // multi-tiling unit tests).
         let tiling = MultiTiling::new(
-            vec![Tetromino::O.prototile(), latsched_tiling::tetromino::domino()],
+            vec![
+                Tetromino::O.prototile(),
+                latsched_tiling::tetromino::domino(),
+            ],
             Sublattice::from_vectors(&[Point::xy(2, 0), Point::xy(0, 4)]).unwrap(),
-            vec![vec![Point::xy(0, 0)], vec![Point::xy(0, 2), Point::xy(0, 3)]],
+            vec![
+                vec![Point::xy(0, 0)],
+                vec![Point::xy(0, 2), Point::xy(0, 3)],
+            ],
         )
         .unwrap();
         Deployment::Tiled(tiling)
@@ -182,10 +190,7 @@ mod tests {
                     assert!(!d.interferes(&p, &q).unwrap());
                     continue;
                 }
-                assert_eq!(
-                    d.interferes(&p, &q).unwrap(),
-                    d.interferes(&q, &p).unwrap()
-                );
+                assert_eq!(d.interferes(&p, &q).unwrap(), d.interferes(&q, &p).unwrap());
             }
         }
         // Adjacent plus-shapes intersect; far-apart ones do not.

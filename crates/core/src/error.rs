@@ -58,19 +58,31 @@ impl fmt::Display for ScheduleError {
                 write!(f, "dimension mismatch: expected {expected}, found {found}")
             }
             ScheduleError::SlotOutOfRange { slot, slots } => {
-                write!(f, "slot {slot} is out of range for a schedule with {slots} slots")
+                write!(
+                    f,
+                    "slot {slot} is out of range for a schedule with {slots} slots"
+                )
             }
             ScheduleError::IncompleteAssignment => {
-                write!(f, "schedule does not assign a slot to every coset of its period")
+                write!(
+                    f,
+                    "schedule does not assign a slot to every coset of its period"
+                )
             }
             ScheduleError::IncompatibleTorus => {
-                write!(f, "verification torus is not contained in the schedule period")
+                write!(
+                    f,
+                    "verification torus is not contained in the schedule period"
+                )
             }
             ScheduleError::TorusTooSmall(v) => {
                 write!(f, "verification torus is too small (wrap-around along {v})")
             }
             ScheduleError::SearchExhausted { max_slots } => {
-                write!(f, "no collision-free schedule found with at most {max_slots} slots")
+                write!(
+                    f,
+                    "no collision-free schedule found with at most {max_slots} slots"
+                )
             }
             ScheduleError::NoTilewiseSchedule => write!(
                 f,

@@ -58,5 +58,5 @@ pub mod verify;
 pub use deployment::Deployment;
 pub use error::{Result, ScheduleError};
 pub use restriction::FiniteDeployment;
-pub use schedule::PeriodicSchedule;
+pub use schedule::{PeriodicSchedule, SlotSource};
 pub use verify::{Collision, VerificationReport};

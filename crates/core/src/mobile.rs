@@ -115,10 +115,7 @@ impl LocationSchedule {
     pub fn range_fits_tile(&self, position: [f64; 2], range: f64) -> Result<bool> {
         let home = self.home_lattice_point(position);
         let covering = self.tiling.covering(&home)?;
-        let tile: Vec<Point> = self
-            .tiling
-            .prototile()
-            .translated(&covering.translation);
+        let tile: Vec<Point> = self.tiling.prototile().translated(&covering.translation);
         // Any lattice point outside the tile whose Voronoi cell meets the disk
         // invalidates the fit. Only points within a bounded lattice-coordinate box
         // around the home point can possibly be that close.
@@ -225,8 +222,7 @@ mod tests {
 
     #[test]
     fn non_planar_inputs_are_rejected() {
-        let cube =
-            latsched_tiling::Prototile::new(vec![latsched_lattice::Point::zero(3)]).unwrap();
+        let cube = latsched_tiling::Prototile::new(vec![latsched_lattice::Point::zero(3)]).unwrap();
         let tiling = Tiling::from_sublattice(cube, Sublattice::full(3).unwrap()).unwrap();
         assert!(LocationSchedule::new(tiling, Embedding::standard(3)).is_err());
     }

@@ -210,9 +210,7 @@ fn colour_graph(adjacency: &[Vec<bool>], colours: usize) -> Option<Vec<usize>> {
             .unwrap_or(0);
         let palette = colours.min(used_so_far + 1);
         for c in 0..palette {
-            if (0..adjacency.len())
-                .any(|u| adjacency[v][u] && assignment[u] == c)
-            {
+            if (0..adjacency.len()).any(|u| adjacency[v][u] && assignment[u] == c) {
                 continue;
             }
             assignment[v] = c;
@@ -306,7 +304,10 @@ mod tests {
         let tiling = MultiTiling::new(
             vec![Tetromino::O.prototile(), domino()],
             Sublattice::from_vectors(&[Point::xy(2, 0), Point::xy(0, 4)]).unwrap(),
-            vec![vec![Point::xy(0, 0)], vec![Point::xy(0, 2), Point::xy(0, 3)]],
+            vec![
+                vec![Point::xy(0, 0)],
+                vec![Point::xy(0, 2), Point::xy(0, 3)],
+            ],
         )
         .unwrap();
         let schedule = theorem2::schedule_from_multi_tiling(&tiling);

@@ -101,10 +101,7 @@ impl FiniteDeployment {
     ///
     /// Propagates dimension mismatches.
     pub fn slots_used(&self, schedule: &PeriodicSchedule) -> Result<usize> {
-        let slots: BTreeSet<usize> = self
-            .restrict(schedule)?
-            .into_values()
-            .collect();
+        let slots: BTreeSet<usize> = self.restrict(schedule)?.into_values().collect();
         Ok(slots.len())
     }
 
@@ -168,6 +165,7 @@ impl FiniteDeployment {
     ///
     /// Returns [`ScheduleError::SearchExhausted`] if no schedule with at most
     /// `max_slots` slots exists, and propagates dimension mismatches.
+    #[allow(clippy::needless_range_loop)] // symmetric adjacency fill over (i, j) pairs
     pub fn minimum_slots_finite(&self, max_slots: usize) -> Result<usize> {
         // Build the conflict graph.
         let n = self.positions.len();

@@ -12,6 +12,46 @@ use serde::{Deserialize, Serialize};
 use std::collections::BTreeMap;
 use std::fmt;
 
+/// Anything that can answer "which slot does the sensor at `p` broadcast in?".
+///
+/// [`PeriodicSchedule`] is the reference implementation; the `latsched-engine`
+/// crate provides a compiled, table-backed implementation. Verification and
+/// reporting code in this crate ([`crate::verify::verify_schedule_with`],
+/// [`crate::verify::slot_histogram_with`]) is generic over this trait so callers
+/// can plug in the fastest backend they have.
+pub trait SlotSource {
+    /// The number of time slots `m` (the temporal period).
+    fn num_slots(&self) -> usize;
+
+    /// A spatial period: a full-rank sublattice on whose cosets
+    /// [`SlotSource::slot_at`] is constant. The exact whole-lattice verifier
+    /// ([`crate::verify::verify_schedule_with`]) relies on this invariant, so an
+    /// implementation must never return a sublattice coarser than its true
+    /// period.
+    fn period(&self) -> &Sublattice;
+
+    /// The slot assigned to the sensor at `p`.
+    ///
+    /// # Errors
+    ///
+    /// Returns a dimension-mismatch error if `p` has the wrong dimension.
+    fn slot_at(&self, p: &Point) -> Result<usize>;
+}
+
+impl SlotSource for PeriodicSchedule {
+    fn num_slots(&self) -> usize {
+        PeriodicSchedule::num_slots(self)
+    }
+
+    fn period(&self) -> &Sublattice {
+        PeriodicSchedule::period(self)
+    }
+
+    fn slot_at(&self, p: &Point) -> Result<usize> {
+        self.slot_of(p)
+    }
+}
+
 /// A deterministic periodic broadcast schedule `L → {0, …, m-1}` that is constant on
 /// the cosets of a period sublattice.
 ///

@@ -92,7 +92,9 @@ mod tests {
     #[test]
     fn schedule_is_collision_free_figure3() {
         // Figure 3's construction: directional antenna, 8 slots, no collisions.
-        let tiling = find_tiling(&shapes::directional_antenna()).unwrap().unwrap();
+        let tiling = find_tiling(&shapes::directional_antenna())
+            .unwrap()
+            .unwrap();
         let schedule = schedule_from_tiling(&tiling);
         let deployment = deployment_for(&tiling);
         assert_eq!(schedule.num_slots(), 8);

@@ -70,13 +70,16 @@ mod tests {
     use crate::theorem1;
     use crate::verify;
     use latsched_lattice::Sublattice;
-    use latsched_tiling::{find_tiling, shapes, tetromino::domino, Tetromino, tile_torus_with_all};
+    use latsched_tiling::{find_tiling, shapes, tetromino::domino, tile_torus_with_all, Tetromino};
 
     fn square_and_domino_tiling() -> MultiTiling {
         MultiTiling::new(
             vec![Tetromino::O.prototile(), domino()],
             Sublattice::from_vectors(&[Point::xy(2, 0), Point::xy(0, 4)]).unwrap(),
-            vec![vec![Point::xy(0, 0)], vec![Point::xy(0, 2), Point::xy(0, 3)]],
+            vec![
+                vec![Point::xy(0, 0)],
+                vec![Point::xy(0, 2), Point::xy(0, 3)],
+            ],
         )
         .unwrap()
     }
@@ -88,8 +91,7 @@ mod tests {
         let schedule = schedule_from_multi_tiling(&tiling);
         // N₁ = O square (4 elements) contains the domino, so m = |N₁| = 4.
         assert_eq!(schedule.num_slots(), 4);
-        let report =
-            verify::verify_schedule(&schedule, &deployment_for(&tiling)).unwrap();
+        let report = verify::verify_schedule(&schedule, &deployment_for(&tiling)).unwrap();
         assert!(report.collision_free());
     }
 
@@ -127,8 +129,7 @@ mod tests {
         assert!(!tiling.is_respectable());
         let schedule = schedule_from_multi_tiling(&tiling);
         assert_eq!(schedule.num_slots(), 6);
-        let report =
-            verify::verify_schedule(&schedule, &deployment_for(&tiling)).unwrap();
+        let report = verify::verify_schedule(&schedule, &deployment_for(&tiling)).unwrap();
         assert!(report.collision_free());
     }
 

@@ -17,7 +17,7 @@
 
 use crate::deployment::Deployment;
 use crate::error::{Result, ScheduleError};
-use crate::schedule::PeriodicSchedule;
+use crate::schedule::{PeriodicSchedule, SlotSource};
 use latsched_lattice::{BoxRegion, Point, Sublattice};
 use serde::{Deserialize, Serialize};
 use std::collections::BTreeSet;
@@ -85,8 +85,7 @@ impl fmt::Display for VerificationReport {
 
 /// Finds a full-rank sublattice contained in both periods, on whose cosets slots and
 /// neighbourhood types are simultaneously constant.
-fn common_period(schedule: &PeriodicSchedule, deployment: &Deployment) -> Result<Sublattice> {
-    let s_period = schedule.period();
+fn common_period(s_period: &Sublattice, deployment: &Deployment) -> Result<Sublattice> {
     match deployment {
         Deployment::Homogeneous(_) => Ok(s_period.clone()),
         Deployment::Tiled(tiling) => {
@@ -156,13 +155,31 @@ pub fn verify_schedule(
     schedule: &PeriodicSchedule,
     deployment: &Deployment,
 ) -> Result<VerificationReport> {
-    if schedule.dim() != deployment.dim() {
+    verify_schedule_with(schedule, deployment)
+}
+
+/// [`verify_schedule`], generic over the slot backend.
+///
+/// `slots` answers the per-point queries; its [`SlotSource::period`] supplies the
+/// sublattice on whose cosets the slots are constant, which is what makes the
+/// finite check below a proof for the whole infinite lattice.
+///
+/// # Errors
+///
+/// Propagates dimension mismatches and lattice-arithmetic errors.
+pub fn verify_schedule_with<S: SlotSource>(
+    slots: &S,
+    deployment: &Deployment,
+) -> Result<VerificationReport> {
+    let schedule = slots;
+    let spatial_period = schedule.period();
+    if spatial_period.dim() != deployment.dim() {
         return Err(ScheduleError::DimensionMismatch {
-            expected: schedule.dim(),
+            expected: spatial_period.dim(),
             found: deployment.dim(),
         });
     }
-    let period = common_period(schedule, deployment)?;
+    let period = common_period(spatial_period, deployment)?;
     let reps = period.coset_representatives();
 
     // Union of all pairwise difference sets N_a - N_b over the prototile types; the
@@ -182,7 +199,7 @@ pub fn verify_schedule(
     let mut collisions = Vec::new();
     let mut pairs_checked = 0usize;
     for p in &reps {
-        let slot_p = schedule.slot_of(p)?;
+        let slot_p = schedule.slot_at(p)?;
         let n_p = deployment.prototile_of(p)?.clone();
         for d in &candidate_offsets {
             if d.is_zero() {
@@ -190,7 +207,7 @@ pub fn verify_schedule(
             }
             let q = p + d;
             pairs_checked += 1;
-            if schedule.slot_of(&q)? != slot_p {
+            if schedule.slot_at(&q)? != slot_p {
                 continue;
             }
             let n_q = deployment.prototile_of(&q)?;
@@ -259,11 +276,7 @@ pub fn collisions_in_window(
 }
 
 /// Returns a point lying in both neighbourhoods `(p + N_p)` and `(q + N_q)`, if any.
-fn intersection_witness(
-    deployment: &Deployment,
-    p: &Point,
-    q: &Point,
-) -> Result<Option<Point>> {
+fn intersection_witness(deployment: &Deployment, p: &Point, q: &Point) -> Result<Option<Point>> {
     let np = deployment.prototile_of(p)?;
     let nq = deployment.prototile_of(q)?;
     let d = q.checked_sub(p).map_err(ScheduleError::Lattice)?;
@@ -283,13 +296,19 @@ fn intersection_witness(
 /// # Errors
 ///
 /// Propagates dimension mismatches.
-pub fn slot_histogram(
-    schedule: &PeriodicSchedule,
-    window: &BoxRegion,
-) -> Result<Vec<usize>> {
-    let mut histogram = vec![0usize; schedule.num_slots()];
+pub fn slot_histogram(schedule: &PeriodicSchedule, window: &BoxRegion) -> Result<Vec<usize>> {
+    slot_histogram_with(schedule, window)
+}
+
+/// [`slot_histogram`], generic over the slot backend (see [`SlotSource`]).
+///
+/// # Errors
+///
+/// Propagates dimension mismatches.
+pub fn slot_histogram_with<S: SlotSource>(slots: &S, window: &BoxRegion) -> Result<Vec<usize>> {
+    let mut histogram = vec![0usize; slots.num_slots()];
     for p in window.iter() {
-        histogram[schedule.slot_of(&p)?] += 1;
+        histogram[slots.slot_at(&p)?] += 1;
     }
     Ok(histogram)
 }
@@ -320,12 +339,9 @@ mod tests {
         // Assign everyone slot 0: with a 9-point neighbourhood this is full of
         // collisions, and the exact checker must find them.
         let (_, deployment) = moore_setup();
-        let all_zero = PeriodicSchedule::new(
-            Sublattice::full(2).unwrap(),
-            1,
-            vec![(Point::xy(0, 0), 0)],
-        )
-        .unwrap();
+        let all_zero =
+            PeriodicSchedule::new(Sublattice::full(2).unwrap(), 1, vec![(Point::xy(0, 0), 0)])
+                .unwrap();
         let report = verify_schedule(&all_zero, &deployment).unwrap();
         assert!(!report.collision_free());
         let c = &report.collisions[0];
@@ -368,12 +384,9 @@ mod tests {
             .is_empty());
 
         // And for a bad schedule both checkers find collisions.
-        let bad = PeriodicSchedule::new(
-            Sublattice::full(2).unwrap(),
-            1,
-            vec![(Point::xy(0, 0), 0)],
-        )
-        .unwrap();
+        let bad =
+            PeriodicSchedule::new(Sublattice::full(2).unwrap(), 1, vec![(Point::xy(0, 0), 0)])
+                .unwrap();
         assert!(!collisions_in_window(&bad, &deployment, &window)
             .unwrap()
             .is_empty());
@@ -383,8 +396,7 @@ mod tests {
     #[test]
     fn dimension_mismatch_is_rejected() {
         let (schedule, _) = moore_setup();
-        let deployment3 =
-            Deployment::Homogeneous(Prototile::new(vec![Point::zero(3)]).unwrap());
+        let deployment3 = Deployment::Homogeneous(Prototile::new(vec![Point::zero(3)]).unwrap());
         assert!(matches!(
             verify_schedule(&schedule, &deployment3),
             Err(ScheduleError::DimensionMismatch { .. })

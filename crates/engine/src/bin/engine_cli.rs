@@ -1,0 +1,125 @@
+//! `engine-cli`: run schedule-query scenarios and report throughput.
+//!
+//! ```bash
+//! engine-cli                         # run the builtin Figure-2 scenario suite
+//! engine-cli spec.json [spec2.json]  # run scenarios from JSON spec files
+//! engine-cli --json out.json ...     # also write the reports as JSON
+//! engine-cli --dump ...              # stream every slot answer to stdout (CSV)
+//! ```
+//!
+//! See `latsched_engine::Scenario` for the spec format.
+
+use latsched_engine::{builtin_scenarios, run_scenario, Scenario, ScheduleCache};
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut json_path: Option<String> = None;
+    let mut dump = false;
+    let mut spec_paths: Vec<String> = Vec::new();
+    let mut iter = args.into_iter();
+    while let Some(arg) = iter.next() {
+        match arg.as_str() {
+            "--json" => match iter.next() {
+                Some(path) => json_path = Some(path),
+                None => {
+                    eprintln!("--json requires a file path");
+                    return ExitCode::FAILURE;
+                }
+            },
+            "--dump" => dump = true,
+            "--help" | "-h" => {
+                println!("usage: engine-cli [--json FILE] [--dump] [SPEC.json]...");
+                println!("With no spec files, runs the builtin 512x512 scenario suite.");
+                return ExitCode::SUCCESS;
+            }
+            other => spec_paths.push(other.to_string()),
+        }
+    }
+
+    let mut scenarios: Vec<Scenario> = Vec::new();
+    if spec_paths.is_empty() {
+        scenarios = builtin_scenarios();
+    } else {
+        for path in &spec_paths {
+            let text = match std::fs::read_to_string(path) {
+                Ok(text) => text,
+                Err(err) => {
+                    eprintln!("failed to read {path}: {err}");
+                    return ExitCode::FAILURE;
+                }
+            };
+            match Scenario::parse_spec(&text) {
+                Ok(mut parsed) => scenarios.append(&mut parsed),
+                Err(err) => {
+                    eprintln!("failed to parse {path}: {err}");
+                    return ExitCode::FAILURE;
+                }
+            }
+        }
+    }
+
+    let cache = ScheduleCache::new();
+    let mut reports = Vec::with_capacity(scenarios.len());
+    for scenario in &scenarios {
+        match run_scenario(scenario, &cache) {
+            Ok(report) => {
+                // Stream each result as it completes.
+                println!("{report}");
+                reports.push(report);
+            }
+            Err(err) => {
+                eprintln!("scenario '{}' failed: {err}", scenario.name);
+                return ExitCode::FAILURE;
+            }
+        }
+        // Dump after the timed run so the report's compile time reflects the
+        // real (cache-miss) compilation, not a dump-warmed hit.
+        if dump {
+            if let Err(err) = dump_scenario(scenario, &cache) {
+                eprintln!("scenario '{}' failed: {err}", scenario.name);
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+    println!(
+        "{} scenario(s), {} compiled schedule(s) cached ({} hits / {} misses)",
+        reports.len(),
+        cache.len(),
+        cache.hits(),
+        cache.misses()
+    );
+
+    if let Some(path) = json_path {
+        let json = serde_json::to_string_pretty(&serde_json::Value::Array(
+            reports.iter().map(|r| r.to_json_value()).collect(),
+        ));
+        if let Err(err) = std::fs::write(&path, json) {
+            eprintln!("failed to write {path}: {err}");
+            return ExitCode::FAILURE;
+        }
+        println!("wrote {} report(s) to {path}", reports.len());
+    }
+    ExitCode::SUCCESS
+}
+
+/// Streams the full slot answer set of one scenario to stdout as CSV rows
+/// (`x,y,...,slot`), one row per lattice point of the window.
+fn dump_scenario(scenario: &Scenario, cache: &ScheduleCache) -> latsched_engine::Result<()> {
+    use std::io::Write;
+    let compiled = cache.get_or_compile(&scenario.shape.prototile()?)?;
+    let region = scenario.region()?;
+    let slots = compiled.slots_of_region(&region)?;
+    let stdout = std::io::stdout();
+    let mut out = std::io::BufWriter::new(stdout.lock());
+    for (point, slot) in region.iter().zip(&slots) {
+        let mut line = String::new();
+        for c in point.coords() {
+            line.push_str(&c.to_string());
+            line.push(',');
+        }
+        line.push_str(&slot.to_string());
+        let _ = writeln!(out, "{line}");
+    }
+    Ok(())
+}

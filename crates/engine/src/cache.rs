@@ -1,0 +1,208 @@
+//! A sharded cache of compiled schedules, keyed by neighbourhood shape.
+//!
+//! Simulation sweeps and benchmark scenarios evaluate the same handful of
+//! neighbourhoods over and over; compiling a schedule (tiling search + table
+//! construction) is many orders of magnitude more expensive than a query, so the
+//! cache makes repeated scenarios pay it once. Entries are sharded across several
+//! mutex-protected maps so concurrent scenario runners do not serialize on a
+//! single lock, and values are `Arc`s so hits share one table.
+
+use crate::compiled::CompiledSchedule;
+use crate::error::{EngineError, Result};
+use latsched_core::theorem1;
+use latsched_lattice::Point;
+use latsched_tiling::{find_tiling, Prototile};
+use std::collections::HashMap;
+use std::hash::{Hash, Hasher};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+
+/// The default shard count; a small power of two comfortably above the number of
+/// concurrent scenario runners.
+const DEFAULT_SHARDS: usize = 16;
+
+type Shard = Mutex<HashMap<Vec<Point>, Arc<CompiledSchedule>>>;
+
+/// A sharded, thread-safe cache from neighbourhood shapes to their compiled
+/// Theorem 1 schedules.
+///
+/// # Examples
+///
+/// ```
+/// use latsched_engine::ScheduleCache;
+/// use latsched_tiling::shapes;
+///
+/// let cache = ScheduleCache::new();
+/// let first = cache.get_or_compile(&shapes::moore())?;
+/// let again = cache.get_or_compile(&shapes::moore())?;
+/// assert_eq!(first.num_slots(), 9);
+/// assert_eq!(cache.hits(), 1);
+/// assert_eq!(cache.misses(), 1);
+/// # Ok::<(), latsched_engine::EngineError>(())
+/// ```
+pub struct ScheduleCache {
+    shards: Box<[Shard]>,
+    hits: AtomicU64,
+    misses: AtomicU64,
+}
+
+impl ScheduleCache {
+    /// An empty cache with the default shard count.
+    pub fn new() -> Self {
+        ScheduleCache::with_shards(DEFAULT_SHARDS)
+    }
+
+    /// An empty cache with an explicit shard count (at least 1).
+    pub fn with_shards(shards: usize) -> Self {
+        let shards = shards.max(1);
+        ScheduleCache {
+            shards: (0..shards).map(|_| Mutex::new(HashMap::new())).collect(),
+            hits: AtomicU64::new(0),
+            misses: AtomicU64::new(0),
+        }
+    }
+
+    /// The compiled Theorem 1 schedule for the given neighbourhood shape,
+    /// compiling and inserting it on first use.
+    ///
+    /// A miss runs the tiling search, builds the schedule and flattens it while
+    /// *not* holding the shard lock, so concurrent lookups of other shapes are
+    /// never blocked behind a compilation; two racing misses on the same shape may
+    /// both compile, and the first insert wins.
+    ///
+    /// # Errors
+    ///
+    /// * [`EngineError::NotSchedulable`] if the shape does not tile the lattice;
+    /// * compilation errors from [`CompiledSchedule::compile`].
+    pub fn get_or_compile(&self, shape: &Prototile) -> Result<Arc<CompiledSchedule>> {
+        let key = shape.to_points();
+        let shard = &self.shards[self.shard_of(&key)];
+        if let Some(hit) = shard.lock().expect("cache shard poisoned").get(&key) {
+            self.hits.fetch_add(1, Ordering::Relaxed);
+            return Ok(Arc::clone(hit));
+        }
+        self.misses.fetch_add(1, Ordering::Relaxed);
+        let compiled = Arc::new(compile_shape(shape)?);
+        let mut guard = shard.lock().expect("cache shard poisoned");
+        let entry = guard.entry(key).or_insert_with(|| Arc::clone(&compiled));
+        Ok(Arc::clone(entry))
+    }
+
+    /// Number of cached schedules.
+    pub fn len(&self) -> usize {
+        self.shards
+            .iter()
+            .map(|s| s.lock().expect("cache shard poisoned").len())
+            .sum()
+    }
+
+    /// Whether the cache is empty.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Number of lookups answered from the cache.
+    pub fn hits(&self) -> u64 {
+        self.hits.load(Ordering::Relaxed)
+    }
+
+    /// Number of lookups that had to compile.
+    pub fn misses(&self) -> u64 {
+        self.misses.load(Ordering::Relaxed)
+    }
+
+    /// Drops every cached schedule (counters are kept).
+    pub fn clear(&self) {
+        for shard in self.shards.iter() {
+            shard.lock().expect("cache shard poisoned").clear();
+        }
+    }
+
+    fn shard_of(&self, key: &[Point]) -> usize {
+        let mut hasher = std::collections::hash_map::DefaultHasher::new();
+        key.hash(&mut hasher);
+        (hasher.finish() as usize) % self.shards.len()
+    }
+}
+
+impl Default for ScheduleCache {
+    fn default() -> Self {
+        ScheduleCache::new()
+    }
+}
+
+/// Compiles the Theorem 1 schedule of a neighbourhood shape from scratch.
+///
+/// # Errors
+///
+/// * [`EngineError::NotSchedulable`] if the shape does not tile the lattice;
+/// * tiling and compilation errors otherwise.
+pub fn compile_shape(shape: &Prototile) -> Result<CompiledSchedule> {
+    let tiling =
+        find_tiling(shape)?.ok_or_else(|| EngineError::NotSchedulable(shape.to_string()))?;
+    let schedule = theorem1::schedule_from_tiling(&tiling);
+    CompiledSchedule::compile(&schedule)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use latsched_tiling::{shapes, tetromino};
+
+    #[test]
+    fn hits_share_one_table() {
+        let cache = ScheduleCache::new();
+        let a = cache.get_or_compile(&shapes::moore()).unwrap();
+        let b = cache.get_or_compile(&shapes::moore()).unwrap();
+        assert!(Arc::ptr_eq(&a, &b));
+        assert_eq!(cache.len(), 1);
+        assert_eq!((cache.hits(), cache.misses()), (1, 1));
+    }
+
+    #[test]
+    fn distinct_shapes_get_distinct_entries() {
+        let cache = ScheduleCache::with_shards(4);
+        let moore = cache.get_or_compile(&shapes::moore()).unwrap();
+        let antenna = cache
+            .get_or_compile(&shapes::directional_antenna())
+            .unwrap();
+        assert_eq!(moore.num_slots(), 9);
+        assert_eq!(antenna.num_slots(), 8);
+        assert_eq!(cache.len(), 2);
+        cache.clear();
+        assert!(cache.is_empty());
+    }
+
+    #[test]
+    fn non_tiling_shapes_are_rejected() {
+        // The U pentomino does not tile the lattice by translations.
+        let u = tetromino::u_pentomino();
+        let cache = ScheduleCache::new();
+        assert!(matches!(
+            cache.get_or_compile(&u),
+            Err(EngineError::NotSchedulable(_))
+        ));
+    }
+
+    #[test]
+    fn concurrent_lookups_agree() {
+        let cache = ScheduleCache::new();
+        let tables: Vec<Arc<CompiledSchedule>> = std::thread::scope(|scope| {
+            let handles: Vec<_> = (0..8)
+                .map(|_| scope.spawn(|| cache.get_or_compile(&shapes::moore()).unwrap()))
+                .collect();
+            handles.into_iter().map(|h| h.join().unwrap()).collect()
+        });
+        assert_eq!(cache.len(), 1);
+        for t in &tables {
+            assert_eq!(t.num_slots(), 9);
+        }
+        assert_eq!(cache.hits() + cache.misses(), 8);
+    }
+
+    #[test]
+    fn zero_shard_request_is_clamped() {
+        let cache = ScheduleCache::with_shards(0);
+        assert!(cache.get_or_compile(&shapes::moore()).is_ok());
+    }
+}

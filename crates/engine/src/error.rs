@@ -1,0 +1,97 @@
+//! Error types of the query engine.
+
+use latsched_core::ScheduleError;
+use latsched_lattice::LatticeError;
+use latsched_tiling::TilingError;
+use std::fmt;
+
+/// The result type of engine operations.
+pub type Result<T> = std::result::Result<T, EngineError>;
+
+/// Errors produced while compiling or querying schedules.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum EngineError {
+    /// A point or region had a dimension different from the compiled schedule's.
+    DimensionMismatch {
+        /// Dimension expected by the receiver.
+        expected: usize,
+        /// Dimension actually supplied.
+        found: usize,
+    },
+    /// The schedule has more slots than the dense `u16` table can encode.
+    TooManySlots {
+        /// The schedule's slot count.
+        slots: usize,
+    },
+    /// The period sublattice has too many cosets to flatten into a dense table.
+    TableTooLarge {
+        /// The number of cosets of the period sublattice.
+        cosets: u64,
+    },
+    /// A batched query window has more points than this platform can address.
+    WindowTooLarge {
+        /// The number of points in the window.
+        points: u64,
+    },
+    /// A neighbourhood shape does not tile the lattice, so no Theorem 1 schedule
+    /// exists for it.
+    NotSchedulable(String),
+    /// A scenario specification was malformed; the string names the problem.
+    InvalidSpec(String),
+    /// An underlying schedule computation failed.
+    Schedule(ScheduleError),
+    /// An underlying tiling computation failed.
+    Tiling(TilingError),
+    /// An underlying lattice computation failed.
+    Lattice(LatticeError),
+}
+
+impl fmt::Display for EngineError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            EngineError::DimensionMismatch { expected, found } => {
+                write!(f, "dimension mismatch: expected {expected}, found {found}")
+            }
+            EngineError::TooManySlots { slots } => {
+                write!(f, "{slots} slots exceed the dense table's u16 capacity")
+            }
+            EngineError::TableTooLarge { cosets } => {
+                write!(f, "period has {cosets} cosets, too many for a dense table")
+            }
+            EngineError::WindowTooLarge { points } => {
+                write!(
+                    f,
+                    "query window has {points} points, too many for one batch"
+                )
+            }
+            EngineError::NotSchedulable(shape) => {
+                write!(f, "neighbourhood {shape} does not tile the lattice")
+            }
+            EngineError::InvalidSpec(msg) => write!(f, "invalid scenario spec: {msg}"),
+            EngineError::Schedule(e) => write!(f, "schedule error: {e}"),
+            EngineError::Tiling(e) => write!(f, "tiling error: {e}"),
+            EngineError::Lattice(e) => write!(f, "lattice error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for EngineError {}
+
+impl From<ScheduleError> for EngineError {
+    fn from(e: ScheduleError) -> Self {
+        EngineError::Schedule(e)
+    }
+}
+
+impl From<TilingError> for EngineError {
+    fn from(e: TilingError) -> Self {
+        EngineError::Tiling(e)
+    }
+}
+
+impl From<LatticeError> for EngineError {
+    fn from(e: LatticeError) -> Self {
+        EngineError::Lattice(e)
+    }
+}

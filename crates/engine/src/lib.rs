@@ -1,0 +1,62 @@
+//! # latsched-engine
+//!
+//! A compiled, batched, parallel schedule-query engine for the `latsched`
+//! workspace, a reproduction of *Scheduling Sensors by Tiling Lattices*
+//! (Klappenecker, Lee, Welch, 2008).
+//!
+//! The paper's selling point is that a sensor computes its broadcast slot
+//! *locally* from its lattice coordinates. The reference implementation
+//! (`latsched_core::PeriodicSchedule::slot_of`) is written for clarity: it
+//! allocates a canonical coset representative per query and looks it up in a
+//! `BTreeMap`. This crate turns a schedule into a serving-grade artifact in three
+//! layers:
+//!
+//! 1. [`CompiledSchedule`] — the Hermite-normal-form coset indexing of
+//!    `latsched_lattice::Sublattice::coset_rank` flattened into a contiguous
+//!    `Vec<u16>` slot table; a query is an `O(d²)` integer-only reduction on a
+//!    stack buffer plus one table read, with no allocation.
+//! 2. Batch evaluation — [`CompiledSchedule::slots_of_region`] and
+//!    [`CompiledSchedule::slots_of_points`] answer millions of queries per call
+//!    across worker threads, and the sharded [`ScheduleCache`] (keyed by
+//!    neighbourhood shape) lets repeated scenarios reuse compiled tables.
+//! 3. Scenario serving — [`Scenario`] specs describe a neighbourhood, window and
+//!    query load in JSON; [`run_scenario`] and the `engine-cli` binary stream
+//!    answers and report throughput.
+//!
+//! The compiled table plugs back into the exact machinery: it implements
+//! `latsched_core::SlotSource`, so [`CompiledSchedule::verify`] runs the paper's
+//! whole-lattice collision-freedom proof on the fast backend, and
+//! `latsched-sensornet` compiles its tiling MACs through this crate.
+//!
+//! ## Quick start
+//!
+//! ```
+//! use latsched_engine::{CompiledSchedule, ScheduleCache};
+//! use latsched_lattice::BoxRegion;
+//! use latsched_tiling::shapes;
+//!
+//! // Compile (and cache) the optimal 9-slot Moore schedule …
+//! let cache = ScheduleCache::new();
+//! let compiled = cache.get_or_compile(&shapes::moore())?;
+//! assert_eq!(compiled.num_slots(), 9);
+//!
+//! // … then answer a quarter-million point queries in one batched call.
+//! let window = BoxRegion::square_window(2, 512)?;
+//! let slots = compiled.slots_of_region(&window)?;
+//! assert_eq!(slots.len(), 512 * 512);
+//! # Ok::<(), Box<dyn std::error::Error>>(())
+//! ```
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+mod cache;
+mod compiled;
+mod error;
+mod parallel;
+mod scenario;
+
+pub use cache::{compile_shape, ScheduleCache};
+pub use compiled::CompiledSchedule;
+pub use error::{EngineError, Result};
+pub use scenario::{builtin_scenarios, run_scenario, Scenario, ScenarioReport, ShapeSpec};

@@ -1,0 +1,81 @@
+//! A small scoped-thread fork-join executor.
+//!
+//! The build environment is offline, so instead of `rayon` the engine parallelizes
+//! with `std::thread::scope`: an output slice is split into one contiguous chunk
+//! per worker and each chunk is filled on its own thread. For the engine's
+//! embarrassingly parallel workloads (one independent table lookup per output
+//! element) this captures all the available speedup without a work-stealing
+//! runtime.
+
+use std::num::NonZeroUsize;
+
+/// Batches smaller than this are filled on the calling thread; below this size the
+/// cost of spawning threads exceeds the lookup work itself.
+pub(crate) const PARALLEL_THRESHOLD: usize = 1 << 13;
+
+/// The number of worker threads used for batch evaluation.
+pub(crate) fn worker_threads() -> usize {
+    std::thread::available_parallelism()
+        .map(NonZeroUsize::get)
+        .unwrap_or(1)
+}
+
+/// Fills `out` by calling `fill(offset, chunk)` for disjoint contiguous chunks, in
+/// parallel when the slice is large enough. `offset` is the index of the chunk's
+/// first element within `out`; each call must fully initialize its chunk.
+pub(crate) fn fill_chunks<T, F>(out: &mut [T], fill: F)
+where
+    T: Send,
+    F: Fn(usize, &mut [T]) + Sync,
+{
+    let len = out.len();
+    let threads = worker_threads();
+    if len < PARALLEL_THRESHOLD || threads < 2 {
+        fill(0, out);
+        return;
+    }
+    let chunk_len = len.div_ceil(threads);
+    std::thread::scope(|scope| {
+        let mut rest = out;
+        let mut offset = 0usize;
+        while !rest.is_empty() {
+            let take = chunk_len.min(rest.len());
+            let (chunk, tail) = rest.split_at_mut(take);
+            let fill = &fill;
+            scope.spawn(move || fill(offset, chunk));
+            offset += take;
+            rest = tail;
+        }
+    });
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fills_every_element_sequentially_and_in_parallel() {
+        // Small: sequential path.
+        let mut small = vec![0usize; 100];
+        fill_chunks(&mut small, |offset, chunk| {
+            for (i, v) in chunk.iter_mut().enumerate() {
+                *v = offset + i;
+            }
+        });
+        assert!(small.iter().enumerate().all(|(i, &v)| v == i));
+
+        // Large: parallel path.
+        let mut large = vec![0usize; PARALLEL_THRESHOLD * 3 + 17];
+        fill_chunks(&mut large, |offset, chunk| {
+            for (i, v) in chunk.iter_mut().enumerate() {
+                *v = offset + i;
+            }
+        });
+        assert!(large.iter().enumerate().all(|(i, &v)| v == i));
+    }
+
+    #[test]
+    fn worker_threads_is_positive() {
+        assert!(worker_threads() >= 1);
+    }
+}

@@ -79,12 +79,27 @@ mod tests {
                 },
                 "dimension mismatch: expected 2, found 3",
             ),
-            (LatticeError::SingularBasis, "basis vectors are linearly dependent"),
-            (LatticeError::EmptyBasis, "basis must contain at least one vector"),
-            (LatticeError::Overflow, "integer overflow in lattice arithmetic"),
-            (LatticeError::InvalidDimension(0), "invalid lattice dimension 0"),
+            (
+                LatticeError::SingularBasis,
+                "basis vectors are linearly dependent",
+            ),
+            (
+                LatticeError::EmptyBasis,
+                "basis must contain at least one vector",
+            ),
+            (
+                LatticeError::Overflow,
+                "integer overflow in lattice arithmetic",
+            ),
+            (
+                LatticeError::InvalidDimension(0),
+                "invalid lattice dimension 0",
+            ),
             (LatticeError::InvalidIndex(0), "invalid sublattice index 0"),
-            (LatticeError::OutOfRange, "point is out of range for this operation"),
+            (
+                LatticeError::OutOfRange,
+                "point is out of range for this operation",
+            ),
         ];
         for (err, expected) in cases {
             assert_eq!(err.to_string(), expected);

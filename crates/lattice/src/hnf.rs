@@ -156,7 +156,10 @@ mod tests {
         // Rows generate the sublattice {(x, y) : x ≡ y (mod 5), x arbitrary}… really
         // just check the canonical form has 0 ≤ entry < pivot above the diagonal.
         let h = hnf(vec![vec![1, 7], vec![0, 5]]);
-        assert_eq!(h, IntMatrix::from_rows(vec![vec![1, 2], vec![0, 5]]).unwrap());
+        assert_eq!(
+            h,
+            IntMatrix::from_rows(vec![vec![1, 2], vec![0, 5]]).unwrap()
+        );
     }
 
     #[test]
@@ -176,18 +179,10 @@ mod tests {
 
     #[test]
     fn hnf_three_dimensional() {
-        let m = IntMatrix::from_rows(vec![
-            vec![2, 3, 5],
-            vec![4, 1, 0],
-            vec![0, 0, 7],
-        ])
-        .unwrap();
+        let m = IntMatrix::from_rows(vec![vec![2, 3, 5], vec![4, 1, 0], vec![0, 0, 7]]).unwrap();
         let h = hermite_normal_form(&m).unwrap();
         assert!(is_hermite_normal_form(&h));
-        assert_eq!(
-            h.determinant().unwrap(),
-            m.determinant().unwrap().abs()
-        );
+        assert_eq!(h.determinant().unwrap(), m.determinant().unwrap().abs());
     }
 
     #[test]

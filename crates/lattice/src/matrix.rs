@@ -77,7 +77,11 @@ impl IntMatrix {
         }
         let n = rows.len();
         let data = rows.into_iter().flatten().collect();
-        Ok(IntMatrix { rows: n, cols, data })
+        Ok(IntMatrix {
+            rows: n,
+            cols,
+            data,
+        })
     }
 
     /// Builds a square diagonal matrix with the given diagonal entries.
@@ -439,8 +443,7 @@ mod tests {
     fn determinant_needs_pivoting() {
         let m = IntMatrix::from_rows(vec![vec![0, 1], vec![1, 0]]).unwrap();
         assert_eq!(m.determinant().unwrap(), -1);
-        let m3 =
-            IntMatrix::from_rows(vec![vec![0, 0, 1], vec![0, 1, 0], vec![1, 0, 0]]).unwrap();
+        let m3 = IntMatrix::from_rows(vec![vec![0, 0, 1], vec![0, 1, 0], vec![1, 0, 0]]).unwrap();
         assert_eq!(m3.determinant().unwrap(), -1);
     }
 
@@ -455,7 +458,10 @@ mod tests {
         let a = IntMatrix::from_rows(vec![vec![1, 2], vec![0, 1]]).unwrap();
         let b = IntMatrix::from_rows(vec![vec![3, 0], vec![1, 1]]).unwrap();
         let ab = a.multiply(&b).unwrap();
-        assert_eq!(ab, IntMatrix::from_rows(vec![vec![5, 2], vec![1, 1]]).unwrap());
+        assert_eq!(
+            ab,
+            IntMatrix::from_rows(vec![vec![5, 2], vec![1, 1]]).unwrap()
+        );
         assert_eq!(
             a.transpose(),
             IntMatrix::from_rows(vec![vec![1, 0], vec![2, 1]]).unwrap()

@@ -193,10 +193,7 @@ impl Point {
 
     /// The squared Euclidean norm `Σ x_i²` computed in 128-bit arithmetic.
     pub fn norm_sq(&self) -> i128 {
-        self.coords
-            .iter()
-            .map(|&c| (c as i128) * (c as i128))
-            .sum()
+        self.coords.iter().map(|&c| (c as i128) * (c as i128)).sum()
     }
 
     /// Componentwise minimum of two points of equal dimension.
@@ -382,7 +379,10 @@ mod tests {
     fn ordering_is_lexicographic() {
         let mut pts = vec![Point::xy(1, 0), Point::xy(0, 5), Point::xy(0, -1)];
         pts.sort();
-        assert_eq!(pts, vec![Point::xy(0, -1), Point::xy(0, 5), Point::xy(1, 0)]);
+        assert_eq!(
+            pts,
+            vec![Point::xy(0, -1), Point::xy(0, 5), Point::xy(1, 0)]
+        );
     }
 
     #[test]
@@ -418,23 +418,12 @@ mod tests {
     }
 
     #[test]
-    fn serde_round_trip() {
+    fn coords_round_trip() {
+        // The canonical external representation of a point is its coordinate
+        // vector; reconstructing from it must be lossless.
         let p = Point::xy(9, -9);
-        let json = serde_json_roundtrip(&p);
-        assert_eq!(json, p);
-    }
-
-    fn serde_json_roundtrip(p: &Point) -> Point {
-        // serde_json is not a dependency of this crate; use the serde test through
-        // a manual token-free round trip via bincode-like encoding is unavailable,
-        // so round-trip through the `serde` derive using `serde::de::value`.
-        use serde::de::IntoDeserializer;
-        use serde::Deserialize;
-        let coords = p.coords().to_vec();
-        let de: serde::de::value::SeqDeserializer<_, serde::de::value::Error> =
-            coords.into_deserializer();
-        // Point serializes as a struct with one field, so deserialize manually.
-        let coords2 = Vec::<i64>::deserialize(de).unwrap();
-        Point::new(coords2)
+        assert_eq!(Point::new(p.coords().to_vec()), p);
+        let q = Point::new(vec![i64::MAX, 0, i64::MIN]);
+        assert_eq!(Point::new(q.clone().into_coords()), q);
     }
 }

@@ -241,7 +241,11 @@ impl Iterator for Iter {
                 break true;
             }
         };
-        self.next = if advanced { Some(Point::new(coords)) } else { None };
+        self.next = if advanced {
+            Some(Point::new(coords))
+        } else {
+            None
+        };
         Some(current)
     }
 }
@@ -382,8 +386,8 @@ mod tests {
 
     #[test]
     fn bounding_box_of_points() {
-        let b = BoxRegion::bounding(&[Point::xy(2, -1), Point::xy(-3, 4), Point::xy(0, 0)])
-            .unwrap();
+        let b =
+            BoxRegion::bounding(&[Point::xy(2, -1), Point::xy(-3, 4), Point::xy(0, 0)]).unwrap();
         assert_eq!(b.min(), &Point::xy(-3, -1));
         assert_eq!(b.max(), &Point::xy(2, 4));
     }
@@ -406,7 +410,10 @@ mod tests {
             let pts = ball_points(2, 2, metric).unwrap();
             assert!(pts.contains(&Point::zero(2)));
             for p in &pts {
-                assert!(pts.contains(&p.negated()), "{metric} ball must be symmetric");
+                assert!(
+                    pts.contains(&p.negated()),
+                    "{metric} ball must be symmetric"
+                );
             }
         }
     }

@@ -71,7 +71,11 @@ impl Polygon {
     /// Returns the polygon translated by `(dx, dy)`.
     pub fn translated(&self, dx: f64, dy: f64) -> Polygon {
         Polygon {
-            vertices: self.vertices.iter().map(|[x, y]| [x + dx, y + dy]).collect(),
+            vertices: self
+                .vertices
+                .iter()
+                .map(|[x, y]| [x + dx, y + dy])
+                .collect(),
         }
     }
 

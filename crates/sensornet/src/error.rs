@@ -35,7 +35,10 @@ impl fmt::Display for SimError {
         match self {
             SimError::EmptyNetwork => write!(f, "scenario contains no sensors"),
             SimError::NodeOutOfRange { node, nodes } => {
-                write!(f, "node {node} is out of range for a network of {nodes} nodes")
+                write!(
+                    f,
+                    "node {node} is out of range for a network of {nodes} nodes"
+                )
             }
             SimError::AssignmentLengthMismatch { expected, found } => write!(
                 f,
@@ -81,7 +84,10 @@ mod tests {
 
     #[test]
     fn display_messages() {
-        assert_eq!(SimError::EmptyNetwork.to_string(), "scenario contains no sensors");
+        assert_eq!(
+            SimError::EmptyNetwork.to_string(),
+            "scenario contains no sensors"
+        );
         assert!(SimError::NodeOutOfRange { node: 5, nodes: 3 }
             .to_string()
             .contains("5"));

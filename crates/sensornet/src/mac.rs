@@ -68,6 +68,18 @@ impl MacPolicy {
                 })
             }
             MacPolicy::TilingSchedule(schedule) => {
+                // Fast path: flatten the schedule into a dense coset-indexed table
+                // and batch-evaluate every node position in parallel through the
+                // query engine. Schedules the engine cannot flatten (gigantic
+                // periods or slot counts) fall back to per-point queries.
+                if let Ok(compiled) = latsched_engine::CompiledSchedule::compile(schedule) {
+                    if let Ok(batch) = compiled.slots_of_points(positions) {
+                        return Ok(CompiledMac::Deterministic {
+                            slots: batch.into_iter().map(usize::from).collect(),
+                            period: schedule.num_slots(),
+                        });
+                    }
+                }
                 let slots: Result<Vec<usize>> = positions
                     .iter()
                     .map(|p| schedule.slot_of(p).map_err(SimError::from))
@@ -174,7 +186,9 @@ mod tests {
         let tiling = find_tiling(&shapes::moore()).unwrap().unwrap();
         let schedule = theorem1::schedule_from_tiling(&tiling);
         let pos = positions(6);
-        let mac = MacPolicy::TilingSchedule(schedule.clone()).compile(&pos).unwrap();
+        let mac = MacPolicy::TilingSchedule(schedule.clone())
+            .compile(&pos)
+            .unwrap();
         assert_eq!(mac.period(), Some(9));
         let mut rng = ChaCha8Rng::seed_from_u64(0);
         for (i, p) in pos.iter().enumerate() {
@@ -211,7 +225,10 @@ mod tests {
         let mut rng = ChaCha8Rng::seed_from_u64(1);
         let decisions: Vec<bool> = (0..100).map(|t| mac.transmits(0, t, &mut rng)).collect();
         let yes = decisions.iter().filter(|&&d| d).count();
-        assert!(yes > 20 && yes < 80, "p=0.5 should transmit roughly half the time");
+        assert!(
+            yes > 20 && yes < 80,
+            "p=0.5 should transmit roughly half the time"
+        );
         // Degenerate probabilities are deterministic.
         let never = MacPolicy::SlottedAloha { p: 0.0 }.compile(&pos).unwrap();
         assert!(!never.transmits(0, 0, &mut rng));

@@ -23,9 +23,8 @@ use serde::{Deserialize, Serialize};
 ///
 /// Propagates lattice and graph construction errors.
 pub fn grid_network(side: i64, prototile: &Prototile) -> Result<Network> {
-    let window = BoxRegion::square_window(2, side).map_err(|e| {
-        SimError::Schedule(latsched_core::ScheduleError::Lattice(e))
-    })?;
+    let window = BoxRegion::square_window(2, side)
+        .map_err(|e| SimError::Schedule(latsched_core::ScheduleError::Lattice(e)))?;
     Network::from_window(&window, Deployment::Homogeneous(prototile.clone()))
 }
 

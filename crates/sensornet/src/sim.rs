@@ -58,13 +58,7 @@ impl Network {
             .positions()
             .iter()
             .enumerate()
-            .map(|(id, p)| {
-                Ok(Node::new(
-                    id,
-                    p.clone(),
-                    graph.affected_by(id)?.to_vec(),
-                ))
-            })
+            .map(|(id, p)| Ok(Node::new(id, p.clone(), graph.affected_by(id)?.to_vec())))
             .collect::<Result<Vec<Node>>>()?;
         if nodes.is_empty() {
             return Err(SimError::EmptyNetwork);

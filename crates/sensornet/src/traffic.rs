@@ -37,9 +37,9 @@ impl TrafficModel {
     /// `[0, 1]` or a periodic period of zero.
     pub fn validate(&self) -> Result<()> {
         match self {
-            TrafficModel::Periodic { period } if *period == 0 => {
-                Err(SimError::InvalidProbability("periodic traffic period".into()))
-            }
+            TrafficModel::Periodic { period } if *period == 0 => Err(SimError::InvalidProbability(
+                "periodic traffic period".into(),
+            )),
             TrafficModel::Bernoulli { p } if !(0.0..=1.0).contains(p) => {
                 Err(SimError::InvalidProbability("bernoulli traffic".into()))
             }
@@ -50,7 +50,7 @@ impl TrafficModel {
     /// Whether the given node generates a packet at the given slot.
     pub fn generates(&self, time: u64, rng: &mut ChaCha8Rng) -> bool {
         match self {
-            TrafficModel::Periodic { period } => time % period == 0,
+            TrafficModel::Periodic { period } => time.is_multiple_of(*period),
             TrafficModel::Bernoulli { p } => rng.gen::<f64>() < *p,
             TrafficModel::None => false,
         }
@@ -95,7 +95,9 @@ mod tests {
     fn bernoulli_rate_is_close_to_p() {
         let model = TrafficModel::Bernoulli { p: 0.3 };
         let mut rng = ChaCha8Rng::seed_from_u64(7);
-        let count = (0..10_000).filter(|&t| model.generates(t, &mut rng)).count();
+        let count = (0..10_000)
+            .filter(|&t| model.generates(t, &mut rng))
+            .count();
         let rate = count as f64 / 10_000.0;
         assert!((rate - 0.3).abs() < 0.03);
         assert!((model.load() - 0.3).abs() < 1e-12);
@@ -123,7 +125,9 @@ mod tests {
             TrafficModel::Periodic { period: 9 }.to_string(),
             "periodic(every 9 slots)"
         );
-        assert!(TrafficModel::Bernoulli { p: 0.1 }.to_string().contains("0.100"));
+        assert!(TrafficModel::Bernoulli { p: 0.1 }
+            .to_string()
+            .contains("0.100"));
         assert_eq!(TrafficModel::None.to_string(), "no traffic");
     }
 }

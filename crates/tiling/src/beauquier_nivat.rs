@@ -72,7 +72,7 @@ fn letters(word: &[Step]) -> String {
 pub fn bn_factorization(word: &BoundaryWord) -> Option<BnFactorization> {
     let steps = word.steps();
     let n = steps.len();
-    if n == 0 || n % 2 != 0 {
+    if n == 0 || !n.is_multiple_of(2) {
         return None;
     }
     let half = n / 2;

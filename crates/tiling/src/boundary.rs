@@ -147,6 +147,7 @@ pub fn boundary_word(prototile: &Prototile) -> Result<BoundaryWord> {
     // Collect the directed boundary edges, oriented so the interior lies on the left.
     // Each edge is keyed by its start vertex; a vertex can carry up to two outgoing
     // edges (at pinch points).
+    #[allow(clippy::type_complexity)]
     let mut outgoing: BTreeMap<(i64, i64), Vec<((i64, i64), Step)>> = BTreeMap::new();
     let mut edge_count = 0usize;
     for cell in &cells {

@@ -54,13 +54,19 @@ impl fmt::Display for TilingError {
                 write!(f, "dimension mismatch: expected {expected}, found {found}")
             }
             TilingError::CoverageGap { witness } => {
-                write!(f, "tiling does not cover the lattice (uncovered coset {witness})")
+                write!(
+                    f,
+                    "tiling does not cover the lattice (uncovered coset {witness})"
+                )
             }
             TilingError::Overlap { witness } => {
                 write!(f, "tiles overlap (coset {witness} covered more than once)")
             }
             TilingError::NotTwoDimensional(d) => {
-                write!(f, "operation requires a two-dimensional prototile, got dimension {d}")
+                write!(
+                    f,
+                    "operation requires a two-dimensional prototile, got dimension {d}"
+                )
             }
             TilingError::NotConnected => write!(f, "prototile cells are not 4-connected"),
             TilingError::NotSimplyConnected => {

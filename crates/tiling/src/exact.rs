@@ -54,7 +54,11 @@ impl fmt::Display for ExactnessReport {
             f,
             "prototile of size {}: {} ({} tiling sublattice(s){})",
             self.size,
-            if self.is_exact() { "exact" } else { "not exact" },
+            if self.is_exact() {
+                "exact"
+            } else {
+                "not exact"
+            },
             self.tiling_sublattices.len(),
             if self.bn_certificate.is_some() {
                 ", Beauquier-Nivat certificate found"
@@ -158,7 +162,9 @@ mod tests {
 
     #[test]
     fn find_tiling_for_figure3_prototile() {
-        let tiling = find_tiling(&shapes::directional_antenna()).unwrap().unwrap();
+        let tiling = find_tiling(&shapes::directional_antenna())
+            .unwrap()
+            .unwrap();
         assert_eq!(tiling.slot_count(), 8);
         assert!(is_exact(&shapes::directional_antenna()).unwrap());
     }

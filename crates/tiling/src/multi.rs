@@ -290,7 +290,10 @@ mod tests {
         let tiling = MultiTiling::new(
             vec![square.clone(), dom.clone()],
             period,
-            vec![vec![Point::xy(0, 0)], vec![Point::xy(0, 2), Point::xy(0, 3)]],
+            vec![
+                vec![Point::xy(0, 0)],
+                vec![Point::xy(0, 2), Point::xy(0, 3)],
+            ],
         )
         .unwrap();
         assert_eq!(tiling.tiles_per_period(), 3);

@@ -383,7 +383,10 @@ mod tests {
         let t = l_tile();
         let art = t.to_ascii().unwrap();
         assert_eq!(art, "#.\n#.\nO#\n");
-        assert!(Prototile::new(vec![Point::zero(3)]).unwrap().to_ascii().is_err());
+        assert!(Prototile::new(vec![Point::zero(3)])
+            .unwrap()
+            .to_ascii()
+            .is_err());
     }
 
     #[test]

@@ -18,7 +18,7 @@ use latsched_lattice::{ball_points, Metric, Point};
 ///
 /// Propagates errors for `dim == 0` or negative radius.
 pub fn chebyshev_ball(dim: usize, radius: i64) -> Result<Prototile> {
-    Ok(Prototile::new(ball_points(dim, radius, Metric::Chebyshev)?)?)
+    Prototile::new(ball_points(dim, radius, Metric::Chebyshev)?)
 }
 
 /// The Euclidean (`ℓ²`) ball of the given radius (Figure 2, middle, for
@@ -28,7 +28,7 @@ pub fn chebyshev_ball(dim: usize, radius: i64) -> Result<Prototile> {
 ///
 /// Propagates errors for `dim == 0` or negative radius.
 pub fn euclidean_ball(dim: usize, radius: i64) -> Result<Prototile> {
-    Ok(Prototile::new(ball_points(dim, radius, Metric::Euclidean)?)?)
+    Prototile::new(ball_points(dim, radius, Metric::Euclidean)?)
 }
 
 /// The Manhattan (`ℓ¹`) ball of the given radius (a diamond in two dimensions).
@@ -37,7 +37,7 @@ pub fn euclidean_ball(dim: usize, radius: i64) -> Result<Prototile> {
 ///
 /// Propagates errors for `dim == 0` or negative radius.
 pub fn manhattan_ball(dim: usize, radius: i64) -> Result<Prototile> {
-    Ok(Prototile::new(ball_points(dim, radius, Metric::Manhattan)?)?)
+    Prototile::new(ball_points(dim, radius, Metric::Manhattan)?)
 }
 
 /// The `width × height` rectangle of cells with the origin at its lower-left corner.
@@ -52,7 +52,7 @@ pub fn rectangle(width: i64, height: i64) -> Result<Prototile> {
             cells.push(Point::xy(x, y));
         }
     }
-    Ok(Prototile::new(cells)?)
+    Prototile::new(cells)
 }
 
 /// The 8-point directional-antenna neighbourhood of Figures 2 (right) and 3.
@@ -90,6 +90,22 @@ pub fn moore() -> Prototile {
     chebyshev_ball(2, 1).expect("static shape is valid")
 }
 
+/// The one-hop neighbourhood of the hexagonal lattice in abstract coordinates: the
+/// centre plus its six nearest neighbours (Figure 1, right). It tiles `Z²`, giving
+/// the classical 7-slot frequency-reuse pattern of cellular networks.
+pub fn hex7() -> Prototile {
+    Prototile::new(vec![
+        Point::xy(0, 0),
+        Point::xy(1, 0),
+        Point::xy(-1, 0),
+        Point::xy(0, 1),
+        Point::xy(0, -1),
+        Point::xy(1, -1),
+        Point::xy(-1, 1),
+    ])
+    .expect("static shape is valid")
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -99,6 +115,8 @@ mod tests {
         assert_eq!(chebyshev_ball(2, 1).unwrap().len(), 9);
         assert_eq!(euclidean_ball(2, 1).unwrap().len(), 5);
         assert_eq!(directional_antenna().len(), 8);
+        assert_eq!(hex7().len(), 7);
+        assert!(hex7().contains(&Point::xy(1, -1)));
     }
 
     #[test]

@@ -65,8 +65,7 @@ pub fn is_transversal(prototile: &Prototile, sublattice: &Sublattice) -> Result<
 /// # Ok::<(), latsched_tiling::TilingError>(())
 /// ```
 pub fn tiling_sublattices(prototile: &Prototile) -> Result<Vec<Sublattice>> {
-    let candidates =
-        Sublattice::enumerate_with_index(prototile.dim(), prototile.len() as u64)?;
+    let candidates = Sublattice::enumerate_with_index(prototile.dim(), prototile.len() as u64)?;
     let mut out = Vec::new();
     for lambda in candidates {
         if is_transversal(prototile, &lambda)? {

@@ -160,8 +160,14 @@ mod tests {
         assert_eq!(p_pentomino().len(), 5);
         assert_eq!(plus_pentomino().len(), 5);
         assert_eq!(u_pentomino().len(), 5);
-        for t in [domino(), l_tromino(), i_tromino(), p_pentomino(), plus_pentomino(), u_pentomino()]
-        {
+        for t in [
+            domino(),
+            l_tromino(),
+            i_tromino(),
+            p_pentomino(),
+            plus_pentomino(),
+            u_pentomino(),
+        ] {
             assert!(t.is_connected());
             assert!(t.contains(&Point::zero(2)));
         }

@@ -71,12 +71,9 @@ impl TranslationSet {
             TranslationSet::Sublattice(s) => Ok(s.contains(p)?),
             TranslationSet::Cosets { period, offsets } => {
                 let rep = period.reduce(p)?;
-                Ok(offsets.iter().any(|o| {
-                    period
-                        .reduce(o)
-                        .map(|orep| orep == rep)
-                        .unwrap_or(false)
-                }))
+                Ok(offsets
+                    .iter()
+                    .any(|o| period.reduce(o).map(|orep| orep == rep).unwrap_or(false)))
             }
         }
     }
@@ -249,18 +246,12 @@ impl Tiling {
     /// Returns a dimension-mismatch error if the region has the wrong dimension.
     pub fn translations_in(&self, region: &BoxRegion) -> Result<Vec<Point>> {
         let radius = self.prototile.radius_linf();
-        let grown = region
-            .grown(radius)
-            .map_err(TilingError::Lattice)?;
+        let grown = region.grown(radius).map_err(TilingError::Lattice)?;
         let mut out = Vec::new();
         for t in grown.iter() {
             if self.translations.contains(&t)? {
                 // Keep only translates whose tile actually meets the region.
-                if self
-                    .prototile
-                    .iter()
-                    .any(|n| region.contains(&(&t + n)))
-                {
+                if self.prototile.iter().any(|n| region.contains(&(&t + n))) {
                     out.push(t);
                 }
             }

@@ -272,28 +272,26 @@ mod tests {
             .unwrap()
             .expect("a mixed S/Z tiling of the 4×4 torus exists");
         assert!(!tiling.is_respectable());
-        assert!(tiling.offsets()[0].len() >= 1);
-        assert!(tiling.offsets()[1].len() >= 1);
-        assert_eq!(
-            tiling.offsets().iter().map(Vec::len).sum::<usize>() * 4,
-            16
-        );
+        assert!(!tiling.offsets()[0].is_empty());
+        assert!(!tiling.offsets()[1].is_empty());
+        assert_eq!(tiling.offsets().iter().map(Vec::len).sum::<usize>() * 4, 16);
     }
 
     #[test]
     fn u_pentomino_cannot_tile_small_tori() {
         let u = crate::tetromino::u_pentomino();
         for side in [5u64, 10] {
-            let period = Sublattice::from_vectors(&[
-                Point::xy(side as i64, 0),
-                Point::xy(0, 5),
-            ])
-            .unwrap();
-            if period.index() % 5 != 0 {
+            let period =
+                Sublattice::from_vectors(&[Point::xy(side as i64, 0), Point::xy(0, 5)]).unwrap();
+            if !period.index().is_multiple_of(5) {
                 continue;
             }
-            let result = tile_torus(&[u.clone()], &period, &TorusSearch::default()).unwrap();
-            assert!(result.is_none(), "U pentomino should not tile {side}×5 torus");
+            let result =
+                tile_torus(std::slice::from_ref(&u), &period, &TorusSearch::default()).unwrap();
+            assert!(
+                result.is_none(),
+                "U pentomino should not tile {side}×5 torus"
+            );
         }
     }
 

@@ -163,7 +163,10 @@ mod tests {
         let p = Point::xy(2, 1);
         assert_eq!(Transform2D::ReflectX.apply(&p).unwrap(), Point::xy(2, -1));
         assert_eq!(Transform2D::ReflectY.apply(&p).unwrap(), Point::xy(-2, 1));
-        assert_eq!(Transform2D::ReflectDiagonal.apply(&p).unwrap(), Point::xy(1, 2));
+        assert_eq!(
+            Transform2D::ReflectDiagonal.apply(&p).unwrap(),
+            Point::xy(1, 2)
+        );
         assert_eq!(
             Transform2D::ReflectAntiDiagonal.apply(&p).unwrap(),
             Point::xy(-1, -2)

@@ -40,7 +40,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     // Figure 3 shows slots 1..8 repeating across the plane; print the same picture
     // (slots here are 0-based).
     println!("\nSlot assignment on an 8x8 window (compare with Figure 3):");
-    println!("{}", schedule.render_window(&BoxRegion::square_window(2, 8)?)?);
+    println!(
+        "{}",
+        schedule.render_window(&BoxRegion::square_window(2, 8)?)?
+    );
 
     // The sensors transmitting in any fixed slot have pairwise disjoint
     // neighbourhoods (the observation of Figure 3, right).

@@ -54,8 +54,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             .filter(|s| occupancy[&schedule.home_lattice_point(s.position)] == 1)
             .collect();
         // Sensors sharing a cell with another sensor cannot use the cell's slot.
-        silent_due_to_crowding +=
-            sensors.len() - occupancy.values().filter(|&&c| c == 1).count();
+        silent_due_to_crowding += sensors.len() - occupancy.values().filter(|&&c| c == 1).count();
         transmissions += transmitters.len();
         assert!(
             interference_disks_disjoint(&transmitters),
@@ -64,9 +63,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         // Count sensors whose slot came up but whose range did not fit their tile.
         for s in &sensors {
             let slot = schedule.slot_of_position(s.position)?;
-            if t % schedule.num_slots() as u64 == slot as u64
-                && !schedule.may_transmit(s, t)?
-            {
+            if t % schedule.num_slots() as u64 == slot as u64 && !schedule.may_transmit(s, t)? {
                 silent_due_to_fit += 1;
             }
         }

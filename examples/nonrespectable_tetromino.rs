@@ -31,7 +31,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let schedule_sym = theorem2::schedule_from_multi_tiling(&symmetric);
     let optimum_sym = optimality::minimal_tilewise_schedule(&symmetric, 8)?;
     println!("Symmetric S-only tiling:");
-    println!("  Theorem 2 schedule uses {} slots", schedule_sym.num_slots());
+    println!(
+        "  Theorem 2 schedule uses {} slots",
+        schedule_sym.num_slots()
+    );
     println!("  exact tile-wise optimum: {} slots", optimum_sym.slots);
     println!(
         "{}",
@@ -42,17 +45,26 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     // --- Figure 5 (left): a mixed S/Z tiling. -----------------------------------
     let period = Sublattice::scaled(2, 4).unwrap();
-    let mixed = tile_torus_with_all(&[s, z], &period)?
-        .expect("a mixed S/Z tiling of the 4x4 torus exists");
+    let mixed =
+        tile_torus_with_all(&[s, z], &period)?.expect("a mixed S/Z tiling of the 4x4 torus exists");
     assert!(!mixed.is_respectable());
-    println!("Mixed S/Z tiling (period 4Z x 4Z, {} tiles per period):", mixed.tiles_per_period());
+    println!(
+        "Mixed S/Z tiling (period 4Z x 4Z, {} tiles per period):",
+        mixed.tiles_per_period()
+    );
     println!(
         "  offsets using S: {:?}",
-        mixed.offsets()[0].iter().map(ToString::to_string).collect::<Vec<_>>()
+        mixed.offsets()[0]
+            .iter()
+            .map(ToString::to_string)
+            .collect::<Vec<_>>()
     );
     println!(
         "  offsets using Z: {:?}",
-        mixed.offsets()[1].iter().map(ToString::to_string).collect::<Vec<_>>()
+        mixed.offsets()[1]
+            .iter()
+            .map(ToString::to_string)
+            .collect::<Vec<_>>()
     );
 
     let schedule_mixed = theorem2::schedule_from_multi_tiling(&mixed);
@@ -61,7 +73,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     println!(
         "  Theorem 2 schedule uses {} slots (|N_S ∪ N_Z| = 6) and is {}",
         schedule_mixed.num_slots(),
-        if report.collision_free() { "collision-free" } else { "NOT collision-free" }
+        if report.collision_free() {
+            "collision-free"
+        } else {
+            "NOT collision-free"
+        }
     );
 
     let optimum_mixed = optimality::minimal_tilewise_schedule(&mixed, 10)?;

@@ -10,7 +10,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     // 1. The interference neighbourhood of every sensor: the 3×3 Chebyshev ball of
     //    radius 1 (Figure 2, left, of the paper). |N| = 9.
     let neighbourhood = shapes::moore();
-    println!("Interference neighbourhood ({} sensors affected):", neighbourhood.len());
+    println!(
+        "Interference neighbourhood ({} sensors affected):",
+        neighbourhood.len()
+    );
     println!("{}", neighbourhood.to_ascii()?);
 
     // 2. Find a tiling of the lattice by translates of N. The search enumerates the

@@ -14,6 +14,7 @@
 //! | [`core`] | `latsched-core` | Theorems 1 and 2, schedule verification, optimality, finite restrictions, mobile sensors |
 //! | [`coloring`] | `latsched-coloring` | Interference graphs, distance-2 colouring baselines (TDMA, greedy, DSATUR, exact, annealing) |
 //! | [`sensornet`] | `latsched-sensornet` | Slot-synchronous network simulator with the paper's interference model |
+//! | [`engine`] | `latsched-engine` | Compiled, batched, parallel schedule-query engine (dense coset tables, sharded cache, scenario CLI) |
 //!
 //! ## Quick start
 //!
@@ -40,6 +41,7 @@
 
 pub use latsched_coloring as coloring;
 pub use latsched_core as core;
+pub use latsched_engine as engine;
 pub use latsched_lattice as lattice;
 pub use latsched_sensornet as sensornet;
 pub use latsched_tiling as tiling;
@@ -52,7 +54,10 @@ pub mod prelude {
     };
     pub use latsched_core::{
         mobile, optimality, theorem1, theorem2, verify, Deployment, FiniteDeployment,
-        PeriodicSchedule,
+        PeriodicSchedule, SlotSource,
+    };
+    pub use latsched_engine::{
+        builtin_scenarios, run_scenario, CompiledSchedule, Scenario, ScheduleCache,
     };
     pub use latsched_lattice::{
         ball_points, hexagonal_lattice, square_lattice, voronoi_cell, BoxRegion, Embedding,

@@ -17,12 +17,18 @@ fn all_algorithms_produce_proper_colourings() {
         let graph = conflicts(6, &shape);
         let results = vec![
             ("tdma", tdma_coloring(&graph).unwrap()),
-            ("greedy-natural", greedy_coloring(&graph, GreedyOrder::Natural).unwrap()),
+            (
+                "greedy-natural",
+                greedy_coloring(&graph, GreedyOrder::Natural).unwrap(),
+            ),
             (
                 "greedy-degree",
                 greedy_coloring(&graph, GreedyOrder::LargestDegreeFirst).unwrap(),
             ),
-            ("greedy-random", greedy_coloring(&graph, GreedyOrder::Random(3)).unwrap()),
+            (
+                "greedy-random",
+                greedy_coloring(&graph, GreedyOrder::Random(3)).unwrap(),
+            ),
             ("dsatur", dsatur_coloring(&graph).unwrap()),
             (
                 "annealing",
@@ -55,7 +61,10 @@ fn tiling_schedule_matches_exact_chromatic_number_for_symmetric_neighbourhoods()
         let exact = exact_coloring(&graph, 32).unwrap();
         assert_eq!(exact.colors_used, expected, "{shape}");
         let tiling = find_tiling(&shape).unwrap().unwrap();
-        assert_eq!(theorem1::schedule_from_tiling(&tiling).num_slots(), expected);
+        assert_eq!(
+            theorem1::schedule_from_tiling(&tiling).num_slots(),
+            expected
+        );
     }
 }
 
@@ -64,7 +73,9 @@ fn heuristic_quality_ordering_on_larger_instances() {
     let shape = shapes::moore();
     let graph = conflicts(10, &shape);
     let tdma = tdma_coloring(&graph).unwrap().colors_used;
-    let greedy = greedy_coloring(&graph, GreedyOrder::Natural).unwrap().colors_used;
+    let greedy = greedy_coloring(&graph, GreedyOrder::Natural)
+        .unwrap()
+        .colors_used;
     let dsatur = dsatur_coloring(&graph).unwrap().colors_used;
     // The paper's scaling point: TDMA uses |V| slots, the clever schemes stay near
     // the neighbourhood size regardless of the network size.

@@ -4,7 +4,13 @@
 use latsched::prelude::*;
 use proptest::prelude::*;
 
-fn run(side: i64, mac: MacPolicy, traffic: TrafficModel, slots: u64, seed: u64) -> latsched::sensornet::SimMetrics {
+fn run(
+    side: i64,
+    mac: MacPolicy,
+    traffic: TrafficModel,
+    slots: u64,
+    seed: u64,
+) -> latsched::sensornet::SimMetrics {
     let shape = shapes::moore();
     let network = grid_network(side, &shape).unwrap();
     run_simulation(
@@ -47,11 +53,14 @@ fn link_accounting_matches_transmissions() {
         MacPolicy::SlottedAloha { p: 0.2 },
     ] {
         let metrics = run(5, mac, TrafficModel::Bernoulli { p: 0.1 }, 300, 9);
-        assert!(metrics.receptions + metrics.collisions >= metrics.transmissions.saturating_sub(
-            // transmitters with no in-window neighbours produce no link outcomes; on
-            // a 5×5 Moore grid every node has at least 3 neighbours, so none.
-            0
-        ));
+        assert!(
+            metrics.receptions + metrics.collisions
+                >= metrics.transmissions.saturating_sub(
+                    // transmitters with no in-window neighbours produce no link outcomes; on
+                    // a 5×5 Moore grid every node has at least 3 neighbours, so none.
+                    0
+                )
+        );
         assert_eq!(
             metrics.packets_generated,
             metrics.packets_delivered + metrics.packets_dropped + metrics.packets_pending
@@ -61,8 +70,20 @@ fn link_accounting_matches_transmissions() {
 
 #[test]
 fn energy_is_nonnegative_and_grows_with_time() {
-    let short = run(4, MacPolicy::Tdma, TrafficModel::Periodic { period: 8 }, 64, 3);
-    let long = run(4, MacPolicy::Tdma, TrafficModel::Periodic { period: 8 }, 512, 3);
+    let short = run(
+        4,
+        MacPolicy::Tdma,
+        TrafficModel::Periodic { period: 8 },
+        64,
+        3,
+    );
+    let long = run(
+        4,
+        MacPolicy::Tdma,
+        TrafficModel::Periodic { period: 8 },
+        512,
+        3,
+    );
     assert!(short.energy.total() > 0.0);
     assert!(long.energy.total() > short.energy.total());
     assert!(short.energy.tx >= 0.0 && short.energy.rx >= 0.0 && short.energy.idle >= 0.0);

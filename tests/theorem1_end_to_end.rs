@@ -39,7 +39,10 @@ fn every_exact_prototile_yields_an_optimal_collision_free_schedule() {
         assert_eq!(schedule.num_slots(), prototile.len(), "{prototile}");
         let report = verify::verify_schedule(&schedule, &deployment).unwrap();
         assert!(report.collision_free(), "collision for {prototile}");
-        assert!(optimality::is_optimal(&schedule, &deployment), "{prototile}");
+        assert!(
+            optimality::is_optimal(&schedule, &deployment),
+            "{prototile}"
+        );
     }
 }
 
@@ -114,7 +117,9 @@ fn three_dimensional_deployments_are_supported() {
         }
     }
     let cube = Prototile::new(cells).unwrap();
-    let tiling = find_tiling(&cube).unwrap().expect("the 2x2x2 cube tiles Z^3");
+    let tiling = find_tiling(&cube)
+        .unwrap()
+        .expect("the 2x2x2 cube tiles Z^3");
     let schedule = theorem1::schedule_from_tiling(&tiling);
     let deployment = theorem1::deployment_for(&tiling);
     assert_eq!(schedule.num_slots(), 8);

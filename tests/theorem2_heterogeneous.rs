@@ -7,7 +7,10 @@ fn respectable_square_domino_tiling() -> MultiTiling {
     MultiTiling::new(
         vec![Tetromino::O.prototile(), tetromino::domino()],
         Sublattice::from_vectors(&[Point::xy(2, 0), Point::xy(0, 4)]).unwrap(),
-        vec![vec![Point::xy(0, 0)], vec![Point::xy(0, 2), Point::xy(0, 3)]],
+        vec![
+            vec![Point::xy(0, 0)],
+            vec![Point::xy(0, 2), Point::xy(0, 3)],
+        ],
     )
     .unwrap()
 }
@@ -56,7 +59,10 @@ fn figure5_mixed_tiling_needs_six_slots_and_symmetric_needs_four() {
         .collision_free());
 
     let mixed_opt = optimality::minimal_tilewise_schedule(&mixed, 10).unwrap();
-    assert_eq!(mixed_opt.slots, 6, "the mixed tiling of Figure 5 needs 6 slots");
+    assert_eq!(
+        mixed_opt.slots, 6,
+        "the mixed tiling of Figure 5 needs 6 slots"
+    );
     assert!(verify::verify_schedule(&mixed_opt.schedule, &deployment)
         .unwrap()
         .collision_free());

@@ -1,0 +1,250 @@
+//! Offline stand-in for `proptest`.
+//!
+//! The build environment has no network access, so the real `proptest` cannot be
+//! fetched. This crate keeps the syntax of the subset the workspace's tests use —
+//! the [`proptest!`] macro with `#![proptest_config(...)]`, range and tuple
+//! strategies, [`Strategy::prop_map`] / [`Strategy::prop_filter_map`],
+//! [`collection::vec`], [`prop_assert!`] and [`prop_assert_eq!`] — and runs each
+//! test body over deterministically seeded random cases (seeded per test name, so
+//! failures are reproducible). Shrinking is not implemented: a failing case reports
+//! its inputs via `Debug` instead.
+
+#![warn(missing_docs)]
+
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+
+pub mod strategy;
+
+pub use strategy::Strategy;
+
+/// The per-test RNG driving case generation.
+pub struct TestRng {
+    inner: ChaCha8Rng,
+}
+
+impl TestRng {
+    /// A deterministic RNG seeded from the test name.
+    pub fn deterministic(name: &str) -> Self {
+        let mut seed: u64 = 0xcbf2_9ce4_8422_2325;
+        for byte in name.bytes() {
+            seed ^= u64::from(byte);
+            seed = seed.wrapping_mul(0x100_0000_01b3);
+        }
+        TestRng {
+            inner: ChaCha8Rng::seed_from_u64(seed),
+        }
+    }
+
+    /// The underlying generator.
+    pub fn rng(&mut self) -> &mut ChaCha8Rng {
+        &mut self.inner
+    }
+}
+
+/// Run configuration accepted by `#![proptest_config(...)]`.
+#[derive(Clone, Debug)]
+pub struct ProptestConfig {
+    /// Number of random cases to run per test.
+    pub cases: u32,
+}
+
+impl ProptestConfig {
+    /// A configuration running the given number of cases.
+    pub fn with_cases(cases: u32) -> Self {
+        ProptestConfig { cases }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        ProptestConfig { cases: 64 }
+    }
+}
+
+/// Collection strategies (`proptest::collection::vec`).
+pub mod collection {
+    use crate::strategy::Strategy;
+    use crate::TestRng;
+    use rand::Rng;
+    use std::ops::Range;
+
+    /// A strategy producing `Vec`s whose lengths are drawn from `len` and whose
+    /// elements are drawn from `element`.
+    #[derive(Clone)]
+    pub struct VecStrategy<S> {
+        element: S,
+        len: Range<usize>,
+    }
+
+    /// Builds a [`VecStrategy`].
+    pub fn vec<S: Strategy>(element: S, len: Range<usize>) -> VecStrategy<S> {
+        VecStrategy { element, len }
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+
+        fn generate(&self, rng: &mut TestRng) -> Self::Value {
+            let len = if self.len.is_empty() {
+                self.len.start
+            } else {
+                rng.rng().gen_range(self.len.clone())
+            };
+            (0..len).map(|_| self.element.generate(rng)).collect()
+        }
+    }
+}
+
+/// The commonly used exports, mirroring `proptest::prelude`.
+pub mod prelude {
+    pub use crate::strategy::Strategy;
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, proptest, ProptestConfig};
+}
+
+/// Defines property tests over randomly generated inputs.
+///
+/// Supports the subset of the real macro the workspace uses:
+///
+/// ```ignore
+/// proptest! {
+///     #![proptest_config(ProptestConfig::with_cases(32))]
+///     #[test]
+///     fn my_property(x in 0i64..10, pair in (0usize..4, 0usize..8)) { ... }
+/// }
+/// ```
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($config:expr)] $($rest:tt)*) => {
+        $crate::__proptest_impl!{ $config; $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_impl!{ $crate::ProptestConfig::default(); $($rest)* }
+    };
+}
+
+/// Implementation detail of [`proptest!`].
+#[macro_export]
+macro_rules! __proptest_impl {
+    ($config:expr; $( $(#[$meta:meta])* fn $name:ident ( $( $arg:ident in $strategy:expr ),+ $(,)? ) $body:block )* ) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                let config: $crate::ProptestConfig = $config;
+                let mut rng = $crate::TestRng::deterministic(concat!(module_path!(), "::", stringify!($name)));
+                for case in 0..config.cases {
+                    $( let $arg = $crate::Strategy::generate(&($strategy), &mut rng); )+
+                    let inputs = format!(
+                        concat!($(stringify!($arg), " = {:?}; "),+),
+                        $(&$arg),+
+                    );
+                    let outcome: ::std::result::Result<(), ::std::string::String> = (|| {
+                        $body
+                        ::std::result::Result::Ok(())
+                    })();
+                    if let ::std::result::Result::Err(message) = outcome {
+                        panic!(
+                            "property '{}' failed at case {}/{}: {}\n  inputs: {}",
+                            stringify!($name), case + 1, config.cases, message, inputs
+                        );
+                    }
+                }
+            }
+        )*
+    };
+}
+
+/// Asserts a condition inside a [`proptest!`] body, reporting the failing inputs.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr $(,)?) => {
+        if !($cond) {
+            return ::std::result::Result::Err(
+                format!("assertion failed: {}", stringify!($cond)),
+            );
+        }
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !($cond) {
+            return ::std::result::Result::Err(format!($($fmt)+));
+        }
+    };
+}
+
+/// Asserts equality inside a [`proptest!`] body.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (left, right) = (&$left, &$right);
+        if !(left == right) {
+            return ::std::result::Result::Err(
+                format!("assertion failed: {:?} != {:?}", left, right),
+            );
+        }
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)+) => {{
+        let (left, right) = (&$left, &$right);
+        if !(left == right) {
+            return ::std::result::Result::Err(
+                format!("{}: {:?} != {:?}", format!($($fmt)+), left, right),
+            );
+        }
+    }};
+}
+
+/// Asserts inequality inside a [`proptest!`] body.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (left, right) = (&$left, &$right);
+        if left == right {
+            return ::std::result::Result::Err(format!(
+                "assertion failed: {:?} == {:?}",
+                left, right
+            ));
+        }
+    }};
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(64))]
+
+        #[test]
+        fn ranges_respect_bounds(x in -5i64..5, y in 0usize..3) {
+            prop_assert!((-5..5).contains(&x));
+            prop_assert!(y < 3);
+        }
+
+        #[test]
+        fn tuples_and_maps_compose(p in (0i64..4, 0i64..4).prop_map(|(a, b)| a * 10 + b)) {
+            prop_assert!((0..34).contains(&p));
+        }
+
+        #[test]
+        fn filter_map_retries(v in (0i64..10).prop_filter_map("nonzero", |x| if x == 0 { None } else { Some(x) })) {
+            prop_assert_ne!(v, 0);
+        }
+
+        #[test]
+        fn vec_strategy_obeys_length(items in crate::collection::vec(0usize..4, 0..7)) {
+            prop_assert!(items.len() < 7);
+            for item in &items {
+                prop_assert!(*item < 4);
+            }
+        }
+    }
+
+    #[test]
+    fn deterministic_rng_is_stable_per_name() {
+        use rand::RngCore;
+        let a = crate::TestRng::deterministic("x").rng().next_u64();
+        let b = crate::TestRng::deterministic("x").rng().next_u64();
+        let c = crate::TestRng::deterministic("y").rng().next_u64();
+        assert_eq!(a, b);
+        assert_ne!(a, c);
+    }
+}

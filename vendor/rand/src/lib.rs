@@ -1,0 +1,273 @@
+//! Offline stand-in for `rand`.
+//!
+//! The build environment has no network access, so the real `rand` cannot be
+//! fetched. This crate reimplements exactly the trait surface the workspace uses —
+//! [`RngCore`], [`SeedableRng`], the [`Rng`] extension methods `gen`, `gen_range`
+//! and `gen_bool`, and [`seq::SliceRandom::shuffle`] — with the same call syntax as
+//! the real crate, so swapping the real dependency back in requires no source
+//! changes. Streams are deterministic for a fixed seed but do **not** reproduce the
+//! real crate's bit streams.
+
+#![warn(missing_docs)]
+
+use std::ops::Range;
+
+/// The core of a random number generator: a source of uniform `u64`s.
+pub trait RngCore {
+    /// The next 64 uniformly random bits.
+    fn next_u64(&mut self) -> u64;
+
+    /// The next 32 uniformly random bits (upper half of [`RngCore::next_u64`]).
+    fn next_u32(&mut self) -> u32 {
+        (self.next_u64() >> 32) as u32
+    }
+}
+
+/// A generator that can be constructed from a seed.
+pub trait SeedableRng: Sized {
+    /// Builds the generator from a 64-bit seed (deterministic).
+    fn seed_from_u64(state: u64) -> Self;
+}
+
+/// Extension methods over any [`RngCore`], mirroring `rand::Rng`.
+pub trait Rng: RngCore {
+    /// Samples a value of `T` from its standard distribution (`f64` uniform in
+    /// `[0, 1)`, integers uniform over their full range, `bool` fair).
+    fn gen<T>(&mut self) -> T
+    where
+        T: SampleStandard,
+        Self: Sized,
+    {
+        T::sample_standard(self)
+    }
+
+    /// Samples uniformly from a half-open range, e.g. `rng.gen_range(0..n)` or
+    /// `rng.gen_range(-0.25..0.25)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the range is empty.
+    fn gen_range<T, R>(&mut self, range: R) -> T
+    where
+        R: SampleRange<T>,
+        Self: Sized,
+    {
+        range.sample_single(self)
+    }
+
+    /// Returns `true` with probability `p`.
+    fn gen_bool(&mut self, p: f64) -> bool
+    where
+        Self: Sized,
+    {
+        self.gen::<f64>() < p
+    }
+}
+
+impl<R: RngCore + ?Sized> Rng for R {}
+
+/// Types samplable from their "standard" distribution (the role the real crate
+/// gives to `distributions::Standard`).
+pub trait SampleStandard {
+    /// Draws one sample.
+    fn sample_standard<R: RngCore + ?Sized>(rng: &mut R) -> Self;
+}
+
+impl SampleStandard for f64 {
+    fn sample_standard<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        // 53 uniform bits mapped to [0, 1).
+        (rng.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+}
+
+impl SampleStandard for f32 {
+    fn sample_standard<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        (rng.next_u32() >> 8) as f32 * (1.0 / (1u32 << 24) as f32)
+    }
+}
+
+impl SampleStandard for u64 {
+    fn sample_standard<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        rng.next_u64()
+    }
+}
+
+impl SampleStandard for u32 {
+    fn sample_standard<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        rng.next_u32()
+    }
+}
+
+impl SampleStandard for i64 {
+    fn sample_standard<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        rng.next_u64() as i64
+    }
+}
+
+impl SampleStandard for bool {
+    fn sample_standard<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        rng.next_u64() & 1 == 1
+    }
+}
+
+/// Ranges that can be sampled uniformly (the role of `rand`'s `SampleRange`).
+pub trait SampleRange<T> {
+    /// Draws one sample from the range.
+    fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> T;
+}
+
+/// Element types that support uniform sampling from a half-open range (the role
+/// of `rand`'s `SampleUniform`). The single blanket impl of [`SampleRange`] over
+/// this trait is what lets type inference flow from the range literal to the
+/// sampled value, exactly as in the real crate.
+pub trait SampleUniform: Sized {
+    /// A uniform sample from `[low, high)`.
+    fn sample_range<R: RngCore + ?Sized>(low: Self, high: Self, rng: &mut R) -> Self;
+}
+
+impl<T: SampleUniform> SampleRange<T> for Range<T> {
+    fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> T {
+        T::sample_range(self.start, self.end, rng)
+    }
+}
+
+macro_rules! impl_int_uniform {
+    ($($t:ty),*) => {$(
+        impl SampleUniform for $t {
+            fn sample_range<R: RngCore + ?Sized>(low: Self, high: Self, rng: &mut R) -> Self {
+                assert!(low < high, "cannot sample from empty range");
+                let span = (high as i128 - low as i128) as u128;
+                // Modulo bias is ~span/2^64, negligible for the small spans used in
+                // this workspace (simulation parameters, test case generation).
+                let offset = (rng.next_u64() as u128) % span;
+                (low as i128 + offset as i128) as $t
+            }
+        }
+    )*};
+}
+
+impl_int_uniform!(i8, i16, i32, i64, u8, u16, u32, u64, usize, isize);
+
+impl SampleUniform for f64 {
+    fn sample_range<R: RngCore + ?Sized>(low: Self, high: Self, rng: &mut R) -> Self {
+        assert!(low < high, "cannot sample from empty range");
+        low + f64::sample_standard(rng) * (high - low)
+    }
+}
+
+impl SampleUniform for f32 {
+    fn sample_range<R: RngCore + ?Sized>(low: Self, high: Self, rng: &mut R) -> Self {
+        assert!(low < high, "cannot sample from empty range");
+        low + f32::sample_standard(rng) * (high - low)
+    }
+}
+
+/// Sequence-related helpers, mirroring `rand::seq`.
+pub mod seq {
+    use super::{Rng, RngCore};
+
+    /// Random operations on slices.
+    pub trait SliceRandom {
+        /// The element type.
+        type Item;
+
+        /// Shuffles the slice in place (Fisher–Yates).
+        fn shuffle<R>(&mut self, rng: &mut R)
+        where
+            R: RngCore;
+
+        /// A uniformly random element, or `None` for an empty slice.
+        fn choose<R>(&self, rng: &mut R) -> Option<&Self::Item>
+        where
+            R: RngCore;
+    }
+
+    impl<T> SliceRandom for [T] {
+        type Item = T;
+
+        fn shuffle<R>(&mut self, rng: &mut R)
+        where
+            R: RngCore,
+        {
+            for i in (1..self.len()).rev() {
+                let j = rng.gen_range(0..i + 1);
+                self.swap(i, j);
+            }
+        }
+
+        fn choose<R>(&self, rng: &mut R) -> Option<&T>
+        where
+            R: RngCore,
+        {
+            if self.is_empty() {
+                None
+            } else {
+                Some(&self[rng.gen_range(0..self.len())])
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::seq::SliceRandom;
+    use super::*;
+
+    struct SplitMix(u64);
+
+    impl RngCore for SplitMix {
+        fn next_u64(&mut self) -> u64 {
+            self.0 = self.0.wrapping_add(0x9e3779b97f4a7c15);
+            let mut z = self.0;
+            z = (z ^ (z >> 30)).wrapping_mul(0xbf58476d1ce4e5b9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94d049bb133111eb);
+            z ^ (z >> 31)
+        }
+    }
+
+    #[test]
+    fn f64_samples_live_in_unit_interval() {
+        let mut rng = SplitMix(1);
+        for _ in 0..1000 {
+            let x: f64 = rng.gen();
+            assert!((0.0..1.0).contains(&x));
+        }
+    }
+
+    #[test]
+    fn int_ranges_cover_and_respect_bounds() {
+        let mut rng = SplitMix(2);
+        let mut seen = [false; 5];
+        for _ in 0..500 {
+            let v = rng.gen_range(0usize..5);
+            seen[v] = true;
+        }
+        assert!(seen.iter().all(|&s| s));
+        for _ in 0..500 {
+            let v = rng.gen_range(-3i64..4);
+            assert!((-3..4).contains(&v));
+        }
+        for _ in 0..500 {
+            let v = rng.gen_range(-0.25f64..0.25);
+            assert!((-0.25..0.25).contains(&v));
+        }
+    }
+
+    #[test]
+    fn shuffle_is_a_permutation() {
+        let mut rng = SplitMix(3);
+        let mut v: Vec<usize> = (0..50).collect();
+        v.shuffle(&mut rng);
+        let mut sorted = v.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, (0..50).collect::<Vec<_>>());
+        assert!(v.choose(&mut rng).is_some());
+    }
+
+    #[test]
+    fn gen_bool_tracks_probability() {
+        let mut rng = SplitMix(4);
+        let yes = (0..2000).filter(|_| rng.gen_bool(0.25)).count();
+        assert!((300..700).contains(&yes), "yes = {yes}");
+    }
+}

@@ -1,0 +1,28 @@
+//! Offline stand-in for `serde`.
+//!
+//! The build environment has no network access, so the real `serde` cannot be
+//! fetched. The workspace only uses `serde` for `#[derive(Serialize, Deserialize)]`
+//! annotations (no code path actually serializes through the serde data model —
+//! JSON output goes through the vendored `serde_json::Value` type directly), so the
+//! two traits are defined as blanket-implemented markers and the derives expand to
+//! nothing. Swapping the real crates back in requires no source changes outside
+//! `vendor/`.
+
+/// Marker stand-in for `serde::Serialize`; blanket-implemented for every type.
+pub trait Serialize {}
+impl<T: ?Sized> Serialize for T {}
+
+/// Marker stand-in for `serde::Deserialize`; blanket-implemented for every type.
+pub trait Deserialize<'de>: Sized {}
+impl<'de, T> Deserialize<'de> for T {}
+
+/// Marker stand-in for `serde::de::DeserializeOwned`.
+pub trait DeserializeOwned: Sized {}
+impl<T> DeserializeOwned for T {}
+
+pub use serde_derive::{Deserialize, Serialize};
+
+/// Stub of the `serde::de` module namespace.
+pub mod de {
+    pub use super::DeserializeOwned;
+}

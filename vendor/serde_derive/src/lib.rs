@@ -1,0 +1,21 @@
+//! Offline stand-in for `serde_derive`.
+//!
+//! The build environment has no network access, so the real `serde` cannot be
+//! fetched. The workspace's `vendor/serde` defines `Serialize`/`Deserialize` as
+//! blanket-implemented marker traits, which means the derive macros have nothing to
+//! generate: they accept the usual derive position (including `#[serde(...)]` helper
+//! attributes) and expand to an empty token stream.
+
+use proc_macro::TokenStream;
+
+/// No-op `#[derive(Serialize)]`.
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
+
+/// No-op `#[derive(Deserialize)]`.
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
