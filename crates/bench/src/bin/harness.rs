@@ -7,16 +7,47 @@
 //! harness                      # run all experiments (E1..E8)
 //! harness E3 E5                # run selected experiments
 //! harness --json results.json  # also write the tables as JSON
+//! harness --bench-simkernel    # measure the frame kernel vs the reference
+//!                              # simulator and write BENCH_simkernel.json
 //! ```
 
-use latsched_bench::{run_all, run_by_id, Table};
+use latsched_bench::{measure_simkernel, run_all, run_by_id, Table};
 use std::process::ExitCode;
+
+/// Acceptance workload of the frame kernel: a 256×256 window (65 536 sensors),
+/// 256 simulated slots, median of 3 timed runs per kernel.
+fn emit_simkernel_baseline(path: &str) -> ExitCode {
+    let baseline = match measure_simkernel(256, 256, 3) {
+        Ok(baseline) => baseline,
+        Err(err) => {
+            eprintln!("simkernel baseline failed: {err}");
+            return ExitCode::FAILURE;
+        }
+    };
+    println!(
+        "simkernel baseline: {} — reference {:.1} ms, frame kernel {:.2} ms, speedup {:.1}x, parity {}",
+        baseline.workload, baseline.reference_ms, baseline.frame_ms, baseline.speedup,
+        baseline.parity
+    );
+    let json = serde_json::to_string_pretty(&baseline.to_json_value());
+    if let Err(err) = std::fs::write(path, json + "\n") {
+        eprintln!("failed to write {path}: {err}");
+        return ExitCode::FAILURE;
+    }
+    println!("wrote simkernel baseline to {path}");
+    if !baseline.parity {
+        eprintln!("kernel parity check failed");
+        return ExitCode::FAILURE;
+    }
+    ExitCode::SUCCESS
+}
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let mut json_path: Option<String> = None;
+    let mut simkernel_path: Option<String> = None;
     let mut ids: Vec<String> = Vec::new();
-    let mut iter = args.into_iter();
+    let mut iter = args.into_iter().peekable();
     while let Some(arg) = iter.next() {
         match arg.as_str() {
             "--json" => match iter.next() {
@@ -26,12 +57,30 @@ fn main() -> ExitCode {
                     return ExitCode::FAILURE;
                 }
             },
+            "--bench-simkernel" => {
+                // Optional path operand; defaults to BENCH_simkernel.json.
+                simkernel_path = Some(match iter.peek() {
+                    Some(next) if !next.starts_with('-') => iter.next().unwrap(),
+                    _ => "BENCH_simkernel.json".to_string(),
+                });
+            }
             "--help" | "-h" => {
-                println!("usage: harness [--json FILE] [E1..E8 | all]...");
+                println!(
+                    "usage: harness [--json FILE] [--bench-simkernel [FILE]] [E1..E8 | all]..."
+                );
                 return ExitCode::SUCCESS;
             }
             other => ids.push(other.to_string()),
         }
+    }
+
+    if let Some(path) = simkernel_path {
+        // The baseline run is its own mode; refuse silently dropped work.
+        if !ids.is_empty() || json_path.is_some() {
+            eprintln!("--bench-simkernel cannot be combined with experiment ids or --json");
+            return ExitCode::FAILURE;
+        }
+        return emit_simkernel_baseline(&path);
     }
 
     let run_everything = ids.is_empty() || ids.iter().any(|id| id.eq_ignore_ascii_case("all"));

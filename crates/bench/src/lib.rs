@@ -22,6 +22,8 @@
 
 pub mod experiments;
 pub mod report;
+pub mod simbench;
 
 pub use experiments::{run_all, run_by_id, ExpResult};
 pub use report::Table;
+pub use simbench::{measure_simkernel, SimkernelBaseline};

@@ -36,6 +36,19 @@ pub trait SlotSource {
     ///
     /// Returns a dimension-mismatch error if `p` has the wrong dimension.
     fn slot_at(&self, p: &Point) -> Result<usize>;
+
+    /// The slots of a batch of sensors, in order.
+    ///
+    /// The default maps [`SlotSource::slot_at`] over the batch; table-backed
+    /// implementations (the frame builder of `latsched-engine` queries through
+    /// this entry point) override it with a batched, parallel evaluation.
+    ///
+    /// # Errors
+    ///
+    /// Returns a dimension-mismatch error if any point has the wrong dimension.
+    fn slots_at(&self, points: &[Point]) -> Result<Vec<usize>> {
+        points.iter().map(|p| self.slot_at(p)).collect()
+    }
 }
 
 impl SlotSource for PeriodicSchedule {

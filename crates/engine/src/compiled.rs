@@ -12,7 +12,7 @@
 use crate::error::{EngineError, Result};
 use crate::parallel::fill_chunks;
 use latsched_core::{Deployment, PeriodicSchedule, SlotSource, VerificationReport};
-use latsched_lattice::{BoxRegion, Point, Sublattice};
+use latsched_lattice::{BoxRegion, FixedReducer, Point, Sublattice};
 use std::fmt;
 
 /// Queries of dimension at most this run entirely on the stack; the paper's
@@ -55,6 +55,19 @@ pub struct CompiledSchedule {
     diag: Vec<i64>,
     /// `table[rank]` is the slot of the coset with that dense rank.
     table: Vec<u16>,
+    /// Dimension-specialized, division-free reduction for the paper's 2-D and
+    /// 3-D lattices; other dimensions fall back to the generic chain.
+    fixed: FixedReduce,
+}
+
+/// The dimension dispatch of the per-query coset reduction: the hot dimensions
+/// get a const-generic [`FixedReducer`] whose `div_euclid` chain is strength-
+/// reduced to reciprocal multiplications.
+#[derive(Clone, PartialEq, Eq, Debug)]
+enum FixedReduce {
+    D2(FixedReducer<2>),
+    D3(FixedReducer<3>),
+    General,
 }
 
 impl CompiledSchedule {
@@ -85,19 +98,27 @@ impl CompiledSchedule {
             }
             diag.push(period.hnf().get(r, r));
         }
-        let mut table = vec![0u16; period.index() as usize];
-        for (rep, &slot) in schedule.slot_table() {
-            let rank = period.coset_rank(rep)?;
-            table[rank as usize] = slot as u16;
-        }
-        Ok(CompiledSchedule {
+        let fixed = match dim {
+            2 => FixedReduce::D2(period.fixed_reducer::<2>()?),
+            3 => FixedReduce::D3(period.fixed_reducer::<3>()?),
+            _ => FixedReduce::General,
+        };
+        let mut compiled = CompiledSchedule {
             dim,
             num_slots: schedule.num_slots(),
             period,
             hnf,
             diag,
-            table,
-        })
+            table: vec![0u16; 0],
+            fixed,
+        };
+        let mut table = vec![0u16; compiled.period.index() as usize];
+        for (rep, &slot) in schedule.slot_table() {
+            let rank = compiled.rank_of_coords(rep.coords());
+            table[rank] = slot as u16;
+        }
+        compiled.table = table;
+        Ok(compiled)
     }
 
     /// The number of time slots `m`.
@@ -141,6 +162,30 @@ impl CompiledSchedule {
         rank
     }
 
+    /// The dense coset rank of a point given by its coordinates: the 2-D and
+    /// 3-D cases run the division-free [`FixedReducer`]; other dimensions take
+    /// the generic [`CompiledSchedule::rank_of`] chain on a scratch buffer.
+    #[inline]
+    fn rank_of_coords(&self, coords: &[i64]) -> usize {
+        debug_assert_eq!(coords.len(), self.dim);
+        match &self.fixed {
+            FixedReduce::D2(r) => r.coset_rank_fixed(&mut [coords[0], coords[1]]) as usize,
+            FixedReduce::D3(r) => {
+                r.coset_rank_fixed(&mut [coords[0], coords[1], coords[2]]) as usize
+            }
+            FixedReduce::General => {
+                if self.dim <= MAX_STACK_DIM {
+                    let mut buf = [0i64; MAX_STACK_DIM];
+                    buf[..self.dim].copy_from_slice(coords);
+                    self.rank_of(&mut buf[..self.dim])
+                } else {
+                    let mut buf = coords.to_vec();
+                    self.rank_of(&mut buf)
+                }
+            }
+        }
+    }
+
     /// The slot of the sensor with the given coordinates, without allocating.
     ///
     /// # Errors
@@ -154,14 +199,7 @@ impl CompiledSchedule {
                 found: coords.len(),
             });
         }
-        if self.dim <= MAX_STACK_DIM {
-            let mut buf = [0i64; MAX_STACK_DIM];
-            buf[..self.dim].copy_from_slice(coords);
-            Ok(self.table[self.rank_of(&mut buf[..self.dim])])
-        } else {
-            let mut buf = coords.to_vec();
-            Ok(self.table[self.rank_of(&mut buf)])
-        }
+        Ok(self.table[self.rank_of_coords(coords)])
     }
 
     /// The slot of the sensor at `p`.
@@ -310,22 +348,8 @@ impl CompiledSchedule {
         }
         let mut out = vec![0u16; points.len()];
         fill_chunks(&mut out, |offset, chunk| {
-            let mut buf = [0i64; MAX_STACK_DIM];
-            let stack = self.dim <= MAX_STACK_DIM;
-            let mut heap = if stack {
-                Vec::new()
-            } else {
-                vec![0i64; self.dim]
-            };
             for (i, out) in chunk.iter_mut().enumerate() {
-                let coords = points[offset + i].coords();
-                if stack {
-                    buf[..self.dim].copy_from_slice(coords);
-                    *out = self.table[self.rank_of(&mut buf[..self.dim])];
-                } else {
-                    heap.copy_from_slice(coords);
-                    *out = self.table[self.rank_of(&mut heap)];
-                }
+                *out = self.table[self.rank_of_coords(points[offset + i].coords())];
             }
         });
         Ok(out)
@@ -384,6 +408,22 @@ impl SlotSource for CompiledSchedule {
                 expected: self.dim,
                 found: p.dim(),
             }),
+        }
+    }
+
+    fn slots_at(&self, points: &[Point]) -> latsched_core::Result<Vec<usize>> {
+        match self.slots_of_points(points) {
+            Ok(slots) => Ok(slots.into_iter().map(usize::from).collect()),
+            Err(EngineError::DimensionMismatch { expected, found }) => {
+                Err(latsched_core::ScheduleError::DimensionMismatch { expected, found })
+            }
+            Err(EngineError::Schedule(e)) => Err(e),
+            // slots_of_points has no other failure mode today; if one appears,
+            // surface it as an overflow-class lattice error rather than
+            // disguising it as a dimension mismatch.
+            Err(_) => Err(latsched_core::ScheduleError::Lattice(
+                latsched_lattice::LatticeError::Overflow,
+            )),
         }
     }
 }

@@ -39,6 +39,24 @@ pub enum EngineError {
     NotSchedulable(String),
     /// A scenario specification was malformed; the string names the problem.
     InvalidSpec(String),
+    /// A frame plan or adjacency referenced a node id outside the network.
+    NodeOutOfRange {
+        /// The offending node id.
+        node: usize,
+        /// The number of nodes.
+        nodes: usize,
+    },
+    /// A frame schedule and an interference adjacency were built for networks of
+    /// different sizes.
+    NodeCountMismatch {
+        /// Node count of the frame schedule.
+        frames: usize,
+        /// Node count of the adjacency.
+        adjacency: usize,
+    },
+    /// A simulation-kernel configuration was invalid; the string names the
+    /// problem (e.g. a zero traffic period).
+    InvalidKernelConfig(String),
     /// An underlying schedule computation failed.
     Schedule(ScheduleError),
     /// An underlying tiling computation failed.
@@ -69,6 +87,17 @@ impl fmt::Display for EngineError {
                 write!(f, "neighbourhood {shape} does not tile the lattice")
             }
             EngineError::InvalidSpec(msg) => write!(f, "invalid scenario spec: {msg}"),
+            EngineError::NodeOutOfRange { node, nodes } => write!(
+                f,
+                "node {node} is out of range for a network of {nodes} nodes"
+            ),
+            EngineError::NodeCountMismatch { frames, adjacency } => write!(
+                f,
+                "frame schedule covers {frames} nodes but the adjacency covers {adjacency}"
+            ),
+            EngineError::InvalidKernelConfig(msg) => {
+                write!(f, "invalid kernel configuration: {msg}")
+            }
             EngineError::Schedule(e) => write!(f, "schedule error: {e}"),
             EngineError::Tiling(e) => write!(f, "tiling error: {e}"),
             EngineError::Lattice(e) => write!(f, "lattice error: {e}"),

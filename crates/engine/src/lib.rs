@@ -22,6 +22,18 @@
 //! 3. Scenario serving — [`Scenario`] specs describe a neighbourhood, window and
 //!    query load in JSON; [`run_scenario`] and the `engine-cli` binary stream
 //!    answers and report throughput.
+//! 4. Frame-compiled simulation — [`FrameSchedule`] precomputes one schedule
+//!    period's per-slot transmitter sets, [`InterferenceCsr`] /
+//!    [`FramePlan`] compile the interference graph into a slot-major CSR
+//!    layout, and [`run_frames`] replays whole simulations as allocation-free
+//!    bitset passes (the fast backend behind
+//!    `latsched_sensornet::run_simulation`, 20× the reference simulator on a
+//!    256×256 window).
+//!
+//! Underneath the table queries, 2-D and 3-D schedules use the
+//! dimension-specialized `latsched_lattice::FixedReducer`, which
+//! strength-reduces the coset reduction's per-coordinate `div_euclid` chain to
+//! precomputed reciprocal multiplications.
 //!
 //! The compiled table plugs back into the exact machinery: it implements
 //! `latsched_core::SlotSource`, so [`CompiledSchedule::verify`] runs the paper's
@@ -53,10 +65,14 @@
 mod cache;
 mod compiled;
 mod error;
+mod frames;
 mod parallel;
 mod scenario;
+mod simkernel;
 
 pub use cache::{compile_shape, ScheduleCache};
 pub use compiled::CompiledSchedule;
 pub use error::{EngineError, Result};
+pub use frames::{FramePlan, FrameSchedule, InterferenceCsr};
 pub use scenario::{builtin_scenarios, run_scenario, Scenario, ScenarioReport, ShapeSpec};
+pub use simkernel::{run_frames, KernelConfig, KernelCounts, KernelTraffic};

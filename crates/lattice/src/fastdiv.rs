@@ -1,0 +1,369 @@
+//! Strength-reduced coset arithmetic for fixed (compile-time) dimensions.
+//!
+//! The generic [`Sublattice::reduce_into`] spends essentially all of its time in
+//! one `div_euclid` per coordinate — a hardware integer division of 20–40 cycles
+//! each. Because a schedule's period sublattice is fixed for the lifetime of a
+//! compiled table, those divisors (the Hermite-normal-form diagonal) are known up
+//! front, so the divisions can be strength-reduced to multiplications by a
+//! precomputed reciprocal ("magic number" division, Granlund–Montgomery style).
+//!
+//! Two pieces implement this:
+//!
+//! * [`MagicDiv`] — exact floor division of any `i64` by a fixed positive
+//!   divisor, via one 128-bit multiply-high. The multiplier is
+//!   `⌈2¹²⁸ / d⌉`, which makes the round-up method exact for every 64-bit
+//!   dividend (the error term `e·x / (d·2¹²⁸)` with `e ≤ d < 2⁶³`, `x < 2⁶⁴` is
+//!   strictly below `1/d`).
+//! * [`FixedReducer`] — a const-generic specialization of the triangular HNF
+//!   reduction: [`FixedReducer::reduce_into_fixed`] and
+//!   [`FixedReducer::coset_rank_fixed`] run the same algorithm as
+//!   [`Sublattice::reduce_into`] / [`Sublattice::coset_rank`] over `[i64; D]`
+//!   arrays with fully unrollable loops and no hardware division. The paper's
+//!   lattices are two- and three-dimensional, so `D = 2` and `D = 3` are the
+//!   instantiations the query engine uses.
+//!
+//! Both are reference-checked against the generic paths in this module's tests.
+
+use crate::error::{LatticeError, Result};
+use crate::sublattice::Sublattice;
+
+/// Exact floor division by a fixed positive divisor, with the hardware division
+/// replaced by a multiply-high against a precomputed 128-bit reciprocal.
+///
+/// # Examples
+///
+/// ```
+/// use latsched_lattice::MagicDiv;
+/// let by7 = MagicDiv::new(7)?;
+/// assert_eq!(by7.floor_div(20), 2);
+/// assert_eq!(by7.floor_div(-20), -3); // floor, not truncation
+/// # Ok::<(), latsched_lattice::LatticeError>(())
+/// ```
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct MagicDiv {
+    divisor: i64,
+    /// High and low halves of `⌈2¹²⁸ / divisor⌉` (unused when `divisor == 1`).
+    mhi: u64,
+    mlo: u64,
+}
+
+impl MagicDiv {
+    /// Precomputes the reciprocal of a positive divisor.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`LatticeError::InvalidIndex`] if `divisor <= 0`.
+    pub fn new(divisor: i64) -> Result<Self> {
+        if divisor <= 0 {
+            return Err(LatticeError::InvalidIndex(0));
+        }
+        if divisor == 1 {
+            return Ok(MagicDiv {
+                divisor,
+                mhi: 0,
+                mlo: 0,
+            });
+        }
+        // ⌈2¹²⁸ / d⌉ = ⌊(2¹²⁸ − 1) / d⌋ + 1 for d ∤ 2¹²⁸, and exactly 2¹²⁸/d for
+        // powers of two; both cases make the round-up method exact for u64
+        // dividends.
+        let m = u128::MAX / divisor as u128 + 1;
+        Ok(MagicDiv {
+            divisor,
+            mhi: (m >> 64) as u64,
+            mlo: m as u64,
+        })
+    }
+
+    /// The divisor this reciprocal was computed for.
+    pub fn divisor(&self) -> i64 {
+        self.divisor
+    }
+
+    /// `⌊x / divisor⌋` for an unsigned dividend: multiply-high against the
+    /// 128-bit reciprocal.
+    #[inline]
+    fn udiv(&self, x: u64) -> u64 {
+        let x = x as u128;
+        let high = self.mhi as u128 * x;
+        let low = (self.mlo as u128 * x) >> 64;
+        ((high + low) >> 64) as u64
+    }
+
+    /// `⌊a / divisor⌋` (Euclidean/floor quotient, like `i64::div_euclid` with a
+    /// positive divisor) without a hardware division.
+    #[inline]
+    pub fn floor_div(&self, a: i64) -> i64 {
+        if self.divisor == 1 {
+            return a;
+        }
+        if a >= 0 {
+            self.udiv(a as u64) as i64
+        } else {
+            // floor(a/d) = −⌈|a|/d⌉ = −(⌊(|a|−1)/d⌋ + 1); |a| ≤ 2⁶³ fits u64.
+            let na = (a as i128).unsigned_abs() as u64;
+            -((self.udiv(na - 1) + 1) as i64)
+        }
+    }
+}
+
+/// The triangular Hermite-normal-form coset reduction of a [`Sublattice`],
+/// specialized to a compile-time dimension `D` with strength-reduced division.
+///
+/// Semantically identical to the generic [`Sublattice::reduce_into`] /
+/// [`Sublattice::coset_rank`]; the only differences are the `[i64; D]`
+/// calling convention (fully unrollable loops) and [`MagicDiv`] in place of
+/// `div_euclid`.
+///
+/// # Examples
+///
+/// ```
+/// use latsched_lattice::{Point, Sublattice};
+/// let lambda = Sublattice::from_vectors(&[Point::xy(1, 2), Point::xy(2, -1)])?;
+/// let fixed = lambda.fixed_reducer::<2>()?;
+/// let mut coords = [7, -3];
+/// let rank = fixed.coset_rank_fixed(&mut coords);
+/// assert_eq!(rank, lambda.coset_rank(&Point::xy(7, -3))?);
+/// # Ok::<(), latsched_lattice::LatticeError>(())
+/// ```
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct FixedReducer<const D: usize> {
+    /// Row-major HNF basis.
+    hnf: [[i64; D]; D],
+    /// The HNF diagonal (the mixed-radix radices of the coset rank).
+    diag: [i64; D],
+    /// Reciprocal of each diagonal entry.
+    magic: [MagicDiv; D],
+}
+
+impl<const D: usize> FixedReducer<D> {
+    /// Builds the fixed-dimension reducer of a sublattice.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`LatticeError::DimensionMismatch`] if `lattice.dim() != D`.
+    pub fn new(lattice: &Sublattice) -> Result<Self> {
+        if lattice.dim() != D {
+            return Err(LatticeError::DimensionMismatch {
+                expected: D,
+                found: lattice.dim(),
+            });
+        }
+        let mut hnf = [[0i64; D]; D];
+        let mut diag = [0i64; D];
+        let mut magic = [MagicDiv::new(1)?; D];
+        for r in 0..D {
+            for (c, cell) in hnf[r].iter_mut().enumerate() {
+                *cell = lattice.hnf().get(r, c);
+            }
+            diag[r] = hnf[r][r];
+            magic[r] = MagicDiv::new(diag[r])?;
+        }
+        Ok(FixedReducer { hnf, diag, magic })
+    }
+
+    /// The HNF diagonal (the per-coordinate canonical ranges).
+    pub fn diag(&self) -> &[i64; D] {
+        &self.diag
+    }
+
+    /// Reduces `coords` in place to the canonical representative of its coset,
+    /// exactly like [`Sublattice::reduce_into`] but division-free.
+    #[inline]
+    pub fn reduce_into_fixed(&self, coords: &mut [i64; D]) {
+        for i in 0..D {
+            let q = self.magic[i].floor_div(coords[i]);
+            if q != 0 {
+                for (c, &h) in coords[i..].iter_mut().zip(&self.hnf[i][i..]) {
+                    *c -= q * h;
+                }
+            }
+        }
+    }
+
+    /// Reduces `coords` in place and returns the dense coset rank, exactly like
+    /// [`Sublattice::coset_rank`] but allocation- and division-free.
+    #[inline]
+    pub fn coset_rank_fixed(&self, coords: &mut [i64; D]) -> u64 {
+        self.reduce_into_fixed(coords);
+        let mut rank = 0u64;
+        for (&c, &radix) in coords.iter().zip(&self.diag) {
+            rank = rank * radix as u64 + c as u64;
+        }
+        rank
+    }
+}
+
+impl Sublattice {
+    /// The dimension-specialized, division-free reducer of this sublattice (see
+    /// [`FixedReducer`]).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`LatticeError::DimensionMismatch`] if `self.dim() != D`.
+    pub fn fixed_reducer<const D: usize>(&self) -> Result<FixedReducer<D>> {
+        FixedReducer::new(self)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::hnf::floor_div;
+    use crate::point::Point;
+
+    #[test]
+    fn magic_div_matches_floor_div_over_a_dense_range() {
+        for d in 1..=40i64 {
+            let magic = MagicDiv::new(d).unwrap();
+            assert_eq!(magic.divisor(), d);
+            for a in -1000..=1000i64 {
+                assert_eq!(magic.floor_div(a), floor_div(a, d), "{a} / {d}");
+            }
+        }
+    }
+
+    #[test]
+    fn magic_div_matches_floor_div_at_extremes() {
+        let divisors = [
+            1,
+            2,
+            3,
+            5,
+            7,
+            8,
+            63,
+            64,
+            65,
+            1_000_003,
+            i64::MAX / 2,
+            i64::MAX - 1,
+            i64::MAX,
+        ];
+        let values = [
+            i64::MIN,
+            i64::MIN + 1,
+            i64::MIN / 2,
+            -1_000_000_007,
+            -2,
+            -1,
+            0,
+            1,
+            2,
+            1_000_000_007,
+            i64::MAX / 2,
+            i64::MAX - 1,
+            i64::MAX,
+        ];
+        for &d in &divisors {
+            let magic = MagicDiv::new(d).unwrap();
+            for &a in &values {
+                assert_eq!(magic.floor_div(a), floor_div(a, d), "{a} / {d}");
+            }
+        }
+    }
+
+    #[test]
+    fn magic_div_rejects_nonpositive_divisors() {
+        assert!(MagicDiv::new(0).is_err());
+        assert!(MagicDiv::new(-3).is_err());
+    }
+
+    #[test]
+    fn fixed_reducer_matches_reduce_into_exhaustively_d2() {
+        for basis in [
+            [Point::xy(3, 0), Point::xy(0, 3)],
+            [Point::xy(1, 2), Point::xy(2, -1)],
+            [Point::xy(3, 1), Point::xy(-1, 3)],
+            [Point::xy(2, 1), Point::xy(0, 4)],
+            [Point::xy(1, 0), Point::xy(0, 1)],
+        ] {
+            let lambda = Sublattice::from_vectors(&basis).unwrap();
+            let fixed = lambda.fixed_reducer::<2>().unwrap();
+            // Cover several whole coset periods in every direction.
+            for x in -12..=12i64 {
+                for y in -12..=12i64 {
+                    let mut generic = [x, y];
+                    lambda.reduce_into(&mut generic).unwrap();
+                    let mut specialized = [x, y];
+                    fixed.reduce_into_fixed(&mut specialized);
+                    assert_eq!(specialized, generic, "{lambda} at ({x}, {y})");
+
+                    let mut for_rank = [x, y];
+                    assert_eq!(
+                        fixed.coset_rank_fixed(&mut for_rank),
+                        lambda.coset_rank(&Point::xy(x, y)).unwrap(),
+                        "{lambda} rank at ({x}, {y})"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn fixed_reducer_matches_reduce_into_exhaustively_d3() {
+        for basis in [
+            [
+                Point::xyz(2, 0, 0),
+                Point::xyz(0, 2, 0),
+                Point::xyz(0, 0, 2),
+            ],
+            [
+                Point::xyz(2, 1, 0),
+                Point::xyz(0, 3, 1),
+                Point::xyz(0, 0, 4),
+            ],
+            [
+                Point::xyz(1, 2, 3),
+                Point::xyz(0, 2, 1),
+                Point::xyz(1, 0, 3),
+            ],
+        ] {
+            let lambda = Sublattice::from_vectors(&basis).unwrap();
+            let fixed = lambda.fixed_reducer::<3>().unwrap();
+            for x in -6..=6i64 {
+                for y in -6..=6i64 {
+                    for z in -6..=6i64 {
+                        let mut generic = [x, y, z];
+                        lambda.reduce_into(&mut generic).unwrap();
+                        let mut specialized = [x, y, z];
+                        fixed.reduce_into_fixed(&mut specialized);
+                        assert_eq!(specialized, generic, "{lambda} at ({x}, {y}, {z})");
+
+                        let mut for_rank = [x, y, z];
+                        assert_eq!(
+                            fixed.coset_rank_fixed(&mut for_rank),
+                            lambda.coset_rank(&Point::xyz(x, y, z)).unwrap(),
+                            "{lambda} rank at ({x}, {y}, {z})"
+                        );
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn fixed_reducer_is_idempotent_and_ranks_canonically() {
+        let lambda = Sublattice::from_vectors(&[Point::xy(3, 1), Point::xy(-1, 3)]).unwrap();
+        let fixed = lambda.fixed_reducer::<2>().unwrap();
+        assert_eq!(fixed.diag(), &[1, 10]);
+        for rank in 0..lambda.index() {
+            let rep = lambda.coset_of_rank(rank).unwrap();
+            let mut coords = [rep.coords()[0], rep.coords()[1]];
+            fixed.reduce_into_fixed(&mut coords);
+            assert_eq!(
+                &coords[..],
+                rep.coords(),
+                "representatives are fixed points"
+            );
+            assert_eq!(fixed.coset_rank_fixed(&mut coords), rank);
+        }
+    }
+
+    #[test]
+    fn fixed_reducer_rejects_wrong_dimension() {
+        let lambda = Sublattice::scaled(2, 3).unwrap();
+        assert!(lambda.fixed_reducer::<3>().is_err());
+        assert!(lambda.fixed_reducer::<2>().is_ok());
+    }
+}

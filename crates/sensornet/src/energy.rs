@@ -48,6 +48,17 @@ impl EnergyAccount {
     pub fn total(&self) -> f64 {
         self.tx + self.rx + self.idle
     }
+
+    /// Applies an energy model to integer node-slot counts (one multiplication
+    /// per activity, so different simulation backends that agree on the counts
+    /// report bit-identical energy).
+    pub fn from_slot_counts(model: &EnergyModel, tx: u64, rx: u64, idle: u64) -> Self {
+        EnergyAccount {
+            tx: tx as f64 * model.tx,
+            rx: rx as f64 * model.rx,
+            idle: idle as f64 * model.idle,
+        }
+    }
 }
 
 #[cfg(test)]
@@ -71,5 +82,18 @@ mod tests {
         };
         assert!((account.total() - 3.5).abs() < 1e-12);
         assert_eq!(EnergyAccount::default().total(), 0.0);
+    }
+
+    #[test]
+    fn slot_counts_apply_the_model() {
+        let model = EnergyModel {
+            tx: 2.0,
+            rx: 0.5,
+            idle: 0.25,
+        };
+        let account = EnergyAccount::from_slot_counts(&model, 3, 4, 8);
+        assert_eq!(account.tx, 6.0);
+        assert_eq!(account.rx, 2.0);
+        assert_eq!(account.idle, 2.0);
     }
 }

@@ -28,6 +28,16 @@ pub enum SimError {
     Schedule(latsched_core::ScheduleError),
     /// An underlying colouring computation failed.
     Coloring(latsched_coloring::ColoringError),
+    /// An underlying schedule-engine computation failed.
+    Engine(latsched_engine::EngineError),
+    /// A simulation backend was asked to run a configuration it does not
+    /// support (e.g. the frame kernel with stochastic traffic).
+    UnsupportedConfig {
+        /// Name of the backend that declined.
+        backend: &'static str,
+        /// Why the configuration is unsupported.
+        reason: String,
+    },
 }
 
 impl fmt::Display for SimError {
@@ -49,6 +59,13 @@ impl fmt::Display for SimError {
             }
             SimError::Schedule(e) => write!(f, "schedule error: {e}"),
             SimError::Coloring(e) => write!(f, "colouring error: {e}"),
+            SimError::Engine(e) => write!(f, "engine error: {e}"),
+            SimError::UnsupportedConfig { backend, reason } => {
+                write!(
+                    f,
+                    "backend '{backend}' does not support this configuration: {reason}"
+                )
+            }
         }
     }
 }
@@ -58,6 +75,7 @@ impl std::error::Error for SimError {
         match self {
             SimError::Schedule(e) => Some(e),
             SimError::Coloring(e) => Some(e),
+            SimError::Engine(e) => Some(e),
             _ => None,
         }
     }
@@ -72,6 +90,12 @@ impl From<latsched_core::ScheduleError> for SimError {
 impl From<latsched_coloring::ColoringError> for SimError {
     fn from(e: latsched_coloring::ColoringError) -> Self {
         SimError::Coloring(e)
+    }
+}
+
+impl From<latsched_engine::EngineError> for SimError {
+    fn from(e: latsched_engine::EngineError) -> Self {
+        SimError::Engine(e)
     }
 }
 
@@ -108,6 +132,18 @@ mod tests {
         assert!(std::error::Error::source(&e).is_some());
         let e: SimError = latsched_coloring::ColoringError::EmptyGraph.into();
         assert!(std::error::Error::source(&e).is_some());
+        let e: SimError = latsched_engine::EngineError::NodeCountMismatch {
+            frames: 1,
+            adjacency: 2,
+        }
+        .into();
+        assert!(std::error::Error::source(&e).is_some());
+        assert!(SimError::UnsupportedConfig {
+            backend: "frame-kernel",
+            reason: "stochastic".into()
+        }
+        .to_string()
+        .contains("frame-kernel"));
         assert!(std::error::Error::source(&SimError::EmptyNetwork).is_none());
     }
 

@@ -1,0 +1,159 @@
+//! The frame-compiled simulation backend.
+//!
+//! For deterministic configurations — a deterministic slotted MAC (tiling
+//! schedule, explicit slot assignment, or TDMA) under periodic or no traffic —
+//! the whole simulation is a replay of one schedule period. [`FrameKernel`]
+//! compiles the MAC once into per-slot candidate lists
+//! ([`latsched_engine::FrameSchedule`]), flattens the interference graph into a
+//! CSR adjacency ([`latsched_engine::InterferenceCsr`]), and hands the run to
+//! the allocation-free bitset kernel [`latsched_engine::run_frames`], which is
+//! an order of magnitude faster than the reference loop because it touches only
+//! the current slot's candidates instead of every node in every slot.
+//!
+//! The kernel's integer counters map one-to-one onto [`SimMetrics`]; energy is
+//! applied from slot counts via [`EnergyAccount::from_slot_counts`], exactly
+//! like the reference kernel, so the two backends agree bit-for-bit
+//! (property-tested in `tests/sim_parity.rs`).
+
+use crate::energy::EnergyAccount;
+use crate::error::{Result, SimError};
+use crate::mac::{CompiledMac, MacPolicy};
+use crate::metrics::SimMetrics;
+use crate::sim::{Network, SimBackend, SimConfig};
+use crate::traffic::TrafficModel;
+use latsched_engine::{run_frames, FramePlan, FrameSchedule, KernelConfig, KernelTraffic};
+
+/// The frame-compiled simulation backend (see the module docs).
+#[derive(Clone, Copy, Debug, Default)]
+pub struct FrameKernel;
+
+impl FrameKernel {
+    /// Whether this backend supports the configuration: deterministic MACs
+    /// under deterministic traffic. Stochastic configurations (slotted ALOHA,
+    /// Bernoulli traffic) draw from the simulation RNG in state-dependent order
+    /// and stay with the reference kernel.
+    pub fn supports(config: &SimConfig) -> bool {
+        !matches!(config.mac, MacPolicy::SlottedAloha { .. })
+            && matches!(
+                config.traffic,
+                TrafficModel::Periodic { .. } | TrafficModel::None
+            )
+    }
+}
+
+impl SimBackend for FrameKernel {
+    fn name(&self) -> &'static str {
+        "frame-kernel"
+    }
+
+    fn run(&self, network: &Network, config: &SimConfig) -> Result<SimMetrics> {
+        config.traffic.validate()?;
+        let mac = config.mac.compile(network.positions())?;
+        let (slots, period) = match mac {
+            CompiledMac::Deterministic { slots, period } => (slots, period),
+            CompiledMac::Aloha { .. } => {
+                return Err(SimError::UnsupportedConfig {
+                    backend: self.name(),
+                    reason: "stochastic MAC policies need the reference kernel".into(),
+                });
+            }
+        };
+        let traffic = match config.traffic {
+            TrafficModel::Periodic { period } => KernelTraffic::Periodic { period },
+            TrafficModel::None => KernelTraffic::None,
+            TrafficModel::Bernoulli { .. } => {
+                return Err(SimError::UnsupportedConfig {
+                    backend: self.name(),
+                    reason: "stochastic traffic needs the reference kernel".into(),
+                });
+            }
+        };
+        let frames = FrameSchedule::from_assignment(&slots, period)?;
+        let plan = FramePlan::new(&frames, network.interference_csr()?)?;
+        let counts = run_frames(
+            &plan,
+            &KernelConfig {
+                slots: config.slots,
+                traffic,
+                max_retries: config.max_retries,
+            },
+        )?;
+        Ok(SimMetrics {
+            slots_simulated: config.slots,
+            nodes: network.len(),
+            packets_generated: counts.packets_generated,
+            packets_delivered: counts.packets_delivered,
+            packets_dropped: counts.packets_dropped,
+            packets_pending: counts.packets_pending,
+            transmissions: counts.transmissions,
+            receptions: counts.receptions,
+            collisions: counts.collisions,
+            total_latency: counts.total_latency,
+            energy: EnergyAccount::from_slot_counts(
+                &config.energy,
+                counts.tx_slots,
+                counts.rx_slots,
+                counts.idle_slots,
+            ),
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::scenario::{grid_network, tiling_mac};
+    use crate::sim::{run_simulation_with, ReferenceKernel};
+    use latsched_tiling::shapes;
+
+    fn deterministic_config() -> SimConfig {
+        SimConfig {
+            mac: tiling_mac(&shapes::moore()).unwrap(),
+            traffic: TrafficModel::Periodic { period: 24 },
+            slots: 400,
+            max_retries: 2,
+            ..SimConfig::default()
+        }
+    }
+
+    #[test]
+    fn supports_exactly_the_deterministic_configurations() {
+        let mut config = deterministic_config();
+        assert!(FrameKernel::supports(&config));
+        config.traffic = TrafficModel::None;
+        assert!(FrameKernel::supports(&config));
+        config.traffic = TrafficModel::Bernoulli { p: 0.1 };
+        assert!(!FrameKernel::supports(&config));
+        config.traffic = TrafficModel::Periodic { period: 8 };
+        config.mac = MacPolicy::SlottedAloha { p: 0.5 };
+        assert!(!FrameKernel::supports(&config));
+    }
+
+    #[test]
+    fn matches_the_reference_kernel_exactly() {
+        let network = grid_network(7, &shapes::moore()).unwrap();
+        let config = deterministic_config();
+        let frame = run_simulation_with(&FrameKernel, &network, &config).unwrap();
+        let reference = run_simulation_with(&ReferenceKernel, &network, &config).unwrap();
+        assert_eq!(frame, reference);
+        assert!(frame.packets_delivered > 0);
+    }
+
+    #[test]
+    fn rejects_stochastic_configurations_with_a_clear_error() {
+        let network = grid_network(4, &shapes::moore()).unwrap();
+        let mut config = deterministic_config();
+        config.traffic = TrafficModel::Bernoulli { p: 0.1 };
+        assert!(matches!(
+            FrameKernel.run(&network, &config),
+            Err(SimError::UnsupportedConfig { .. })
+        ));
+        config.traffic = TrafficModel::Periodic { period: 8 };
+        config.mac = MacPolicy::SlottedAloha { p: 0.5 };
+        assert!(matches!(
+            FrameKernel.run(&network, &config),
+            Err(SimError::UnsupportedConfig { .. })
+        ));
+        assert_eq!(FrameKernel.name(), "frame-kernel");
+    }
+}

@@ -36,20 +36,24 @@
 
 mod energy;
 mod error;
+mod framesim;
 mod mac;
 mod metrics;
-mod node;
+mod packet;
 mod scenario;
 mod sim;
 mod traffic;
 
 pub use energy::{EnergyAccount, EnergyModel};
 pub use error::{Result, SimError};
+pub use framesim::FrameKernel;
 pub use mac::{CompiledMac, MacPolicy};
 pub use metrics::SimMetrics;
-pub use node::{Node, Packet};
+pub use packet::Packet;
 pub use scenario::{
     aloha_mac, coloring_mac, grid_network, run_comparison, tiling_mac, ComparisonRow,
 };
-pub use sim::{run_simulation, Network, SimConfig};
+pub use sim::{
+    run_simulation, run_simulation_with, Network, ReferenceKernel, SimBackend, SimConfig,
+};
 pub use traffic::TrafficModel;

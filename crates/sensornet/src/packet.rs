@@ -1,0 +1,41 @@
+//! The packet unit of the simulator's transmit queues.
+//!
+//! Per-node state lives with each backend: the reference kernel keeps one
+//! `VecDeque<Packet>` per node, while the frame kernel represents periodic
+//! queues implicitly as counters and never materializes packets at all.
+
+use serde::{Deserialize, Serialize};
+
+/// A packet waiting in (or moving through) a node's transmit queue.
+#[derive(Clone, PartialEq, Eq, Debug, Serialize, Deserialize)]
+pub struct Packet {
+    /// Sequence number (unique per generating node).
+    pub sequence: u64,
+    /// The slot at which the packet was generated.
+    pub generated_at: u64,
+    /// How many times the packet has been transmitted so far.
+    pub attempts: u32,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::VecDeque;
+
+    #[test]
+    fn packets_queue_in_fifo_order() {
+        let mut queue: VecDeque<Packet> = VecDeque::new();
+        for sequence in 0..3 {
+            queue.push_back(Packet {
+                sequence,
+                generated_at: 7 + sequence,
+                attempts: 0,
+            });
+        }
+        assert_eq!(queue.len(), 3);
+        assert_eq!(queue.front().unwrap().sequence, 0);
+        assert_eq!(queue.front().unwrap().generated_at, 7);
+        assert_eq!(queue.pop_front().unwrap().attempts, 0);
+        assert_eq!(queue.front().unwrap().sequence, 1);
+    }
+}

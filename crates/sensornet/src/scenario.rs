@@ -56,7 +56,7 @@ pub fn tiling_mac(prototile: &Prototile) -> Result<MacPolicy> {
 ///
 /// Propagates graph and colouring errors.
 pub fn coloring_mac(network: &Network) -> Result<MacPolicy> {
-    let finite = FiniteDeployment::new(network.positions(), network.deployment().clone())?;
+    let finite = FiniteDeployment::new(network.positions().to_vec(), network.deployment().clone())?;
     let graph = InterferenceGraph::from_deployment(&finite)?;
     let coloring = dsatur_coloring(&graph.conflict_graph())?;
     Ok(MacPolicy::SlotAssignment {

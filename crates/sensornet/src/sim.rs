@@ -11,27 +11,52 @@
 //! A broadcast is *delivered* when every intended neighbour has decoded it; the
 //! simulator optionally retransmits undelivered packets (idealized feedback), which
 //! makes the energy cost of collisions — the paper's motivation — directly visible.
+//!
+//! Two interchangeable engines implement these semantics behind the
+//! [`SimBackend`] trait:
+//!
+//! * [`ReferenceKernel`] — the slot-by-slot loop below, written for clarity and
+//!   kept as the parity oracle. It handles every configuration, including the
+//!   stochastic ones (Bernoulli traffic, slotted ALOHA).
+//! * [`crate::FrameKernel`] — the frame-compiled bitset kernel of
+//!   `latsched_engine::run_frames`, an order of magnitude faster for the
+//!   deterministic workloads that dominate the paper's evaluation.
+//!
+//! [`run_simulation`] dispatches to the frame kernel whenever the configuration
+//! is deterministic and to the reference kernel otherwise; the two produce
+//! identical [`SimMetrics`] wherever both apply (property-tested in
+//! `tests/sim_parity.rs`).
 
 use crate::energy::{EnergyAccount, EnergyModel};
 use crate::error::{Result, SimError};
+use crate::framesim::FrameKernel;
 use crate::mac::{CompiledMac, MacPolicy};
 use crate::metrics::SimMetrics;
-use crate::node::Node;
+use crate::packet::Packet;
 use crate::traffic::TrafficModel;
 use latsched_coloring::InterferenceGraph;
 use latsched_core::{Deployment, FiniteDeployment};
+use latsched_engine::InterferenceCsr;
 use latsched_lattice::{BoxRegion, Point};
 use rand::SeedableRng;
 use rand_chacha::ChaCha8Rng;
 use serde::{Deserialize, Serialize};
+use std::collections::VecDeque;
 use std::fmt;
+use std::sync::OnceLock;
 
-/// A finite network: nodes at lattice points plus the (directed) lists of neighbours
-/// each node's broadcasts reach.
+/// A finite network: sensor positions plus the (directed) lists of neighbours
+/// each node's broadcasts reach. Immutable once built — simulation runs borrow
+/// it and keep their mutable state (queues, masks) separately, so repeated runs
+/// never clone positions or neighbour lists.
 #[derive(Clone, Debug)]
 pub struct Network {
-    nodes: Vec<Node>,
+    positions: Vec<Point>,
+    neighbours: Vec<Vec<usize>>,
     deployment: Deployment,
+    /// CSR flattening of `neighbours`, built on first use by the frame kernel
+    /// and reused by every subsequent run on this network.
+    csr: OnceLock<InterferenceCsr>,
 }
 
 impl Network {
@@ -54,39 +79,58 @@ impl Network {
     /// Propagates lattice/colouring errors.
     pub fn from_finite(finite: &FiniteDeployment) -> Result<Self> {
         let graph = InterferenceGraph::from_deployment(finite)?;
-        let nodes = graph
-            .positions()
-            .iter()
-            .enumerate()
-            .map(|(id, p)| Ok(Node::new(id, p.clone(), graph.affected_by(id)?.to_vec())))
-            .collect::<Result<Vec<Node>>>()?;
-        if nodes.is_empty() {
+        let positions = graph.positions().to_vec();
+        let neighbours = (0..positions.len())
+            .map(|id| Ok(graph.affected_by(id)?.to_vec()))
+            .collect::<Result<Vec<Vec<usize>>>>()?;
+        if positions.is_empty() {
             return Err(SimError::EmptyNetwork);
         }
         Ok(Network {
-            nodes,
+            positions,
+            neighbours,
             deployment: finite.deployment().clone(),
+            csr: OnceLock::new(),
         })
     }
 
     /// Number of nodes.
     pub fn len(&self) -> usize {
-        self.nodes.len()
+        self.positions.len()
     }
 
     /// Whether the network has no nodes (never true for a validly constructed value).
     pub fn is_empty(&self) -> bool {
-        self.nodes.is_empty()
+        self.positions.is_empty()
     }
 
     /// The node positions, indexed by node id.
-    pub fn positions(&self) -> Vec<Point> {
-        self.nodes.iter().map(|n| n.position.clone()).collect()
+    pub fn positions(&self) -> &[Point] {
+        &self.positions
     }
 
     /// The interference model the network was built with.
     pub fn deployment(&self) -> &Deployment {
         &self.deployment
+    }
+
+    /// All per-node neighbour lists, indexed by node id.
+    pub fn neighbour_lists(&self) -> &[Vec<usize>] {
+        &self.neighbours
+    }
+
+    /// The CSR flattening of the neighbour lists, built once and cached for
+    /// the lifetime of the network.
+    ///
+    /// # Errors
+    ///
+    /// Propagates CSR size-limit errors.
+    pub fn interference_csr(&self) -> Result<&InterferenceCsr> {
+        if let Some(csr) = self.csr.get() {
+            return Ok(csr);
+        }
+        let built = InterferenceCsr::from_lists(&self.neighbours)?;
+        Ok(self.csr.get_or_init(|| built))
     }
 
     /// The neighbours affected by a node's broadcasts.
@@ -95,19 +139,19 @@ impl Network {
     ///
     /// Returns [`SimError::NodeOutOfRange`] for an invalid id.
     pub fn neighbours(&self, node: usize) -> Result<&[usize]> {
-        self.nodes
+        self.neighbours
             .get(node)
-            .map(|n| n.neighbours.as_slice())
+            .map(Vec::as_slice)
             .ok_or(SimError::NodeOutOfRange {
                 node,
-                nodes: self.nodes.len(),
+                nodes: self.positions.len(),
             })
     }
 }
 
 impl fmt::Display for Network {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "network of {} sensors", self.nodes.len())
+        write!(f, "network of {} sensors", self.positions.len())
     }
 }
 
@@ -142,103 +186,164 @@ impl Default for SimConfig {
     }
 }
 
-/// Runs one simulation of the given network under the given configuration.
+/// A simulation engine: anything that can run one configuration against a
+/// network and report [`SimMetrics`].
+///
+/// All backends implement the same slot-synchronous semantics; where several
+/// backends support a configuration they must produce identical metrics, so the
+/// slow [`ReferenceKernel`] doubles as the parity oracle for the fast
+/// [`crate::FrameKernel`].
+pub trait SimBackend {
+    /// A short name for logs and benchmark tables.
+    fn name(&self) -> &'static str;
+
+    /// Runs one simulation.
+    ///
+    /// # Errors
+    ///
+    /// Propagates configuration validation errors; backends that do not support
+    /// a configuration return [`SimError::UnsupportedConfig`].
+    fn run(&self, network: &Network, config: &SimConfig) -> Result<SimMetrics>;
+}
+
+/// Runs one simulation of the given network under the given configuration,
+/// dispatching to the fastest backend that supports it: the frame-compiled
+/// kernel for deterministic configurations, the reference kernel otherwise.
 ///
 /// # Errors
 ///
 /// Propagates configuration validation errors (bad probabilities, mismatched slot
 /// assignments) and lattice errors.
 pub fn run_simulation(network: &Network, config: &SimConfig) -> Result<SimMetrics> {
-    config.traffic.validate()?;
-    let positions = network.positions();
-    let mac: CompiledMac = config.mac.compile(&positions)?;
-    let mut nodes = network.nodes.clone();
-    let n = nodes.len();
-    let mut rng = ChaCha8Rng::seed_from_u64(config.seed);
+    if FrameKernel::supports(config) {
+        run_simulation_with(&FrameKernel, network, config)
+    } else {
+        run_simulation_with(&ReferenceKernel, network, config)
+    }
+}
 
-    let mut metrics = SimMetrics {
-        nodes: n,
-        slots_simulated: config.slots,
-        ..SimMetrics::default()
-    };
-    let mut energy = EnergyAccount::default();
+/// Runs one simulation on an explicitly chosen backend (see [`SimBackend`]).
+///
+/// # Errors
+///
+/// Propagates the backend's errors.
+pub fn run_simulation_with(
+    backend: &dyn SimBackend,
+    network: &Network,
+    config: &SimConfig,
+) -> Result<SimMetrics> {
+    backend.run(network, config)
+}
 
-    let mut transmitting = vec![false; n];
-    // in_range_transmitters[u] counts the transmitters this slot that affect u.
-    let mut in_range_transmitters: Vec<u32> = vec![0; n];
+/// The reference slot-by-slot simulator: clear, general, and the semantics
+/// oracle every faster backend is tested against.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct ReferenceKernel;
 
-    for t in 0..config.slots {
-        // 1. Traffic generation.
-        for node in nodes.iter_mut() {
-            if config.traffic.generates(t, &mut rng) {
-                node.generate_packet(t);
-                metrics.packets_generated += 1;
-            }
-        }
-
-        // 2. MAC decisions.
-        for (id, flag) in transmitting.iter_mut().enumerate() {
-            *flag = nodes[id].has_packet() && mac.transmits(id, t, &mut rng);
-        }
-
-        // 3. Interference resolution.
-        for c in in_range_transmitters.iter_mut() {
-            *c = 0;
-        }
-        for (v, &tx) in transmitting.iter().enumerate() {
-            if tx {
-                for &u in &nodes[v].neighbours {
-                    in_range_transmitters[u] += 1;
-                }
-            }
-        }
-
-        // 4. Per-transmitter outcome.
-        for v in 0..n {
-            if !transmitting[v] {
-                continue;
-            }
-            metrics.transmissions += 1;
-            let mut all_received = true;
-            for &u in &nodes[v].neighbours {
-                let lost = transmitting[u] || in_range_transmitters[u] > 1;
-                if lost {
-                    metrics.collisions += 1;
-                    all_received = false;
-                } else {
-                    metrics.receptions += 1;
-                }
-            }
-            let packet = nodes[v]
-                .queue
-                .front_mut()
-                .expect("transmitting nodes have a queued packet");
-            packet.attempts += 1;
-            if all_received {
-                metrics.packets_delivered += 1;
-                metrics.total_latency += t - packet.generated_at;
-                nodes[v].queue.pop_front();
-            } else if packet.attempts > config.max_retries {
-                metrics.packets_dropped += 1;
-                nodes[v].queue.pop_front();
-            }
-        }
-
-        // 5. Energy accounting.
-        for v in 0..n {
-            if transmitting[v] {
-                energy.tx += config.energy.tx;
-            } else if in_range_transmitters[v] > 0 {
-                energy.rx += config.energy.rx;
-            } else {
-                energy.idle += config.energy.idle;
-            }
-        }
+impl SimBackend for ReferenceKernel {
+    fn name(&self) -> &'static str {
+        "reference"
     }
 
-    metrics.packets_pending = nodes.iter().map(|node| node.queue_len() as u64).sum();
-    metrics.energy = energy;
-    Ok(metrics)
+    fn run(&self, network: &Network, config: &SimConfig) -> Result<SimMetrics> {
+        config.traffic.validate()?;
+        let mac: CompiledMac = config.mac.compile(network.positions())?;
+        let n = network.len();
+        let mut rng = ChaCha8Rng::seed_from_u64(config.seed);
+
+        let mut metrics = SimMetrics {
+            nodes: n,
+            slots_simulated: config.slots,
+            ..SimMetrics::default()
+        };
+        // Per-run mutable state, kept outside the immutable Network.
+        let mut queues: Vec<VecDeque<Packet>> = vec![VecDeque::new(); n];
+        let mut next_sequence = vec![0u64; n];
+        let mut transmitting = vec![false; n];
+        // in_range_transmitters[u] counts the transmitters this slot that affect u.
+        let mut in_range_transmitters: Vec<u32> = vec![0; n];
+        // Radio-state slot counts; converted to energy once at the end so energy
+        // is exact (and bit-identical across backends).
+        let (mut tx_slots, mut rx_slots, mut idle_slots) = (0u64, 0u64, 0u64);
+
+        for t in 0..config.slots {
+            // 1. Traffic generation.
+            for (id, queue) in queues.iter_mut().enumerate() {
+                if config.traffic.generates(t, &mut rng) {
+                    queue.push_back(Packet {
+                        sequence: next_sequence[id],
+                        generated_at: t,
+                        attempts: 0,
+                    });
+                    next_sequence[id] += 1;
+                    metrics.packets_generated += 1;
+                }
+            }
+
+            // 2. MAC decisions.
+            for (id, flag) in transmitting.iter_mut().enumerate() {
+                *flag = !queues[id].is_empty() && mac.transmits(id, t, &mut rng);
+            }
+
+            // 3. Interference resolution.
+            for c in in_range_transmitters.iter_mut() {
+                *c = 0;
+            }
+            for (v, &tx) in transmitting.iter().enumerate() {
+                if tx {
+                    for &u in &network.neighbours[v] {
+                        in_range_transmitters[u] += 1;
+                    }
+                }
+            }
+
+            // 4. Per-transmitter outcome.
+            for v in 0..n {
+                if !transmitting[v] {
+                    continue;
+                }
+                metrics.transmissions += 1;
+                let mut all_received = true;
+                for &u in &network.neighbours[v] {
+                    let lost = transmitting[u] || in_range_transmitters[u] > 1;
+                    if lost {
+                        metrics.collisions += 1;
+                        all_received = false;
+                    } else {
+                        metrics.receptions += 1;
+                    }
+                }
+                let packet = queues[v]
+                    .front_mut()
+                    .expect("transmitting nodes have a queued packet");
+                packet.attempts += 1;
+                if all_received {
+                    metrics.packets_delivered += 1;
+                    metrics.total_latency += t - packet.generated_at;
+                    queues[v].pop_front();
+                } else if packet.attempts > config.max_retries {
+                    metrics.packets_dropped += 1;
+                    queues[v].pop_front();
+                }
+            }
+
+            // 5. Energy accounting.
+            for v in 0..n {
+                if transmitting[v] {
+                    tx_slots += 1;
+                } else if in_range_transmitters[v] > 0 {
+                    rx_slots += 1;
+                } else {
+                    idle_slots += 1;
+                }
+            }
+        }
+
+        metrics.packets_pending = queues.iter().map(|queue| queue.len() as u64).sum();
+        metrics.energy =
+            EnergyAccount::from_slot_counts(&config.energy, tx_slots, rx_slots, idle_slots);
+        Ok(metrics)
+    }
 }
 
 #[cfg(test)]
@@ -263,6 +368,7 @@ mod tests {
         assert_eq!(net.len(), 16);
         assert!(!net.is_empty());
         assert_eq!(net.positions().len(), 16);
+        assert_eq!(net.neighbour_lists().len(), 16);
         // A corner node of a 4×4 grid has 3 in-window Moore neighbours.
         let corner = net
             .positions()
@@ -408,5 +514,21 @@ mod tests {
             },
         )
         .is_err());
+    }
+
+    #[test]
+    fn explicit_backends_run_and_name_themselves() {
+        let net = moore_network(4);
+        let config = SimConfig {
+            mac: tiling_mac(),
+            traffic: TrafficModel::Periodic { period: 16 },
+            slots: 128,
+            ..SimConfig::default()
+        };
+        assert_eq!(ReferenceKernel.name(), "reference");
+        let reference = run_simulation_with(&ReferenceKernel, &net, &config).unwrap();
+        let frame = run_simulation_with(&FrameKernel, &net, &config).unwrap();
+        assert_eq!(reference, frame);
+        assert_eq!(run_simulation(&net, &config).unwrap(), frame);
     }
 }

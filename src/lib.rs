@@ -61,11 +61,12 @@ pub mod prelude {
     };
     pub use latsched_lattice::{
         ball_points, hexagonal_lattice, square_lattice, voronoi_cell, BoxRegion, Embedding,
-        IntMatrix, Metric, Point, Sublattice,
+        FixedReducer, IntMatrix, MagicDiv, Metric, Point, Sublattice,
     };
     pub use latsched_sensornet::{
-        aloha_mac, coloring_mac, grid_network, run_comparison, run_simulation, tiling_mac,
-        MacPolicy, Network, SimConfig, TrafficModel,
+        aloha_mac, coloring_mac, grid_network, run_comparison, run_simulation, run_simulation_with,
+        tiling_mac, FrameKernel, MacPolicy, Network, ReferenceKernel, SimBackend, SimConfig,
+        TrafficModel,
     };
     pub use latsched_tiling::{
         boundary_word, check_exactness, find_tiling, is_exact, is_exact_polyomino, shapes,

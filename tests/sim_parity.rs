@@ -1,0 +1,282 @@
+//! Exact parity of the frame-compiled simulation kernel against the reference
+//! slot-by-slot simulator: on every deterministic configuration both backends
+//! must report **identical** [`SimMetrics`] — every counter and every energy
+//! figure, bit for bit. The suite sweeps randomized sublattice schedules,
+//! window geometries, neighbourhood shapes, traffic periods and retry budgets,
+//! and additionally cross-checks the dimension-specialized coset reduction
+//! (`reduce_into_fixed` / `coset_rank_fixed`) against the generic lattice path.
+
+use latsched::prelude::*;
+use latsched::sensornet::SimMetrics;
+use proptest::prelude::*;
+
+fn run_both(network: &Network, config: &SimConfig) -> (SimMetrics, SimMetrics) {
+    let frame = run_simulation_with(&FrameKernel, network, config).unwrap();
+    let reference = run_simulation_with(&ReferenceKernel, network, config).unwrap();
+    (frame, reference)
+}
+
+/// The named neighbourhood suite: Figure 2 shapes plus the hexagonal cluster.
+fn shape_pool() -> Vec<Prototile> {
+    vec![
+        shapes::moore(),
+        shapes::euclidean_ball(2, 1).unwrap(),
+        shapes::directional_antenna(),
+        shapes::hex7(),
+    ]
+}
+
+#[test]
+fn frame_kernel_matches_reference_on_named_shapes_and_macs() {
+    for shape in shape_pool() {
+        let network = grid_network(6, &shape).unwrap();
+        let macs = vec![
+            tiling_mac(&shape).unwrap(),
+            MacPolicy::Tdma,
+            coloring_mac(&network).unwrap(),
+        ];
+        for mac in macs {
+            let config = SimConfig {
+                mac,
+                traffic: TrafficModel::Periodic { period: 20 },
+                slots: 333,
+                max_retries: 3,
+                ..SimConfig::default()
+            };
+            let (frame, reference) = run_both(&network, &config);
+            assert_eq!(frame, reference, "shape {shape} mac {}", config.mac);
+        }
+    }
+}
+
+#[test]
+fn frame_kernel_matches_reference_without_traffic_and_without_slots() {
+    let network = grid_network(5, &shapes::moore()).unwrap();
+    for config in [
+        SimConfig {
+            traffic: TrafficModel::None,
+            slots: 77,
+            ..SimConfig::default()
+        },
+        SimConfig {
+            slots: 0,
+            ..SimConfig::default()
+        },
+    ] {
+        let (frame, reference) = run_both(&network, &config);
+        assert_eq!(frame, reference);
+    }
+}
+
+#[test]
+fn frame_kernel_matches_reference_with_out_of_period_slot_assignments() {
+    // Nodes whose assigned slot can never satisfy t ≡ slot (mod period) simply
+    // never transmit; both backends must agree on that semantics.
+    let network = grid_network(4, &shapes::moore()).unwrap();
+    let n = network.len();
+    let slots: Vec<usize> = (0..n)
+        .map(|i| if i % 3 == 0 { 100 + i } else { i % 5 })
+        .collect();
+    let config = SimConfig {
+        mac: MacPolicy::SlotAssignment { slots, period: 5 },
+        traffic: TrafficModel::Periodic { period: 9 },
+        slots: 200,
+        max_retries: 1,
+        ..SimConfig::default()
+    };
+    let (frame, reference) = run_both(&network, &config);
+    assert_eq!(frame, reference);
+    assert!(
+        frame.packets_pending > 0,
+        "silenced nodes accumulate backlog"
+    );
+}
+
+#[test]
+fn frame_kernel_matches_reference_with_zero_retries_under_heavy_load() {
+    // Period-1 traffic saturates every queue; colliding schedules then exercise
+    // the drop path in every slot.
+    let network = grid_network(5, &shapes::moore()).unwrap();
+    let n = network.len();
+    let config = SimConfig {
+        // Everyone in slot 0 of a 2-slot period: maximal collisions.
+        mac: MacPolicy::SlotAssignment {
+            slots: vec![0; n],
+            period: 2,
+        },
+        traffic: TrafficModel::Periodic { period: 1 },
+        slots: 64,
+        max_retries: 0,
+        ..SimConfig::default()
+    };
+    let (frame, reference) = run_both(&network, &config);
+    assert_eq!(frame, reference);
+    assert!(frame.collisions > 0);
+    assert!(frame.packets_dropped > 0);
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Randomized sublattice schedules on randomized windows: the frame kernel
+    /// must reproduce the reference metrics exactly.
+    #[test]
+    fn frame_kernel_matches_reference_on_random_sublattice_schedules(
+        basis in ((1i64..4), (0i64..4), (-3i64..4), (1i64..4)),
+        window in (-20i64..20, -20i64..20, 3i64..8, 3i64..8),
+        traffic_period in 1u64..40,
+        slots in 1u64..300,
+        max_retries in 0u32..4,
+    ) {
+        let (a, b, c, d) = basis;
+        if a * d - b * c == 0 {
+            return Ok(());
+        }
+        let lambda = match Sublattice::from_vectors(&[Point::xy(a, b), Point::xy(c, d)]) {
+            Ok(lambda) => lambda,
+            Err(_) => return Ok(()),
+        };
+        let prototile = Prototile::new(lambda.coset_representatives()).unwrap();
+        let tiling = Tiling::from_sublattice(prototile.clone(), lambda).unwrap();
+        let schedule = theorem1::schedule_from_tiling(&tiling);
+
+        let (x0, y0, w, h) = window;
+        let region = BoxRegion::new(
+            Point::xy(x0, y0),
+            Point::xy(x0 + w - 1, y0 + h - 1),
+        ).unwrap();
+        let network = Network::from_window(
+            &region,
+            latsched::core::Deployment::Homogeneous(prototile),
+        ).unwrap();
+
+        let config = SimConfig {
+            mac: MacPolicy::TilingSchedule(schedule),
+            traffic: TrafficModel::Periodic { period: traffic_period },
+            slots,
+            max_retries,
+            ..SimConfig::default()
+        };
+        let (frame, reference) = run_both(&network, &config);
+        prop_assert_eq!(frame, reference);
+    }
+
+    /// Randomized named-shape workloads across MAC families and retry budgets.
+    #[test]
+    fn frame_kernel_matches_reference_on_random_named_workloads(
+        shape_idx in 0usize..4,
+        side in 3i64..8,
+        traffic_period in 1u64..48,
+        slots in 1u64..400,
+        max_retries in 0u32..6,
+        mac_idx in 0usize..3,
+    ) {
+        let shape = shape_pool()[shape_idx].clone();
+        let network = grid_network(side, &shape).unwrap();
+        let mac = match mac_idx {
+            0 => tiling_mac(&shape).unwrap(),
+            1 => MacPolicy::Tdma,
+            _ => coloring_mac(&network).unwrap(),
+        };
+        let config = SimConfig {
+            mac,
+            traffic: TrafficModel::Periodic { period: traffic_period },
+            slots,
+            max_retries,
+            ..SimConfig::default()
+        };
+        let (frame, reference) = run_both(&network, &config);
+        prop_assert_eq!(frame, reference);
+    }
+
+    /// The dispatching entry point agrees with both explicit backends on
+    /// deterministic configurations (i.e. the fast path is the default path).
+    #[test]
+    fn run_simulation_dispatches_to_an_equivalent_backend(
+        side in 3i64..6,
+        traffic_period in 1u64..32,
+        slots in 1u64..200,
+    ) {
+        let shape = shapes::moore();
+        let network = grid_network(side, &shape).unwrap();
+        let config = SimConfig {
+            mac: tiling_mac(&shape).unwrap(),
+            traffic: TrafficModel::Periodic { period: traffic_period },
+            slots,
+            ..SimConfig::default()
+        };
+        let dispatched = run_simulation(&network, &config).unwrap();
+        let (frame, reference) = run_both(&network, &config);
+        prop_assert_eq!(&dispatched, &frame);
+        prop_assert_eq!(&dispatched, &reference);
+    }
+
+    /// Cross-check of the dimension-specialized coset arithmetic: over several
+    /// coset periods of a random 2-D sublattice, `reduce_into_fixed` and
+    /// `coset_rank_fixed` agree with the generic `reduce_into` / `coset_rank`.
+    #[test]
+    fn fixed_reduction_matches_generic_reduction_d2(
+        basis in ((1i64..6), (0i64..6), (-5i64..6), (1i64..6)),
+        offset in (-50i64..50, -50i64..50),
+    ) {
+        let (a, b, c, d) = basis;
+        if a * d - b * c == 0 {
+            return Ok(());
+        }
+        let lambda = match Sublattice::from_vectors(&[Point::xy(a, b), Point::xy(c, d)]) {
+            Ok(lambda) => lambda,
+            Err(_) => return Ok(()),
+        };
+        let fixed = lambda.fixed_reducer::<2>().unwrap();
+        let (ox, oy) = offset;
+        // A block larger than one coset period in each direction.
+        for x in ox..ox + 8 {
+            for y in oy..oy + 8 {
+                let mut generic = [x, y];
+                lambda.reduce_into(&mut generic).unwrap();
+                let mut specialized = [x, y];
+                fixed.reduce_into_fixed(&mut specialized);
+                prop_assert_eq!(specialized, generic, "at ({}, {})", x, y);
+                let mut for_rank = [x, y];
+                prop_assert_eq!(
+                    fixed.coset_rank_fixed(&mut for_rank),
+                    lambda.coset_rank(&Point::xy(x, y)).unwrap()
+                );
+            }
+        }
+    }
+
+    /// Same cross-check in three dimensions.
+    #[test]
+    fn fixed_reduction_matches_generic_reduction_d3(
+        diag in (1i64..4, 1i64..4, 1i64..4),
+        upper in (0i64..4, 0i64..4, 0i64..4),
+        offset in (-20i64..20, -20i64..20, -20i64..20),
+    ) {
+        let (d0, d1, d2) = diag;
+        let (u01, u02, u12) = upper;
+        let lambda = Sublattice::from_vectors(&[
+            Point::xyz(d0, u01, u02),
+            Point::xyz(0, d1, u12),
+            Point::xyz(0, 0, d2),
+        ]).unwrap();
+        let fixed = lambda.fixed_reducer::<3>().unwrap();
+        let (ox, oy, oz) = offset;
+        for x in ox..ox + 5 {
+            for y in oy..oy + 5 {
+                for z in oz..oz + 5 {
+                    let mut generic = [x, y, z];
+                    lambda.reduce_into(&mut generic).unwrap();
+                    let mut specialized = [x, y, z];
+                    fixed.reduce_into_fixed(&mut specialized);
+                    prop_assert_eq!(specialized, generic, "at ({}, {}, {})", x, y, z);
+                    let mut for_rank = [x, y, z];
+                    prop_assert_eq!(
+                        fixed.coset_rank_fixed(&mut for_rank),
+                        lambda.coset_rank(&Point::xyz(x, y, z)).unwrap()
+                    );
+                }
+            }
+        }
+    }
+}
