@@ -27,7 +27,9 @@ fn bench_kernels_64(c: &mut Criterion) {
         b.iter(|| run_simulation_with(&ReferenceKernel, black_box(&network), &config).unwrap())
     });
     group.bench_function("frame_kernel", |b| {
-        b.iter(|| run_simulation_with(&FrameKernel, black_box(&network), &config).unwrap())
+        b.iter(|| {
+            run_simulation_with(&FrameKernel::default(), black_box(&network), &config).unwrap()
+        })
     });
     group.finish();
 }

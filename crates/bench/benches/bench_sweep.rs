@@ -1,0 +1,58 @@
+//! Micro-benchmarks of the batched sweep engine against sequential
+//! reference-simulator runs on the shared 64-run stochastic workload, plus an
+//! explicit ≥5× speedup check mirroring this PR's acceptance criterion.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use latsched_bench::sweep::{measure_sweep, sweep_spec};
+use latsched_engine::{run_sweep, SweepCaches};
+
+fn bench_sweep_16(c: &mut Criterion) {
+    // 16×16 for the sampled benchmark (keeps iterations affordable); the
+    // asserted speedup check below uses the full 64×64 acceptance grid.
+    let spec = sweep_spec(16, 128);
+    let mut group = c.benchmark_group("sweep_16x16_64runs");
+    group.bench_function("run_sweep_cold_caches", |b| {
+        b.iter(|| {
+            let caches = SweepCaches::new();
+            run_sweep(black_box(&spec), &caches).unwrap()
+        })
+    });
+    let warm = SweepCaches::new();
+    run_sweep(&spec, &warm).unwrap();
+    group.bench_function("run_sweep_warm_caches", |b| {
+        b.iter(|| run_sweep(black_box(&spec), &warm).unwrap())
+    });
+    group.finish();
+}
+
+/// The acceptance check of this PR: on the 64-run stochastic sweep (Moore
+/// 64×64, Bernoulli loads × retry budgets × seeds), the batched sweep engine
+/// must beat 64 sequential reference runs by ≥ 5×, with bit-identical per-run
+/// metrics. Measured through the same `measure_sweep` the harness's
+/// `--bench-sweep` baseline uses and asserted, so a regression fails
+/// `cargo bench` loudly. Skipped in `--test` mode, where nothing is measured.
+fn bench_sweep_speedup_check(c: &mut Criterion) {
+    if std::env::args().any(|a| a == "--test") {
+        return;
+    }
+    let baseline = measure_sweep(64, 512, 3).unwrap();
+    println!(
+        "sweep_speedup_check: {} — sequential reference {:.1} ms, batched sweep {:.2} ms, \
+         speedup {:.1}x",
+        baseline.workload, baseline.reference_ms, baseline.sweep_ms, baseline.speedup
+    );
+    assert!(
+        baseline.parity,
+        "sweep and reference disagree on the acceptance workload"
+    );
+    assert!(
+        baseline.speedup >= 5.0,
+        "batched sweep must be ≥5x faster than sequential reference runs (got {:.1}x)",
+        baseline.speedup
+    );
+    // Keep the group non-empty so the harness reports something even here.
+    c.bench_function("sweep_speedup_check/done", |b| b.iter(|| baseline.speedup));
+}
+
+criterion_group!(benches, bench_sweep_16, bench_sweep_speedup_check);
+criterion_main!(benches);

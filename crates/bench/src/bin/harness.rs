@@ -9,9 +9,11 @@
 //! harness --json results.json  # also write the tables as JSON
 //! harness --bench-simkernel    # measure the frame kernel vs the reference
 //!                              # simulator and write BENCH_simkernel.json
+//! harness --bench-sweep        # measure the batched sweep engine vs
+//!                              # sequential reference runs, write BENCH_sweep.json
 //! ```
 
-use latsched_bench::{measure_simkernel, run_all, run_by_id, Table};
+use latsched_bench::{measure_simkernel, measure_sweep, run_all, run_by_id, Table};
 use std::process::ExitCode;
 
 /// Acceptance workload of the frame kernel: a 256×256 window (65 536 sensors),
@@ -42,10 +44,44 @@ fn emit_simkernel_baseline(path: &str) -> ExitCode {
     ExitCode::SUCCESS
 }
 
+/// Acceptance workload of the sweep engine: the 64-run stochastic grid on the
+/// Moore 64×64 window (4 096 sensors), 512 slots per run, median of 3 timed
+/// sweeps against one sequential reference pass.
+fn emit_sweep_baseline(path: &str) -> ExitCode {
+    let baseline = match measure_sweep(64, 512, 3) {
+        Ok(baseline) => baseline,
+        Err(err) => {
+            eprintln!("sweep baseline failed: {err}");
+            return ExitCode::FAILURE;
+        }
+    };
+    println!(
+        "sweep baseline: {} — sequential reference {:.1} ms, batched sweep {:.2} ms, \
+         speedup {:.1}x, parity {}",
+        baseline.workload,
+        baseline.reference_ms,
+        baseline.sweep_ms,
+        baseline.speedup,
+        baseline.parity
+    );
+    let json = serde_json::to_string_pretty(&baseline.to_json_value());
+    if let Err(err) = std::fs::write(path, json + "\n") {
+        eprintln!("failed to write {path}: {err}");
+        return ExitCode::FAILURE;
+    }
+    println!("wrote sweep baseline to {path}");
+    if !baseline.parity {
+        eprintln!("sweep parity check failed");
+        return ExitCode::FAILURE;
+    }
+    ExitCode::SUCCESS
+}
+
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let mut json_path: Option<String> = None;
     let mut simkernel_path: Option<String> = None;
+    let mut sweep_path: Option<String> = None;
     let mut ids: Vec<String> = Vec::new();
     let mut iter = args.into_iter().peekable();
     while let Some(arg) = iter.next() {
@@ -64,9 +100,17 @@ fn main() -> ExitCode {
                     _ => "BENCH_simkernel.json".to_string(),
                 });
             }
+            "--bench-sweep" => {
+                // Optional path operand; defaults to BENCH_sweep.json.
+                sweep_path = Some(match iter.peek() {
+                    Some(next) if !next.starts_with('-') => iter.next().unwrap(),
+                    _ => "BENCH_sweep.json".to_string(),
+                });
+            }
             "--help" | "-h" => {
                 println!(
-                    "usage: harness [--json FILE] [--bench-simkernel [FILE]] [E1..E8 | all]..."
+                    "usage: harness [--json FILE] [--bench-simkernel [FILE]] \
+                     [--bench-sweep [FILE]] [E1..E8 | all]..."
                 );
                 return ExitCode::SUCCESS;
             }
@@ -74,13 +118,22 @@ fn main() -> ExitCode {
         }
     }
 
-    if let Some(path) = simkernel_path {
-        // The baseline run is its own mode; refuse silently dropped work.
+    if simkernel_path.is_some() || sweep_path.is_some() {
+        // The baseline runs are their own mode; refuse silently dropped work.
         if !ids.is_empty() || json_path.is_some() {
-            eprintln!("--bench-simkernel cannot be combined with experiment ids or --json");
+            eprintln!("baseline modes cannot be combined with experiment ids or --json");
             return ExitCode::FAILURE;
         }
-        return emit_simkernel_baseline(&path);
+        if simkernel_path.is_some() && sweep_path.is_some() {
+            eprintln!("run --bench-simkernel and --bench-sweep separately");
+            return ExitCode::FAILURE;
+        }
+        if let Some(path) = simkernel_path {
+            return emit_simkernel_baseline(&path);
+        }
+        if let Some(path) = sweep_path {
+            return emit_sweep_baseline(&path);
+        }
     }
 
     let run_everything = ids.is_empty() || ids.iter().any(|id| id.eq_ignore_ascii_case("all"));

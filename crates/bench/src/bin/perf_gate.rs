@@ -1,0 +1,103 @@
+//! `perf-gate`: the CI perf-regression comparator.
+//!
+//! Compares a freshly measured benchmark baseline against the committed one and
+//! fails (exit code 1) if the fresh metric regressed by more than the allowed
+//! fraction, or if either baseline records a parity failure:
+//!
+//! ```bash
+//! perf-gate BENCH_simkernel.json fresh_simkernel.json
+//! perf-gate BENCH_sweep.json fresh_sweep.json --max-regression 0.25
+//! perf-gate baseline.json fresh.json --metric speedup
+//! ```
+//!
+//! The compared metric defaults to `speedup` — a ratio of two timings taken on
+//! the *same* machine in the *same* run, so it transfers across differently
+//! sized CI runners where absolute milliseconds would not.
+
+use serde_json::Value;
+use std::process::ExitCode;
+
+/// Default allowed fractional regression (25%).
+const DEFAULT_MAX_REGRESSION: f64 = 0.25;
+
+fn load(path: &str) -> Result<Value, String> {
+    let text = std::fs::read_to_string(path).map_err(|e| format!("failed to read {path}: {e}"))?;
+    serde_json::from_str(&text).map_err(|e| format!("failed to parse {path}: {e}"))
+}
+
+fn metric_of(value: &Value, metric: &str, path: &str) -> Result<f64, String> {
+    value
+        .get(metric)
+        .and_then(Value::as_f64)
+        .ok_or_else(|| format!("{path} has no numeric field '{metric}'"))
+}
+
+fn run() -> Result<(), String> {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut metric = "speedup".to_string();
+    let mut max_regression = DEFAULT_MAX_REGRESSION;
+    let mut paths: Vec<String> = Vec::new();
+    let mut iter = args.into_iter();
+    while let Some(arg) = iter.next() {
+        match arg.as_str() {
+            "--metric" => {
+                metric = iter.next().ok_or("--metric requires a field name")?;
+            }
+            "--max-regression" => {
+                max_regression = iter
+                    .next()
+                    .ok_or("--max-regression requires a fraction")?
+                    .parse::<f64>()
+                    .map_err(|e| format!("bad --max-regression: {e}"))?;
+                if !(0.0..1.0).contains(&max_regression) {
+                    return Err("--max-regression must be in [0, 1)".into());
+                }
+            }
+            "--help" | "-h" => {
+                println!(
+                    "usage: perf-gate BASELINE.json FRESH.json [--metric NAME] [--max-regression FRAC]"
+                );
+                return Ok(());
+            }
+            other => paths.push(other.to_string()),
+        }
+    }
+    let [baseline_path, fresh_path] = paths.as_slice() else {
+        return Err("expected exactly two file operands: BASELINE.json FRESH.json".into());
+    };
+
+    let baseline = load(baseline_path)?;
+    let fresh = load(fresh_path)?;
+    for (value, path) in [(&baseline, baseline_path), (&fresh, fresh_path)] {
+        if value.get("parity").and_then(Value::as_bool) == Some(false) {
+            return Err(format!("{path} records a kernel parity failure"));
+        }
+    }
+
+    let was = metric_of(&baseline, &metric, baseline_path)?;
+    let now = metric_of(&fresh, &metric, fresh_path)?;
+    let floor = was * (1.0 - max_regression);
+    let change = (now / was - 1.0) * 100.0;
+    println!(
+        "perf-gate: {metric} {was:.2} -> {now:.2} ({change:+.1}%), floor {floor:.2} \
+         (max regression {:.0}%)",
+        max_regression * 100.0
+    );
+    if now < floor {
+        return Err(format!(
+            "{metric} regressed beyond the {:.0}% gate: {now:.2} < {floor:.2} (baseline {was:.2})",
+            max_regression * 100.0
+        ));
+    }
+    Ok(())
+}
+
+fn main() -> ExitCode {
+    match run() {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(msg) => {
+            eprintln!("perf-gate: {msg}");
+            ExitCode::FAILURE
+        }
+    }
+}

@@ -23,7 +23,9 @@
 pub mod experiments;
 pub mod report;
 pub mod simbench;
+pub mod sweep;
 
 pub use experiments::{run_all, run_by_id, ExpResult};
 pub use report::Table;
 pub use simbench::{measure_simkernel, SimkernelBaseline};
+pub use sweep::{measure_sweep, SweepBaseline};

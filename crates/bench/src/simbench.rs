@@ -97,7 +97,7 @@ pub fn measure_simkernel(side: i64, slots: u64, samples: usize) -> Result<Simker
     let network = simkernel_network(side)?;
     let config = simkernel_config(slots)?;
 
-    let frame = run_simulation_with(&FrameKernel, &network, &config)?;
+    let frame = run_simulation_with(&FrameKernel::default(), &network, &config)?;
     let reference = run_simulation_with(&ReferenceKernel, &network, &config)?;
     let parity = frame == reference;
 
@@ -105,7 +105,7 @@ pub fn measure_simkernel(side: i64, slots: u64, samples: usize) -> Result<Simker
         run_simulation_with(&ReferenceKernel, &network, &config).unwrap();
     });
     let frame_ms = median_ms(samples, || {
-        run_simulation_with(&FrameKernel, &network, &config).unwrap();
+        run_simulation_with(&FrameKernel::default(), &network, &config).unwrap();
     });
 
     Ok(SimkernelBaseline {

@@ -5,15 +5,105 @@
 //! engine-cli spec.json [spec2.json]  # run scenarios from JSON spec files
 //! engine-cli --json out.json ...     # also write the reports as JSON
 //! engine-cli --dump ...              # stream every slot answer to stdout (CSV)
+//! engine-cli sweep                   # run the builtin 64-run stochastic sweep
+//! engine-cli sweep spec.json ...     # run sweeps from JSON spec files
 //! ```
 //!
-//! See `latsched_engine::Scenario` for the spec format.
+//! See `latsched_engine::Scenario` for the scenario spec format and
+//! `latsched_engine::SweepSpec` for the sweep spec format.
 
-use latsched_engine::{builtin_scenarios, run_scenario, Scenario, ScheduleCache};
+use latsched_engine::{
+    builtin_scenarios, builtin_sweep, run_scenario, run_sweep, Scenario, ScheduleCache,
+    SweepCaches, SweepSpec,
+};
 use std::process::ExitCode;
+
+/// The `sweep` subcommand: run parameter-grid sweeps and report aggregate
+/// counters plus throughput.
+fn sweep_main(args: Vec<String>) -> ExitCode {
+    let mut json_path: Option<String> = None;
+    let mut spec_paths: Vec<String> = Vec::new();
+    let mut iter = args.into_iter();
+    while let Some(arg) = iter.next() {
+        match arg.as_str() {
+            "--json" => match iter.next() {
+                Some(path) => json_path = Some(path),
+                None => {
+                    eprintln!("--json requires a file path");
+                    return ExitCode::FAILURE;
+                }
+            },
+            "--help" | "-h" => {
+                println!("usage: engine-cli sweep [--json FILE] [SPEC.json]...");
+                println!("With no spec files, runs the builtin 64-run stochastic sweep.");
+                return ExitCode::SUCCESS;
+            }
+            other => spec_paths.push(other.to_string()),
+        }
+    }
+
+    let mut sweeps: Vec<SweepSpec> = Vec::new();
+    if spec_paths.is_empty() {
+        sweeps.push(builtin_sweep());
+    } else {
+        for path in &spec_paths {
+            let text = match std::fs::read_to_string(path) {
+                Ok(text) => text,
+                Err(err) => {
+                    eprintln!("failed to read {path}: {err}");
+                    return ExitCode::FAILURE;
+                }
+            };
+            match SweepSpec::parse_spec(&text) {
+                Ok(mut parsed) => sweeps.append(&mut parsed),
+                Err(err) => {
+                    eprintln!("failed to parse {path}: {err}");
+                    return ExitCode::FAILURE;
+                }
+            }
+        }
+    }
+
+    let caches = SweepCaches::new();
+    let mut reports = Vec::with_capacity(sweeps.len());
+    for spec in &sweeps {
+        match run_sweep(spec, &caches) {
+            Ok(report) => {
+                println!("{report}");
+                reports.push(report);
+            }
+            Err(err) => {
+                eprintln!("sweep '{}' failed: {err}", spec.name);
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+    println!(
+        "{} sweep(s), plan cache {} entries ({} hits / {} misses)",
+        reports.len(),
+        caches.plans.len(),
+        caches.plans.hits(),
+        caches.plans.misses()
+    );
+
+    if let Some(path) = json_path {
+        let json = serde_json::to_string_pretty(&serde_json::Value::Array(
+            reports.iter().map(|r| r.to_json_value()).collect(),
+        ));
+        if let Err(err) = std::fs::write(&path, json) {
+            eprintln!("failed to write {path}: {err}");
+            return ExitCode::FAILURE;
+        }
+        println!("wrote {} sweep report(s) to {path}", reports.len());
+    }
+    ExitCode::SUCCESS
+}
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
+    if args.first().map(String::as_str) == Some("sweep") {
+        return sweep_main(args.into_iter().skip(1).collect());
+    }
     let mut json_path: Option<String> = None;
     let mut dump = false;
     let mut spec_paths: Vec<String> = Vec::new();
@@ -30,6 +120,7 @@ fn main() -> ExitCode {
             "--dump" => dump = true,
             "--help" | "-h" => {
                 println!("usage: engine-cli [--json FILE] [--dump] [SPEC.json]...");
+                println!("       engine-cli sweep [--json FILE] [SPEC.json]...");
                 println!("With no spec files, runs the builtin 512x512 scenario suite.");
                 return ExitCode::SUCCESS;
             }

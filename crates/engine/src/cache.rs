@@ -1,14 +1,27 @@
-//! A sharded cache of compiled schedules, keyed by neighbourhood shape.
+//! Sharded, single-build caches of compiled artifacts.
 //!
 //! Simulation sweeps and benchmark scenarios evaluate the same handful of
-//! neighbourhoods over and over; compiling a schedule (tiling search + table
-//! construction) is many orders of magnitude more expensive than a query, so the
-//! cache makes repeated scenarios pay it once. Entries are sharded across several
-//! mutex-protected maps so concurrent scenario runners do not serialize on a
-//! single lock, and values are `Arc`s so hits share one table.
+//! neighbourhoods, networks and schedules over and over; compiling an artifact
+//! (tiling search + table construction, or frame-plan fusion) is many orders of
+//! magnitude more expensive than a query, so the caches make repeated scenarios
+//! pay it once. Both public caches are instances of one generic sharded core:
+//!
+//! * [`ScheduleCache`] — neighbourhood shape → compiled Theorem 1 schedule;
+//! * [`PlanCache`] — (slot assignment, interference adjacency) → fused
+//!   [`FramePlan`], content-addressed by 64-bit fingerprints so lookups never
+//!   clone the assignment or the adjacency.
+//!
+//! Entries are sharded across several mutex-protected maps so concurrent
+//! scenario runners do not serialize on a single lock, and values are `Arc`s so
+//! hits share one table. Builds are **single-flight**: the first thread to miss
+//! a key claims a per-key slot and builds while holding only that slot's lock,
+//! so concurrent misses on the *same* key wait for the one build instead of
+//! duplicating it, and lookups of *other* keys are never blocked behind a
+//! compilation.
 
 use crate::compiled::CompiledSchedule;
 use crate::error::{EngineError, Result};
+use crate::frames::{fingerprint_words, FramePlan, FrameSchedule, InterferenceCsr};
 use latsched_core::theorem1;
 use latsched_lattice::Point;
 use latsched_tiling::{find_tiling, Prototile};
@@ -21,7 +34,126 @@ use std::sync::{Arc, Mutex};
 /// concurrent scenario runners.
 const DEFAULT_SHARDS: usize = 16;
 
-type Shard = Mutex<HashMap<Vec<Point>, Arc<CompiledSchedule>>>;
+/// A per-key build slot: holds the built value once exactly one builder has
+/// produced it; racers block on the slot's mutex for the duration of the build.
+type Slot<V> = Mutex<Option<Arc<V>>>;
+
+/// One mutex-protected shard of the key → build-slot map.
+type Shard<K, V> = Mutex<HashMap<K, Arc<Slot<V>>>>;
+
+/// The generic sharded single-flight cache behind [`ScheduleCache`] and
+/// [`PlanCache`].
+struct Sharded<K, V> {
+    shards: Box<[Shard<K, V>]>,
+    hits: AtomicU64,
+    misses: AtomicU64,
+}
+
+impl<K: Clone + Eq + Hash, V> Sharded<K, V> {
+    fn with_shards(shards: usize) -> Self {
+        let shards = shards.max(1);
+        Sharded {
+            shards: (0..shards).map(|_| Mutex::new(HashMap::new())).collect(),
+            hits: AtomicU64::new(0),
+            misses: AtomicU64::new(0),
+        }
+    }
+
+    fn shard_of(&self, key: &K) -> usize {
+        let mut hasher = std::collections::hash_map::DefaultHasher::new();
+        key.hash(&mut hasher);
+        (hasher.finish() as usize) % self.shards.len()
+    }
+
+    /// The value under `key`, building it with `build` on the first lookup.
+    /// Exactly one caller builds per key (single-flight); a failed build
+    /// removes the key so later lookups retry.
+    fn get_or_build(&self, key: K, build: impl FnOnce() -> Result<V>) -> Result<Arc<V>> {
+        let shard = &self.shards[self.shard_of(&key)];
+        let (slot, claimed) = {
+            let mut guard = shard.lock().expect("cache shard poisoned");
+            match guard.get(&key) {
+                Some(slot) => {
+                    self.hits.fetch_add(1, Ordering::Relaxed);
+                    (Arc::clone(slot), false)
+                }
+                None => {
+                    self.misses.fetch_add(1, Ordering::Relaxed);
+                    let slot = Arc::new(Mutex::new(None));
+                    guard.insert(key.clone(), Arc::clone(&slot));
+                    (slot, true)
+                }
+            }
+        };
+        // Recover a poisoned slot rather than propagating: a build that
+        // panicked left the slot value `None`, which is a consistent state —
+        // this lookup simply rebuilds, instead of every future lookup of the
+        // key panicking with an unrelated poisoning error.
+        let mut value = slot
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner);
+        if let Some(built) = value.as_ref() {
+            return Ok(Arc::clone(built));
+        }
+        // Either we claimed the slot, or the claimant's build failed and was
+        // evicted while we waited; build here (shard lock not held, so other
+        // keys proceed). Note that a waiter rebuilding after a failed claimant
+        // was counted as a hit; the counters are exact except under build
+        // failures, where they may classify one rebuild per waiter as a hit.
+        match build() {
+            Ok(built) => {
+                let built = Arc::new(built);
+                *value = Some(Arc::clone(&built));
+                if !claimed {
+                    // The failed claimant evicted the key; re-insert our slot
+                    // so the rebuilt value is reachable by later lookups. If a
+                    // fresh claimant raced in first, keep theirs — it will
+                    // build once and converge.
+                    shard
+                        .lock()
+                        .expect("cache shard poisoned")
+                        .entry(key)
+                        .or_insert_with(|| Arc::clone(&slot));
+                }
+                Ok(built)
+            }
+            Err(err) => {
+                if claimed {
+                    shard.lock().expect("cache shard poisoned").remove(&key);
+                }
+                Err(err)
+            }
+        }
+    }
+
+    fn contains(&self, key: &K) -> bool {
+        self.shards[self.shard_of(key)]
+            .lock()
+            .expect("cache shard poisoned")
+            .contains_key(key)
+    }
+
+    fn len(&self) -> usize {
+        self.shards
+            .iter()
+            .map(|s| s.lock().expect("cache shard poisoned").len())
+            .sum()
+    }
+
+    fn clear(&self) {
+        for shard in self.shards.iter() {
+            shard.lock().expect("cache shard poisoned").clear();
+        }
+    }
+
+    fn hits(&self) -> u64 {
+        self.hits.load(Ordering::Relaxed)
+    }
+
+    fn misses(&self) -> u64 {
+        self.misses.load(Ordering::Relaxed)
+    }
+}
 
 /// A sharded, thread-safe cache from neighbourhood shapes to their compiled
 /// Theorem 1 schedules.
@@ -41,9 +173,7 @@ type Shard = Mutex<HashMap<Vec<Point>, Arc<CompiledSchedule>>>;
 /// # Ok::<(), latsched_engine::EngineError>(())
 /// ```
 pub struct ScheduleCache {
-    shards: Box<[Shard]>,
-    hits: AtomicU64,
-    misses: AtomicU64,
+    inner: Sharded<Vec<Point>, CompiledSchedule>,
 }
 
 impl ScheduleCache {
@@ -54,21 +184,16 @@ impl ScheduleCache {
 
     /// An empty cache with an explicit shard count (at least 1).
     pub fn with_shards(shards: usize) -> Self {
-        let shards = shards.max(1);
         ScheduleCache {
-            shards: (0..shards).map(|_| Mutex::new(HashMap::new())).collect(),
-            hits: AtomicU64::new(0),
-            misses: AtomicU64::new(0),
+            inner: Sharded::with_shards(shards),
         }
     }
 
     /// The compiled Theorem 1 schedule for the given neighbourhood shape,
-    /// compiling and inserting it on first use.
-    ///
-    /// A miss runs the tiling search, builds the schedule and flattens it while
-    /// *not* holding the shard lock, so concurrent lookups of other shapes are
-    /// never blocked behind a compilation; two racing misses on the same shape may
-    /// both compile, and the first insert wins.
+    /// compiling and inserting it on first use. Concurrent misses on the same
+    /// shape wait for a single compilation (single-flight) instead of
+    /// duplicating it; lookups of other shapes are never blocked behind a
+    /// compilation.
     ///
     /// # Errors
     ///
@@ -76,24 +201,13 @@ impl ScheduleCache {
     /// * compilation errors from [`CompiledSchedule::compile`].
     pub fn get_or_compile(&self, shape: &Prototile) -> Result<Arc<CompiledSchedule>> {
         let key = shape.to_points();
-        let shard = &self.shards[self.shard_of(&key)];
-        if let Some(hit) = shard.lock().expect("cache shard poisoned").get(&key) {
-            self.hits.fetch_add(1, Ordering::Relaxed);
-            return Ok(Arc::clone(hit));
-        }
-        self.misses.fetch_add(1, Ordering::Relaxed);
-        let compiled = Arc::new(compile_shape(shape)?);
-        let mut guard = shard.lock().expect("cache shard poisoned");
-        let entry = guard.entry(key).or_insert_with(|| Arc::clone(&compiled));
-        Ok(Arc::clone(entry))
+        let shape = shape.clone();
+        self.inner.get_or_build(key, move || compile_shape(&shape))
     }
 
     /// Number of cached schedules.
     pub fn len(&self) -> usize {
-        self.shards
-            .iter()
-            .map(|s| s.lock().expect("cache shard poisoned").len())
-            .sum()
+        self.inner.len()
     }
 
     /// Whether the cache is empty.
@@ -103,31 +217,173 @@ impl ScheduleCache {
 
     /// Number of lookups answered from the cache.
     pub fn hits(&self) -> u64 {
-        self.hits.load(Ordering::Relaxed)
+        self.inner.hits()
     }
 
     /// Number of lookups that had to compile.
     pub fn misses(&self) -> u64 {
-        self.misses.load(Ordering::Relaxed)
+        self.inner.misses()
     }
 
     /// Drops every cached schedule (counters are kept).
     pub fn clear(&self) {
-        for shard in self.shards.iter() {
-            shard.lock().expect("cache shard poisoned").clear();
-        }
-    }
-
-    fn shard_of(&self, key: &[Point]) -> usize {
-        let mut hasher = std::collections::hash_map::DefaultHasher::new();
-        key.hash(&mut hasher);
-        (hasher.finish() as usize) % self.shards.len()
+        self.inner.clear();
     }
 }
 
 impl Default for ScheduleCache {
     fn default() -> Self {
         ScheduleCache::new()
+    }
+}
+
+impl std::fmt::Debug for ScheduleCache {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ScheduleCache")
+            .field("len", &self.len())
+            .field("hits", &self.hits())
+            .field("misses", &self.misses())
+            .finish()
+    }
+}
+
+/// The content-addressed key of a cached frame plan: fingerprints of the slot
+/// assignment and of the interference adjacency, plus the exact sizes as a
+/// safety margin. Equal inputs always produce equal keys; distinct inputs
+/// collide with probability `~2^-128`.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+struct PlanKey {
+    assignment: u64,
+    adjacency: u64,
+    nodes: u64,
+    period: u64,
+}
+
+/// A sharded, thread-safe cache of fused [`FramePlan`]s, keyed by the content
+/// of the (slot assignment, interference adjacency) pair they were built from.
+///
+/// Building a plan costs a few milliseconds on large networks — several times
+/// the frame kernel's own run time — so sweeps that revisit a (schedule,
+/// network) pair pay the build once and replay the shared plan from then on.
+///
+/// # Examples
+///
+/// ```
+/// use latsched_engine::{InterferenceCsr, PlanCache};
+///
+/// let cache = PlanCache::new();
+/// let adjacency = InterferenceCsr::from_lists(&[vec![1], vec![0, 2], vec![1]])?;
+/// let first = cache.get_or_build(&[0, 1, 2], 3, &adjacency)?;
+/// let again = cache.get_or_build(&[0, 1, 2], 3, &adjacency)?;
+/// assert!(std::sync::Arc::ptr_eq(&first, &again));
+/// assert_eq!((cache.hits(), cache.misses()), (1, 1));
+/// # Ok::<(), latsched_engine::EngineError>(())
+/// ```
+pub struct PlanCache {
+    inner: Sharded<PlanKey, FramePlan>,
+    max_entries: usize,
+}
+
+/// Default entry bound of a [`PlanCache`]: plans are multi-megabyte on large
+/// networks, so the cache resets wholesale once this many distinct plans have
+/// accumulated (content-addressed entries are cheap to rebuild); this bounds
+/// the process-wide default cache under long-lived, many-network workloads.
+const DEFAULT_MAX_PLANS: usize = 256;
+
+impl PlanCache {
+    /// An empty cache with the default shard count and entry bound.
+    pub fn new() -> Self {
+        PlanCache::with_shards(DEFAULT_SHARDS)
+    }
+
+    /// An empty cache with an explicit shard count (at least 1) and the
+    /// default entry bound.
+    pub fn with_shards(shards: usize) -> Self {
+        PlanCache {
+            inner: Sharded::with_shards(shards),
+            max_entries: DEFAULT_MAX_PLANS,
+        }
+    }
+
+    /// Sets the maximum number of cached plans (at least 1); inserting beyond
+    /// it resets the cache wholesale.
+    pub fn with_max_entries(mut self, max_entries: usize) -> Self {
+        self.max_entries = max_entries.max(1);
+        self
+    }
+
+    /// The fused plan of the given per-node slot assignment (with temporal
+    /// period `period`) over the given interference adjacency, building and
+    /// inserting it on first use. Concurrent misses on the same key wait for a
+    /// single build.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`FrameSchedule::from_assignment`] and [`FramePlan::new`]
+    /// errors (size limits, node-count mismatches).
+    pub fn get_or_build(
+        &self,
+        slots: &[usize],
+        period: usize,
+        adjacency: &InterferenceCsr,
+    ) -> Result<Arc<FramePlan>> {
+        let key = PlanKey {
+            assignment: fingerprint_words(period as u64, slots.iter().map(|&s| s as u64)),
+            adjacency: adjacency.fingerprint(),
+            nodes: slots.len() as u64,
+            period: period as u64,
+        };
+        // Bound the cache: a new key arriving at capacity resets it wholesale
+        // rather than tracking recency — entries are content-addressed and
+        // rebuildable, and sweeps touch far fewer plans than the bound.
+        if self.inner.len() >= self.max_entries && !self.inner.contains(&key) {
+            self.inner.clear();
+        }
+        self.inner.get_or_build(key, || {
+            let frames = FrameSchedule::from_assignment(slots, period)?;
+            FramePlan::new(&frames, adjacency)
+        })
+    }
+
+    /// Number of cached plans.
+    pub fn len(&self) -> usize {
+        self.inner.len()
+    }
+
+    /// Whether the cache is empty.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Number of lookups answered from the cache.
+    pub fn hits(&self) -> u64 {
+        self.inner.hits()
+    }
+
+    /// Number of lookups that had to build.
+    pub fn misses(&self) -> u64 {
+        self.inner.misses()
+    }
+
+    /// Drops every cached plan (counters are kept).
+    pub fn clear(&self) {
+        self.inner.clear();
+    }
+}
+
+impl Default for PlanCache {
+    fn default() -> Self {
+        PlanCache::new()
+    }
+}
+
+impl std::fmt::Debug for PlanCache {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("PlanCache")
+            .field("len", &self.len())
+            .field("hits", &self.hits())
+            .field("misses", &self.misses())
+            .finish()
     }
 }
 
@@ -148,6 +404,7 @@ pub fn compile_shape(shape: &Prototile) -> Result<CompiledSchedule> {
 mod tests {
     use super::*;
     use latsched_tiling::{shapes, tetromino};
+    use std::sync::atomic::AtomicUsize;
 
     #[test]
     fn hits_share_one_table() {
@@ -174,14 +431,18 @@ mod tests {
     }
 
     #[test]
-    fn non_tiling_shapes_are_rejected() {
+    fn non_tiling_shapes_are_rejected_and_retried() {
         // The U pentomino does not tile the lattice by translations.
         let u = tetromino::u_pentomino();
         let cache = ScheduleCache::new();
-        assert!(matches!(
-            cache.get_or_compile(&u),
-            Err(EngineError::NotSchedulable(_))
-        ));
+        for _ in 0..2 {
+            // Failed builds are evicted, so the error is reproducible.
+            assert!(matches!(
+                cache.get_or_compile(&u),
+                Err(EngineError::NotSchedulable(_))
+            ));
+        }
+        assert!(cache.is_empty());
     }
 
     #[test]
@@ -198,11 +459,148 @@ mod tests {
             assert_eq!(t.num_slots(), 9);
         }
         assert_eq!(cache.hits() + cache.misses(), 8);
+        // Single-flight: exactly one lookup may have compiled.
+        assert_eq!(cache.misses(), 1);
     }
 
     #[test]
     fn zero_shard_request_is_clamped() {
         let cache = ScheduleCache::with_shards(0);
         assert!(cache.get_or_compile(&shapes::moore()).is_ok());
+        assert!(PlanCache::with_shards(0)
+            .get_or_build(
+                &[0],
+                1,
+                &InterferenceCsr::from_lists::<Vec<usize>>(&[vec![]]).unwrap()
+            )
+            .is_ok());
+    }
+
+    #[test]
+    fn generic_cache_builds_each_key_exactly_once_under_contention() {
+        // Hammer one key from many scoped threads: the single-flight slot must
+        // admit exactly one build, and hit/miss counters must account for every
+        // lookup.
+        let cache: Sharded<u32, u32> = Sharded::with_shards(4);
+        let builds = AtomicUsize::new(0);
+        let threads = 16;
+        std::thread::scope(|scope| {
+            for _ in 0..threads {
+                scope.spawn(|| {
+                    let v = cache
+                        .get_or_build(7, || {
+                            builds.fetch_add(1, Ordering::SeqCst);
+                            // Widen the race window so stragglers arrive
+                            // mid-build and must wait instead of rebuilding.
+                            std::thread::sleep(std::time::Duration::from_millis(20));
+                            Ok(42)
+                        })
+                        .unwrap();
+                    assert_eq!(*v, 42);
+                });
+            }
+        });
+        assert_eq!(builds.load(Ordering::SeqCst), 1, "single-build semantics");
+        assert_eq!(cache.misses(), 1);
+        assert_eq!(cache.hits(), threads - 1);
+    }
+
+    #[test]
+    fn plan_cache_hammered_from_scoped_threads_builds_once() {
+        let adjacency =
+            InterferenceCsr::from_lists(&[vec![1], vec![0, 2], vec![1, 3], vec![2]]).unwrap();
+        let cache = PlanCache::new();
+        let plans: Vec<Arc<FramePlan>> = std::thread::scope(|scope| {
+            let handles: Vec<_> = (0..12)
+                .map(|_| scope.spawn(|| cache.get_or_build(&[0, 1, 2, 0], 3, &adjacency).unwrap()))
+                .collect();
+            handles.into_iter().map(|h| h.join().unwrap()).collect()
+        });
+        assert_eq!(cache.len(), 1);
+        assert_eq!(cache.misses(), 1, "single-build semantics");
+        assert_eq!(cache.hits(), 11);
+        for p in &plans {
+            assert!(Arc::ptr_eq(p, &plans[0]), "hits share one plan");
+        }
+    }
+
+    #[test]
+    fn plan_cache_distinguishes_assignments_periods_and_adjacencies() {
+        let line = InterferenceCsr::from_lists(&[vec![1], vec![0, 2], vec![1]]).unwrap();
+        let ring = InterferenceCsr::from_lists(&[vec![1, 2], vec![0, 2], vec![0, 1]]).unwrap();
+        let cache = PlanCache::new();
+        let a = cache.get_or_build(&[0, 1, 2], 3, &line).unwrap();
+        let b = cache.get_or_build(&[0, 1, 0], 3, &line).unwrap();
+        let c = cache.get_or_build(&[0, 1, 2], 4, &line).unwrap();
+        let d = cache.get_or_build(&[0, 1, 2], 3, &ring).unwrap();
+        assert_eq!(cache.len(), 4);
+        assert_eq!(cache.misses(), 4);
+        assert!(!Arc::ptr_eq(&a, &b) && !Arc::ptr_eq(&a, &c) && !Arc::ptr_eq(&a, &d));
+        // And an equal-content adjacency (separate allocation) still hits.
+        let line_again = InterferenceCsr::from_lists(&[vec![1], vec![0, 2], vec![1]]).unwrap();
+        let e = cache.get_or_build(&[0, 1, 2], 3, &line_again).unwrap();
+        assert!(Arc::ptr_eq(&a, &e));
+    }
+
+    #[test]
+    fn waiter_rebuild_after_failed_claimant_is_reinserted() {
+        // The claimant's build fails (after a delay, so the waiter is already
+        // blocked on the slot); the waiter then rebuilds successfully and must
+        // re-insert the value so later lookups hit instead of rebuilding.
+        let cache: Sharded<u32, u32> = Sharded::with_shards(2);
+        let attempts = AtomicUsize::new(0);
+        std::thread::scope(|scope| {
+            let claimant = scope.spawn(|| {
+                cache.get_or_build(5, || {
+                    attempts.fetch_add(1, Ordering::SeqCst);
+                    std::thread::sleep(std::time::Duration::from_millis(30));
+                    Err(EngineError::InvalidSpec("injected failure".into()))
+                })
+            });
+            std::thread::sleep(std::time::Duration::from_millis(5));
+            let waiter = scope.spawn(|| {
+                cache.get_or_build(5, || {
+                    attempts.fetch_add(1, Ordering::SeqCst);
+                    Ok(77)
+                })
+            });
+            assert!(claimant.join().unwrap().is_err());
+            assert_eq!(*waiter.join().unwrap().unwrap(), 77);
+        });
+        assert_eq!(attempts.load(Ordering::SeqCst), 2);
+        assert_eq!(cache.len(), 1, "the waiter's rebuild must be reachable");
+        // Later lookups hit the re-inserted value without rebuilding.
+        let v = cache
+            .get_or_build(5, || panic!("must not rebuild a cached key"))
+            .unwrap();
+        assert_eq!(*v, 77);
+    }
+
+    #[test]
+    fn plan_cache_entry_bound_resets_wholesale() {
+        let adjacency = InterferenceCsr::from_lists(&[vec![1], vec![0, 2], vec![1]]).unwrap();
+        let cache = PlanCache::new().with_max_entries(2);
+        cache.get_or_build(&[0, 1, 2], 3, &adjacency).unwrap();
+        cache.get_or_build(&[0, 1, 0], 3, &adjacency).unwrap();
+        assert_eq!(cache.len(), 2);
+        // A known key at capacity still hits without clearing.
+        cache.get_or_build(&[0, 1, 2], 3, &adjacency).unwrap();
+        assert_eq!(cache.len(), 2);
+        assert_eq!(cache.hits(), 1);
+        // A new key at capacity resets the cache, then inserts.
+        cache.get_or_build(&[2, 1, 0], 3, &adjacency).unwrap();
+        assert_eq!(cache.len(), 1);
+    }
+
+    #[test]
+    fn plan_cache_propagates_build_errors() {
+        let line = InterferenceCsr::from_lists(&[vec![1], vec![0, 2], vec![1]]).unwrap();
+        let cache = PlanCache::new();
+        // Assignment length mismatching the adjacency fails FramePlan::new.
+        assert!(matches!(
+            cache.get_or_build(&[0, 1], 2, &line),
+            Err(EngineError::NodeCountMismatch { .. })
+        ));
+        assert!(cache.is_empty(), "failed builds are evicted");
     }
 }

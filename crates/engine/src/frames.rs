@@ -19,7 +19,18 @@
 
 use crate::error::{EngineError, Result};
 use latsched_core::SlotSource;
-use latsched_lattice::Point;
+use latsched_lattice::{mix64, Point};
+
+/// Absorbs a stream of words into a 64-bit content fingerprint (a fast
+/// multiply-rotate absorption finished by [`mix64`]); used to content-address
+/// compiled artifacts in the engine caches.
+pub(crate) fn fingerprint_words(tag: u64, words: impl IntoIterator<Item = u64>) -> u64 {
+    let mut h = mix64(tag ^ 0xA076_1D64_78BD_642F);
+    for w in words {
+        h = (h.rotate_left(29) ^ w).wrapping_mul(0x9E37_79B9_7F4A_7C15);
+    }
+    mix64(h)
+}
 
 /// Appends neighbour `id` to a word-grouped (word, bits) entry list: merged
 /// into the last entry when that entry covers the same word and the bit is
@@ -69,6 +80,9 @@ pub struct InterferenceCsr {
     mask_words: Vec<u32>,
     /// Neighbour bits within the word of each mask entry.
     mask_bits: Vec<u64>,
+    /// Content fingerprint of the adjacency (nodes + edge lists), used by the
+    /// engine's plan cache to content-address plans without cloning the CSR.
+    fingerprint: u64,
 }
 
 impl InterferenceCsr {
@@ -106,13 +120,27 @@ impl InterferenceCsr {
             offsets.push(targets.len() as u32);
             mask_offsets.push(mask_words.len() as u32);
         }
+        let fingerprint = fingerprint_words(
+            n as u64,
+            offsets
+                .iter()
+                .map(|&o| u64::from(o))
+                .chain(targets.iter().map(|&t| u64::from(t))),
+        );
         Ok(InterferenceCsr {
             offsets,
             targets,
             mask_offsets,
             mask_words,
             mask_bits,
+            fingerprint,
         })
+    }
+
+    /// A 64-bit content fingerprint of the adjacency: equal adjacencies always
+    /// fingerprint equal, and distinct ones collide with probability `~2^-64`.
+    pub fn fingerprint(&self) -> u64 {
+        self.fingerprint
     }
 
     /// Number of nodes.
@@ -279,6 +307,18 @@ pub struct FramePlan {
     mask_bits: Vec<u64>,
     /// Out-degree per relabelled node.
     degrees: Vec<u32>,
+    /// `old_of_new[v]` is the pre-relabelling id of relabelled node `v`; the
+    /// counter-based RNG draws of the simulation kernel are keyed by these
+    /// original ids so relabelling never changes stochastic outcomes.
+    old_of_new: Vec<u32>,
+    /// Whether the plan is conflict-free: in every slot, no candidate's
+    /// neighbour is a candidate of the same slot and no two same-slot
+    /// candidates share a neighbour. Under any transmit subset of such a slot,
+    /// every receiver hears exactly one in-range transmitter, so the kernel
+    /// can skip interference resolution entirely (`decoded = degree`,
+    /// `rx = Σ degree`). True for the paper's tiling schedules and for any
+    /// valid distance-2 colouring.
+    conflict_free: bool,
 }
 
 impl FramePlan {
@@ -336,7 +376,7 @@ impl FramePlan {
             degrees.push(adjacency.degree(old_v as usize) as u32);
             mask_offsets.push(mask_words.len() as u32);
         }
-        Ok(FramePlan {
+        let mut plan = FramePlan {
             period,
             num_nodes: n,
             slot_starts,
@@ -344,7 +384,37 @@ impl FramePlan {
             mask_words,
             mask_bits,
             degrees,
-        })
+            old_of_new,
+            conflict_free: false,
+        };
+        plan.conflict_free = plan.compute_conflict_free();
+        Ok(plan)
+    }
+
+    /// One O(edges) pass deciding [`FramePlan::conflict_free`]. `seen[u]`
+    /// stamps the last slot in which `u` was some candidate's neighbour;
+    /// a repeat stamp within one slot (shared neighbour, or a duplicate edge)
+    /// or a neighbour inside the slot's own candidate range is a conflict.
+    fn compute_conflict_free(&self) -> bool {
+        let mut seen = vec![usize::MAX; self.num_nodes];
+        for slot in 0..self.period {
+            let candidates = self.slot_candidates(slot);
+            for v in candidates.clone() {
+                let (entry_words, entry_bits) = self.mask_entries(v);
+                for (&w, &mask) in entry_words.iter().zip(entry_bits) {
+                    let mut bits = mask;
+                    while bits != 0 {
+                        let u = w as usize * 64 + bits.trailing_zeros() as usize;
+                        if candidates.contains(&u) || seen[u] == slot {
+                            return false;
+                        }
+                        seen[u] = slot;
+                        bits &= bits - 1;
+                    }
+                }
+            }
+        }
+        true
     }
 
     /// The temporal period `m`.
@@ -375,6 +445,28 @@ impl FramePlan {
     #[inline]
     pub fn degree(&self, v: usize) -> u32 {
         self.degrees[v]
+    }
+
+    /// The pre-relabelling id of relabelled node `v` (the id the network and
+    /// the reference simulator use). Counter-based RNG draws are keyed by
+    /// these ids, making the relabelling invisible to stochastic workloads.
+    #[inline]
+    pub fn original_id(&self, v: usize) -> u32 {
+        self.old_of_new[v]
+    }
+
+    /// All pre-relabelling ids, indexed by relabelled node id.
+    #[inline]
+    pub fn original_ids(&self) -> &[u32] {
+        &self.old_of_new
+    }
+
+    /// Whether every slot's candidates have pairwise disjoint, candidate-free
+    /// neighbour sets (see the field docs); the kernel's O(transmitters)
+    /// interference shortcut.
+    #[inline]
+    pub fn conflict_free(&self) -> bool {
+        self.conflict_free
     }
 }
 

@@ -27,8 +27,17 @@
 //!    [`FramePlan`] compile the interference graph into a slot-major CSR
 //!    layout, and [`run_frames`] replays whole simulations as allocation-free
 //!    bitset passes (the fast backend behind
-//!    `latsched_sensornet::run_simulation`, 20× the reference simulator on a
-//!    256×256 window).
+//!    `latsched_sensornet::run_simulation`, ~81× the reference simulator on a
+//!    256×256 window). Stochastic workloads (Bernoulli traffic, slotted
+//!    ALOHA) replay bit-identically through the counter-based
+//!    [`CounterRng`] — every draw is `hash(seed, node, slot)` — and plans are
+//!    memoized across runs in the content-addressed [`PlanCache`].
+//! 5. Batched sweeps — [`SweepSpec`] / [`run_sweep`] fan whole parameter grids
+//!    (windows × loads × retry budgets × seeds) across all cores, compiling
+//!    each window's plan once and each `(seed, load)` pair's traffic draws
+//!    once into a shared [`TrafficTrace`] (≥5× over sequential reference runs
+//!    on the 64-run acceptance grid; `engine-cli sweep` serves specs from
+//!    JSON).
 //!
 //! Underneath the table queries, 2-D and 3-D schedules use the
 //! dimension-specialized `latsched_lattice::FixedReducer`, which
@@ -66,13 +75,21 @@ mod cache;
 mod compiled;
 mod error;
 mod frames;
-mod parallel;
+pub mod parallel;
 mod scenario;
 mod simkernel;
+mod sweep;
 
-pub use cache::{compile_shape, ScheduleCache};
+pub use cache::{compile_shape, PlanCache, ScheduleCache};
 pub use compiled::CompiledSchedule;
 pub use error::{EngineError, Result};
 pub use frames::{FramePlan, FrameSchedule, InterferenceCsr};
+pub use latsched_lattice::CounterRng;
 pub use scenario::{builtin_scenarios, run_scenario, Scenario, ScenarioReport, ShapeSpec};
-pub use simkernel::{run_frames, KernelConfig, KernelCounts, KernelTraffic};
+pub use simkernel::{
+    run_frames, KernelConfig, KernelCounts, KernelMac, KernelTraffic, TrafficTrace,
+};
+pub use sweep::{
+    builtin_sweep, grid_adjacency, run_sweep, SweepCaches, SweepMac, SweepReport, SweepRunReport,
+    SweepSpec, SweepTraffic,
+};

@@ -4,17 +4,19 @@
 //! with `std::thread::scope`: an output slice is split into one contiguous chunk
 //! per worker and each chunk is filled on its own thread. For the engine's
 //! embarrassingly parallel workloads (one independent table lookup per output
-//! element) this captures all the available speedup without a work-stealing
-//! runtime.
+//! element, or one independent simulation run per sweep grid point) this
+//! captures all the available speedup without a work-stealing runtime.
 
 use std::num::NonZeroUsize;
 
-/// Batches smaller than this are filled on the calling thread; below this size the
-/// cost of spawning threads exceeds the lookup work itself.
-pub(crate) const PARALLEL_THRESHOLD: usize = 1 << 13;
+/// Batches smaller than this are filled on the calling thread by default; below
+/// this size the cost of spawning threads exceeds per-element lookup work.
+/// Coarse-grained batches (e.g. whole simulation runs) should use
+/// [`fill_chunks_min`] with a much smaller threshold.
+pub const PARALLEL_THRESHOLD: usize = 1 << 13;
 
 /// The number of worker threads used for batch evaluation.
-pub(crate) fn worker_threads() -> usize {
+pub fn worker_threads() -> usize {
     std::thread::available_parallelism()
         .map(NonZeroUsize::get)
         .unwrap_or(1)
@@ -23,14 +25,26 @@ pub(crate) fn worker_threads() -> usize {
 /// Fills `out` by calling `fill(offset, chunk)` for disjoint contiguous chunks, in
 /// parallel when the slice is large enough. `offset` is the index of the chunk's
 /// first element within `out`; each call must fully initialize its chunk.
-pub(crate) fn fill_chunks<T, F>(out: &mut [T], fill: F)
+pub fn fill_chunks<T, F>(out: &mut [T], fill: F)
+where
+    T: Send,
+    F: Fn(usize, &mut [T]) + Sync,
+{
+    fill_chunks_min(out, PARALLEL_THRESHOLD, fill);
+}
+
+/// [`fill_chunks`] with an explicit parallelism threshold: slices shorter than
+/// `min_parallel` are filled on the calling thread. Use a small threshold for
+/// coarse-grained elements (e.g. one whole simulation run per element, as in
+/// the sweep engine) where even a handful of elements amortize a thread spawn.
+pub fn fill_chunks_min<T, F>(out: &mut [T], min_parallel: usize, fill: F)
 where
     T: Send,
     F: Fn(usize, &mut [T]) + Sync,
 {
     let len = out.len();
     let threads = worker_threads();
-    if len < PARALLEL_THRESHOLD || threads < 2 {
+    if len < min_parallel.max(2) || threads < 2 {
         fill(0, out);
         return;
     }
@@ -72,6 +86,17 @@ mod tests {
             }
         });
         assert!(large.iter().enumerate().all(|(i, &v)| v == i));
+    }
+
+    #[test]
+    fn explicit_threshold_parallelizes_small_batches() {
+        let mut batch = vec![0usize; 24];
+        fill_chunks_min(&mut batch, 2, |offset, chunk| {
+            for (i, v) in chunk.iter_mut().enumerate() {
+                *v = (offset + i) * 3;
+            }
+        });
+        assert!(batch.iter().enumerate().all(|(i, &v)| v == i * 3));
     }
 
     #[test]

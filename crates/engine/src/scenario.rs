@@ -76,7 +76,7 @@ impl ShapeSpec {
         }
     }
 
-    fn from_json(value: &Value) -> Result<Self> {
+    pub(crate) fn from_json(value: &Value) -> Result<Self> {
         let kind = value
             .get("kind")
             .and_then(Value::as_str)
@@ -367,11 +367,11 @@ pub fn builtin_scenarios() -> Vec<Scenario> {
     ]
 }
 
-fn invalid(msg: &str) -> EngineError {
+pub(crate) fn invalid(msg: &str) -> EngineError {
     EngineError::InvalidSpec(msg.to_string())
 }
 
-fn get_u64(value: &Value, field: &str) -> Result<u64> {
+pub(crate) fn get_u64(value: &Value, field: &str) -> Result<u64> {
     value
         .get(field)
         .and_then(Value::as_u64)

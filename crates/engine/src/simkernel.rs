@@ -3,9 +3,8 @@
 //! Replays a precompiled [`FramePlan`] (per-slot transmitter sets fused with a
 //! CSR interference adjacency, relabelled slot-major) for a whole simulation
 //! window, producing exactly the integer counters of the
-//! reference slot-by-slot simulator (`latsched_sensornet::run_simulation`) for
-//! deterministic workloads — deterministic slotted MACs under periodic (or no)
-//! traffic. The reference simulator walks every node in every slot; this kernel
+//! reference slot-by-slot simulator (`latsched_sensornet::run_simulation`).
+//! The reference simulator walks every node in every slot; this kernel
 //! exploits the structure that simulator re-derives each slot:
 //!
 //! * **Candidates, not nodes.** Only the current slot's candidate range is
@@ -13,16 +12,28 @@
 //!   slot-major relabelling makes that range (and its adjacency data) one
 //!   contiguous streamed block. A network-wide queued-packet counter skips
 //!   entirely empty slots in `O(1)`.
-//! * **Implicit queues.** Under phase-aligned periodic traffic every node's
-//!   queue is an arithmetic progression: the head packet of node `v` was
-//!   generated at `popped[v] · period`, so queues shrink to two counters per
-//!   node and packet objects are never allocated.
+//! * **Implicit queues.** Under periodic traffic every node's queue is an
+//!   arithmetic progression: the head packet of node `v` was generated at
+//!   `phase(v) + popped[v] · period`, so queues shrink to two counters per
+//!   node and packet objects are never allocated. (Stochastic traffic uses
+//!   explicit per-node queues of generation times instead.)
 //! * **Bitset interference.** The per-slot transmit set, "heard ≥ 1
 //!   transmitter" and "heard ≥ 2 transmitters" predicates live in `u64` bitset
 //!   words. Saturating the in-range count at two is enough to decide every
 //!   collision, and per-slot radio-energy tallies are word `popcount`s over the
 //!   touched words only. All per-slot passes are allocation-free; buffers are
 //!   cleared via touched-word lists rather than `O(n)` sweeps.
+//! * **Counter-based randomness.** Stochastic draws (Bernoulli traffic,
+//!   slotted-ALOHA decisions) come from a stateless
+//!   [`CounterRng`](latsched_lattice::CounterRng): `draw = hash(seed, node,
+//!   slot)`. Because a draw depends only on its coordinates — never on the
+//!   order draws are made — this kernel reproduces the reference simulator's
+//!   stochastic runs bit for bit while touching only the nodes it needs to.
+//!   Draws are keyed by *original* (pre-relabelling) node ids.
+//! * **Compiled traffic traces.** A [`TrafficTrace`] bakes all Bernoulli
+//!   generation draws of a `(seed, p)` pair into per-slot bitmaps once;
+//!   parameter sweeps that vary only MAC-side knobs (retry budgets, policies)
+//!   then replay the trace instead of re-hashing `n × slots` draws per run.
 //! * **Parallel outcome pass.** Per-transmitter delivery outcomes are
 //!   data-parallel once the bitsets are built; large slots are chunked across
 //!   worker threads with the engine's scoped-thread executor.
@@ -35,9 +46,12 @@
 use crate::error::{EngineError, Result};
 use crate::frames::FramePlan;
 use crate::parallel::fill_chunks;
+use latsched_lattice::CounterRng;
+use std::collections::VecDeque;
+use std::sync::Arc;
 
-/// The deterministic traffic models the kernel can replay.
-#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+/// The traffic models the kernel can replay.
+#[derive(Clone, PartialEq, Debug)]
 pub enum KernelTraffic {
     /// Every node generates one packet every `period` slots, phase-aligned at
     /// slot 0.
@@ -45,20 +59,59 @@ pub enum KernelTraffic {
         /// Slots between consecutive packets of one node (must be positive).
         period: u64,
     },
+    /// Every node generates one packet every `period` slots, staggered: node
+    /// `v` (original id) generates at slots `t ≡ v (mod period)`.
+    Staggered {
+        /// Slots between consecutive packets of one node (must be positive).
+        period: u64,
+    },
+    /// Every node independently generates a packet in each slot with
+    /// probability `p`, drawn from the counter RNG's traffic stream of the
+    /// run's seed.
+    Bernoulli {
+        /// Per-slot generation probability (must be in `[0, 1]`).
+        p: f64,
+    },
+    /// A precompiled generation trace (see [`TrafficTrace`]); replays exactly
+    /// like the [`KernelTraffic::Bernoulli`] model the trace was built from,
+    /// amortizing the draws across the runs of a sweep.
+    Trace(Arc<TrafficTrace>),
     /// No traffic is generated.
     None,
 }
 
+/// The per-slot transmit policy of backlogged candidates.
+#[derive(Clone, Copy, PartialEq, Debug, Default)]
+pub enum KernelMac {
+    /// Deterministic slotted access: every backlogged candidate of the current
+    /// frame slot transmits.
+    #[default]
+    Scheduled,
+    /// Slotted ALOHA: a backlogged candidate transmits with probability `p`,
+    /// drawn from the counter RNG's MAC stream of the run's seed. (Use an
+    /// all-candidates, period-1 plan to model classic unslotted-schedule
+    /// ALOHA.)
+    Aloha {
+        /// Per-slot transmission probability (must be in `[0, 1]`).
+        p: f64,
+    },
+}
+
 /// Configuration of one kernel run.
-#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+#[derive(Clone, PartialEq, Debug)]
 pub struct KernelConfig {
     /// Number of slots to simulate.
     pub slots: u64,
     /// The traffic model.
     pub traffic: KernelTraffic,
+    /// The MAC decision applied to backlogged candidates.
+    pub mac: KernelMac,
     /// How many times an undelivered packet is retransmitted before being
     /// dropped (`0` means each packet is transmitted exactly once).
     pub max_retries: u32,
+    /// Seed of the counter-based RNG streams (ignored by fully deterministic
+    /// configurations).
+    pub seed: u64,
 }
 
 /// The integer counters of one kernel run; field meanings match
@@ -90,23 +143,164 @@ pub struct KernelCounts {
     pub idle_slots: u64,
 }
 
-/// The per-node queue state of a run: under phase-aligned periodic traffic a
-/// queue is fully described by how many packets the node has removed (the head
-/// packet of `v` was generated at `popped[v] · traffic_period`) plus the
+impl KernelCounts {
+    /// Adds another run's counters into this one (used by sweep aggregation).
+    pub fn accumulate(&mut self, other: &KernelCounts) {
+        self.packets_generated += other.packets_generated;
+        self.packets_delivered += other.packets_delivered;
+        self.packets_dropped += other.packets_dropped;
+        self.packets_pending += other.packets_pending;
+        self.transmissions += other.transmissions;
+        self.receptions += other.receptions;
+        self.collisions += other.collisions;
+        self.total_latency += other.total_latency;
+        self.tx_slots += other.tx_slots;
+        self.rx_slots += other.rx_slots;
+        self.idle_slots += other.idle_slots;
+    }
+}
+
+/// Upper bound on `words × slots` of one compiled traffic trace: 2^28 words
+/// = 2 GiB of bitmap; the cap keeps accidental huge specs from crashing the
+/// process.
+const TRACE_WORD_LIMIT: u64 = 1 << 28;
+
+/// All Bernoulli generation draws of one `(seed, p)` pair over a plan's node
+/// set, compiled into per-slot bitmaps in the plan's relabelled id space.
+///
+/// Draws are keyed by original node ids (via [`FramePlan::original_ids`]), so
+/// a trace replays exactly like the inline [`KernelTraffic::Bernoulli`] model
+/// it was compiled from — the point is amortization: a sweep that varies retry
+/// budgets or MAC parameters across runs of one `(seed, p)` pair pays the
+/// `n × slots` hash draws once instead of once per run.
+#[derive(Clone, PartialEq, Debug)]
+pub struct TrafficTrace {
+    nodes: usize,
+    slots: u64,
+    words: usize,
+    /// Slot-major generation bitmaps: bit `v` of slot `t` lives in
+    /// `bits[t * words + v / 64]`.
+    bits: Vec<u64>,
+    /// Per-slot generator counts (popcount of the slot's bitmap).
+    counts: Vec<u32>,
+}
+
+impl TrafficTrace {
+    /// Compiles the Bernoulli(`p`) generation draws of `seed`'s traffic stream
+    /// over `slots` slots of the plan's node set.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`EngineError::InvalidKernelConfig`] for a probability outside
+    /// `[0, 1]` or a trace exceeding the size cap.
+    pub fn bernoulli(plan: &FramePlan, seed: u64, p: f64, slots: u64) -> Result<TrafficTrace> {
+        if !(0.0..=1.0).contains(&p) {
+            return Err(EngineError::InvalidKernelConfig(
+                "bernoulli probability must be in [0, 1]".into(),
+            ));
+        }
+        let n = plan.num_nodes();
+        let words = n.div_ceil(64);
+        if words as u64 * slots > TRACE_WORD_LIMIT {
+            return Err(EngineError::InvalidKernelConfig(format!(
+                "traffic trace of {n} nodes x {slots} slots exceeds the size cap"
+            )));
+        }
+        let rng = CounterRng::traffic(seed);
+        let orig = plan.original_ids();
+        let mut bits = vec![0u64; words * slots as usize];
+        let mut counts = vec![0u32; slots as usize];
+        for t in 0..slots {
+            let base = t as usize * words;
+            let mut count = 0u32;
+            for (v, &ov) in orig.iter().enumerate() {
+                if rng.bernoulli(p, u64::from(ov), t) {
+                    bits[base + v / 64] |= 1u64 << (v % 64);
+                    count += 1;
+                }
+            }
+            counts[t as usize] = count;
+        }
+        Ok(TrafficTrace {
+            nodes: n,
+            slots,
+            words,
+            bits,
+            counts,
+        })
+    }
+
+    /// Number of nodes the trace covers.
+    pub fn num_nodes(&self) -> usize {
+        self.nodes
+    }
+
+    /// Number of slots the trace covers.
+    pub fn num_slots(&self) -> u64 {
+        self.slots
+    }
+
+    /// Total packets generated across the whole trace.
+    pub fn total_generated(&self) -> u64 {
+        self.counts.iter().map(|&c| u64::from(c)).sum()
+    }
+
+    /// How many nodes generate a packet at slot `t`.
+    #[inline]
+    fn count_at(&self, t: u64) -> u32 {
+        self.counts[t as usize]
+    }
+
+    /// The bitmap words of slot `t`.
+    #[inline]
+    fn words_at(&self, t: u64) -> &[u64] {
+        let base = t as usize * self.words;
+        &self.bits[base..base + self.words]
+    }
+}
+
+/// The per-node implicit-queue state of a deterministic periodic run: a queue
+/// is fully described by how many packets the node has removed (the head
+/// packet of `v` was generated at `phase(v) + popped[v] · period`) plus the
 /// current head packet's transmission attempts.
-struct Queues {
+struct Queues<'a> {
     popped: Vec<u64>,
     attempts: Vec<u32>,
     /// Network-wide queued-packet count, for the O(1) empty-slot skip.
     queued_total: u64,
     traffic_period: u64,
     max_retries: u32,
+    /// Original node ids (phase source) when the traffic is staggered; `None`
+    /// for phase-aligned traffic (every phase is zero).
+    staggered_ids: Option<&'a [u32]>,
 }
 
-impl Queues {
+impl Queues<'_> {
+    /// The generation phase of relabelled node `v`.
+    #[inline]
+    fn phase(&self, v: usize) -> u64 {
+        match self.staggered_ids {
+            Some(orig) => u64::from(orig[v]) % self.traffic_period,
+            None => 0,
+        }
+    }
+
+    /// Packets generated for relabelled node `v` in slots `0..=t`.
+    #[inline]
+    fn generated(&self, v: usize, t: u64) -> u64 {
+        let phase = self.phase(v);
+        if t >= phase {
+            (t - phase) / self.traffic_period + 1
+        } else {
+            0
+        }
+    }
+
     /// Applies one transmission outcome — delivery, retry or drop — to node
-    /// `v`'s queue and the run counters. Shared by the general pass 4 and the
-    /// full-burst memo replay so the two paths cannot drift.
+    /// `v`'s queue and the run counters. The single settlement implementation
+    /// of the deterministic loop, shared by its resolve, memo-replay and
+    /// conflict-free paths so they cannot drift ([`ExplicitQueues::settle`] is
+    /// its counterpart for the general loop's explicit queues).
     #[inline]
     fn settle(&mut self, counts: &mut KernelCounts, v: usize, decoded: u32, degree: u32, t: u64) {
         counts.receptions += u64::from(decoded);
@@ -114,7 +308,7 @@ impl Queues {
         self.attempts[v] += 1;
         if decoded == degree {
             counts.packets_delivered += 1;
-            counts.total_latency += t - self.popped[v] * self.traffic_period;
+            counts.total_latency += t - (self.phase(v) + self.popped[v] * self.traffic_period);
             self.popped[v] += 1;
             self.attempts[v] = 0;
             self.queued_total -= 1;
@@ -127,80 +321,284 @@ impl Queues {
     }
 }
 
-/// Runs a full deterministic simulation by replaying the compiled frame plan.
+/// The per-node state of the general loop: explicit queues of generation
+/// times (any traffic pattern), head-packet attempt counters, and the
+/// network-wide backlog count.
+struct ExplicitQueues {
+    queues: Vec<VecDeque<u64>>,
+    attempts: Vec<u32>,
+    queued_total: u64,
+    max_retries: u32,
+}
+
+impl ExplicitQueues {
+    /// Applies one transmission outcome — delivery, retry or drop — to node
+    /// `v`'s queue and the run counters. The single settlement implementation
+    /// of the general loop, shared by its resolve and conflict-free paths so
+    /// they cannot drift (the counterpart of [`Queues::settle`] for implicit
+    /// periodic queues).
+    #[inline]
+    fn settle(&mut self, counts: &mut KernelCounts, v: usize, decoded: u32, degree: u32, t: u64) {
+        counts.receptions += u64::from(decoded);
+        counts.collisions += u64::from(degree - decoded);
+        self.attempts[v] += 1;
+        if decoded == degree {
+            let generated_at = self.queues[v]
+                .pop_front()
+                .expect("transmitters are backlogged");
+            counts.packets_delivered += 1;
+            counts.total_latency += t - generated_at;
+            self.attempts[v] = 0;
+            self.queued_total -= 1;
+        } else if self.attempts[v] > self.max_retries {
+            self.queues[v].pop_front();
+            counts.packets_dropped += 1;
+            self.attempts[v] = 0;
+            self.queued_total -= 1;
+        }
+    }
+}
+
+/// The reusable per-slot bitset state of the interference passes, shared by the
+/// deterministic and the general (stochastic) kernel loops so the two cannot
+/// drift on collision semantics.
+struct SlotBuffers {
+    tx_mask: Vec<u64>,
+    /// ≥ 1 in-range transmitter.
+    once: Vec<u64>,
+    /// ≥ 2 in-range transmitters.
+    twice: Vec<u64>,
+    /// transmitting ∪ (≥ 2 in range).
+    lost: Vec<u64>,
+    /// Bitset words touched this slot (cleared without O(n) sweeps).
+    touched: Vec<u32>,
+    /// `outcomes[i]`: how many of transmitter `tx_list[i]`'s neighbours decoded
+    /// it, filled by [`SlotBuffers::resolve`].
+    outcomes: Vec<u32>,
+}
+
+impl SlotBuffers {
+    fn new(n: usize) -> Self {
+        let words = n.div_ceil(64);
+        SlotBuffers {
+            tx_mask: vec![0u64; words],
+            once: vec![0u64; words],
+            twice: vec![0u64; words],
+            lost: vec![0u64; words],
+            touched: Vec::with_capacity(words),
+            outcomes: vec![0u32; n],
+        }
+    }
+
+    /// Resolves one slot's interference for the given transmitter list: fills
+    /// `outcomes[..tx_list.len()]` with per-transmitter decode counts and
+    /// returns the number of receiving nodes (≥ 1 in-range transmitter, not
+    /// transmitting). All buffers are cleared again before returning.
+    fn resolve(&mut self, plan: &FramePlan, tx_list: &[u32]) -> u64 {
+        // Pass 1: build the transmit mask.
+        for &v in tx_list {
+            self.tx_mask[(v / 64) as usize] |= 1u64 << (v % 64);
+        }
+
+        // Pass 2: in-range-transmitter counting, saturated at two, one bitset
+        // word per word-grouped neighbour entry. Bits of `mask` already in
+        // `once` have now been heard twice; duplicate neighbour ids occupy
+        // separate entries, so they saturate exactly like repeated unit
+        // increments.
+        for &v in tx_list {
+            let (entry_words, entry_bits) = plan.mask_entries(v as usize);
+            for (&w, &mask) in entry_words.iter().zip(entry_bits) {
+                let w = w as usize;
+                let cur = self.once[w];
+                if cur == 0 {
+                    self.touched.push(w as u32);
+                }
+                self.twice[w] |= cur & mask;
+                self.once[w] = cur | mask;
+            }
+        }
+        // A neighbour loses the message iff it is itself transmitting or hears
+        // ≥ 2 transmitters; every word the outcome pass reads carries at least
+        // one once-bit, so materializing the union over the touched words gives
+        // that pass a single load per edge.
+        for &w in &self.touched {
+            let w = w as usize;
+            self.lost[w] = self.tx_mask[w] | self.twice[w];
+        }
+
+        // Pass 3: per-transmitter outcomes (collision mask reads), in parallel
+        // for large transmitter sets.
+        let tx_count = tx_list.len();
+        {
+            let lost = &self.lost;
+            fill_chunks(&mut self.outcomes[..tx_count], |offset, chunk| {
+                for (i, out) in chunk.iter_mut().enumerate() {
+                    let v = tx_list[offset + i] as usize;
+                    let (entry_words, entry_bits) = plan.mask_entries(v);
+                    let mut decoded = 0u32;
+                    for (&w, &mask) in entry_words.iter().zip(entry_bits) {
+                        decoded += (mask & !lost[w as usize]).count_ones();
+                    }
+                    *out = decoded;
+                }
+            });
+        }
+
+        // Radio-state tally: receivers as popcounts over the touched words.
+        let mut rx = 0u64;
+        for &w in &self.touched {
+            let w = w as usize;
+            rx += u64::from((self.once[w] & !self.tx_mask[w]).count_ones());
+        }
+
+        // Clear only what this slot touched.
+        for &w in &self.touched {
+            let w = w as usize;
+            self.once[w] = 0;
+            self.twice[w] = 0;
+        }
+        self.touched.clear();
+        for &v in tx_list {
+            // A transmit-mask word only ever holds this slot's transmitters, so
+            // zeroing the whole word is safe.
+            self.tx_mask[(v / 64) as usize] = 0;
+        }
+        rx
+    }
+}
+
+/// Runs a full simulation by replaying the compiled frame plan.
 ///
 /// Produces counters identical to the reference simulator's for the same
-/// deterministic workload (verified by the cross-crate `sim_parity` property
-/// suite).
+/// workload — including stochastic ones, thanks to the counter-based RNG —
+/// (verified by the cross-crate `sim_parity` property suite).
 ///
 /// # Errors
 ///
-/// Returns [`EngineError::InvalidKernelConfig`] for a zero periodic-traffic
-/// period.
+/// Returns [`EngineError::InvalidKernelConfig`] for a zero traffic period, a
+/// probability outside `[0, 1]`, or a traffic trace whose node or slot counts
+/// do not cover the run.
 pub fn run_frames(plan: &FramePlan, config: &KernelConfig) -> Result<KernelCounts> {
     let n = plan.num_nodes();
-    let mut counts = KernelCounts::default();
-    let traffic_period = match config.traffic {
-        KernelTraffic::Periodic { period: 0 } => {
+    match &config.traffic {
+        KernelTraffic::Periodic { period: 0 } | KernelTraffic::Staggered { period: 0 } => {
             return Err(EngineError::InvalidKernelConfig(
                 "periodic traffic period must be positive".into(),
             ));
         }
-        KernelTraffic::Periodic { period } => Some(period),
-        KernelTraffic::None => None,
-    };
-    let Some(traffic_period) = traffic_period else {
-        // Without traffic nothing ever transmits: every node idles every slot.
-        counts.idle_slots = n as u64 * config.slots;
-        return Ok(counts);
-    };
+        KernelTraffic::Bernoulli { p } if !(0.0..=1.0).contains(p) => {
+            return Err(EngineError::InvalidKernelConfig(
+                "bernoulli probability must be in [0, 1]".into(),
+            ));
+        }
+        KernelTraffic::Trace(trace)
+            if trace.num_nodes() != n || trace.num_slots() < config.slots =>
+        {
+            return Err(EngineError::InvalidKernelConfig(format!(
+                "traffic trace covers {} nodes x {} slots, run needs {} x {}",
+                trace.num_nodes(),
+                trace.num_slots(),
+                n,
+                config.slots
+            )));
+        }
+        _ => {}
+    }
+    if let KernelMac::Aloha { p } = config.mac {
+        if !(0.0..=1.0).contains(&p) {
+            return Err(EngineError::InvalidKernelConfig(
+                "aloha probability must be in [0, 1]".into(),
+            ));
+        }
+    }
 
-    let words = n.div_ceil(64);
-    let mut tx_mask = vec![0u64; words];
-    let mut once = vec![0u64; words]; // ≥ 1 in-range transmitter
-    let mut twice = vec![0u64; words]; // ≥ 2 in-range transmitters
-    let mut lost = vec![0u64; words]; // transmitting ∪ (≥ 2 in range)
-    let mut touched: Vec<u32> = Vec::with_capacity(words);
+    if matches!(config.traffic, KernelTraffic::None) {
+        // Without traffic nothing ever transmits: every node idles every slot.
+        return Ok(KernelCounts {
+            idle_slots: n as u64 * config.slots,
+            ..KernelCounts::default()
+        });
+    }
+
+    match (&config.traffic, config.mac) {
+        (KernelTraffic::Periodic { period }, KernelMac::Scheduled) => {
+            run_deterministic(plan, config, *period, false)
+        }
+        (KernelTraffic::Staggered { period }, KernelMac::Scheduled) => {
+            run_deterministic(plan, config, *period, true)
+        }
+        _ => run_general(plan, config),
+    }
+}
+
+/// The deterministic fast path: periodic (aligned or staggered) traffic under
+/// scheduled access, with implicit arithmetic-progression queues, the O(1)
+/// empty-slot skip and the full-burst memo.
+fn run_deterministic(
+    plan: &FramePlan,
+    config: &KernelConfig,
+    traffic_period: u64,
+    staggered: bool,
+) -> Result<KernelCounts> {
+    let n = plan.num_nodes();
+    let mut counts = KernelCounts::default();
+    let mut buffers = SlotBuffers::new(n);
     let mut tx_list: Vec<u32> = Vec::with_capacity(n);
-    // outcomes[i]: how many of transmitter tx_list[i]'s neighbours decoded it.
-    let mut outcomes = vec![0u32; n];
     let mut queues = Queues {
         popped: vec![0u64; n],
         attempts: vec![0u32; n],
         queued_total: 0,
         traffic_period,
         max_retries: config.max_retries,
+        staggered_ids: staggered.then(|| plan.original_ids()),
     };
-    let mut last_generated = 0u64;
     // Full-burst memo: when *every* candidate of a slot transmits, the
     // interference outcome is a pure function of the slot, so the first such
     // occurrence's per-transmitter decode counts and rx tally are recorded and
     // replayed on later full bursts in O(candidates) instead of O(edges). With
-    // phase-aligned periodic traffic full bursts are the steady state, so this
-    // is the common path.
+    // periodic traffic full bursts are the steady state, so this is the common
+    // path; staggered phases only shift when each node reaches it.
     let mut full_burst_memo: Vec<Option<(Vec<u32>, u64)>> = vec![None; plan.period()];
 
     let frame_period = plan.period() as u64;
     for t in 0..config.slots {
-        // Packets per node generated in slots 0..=t (generation precedes the
-        // MAC decision within a slot).
-        let generated = t / traffic_period + 1;
+        // Number of nodes generating a packet in this slot (generation precedes
+        // the MAC decision within a slot). Original ids are a permutation of
+        // 0..n, so the staggered residue-class count has a closed form.
+        let newly = if staggered {
+            let r = t % traffic_period;
+            if r < n as u64 {
+                (n as u64 - 1 - r) / traffic_period + 1
+            } else {
+                0
+            }
+        } else if t.is_multiple_of(traffic_period) {
+            n as u64
+        } else {
+            0
+        };
+        queues.queued_total += newly;
         // When the whole network's queues are empty the slot is skipped in
         // O(1) — with periodic traffic this covers the drained stretch of
         // every generation cycle.
-        queues.queued_total += (generated - last_generated) * n as u64;
-        last_generated = generated;
         if queues.queued_total == 0 {
             counts.idle_slots += n as u64;
             continue;
         }
         let slot = (t % frame_period) as usize;
 
-        // Pass 1: backlogged candidates become transmitters. Candidates are a
+        // Backlogged candidates become transmitters. Candidates are a
         // contiguous relabelled-id range, so this is a sequential scan of
-        // `popped`.
+        // `popped`. Phase-aligned traffic shares one generation count across
+        // the slot; staggered phases need the per-node count.
+        let aligned_generated = t / traffic_period + 1;
         tx_list.clear();
         for v in plan.slot_candidates(slot) {
+            let generated = if staggered {
+                queues.generated(v, t)
+            } else {
+                aligned_generated
+            };
             if generated > queues.popped[v] {
                 tx_list.push(v as u32);
             }
@@ -210,6 +608,24 @@ pub fn run_frames(plan: &FramePlan, config: &KernelConfig) -> Result<KernelCount
             continue;
         }
         let tx_count = tx_list.len();
+
+        // Conflict-free shortcut: every transmission of a conflict-free plan
+        // delivers to all `degree` neighbours and the same-slot neighbour sets
+        // are disjoint, so `rx` is just the degree sum — no bitset passes.
+        if plan.conflict_free() {
+            counts.transmissions += tx_count as u64;
+            let mut rx = 0u64;
+            for &v in &tx_list {
+                let v = v as usize;
+                let degree = plan.degree(v);
+                rx += u64::from(degree);
+                queues.settle(&mut counts, v, degree, degree, t);
+            }
+            counts.tx_slots += tx_count as u64;
+            counts.rx_slots += rx;
+            counts.idle_slots += n as u64 - tx_count as u64 - rx;
+            continue;
+        }
         let full_burst = tx_count == plan.slot_candidates(slot).len();
 
         if full_burst {
@@ -228,66 +644,12 @@ pub fn run_frames(plan: &FramePlan, config: &KernelConfig) -> Result<KernelCount
             }
         }
 
-        // General path: build the transmit mask.
-        for &v in &tx_list {
-            tx_mask[(v / 64) as usize] |= 1u64 << (v % 64);
-        }
-
-        // Pass 2: in-range-transmitter counting, saturated at two, one bitset
-        // word per word-grouped neighbour entry. Bits of `mask` already in
-        // `once` have now been heard twice; duplicate neighbour ids occupy
-        // separate entries, so they saturate exactly like repeated unit
-        // increments.
-        for &v in &tx_list {
-            let (entry_words, entry_bits) = plan.mask_entries(v as usize);
-            for (&w, &mask) in entry_words.iter().zip(entry_bits) {
-                let w = w as usize;
-                let cur = once[w];
-                if cur == 0 {
-                    touched.push(w as u32);
-                }
-                twice[w] |= cur & mask;
-                once[w] = cur | mask;
-            }
-        }
-        // A neighbour loses the message iff it is itself transmitting or hears
-        // ≥ 2 transmitters; every word the outcome pass reads carries at least
-        // one once-bit, so materializing the union over the touched words gives
-        // that pass a single load per edge.
-        for &w in &touched {
-            let w = w as usize;
-            lost[w] = tx_mask[w] | twice[w];
-        }
-
-        // Pass 3: per-transmitter outcomes (collision mask reads), in parallel
-        // for large transmitter sets.
-        {
-            let (tx_list, lost) = (&tx_list, &lost);
-            fill_chunks(&mut outcomes[..tx_count], |offset, chunk| {
-                for (i, out) in chunk.iter_mut().enumerate() {
-                    let v = tx_list[offset + i] as usize;
-                    let (entry_words, entry_bits) = plan.mask_entries(v);
-                    let mut decoded = 0u32;
-                    for (&w, &mask) in entry_words.iter().zip(entry_bits) {
-                        decoded += (mask & !lost[w as usize]).count_ones();
-                    }
-                    *out = decoded;
-                }
-            });
-        }
-
-        // Pass 4: queue updates and delivery accounting.
+        // General path: full interference resolution.
+        let rx = buffers.resolve(plan, &tx_list);
         counts.transmissions += tx_count as u64;
-        for (&v, &decoded) in tx_list.iter().zip(&outcomes[..tx_count]) {
+        for (&v, &decoded) in tx_list.iter().zip(&buffers.outcomes[..tx_count]) {
             let v = v as usize;
             queues.settle(&mut counts, v, decoded, plan.degree(v), t);
-        }
-
-        // Pass 5: radio-state tallies as popcounts over the touched words.
-        let mut rx = 0u64;
-        for &w in &touched {
-            let w = w as usize;
-            rx += u64::from((once[w] & !tx_mask[w]).count_ones());
         }
         counts.tx_slots += tx_count as u64;
         counts.rx_slots += rx;
@@ -295,29 +657,150 @@ pub fn run_frames(plan: &FramePlan, config: &KernelConfig) -> Result<KernelCount
 
         // Record the outcome of a full burst for replay on its next occurrence.
         if full_burst {
-            full_burst_memo[slot] = Some((outcomes[..tx_count].to_vec(), rx));
-        }
-
-        // Clear only what this slot touched.
-        for &w in &touched {
-            let w = w as usize;
-            once[w] = 0;
-            twice[w] = 0;
-        }
-        touched.clear();
-        for &v in &tx_list {
-            // A transmit-mask word only ever holds this slot's transmitters, so
-            // zeroing the whole word is safe.
-            tx_mask[(v / 64) as usize] = 0;
+            full_burst_memo[slot] = Some((buffers.outcomes[..tx_count].to_vec(), rx));
         }
     }
 
     if config.slots > 0 {
-        let per_node = (config.slots - 1) / traffic_period + 1;
-        counts.packets_generated = per_node * n as u64;
+        // Per-node closed-form generation totals (phases are original ids,
+        // a permutation of 0..n).
+        if staggered {
+            for id in 0..n as u64 {
+                let phase = id % traffic_period;
+                if config.slots > phase {
+                    counts.packets_generated += (config.slots - 1 - phase) / traffic_period + 1;
+                }
+            }
+        } else {
+            counts.packets_generated = ((config.slots - 1) / traffic_period + 1) * n as u64;
+        }
         counts.packets_pending =
             counts.packets_generated - counts.packets_delivered - counts.packets_dropped;
     }
+    Ok(counts)
+}
+
+/// The general loop: explicit per-node queues of generation times, supporting
+/// every traffic model (counter-drawn Bernoulli, compiled traces, periodic)
+/// under scheduled or slotted-ALOHA access.
+fn run_general(plan: &FramePlan, config: &KernelConfig) -> Result<KernelCounts> {
+    let n = plan.num_nodes();
+    let orig = plan.original_ids();
+    let traffic_rng = CounterRng::traffic(config.seed);
+    let mac_rng = CounterRng::mac(config.seed);
+    let mut counts = KernelCounts::default();
+    let mut buffers = SlotBuffers::new(n);
+    let mut tx_list: Vec<u32> = Vec::with_capacity(n);
+    let mut state = ExplicitQueues {
+        queues: vec![VecDeque::new(); n],
+        attempts: vec![0u32; n],
+        queued_total: 0,
+        max_retries: config.max_retries,
+    };
+
+    let frame_period = plan.period() as u64;
+    for t in 0..config.slots {
+        // Traffic generation.
+        match &config.traffic {
+            KernelTraffic::Bernoulli { p } => {
+                for (v, queue) in state.queues.iter_mut().enumerate() {
+                    if traffic_rng.bernoulli(*p, u64::from(orig[v]), t) {
+                        queue.push_back(t);
+                        state.queued_total += 1;
+                        counts.packets_generated += 1;
+                    }
+                }
+            }
+            KernelTraffic::Trace(trace) => {
+                if trace.count_at(t) > 0 {
+                    for (w, &word) in trace.words_at(t).iter().enumerate() {
+                        let mut bits = word;
+                        while bits != 0 {
+                            let v = w * 64 + bits.trailing_zeros() as usize;
+                            state.queues[v].push_back(t);
+                            bits &= bits - 1;
+                        }
+                    }
+                    state.queued_total += u64::from(trace.count_at(t));
+                    counts.packets_generated += u64::from(trace.count_at(t));
+                }
+            }
+            KernelTraffic::Periodic { period } => {
+                if t.is_multiple_of(*period) {
+                    for queue in state.queues.iter_mut() {
+                        queue.push_back(t);
+                    }
+                    state.queued_total += n as u64;
+                    counts.packets_generated += n as u64;
+                }
+            }
+            KernelTraffic::Staggered { period } => {
+                let r = t % period;
+                for (v, queue) in state.queues.iter_mut().enumerate() {
+                    if u64::from(orig[v]) % period == r {
+                        queue.push_back(t);
+                        state.queued_total += 1;
+                        counts.packets_generated += 1;
+                    }
+                }
+            }
+            KernelTraffic::None => {}
+        }
+        if state.queued_total == 0 {
+            counts.idle_slots += n as u64;
+            continue;
+        }
+
+        // MAC decisions over the slot's backlogged candidates.
+        let slot = (t % frame_period) as usize;
+        tx_list.clear();
+        for v in plan.slot_candidates(slot) {
+            if state.queues[v].is_empty() {
+                continue;
+            }
+            let transmit = match config.mac {
+                KernelMac::Scheduled => true,
+                KernelMac::Aloha { p } => mac_rng.bernoulli(p, u64::from(orig[v]), t),
+            };
+            if transmit {
+                tx_list.push(v as u32);
+            }
+        }
+        if tx_list.is_empty() {
+            counts.idle_slots += n as u64;
+            continue;
+        }
+        let tx_count = tx_list.len();
+
+        // Conflict-free shortcut (see `run_deterministic`): deliveries and the
+        // rx tally are closed-form, no bitset passes needed.
+        if plan.conflict_free() {
+            counts.transmissions += tx_count as u64;
+            let mut rx = 0u64;
+            for &v in &tx_list {
+                let v = v as usize;
+                let degree = plan.degree(v);
+                rx += u64::from(degree);
+                state.settle(&mut counts, v, degree, degree, t);
+            }
+            counts.tx_slots += tx_count as u64;
+            counts.rx_slots += rx;
+            counts.idle_slots += n as u64 - tx_count as u64 - rx;
+            continue;
+        }
+
+        let rx = buffers.resolve(plan, &tx_list);
+        counts.transmissions += tx_count as u64;
+        for (&v, &decoded) in tx_list.iter().zip(&buffers.outcomes[..tx_count]) {
+            let v = v as usize;
+            state.settle(&mut counts, v, decoded, plan.degree(v), t);
+        }
+        counts.tx_slots += tx_count as u64;
+        counts.rx_slots += rx;
+        counts.idle_slots += n as u64 - tx_count as u64 - rx;
+    }
+
+    counts.packets_pending = state.queued_total;
     Ok(counts)
 }
 
@@ -336,16 +819,22 @@ mod tests {
         FramePlan::new(&frames, &line3()).unwrap()
     }
 
+    fn config(slots: u64, traffic: KernelTraffic, max_retries: u32) -> KernelConfig {
+        KernelConfig {
+            slots,
+            traffic,
+            mac: KernelMac::Scheduled,
+            max_retries,
+            seed: 7,
+        }
+    }
+
     #[test]
     fn collision_free_frames_deliver_everything() {
         // 3 slots, one node each: no two in-range nodes share a slot.
         let counts = run_frames(
             &plan(&[0, 1, 2], 3),
-            &KernelConfig {
-                slots: 30,
-                traffic: KernelTraffic::Periodic { period: 10 },
-                max_retries: 8,
-            },
+            &config(30, KernelTraffic::Periodic { period: 10 }, 8),
         )
         .unwrap();
         assert_eq!(counts.packets_generated, 9);
@@ -369,11 +858,7 @@ mod tests {
         // collides at node 1, so every packet is eventually dropped.
         let counts = run_frames(
             &plan(&[0, 1, 0], 2),
-            &KernelConfig {
-                slots: 40,
-                traffic: KernelTraffic::Periodic { period: 40 },
-                max_retries: 1,
-            },
+            &config(40, KernelTraffic::Periodic { period: 40 }, 1),
         )
         .unwrap();
         assert!(counts.collisions > 0);
@@ -385,15 +870,7 @@ mod tests {
 
     #[test]
     fn no_traffic_is_all_idle() {
-        let counts = run_frames(
-            &plan(&[0, 1, 2], 3),
-            &KernelConfig {
-                slots: 17,
-                traffic: KernelTraffic::None,
-                max_retries: 3,
-            },
-        )
-        .unwrap();
+        let counts = run_frames(&plan(&[0, 1, 2], 3), &config(17, KernelTraffic::None, 3)).unwrap();
         assert_eq!(
             counts,
             KernelCounts {
@@ -407,14 +884,83 @@ mod tests {
     fn zero_slots_is_a_no_op() {
         let counts = run_frames(
             &plan(&[0, 1, 2], 3),
-            &KernelConfig {
-                slots: 0,
-                traffic: KernelTraffic::Periodic { period: 4 },
-                max_retries: 0,
-            },
+            &config(0, KernelTraffic::Periodic { period: 4 }, 0),
         )
         .unwrap();
         assert_eq!(counts, KernelCounts::default());
+    }
+
+    #[test]
+    fn staggered_traffic_spreads_generation_phases() {
+        // Collision-free plan: each node's generation phase is its original id
+        // mod the traffic period, so packets are spread over time.
+        let counts = run_frames(
+            &plan(&[0, 1, 2], 3),
+            &config(30, KernelTraffic::Staggered { period: 3 }, 8),
+        )
+        .unwrap();
+        assert_eq!(counts.packets_generated, 30);
+        assert_eq!(counts.collisions, 0);
+        assert_eq!(
+            counts.packets_generated,
+            counts.packets_delivered + counts.packets_pending
+        );
+        // Node 0 generates at t=0,3,..., node 2 at t=2,5,...: totals match the
+        // closed form (slots - 1 - phase) / period + 1.
+        let by_hand: u64 = (0..3u64).map(|phase| (30 - 1 - phase) / 3 + 1).sum();
+        assert_eq!(counts.packets_generated, by_hand);
+    }
+
+    #[test]
+    fn bernoulli_traffic_conserves_packets_and_replays() {
+        let plan = plan(&[0, 1, 2], 3);
+        let cfg = config(200, KernelTraffic::Bernoulli { p: 0.2 }, 2);
+        let a = run_frames(&plan, &cfg).unwrap();
+        let b = run_frames(&plan, &cfg).unwrap();
+        assert_eq!(a, b, "counter-based draws replay bit-identically");
+        assert!(a.packets_generated > 0);
+        assert_eq!(
+            a.packets_generated,
+            a.packets_delivered + a.packets_dropped + a.packets_pending
+        );
+        assert_eq!(a.tx_slots + a.rx_slots + a.idle_slots, 3 * 200);
+    }
+
+    #[test]
+    fn traces_replay_identically_to_inline_bernoulli_draws() {
+        let plan = plan(&[0, 1, 0], 2);
+        let inline_cfg = config(300, KernelTraffic::Bernoulli { p: 0.15 }, 1);
+        let trace = TrafficTrace::bernoulli(&plan, inline_cfg.seed, 0.15, 300).unwrap();
+        assert_eq!(trace.num_nodes(), 3);
+        assert_eq!(trace.num_slots(), 300);
+        let traced_cfg = config(300, KernelTraffic::Trace(Arc::new(trace)), 1);
+        let inline_counts = run_frames(&plan, &inline_cfg).unwrap();
+        let traced_counts = run_frames(&plan, &traced_cfg).unwrap();
+        assert_eq!(inline_counts, traced_counts);
+        assert!(inline_counts.packets_generated > 0);
+    }
+
+    #[test]
+    fn aloha_mac_thins_transmissions() {
+        // All nodes candidates every slot (period-1 plan), ALOHA p = 0.5 under
+        // saturating traffic: some backlogged nodes hold back each slot.
+        let plan = plan(&[0, 0, 0], 1);
+        let mut cfg = config(100, KernelTraffic::Periodic { period: 1 }, 0);
+        cfg.mac = KernelMac::Aloha { p: 0.5 };
+        let counts = run_frames(&plan, &cfg).unwrap();
+        assert!(counts.transmissions > 0);
+        assert!(
+            counts.transmissions < 300,
+            "p=0.5 must hold some transmissions back"
+        );
+        assert_eq!(
+            counts.packets_generated,
+            counts.packets_delivered + counts.packets_dropped + counts.packets_pending
+        );
+        // Degenerate probabilities are deterministic.
+        cfg.mac = KernelMac::Aloha { p: 0.0 };
+        let silent = run_frames(&plan, &cfg).unwrap();
+        assert_eq!(silent.transmissions, 0);
     }
 
     #[test]
@@ -424,16 +970,29 @@ mod tests {
             FramePlan::new(&frames, &line3()),
             Err(EngineError::NodeCountMismatch { .. })
         ));
+        let p = plan(&[0, 1, 2], 3);
+        for bad in [
+            KernelTraffic::Periodic { period: 0 },
+            KernelTraffic::Staggered { period: 0 },
+            KernelTraffic::Bernoulli { p: 1.5 },
+        ] {
+            assert!(matches!(
+                run_frames(&p, &config(1, bad, 0)),
+                Err(EngineError::InvalidKernelConfig(_))
+            ));
+        }
+        let mut cfg = config(1, KernelTraffic::Periodic { period: 1 }, 0);
+        cfg.mac = KernelMac::Aloha { p: -0.1 };
         assert!(matches!(
-            run_frames(
-                &plan(&[0, 1, 2], 3),
-                &KernelConfig {
-                    slots: 1,
-                    traffic: KernelTraffic::Periodic { period: 0 },
-                    max_retries: 0,
-                },
-            ),
+            run_frames(&p, &cfg),
             Err(EngineError::InvalidKernelConfig(_))
         ));
+        // Undersized traces are rejected.
+        let trace = TrafficTrace::bernoulli(&p, 1, 0.5, 10).unwrap();
+        assert!(matches!(
+            run_frames(&p, &config(20, KernelTraffic::Trace(Arc::new(trace)), 0)),
+            Err(EngineError::InvalidKernelConfig(_))
+        ));
+        assert!(TrafficTrace::bernoulli(&p, 1, 7.0, 10).is_err());
     }
 }

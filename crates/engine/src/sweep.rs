@@ -1,0 +1,785 @@
+//! The batched sweep engine: whole parameter grids of simulation runs served
+//! from one set of compiled artifacts.
+//!
+//! The paper's schedules are meant to be evaluated across *families* of
+//! deployments — seeds, offered loads, window sizes, retry budgets — but a
+//! naive sweep rebuilds every compiled structure (schedule table, frame plan,
+//! stochastic draws) from scratch for every run. [`run_sweep`] instead:
+//!
+//! 1. compiles each window's schedule and fused [`FramePlan`] once, through the
+//!    sharded [`ScheduleCache`] / [`PlanCache`];
+//! 2. compiles each `(seed, load)` pair's Bernoulli generation draws once into
+//!    a [`TrafficTrace`], shared by every run that varies only MAC-side knobs
+//!    (retry budgets), in the spirit of derandomization: the sequential random
+//!    draws of the reference simulator become one deterministic per-position
+//!    structure evaluated once;
+//! 3. fans the expanded grid across all cores with the engine's scoped-thread
+//!    executor ([`crate::parallel::fill_chunks_min`]) and aggregates the
+//!    per-run [`KernelCounts`] into a [`SweepReport`].
+//!
+//! A sweep spec is JSON (one object):
+//!
+//! ```json
+//! {
+//!   "name": "moore-bernoulli",
+//!   "shape": { "kind": "ball", "dim": 2, "radius": 1, "metric": "chebyshev" },
+//!   "windows": [64],
+//!   "slots": 512,
+//!   "mac": { "kind": "tiling" },
+//!   "traffic": { "kind": "bernoulli", "loads": [0.02, 0.05] },
+//!   "seeds": [1, 2, 3, 4],
+//!   "retries": [0, 1, 2, 4]
+//! }
+//! ```
+//!
+//! `mac` is `{"kind": "tiling"}` or `{"kind": "aloha", "p": 0.25}`; `traffic`
+//! is `{"kind": "bernoulli", "loads": [...]}`, `{"kind": "periodic",
+//! "periods": [...]}` or `{"kind": "staggered", "periods": [...]}`. The grid is
+//! the product `windows × traffic values × retries × seeds`.
+//!
+//! Node ids reproduce the sensor-network simulator's exactly (positions in
+//! lexicographic window order, neighbours `p + N \ {p}`), so every run's
+//! counters are bit-identical to a reference-simulator run of the same
+//! configuration — property-tested across the crates in `tests/sweep_parity.rs`.
+
+use crate::cache::{PlanCache, ScheduleCache};
+use crate::error::{EngineError, Result};
+use crate::frames::InterferenceCsr;
+use crate::parallel::fill_chunks_min;
+use crate::scenario::{get_u64, invalid, ShapeSpec};
+use crate::simkernel::{
+    run_frames, KernelConfig, KernelCounts, KernelMac, KernelTraffic, TrafficTrace,
+};
+use crate::FramePlan;
+use latsched_lattice::BoxRegion;
+use latsched_tiling::Prototile;
+use serde_json::Value;
+use std::collections::BTreeMap;
+use std::collections::HashMap;
+use std::fmt;
+use std::sync::Arc;
+use std::time::Instant;
+
+/// The MAC family a sweep runs.
+#[derive(Clone, Copy, PartialEq, Debug)]
+pub enum SweepMac {
+    /// The shape's Theorem 1 tiling schedule (deterministic slotted access).
+    Tiling,
+    /// Slotted ALOHA with the given per-slot transmission probability.
+    Aloha {
+        /// Per-slot transmission probability.
+        p: f64,
+    },
+}
+
+impl fmt::Display for SweepMac {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SweepMac::Tiling => write!(f, "tiling"),
+            SweepMac::Aloha { p } => write!(f, "aloha(p={p:.3})"),
+        }
+    }
+}
+
+/// The traffic axis of a sweep grid.
+#[derive(Clone, PartialEq, Debug)]
+pub enum SweepTraffic {
+    /// Bernoulli arrivals at each listed per-slot probability.
+    Bernoulli(Vec<f64>),
+    /// Phase-aligned periodic traffic at each listed period.
+    Periodic(Vec<u64>),
+    /// Staggered (per-node-offset) periodic traffic at each listed period.
+    Staggered(Vec<u64>),
+}
+
+impl SweepTraffic {
+    /// The number of grid values along the traffic axis.
+    pub fn len(&self) -> usize {
+        match self {
+            SweepTraffic::Bernoulli(loads) => loads.len(),
+            SweepTraffic::Periodic(periods) | SweepTraffic::Staggered(periods) => periods.len(),
+        }
+    }
+
+    /// Whether the traffic axis is empty.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+/// One sweep: a shape, a window axis and the stochastic parameter grid.
+#[derive(Clone, PartialEq, Debug)]
+pub struct SweepSpec {
+    /// Sweep name (used in reports).
+    pub name: String,
+    /// The neighbourhood shape.
+    pub shape: ShapeSpec,
+    /// Side lengths of the square deployment windows.
+    pub windows: Vec<i64>,
+    /// Number of slots each run simulates.
+    pub slots: u64,
+    /// The MAC family.
+    pub mac: SweepMac,
+    /// The traffic axis.
+    pub traffic: SweepTraffic,
+    /// RNG seeds.
+    pub seeds: Vec<u64>,
+    /// Retry budgets.
+    pub retries: Vec<u32>,
+}
+
+impl SweepSpec {
+    /// Parses one sweep spec object.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`EngineError::InvalidSpec`] naming the first malformed field.
+    pub fn from_json(value: &Value) -> Result<Self> {
+        let name = value
+            .get("name")
+            .and_then(Value::as_str)
+            .unwrap_or("unnamed-sweep")
+            .to_string();
+        let shape = ShapeSpec::from_json(
+            value
+                .get("shape")
+                .ok_or_else(|| invalid("sweep needs a 'shape' object"))?,
+        )?;
+        let windows = get_u64_array(value, "windows")?
+            .into_iter()
+            .map(|w| w as i64)
+            .collect::<Vec<i64>>();
+        if windows.iter().any(|&w| w <= 0) {
+            return Err(invalid("'windows' entries must be positive"));
+        }
+        let slots = get_u64(value, "slots")?;
+        let mac = match value.get("mac") {
+            None => SweepMac::Tiling,
+            Some(mac) => match mac.get("kind").and_then(Value::as_str) {
+                Some("tiling") => SweepMac::Tiling,
+                Some("aloha") => {
+                    let p = mac
+                        .get("p")
+                        .and_then(Value::as_f64)
+                        .ok_or_else(|| invalid("aloha mac needs a numeric field 'p'"))?;
+                    SweepMac::Aloha { p }
+                }
+                _ => return Err(invalid("'mac.kind' must be 'tiling' or 'aloha'")),
+            },
+        };
+        let traffic = value
+            .get("traffic")
+            .ok_or_else(|| invalid("sweep needs a 'traffic' object"))?;
+        let traffic = match traffic.get("kind").and_then(Value::as_str) {
+            Some("bernoulli") => {
+                let loads = traffic
+                    .get("loads")
+                    .and_then(Value::as_array)
+                    .ok_or_else(|| invalid("bernoulli traffic needs a 'loads' array"))?
+                    .iter()
+                    .map(|v| {
+                        v.as_f64()
+                            .ok_or_else(|| invalid("'loads' entries must be numbers"))
+                    })
+                    .collect::<Result<Vec<f64>>>()?;
+                SweepTraffic::Bernoulli(loads)
+            }
+            Some(kind @ ("periodic" | "staggered")) => {
+                let periods = get_u64_array(traffic, "periods")?;
+                if periods.contains(&0) {
+                    return Err(invalid("'periods' entries must be positive"));
+                }
+                if kind == "periodic" {
+                    SweepTraffic::Periodic(periods)
+                } else {
+                    SweepTraffic::Staggered(periods)
+                }
+            }
+            _ => {
+                return Err(invalid(
+                    "'traffic.kind' must be 'bernoulli', 'periodic' or 'staggered'",
+                ))
+            }
+        };
+        let seeds = get_u64_array(value, "seeds")?;
+        let retries = get_u64_array(value, "retries")?
+            .into_iter()
+            .map(|r| r as u32)
+            .collect::<Vec<u32>>();
+        let spec = SweepSpec {
+            name,
+            shape,
+            windows,
+            slots,
+            mac,
+            traffic,
+            seeds,
+            retries,
+        };
+        if spec.num_runs() == 0 {
+            return Err(invalid("sweep grid is empty"));
+        }
+        Ok(spec)
+    }
+
+    /// Parses a spec document: one sweep object or an array of them.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`EngineError::InvalidSpec`] for malformed JSON or fields.
+    pub fn parse_spec(text: &str) -> Result<Vec<SweepSpec>> {
+        let value: Value =
+            serde_json::from_str(text).map_err(|e| invalid(&format!("malformed JSON: {e}")))?;
+        match &value {
+            Value::Array(items) => items.iter().map(SweepSpec::from_json).collect(),
+            _ => Ok(vec![SweepSpec::from_json(&value)?]),
+        }
+    }
+
+    /// Total grid size: `windows × traffic values × retries × seeds`.
+    pub fn num_runs(&self) -> usize {
+        self.windows.len() * self.traffic.len() * self.retries.len() * self.seeds.len()
+    }
+}
+
+/// The interference adjacency of all lattice sensors in a window under a
+/// homogeneous neighbourhood shape: node ids follow the lexicographic window
+/// order and node `v`'s neighbours are `v + N \ {v}` clipped to the window —
+/// exactly the network the sensor-network simulator builds, so sweep runs are
+/// comparable (and bit-identical) to reference-simulator runs.
+///
+/// # Errors
+///
+/// Propagates CSR size-limit errors.
+pub fn grid_adjacency(region: &BoxRegion, shape: &Prototile) -> Result<InterferenceCsr> {
+    let dim = region.dim();
+    let lo = region.min().coords().to_vec();
+    let hi = region.max().coords().to_vec();
+    let extents: Vec<i64> = (0..dim).map(|i| hi[i] - lo[i] + 1).collect();
+    // Lexicographic iteration makes the *first* coordinate most significant.
+    let mut strides = vec![1i64; dim];
+    for i in (0..dim.saturating_sub(1)).rev() {
+        strides[i] = strides[i + 1] * extents[i + 1];
+    }
+    let n = region.len();
+    if n >= u32::MAX as u64 {
+        return Err(EngineError::WindowTooLarge { points: n });
+    }
+    let offsets: Vec<&[i64]> = shape
+        .iter()
+        .filter(|d| !d.is_zero())
+        .map(|d| d.coords())
+        .collect();
+    let mut lists: Vec<Vec<usize>> = vec![Vec::with_capacity(offsets.len()); n as usize];
+    let mut q = vec![0i64; dim];
+    for (id, p) in region.iter().enumerate() {
+        let pc = p.coords();
+        'offsets: for d in &offsets {
+            let mut qid = 0i64;
+            for i in 0..dim {
+                q[i] = pc[i] + d[i];
+                if q[i] < lo[i] || q[i] > hi[i] {
+                    continue 'offsets;
+                }
+                qid += (q[i] - lo[i]) * strides[i];
+            }
+            lists[id].push(qid as usize);
+        }
+        // The simulator's interference graph keeps neighbour lists sorted.
+        lists[id].sort_unstable();
+    }
+    InterferenceCsr::from_lists(&lists)
+}
+
+/// The caches a sweep (or several sweeps) compiles through.
+#[derive(Default)]
+pub struct SweepCaches {
+    /// Shape → compiled Theorem 1 schedule.
+    pub schedules: ScheduleCache,
+    /// (assignment, adjacency) → fused frame plan.
+    pub plans: PlanCache,
+}
+
+impl SweepCaches {
+    /// Empty caches.
+    pub fn new() -> Self {
+        SweepCaches::default()
+    }
+}
+
+/// One run of a sweep grid: its coordinates and its kernel counters.
+#[derive(Clone, PartialEq, Debug)]
+pub struct SweepRunReport {
+    /// Window side length.
+    pub window: i64,
+    /// Nodes in the window.
+    pub nodes: usize,
+    /// RNG seed.
+    pub seed: u64,
+    /// Human-readable traffic description (e.g. `bernoulli(p=0.020)`).
+    pub traffic: String,
+    /// Retry budget.
+    pub retries: u32,
+    /// The run's counters.
+    pub counts: KernelCounts,
+}
+
+/// The measured outcome of one sweep.
+#[derive(Clone, PartialEq, Debug)]
+pub struct SweepReport {
+    /// Sweep name.
+    pub name: String,
+    /// MAC family description.
+    pub mac: String,
+    /// Number of runs in the grid.
+    pub runs: usize,
+    /// Slots simulated per run.
+    pub slots: u64,
+    /// Seconds spent compiling shared artifacts (schedules, plans, traces).
+    pub setup_seconds: f64,
+    /// Seconds spent executing the grid.
+    pub run_seconds: f64,
+    /// Runs executed per second (excluding setup).
+    pub runs_per_second: f64,
+    /// Plan-cache hits over the sweep.
+    pub plan_hits: u64,
+    /// Plan-cache misses over the sweep.
+    pub plan_misses: u64,
+    /// Element-wise sum of every run's counters.
+    pub aggregate: KernelCounts,
+    /// Per-run reports, in grid order (windows × traffic × retries × seeds).
+    pub per_run: Vec<SweepRunReport>,
+}
+
+impl SweepReport {
+    /// The report as a JSON object.
+    pub fn to_json_value(&self) -> Value {
+        let counts_json = |c: &KernelCounts| {
+            let mut map = BTreeMap::new();
+            map.insert(
+                "packets_generated".to_string(),
+                Value::from(c.packets_generated),
+            );
+            map.insert(
+                "packets_delivered".to_string(),
+                Value::from(c.packets_delivered),
+            );
+            map.insert(
+                "packets_dropped".to_string(),
+                Value::from(c.packets_dropped),
+            );
+            map.insert(
+                "packets_pending".to_string(),
+                Value::from(c.packets_pending),
+            );
+            map.insert("transmissions".to_string(), Value::from(c.transmissions));
+            map.insert("receptions".to_string(), Value::from(c.receptions));
+            map.insert("collisions".to_string(), Value::from(c.collisions));
+            map.insert("total_latency".to_string(), Value::from(c.total_latency));
+            map.insert("tx_slots".to_string(), Value::from(c.tx_slots));
+            map.insert("rx_slots".to_string(), Value::from(c.rx_slots));
+            map.insert("idle_slots".to_string(), Value::from(c.idle_slots));
+            Value::Object(map)
+        };
+        let mut map = BTreeMap::new();
+        map.insert("name".to_string(), Value::from(self.name.clone()));
+        map.insert("mac".to_string(), Value::from(self.mac.clone()));
+        map.insert("runs".to_string(), Value::from(self.runs));
+        map.insert("slots".to_string(), Value::from(self.slots));
+        map.insert("setup_seconds".to_string(), Value::from(self.setup_seconds));
+        map.insert("run_seconds".to_string(), Value::from(self.run_seconds));
+        map.insert(
+            "runs_per_second".to_string(),
+            Value::from(self.runs_per_second),
+        );
+        map.insert("plan_hits".to_string(), Value::from(self.plan_hits));
+        map.insert("plan_misses".to_string(), Value::from(self.plan_misses));
+        map.insert("aggregate".to_string(), counts_json(&self.aggregate));
+        map.insert(
+            "per_run".to_string(),
+            Value::Array(
+                self.per_run
+                    .iter()
+                    .map(|r| {
+                        let mut run = BTreeMap::new();
+                        run.insert("window".to_string(), Value::from(r.window));
+                        run.insert("nodes".to_string(), Value::from(r.nodes));
+                        run.insert("seed".to_string(), Value::from(r.seed));
+                        run.insert("traffic".to_string(), Value::from(r.traffic.clone()));
+                        run.insert("retries".to_string(), Value::from(u64::from(r.retries)));
+                        run.insert("counts".to_string(), counts_json(&r.counts));
+                        Value::Object(run)
+                    })
+                    .collect(),
+            ),
+        );
+        Value::Object(map)
+    }
+}
+
+impl fmt::Display for SweepReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{:<20} {:>4} runs x {:>6} slots ({}) in {:>8.2} ms (+{:.2} ms setup, {:>8.1} runs/s), \
+             {} delivered / {} generated, {} collisions, plans {}h/{}m",
+            self.name,
+            self.runs,
+            self.slots,
+            self.mac,
+            self.run_seconds * 1e3,
+            self.setup_seconds * 1e3,
+            self.runs_per_second,
+            self.aggregate.packets_delivered,
+            self.aggregate.packets_generated,
+            self.aggregate.collisions,
+            self.plan_hits,
+            self.plan_misses,
+        )
+    }
+}
+
+/// One expanded grid point, ready to execute.
+struct RunSpec {
+    window: i64,
+    nodes: usize,
+    seed: u64,
+    traffic_label: String,
+    retries: u32,
+    plan: Arc<FramePlan>,
+    config: KernelConfig,
+}
+
+/// Runs one sweep: compile every shared artifact once (through the caches),
+/// execute the whole grid across all cores, and aggregate the counters.
+///
+/// # Errors
+///
+/// Propagates compilation, trace and kernel errors.
+pub fn run_sweep(spec: &SweepSpec, caches: &SweepCaches) -> Result<SweepReport> {
+    let plan_hits0 = caches.plans.hits();
+    let plan_misses0 = caches.plans.misses();
+    let setup_start = Instant::now();
+    let shape = spec.shape.prototile()?;
+
+    // Per-window shared artifacts: adjacency, slot assignment, fused plan.
+    let mut plans: Vec<(i64, usize, Arc<FramePlan>)> = Vec::with_capacity(spec.windows.len());
+    for &window in &spec.windows {
+        let region = BoxRegion::square_window(spec.shape.dim(), window)?;
+        let adjacency = grid_adjacency(&region, &shape)?;
+        let nodes = adjacency.num_nodes();
+        let (assignment, period) = match spec.mac {
+            SweepMac::Tiling => {
+                let compiled = caches.schedules.get_or_compile(&shape)?;
+                let slots = compiled.slots_of_region(&region)?;
+                (
+                    slots.into_iter().map(usize::from).collect::<Vec<usize>>(),
+                    compiled.num_slots(),
+                )
+            }
+            // ALOHA has no frame structure: every node is a candidate in a
+            // 1-slot frame and the MAC thins candidates stochastically.
+            SweepMac::Aloha { .. } => (vec![0usize; nodes], 1),
+        };
+        let plan = caches.plans.get_or_build(&assignment, period, &adjacency)?;
+        plans.push((window, nodes, plan));
+    }
+    let mac = match spec.mac {
+        SweepMac::Tiling => KernelMac::Scheduled,
+        SweepMac::Aloha { p } => KernelMac::Aloha { p },
+    };
+
+    // Per-(window, seed, load) compiled traffic traces, shared across the
+    // retry axis of the grid.
+    let mut traces: HashMap<(usize, u64, u64), Arc<TrafficTrace>> = HashMap::new();
+    if let SweepTraffic::Bernoulli(loads) = &spec.traffic {
+        for (w, (_, _, plan)) in plans.iter().enumerate() {
+            for &p in loads {
+                for &seed in &spec.seeds {
+                    traces.insert(
+                        (w, seed, p.to_bits()),
+                        Arc::new(TrafficTrace::bernoulli(plan, seed, p, spec.slots)?),
+                    );
+                }
+            }
+        }
+    }
+
+    // Expand the grid in deterministic order.
+    let mut runs: Vec<RunSpec> = Vec::with_capacity(spec.num_runs());
+    for (w, (window, nodes, plan)) in plans.iter().enumerate() {
+        for ti in 0..spec.traffic.len() {
+            let traffic_label = match &spec.traffic {
+                SweepTraffic::Bernoulli(loads) => format!("bernoulli(p={:.3})", loads[ti]),
+                SweepTraffic::Periodic(periods) => {
+                    format!("periodic(every {} slots)", periods[ti])
+                }
+                SweepTraffic::Staggered(periods) => {
+                    format!("staggered(every {} slots)", periods[ti])
+                }
+            };
+            for &retries in &spec.retries {
+                for &seed in &spec.seeds {
+                    let traffic = match &spec.traffic {
+                        SweepTraffic::Bernoulli(loads) => {
+                            let key = (w, seed, loads[ti].to_bits());
+                            KernelTraffic::Trace(Arc::clone(&traces[&key]))
+                        }
+                        SweepTraffic::Periodic(periods) => KernelTraffic::Periodic {
+                            period: periods[ti],
+                        },
+                        SweepTraffic::Staggered(periods) => KernelTraffic::Staggered {
+                            period: periods[ti],
+                        },
+                    };
+                    runs.push(RunSpec {
+                        window: *window,
+                        nodes: *nodes,
+                        seed,
+                        traffic_label: traffic_label.clone(),
+                        retries,
+                        plan: Arc::clone(plan),
+                        config: KernelConfig {
+                            slots: spec.slots,
+                            traffic,
+                            mac,
+                            max_retries: retries,
+                            seed,
+                        },
+                    });
+                }
+            }
+        }
+    }
+    let setup_seconds = setup_start.elapsed().as_secs_f64();
+
+    // Execute the grid: one independent kernel run per grid point, fanned
+    // across worker threads.
+    let run_start = Instant::now();
+    let mut results: Vec<Option<Result<KernelCounts>>> = Vec::new();
+    results.resize_with(runs.len(), || None);
+    {
+        let runs = &runs;
+        fill_chunks_min(&mut results, 2, |offset, chunk| {
+            for (i, out) in chunk.iter_mut().enumerate() {
+                let run = &runs[offset + i];
+                *out = Some(run_frames(&run.plan, &run.config));
+            }
+        });
+    }
+    let run_seconds = run_start.elapsed().as_secs_f64();
+
+    let mut aggregate = KernelCounts::default();
+    let mut per_run = Vec::with_capacity(runs.len());
+    for (run, result) in runs.iter().zip(results) {
+        let counts = result.expect("every chunk is filled")?;
+        aggregate.accumulate(&counts);
+        per_run.push(SweepRunReport {
+            window: run.window,
+            nodes: run.nodes,
+            seed: run.seed,
+            traffic: run.traffic_label.clone(),
+            retries: run.retries,
+            counts,
+        });
+    }
+    Ok(SweepReport {
+        name: spec.name.clone(),
+        mac: spec.mac.to_string(),
+        runs: per_run.len(),
+        slots: spec.slots,
+        setup_seconds,
+        run_seconds,
+        runs_per_second: per_run.len() as f64 / run_seconds.max(1e-12),
+        plan_hits: caches.plans.hits() - plan_hits0,
+        plan_misses: caches.plans.misses() - plan_misses0,
+        aggregate,
+        per_run,
+    })
+}
+
+/// The default sweep `engine-cli sweep` runs when given no spec file: a 64-run
+/// stochastic grid (2 loads × 4 retry budgets × 8 seeds) of Bernoulli traffic
+/// under the Moore tiling schedule on a 64×64 window.
+pub fn builtin_sweep() -> SweepSpec {
+    SweepSpec {
+        name: "moore-bernoulli-64".into(),
+        shape: ShapeSpec::Ball {
+            dim: 2,
+            radius: 1,
+            metric: latsched_lattice::Metric::Chebyshev,
+        },
+        windows: vec![64],
+        slots: 512,
+        mac: SweepMac::Tiling,
+        traffic: SweepTraffic::Bernoulli(vec![0.02, 0.05]),
+        seeds: (1..=8).collect(),
+        retries: vec![0, 1, 2, 4],
+    }
+}
+
+fn get_u64_array(value: &Value, field: &str) -> Result<Vec<u64>> {
+    let raw = value
+        .get(field)
+        .and_then(Value::as_array)
+        .ok_or_else(|| invalid(&format!("missing or non-array field '{field}'")))?;
+    if raw.is_empty() {
+        return Err(invalid(&format!("'{field}' must not be empty")));
+    }
+    raw.iter()
+        .map(|v| {
+            v.as_u64()
+                .ok_or_else(|| invalid(&format!("'{field}' entries must be nonnegative integers")))
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny_spec() -> SweepSpec {
+        SweepSpec {
+            windows: vec![8],
+            slots: 64,
+            seeds: vec![1, 2],
+            retries: vec![0, 2],
+            traffic: SweepTraffic::Bernoulli(vec![0.1]),
+            ..builtin_sweep()
+        }
+    }
+
+    #[test]
+    fn parses_sweep_specs() {
+        let text = r#"{
+            "name": "s",
+            "shape": {"kind": "ball", "dim": 2, "radius": 1},
+            "windows": [16, 32],
+            "slots": 128,
+            "mac": {"kind": "aloha", "p": 0.2},
+            "traffic": {"kind": "bernoulli", "loads": [0.05, 0.1]},
+            "seeds": [1, 2, 3],
+            "retries": [0, 4]
+        }"#;
+        let specs = SweepSpec::parse_spec(text).unwrap();
+        assert_eq!(specs.len(), 1);
+        let spec = &specs[0];
+        assert_eq!(spec.name, "s");
+        assert_eq!(spec.mac, SweepMac::Aloha { p: 0.2 });
+        assert_eq!(spec.num_runs(), 2 * 2 * 2 * 3);
+        // Defaults: omitted mac means the tiling schedule.
+        let text = r#"{
+            "shape": {"kind": "hex7"}, "windows": [8], "slots": 16,
+            "traffic": {"kind": "staggered", "periods": [4, 8]},
+            "seeds": [0], "retries": [1]
+        }"#;
+        let spec = &SweepSpec::parse_spec(text).unwrap()[0];
+        assert_eq!(spec.mac, SweepMac::Tiling);
+        assert_eq!(spec.traffic, SweepTraffic::Staggered(vec![4, 8]));
+    }
+
+    #[test]
+    fn rejects_malformed_sweep_specs() {
+        for bad in [
+            "not json",
+            r#"{"windows": [8]}"#,
+            r#"{"shape": {"kind": "hex7"}, "windows": [], "slots": 8,
+                "traffic": {"kind": "bernoulli", "loads": [0.1]}, "seeds": [1], "retries": [0]}"#,
+            r#"{"shape": {"kind": "hex7"}, "windows": [8], "slots": 8,
+                "traffic": {"kind": "warp"}, "seeds": [1], "retries": [0]}"#,
+            r#"{"shape": {"kind": "hex7"}, "windows": [8], "slots": 8,
+                "traffic": {"kind": "periodic", "periods": [0]}, "seeds": [1], "retries": [0]}"#,
+            r#"{"shape": {"kind": "hex7"}, "windows": [8], "slots": 8,
+                "mac": {"kind": "aloha"},
+                "traffic": {"kind": "bernoulli", "loads": [0.1]}, "seeds": [1], "retries": [0]}"#,
+        ] {
+            assert!(SweepSpec::parse_spec(bad).is_err(), "accepted: {bad}");
+        }
+    }
+
+    #[test]
+    fn grid_adjacency_matches_hand_counts() {
+        // 3×3 Moore window: the centre node affects all 8 others, corners 3.
+        let region = BoxRegion::square_window(2, 3).unwrap();
+        let shape = latsched_tiling::shapes::moore();
+        let csr = grid_adjacency(&region, &shape).unwrap();
+        assert_eq!(csr.num_nodes(), 9);
+        let degrees: Vec<usize> = (0..9).map(|v| csr.degree(v)).collect();
+        // Lexicographic order: (0,0), (0,1), (0,2), (1,0), (1,1), …
+        assert_eq!(degrees, vec![3, 5, 3, 5, 8, 5, 3, 5, 3]);
+        // Neighbour lists are sorted and self-free.
+        for v in 0..9 {
+            let ns = csr.neighbours_of(v);
+            assert!(ns.windows(2).all(|w| w[0] < w[1]));
+            assert!(!ns.contains(&(v as u32)));
+        }
+    }
+
+    #[test]
+    fn sweep_runs_whole_grid_and_aggregates() {
+        let spec = tiny_spec();
+        let caches = SweepCaches::new();
+        let report = run_sweep(&spec, &caches).unwrap();
+        assert_eq!(report.runs, 4);
+        assert_eq!(report.per_run.len(), 4);
+        // One plan built, reused by every other run of the window.
+        assert_eq!(report.plan_misses, 1);
+        assert_eq!(report.plan_hits, 0, "plan looked up once per window");
+        let mut sum = KernelCounts::default();
+        for run in &report.per_run {
+            assert_eq!(run.window, 8);
+            assert_eq!(run.nodes, 64);
+            assert_eq!(
+                run.counts.packets_generated,
+                run.counts.packets_delivered
+                    + run.counts.packets_dropped
+                    + run.counts.packets_pending
+            );
+            sum.accumulate(&run.counts);
+        }
+        assert_eq!(sum, report.aggregate);
+        assert!(report.aggregate.packets_generated > 0);
+        // Same seed + load + retries ⇒ same counters regardless of grid position.
+        let again = run_sweep(&spec, &caches).unwrap();
+        assert_eq!(report.per_run, again.per_run);
+        // The second sweep hits the plan cache.
+        assert_eq!(again.plan_misses, 0);
+        assert!(again.plan_hits > 0);
+        let json = report.to_json_value();
+        assert_eq!(json.get("runs").unwrap().as_u64(), Some(4));
+        assert!(json.get("per_run").unwrap().as_array().unwrap().len() == 4);
+        assert!(report.to_string().contains("4 runs"));
+    }
+
+    #[test]
+    fn retry_axis_shares_traces_but_changes_outcomes() {
+        let spec = SweepSpec {
+            retries: vec![0, 8],
+            traffic: SweepTraffic::Bernoulli(vec![0.4]),
+            mac: SweepMac::Aloha { p: 0.5 },
+            seeds: vec![7],
+            ..tiny_spec()
+        };
+        let report = run_sweep(&spec, &SweepCaches::new()).unwrap();
+        assert_eq!(report.runs, 2);
+        let (a, b) = (&report.per_run[0], &report.per_run[1]);
+        // Same trace ⇒ identical generation counts; different budgets ⇒
+        // different drop behaviour.
+        assert_eq!(a.counts.packets_generated, b.counts.packets_generated);
+        assert!(a.counts.packets_dropped > b.counts.packets_dropped);
+    }
+
+    #[test]
+    fn periodic_sweeps_run_without_traces() {
+        let spec = SweepSpec {
+            traffic: SweepTraffic::Periodic(vec![16, 32]),
+            seeds: vec![1],
+            retries: vec![2],
+            ..tiny_spec()
+        };
+        let report = run_sweep(&spec, &SweepCaches::new()).unwrap();
+        assert_eq!(report.runs, 2);
+        assert_eq!(report.aggregate.collisions, 0, "tiling MACs never collide");
+        assert!(report.aggregate.packets_delivered > 0);
+    }
+}

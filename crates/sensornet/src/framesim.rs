@@ -1,14 +1,23 @@
 //! The frame-compiled simulation backend.
 //!
-//! For deterministic configurations — a deterministic slotted MAC (tiling
-//! schedule, explicit slot assignment, or TDMA) under periodic or no traffic —
-//! the whole simulation is a replay of one schedule period. [`FrameKernel`]
-//! compiles the MAC once into per-slot candidate lists
+//! [`FrameKernel`] compiles the MAC once into per-slot candidate lists
 //! ([`latsched_engine::FrameSchedule`]), flattens the interference graph into a
 //! CSR adjacency ([`latsched_engine::InterferenceCsr`]), and hands the run to
 //! the allocation-free bitset kernel [`latsched_engine::run_frames`], which is
 //! an order of magnitude faster than the reference loop because it touches only
 //! the current slot's candidates instead of every node in every slot.
+//!
+//! Two additions make it the default backend for *every* configuration:
+//!
+//! * **Plan caching.** The fused [`latsched_engine::FramePlan`] costs more to
+//!   build than a typical run costs to execute, so plans are memoized in a
+//!   content-addressed [`PlanCache`] — by default one shared process-wide
+//!   cache, or an explicit one via [`FrameKernel::with_cache`]. Repeated runs
+//!   of a (schedule, network) pair pay the build once.
+//! * **Counter-based randomness.** Stochastic configurations (Bernoulli
+//!   traffic, slotted ALOHA) draw from `CounterRng` streams — pure functions of
+//!   `(seed, node, slot)` — so the kernel replays them bit-identically to the
+//!   reference simulator instead of falling back to it.
 //!
 //! The kernel's integer counters map one-to-one onto [`SimMetrics`]; energy is
 //! applied from slot counts via [`EnergyAccount::from_slot_counts`], exactly
@@ -16,28 +25,50 @@
 //! (property-tested in `tests/sim_parity.rs`).
 
 use crate::energy::EnergyAccount;
-use crate::error::{Result, SimError};
-use crate::mac::{CompiledMac, MacPolicy};
+use crate::error::Result;
+use crate::mac::CompiledMac;
 use crate::metrics::SimMetrics;
 use crate::sim::{Network, SimBackend, SimConfig};
 use crate::traffic::TrafficModel;
-use latsched_engine::{run_frames, FramePlan, FrameSchedule, KernelConfig, KernelTraffic};
+use latsched_engine::{run_frames, KernelConfig, KernelMac, KernelTraffic, PlanCache};
+use std::sync::{Arc, OnceLock};
+
+/// The process-wide default plan cache; keyed by content fingerprints, so it is
+/// safe to share across unrelated networks and schedules.
+fn global_plan_cache() -> &'static PlanCache {
+    static CACHE: OnceLock<PlanCache> = OnceLock::new();
+    CACHE.get_or_init(PlanCache::new)
+}
 
 /// The frame-compiled simulation backend (see the module docs).
-#[derive(Clone, Copy, Debug, Default)]
-pub struct FrameKernel;
+#[derive(Clone, Debug, Default)]
+pub struct FrameKernel {
+    /// Explicit plan cache; `None` uses the shared process-wide cache.
+    cache: Option<Arc<PlanCache>>,
+}
 
 impl FrameKernel {
-    /// Whether this backend supports the configuration: deterministic MACs
-    /// under deterministic traffic. Stochastic configurations (slotted ALOHA,
-    /// Bernoulli traffic) draw from the simulation RNG in state-dependent order
-    /// and stay with the reference kernel.
-    pub fn supports(config: &SimConfig) -> bool {
-        !matches!(config.mac, MacPolicy::SlottedAloha { .. })
-            && matches!(
-                config.traffic,
-                TrafficModel::Periodic { .. } | TrafficModel::None
-            )
+    /// A kernel using the shared process-wide plan cache.
+    pub fn new() -> Self {
+        FrameKernel::default()
+    }
+
+    /// A kernel memoizing plans in the given cache (useful for sweeps that
+    /// want their own lifetime and hit/miss accounting).
+    pub fn with_cache(cache: Arc<PlanCache>) -> Self {
+        FrameKernel { cache: Some(cache) }
+    }
+
+    /// The plan cache this kernel compiles through.
+    pub fn plan_cache(&self) -> &PlanCache {
+        self.cache.as_deref().unwrap_or_else(|| global_plan_cache())
+    }
+
+    /// Whether this backend supports the configuration. Since the counter-based
+    /// RNG made stochastic draws order-independent, every valid configuration
+    /// is supported; the method is kept for dispatch symmetry.
+    pub fn supports(_config: &SimConfig) -> bool {
+        true
     }
 }
 
@@ -49,33 +80,30 @@ impl SimBackend for FrameKernel {
     fn run(&self, network: &Network, config: &SimConfig) -> Result<SimMetrics> {
         config.traffic.validate()?;
         let mac = config.mac.compile(network.positions())?;
-        let (slots, period) = match mac {
-            CompiledMac::Deterministic { slots, period } => (slots, period),
-            CompiledMac::Aloha { .. } => {
-                return Err(SimError::UnsupportedConfig {
-                    backend: self.name(),
-                    reason: "stochastic MAC policies need the reference kernel".into(),
-                });
-            }
+        let n = network.len();
+        let (slots, period, kernel_mac) = match mac {
+            CompiledMac::Deterministic { slots, period } => (slots, period, KernelMac::Scheduled),
+            // ALOHA has no frame structure: every node is a candidate in a
+            // 1-slot frame and the MAC thins candidates stochastically.
+            CompiledMac::Aloha { p } => (vec![0usize; n], 1, KernelMac::Aloha { p }),
         };
         let traffic = match config.traffic {
             TrafficModel::Periodic { period } => KernelTraffic::Periodic { period },
+            TrafficModel::Staggered { period } => KernelTraffic::Staggered { period },
+            TrafficModel::Bernoulli { p } => KernelTraffic::Bernoulli { p },
             TrafficModel::None => KernelTraffic::None,
-            TrafficModel::Bernoulli { .. } => {
-                return Err(SimError::UnsupportedConfig {
-                    backend: self.name(),
-                    reason: "stochastic traffic needs the reference kernel".into(),
-                });
-            }
         };
-        let frames = FrameSchedule::from_assignment(&slots, period)?;
-        let plan = FramePlan::new(&frames, network.interference_csr()?)?;
+        let plan = self
+            .plan_cache()
+            .get_or_build(&slots, period, network.interference_csr()?)?;
         let counts = run_frames(
             &plan,
             &KernelConfig {
                 slots: config.slots,
                 traffic,
+                mac: kernel_mac,
                 max_retries: config.max_retries,
+                seed: config.seed,
             },
         )?;
         Ok(SimMetrics {
@@ -102,6 +130,7 @@ impl SimBackend for FrameKernel {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::mac::MacPolicy;
     use crate::scenario::{grid_network, tiling_mac};
     use crate::sim::{run_simulation_with, ReferenceKernel};
     use latsched_tiling::shapes;
@@ -117,43 +146,83 @@ mod tests {
     }
 
     #[test]
-    fn supports_exactly_the_deterministic_configurations() {
+    fn supports_every_configuration() {
         let mut config = deterministic_config();
         assert!(FrameKernel::supports(&config));
-        config.traffic = TrafficModel::None;
-        assert!(FrameKernel::supports(&config));
         config.traffic = TrafficModel::Bernoulli { p: 0.1 };
-        assert!(!FrameKernel::supports(&config));
-        config.traffic = TrafficModel::Periodic { period: 8 };
+        assert!(FrameKernel::supports(&config));
         config.mac = MacPolicy::SlottedAloha { p: 0.5 };
-        assert!(!FrameKernel::supports(&config));
+        assert!(FrameKernel::supports(&config));
+        assert_eq!(FrameKernel::new().name(), "frame-kernel");
     }
 
     #[test]
     fn matches_the_reference_kernel_exactly() {
         let network = grid_network(7, &shapes::moore()).unwrap();
         let config = deterministic_config();
-        let frame = run_simulation_with(&FrameKernel, &network, &config).unwrap();
+        let frame = run_simulation_with(&FrameKernel::default(), &network, &config).unwrap();
         let reference = run_simulation_with(&ReferenceKernel, &network, &config).unwrap();
         assert_eq!(frame, reference);
         assert!(frame.packets_delivered > 0);
     }
 
     #[test]
-    fn rejects_stochastic_configurations_with_a_clear_error() {
+    fn matches_the_reference_kernel_on_stochastic_configurations() {
+        let network = grid_network(5, &shapes::moore()).unwrap();
+        let mut config = deterministic_config();
+        config.slots = 300;
+        for (mac, traffic) in [
+            (
+                tiling_mac(&shapes::moore()).unwrap(),
+                TrafficModel::Bernoulli { p: 0.15 },
+            ),
+            (
+                MacPolicy::SlottedAloha { p: 0.4 },
+                TrafficModel::Bernoulli { p: 0.1 },
+            ),
+            (
+                MacPolicy::SlottedAloha { p: 0.3 },
+                TrafficModel::Periodic { period: 8 },
+            ),
+            (
+                tiling_mac(&shapes::moore()).unwrap(),
+                TrafficModel::Staggered { period: 16 },
+            ),
+        ] {
+            config.mac = mac;
+            config.traffic = traffic;
+            let frame = run_simulation_with(&FrameKernel::default(), &network, &config).unwrap();
+            let reference = run_simulation_with(&ReferenceKernel, &network, &config).unwrap();
+            assert_eq!(frame, reference, "mac {} traffic {}", config.mac, traffic);
+            assert!(frame.packets_generated > 0);
+        }
+    }
+
+    #[test]
+    fn explicit_plan_cache_is_reused_across_runs() {
+        let network = grid_network(6, &shapes::moore()).unwrap();
+        let cache = Arc::new(PlanCache::new());
+        let kernel = FrameKernel::with_cache(Arc::clone(&cache));
+        let config = deterministic_config();
+        let a = kernel.run(&network, &config).unwrap();
+        let b = kernel.run(&network, &config).unwrap();
+        assert_eq!(a, b);
+        assert_eq!(cache.misses(), 1, "plan built once");
+        assert_eq!(cache.hits(), 1, "second run replays the cached plan");
+        // A different MAC compiles a different plan under the same network.
+        let mut aloha = config.clone();
+        aloha.mac = MacPolicy::SlottedAloha { p: 0.2 };
+        kernel.run(&network, &aloha).unwrap();
+        assert_eq!(cache.misses(), 2);
+    }
+
+    #[test]
+    fn invalid_configurations_are_still_rejected() {
         let network = grid_network(4, &shapes::moore()).unwrap();
         let mut config = deterministic_config();
-        config.traffic = TrafficModel::Bernoulli { p: 0.1 };
-        assert!(matches!(
-            FrameKernel.run(&network, &config),
-            Err(SimError::UnsupportedConfig { .. })
-        ));
-        config.traffic = TrafficModel::Periodic { period: 8 };
-        config.mac = MacPolicy::SlottedAloha { p: 0.5 };
-        assert!(matches!(
-            FrameKernel.run(&network, &config),
-            Err(SimError::UnsupportedConfig { .. })
-        ));
-        assert_eq!(FrameKernel.name(), "frame-kernel");
+        config.traffic = TrafficModel::Bernoulli { p: 1.5 };
+        assert!(FrameKernel::default().run(&network, &config).is_err());
+        config.traffic = TrafficModel::Periodic { period: 0 };
+        assert!(FrameKernel::default().run(&network, &config).is_err());
     }
 }

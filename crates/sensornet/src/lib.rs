@@ -47,6 +47,8 @@ mod traffic;
 pub use energy::{EnergyAccount, EnergyModel};
 pub use error::{Result, SimError};
 pub use framesim::FrameKernel;
+pub use latsched_engine::PlanCache;
+pub use latsched_lattice::CounterRng;
 pub use mac::{CompiledMac, MacPolicy};
 pub use metrics::SimMetrics;
 pub use packet::Packet;

@@ -13,9 +13,7 @@
 
 use crate::error::{Result, SimError};
 use latsched_core::PeriodicSchedule;
-use latsched_lattice::Point;
-use rand::Rng;
-use rand_chacha::ChaCha8Rng;
+use latsched_lattice::{CounterRng, Point};
 use serde::{Deserialize, Serialize};
 use std::fmt;
 
@@ -137,13 +135,16 @@ pub enum CompiledMac {
 }
 
 impl CompiledMac {
-    /// Whether the node transmits in this slot, given that it has a packet queued.
-    pub fn transmits(&self, node: usize, time: u64, rng: &mut ChaCha8Rng) -> bool {
+    /// Whether the node transmits in this slot, given that it has a packet
+    /// queued. `rng` is the seed's MAC stream ([`CounterRng::mac`]): an ALOHA
+    /// decision is a pure function of `(seed, node, slot)`, so any backend that
+    /// evaluates it — in any order, for any subset of nodes — agrees.
+    pub fn transmits(&self, node: usize, time: u64, rng: &CounterRng) -> bool {
         match self {
             CompiledMac::Deterministic { slots, period } => {
                 time % *period as u64 == slots[node] as u64
             }
-            CompiledMac::Aloha { p } => rng.gen::<f64>() < *p,
+            CompiledMac::Aloha { p } => rng.bernoulli(*p, node as u64, time),
         }
     }
 
@@ -161,7 +162,6 @@ mod tests {
     use super::*;
     use latsched_core::theorem1;
     use latsched_tiling::{find_tiling, shapes};
-    use rand::SeedableRng;
 
     fn positions(side: i64) -> Vec<Point> {
         latsched_lattice::BoxRegion::square_window(2, side)
@@ -174,10 +174,10 @@ mod tests {
         let pos = positions(3);
         let mac = MacPolicy::Tdma.compile(&pos).unwrap();
         assert_eq!(mac.period(), Some(9));
-        let mut rng = ChaCha8Rng::seed_from_u64(0);
+        let rng = CounterRng::mac(0);
         // In slot 4 only node 4 transmits.
         for node in 0..9 {
-            assert_eq!(mac.transmits(node, 4, &mut rng), node == 4);
+            assert_eq!(mac.transmits(node, 4, &rng), node == 4);
         }
     }
 
@@ -190,11 +190,11 @@ mod tests {
             .compile(&pos)
             .unwrap();
         assert_eq!(mac.period(), Some(9));
-        let mut rng = ChaCha8Rng::seed_from_u64(0);
+        let rng = CounterRng::mac(0);
         for (i, p) in pos.iter().enumerate() {
             let slot = schedule.slot_of(p).unwrap() as u64;
-            assert!(mac.transmits(i, slot, &mut rng));
-            assert!(!mac.transmits(i, slot + 1, &mut rng));
+            assert!(mac.transmits(i, slot, &rng));
+            assert!(!mac.transmits(i, slot + 1, &rng));
         }
     }
 
@@ -222,16 +222,19 @@ mod tests {
         assert!(MacPolicy::SlottedAloha { p: 1.5 }.compile(&pos).is_err());
         let mac = MacPolicy::SlottedAloha { p: 0.5 }.compile(&pos).unwrap();
         assert_eq!(mac.period(), None);
-        let mut rng = ChaCha8Rng::seed_from_u64(1);
-        let decisions: Vec<bool> = (0..100).map(|t| mac.transmits(0, t, &mut rng)).collect();
+        let rng = CounterRng::mac(1);
+        let decisions: Vec<bool> = (0..100).map(|t| mac.transmits(0, t, &rng)).collect();
         let yes = decisions.iter().filter(|&&d| d).count();
         assert!(
             yes > 20 && yes < 80,
             "p=0.5 should transmit roughly half the time"
         );
+        // Decisions are pure functions of (node, slot): re-evaluating replays.
+        let replay: Vec<bool> = (0..100).map(|t| mac.transmits(0, t, &rng)).collect();
+        assert_eq!(decisions, replay);
         // Degenerate probabilities are deterministic.
         let never = MacPolicy::SlottedAloha { p: 0.0 }.compile(&pos).unwrap();
-        assert!(!never.transmits(0, 0, &mut rng));
+        assert!(!never.transmits(0, 0, &rng));
     }
 
     #[test]

@@ -16,15 +16,17 @@
 //! [`SimBackend`] trait:
 //!
 //! * [`ReferenceKernel`] — the slot-by-slot loop below, written for clarity and
-//!   kept as the parity oracle. It handles every configuration, including the
-//!   stochastic ones (Bernoulli traffic, slotted ALOHA).
+//!   kept as the parity oracle for every configuration.
 //! * [`crate::FrameKernel`] — the frame-compiled bitset kernel of
-//!   `latsched_engine::run_frames`, an order of magnitude faster for the
-//!   deterministic workloads that dominate the paper's evaluation.
+//!   `latsched_engine::run_frames`, an order of magnitude faster. Stochastic
+//!   draws (Bernoulli traffic, slotted-ALOHA decisions) come from a
+//!   counter-based RNG — a pure function of `(seed, node, slot)` — so the fast
+//!   kernel replays even stochastic configurations bit-identically instead of
+//!   falling back to this loop, and compiled frame plans are memoized across
+//!   runs in a [`latsched_engine::PlanCache`].
 //!
-//! [`run_simulation`] dispatches to the frame kernel whenever the configuration
-//! is deterministic and to the reference kernel otherwise; the two produce
-//! identical [`SimMetrics`] wherever both apply (property-tested in
+//! [`run_simulation`] dispatches to the frame kernel; the two backends produce
+//! identical [`SimMetrics`] on every configuration (property-tested in
 //! `tests/sim_parity.rs`).
 
 use crate::energy::{EnergyAccount, EnergyModel};
@@ -37,9 +39,7 @@ use crate::traffic::TrafficModel;
 use latsched_coloring::InterferenceGraph;
 use latsched_core::{Deployment, FiniteDeployment};
 use latsched_engine::InterferenceCsr;
-use latsched_lattice::{BoxRegion, Point};
-use rand::SeedableRng;
-use rand_chacha::ChaCha8Rng;
+use latsched_lattice::{BoxRegion, CounterRng, Point};
 use serde::{Deserialize, Serialize};
 use std::collections::VecDeque;
 use std::fmt;
@@ -207,8 +207,8 @@ pub trait SimBackend {
 }
 
 /// Runs one simulation of the given network under the given configuration,
-/// dispatching to the fastest backend that supports it: the frame-compiled
-/// kernel for deterministic configurations, the reference kernel otherwise.
+/// dispatching to the fastest backend that supports it (currently the
+/// frame-compiled kernel for every configuration).
 ///
 /// # Errors
 ///
@@ -216,7 +216,7 @@ pub trait SimBackend {
 /// assignments) and lattice errors.
 pub fn run_simulation(network: &Network, config: &SimConfig) -> Result<SimMetrics> {
     if FrameKernel::supports(config) {
-        run_simulation_with(&FrameKernel, network, config)
+        run_simulation_with(&FrameKernel::default(), network, config)
     } else {
         run_simulation_with(&ReferenceKernel, network, config)
     }
@@ -249,7 +249,12 @@ impl SimBackend for ReferenceKernel {
         config.traffic.validate()?;
         let mac: CompiledMac = config.mac.compile(network.positions())?;
         let n = network.len();
-        let mut rng = ChaCha8Rng::seed_from_u64(config.seed);
+        // Counter-based streams: every stochastic draw is a pure function of
+        // (seed, stream, node, slot), so faster backends that evaluate draws in
+        // a different order (or skip nodes entirely) replay this kernel's runs
+        // bit for bit.
+        let traffic_rng = CounterRng::traffic(config.seed);
+        let mac_rng = CounterRng::mac(config.seed);
 
         let mut metrics = SimMetrics {
             nodes: n,
@@ -269,7 +274,7 @@ impl SimBackend for ReferenceKernel {
         for t in 0..config.slots {
             // 1. Traffic generation.
             for (id, queue) in queues.iter_mut().enumerate() {
-                if config.traffic.generates(t, &mut rng) {
+                if config.traffic.generates(id, t, &traffic_rng) {
                     queue.push_back(Packet {
                         sequence: next_sequence[id],
                         generated_at: t,
@@ -282,7 +287,7 @@ impl SimBackend for ReferenceKernel {
 
             // 2. MAC decisions.
             for (id, flag) in transmitting.iter_mut().enumerate() {
-                *flag = !queues[id].is_empty() && mac.transmits(id, t, &mut rng);
+                *flag = !queues[id].is_empty() && mac.transmits(id, t, &mac_rng);
             }
 
             // 3. Interference resolution.
@@ -527,7 +532,7 @@ mod tests {
         };
         assert_eq!(ReferenceKernel.name(), "reference");
         let reference = run_simulation_with(&ReferenceKernel, &net, &config).unwrap();
-        let frame = run_simulation_with(&FrameKernel, &net, &config).unwrap();
+        let frame = run_simulation_with(&FrameKernel::default(), &net, &config).unwrap();
         assert_eq!(reference, frame);
         assert_eq!(run_simulation(&net, &config).unwrap(), frame);
     }

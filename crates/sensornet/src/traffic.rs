@@ -1,12 +1,19 @@
 //! Traffic generation models.
 //!
-//! Sensors produce readings that must be broadcast to their neighbours. Two standard
-//! models are provided: strictly periodic sensing and Bernoulli (memoryless) arrivals,
-//! both parameterized by the offered load in packets per node per slot.
+//! Sensors produce readings that must be broadcast to their neighbours. Four
+//! models are provided: strictly periodic sensing (phase-aligned or staggered
+//! per node), Bernoulli (memoryless) arrivals, and no traffic, all
+//! parameterized by the offered load in packets per node per slot.
+//!
+//! Stochastic draws come from a counter-based RNG
+//! ([`CounterRng`](latsched_lattice::CounterRng)): whether node `v` generates a
+//! packet at slot `t` is a pure function of `(seed, v, t)`, independent of the
+//! order draws are evaluated in. That is what lets the frame-compiled kernel
+//! replay Bernoulli traffic bit-identically to the reference simulator (see
+//! `tests/sim_parity.rs`) instead of falling back to a slow path.
 
 use crate::error::{Result, SimError};
-use rand::Rng;
-use rand_chacha::ChaCha8Rng;
+use latsched_lattice::CounterRng;
 use serde::{Deserialize, Serialize};
 use std::fmt;
 
@@ -16,6 +23,13 @@ pub enum TrafficModel {
     /// Every node generates one packet every `period` slots (all nodes phase-aligned
     /// at slot 0).
     Periodic {
+        /// Slots between consecutive packets of one node.
+        period: u64,
+    },
+    /// Every node generates one packet every `period` slots, staggered per
+    /// node: node `v` generates at slots `t ≡ v (mod period)`, spreading the
+    /// offered load evenly over each period instead of bursting at slot 0.
+    Staggered {
         /// Slots between consecutive packets of one node.
         period: u64,
     },
@@ -37,9 +51,13 @@ impl TrafficModel {
     /// `[0, 1]` or a periodic period of zero.
     pub fn validate(&self) -> Result<()> {
         match self {
-            TrafficModel::Periodic { period } if *period == 0 => Err(SimError::InvalidProbability(
-                "periodic traffic period".into(),
-            )),
+            TrafficModel::Periodic { period } | TrafficModel::Staggered { period }
+                if *period == 0 =>
+            {
+                Err(SimError::InvalidProbability(
+                    "periodic traffic period".into(),
+                ))
+            }
             TrafficModel::Bernoulli { p } if !(0.0..=1.0).contains(p) => {
                 Err(SimError::InvalidProbability("bernoulli traffic".into()))
             }
@@ -47,11 +65,14 @@ impl TrafficModel {
         }
     }
 
-    /// Whether the given node generates a packet at the given slot.
-    pub fn generates(&self, time: u64, rng: &mut ChaCha8Rng) -> bool {
+    /// Whether the given node generates a packet at the given slot. `rng` is
+    /// the seed's traffic stream ([`CounterRng::traffic`]); deterministic
+    /// models ignore it.
+    pub fn generates(&self, node: usize, time: u64, rng: &CounterRng) -> bool {
         match self {
             TrafficModel::Periodic { period } => time.is_multiple_of(*period),
-            TrafficModel::Bernoulli { p } => rng.gen::<f64>() < *p,
+            TrafficModel::Staggered { period } => time % period == node as u64 % period,
+            TrafficModel::Bernoulli { p } => rng.bernoulli(*p, node as u64, time),
             TrafficModel::None => false,
         }
     }
@@ -59,7 +80,9 @@ impl TrafficModel {
     /// The offered load in packets per node per slot.
     pub fn load(&self) -> f64 {
         match self {
-            TrafficModel::Periodic { period } => 1.0 / *period as f64,
+            TrafficModel::Periodic { period } | TrafficModel::Staggered { period } => {
+                1.0 / *period as f64
+            }
             TrafficModel::Bernoulli { p } => *p,
             TrafficModel::None => 0.0,
         }
@@ -70,6 +93,7 @@ impl fmt::Display for TrafficModel {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             TrafficModel::Periodic { period } => write!(f, "periodic(every {period} slots)"),
+            TrafficModel::Staggered { period } => write!(f, "staggered(every {period} slots)"),
             TrafficModel::Bernoulli { p } => write!(f, "bernoulli(p={p:.3})"),
             TrafficModel::None => write!(f, "no traffic"),
         }
@@ -79,41 +103,70 @@ impl fmt::Display for TrafficModel {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use rand::SeedableRng;
 
     #[test]
     fn periodic_generates_on_multiples() {
         let model = TrafficModel::Periodic { period: 4 };
-        let mut rng = ChaCha8Rng::seed_from_u64(0);
-        assert!(model.generates(0, &mut rng));
-        assert!(!model.generates(1, &mut rng));
-        assert!(model.generates(8, &mut rng));
+        let rng = CounterRng::traffic(0);
+        assert!(model.generates(0, 0, &rng));
+        assert!(!model.generates(0, 1, &rng));
+        assert!(model.generates(3, 8, &rng));
         assert!((model.load() - 0.25).abs() < 1e-12);
+    }
+
+    #[test]
+    fn staggered_generates_on_the_node_phase() {
+        let model = TrafficModel::Staggered { period: 4 };
+        let rng = CounterRng::traffic(0);
+        // Node 2 generates at t ≡ 2 (mod 4); node 6 shares that phase.
+        assert!(model.generates(2, 2, &rng));
+        assert!(model.generates(2, 6, &rng));
+        assert!(model.generates(6, 2, &rng));
+        assert!(!model.generates(2, 0, &rng));
+        assert!(!model.generates(0, 2, &rng));
+        assert!((model.load() - 0.25).abs() < 1e-12);
+        // Exactly one phase per node per period ⇒ same aggregate load as the
+        // aligned model, spread over the period.
+        let per_slot: Vec<usize> = (0..4u64)
+            .map(|t| (0..8).filter(|&v| model.generates(v, t, &rng)).count())
+            .collect();
+        assert_eq!(per_slot, vec![2, 2, 2, 2]);
     }
 
     #[test]
     fn bernoulli_rate_is_close_to_p() {
         let model = TrafficModel::Bernoulli { p: 0.3 };
-        let mut rng = ChaCha8Rng::seed_from_u64(7);
-        let count = (0..10_000)
-            .filter(|&t| model.generates(t, &mut rng))
-            .count();
+        let rng = CounterRng::traffic(7);
+        let count = (0..10_000).filter(|&t| model.generates(5, t, &rng)).count();
         let rate = count as f64 / 10_000.0;
         assert!((rate - 0.3).abs() < 0.03);
         assert!((model.load() - 0.3).abs() < 1e-12);
     }
 
     #[test]
+    fn bernoulli_draws_are_order_independent() {
+        // The counter RNG makes generation a pure function of (node, slot):
+        // evaluating in any order, or repeatedly, gives the same answers.
+        let model = TrafficModel::Bernoulli { p: 0.5 };
+        let rng = CounterRng::traffic(42);
+        let forward: Vec<bool> = (0..64).map(|t| model.generates(3, t, &rng)).collect();
+        let backward: Vec<bool> = (0..64).rev().map(|t| model.generates(3, t, &rng)).collect();
+        assert_eq!(forward, backward.into_iter().rev().collect::<Vec<_>>());
+    }
+
+    #[test]
     fn none_never_generates() {
         let model = TrafficModel::None;
-        let mut rng = ChaCha8Rng::seed_from_u64(0);
-        assert!(!(0..100).any(|t| model.generates(t, &mut rng)));
+        let rng = CounterRng::traffic(0);
+        assert!(!(0..100).any(|t| model.generates(0, t, &rng)));
         assert_eq!(model.load(), 0.0);
     }
 
     #[test]
     fn validation() {
         assert!(TrafficModel::Periodic { period: 0 }.validate().is_err());
+        assert!(TrafficModel::Staggered { period: 0 }.validate().is_err());
+        assert!(TrafficModel::Staggered { period: 3 }.validate().is_ok());
         assert!(TrafficModel::Bernoulli { p: -0.1 }.validate().is_err());
         assert!(TrafficModel::Bernoulli { p: 0.5 }.validate().is_ok());
         assert!(TrafficModel::None.validate().is_ok());
@@ -124,6 +177,10 @@ mod tests {
         assert_eq!(
             TrafficModel::Periodic { period: 9 }.to_string(),
             "periodic(every 9 slots)"
+        );
+        assert_eq!(
+            TrafficModel::Staggered { period: 5 }.to_string(),
+            "staggered(every 5 slots)"
         );
         assert!(TrafficModel::Bernoulli { p: 0.1 }
             .to_string()

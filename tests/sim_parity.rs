@@ -1,9 +1,14 @@
 //! Exact parity of the frame-compiled simulation kernel against the reference
-//! slot-by-slot simulator: on every deterministic configuration both backends
-//! must report **identical** [`SimMetrics`] — every counter and every energy
-//! figure, bit for bit. The suite sweeps randomized sublattice schedules,
-//! window geometries, neighbourhood shapes, traffic periods and retry budgets,
-//! and additionally cross-checks the dimension-specialized coset reduction
+//! slot-by-slot simulator: on every configuration — deterministic *and*
+//! stochastic — both backends must report **identical** [`SimMetrics`] — every
+//! counter and every energy figure, bit for bit. Stochastic parity is what the
+//! counter-based RNG buys: Bernoulli traffic and slotted-ALOHA decisions are
+//! pure functions of `(seed, node, slot)`, so the frame kernel replays them
+//! without reproducing the reference kernel's draw order. The suite sweeps
+//! randomized sublattice schedules, window geometries, neighbourhood shapes,
+//! traffic models (periodic, staggered, Bernoulli), MAC families (tiling,
+//! TDMA, colouring, slotted ALOHA), seeds and retry budgets, and additionally
+//! cross-checks the dimension-specialized coset reduction
 //! (`reduce_into_fixed` / `coset_rank_fixed`) against the generic lattice path.
 
 use latsched::prelude::*;
@@ -11,7 +16,7 @@ use latsched::sensornet::SimMetrics;
 use proptest::prelude::*;
 
 fn run_both(network: &Network, config: &SimConfig) -> (SimMetrics, SimMetrics) {
-    let frame = run_simulation_with(&FrameKernel, network, config).unwrap();
+    let frame = run_simulation_with(&FrameKernel::default(), network, config).unwrap();
     let reference = run_simulation_with(&ReferenceKernel, network, config).unwrap();
     (frame, reference)
 }
@@ -45,6 +50,76 @@ fn frame_kernel_matches_reference_on_named_shapes_and_macs() {
             };
             let (frame, reference) = run_both(&network, &config);
             assert_eq!(frame, reference, "shape {shape} mac {}", config.mac);
+        }
+    }
+}
+
+#[test]
+fn frame_kernel_matches_reference_on_bernoulli_traffic() {
+    // The headline of the counter-based RNG: stochastic traffic replays
+    // bit-identically on the frame kernel for every MAC family.
+    for shape in shape_pool() {
+        let network = grid_network(6, &shape).unwrap();
+        let macs = vec![
+            tiling_mac(&shape).unwrap(),
+            MacPolicy::Tdma,
+            coloring_mac(&network).unwrap(),
+            MacPolicy::SlottedAloha { p: 0.3 },
+        ];
+        for mac in macs {
+            let config = SimConfig {
+                mac,
+                traffic: TrafficModel::Bernoulli { p: 0.12 },
+                slots: 400,
+                max_retries: 2,
+                seed: 99,
+                ..SimConfig::default()
+            };
+            let (frame, reference) = run_both(&network, &config);
+            assert_eq!(frame, reference, "shape {shape} mac {}", config.mac);
+            assert!(frame.packets_generated > 0);
+        }
+    }
+}
+
+#[test]
+fn frame_kernel_matches_reference_on_slotted_aloha() {
+    // Saturated ALOHA exercises the state-dependent draw pattern that made
+    // sequential RNGs impossible to replay: only backlogged nodes draw.
+    let network = grid_network(7, &shapes::moore()).unwrap();
+    for (p_mac, traffic) in [
+        (0.5, TrafficModel::Bernoulli { p: 0.25 }),
+        (0.15, TrafficModel::Periodic { period: 4 }),
+        (1.0, TrafficModel::Bernoulli { p: 0.05 }),
+        (0.0, TrafficModel::Bernoulli { p: 0.5 }),
+    ] {
+        let config = SimConfig {
+            mac: MacPolicy::SlottedAloha { p: p_mac },
+            traffic,
+            slots: 300,
+            max_retries: 3,
+            seed: 7,
+            ..SimConfig::default()
+        };
+        let (frame, reference) = run_both(&network, &config);
+        assert_eq!(frame, reference, "aloha p={p_mac} traffic {traffic}");
+    }
+}
+
+#[test]
+fn frame_kernel_matches_reference_on_staggered_traffic() {
+    for shape in shape_pool() {
+        let network = grid_network(5, &shape).unwrap();
+        for period in [1, 3, 16, 100] {
+            let config = SimConfig {
+                mac: tiling_mac(&shape).unwrap(),
+                traffic: TrafficModel::Staggered { period },
+                slots: 333,
+                max_retries: 2,
+                ..SimConfig::default()
+            };
+            let (frame, reference) = run_both(&network, &config);
+            assert_eq!(frame, reference, "shape {shape} staggered period {period}");
         }
     }
 }
@@ -181,6 +256,67 @@ proptest! {
         let config = SimConfig {
             mac,
             traffic: TrafficModel::Periodic { period: traffic_period },
+            slots,
+            max_retries,
+            ..SimConfig::default()
+        };
+        let (frame, reference) = run_both(&network, &config);
+        prop_assert_eq!(frame, reference);
+    }
+
+    /// Randomized stochastic workloads: Bernoulli traffic under deterministic
+    /// and random-access MACs, across seeds and retry budgets, must replay
+    /// bit-identically on the frame kernel thanks to the counter-based RNG.
+    #[test]
+    fn frame_kernel_matches_reference_on_random_stochastic_workloads(
+        shape_idx in 0usize..4,
+        side in 3i64..7,
+        p_traffic in 0.01f64..0.5,
+        p_aloha in 0.0f64..1.0,
+        mac_choice in 0usize..2,
+        slots in 1u64..300,
+        max_retries in 0u32..5,
+        seed in 0u64..1000,
+    ) {
+        let shape = shape_pool()[shape_idx].clone();
+        let network = grid_network(side, &shape).unwrap();
+        let mac = if mac_choice == 0 {
+            MacPolicy::SlottedAloha { p: p_aloha }
+        } else {
+            tiling_mac(&shape).unwrap()
+        };
+        let config = SimConfig {
+            mac,
+            traffic: TrafficModel::Bernoulli { p: p_traffic },
+            slots,
+            max_retries,
+            seed,
+            ..SimConfig::default()
+        };
+        let (frame, reference) = run_both(&network, &config);
+        prop_assert_eq!(frame, reference);
+    }
+
+    /// Randomized staggered-periodic workloads agree across both backends.
+    #[test]
+    fn frame_kernel_matches_reference_on_random_staggered_workloads(
+        shape_idx in 0usize..4,
+        side in 3i64..7,
+        traffic_period in 1u64..48,
+        slots in 1u64..300,
+        max_retries in 0u32..4,
+        mac_idx in 0usize..3,
+    ) {
+        let shape = shape_pool()[shape_idx].clone();
+        let network = grid_network(side, &shape).unwrap();
+        let mac = match mac_idx {
+            0 => tiling_mac(&shape).unwrap(),
+            1 => MacPolicy::Tdma,
+            _ => coloring_mac(&network).unwrap(),
+        };
+        let config = SimConfig {
+            mac,
+            traffic: TrafficModel::Staggered { period: traffic_period },
             slots,
             max_retries,
             ..SimConfig::default()

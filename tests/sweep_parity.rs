@@ -1,0 +1,128 @@
+//! Cross-stack parity of the batched sweep engine: every run of
+//! `latsched_engine::run_sweep` — which builds its own window adjacency,
+//! compiles plans through the caches and replays compiled traffic traces —
+//! must report exactly the counters of a reference-simulator run of the same
+//! configuration on a `latsched_sensornet::Network`. This pins down the whole
+//! pipeline at once: node ordering, adjacency construction, counter-RNG
+//! streams, trace compilation and kernel semantics.
+
+use latsched::prelude::*;
+use latsched::sensornet::{EnergyAccount, SimMetrics};
+use latsched_engine::{run_sweep, KernelCounts, SweepCaches, SweepMac, SweepSpec, SweepTraffic};
+
+/// Converts one sweep run's kernel counters into the `SimMetrics` the
+/// reference simulator reports, applying the same energy model.
+fn metrics_of(counts: &KernelCounts, nodes: usize, slots: u64, config: &SimConfig) -> SimMetrics {
+    SimMetrics {
+        slots_simulated: slots,
+        nodes,
+        packets_generated: counts.packets_generated,
+        packets_delivered: counts.packets_delivered,
+        packets_dropped: counts.packets_dropped,
+        packets_pending: counts.packets_pending,
+        transmissions: counts.transmissions,
+        receptions: counts.receptions,
+        collisions: counts.collisions,
+        total_latency: counts.total_latency,
+        energy: EnergyAccount::from_slot_counts(
+            &config.energy,
+            counts.tx_slots,
+            counts.rx_slots,
+            counts.idle_slots,
+        ),
+    }
+}
+
+fn check_sweep_against_reference(spec: &SweepSpec, mac: &MacPolicy) {
+    let report = run_sweep(spec, &SweepCaches::new()).unwrap();
+    assert_eq!(report.runs, spec.num_runs());
+
+    // The specs below all use the Moore ball shape.
+    let shape = shapes::moore();
+    // Reconstruct the grid in the sweep's documented expansion order:
+    // windows × traffic × retries × seeds.
+    let mut idx = 0;
+    for &window in &spec.windows {
+        let network = grid_network(window, &shape).unwrap();
+        for ti in 0..spec.traffic.len() {
+            let traffic = match &spec.traffic {
+                SweepTraffic::Bernoulli(loads) => TrafficModel::Bernoulli { p: loads[ti] },
+                SweepTraffic::Periodic(periods) => TrafficModel::Periodic {
+                    period: periods[ti],
+                },
+                SweepTraffic::Staggered(periods) => TrafficModel::Staggered {
+                    period: periods[ti],
+                },
+            };
+            for &retries in &spec.retries {
+                for &seed in &spec.seeds {
+                    let run = &report.per_run[idx];
+                    idx += 1;
+                    assert_eq!(run.window, window);
+                    assert_eq!(run.seed, seed);
+                    assert_eq!(run.retries, retries);
+                    assert_eq!(run.traffic, traffic.to_string());
+                    let config = SimConfig {
+                        mac: mac.clone(),
+                        traffic,
+                        slots: spec.slots,
+                        max_retries: retries,
+                        seed,
+                        ..SimConfig::default()
+                    };
+                    let reference =
+                        run_simulation_with(&ReferenceKernel, &network, &config).unwrap();
+                    let sweep_metrics = metrics_of(&run.counts, run.nodes, spec.slots, &config);
+                    assert_eq!(
+                        sweep_metrics, reference,
+                        "window {window} seed {seed} retries {retries} traffic {}",
+                        run.traffic
+                    );
+                }
+            }
+        }
+    }
+    assert_eq!(idx, report.per_run.len());
+}
+
+#[test]
+fn sweep_runs_match_reference_simulator_on_bernoulli_tiling_grids() {
+    let spec = SweepSpec {
+        windows: vec![6, 9],
+        slots: 200,
+        seeds: vec![1, 42],
+        retries: vec![0, 3],
+        traffic: SweepTraffic::Bernoulli(vec![0.05, 0.2]),
+        mac: SweepMac::Tiling,
+        ..latsched_engine::builtin_sweep()
+    };
+    check_sweep_against_reference(&spec, &tiling_mac(&shapes::moore()).unwrap());
+}
+
+#[test]
+fn sweep_runs_match_reference_simulator_on_aloha_grids() {
+    let spec = SweepSpec {
+        windows: vec![7],
+        slots: 150,
+        seeds: vec![3, 5],
+        retries: vec![1],
+        traffic: SweepTraffic::Bernoulli(vec![0.15]),
+        mac: SweepMac::Aloha { p: 0.35 },
+        ..latsched_engine::builtin_sweep()
+    };
+    check_sweep_against_reference(&spec, &MacPolicy::SlottedAloha { p: 0.35 });
+}
+
+#[test]
+fn sweep_runs_match_reference_simulator_on_staggered_grids() {
+    let spec = SweepSpec {
+        windows: vec![8],
+        slots: 180,
+        seeds: vec![11],
+        retries: vec![0, 2],
+        traffic: SweepTraffic::Staggered(vec![4, 24]),
+        mac: SweepMac::Tiling,
+        ..latsched_engine::builtin_sweep()
+    };
+    check_sweep_against_reference(&spec, &tiling_mac(&shapes::moore()).unwrap());
+}
