@@ -1,9 +1,13 @@
 //! Micro-benchmarks of the batched sweep engine against sequential
-//! reference-simulator runs on the shared 64-run stochastic workload, plus an
-//! explicit ≥5× speedup check mirroring this PR's acceptance criterion.
+//! reference-simulator runs on the shared 64-run stochastic workload, plus two
+//! explicit asserted checks: the ≥5× cold-sweep speedup over sequential
+//! reference runs, and the ≥1.5× warm-over-cold speedup of the tiered
+//! artifact pipeline (schedule/plan/trace caches all hitting; ~1.9× measured
+//! on one core, more with cores).
 
 use criterion::{black_box, criterion_group, criterion_main, Criterion};
 use latsched_bench::sweep::{measure_sweep, sweep_spec};
+use latsched_bench::tracecache::measure_tracecache;
 use latsched_engine::{run_sweep, SweepCaches};
 
 fn bench_sweep_16(c: &mut Criterion) {
@@ -54,5 +58,47 @@ fn bench_sweep_speedup_check(c: &mut Criterion) {
     c.bench_function("sweep_speedup_check/done", |b| b.iter(|| baseline.speedup));
 }
 
-criterion_group!(benches, bench_sweep_16, bench_sweep_speedup_check);
+/// The acceptance check of the artifact pipeline: on the 64-run acceptance
+/// grid, a warm sweep (shared `SweepCaches`, every tier hitting) must run
+/// ≥ 1.5× faster than a cold one, with bit-identical per-run counters and
+/// zero cache misses on the warm side. (On a single core the measured ratio
+/// is ~1.9× — the run phase is irreducible; multi-core machines measure
+/// higher because the cold setup parallelizes worse than the grid.) Measured
+/// through the same `measure_tracecache` the harness's `--bench-tracecache`
+/// baseline uses. Skipped in `--test` mode, where nothing is measured.
+fn bench_tracecache_speedup_check(c: &mut Criterion) {
+    if std::env::args().any(|a| a == "--test") {
+        return;
+    }
+    let baseline = measure_tracecache(64, 512, 3).unwrap();
+    println!(
+        "tracecache_speedup_check: {} — cold {:.2} ms (setup {:.2} ms), warm {:.2} ms \
+         (setup {:.2} ms), speedup {:.1}x",
+        baseline.workload,
+        baseline.cold_ms,
+        baseline.cold_setup_ms,
+        baseline.warm_ms,
+        baseline.warm_setup_ms,
+        baseline.speedup
+    );
+    assert!(
+        baseline.parity,
+        "warm sweeps must replay cold runs exactly with zero tier misses"
+    );
+    assert!(
+        baseline.speedup >= 1.5,
+        "warm sweeps must be ≥1.5x faster than cold sweeps (got {:.2}x)",
+        baseline.speedup
+    );
+    c.bench_function("tracecache_speedup_check/done", |b| {
+        b.iter(|| baseline.speedup)
+    });
+}
+
+criterion_group!(
+    benches,
+    bench_sweep_16,
+    bench_sweep_speedup_check,
+    bench_tracecache_speedup_check
+);
 criterion_main!(benches);

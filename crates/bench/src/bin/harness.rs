@@ -11,9 +11,13 @@
 //!                              # simulator and write BENCH_simkernel.json
 //! harness --bench-sweep        # measure the batched sweep engine vs
 //!                              # sequential reference runs, write BENCH_sweep.json
+//! harness --bench-tracecache   # measure warm (cached) vs cold sweeps through
+//!                              # the artifact pipeline, write BENCH_tracecache.json
 //! ```
 
-use latsched_bench::{measure_simkernel, measure_sweep, run_all, run_by_id, Table};
+use latsched_bench::{
+    measure_simkernel, measure_sweep, measure_tracecache, run_all, run_by_id, Table,
+};
 use std::process::ExitCode;
 
 /// Acceptance workload of the frame kernel: a 256×256 window (65 536 sensors),
@@ -64,6 +68,7 @@ fn emit_sweep_baseline(path: &str) -> ExitCode {
         baseline.speedup,
         baseline.parity
     );
+    println!("sweep caches: {}", baseline.caches);
     let json = serde_json::to_string_pretty(&baseline.to_json_value());
     if let Err(err) = std::fs::write(path, json + "\n") {
         eprintln!("failed to write {path}: {err}");
@@ -77,11 +82,48 @@ fn emit_sweep_baseline(path: &str) -> ExitCode {
     ExitCode::SUCCESS
 }
 
+/// Acceptance workload of the artifact pipeline: the 64-run acceptance sweep
+/// timed cold (fresh caches) and warm (shared caches), median of 3 samples per
+/// side.
+fn emit_tracecache_baseline(path: &str) -> ExitCode {
+    let baseline = match measure_tracecache(64, 512, 3) {
+        Ok(baseline) => baseline,
+        Err(err) => {
+            eprintln!("tracecache baseline failed: {err}");
+            return ExitCode::FAILURE;
+        }
+    };
+    println!(
+        "tracecache baseline: {} — cold {:.2} ms (setup {:.2} ms), warm {:.2} ms \
+         (setup {:.2} ms), speedup {:.1}x, parity {}",
+        baseline.workload,
+        baseline.cold_ms,
+        baseline.cold_setup_ms,
+        baseline.warm_ms,
+        baseline.warm_setup_ms,
+        baseline.speedup,
+        baseline.parity
+    );
+    println!("warm caches: {}", baseline.warm_caches);
+    let json = serde_json::to_string_pretty(&baseline.to_json_value());
+    if let Err(err) = std::fs::write(path, json + "\n") {
+        eprintln!("failed to write {path}: {err}");
+        return ExitCode::FAILURE;
+    }
+    println!("wrote tracecache baseline to {path}");
+    if !baseline.parity {
+        eprintln!("tracecache parity check failed");
+        return ExitCode::FAILURE;
+    }
+    ExitCode::SUCCESS
+}
+
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let mut json_path: Option<String> = None;
     let mut simkernel_path: Option<String> = None;
     let mut sweep_path: Option<String> = None;
+    let mut tracecache_path: Option<String> = None;
     let mut ids: Vec<String> = Vec::new();
     let mut iter = args.into_iter().peekable();
     while let Some(arg) = iter.next() {
@@ -107,10 +149,17 @@ fn main() -> ExitCode {
                     _ => "BENCH_sweep.json".to_string(),
                 });
             }
+            "--bench-tracecache" => {
+                // Optional path operand; defaults to BENCH_tracecache.json.
+                tracecache_path = Some(match iter.peek() {
+                    Some(next) if !next.starts_with('-') => iter.next().unwrap(),
+                    _ => "BENCH_tracecache.json".to_string(),
+                });
+            }
             "--help" | "-h" => {
                 println!(
                     "usage: harness [--json FILE] [--bench-simkernel [FILE]] \
-                     [--bench-sweep [FILE]] [E1..E8 | all]..."
+                     [--bench-sweep [FILE]] [--bench-tracecache [FILE]] [E1..E8 | all]..."
                 );
                 return ExitCode::SUCCESS;
             }
@@ -118,14 +167,18 @@ fn main() -> ExitCode {
         }
     }
 
-    if simkernel_path.is_some() || sweep_path.is_some() {
+    let baseline_modes = [&simkernel_path, &sweep_path, &tracecache_path]
+        .iter()
+        .filter(|p| p.is_some())
+        .count();
+    if baseline_modes > 0 {
         // The baseline runs are their own mode; refuse silently dropped work.
         if !ids.is_empty() || json_path.is_some() {
             eprintln!("baseline modes cannot be combined with experiment ids or --json");
             return ExitCode::FAILURE;
         }
-        if simkernel_path.is_some() && sweep_path.is_some() {
-            eprintln!("run --bench-simkernel and --bench-sweep separately");
+        if baseline_modes > 1 {
+            eprintln!("run one baseline mode at a time");
             return ExitCode::FAILURE;
         }
         if let Some(path) = simkernel_path {
@@ -133,6 +186,9 @@ fn main() -> ExitCode {
         }
         if let Some(path) = sweep_path {
             return emit_sweep_baseline(&path);
+        }
+        if let Some(path) = tracecache_path {
+            return emit_tracecache_baseline(&path);
         }
     }
 

@@ -24,8 +24,10 @@ pub mod experiments;
 pub mod report;
 pub mod simbench;
 pub mod sweep;
+pub mod tracecache;
 
 pub use experiments::{run_all, run_by_id, ExpResult};
 pub use report::Table;
 pub use simbench::{measure_simkernel, SimkernelBaseline};
 pub use sweep::{measure_sweep, SweepBaseline};
+pub use tracecache::{measure_tracecache, TraceCacheBaseline};

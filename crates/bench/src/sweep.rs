@@ -8,7 +8,8 @@
 //! with bit-exact parity checked between the two.
 
 use latsched_engine::{
-    run_sweep, KernelCounts, SweepCaches, SweepMac, SweepReport, SweepSpec, SweepTraffic,
+    run_sweep, KernelCounts, SweepCacheStats, SweepCaches, SweepMac, SweepReport, SweepSpec,
+    SweepTraffic,
 };
 use latsched_sensornet::{
     run_simulation_with, tiling_mac, EnergyAccount, MacPolicy, Network, ReferenceKernel, SimConfig,
@@ -54,6 +55,8 @@ pub struct SweepBaseline {
     pub speedup: f64,
     /// Whether every sweep run's counters matched its reference run exactly.
     pub parity: bool,
+    /// Per-tier cache counters of the last measured (cold) sweep.
+    pub caches: SweepCacheStats,
 }
 
 impl SweepBaseline {
@@ -69,11 +72,12 @@ impl SweepBaseline {
         map.insert("sweep_ms".into(), Value::from(self.sweep_ms));
         map.insert("speedup".into(), Value::from(self.speedup));
         map.insert("parity".into(), Value::Bool(self.parity));
+        map.insert("caches".into(), self.caches.to_json_value());
         Value::Object(map)
     }
 }
 
-fn median_ms(samples: usize, mut run: impl FnMut()) -> f64 {
+pub(crate) fn median_ms(samples: usize, mut run: impl FnMut()) -> f64 {
     let mut times: Vec<f64> = (0..samples.max(1))
         .map(|_| {
             let start = Instant::now();
@@ -207,6 +211,7 @@ pub fn measure_sweep(
     });
     let report = last_report.expect("at least one sample ran");
     let parity = sweep_matches(&report, &references, &configs[0]);
+    let caches = report.caches;
 
     Ok(SweepBaseline {
         workload: format!(
@@ -221,6 +226,7 @@ pub fn measure_sweep(
         sweep_ms,
         speedup: reference_ms / sweep_ms.max(1e-9),
         parity,
+        caches,
     })
 }
 

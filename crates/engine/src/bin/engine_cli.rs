@@ -19,9 +19,11 @@ use latsched_engine::{
 use std::process::ExitCode;
 
 /// The `sweep` subcommand: run parameter-grid sweeps and report aggregate
-/// counters plus throughput.
+/// counters plus throughput (and, with `--stats`, per-tier cache counters of
+/// the artifact pipeline).
 fn sweep_main(args: Vec<String>) -> ExitCode {
     let mut json_path: Option<String> = None;
+    let mut stats = false;
     let mut spec_paths: Vec<String> = Vec::new();
     let mut iter = args.into_iter();
     while let Some(arg) = iter.next() {
@@ -33,9 +35,11 @@ fn sweep_main(args: Vec<String>) -> ExitCode {
                     return ExitCode::FAILURE;
                 }
             },
+            "--stats" => stats = true,
             "--help" | "-h" => {
-                println!("usage: engine-cli sweep [--json FILE] [SPEC.json]...");
+                println!("usage: engine-cli sweep [--json FILE] [--stats] [SPEC.json]...");
                 println!("With no spec files, runs the builtin 64-run stochastic sweep.");
+                println!("--stats prints hit/miss/entry counters of all three artifact tiers.");
                 return ExitCode::SUCCESS;
             }
             other => spec_paths.push(other.to_string()),
@@ -70,6 +74,9 @@ fn sweep_main(args: Vec<String>) -> ExitCode {
         match run_sweep(spec, &caches) {
             Ok(report) => {
                 println!("{report}");
+                if stats {
+                    println!("  caches: {}", report.caches);
+                }
                 reports.push(report);
             }
             Err(err) => {
@@ -79,11 +86,9 @@ fn sweep_main(args: Vec<String>) -> ExitCode {
         }
     }
     println!(
-        "{} sweep(s), plan cache {} entries ({} hits / {} misses)",
+        "{} sweep(s), artifact pipeline: {}",
         reports.len(),
-        caches.plans.len(),
-        caches.plans.hits(),
-        caches.plans.misses()
+        caches.stats()
     );
 
     if let Some(path) = json_path {

@@ -1,159 +1,37 @@
-//! Sharded, single-build caches of compiled artifacts.
+//! The typed tiers of the engine's artifact pipeline.
 //!
 //! Simulation sweeps and benchmark scenarios evaluate the same handful of
-//! neighbourhoods, networks and schedules over and over; compiling an artifact
-//! (tiling search + table construction, or frame-plan fusion) is many orders of
-//! magnitude more expensive than a query, so the caches make repeated scenarios
-//! pay it once. Both public caches are instances of one generic sharded core:
+//! neighbourhoods, networks, schedules and traffic draws over and over;
+//! compiling an artifact (tiling search + table construction, frame-plan
+//! fusion, or `n × slots` counter draws) is many orders of magnitude more
+//! expensive than a query, so the tiers make repeated scenarios pay it once.
+//! All three are thin key-derivation wrappers over one generic
+//! [`ArtifactStore`] (sharded, single-flight, bounded — see
+//! [`crate::store`]):
 //!
 //! * [`ScheduleCache`] — neighbourhood shape → compiled Theorem 1 schedule;
 //! * [`PlanCache`] — (slot assignment, interference adjacency) → fused
 //!   [`FramePlan`], content-addressed by 64-bit fingerprints so lookups never
-//!   clone the assignment or the adjacency.
+//!   clone the assignment or the adjacency;
+//! * [`TraceCache`] — (plan fingerprint, seed, load, slots) → compiled
+//!   [`TrafficTrace`], so repeated sweeps, the retry axis of a grid and the
+//!   CI gate's samples never rebuild a trace.
 //!
-//! Entries are sharded across several mutex-protected maps so concurrent
-//! scenario runners do not serialize on a single lock, and values are `Arc`s so
-//! hits share one table. Builds are **single-flight**: the first thread to miss
-//! a key claims a per-key slot and builds while holding only that slot's lock,
-//! so concurrent misses on the *same* key wait for the one build instead of
-//! duplicating it, and lookups of *other* keys are never blocked behind a
-//! compilation.
+//! The tiers chain: a schedule compiles once per neighbourhood shape, feeds
+//! any number of plans (one per deployment window), and each plan feeds any
+//! number of traces (one per `(seed, load, slots)` tuple). Downstream keys
+//! embed the upstream artifact's content fingerprint, so the chain stays
+//! correct without identity or lifetime coupling between the tiers.
 
 use crate::compiled::CompiledSchedule;
 use crate::error::{EngineError, Result};
 use crate::frames::{fingerprint_words, FramePlan, FrameSchedule, InterferenceCsr};
+use crate::simkernel::TrafficTrace;
+use crate::store::{ArtifactStore, StoreStats};
 use latsched_core::theorem1;
 use latsched_lattice::Point;
 use latsched_tiling::{find_tiling, Prototile};
-use std::collections::HashMap;
-use std::hash::{Hash, Hasher};
-use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::{Arc, Mutex};
-
-/// The default shard count; a small power of two comfortably above the number of
-/// concurrent scenario runners.
-const DEFAULT_SHARDS: usize = 16;
-
-/// A per-key build slot: holds the built value once exactly one builder has
-/// produced it; racers block on the slot's mutex for the duration of the build.
-type Slot<V> = Mutex<Option<Arc<V>>>;
-
-/// One mutex-protected shard of the key → build-slot map.
-type Shard<K, V> = Mutex<HashMap<K, Arc<Slot<V>>>>;
-
-/// The generic sharded single-flight cache behind [`ScheduleCache`] and
-/// [`PlanCache`].
-struct Sharded<K, V> {
-    shards: Box<[Shard<K, V>]>,
-    hits: AtomicU64,
-    misses: AtomicU64,
-}
-
-impl<K: Clone + Eq + Hash, V> Sharded<K, V> {
-    fn with_shards(shards: usize) -> Self {
-        let shards = shards.max(1);
-        Sharded {
-            shards: (0..shards).map(|_| Mutex::new(HashMap::new())).collect(),
-            hits: AtomicU64::new(0),
-            misses: AtomicU64::new(0),
-        }
-    }
-
-    fn shard_of(&self, key: &K) -> usize {
-        let mut hasher = std::collections::hash_map::DefaultHasher::new();
-        key.hash(&mut hasher);
-        (hasher.finish() as usize) % self.shards.len()
-    }
-
-    /// The value under `key`, building it with `build` on the first lookup.
-    /// Exactly one caller builds per key (single-flight); a failed build
-    /// removes the key so later lookups retry.
-    fn get_or_build(&self, key: K, build: impl FnOnce() -> Result<V>) -> Result<Arc<V>> {
-        let shard = &self.shards[self.shard_of(&key)];
-        let (slot, claimed) = {
-            let mut guard = shard.lock().expect("cache shard poisoned");
-            match guard.get(&key) {
-                Some(slot) => {
-                    self.hits.fetch_add(1, Ordering::Relaxed);
-                    (Arc::clone(slot), false)
-                }
-                None => {
-                    self.misses.fetch_add(1, Ordering::Relaxed);
-                    let slot = Arc::new(Mutex::new(None));
-                    guard.insert(key.clone(), Arc::clone(&slot));
-                    (slot, true)
-                }
-            }
-        };
-        // Recover a poisoned slot rather than propagating: a build that
-        // panicked left the slot value `None`, which is a consistent state —
-        // this lookup simply rebuilds, instead of every future lookup of the
-        // key panicking with an unrelated poisoning error.
-        let mut value = slot
-            .lock()
-            .unwrap_or_else(std::sync::PoisonError::into_inner);
-        if let Some(built) = value.as_ref() {
-            return Ok(Arc::clone(built));
-        }
-        // Either we claimed the slot, or the claimant's build failed and was
-        // evicted while we waited; build here (shard lock not held, so other
-        // keys proceed). Note that a waiter rebuilding after a failed claimant
-        // was counted as a hit; the counters are exact except under build
-        // failures, where they may classify one rebuild per waiter as a hit.
-        match build() {
-            Ok(built) => {
-                let built = Arc::new(built);
-                *value = Some(Arc::clone(&built));
-                if !claimed {
-                    // The failed claimant evicted the key; re-insert our slot
-                    // so the rebuilt value is reachable by later lookups. If a
-                    // fresh claimant raced in first, keep theirs — it will
-                    // build once and converge.
-                    shard
-                        .lock()
-                        .expect("cache shard poisoned")
-                        .entry(key)
-                        .or_insert_with(|| Arc::clone(&slot));
-                }
-                Ok(built)
-            }
-            Err(err) => {
-                if claimed {
-                    shard.lock().expect("cache shard poisoned").remove(&key);
-                }
-                Err(err)
-            }
-        }
-    }
-
-    fn contains(&self, key: &K) -> bool {
-        self.shards[self.shard_of(key)]
-            .lock()
-            .expect("cache shard poisoned")
-            .contains_key(key)
-    }
-
-    fn len(&self) -> usize {
-        self.shards
-            .iter()
-            .map(|s| s.lock().expect("cache shard poisoned").len())
-            .sum()
-    }
-
-    fn clear(&self) {
-        for shard in self.shards.iter() {
-            shard.lock().expect("cache shard poisoned").clear();
-        }
-    }
-
-    fn hits(&self) -> u64 {
-        self.hits.load(Ordering::Relaxed)
-    }
-
-    fn misses(&self) -> u64 {
-        self.misses.load(Ordering::Relaxed)
-    }
-}
+use std::sync::Arc;
 
 /// A sharded, thread-safe cache from neighbourhood shapes to their compiled
 /// Theorem 1 schedules.
@@ -173,19 +51,21 @@ impl<K: Clone + Eq + Hash, V> Sharded<K, V> {
 /// # Ok::<(), latsched_engine::EngineError>(())
 /// ```
 pub struct ScheduleCache {
-    inner: Sharded<Vec<Point>, CompiledSchedule>,
+    inner: ArtifactStore<Vec<Point>, CompiledSchedule>,
 }
 
 impl ScheduleCache {
     /// An empty cache with the default shard count.
     pub fn new() -> Self {
-        ScheduleCache::with_shards(DEFAULT_SHARDS)
+        ScheduleCache {
+            inner: ArtifactStore::new(),
+        }
     }
 
     /// An empty cache with an explicit shard count (at least 1).
     pub fn with_shards(shards: usize) -> Self {
         ScheduleCache {
-            inner: Sharded::with_shards(shards),
+            inner: ArtifactStore::with_shards(shards),
         }
     }
 
@@ -212,7 +92,7 @@ impl ScheduleCache {
 
     /// Whether the cache is empty.
     pub fn is_empty(&self) -> bool {
-        self.len() == 0
+        self.inner.is_empty()
     }
 
     /// Number of lookups answered from the cache.
@@ -223,6 +103,11 @@ impl ScheduleCache {
     /// Number of lookups that had to compile.
     pub fn misses(&self) -> u64 {
         self.inner.misses()
+    }
+
+    /// A point-in-time hit/miss/entry snapshot.
+    pub fn stats(&self) -> StoreStats {
+        self.inner.stats()
     }
 
     /// Drops every cached schedule (counters are kept).
@@ -280,8 +165,7 @@ struct PlanKey {
 /// # Ok::<(), latsched_engine::EngineError>(())
 /// ```
 pub struct PlanCache {
-    inner: Sharded<PlanKey, FramePlan>,
-    max_entries: usize,
+    inner: ArtifactStore<PlanKey, FramePlan>,
 }
 
 /// Default entry bound of a [`PlanCache`]: plans are multi-megabyte on large
@@ -293,22 +177,21 @@ const DEFAULT_MAX_PLANS: usize = 256;
 impl PlanCache {
     /// An empty cache with the default shard count and entry bound.
     pub fn new() -> Self {
-        PlanCache::with_shards(DEFAULT_SHARDS)
+        PlanCache::with_shards(crate::store::DEFAULT_SHARDS)
     }
 
     /// An empty cache with an explicit shard count (at least 1) and the
     /// default entry bound.
     pub fn with_shards(shards: usize) -> Self {
         PlanCache {
-            inner: Sharded::with_shards(shards),
-            max_entries: DEFAULT_MAX_PLANS,
+            inner: ArtifactStore::with_shards(shards).with_max_entries(DEFAULT_MAX_PLANS),
         }
     }
 
     /// Sets the maximum number of cached plans (at least 1); inserting beyond
     /// it resets the cache wholesale.
     pub fn with_max_entries(mut self, max_entries: usize) -> Self {
-        self.max_entries = max_entries.max(1);
+        self.inner = std::mem::take(&mut self.inner).with_max_entries(max_entries);
         self
     }
 
@@ -333,12 +216,6 @@ impl PlanCache {
             nodes: slots.len() as u64,
             period: period as u64,
         };
-        // Bound the cache: a new key arriving at capacity resets it wholesale
-        // rather than tracking recency — entries are content-addressed and
-        // rebuildable, and sweeps touch far fewer plans than the bound.
-        if self.inner.len() >= self.max_entries && !self.inner.contains(&key) {
-            self.inner.clear();
-        }
         self.inner.get_or_build(key, || {
             let frames = FrameSchedule::from_assignment(slots, period)?;
             FramePlan::new(&frames, adjacency)
@@ -352,7 +229,7 @@ impl PlanCache {
 
     /// Whether the cache is empty.
     pub fn is_empty(&self) -> bool {
-        self.len() == 0
+        self.inner.is_empty()
     }
 
     /// Number of lookups answered from the cache.
@@ -363,6 +240,11 @@ impl PlanCache {
     /// Number of lookups that had to build.
     pub fn misses(&self) -> u64 {
         self.inner.misses()
+    }
+
+    /// A point-in-time hit/miss/entry snapshot.
+    pub fn stats(&self) -> StoreStats {
+        self.inner.stats()
     }
 
     /// Drops every cached plan (counters are kept).
@@ -387,6 +269,146 @@ impl std::fmt::Debug for PlanCache {
     }
 }
 
+/// The content-addressed key of a cached traffic trace: the source plan's
+/// content fingerprint plus the draw coordinates. Two plans with equal
+/// fingerprints produce identical traces by construction (draws are keyed by
+/// the plan's original-id permutation, which the fingerprint covers).
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+struct TraceKey {
+    plan: u64,
+    seed: u64,
+    p_bits: u64,
+    slots: u64,
+    nodes: u64,
+}
+
+/// Default entry bound of a [`TraceCache`]: traces are the largest artifacts
+/// of the pipeline (one bit per `node × slot`), so the default store resets
+/// wholesale after this many distinct traces.
+const DEFAULT_MAX_TRACES: usize = 64;
+
+/// A sharded, thread-safe cache of compiled [`TrafficTrace`]s, keyed by
+/// `(plan fingerprint, seed, load, slots)`.
+///
+/// A trace bakes every Bernoulli generation draw of one `(seed, p)` pair over
+/// a plan's node set into per-slot bitmaps; compiling it costs `n × slots`
+/// counter draws — the dominant setup cost of a stochastic sweep. The cache
+/// makes repeated sweeps (and the CI perf gate's repeated samples) replay the
+/// compiled bitmaps instead of re-drawing them.
+///
+/// # Examples
+///
+/// ```
+/// use latsched_engine::{FramePlan, FrameSchedule, InterferenceCsr, TraceCache};
+///
+/// let frames = FrameSchedule::from_assignment(&[0, 1, 2], 3)?;
+/// let adjacency = InterferenceCsr::from_lists(&[vec![1], vec![0, 2], vec![1]])?;
+/// let plan = FramePlan::new(&frames, &adjacency)?;
+/// let cache = TraceCache::new();
+/// let first = cache.get_or_build(&plan, 7, 0.1, 128)?;
+/// let again = cache.get_or_build(&plan, 7, 0.1, 128)?;
+/// assert!(std::sync::Arc::ptr_eq(&first, &again));
+/// assert_eq!((cache.hits(), cache.misses()), (1, 1));
+/// # Ok::<(), latsched_engine::EngineError>(())
+/// ```
+pub struct TraceCache {
+    inner: ArtifactStore<TraceKey, TrafficTrace>,
+}
+
+impl TraceCache {
+    /// An empty cache with the default shard count and entry bound.
+    pub fn new() -> Self {
+        TraceCache::with_shards(crate::store::DEFAULT_SHARDS)
+    }
+
+    /// An empty cache with an explicit shard count (at least 1) and the
+    /// default entry bound.
+    pub fn with_shards(shards: usize) -> Self {
+        TraceCache {
+            inner: ArtifactStore::with_shards(shards).with_max_entries(DEFAULT_MAX_TRACES),
+        }
+    }
+
+    /// Sets the maximum number of cached traces (at least 1); inserting beyond
+    /// it resets the cache wholesale.
+    pub fn with_max_entries(mut self, max_entries: usize) -> Self {
+        self.inner = std::mem::take(&mut self.inner).with_max_entries(max_entries);
+        self
+    }
+
+    /// The compiled Bernoulli(`p`) trace of `seed`'s traffic stream over
+    /// `slots` slots of the plan's node set, building and inserting it on
+    /// first use. Concurrent misses on the same key wait for a single build.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`TrafficTrace::bernoulli`] errors (probability range, size
+    /// cap).
+    pub fn get_or_build(
+        &self,
+        plan: &FramePlan,
+        seed: u64,
+        p: f64,
+        slots: u64,
+    ) -> Result<Arc<TrafficTrace>> {
+        let key = TraceKey {
+            plan: plan.fingerprint(),
+            seed,
+            p_bits: p.to_bits(),
+            slots,
+            nodes: plan.num_nodes() as u64,
+        };
+        self.inner
+            .get_or_build(key, || TrafficTrace::bernoulli(plan, seed, p, slots))
+    }
+
+    /// Number of cached traces.
+    pub fn len(&self) -> usize {
+        self.inner.len()
+    }
+
+    /// Whether the cache is empty.
+    pub fn is_empty(&self) -> bool {
+        self.inner.is_empty()
+    }
+
+    /// Number of lookups answered from the cache.
+    pub fn hits(&self) -> u64 {
+        self.inner.hits()
+    }
+
+    /// Number of lookups that had to build.
+    pub fn misses(&self) -> u64 {
+        self.inner.misses()
+    }
+
+    /// A point-in-time hit/miss/entry snapshot.
+    pub fn stats(&self) -> StoreStats {
+        self.inner.stats()
+    }
+
+    /// Drops every cached trace (counters are kept).
+    pub fn clear(&self) {
+        self.inner.clear();
+    }
+}
+
+impl Default for TraceCache {
+    fn default() -> Self {
+        TraceCache::new()
+    }
+}
+
+impl std::fmt::Debug for TraceCache {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("TraceCache")
+            .field("len", &self.len())
+            .field("hits", &self.hits())
+            .field("misses", &self.misses())
+            .finish()
+    }
+}
+
 /// Compiles the Theorem 1 schedule of a neighbourhood shape from scratch.
 ///
 /// # Errors
@@ -403,8 +425,8 @@ pub fn compile_shape(shape: &Prototile) -> Result<CompiledSchedule> {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::frames::FrameSchedule;
     use latsched_tiling::{shapes, tetromino};
-    use std::sync::atomic::AtomicUsize;
 
     #[test]
     fn hits_share_one_table() {
@@ -414,6 +436,7 @@ mod tests {
         assert!(Arc::ptr_eq(&a, &b));
         assert_eq!(cache.len(), 1);
         assert_eq!((cache.hits(), cache.misses()), (1, 1));
+        assert_eq!(cache.stats().entries, 1);
     }
 
     #[test]
@@ -477,35 +500,6 @@ mod tests {
     }
 
     #[test]
-    fn generic_cache_builds_each_key_exactly_once_under_contention() {
-        // Hammer one key from many scoped threads: the single-flight slot must
-        // admit exactly one build, and hit/miss counters must account for every
-        // lookup.
-        let cache: Sharded<u32, u32> = Sharded::with_shards(4);
-        let builds = AtomicUsize::new(0);
-        let threads = 16;
-        std::thread::scope(|scope| {
-            for _ in 0..threads {
-                scope.spawn(|| {
-                    let v = cache
-                        .get_or_build(7, || {
-                            builds.fetch_add(1, Ordering::SeqCst);
-                            // Widen the race window so stragglers arrive
-                            // mid-build and must wait instead of rebuilding.
-                            std::thread::sleep(std::time::Duration::from_millis(20));
-                            Ok(42)
-                        })
-                        .unwrap();
-                    assert_eq!(*v, 42);
-                });
-            }
-        });
-        assert_eq!(builds.load(Ordering::SeqCst), 1, "single-build semantics");
-        assert_eq!(cache.misses(), 1);
-        assert_eq!(cache.hits(), threads - 1);
-    }
-
-    #[test]
     fn plan_cache_hammered_from_scoped_threads_builds_once() {
         let adjacency =
             InterferenceCsr::from_lists(&[vec![1], vec![0, 2], vec![1, 3], vec![2]]).unwrap();
@@ -543,40 +537,6 @@ mod tests {
     }
 
     #[test]
-    fn waiter_rebuild_after_failed_claimant_is_reinserted() {
-        // The claimant's build fails (after a delay, so the waiter is already
-        // blocked on the slot); the waiter then rebuilds successfully and must
-        // re-insert the value so later lookups hit instead of rebuilding.
-        let cache: Sharded<u32, u32> = Sharded::with_shards(2);
-        let attempts = AtomicUsize::new(0);
-        std::thread::scope(|scope| {
-            let claimant = scope.spawn(|| {
-                cache.get_or_build(5, || {
-                    attempts.fetch_add(1, Ordering::SeqCst);
-                    std::thread::sleep(std::time::Duration::from_millis(30));
-                    Err(EngineError::InvalidSpec("injected failure".into()))
-                })
-            });
-            std::thread::sleep(std::time::Duration::from_millis(5));
-            let waiter = scope.spawn(|| {
-                cache.get_or_build(5, || {
-                    attempts.fetch_add(1, Ordering::SeqCst);
-                    Ok(77)
-                })
-            });
-            assert!(claimant.join().unwrap().is_err());
-            assert_eq!(*waiter.join().unwrap().unwrap(), 77);
-        });
-        assert_eq!(attempts.load(Ordering::SeqCst), 2);
-        assert_eq!(cache.len(), 1, "the waiter's rebuild must be reachable");
-        // Later lookups hit the re-inserted value without rebuilding.
-        let v = cache
-            .get_or_build(5, || panic!("must not rebuild a cached key"))
-            .unwrap();
-        assert_eq!(*v, 77);
-    }
-
-    #[test]
     fn plan_cache_entry_bound_resets_wholesale() {
         let adjacency = InterferenceCsr::from_lists(&[vec![1], vec![0, 2], vec![1]]).unwrap();
         let cache = PlanCache::new().with_max_entries(2);
@@ -600,6 +560,88 @@ mod tests {
         assert!(matches!(
             cache.get_or_build(&[0, 1], 2, &line),
             Err(EngineError::NodeCountMismatch { .. })
+        ));
+        assert!(cache.is_empty(), "failed builds are evicted");
+    }
+
+    fn line_plan(slots: &[usize], period: usize) -> FramePlan {
+        let n = slots.len();
+        let lists: Vec<Vec<usize>> = (0..n)
+            .map(|v| {
+                let mut l = Vec::new();
+                if v > 0 {
+                    l.push(v - 1);
+                }
+                if v + 1 < n {
+                    l.push(v + 1);
+                }
+                l
+            })
+            .collect();
+        let adjacency = InterferenceCsr::from_lists(&lists).unwrap();
+        let frames = FrameSchedule::from_assignment(slots, period).unwrap();
+        FramePlan::new(&frames, &adjacency).unwrap()
+    }
+
+    #[test]
+    fn trace_cache_hits_on_equal_coordinates_and_misses_otherwise() {
+        let plan = line_plan(&[0, 1, 2], 3);
+        let cache = TraceCache::new();
+        let a = cache.get_or_build(&plan, 1, 0.2, 64).unwrap();
+        let b = cache.get_or_build(&plan, 1, 0.2, 64).unwrap();
+        assert!(Arc::ptr_eq(&a, &b));
+        assert_eq!((cache.hits(), cache.misses()), (1, 1));
+        // Every coordinate of the key separates entries.
+        cache.get_or_build(&plan, 2, 0.2, 64).unwrap();
+        cache.get_or_build(&plan, 1, 0.3, 64).unwrap();
+        cache.get_or_build(&plan, 1, 0.2, 65).unwrap();
+        assert_eq!(cache.len(), 4);
+        assert_eq!(cache.misses(), 4);
+    }
+
+    #[test]
+    fn trace_cache_separates_plans_by_content_fingerprint() {
+        // Same node count, seed, load and slot count — but different slot
+        // assignments, hence different relabellings and different plan
+        // fingerprints: the cache must keep two distinct traces, and each must
+        // replay its own plan's draw layout.
+        let plan_a = line_plan(&[0, 1, 2], 3);
+        let plan_b = line_plan(&[2, 1, 0], 3);
+        assert_ne!(plan_a.fingerprint(), plan_b.fingerprint());
+        let cache = TraceCache::new();
+        let a = cache.get_or_build(&plan_a, 1, 0.5, 256).unwrap();
+        let b = cache.get_or_build(&plan_b, 1, 0.5, 256).unwrap();
+        assert_eq!(cache.len(), 2, "distinct fingerprints, distinct entries");
+        assert_eq!(cache.misses(), 2);
+        assert!(!Arc::ptr_eq(&a, &b));
+        // The traces cover the same original node set, so totals agree even
+        // though the relabelled bit layouts differ.
+        assert_eq!(a.total_generated(), b.total_generated());
+        assert_ne!(*a, *b, "relabelled bit layouts differ");
+        // An equal-content plan built separately hits the first entry.
+        let plan_a_again = line_plan(&[0, 1, 2], 3);
+        let again = cache.get_or_build(&plan_a_again, 1, 0.5, 256).unwrap();
+        assert!(Arc::ptr_eq(&a, &again));
+    }
+
+    #[test]
+    fn trace_cache_entry_bound_resets_wholesale() {
+        let plan = line_plan(&[0, 1, 2], 3);
+        let cache = TraceCache::new().with_max_entries(2);
+        cache.get_or_build(&plan, 1, 0.1, 32).unwrap();
+        cache.get_or_build(&plan, 2, 0.1, 32).unwrap();
+        assert_eq!(cache.len(), 2);
+        cache.get_or_build(&plan, 3, 0.1, 32).unwrap();
+        assert_eq!(cache.len(), 1, "new key at capacity resets wholesale");
+    }
+
+    #[test]
+    fn trace_cache_propagates_build_errors() {
+        let plan = line_plan(&[0, 1, 2], 3);
+        let cache = TraceCache::new();
+        assert!(matches!(
+            cache.get_or_build(&plan, 1, 1.5, 32),
+            Err(EngineError::InvalidKernelConfig(_))
         ));
         assert!(cache.is_empty(), "failed builds are evicted");
     }

@@ -12,7 +12,7 @@
 use crate::error::{EngineError, Result};
 use crate::parallel::fill_chunks;
 use latsched_core::{Deployment, PeriodicSchedule, SlotSource, VerificationReport};
-use latsched_lattice::{BoxRegion, FixedReducer, Point, Sublattice};
+use latsched_lattice::{BoxRegion, DynReducer, FixedReducer, Point, Sublattice};
 use std::fmt;
 
 /// Queries of dimension at most this run entirely on the stack; the paper's
@@ -56,18 +56,22 @@ pub struct CompiledSchedule {
     /// `table[rank]` is the slot of the coset with that dense rank.
     table: Vec<u16>,
     /// Dimension-specialized, division-free reduction for the paper's 2-D and
-    /// 3-D lattices; other dimensions fall back to the generic chain.
+    /// 3-D lattices; other dimensions run the runtime-dimension
+    /// [`DynReducer`], which is equally division-free but loop-bounded at
+    /// runtime.
     fixed: FixedReduce,
 }
 
 /// The dimension dispatch of the per-query coset reduction: the hot dimensions
 /// get a const-generic [`FixedReducer`] whose `div_euclid` chain is strength-
-/// reduced to reciprocal multiplications.
+/// reduced to reciprocal multiplications, and every other dimension gets the
+/// runtime-dimension [`DynReducer`] with the same reciprocal arithmetic — no
+/// query path pays hardware divisions any more.
 #[derive(Clone, PartialEq, Eq, Debug)]
 enum FixedReduce {
     D2(FixedReducer<2>),
     D3(FixedReducer<3>),
-    General,
+    Dyn(DynReducer),
 }
 
 impl CompiledSchedule {
@@ -101,7 +105,7 @@ impl CompiledSchedule {
         let fixed = match dim {
             2 => FixedReduce::D2(period.fixed_reducer::<2>()?),
             3 => FixedReduce::D3(period.fixed_reducer::<3>()?),
-            _ => FixedReduce::General,
+            _ => FixedReduce::Dyn(period.dyn_reducer()?),
         };
         let mut compiled = CompiledSchedule {
             dim,
@@ -141,30 +145,10 @@ impl CompiledSchedule {
         self.table.len()
     }
 
-    /// Reduces `coords` in place to its canonical representative and returns the
-    /// dense coset rank. This is the entire per-query work: `O(d²)` integer ops.
-    #[inline]
-    fn rank_of(&self, coords: &mut [i64]) -> usize {
-        let d = self.dim;
-        for i in 0..d {
-            let q = coords[i].div_euclid(self.diag[i]);
-            if q != 0 {
-                let row = &self.hnf[i * d..(i + 1) * d];
-                for (c, h) in coords[i..].iter_mut().zip(&row[i..]) {
-                    *c -= q * h;
-                }
-            }
-        }
-        let mut rank = 0usize;
-        for (c, radix) in coords.iter().zip(&self.diag) {
-            rank = rank * *radix as usize + *c as usize;
-        }
-        rank
-    }
-
     /// The dense coset rank of a point given by its coordinates: the 2-D and
-    /// 3-D cases run the division-free [`FixedReducer`]; other dimensions take
-    /// the generic [`CompiledSchedule::rank_of`] chain on a scratch buffer.
+    /// 3-D cases run the division-free const-generic [`FixedReducer`]; every
+    /// other dimension takes the division-free runtime [`DynReducer`] on a
+    /// scratch buffer.
     #[inline]
     fn rank_of_coords(&self, coords: &[i64]) -> usize {
         debug_assert_eq!(coords.len(), self.dim);
@@ -173,14 +157,14 @@ impl CompiledSchedule {
             FixedReduce::D3(r) => {
                 r.coset_rank_fixed(&mut [coords[0], coords[1], coords[2]]) as usize
             }
-            FixedReduce::General => {
+            FixedReduce::Dyn(r) => {
                 if self.dim <= MAX_STACK_DIM {
                     let mut buf = [0i64; MAX_STACK_DIM];
                     buf[..self.dim].copy_from_slice(coords);
-                    self.rank_of(&mut buf[..self.dim])
+                    r.coset_rank_dyn(&mut buf[..self.dim]) as usize
                 } else {
                     let mut buf = coords.to_vec();
-                    self.rank_of(&mut buf)
+                    r.coset_rank_dyn(&mut buf) as usize
                 }
             }
         }
@@ -514,6 +498,45 @@ mod tests {
         // Same verdict and same work as the reference checker.
         let reference = latsched_core::verify::verify_schedule(&schedule, &deployment).unwrap();
         assert_eq!(report, reference);
+    }
+
+    #[test]
+    fn four_dimensional_tables_run_the_dyn_reducer() {
+        // d = 4 has no const-generic fast path; the table must route queries
+        // through the division-free DynReducer and still agree with the
+        // reference schedule pointwise.
+        let period = Sublattice::scaled(4, 2).unwrap();
+        let slots: Vec<(Point, usize)> = period
+            .coset_representatives()
+            .into_iter()
+            .enumerate()
+            .map(|(slot, rep)| (rep, slot))
+            .collect();
+        let num_slots = slots.len();
+        let schedule = PeriodicSchedule::new(period, num_slots, slots).unwrap();
+        let compiled = CompiledSchedule::compile(&schedule).unwrap();
+        assert_eq!(compiled.dim(), 4);
+        assert_eq!(compiled.table_len(), 16);
+        for x in -3..3 {
+            for y in -3..3 {
+                for z in -3..3 {
+                    for w in -3..3 {
+                        let p = Point::new(vec![x, y, z, w]);
+                        assert_eq!(
+                            compiled.slot_of(&p).unwrap() as usize,
+                            schedule.slot_of(&p).unwrap(),
+                            "disagreement at {p}"
+                        );
+                    }
+                }
+            }
+        }
+        // The batched region path agrees too.
+        let window = BoxRegion::square_window(4, 5).unwrap();
+        let batch = compiled.slots_of_region(&window).unwrap();
+        for (p, &slot) in window.points().iter().zip(&batch) {
+            assert_eq!(slot as usize, schedule.slot_of(p).unwrap(), "at {p}");
+        }
     }
 
     #[test]

@@ -311,14 +311,21 @@ pub struct FramePlan {
     /// counter-based RNG draws of the simulation kernel are keyed by these
     /// original ids so relabelling never changes stochastic outcomes.
     old_of_new: Vec<u32>,
-    /// Whether the plan is conflict-free: in every slot, no candidate's
-    /// neighbour is a candidate of the same slot and no two same-slot
-    /// candidates share a neighbour. Under any transmit subset of such a slot,
-    /// every receiver hears exactly one in-range transmitter, so the kernel
-    /// can skip interference resolution entirely (`decoded = degree`,
-    /// `rx = Σ degree`). True for the paper's tiling schedules and for any
-    /// valid distance-2 colouring.
-    conflict_free: bool,
+    /// Per-slot conflict bitmask: bit `s` is set iff slot `s` is *conflicted* —
+    /// some candidate's neighbour is a candidate of the same slot, or two
+    /// same-slot candidates share a neighbour. On a *clean* slot any transmit
+    /// subset delivers to every neighbour (each receiver hears exactly one
+    /// in-range transmitter), so the kernel takes the closed-form path
+    /// (`decoded = degree`, `rx = Σ degree`) and pays bitset passes only on
+    /// conflicted slots. All-clean plans — the paper's tiling schedules and
+    /// any valid distance-2 colouring — never touch a bitset at all.
+    conflict_mask: Vec<u64>,
+    /// Number of conflicted slots (popcount of `conflict_mask`).
+    conflicted_slots: usize,
+    /// 64-bit content fingerprint of the plan, used to content-address derived
+    /// artifacts (compiled traffic traces) without hashing the whole plan per
+    /// lookup.
+    fingerprint: u64,
 }
 
 impl FramePlan {
@@ -376,6 +383,16 @@ impl FramePlan {
             degrees.push(adjacency.degree(old_v as usize) as u32);
             mask_offsets.push(mask_words.len() as u32);
         }
+        let fingerprint = fingerprint_words(
+            (n as u64) << 32 | period as u64,
+            slot_starts
+                .iter()
+                .chain(mask_offsets.iter())
+                .chain(mask_words.iter())
+                .chain(old_of_new.iter())
+                .map(|&w| u64::from(w))
+                .chain(mask_bits.iter().copied()),
+        );
         let mut plan = FramePlan {
             period,
             num_nodes: n,
@@ -385,28 +402,38 @@ impl FramePlan {
             mask_bits,
             degrees,
             old_of_new,
-            conflict_free: false,
+            conflict_mask: Vec::new(),
+            conflicted_slots: 0,
+            fingerprint,
         };
-        plan.conflict_free = plan.compute_conflict_free();
+        plan.conflict_mask = plan.compute_conflict_mask();
+        plan.conflicted_slots = plan
+            .conflict_mask
+            .iter()
+            .map(|w| w.count_ones() as usize)
+            .sum();
         Ok(plan)
     }
 
-    /// One O(edges) pass deciding [`FramePlan::conflict_free`]. `seen[u]`
+    /// One O(edges) pass computing the per-slot conflict bitmask. `seen[u]`
     /// stamps the last slot in which `u` was some candidate's neighbour;
     /// a repeat stamp within one slot (shared neighbour, or a duplicate edge)
-    /// or a neighbour inside the slot's own candidate range is a conflict.
-    fn compute_conflict_free(&self) -> bool {
+    /// or a neighbour inside the slot's own candidate range marks the slot
+    /// conflicted.
+    fn compute_conflict_mask(&self) -> Vec<u64> {
+        let mut mask = vec![0u64; self.period.div_ceil(64)];
         let mut seen = vec![usize::MAX; self.num_nodes];
         for slot in 0..self.period {
             let candidates = self.slot_candidates(slot);
-            for v in candidates.clone() {
+            'slot: for v in candidates.clone() {
                 let (entry_words, entry_bits) = self.mask_entries(v);
-                for (&w, &mask) in entry_words.iter().zip(entry_bits) {
-                    let mut bits = mask;
+                for (&w, &m) in entry_words.iter().zip(entry_bits) {
+                    let mut bits = m;
                     while bits != 0 {
                         let u = w as usize * 64 + bits.trailing_zeros() as usize;
                         if candidates.contains(&u) || seen[u] == slot {
-                            return false;
+                            mask[slot / 64] |= 1u64 << (slot % 64);
+                            break 'slot;
                         }
                         seen[u] = slot;
                         bits &= bits - 1;
@@ -414,7 +441,7 @@ impl FramePlan {
                 }
             }
         }
-        true
+        mask
     }
 
     /// The temporal period `m`.
@@ -462,11 +489,51 @@ impl FramePlan {
     }
 
     /// Whether every slot's candidates have pairwise disjoint, candidate-free
-    /// neighbour sets (see the field docs); the kernel's O(transmitters)
-    /// interference shortcut.
+    /// neighbour sets (see the `conflict_mask` field docs); the kernel's
+    /// O(transmitters) interference shortcut applies to every slot of such a
+    /// plan.
     #[inline]
     pub fn conflict_free(&self) -> bool {
-        self.conflict_free
+        self.conflicted_slots == 0
+    }
+
+    /// Whether the given slot is conflicted (see the `conflict_mask` field
+    /// docs). Clean slots take the kernel's closed-form outcome path even when
+    /// other slots of the plan conflict.
+    #[inline]
+    pub fn slot_conflicted(&self, slot: usize) -> bool {
+        self.conflict_mask[slot / 64] >> (slot % 64) & 1 == 1
+    }
+
+    /// Number of conflicted slots in the frame.
+    #[inline]
+    pub fn conflicted_slots(&self) -> usize {
+        self.conflicted_slots
+    }
+
+    /// A 64-bit content fingerprint of the plan: equal plans always
+    /// fingerprint equal, and distinct ones collide with probability `~2^-64`.
+    /// Derived artifacts (compiled traffic traces) are content-addressed by
+    /// this value.
+    #[inline]
+    pub fn fingerprint(&self) -> u64 {
+        self.fingerprint
+    }
+
+    /// Marks every slot of the plan conflicted, forcing the kernel through the
+    /// full bitset interference passes; the parity oracle the bitmask-narrowing
+    /// tests compare against.
+    #[cfg(test)]
+    pub(crate) fn pessimize_conflicts(&mut self) {
+        for (s, word) in self.conflict_mask.iter_mut().enumerate() {
+            let slots_in_word = (self.period - s * 64).min(64);
+            *word = if slots_in_word == 64 {
+                u64::MAX
+            } else {
+                (1u64 << slots_in_word) - 1
+            };
+        }
+        self.conflicted_slots = self.period;
     }
 }
 
@@ -568,6 +635,57 @@ mod tests {
                 adjacency: 3
             })
         ));
+    }
+
+    #[test]
+    fn conflict_mask_marks_exactly_the_conflicted_slots() {
+        // Line 0 — 1 — 2 — 3: assignment [0, 1, 0, 2] over period 3.
+        // Slot 0 = {0, 2}: 2 is a neighbour of 1 and 0 is a neighbour of 1 —
+        // they share receiver 1, so slot 0 conflicts. Slot 1 = {1}: node 1's
+        // neighbours (0, 2) are not slot-1 candidates — clean. Slot 2 = {3} —
+        // clean.
+        let adjacency =
+            InterferenceCsr::from_lists(&[vec![1], vec![0, 2], vec![1, 3], vec![2]]).unwrap();
+        let frames = FrameSchedule::from_assignment(&[0, 1, 0, 2], 3).unwrap();
+        let plan = FramePlan::new(&frames, &adjacency).unwrap();
+        assert!(!plan.conflict_free());
+        assert_eq!(plan.conflicted_slots(), 1);
+        assert!(plan.slot_conflicted(0));
+        assert!(!plan.slot_conflicted(1));
+        assert!(!plan.slot_conflicted(2));
+
+        // A neighbour that is a same-slot candidate also conflicts: 0 and 1
+        // share slot 0 and are adjacent.
+        let frames = FrameSchedule::from_assignment(&[0, 0, 1, 2], 3).unwrap();
+        let plan = FramePlan::new(&frames, &adjacency).unwrap();
+        assert!(plan.slot_conflicted(0));
+
+        // A distance-2-colouring-style assignment is clean on every slot.
+        let frames = FrameSchedule::from_assignment(&[0, 1, 2, 0], 3).unwrap();
+        let plan = FramePlan::new(&frames, &adjacency).unwrap();
+        assert!(plan.conflict_free());
+        assert_eq!(plan.conflicted_slots(), 0);
+        for s in 0..3 {
+            assert!(!plan.slot_conflicted(s));
+        }
+    }
+
+    #[test]
+    fn plan_fingerprints_are_content_addressed() {
+        let adjacency = InterferenceCsr::from_lists(&[vec![1], vec![0, 2], vec![1]]).unwrap();
+        let frames_a = FrameSchedule::from_assignment(&[0, 1, 2], 3).unwrap();
+        let plan_a = FramePlan::new(&frames_a, &adjacency).unwrap();
+        // Equal content, separate allocations: equal fingerprints.
+        let frames_a2 = FrameSchedule::from_assignment(&[0, 1, 2], 3).unwrap();
+        let plan_a2 = FramePlan::new(&frames_a2, &adjacency).unwrap();
+        assert_eq!(plan_a.fingerprint(), plan_a2.fingerprint());
+        // A different assignment or adjacency changes the fingerprint.
+        let frames_b = FrameSchedule::from_assignment(&[2, 1, 0], 3).unwrap();
+        let plan_b = FramePlan::new(&frames_b, &adjacency).unwrap();
+        assert_ne!(plan_a.fingerprint(), plan_b.fingerprint());
+        let ring = InterferenceCsr::from_lists(&[vec![1, 2], vec![0, 2], vec![0, 1]]).unwrap();
+        let plan_c = FramePlan::new(&frames_a, &ring).unwrap();
+        assert_ne!(plan_a.fingerprint(), plan_c.fingerprint());
     }
 
     #[test]

@@ -25,19 +25,28 @@
 //! 4. Frame-compiled simulation — [`FrameSchedule`] precomputes one schedule
 //!    period's per-slot transmitter sets, [`InterferenceCsr`] /
 //!    [`FramePlan`] compile the interference graph into a slot-major CSR
-//!    layout, and [`run_frames`] replays whole simulations as allocation-free
-//!    bitset passes (the fast backend behind
-//!    `latsched_sensornet::run_simulation`, ~81× the reference simulator on a
-//!    256×256 window). Stochastic workloads (Bernoulli traffic, slotted
-//!    ALOHA) replay bit-identically through the counter-based
-//!    [`CounterRng`] — every draw is `hash(seed, node, slot)` — and plans are
-//!    memoized across runs in the content-addressed [`PlanCache`].
-//! 5. Batched sweeps — [`SweepSpec`] / [`run_sweep`] fan whole parameter grids
-//!    (windows × loads × retry budgets × seeds) across all cores, compiling
-//!    each window's plan once and each `(seed, load)` pair's traffic draws
-//!    once into a shared [`TrafficTrace`] (≥5× over sequential reference runs
-//!    on the 64-run acceptance grid; `engine-cli sweep` serves specs from
-//!    JSON).
+//!    layout (with a per-slot conflict bitmask, so clean slots take a
+//!    closed-form outcome path and only conflicted slots pay bitset passes),
+//!    and [`run_frames`] replays whole simulations as allocation-free bitset
+//!    passes (the fast backend behind `latsched_sensornet::run_simulation`,
+//!    ~85× the reference simulator on a 256×256 window). Stochastic workloads
+//!    (Bernoulli traffic, slotted ALOHA) replay bit-identically through the
+//!    counter-based [`CounterRng`] — every draw is `hash(seed, node, slot)`.
+//! 5. The tiered artifact pipeline — one generic [`ArtifactStore`] (sharded,
+//!    single-flight, bounded, observable) backs three content-addressed
+//!    tiers: [`ScheduleCache`] (shape → compiled schedule), [`PlanCache`]
+//!    ((assignment, adjacency) → fused plan) and [`TraceCache`]
+//!    ((plan fingerprint, seed, load, slots) → compiled [`TrafficTrace`],
+//!    built block-wise from batched [`CounterRng::bernoulli_block`] draws).
+//!    Downstream keys embed upstream content fingerprints, so any engine —
+//!    sweeps, the sensornet frame kernel, repeated benchmark samples — shares
+//!    compiled artifacts without identity coupling.
+//! 6. Batched sweeps — [`SweepSpec`] / [`run_sweep`] fan whole parameter grids
+//!    (windows × loads × retry budgets × seeds) across all cores through the
+//!    artifact pipeline (≥5× over sequential reference runs on the 64-run
+//!    acceptance grid even cold; warm repeats skip every compile and report
+//!    per-tier hit/miss counters in the [`SweepReport`]; `engine-cli sweep`
+//!    serves specs from JSON).
 //!
 //! Underneath the table queries, 2-D and 3-D schedules use the
 //! dimension-specialized `latsched_lattice::FixedReducer`, which
@@ -78,9 +87,10 @@ mod frames;
 pub mod parallel;
 mod scenario;
 mod simkernel;
+mod store;
 mod sweep;
 
-pub use cache::{compile_shape, PlanCache, ScheduleCache};
+pub use cache::{compile_shape, PlanCache, ScheduleCache, TraceCache};
 pub use compiled::CompiledSchedule;
 pub use error::{EngineError, Result};
 pub use frames::{FramePlan, FrameSchedule, InterferenceCsr};
@@ -89,7 +99,8 @@ pub use scenario::{builtin_scenarios, run_scenario, Scenario, ScenarioReport, Sh
 pub use simkernel::{
     run_frames, KernelConfig, KernelCounts, KernelMac, KernelTraffic, TrafficTrace,
 };
+pub use store::{ArtifactStore, StoreStats};
 pub use sweep::{
-    builtin_sweep, grid_adjacency, run_sweep, SweepCaches, SweepMac, SweepReport, SweepRunReport,
-    SweepSpec, SweepTraffic,
+    builtin_sweep, grid_adjacency, run_sweep, SweepCacheStats, SweepCaches, SweepMac, SweepReport,
+    SweepRunReport, SweepSpec, SweepTraffic,
 };

@@ -8,6 +8,7 @@
 //! captures all the available speedup without a work-stealing runtime.
 
 use std::num::NonZeroUsize;
+use std::sync::OnceLock;
 
 /// Batches smaller than this are filled on the calling thread by default; below
 /// this size the cost of spawning threads exceeds per-element lookup work.
@@ -16,10 +17,17 @@ use std::num::NonZeroUsize;
 pub const PARALLEL_THRESHOLD: usize = 1 << 13;
 
 /// The number of worker threads used for batch evaluation.
+///
+/// Cached after the first query: `available_parallelism` is a syscall (and on
+/// Linux a cgroup walk), and the simulation kernel consults this once per
+/// slot on its hot paths.
 pub fn worker_threads() -> usize {
-    std::thread::available_parallelism()
-        .map(NonZeroUsize::get)
-        .unwrap_or(1)
+    static THREADS: OnceLock<usize> = OnceLock::new();
+    *THREADS.get_or_init(|| {
+        std::thread::available_parallelism()
+            .map(NonZeroUsize::get)
+            .unwrap_or(1)
+    })
 }
 
 /// Fills `out` by calling `fill(offset, chunk)` for disjoint contiguous chunks, in
@@ -43,8 +51,12 @@ where
     F: Fn(usize, &mut [T]) + Sync,
 {
     let len = out.len();
+    if len < min_parallel.max(2) {
+        fill(0, out);
+        return;
+    }
     let threads = worker_threads();
-    if len < min_parallel.max(2) || threads < 2 {
+    if threads < 2 {
         fill(0, out);
         return;
     }

@@ -9,13 +9,21 @@
 //! 1. compiles each window's schedule and fused [`FramePlan`] once, through the
 //!    sharded [`ScheduleCache`] / [`PlanCache`];
 //! 2. compiles each `(seed, load)` pair's Bernoulli generation draws once into
-//!    a [`TrafficTrace`], shared by every run that varies only MAC-side knobs
-//!    (retry budgets), in the spirit of derandomization: the sequential random
-//!    draws of the reference simulator become one deterministic per-position
-//!    structure evaluated once;
+//!    a [`TrafficTrace`] through the content-addressed [`TraceCache`] — shared
+//!    by every run that varies only MAC-side knobs (retry budgets) *and* by
+//!    every later sweep over the same caches, in the spirit of
+//!    derandomization: the sequential random draws of the reference simulator
+//!    become one deterministic per-position structure evaluated once;
 //! 3. fans the expanded grid across all cores with the engine's scoped-thread
 //!    executor ([`crate::parallel::fill_chunks_min`]) and aggregates the
-//!    per-run [`KernelCounts`] into a [`SweepReport`].
+//!    per-run [`KernelCounts`] into a [`SweepReport`], including per-tier
+//!    cache hit/miss/entry counters ([`SweepCacheStats`]).
+//!
+//! Because all three tiers are content-addressed, a *warm* repeat of a sweep
+//! (same [`SweepCaches`]) skips schedule compilation, plan fusion and trace
+//! generation entirely — its setup phase degenerates to adjacency
+//! construction and cache lookups, which is what the `--bench-tracecache`
+//! harness baseline measures.
 //!
 //! A sweep spec is JSON (one object):
 //!
@@ -42,7 +50,7 @@
 //! counters are bit-identical to a reference-simulator run of the same
 //! configuration — property-tested across the crates in `tests/sweep_parity.rs`.
 
-use crate::cache::{PlanCache, ScheduleCache};
+use crate::cache::{PlanCache, ScheduleCache, TraceCache};
 use crate::error::{EngineError, Result};
 use crate::frames::InterferenceCsr;
 use crate::parallel::fill_chunks_min;
@@ -50,6 +58,7 @@ use crate::scenario::{get_u64, invalid, ShapeSpec};
 use crate::simkernel::{
     run_frames, KernelConfig, KernelCounts, KernelMac, KernelTraffic, TrafficTrace,
 };
+use crate::store::StoreStats;
 use crate::FramePlan;
 use latsched_lattice::BoxRegion;
 use latsched_tiling::Prototile;
@@ -291,19 +300,85 @@ pub fn grid_adjacency(region: &BoxRegion, shape: &Prototile) -> Result<Interfere
     InterferenceCsr::from_lists(&lists)
 }
 
-/// The caches a sweep (or several sweeps) compiles through.
+/// The tiered artifact pipeline a sweep (or several sweeps) compiles through:
+/// one cache per artifact tier, chained by content fingerprints.
 #[derive(Default)]
 pub struct SweepCaches {
-    /// Shape → compiled Theorem 1 schedule.
+    /// Tier 1 — shape → compiled Theorem 1 schedule.
     pub schedules: ScheduleCache,
-    /// (assignment, adjacency) → fused frame plan.
+    /// Tier 2 — (assignment, adjacency) → fused frame plan.
     pub plans: PlanCache,
+    /// Tier 3 — (plan fingerprint, seed, load, slots) → compiled traffic
+    /// trace.
+    pub traces: TraceCache,
 }
 
 impl SweepCaches {
     /// Empty caches.
     pub fn new() -> Self {
         SweepCaches::default()
+    }
+
+    /// A point-in-time snapshot of all three tiers' counters.
+    pub fn stats(&self) -> SweepCacheStats {
+        SweepCacheStats {
+            schedules: self.schedules.stats(),
+            plans: self.plans.stats(),
+            traces: self.traces.stats(),
+        }
+    }
+}
+
+/// Per-tier cache counters of the artifact pipeline, as reported by
+/// [`SweepReport`]: hit/miss counts over one sweep and entry counts at its
+/// end.
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Default)]
+pub struct SweepCacheStats {
+    /// Schedule-tier counters.
+    pub schedules: StoreStats,
+    /// Plan-tier counters.
+    pub plans: StoreStats,
+    /// Trace-tier counters.
+    pub traces: StoreStats,
+}
+
+impl SweepCacheStats {
+    /// The counter movement since an earlier snapshot (entry counts stay
+    /// absolute).
+    #[must_use]
+    pub fn since(&self, earlier: &SweepCacheStats) -> SweepCacheStats {
+        SweepCacheStats {
+            schedules: self.schedules.since(&earlier.schedules),
+            plans: self.plans.since(&earlier.plans),
+            traces: self.traces.since(&earlier.traces),
+        }
+    }
+
+    /// The stats as a JSON object (one `{hits, misses, entries}` object per
+    /// tier).
+    pub fn to_json_value(&self) -> Value {
+        let tier = |s: &StoreStats| {
+            let mut map = BTreeMap::new();
+            map.insert("hits".to_string(), Value::from(s.hits));
+            map.insert("misses".to_string(), Value::from(s.misses));
+            map.insert("entries".to_string(), Value::from(s.entries));
+            Value::Object(map)
+        };
+        let mut map = BTreeMap::new();
+        map.insert("schedules".to_string(), tier(&self.schedules));
+        map.insert("plans".to_string(), tier(&self.plans));
+        map.insert("traces".to_string(), tier(&self.traces));
+        Value::Object(map)
+    }
+}
+
+impl fmt::Display for SweepCacheStats {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "schedules {} | plans {} | traces {}",
+            self.schedules, self.plans, self.traces
+        )
     }
 }
 
@@ -341,10 +416,9 @@ pub struct SweepReport {
     pub run_seconds: f64,
     /// Runs executed per second (excluding setup).
     pub runs_per_second: f64,
-    /// Plan-cache hits over the sweep.
-    pub plan_hits: u64,
-    /// Plan-cache misses over the sweep.
-    pub plan_misses: u64,
+    /// Per-tier cache counters: hits/misses over this sweep, entries at its
+    /// end.
+    pub caches: SweepCacheStats,
     /// Element-wise sum of every run's counters.
     pub aggregate: KernelCounts,
     /// Per-run reports, in grid order (windows × traffic × retries × seeds).
@@ -392,8 +466,7 @@ impl SweepReport {
             "runs_per_second".to_string(),
             Value::from(self.runs_per_second),
         );
-        map.insert("plan_hits".to_string(), Value::from(self.plan_hits));
-        map.insert("plan_misses".to_string(), Value::from(self.plan_misses));
+        map.insert("caches".to_string(), self.caches.to_json_value());
         map.insert("aggregate".to_string(), counts_json(&self.aggregate));
         map.insert(
             "per_run".to_string(),
@@ -422,7 +495,7 @@ impl fmt::Display for SweepReport {
         write!(
             f,
             "{:<20} {:>4} runs x {:>6} slots ({}) in {:>8.2} ms (+{:.2} ms setup, {:>8.1} runs/s), \
-             {} delivered / {} generated, {} collisions, plans {}h/{}m",
+             {} delivered / {} generated, {} collisions, plans {}h/{}m, traces {}h/{}m",
             self.name,
             self.runs,
             self.slots,
@@ -433,8 +506,10 @@ impl fmt::Display for SweepReport {
             self.aggregate.packets_delivered,
             self.aggregate.packets_generated,
             self.aggregate.collisions,
-            self.plan_hits,
-            self.plan_misses,
+            self.caches.plans.hits,
+            self.caches.plans.misses,
+            self.caches.traces.hits,
+            self.caches.traces.misses,
         )
     }
 }
@@ -457,8 +532,7 @@ struct RunSpec {
 ///
 /// Propagates compilation, trace and kernel errors.
 pub fn run_sweep(spec: &SweepSpec, caches: &SweepCaches) -> Result<SweepReport> {
-    let plan_hits0 = caches.plans.hits();
-    let plan_misses0 = caches.plans.misses();
+    let stats0 = caches.stats();
     let setup_start = Instant::now();
     let shape = spec.shape.prototile()?;
 
@@ -489,8 +563,10 @@ pub fn run_sweep(spec: &SweepSpec, caches: &SweepCaches) -> Result<SweepReport> 
         SweepMac::Aloha { p } => KernelMac::Aloha { p },
     };
 
-    // Per-(window, seed, load) compiled traffic traces, shared across the
-    // retry axis of the grid.
+    // Per-(window, seed, load) compiled traffic traces, fetched through the
+    // content-addressed trace tier: shared across the retry axis of the grid
+    // within this sweep, and across sweeps reusing the same caches (warm
+    // sweeps skip the `n × slots` draw compilation entirely).
     let mut traces: HashMap<(usize, u64, u64), Arc<TrafficTrace>> = HashMap::new();
     if let SweepTraffic::Bernoulli(loads) = &spec.traffic {
         for (w, (_, _, plan)) in plans.iter().enumerate() {
@@ -498,7 +574,7 @@ pub fn run_sweep(spec: &SweepSpec, caches: &SweepCaches) -> Result<SweepReport> 
                 for &seed in &spec.seeds {
                     traces.insert(
                         (w, seed, p.to_bits()),
-                        Arc::new(TrafficTrace::bernoulli(plan, seed, p, spec.slots)?),
+                        caches.traces.get_or_build(plan, seed, p, spec.slots)?,
                     );
                 }
             }
@@ -591,8 +667,7 @@ pub fn run_sweep(spec: &SweepSpec, caches: &SweepCaches) -> Result<SweepReport> 
         setup_seconds,
         run_seconds,
         runs_per_second: per_run.len() as f64 / run_seconds.max(1e-12),
-        plan_hits: caches.plans.hits() - plan_hits0,
-        plan_misses: caches.plans.misses() - plan_misses0,
+        caches: caches.stats().since(&stats0),
         aggregate,
         per_run,
     })
@@ -722,9 +797,16 @@ mod tests {
         let report = run_sweep(&spec, &caches).unwrap();
         assert_eq!(report.runs, 4);
         assert_eq!(report.per_run.len(), 4);
-        // One plan built, reused by every other run of the window.
-        assert_eq!(report.plan_misses, 1);
-        assert_eq!(report.plan_hits, 0, "plan looked up once per window");
+        // One plan built, reused by every other run of the window; one trace
+        // per (seed, load) pair, shared across the retry axis.
+        assert_eq!(report.caches.plans.misses, 1);
+        assert_eq!(
+            report.caches.plans.hits, 0,
+            "plan looked up once per window"
+        );
+        assert_eq!(report.caches.schedules.misses, 1);
+        assert_eq!(report.caches.traces.misses, 2, "one trace per seed");
+        assert_eq!(report.caches.traces.hits, 0);
         let mut sum = KernelCounts::default();
         for run in &report.per_run {
             assert_eq!(run.window, 8);
@@ -742,13 +824,28 @@ mod tests {
         // Same seed + load + retries ⇒ same counters regardless of grid position.
         let again = run_sweep(&spec, &caches).unwrap();
         assert_eq!(report.per_run, again.per_run);
-        // The second sweep hits the plan cache.
-        assert_eq!(again.plan_misses, 0);
-        assert!(again.plan_hits > 0);
+        // The warm sweep hits every tier: no schedule, plan or trace rebuilds.
+        assert_eq!(again.caches.plans.misses, 0);
+        assert!(again.caches.plans.hits > 0);
+        assert_eq!(again.caches.schedules.misses, 0);
+        assert_eq!(again.caches.traces.misses, 0, "warm sweeps reuse traces");
+        assert_eq!(again.caches.traces.hits, 2);
+        assert_eq!(again.caches.traces.entries, 2);
         let json = report.to_json_value();
         assert_eq!(json.get("runs").unwrap().as_u64(), Some(4));
         assert!(json.get("per_run").unwrap().as_array().unwrap().len() == 4);
+        let caches_json = json.get("caches").unwrap();
+        assert_eq!(
+            caches_json
+                .get("traces")
+                .unwrap()
+                .get("misses")
+                .unwrap()
+                .as_u64(),
+            Some(2)
+        );
         assert!(report.to_string().contains("4 runs"));
+        assert!(report.caches.to_string().contains("traces"));
     }
 
     #[test]

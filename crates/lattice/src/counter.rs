@@ -112,6 +112,60 @@ impl CounterRng {
     pub fn bernoulli(&self, p: f64, node: u64, slot: u64) -> bool {
         self.uniform(node, slot) < p
     }
+
+    /// The node-hoisted half of [`CounterRng::draw`]: `draw(node, slot)` equals
+    /// `mix64(hoisted ^ slot·SLOT_C)` for `hoisted = hoist_node(node)`, so a
+    /// block of draws along the slot axis pays the node mixing once instead of
+    /// once per draw.
+    #[inline]
+    #[must_use]
+    pub fn hoist_node(&self, node: u64) -> u64 {
+        mix64(self.key ^ node.wrapping_mul(NODE_C))
+    }
+
+    /// The integer acceptance threshold of Bernoulli(`p`) draws: the 53-bit
+    /// view `draw >> 11` is below the threshold exactly when
+    /// [`CounterRng::uniform`] is below `p`. `p · 2⁵³` is a power-of-two
+    /// scaling of an `f64`, hence exact, so the integer comparison reproduces
+    /// the floating-point one bit for bit — which is what lets block draws
+    /// replace one multiply-compare per draw with one integer compare.
+    #[inline]
+    #[must_use]
+    pub fn bernoulli_threshold(p: f64) -> u64 {
+        // u < p·2⁵³ for integer u  ⟺  u < ⌈p·2⁵³⌉; the product and its ceiling
+        // are exact for p in [0, 1] (clamped outside).
+        (p.clamp(0.0, 1.0) * (1u64 << 53) as f64).ceil() as u64
+    }
+
+    /// Raw draws of one node over a contiguous block of slots:
+    /// `out[i] = draw(node, slot0 + i)`. The node key is hoisted out of the
+    /// loop, so a block costs one `mix64` per draw instead of two.
+    #[inline]
+    pub fn draw_block(&self, node: u64, slot0: u64, out: &mut [u64]) {
+        let hoisted = self.hoist_node(node);
+        for (i, slot) in out.iter_mut().enumerate() {
+            *slot = mix64(hoisted ^ (slot0 + i as u64).wrapping_mul(SLOT_C));
+        }
+    }
+
+    /// Bernoulli(`p`) indicators of one node over a block of up to 64
+    /// consecutive slots, packed into a bitmask: bit `i` of the result is
+    /// `bernoulli(p, node, slot0 + i)` for `i < len`. Draws share one hoisted
+    /// node key and one precomputed integer threshold, making this the batched
+    /// building block of compiled traffic traces.
+    #[inline]
+    #[must_use]
+    pub fn bernoulli_block(&self, p: f64, node: u64, slot0: u64, len: usize) -> u64 {
+        debug_assert!(len <= 64);
+        let hoisted = self.hoist_node(node);
+        let threshold = CounterRng::bernoulli_threshold(p);
+        let mut bits = 0u64;
+        for i in 0..len.min(64) {
+            let draw = mix64(hoisted ^ (slot0 + i as u64).wrapping_mul(SLOT_C));
+            bits |= u64::from(draw >> 11 < threshold) << i;
+        }
+        bits
+    }
 }
 
 #[cfg(test)]
@@ -163,6 +217,54 @@ mod tests {
             .count();
         let rate = hits as f64 / 10_000.0;
         assert!((rate - 0.3).abs() < 0.03, "rate {rate} far from 0.3");
+    }
+
+    #[test]
+    fn draw_block_matches_single_draws() {
+        let rng = CounterRng::traffic(2024);
+        let mut block = [0u64; 100];
+        rng.draw_block(5, 37, &mut block);
+        for (i, &v) in block.iter().enumerate() {
+            assert_eq!(v, rng.draw(5, 37 + i as u64), "offset {i}");
+        }
+    }
+
+    #[test]
+    fn bernoulli_block_matches_single_indicators_bit_for_bit() {
+        let rng = CounterRng::mac(77);
+        for p in [0.0, 1e-12, 0.02, 0.3, 0.5, 0.999, 1.0] {
+            for slot0 in [0u64, 63, 64, 1_000_000] {
+                for len in [1usize, 7, 63, 64] {
+                    let bits = rng.bernoulli_block(p, 9, slot0, len);
+                    for i in 0..len {
+                        assert_eq!(
+                            bits >> i & 1 == 1,
+                            rng.bernoulli(p, 9, slot0 + i as u64),
+                            "p={p} slot0={slot0} i={i}"
+                        );
+                    }
+                    // Bits beyond `len` stay clear.
+                    if len < 64 {
+                        assert_eq!(bits >> len, 0, "p={p} len={len}");
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn bernoulli_threshold_brackets_the_uniform_comparison() {
+        // The threshold must reproduce `uniform < p` for every 53-bit draw
+        // value near the cut, including the degenerate endpoints.
+        for p in [0.0, 0.25, 0.5, 1.0 / 3.0, 0.7654321, 1.0] {
+            let t = CounterRng::bernoulli_threshold(p);
+            for u in t.saturating_sub(2)..(t + 2).min(1 << 53) {
+                let uniform = u as f64 * (1.0 / (1u64 << 53) as f64);
+                assert_eq!(u < t, uniform < p, "p={p} u={u}");
+            }
+        }
+        assert_eq!(CounterRng::bernoulli_threshold(-0.5), 0);
+        assert_eq!(CounterRng::bernoulli_threshold(2.0), 1 << 53);
     }
 
     #[test]

@@ -194,6 +194,108 @@ impl<const D: usize> FixedReducer<D> {
     }
 }
 
+/// The triangular Hermite-normal-form coset reduction of a [`Sublattice`] with
+/// strength-reduced division, for *runtime* dimensions.
+///
+/// [`FixedReducer`] covers the paper's 2-D and 3-D lattices with compile-time
+/// unrolled loops; this is its `d ≥ 4` counterpart: the same algorithm as
+/// [`Sublattice::reduce_into`] / [`Sublattice::coset_rank`] over a row-major
+/// flattened HNF, with every per-coordinate `div_euclid` replaced by a
+/// precomputed [`MagicDiv`] reciprocal — so the generic query path stops paying
+/// two hardware divisions per coordinate.
+///
+/// # Examples
+///
+/// ```
+/// use latsched_lattice::{Point, Sublattice};
+/// let lambda = Sublattice::scaled(4, 3)?;
+/// let dynr = lambda.dyn_reducer()?;
+/// let mut coords = [7, -3, 11, 2];
+/// let rank = dynr.coset_rank_dyn(&mut coords);
+/// assert_eq!(rank, lambda.coset_rank(&Point::new(vec![7, -3, 11, 2]))?);
+/// # Ok::<(), latsched_lattice::LatticeError>(())
+/// ```
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct DynReducer {
+    dim: usize,
+    /// Row-major HNF basis.
+    hnf: Vec<i64>,
+    /// The HNF diagonal (the mixed-radix radices of the coset rank).
+    diag: Vec<i64>,
+    /// Reciprocal of each diagonal entry.
+    magic: Vec<MagicDiv>,
+}
+
+impl DynReducer {
+    /// Builds the division-free reducer of a sublattice of any dimension.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`MagicDiv::new`] errors (the HNF diagonal of a full-rank
+    /// sublattice is always positive, so none occur in practice).
+    pub fn new(lattice: &Sublattice) -> Result<Self> {
+        let dim = lattice.dim();
+        let mut hnf = Vec::with_capacity(dim * dim);
+        let mut diag = Vec::with_capacity(dim);
+        let mut magic = Vec::with_capacity(dim);
+        for r in 0..dim {
+            for c in 0..dim {
+                hnf.push(lattice.hnf().get(r, c));
+            }
+            diag.push(lattice.hnf().get(r, r));
+            magic.push(MagicDiv::new(diag[r])?);
+        }
+        Ok(DynReducer {
+            dim,
+            hnf,
+            diag,
+            magic,
+        })
+    }
+
+    /// The dimension the reducer was built for.
+    pub fn dim(&self) -> usize {
+        self.dim
+    }
+
+    /// The HNF diagonal (the per-coordinate canonical ranges).
+    pub fn diag(&self) -> &[i64] {
+        &self.diag
+    }
+
+    /// Reduces `coords` in place to the canonical representative of its coset,
+    /// exactly like [`Sublattice::reduce_into`] but division-free.
+    ///
+    /// # Panics
+    ///
+    /// Debug-asserts `coords.len() == self.dim()`.
+    #[inline]
+    pub fn reduce_into_dyn(&self, coords: &mut [i64]) {
+        debug_assert_eq!(coords.len(), self.dim);
+        for i in 0..self.dim {
+            let q = self.magic[i].floor_div(coords[i]);
+            if q != 0 {
+                let row = &self.hnf[i * self.dim..(i + 1) * self.dim];
+                for (c, &h) in coords[i..].iter_mut().zip(&row[i..]) {
+                    *c -= q * h;
+                }
+            }
+        }
+    }
+
+    /// Reduces `coords` in place and returns the dense coset rank, exactly like
+    /// [`Sublattice::coset_rank`] but allocation- and division-free.
+    #[inline]
+    pub fn coset_rank_dyn(&self, coords: &mut [i64]) -> u64 {
+        self.reduce_into_dyn(coords);
+        let mut rank = 0u64;
+        for (&c, &radix) in coords.iter().zip(&self.diag) {
+            rank = rank * radix as u64 + c as u64;
+        }
+        rank
+    }
+}
+
 impl Sublattice {
     /// The dimension-specialized, division-free reducer of this sublattice (see
     /// [`FixedReducer`]).
@@ -203,6 +305,17 @@ impl Sublattice {
     /// Returns [`LatticeError::DimensionMismatch`] if `self.dim() != D`.
     pub fn fixed_reducer<const D: usize>(&self) -> Result<FixedReducer<D>> {
         FixedReducer::new(self)
+    }
+
+    /// The runtime-dimension, division-free reducer of this sublattice (see
+    /// [`DynReducer`]); the `d ≥ 4` counterpart of
+    /// [`Sublattice::fixed_reducer`].
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`DynReducer::new`] errors.
+    pub fn dyn_reducer(&self) -> Result<DynReducer> {
+        DynReducer::new(self)
     }
 }
 
@@ -357,6 +470,77 @@ mod tests {
                 "representatives are fixed points"
             );
             assert_eq!(fixed.coset_rank_fixed(&mut coords), rank);
+        }
+    }
+
+    #[test]
+    fn dyn_reducer_matches_generic_reduction_across_dimensions() {
+        // d = 2..5: the runtime reducer must agree with the generic path on
+        // whole coset periods in every direction, including d ≥ 4 where no
+        // const-generic fast path exists.
+        for dim in 2..=5usize {
+            let basis: Vec<Point> = (0..dim)
+                .map(|i| {
+                    let mut coords = vec![0i64; dim];
+                    coords[i] = 2 + i as i64;
+                    for c in coords.iter_mut().skip(i + 1) {
+                        *c = 1;
+                    }
+                    Point::new(coords)
+                })
+                .collect();
+            let lambda = Sublattice::from_vectors(&basis).unwrap();
+            let dynr = lambda.dyn_reducer().unwrap();
+            assert_eq!(dynr.dim(), dim);
+            assert_eq!(dynr.diag().len(), dim);
+            let span = 8i64;
+            let mut coords = vec![-span; dim];
+            loop {
+                let p = Point::new(coords.clone());
+                let mut generic = coords.clone();
+                lambda.reduce_into(&mut generic).unwrap();
+                let mut specialized = coords.clone();
+                dynr.reduce_into_dyn(&mut specialized);
+                assert_eq!(specialized, generic, "{lambda} at {p}");
+                let mut for_rank = coords.clone();
+                assert_eq!(
+                    dynr.coset_rank_dyn(&mut for_rank),
+                    lambda.coset_rank(&p).unwrap(),
+                    "{lambda} rank at {p}"
+                );
+                // Odometer step over the box [-span, span]^dim (sparse stride
+                // keeps the d = 5 case fast).
+                let mut i = 0;
+                while i < dim {
+                    coords[i] += 3;
+                    if coords[i] <= span {
+                        break;
+                    }
+                    coords[i] = -span;
+                    i += 1;
+                }
+                if i == dim {
+                    break;
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn dyn_reducer_agrees_with_fixed_reducer_where_both_apply() {
+        let lambda = Sublattice::from_vectors(&[Point::xy(3, 1), Point::xy(-1, 3)]).unwrap();
+        let fixed = lambda.fixed_reducer::<2>().unwrap();
+        let dynr = lambda.dyn_reducer().unwrap();
+        for x in -9..=9i64 {
+            for y in -9..=9i64 {
+                let mut a = [x, y];
+                let mut b = [x, y];
+                assert_eq!(
+                    fixed.coset_rank_fixed(&mut a),
+                    dynr.coset_rank_dyn(&mut b[..])
+                );
+                assert_eq!(a, b);
+            }
         }
     }
 

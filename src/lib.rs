@@ -57,11 +57,12 @@ pub mod prelude {
         PeriodicSchedule, SlotSource,
     };
     pub use latsched_engine::{
-        builtin_scenarios, run_scenario, CompiledSchedule, Scenario, ScheduleCache,
+        builtin_scenarios, run_scenario, ArtifactStore, CompiledSchedule, PlanCache, Scenario,
+        ScheduleCache, TraceCache,
     };
     pub use latsched_lattice::{
-        ball_points, hexagonal_lattice, square_lattice, voronoi_cell, BoxRegion, Embedding,
-        FixedReducer, IntMatrix, MagicDiv, Metric, Point, Sublattice,
+        ball_points, hexagonal_lattice, square_lattice, voronoi_cell, BoxRegion, DynReducer,
+        Embedding, FixedReducer, IntMatrix, MagicDiv, Metric, Point, Sublattice,
     };
     pub use latsched_sensornet::{
         aloha_mac, coloring_mac, grid_network, run_comparison, run_simulation, run_simulation_with,

@@ -7,9 +7,13 @@
 //! without reproducing the reference kernel's draw order. The suite sweeps
 //! randomized sublattice schedules, window geometries, neighbourhood shapes,
 //! traffic models (periodic, staggered, Bernoulli), MAC families (tiling,
-//! TDMA, colouring, slotted ALOHA), seeds and retry budgets, and additionally
-//! cross-checks the dimension-specialized coset reduction
-//! (`reduce_into_fixed` / `coset_rank_fixed`) against the generic lattice path.
+//! TDMA, colouring, slotted ALOHA), seeds, retry budgets and partially
+//! conflicting explicit assignments (mixed clean/conflicted frame slots,
+//! exercising the kernel's per-slot conflict-bitmask narrowing), and
+//! additionally cross-checks the dimension-specialized coset reduction —
+//! const-generic (`reduce_into_fixed` / `coset_rank_fixed`) and
+//! runtime-dimension (`reduce_into_dyn` / `coset_rank_dyn`) — against the
+//! generic lattice path.
 
 use latsched::prelude::*;
 use latsched::sensornet::SimMetrics;
@@ -165,6 +169,50 @@ fn frame_kernel_matches_reference_with_out_of_period_slot_assignments() {
         frame.packets_pending > 0,
         "silenced nodes accumulate backlog"
     );
+}
+
+#[test]
+fn partially_conflicting_assignments_expose_clean_and_conflicted_slots() {
+    // A "restricted-window" style deployment: two dense slots whose candidates
+    // interfere, plus one singleton slot that stays clean. The compiled plan's
+    // conflict bitmask must separate them, and the narrowed kernel must match
+    // the reference simulator bit for bit on a stochastic workload.
+    use latsched::engine::{grid_adjacency, FramePlan, FrameSchedule};
+    let shape = shapes::moore();
+    let side = 6i64;
+    let network = grid_network(side, &shape).unwrap();
+    let n = network.len();
+    let assignment: Vec<usize> = (0..n).map(|i| if i == n - 1 { 2 } else { i % 2 }).collect();
+
+    // Engine view: the fused plan really is partially conflicting.
+    let region = BoxRegion::square_window(2, side).unwrap();
+    let adjacency = grid_adjacency(&region, &shape).unwrap();
+    let frames = FrameSchedule::from_assignment(&assignment, 3).unwrap();
+    let plan = FramePlan::new(&frames, &adjacency).unwrap();
+    assert!(!plan.conflict_free());
+    assert_eq!(plan.conflicted_slots(), 2, "dense slots conflict");
+    assert!(!plan.slot_conflicted(2), "the singleton slot is clean");
+
+    // Simulator view: exact parity across both backends.
+    for traffic in [
+        TrafficModel::Periodic { period: 5 },
+        TrafficModel::Bernoulli { p: 0.2 },
+    ] {
+        let config = SimConfig {
+            mac: MacPolicy::SlotAssignment {
+                slots: assignment.clone(),
+                period: 3,
+            },
+            traffic,
+            slots: 240,
+            max_retries: 2,
+            ..SimConfig::default()
+        };
+        let (frame, reference) = run_both(&network, &config);
+        assert_eq!(frame, reference, "traffic {traffic}");
+        assert!(frame.collisions > 0, "conflicted slots really collide");
+        assert!(frame.packets_delivered > 0, "clean slot really delivers");
+    }
 }
 
 #[test]
@@ -378,6 +426,98 @@ proptest! {
                     fixed.coset_rank_fixed(&mut for_rank),
                     lambda.coset_rank(&Point::xy(x, y)).unwrap()
                 );
+            }
+        }
+    }
+
+    /// Randomized partially conflicting deployments: explicit slot
+    /// assignments with dense shared slots and sparse singleton slots, so the
+    /// compiled plan mixes conflicted and clean slots and the kernel's
+    /// per-slot bitmask narrowing is exercised across every traffic model.
+    /// The narrowed kernel must match the reference simulator bit for bit.
+    #[test]
+    fn frame_kernel_matches_reference_on_partially_conflicting_assignments(
+        side in 3i64..7,
+        period in 2usize..6,
+        assign_seed in 0u64..1000,
+        traffic_idx in 0usize..3,
+        traffic_param in 1u64..24,
+        p_traffic in 0.05f64..0.4,
+        slots in 1u64..250,
+        max_retries in 0u32..4,
+        seed in 0u64..1000,
+    ) {
+        let shape = shapes::moore();
+        let network = grid_network(side, &shape).unwrap();
+        let n = network.len();
+        // Derandomized assignment: a cheap hash of (node, assign_seed) picks
+        // each node's slot, yielding dense (conflicted) and occasionally
+        // sparse (clean) frame slots.
+        let assignment: Vec<usize> = (0..n as u64)
+            .map(|i| {
+                let mut h = i
+                    .wrapping_mul(0x9E37_79B9_7F4A_7C15)
+                    .wrapping_add(assign_seed.wrapping_mul(0xBF58_476D_1CE4_E5B9));
+                h ^= h >> 31;
+                (h % period as u64) as usize
+            })
+            .collect();
+        let traffic = match traffic_idx {
+            0 => TrafficModel::Periodic { period: traffic_param },
+            1 => TrafficModel::Staggered { period: traffic_param },
+            _ => TrafficModel::Bernoulli { p: p_traffic },
+        };
+        let config = SimConfig {
+            mac: MacPolicy::SlotAssignment { slots: assignment, period },
+            traffic,
+            slots,
+            max_retries,
+            seed,
+            ..SimConfig::default()
+        };
+        let (frame, reference) = run_both(&network, &config);
+        prop_assert_eq!(frame, reference);
+    }
+
+    /// Cross-check of the runtime-dimension coset arithmetic at d = 4 (the
+    /// `DynReducer` gap the const-generic fast paths do not cover): over
+    /// several coset periods of a random upper-triangular sublattice, the
+    /// division-free reduction agrees with the generic one.
+    #[test]
+    fn dyn_reduction_matches_generic_reduction_d4(
+        diag in (1i64..4, 1i64..4, 1i64..4, 1i64..4),
+        upper_a in (0i64..4, 0i64..4, 0i64..4),
+        upper_b in (0i64..4, 0i64..4, 0i64..4),
+        offset in (-20i64..20, -20i64..20, -20i64..20, -20i64..20),
+    ) {
+        let (d0, d1, d2, d3) = diag;
+        let (u01, u02, u03) = upper_a;
+        let (u12, u13, u23) = upper_b;
+        let lambda = Sublattice::from_vectors(&[
+            Point::new(vec![d0, u01, u02, u03]),
+            Point::new(vec![0, d1, u12, u13]),
+            Point::new(vec![0, 0, d2, u23]),
+            Point::new(vec![0, 0, 0, d3]),
+        ]).unwrap();
+        let dynr = lambda.dyn_reducer().unwrap();
+        let (ox, oy, oz, ow) = offset;
+        for x in ox..ox + 4 {
+            for y in oy..oy + 4 {
+                for z in oz..oz + 4 {
+                    for w in ow..ow + 4 {
+                        let p = Point::new(vec![x, y, z, w]);
+                        let mut generic = [x, y, z, w];
+                        lambda.reduce_into(&mut generic).unwrap();
+                        let mut specialized = [x, y, z, w];
+                        dynr.reduce_into_dyn(&mut specialized);
+                        prop_assert_eq!(specialized, generic, "at {}", p);
+                        let mut for_rank = [x, y, z, w];
+                        prop_assert_eq!(
+                            dynr.coset_rank_dyn(&mut for_rank),
+                            lambda.coset_rank(&p).unwrap()
+                        );
+                    }
+                }
             }
         }
     }

@@ -126,3 +126,34 @@ fn sweep_runs_match_reference_simulator_on_staggered_grids() {
     };
     check_sweep_against_reference(&spec, &tiling_mac(&shapes::moore()).unwrap());
 }
+
+#[test]
+fn warm_sweeps_replay_cold_sweeps_through_every_tier() {
+    // Repeating a sweep over shared caches must hit every tier of the
+    // artifact pipeline — no schedule, plan or trace rebuilds — and reproduce
+    // the per-run counters exactly (the property the `--bench-tracecache`
+    // baseline and its CI gate quantify).
+    let spec = SweepSpec {
+        windows: vec![6, 9],
+        slots: 160,
+        seeds: vec![2, 9],
+        retries: vec![0, 2],
+        traffic: SweepTraffic::Bernoulli(vec![0.1, 0.3]),
+        mac: SweepMac::Tiling,
+        ..latsched_engine::builtin_sweep()
+    };
+    let caches = SweepCaches::new();
+    let cold = run_sweep(&spec, &caches).unwrap();
+    // One schedule for the shape, one plan per window, one trace per
+    // (window, seed, load).
+    assert_eq!(cold.caches.schedules.misses, 1);
+    assert_eq!(cold.caches.plans.misses, 2);
+    assert_eq!(cold.caches.traces.misses, 2 * 2 * 2);
+    let warm = run_sweep(&spec, &caches).unwrap();
+    assert_eq!(warm.per_run, cold.per_run, "warm sweeps replay cold runs");
+    assert_eq!(warm.caches.schedules.misses, 0);
+    assert_eq!(warm.caches.plans.misses, 0);
+    assert_eq!(warm.caches.traces.misses, 0, "no trace is ever rebuilt");
+    assert_eq!(warm.caches.traces.hits, 2 * 2 * 2);
+    assert_eq!(warm.caches.traces.entries, 8);
+}
