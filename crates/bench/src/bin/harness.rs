@@ -13,10 +13,13 @@
 //!                              # sequential reference runs, write BENCH_sweep.json
 //! harness --bench-tracecache   # measure warm (cached) vs cold sweeps through
 //!                              # the artifact pipeline, write BENCH_tracecache.json
+//! harness --bench-aggregate    # measure a 100k-run streaming sweep (peak
+//!                              # memory + fold parity), write BENCH_aggregate.json
 //! ```
 
 use latsched_bench::{
-    measure_simkernel, measure_sweep, measure_tracecache, run_all, run_by_id, Table,
+    measure_aggregate, measure_simkernel, measure_sweep, measure_tracecache, run_all, run_by_id,
+    Table,
 };
 use std::process::ExitCode;
 
@@ -118,12 +121,51 @@ fn emit_tracecache_baseline(path: &str) -> ExitCode {
     ExitCode::SUCCESS
 }
 
+/// Acceptance workload of the streaming sweep-statistics subsystem: a
+/// 100 000-run grid (4 traffic periods × 5 retry budgets × 5 000 seeds on the
+/// Moore 12×12 window) folded online by traffic × retries, with the peak
+/// allocation of the streaming side measured by the counting allocator and
+/// compared against the full-mode report of the same grid.
+fn emit_aggregate_baseline(path: &str) -> ExitCode {
+    let baseline = match measure_aggregate(5_000, 2) {
+        Ok(baseline) => baseline,
+        Err(err) => {
+            eprintln!("aggregate baseline failed: {err}");
+            return ExitCode::FAILURE;
+        }
+    };
+    println!(
+        "aggregate baseline: {} — streaming {:.1} ms ({:.0} runs/s, peak {:.2} MiB), \
+         full {:.1} ms (peak {:.2} MiB), mem reduction {:.1}x, parity {}",
+        baseline.workload,
+        baseline.stream_ms,
+        baseline.runs_per_second,
+        baseline.peak_stream_bytes as f64 / (1 << 20) as f64,
+        baseline.full_ms,
+        baseline.peak_full_bytes as f64 / (1 << 20) as f64,
+        baseline.speedup,
+        baseline.parity
+    );
+    let json = serde_json::to_string_pretty(&baseline.to_json_value());
+    if let Err(err) = std::fs::write(path, json + "\n") {
+        eprintln!("failed to write {path}: {err}");
+        return ExitCode::FAILURE;
+    }
+    println!("wrote aggregate baseline to {path}");
+    if !baseline.parity {
+        eprintln!("aggregate parity / memory-bound check failed");
+        return ExitCode::FAILURE;
+    }
+    ExitCode::SUCCESS
+}
+
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let mut json_path: Option<String> = None;
     let mut simkernel_path: Option<String> = None;
     let mut sweep_path: Option<String> = None;
     let mut tracecache_path: Option<String> = None;
+    let mut aggregate_path: Option<String> = None;
     let mut ids: Vec<String> = Vec::new();
     let mut iter = args.into_iter().peekable();
     while let Some(arg) = iter.next() {
@@ -156,10 +198,18 @@ fn main() -> ExitCode {
                     _ => "BENCH_tracecache.json".to_string(),
                 });
             }
+            "--bench-aggregate" => {
+                // Optional path operand; defaults to BENCH_aggregate.json.
+                aggregate_path = Some(match iter.peek() {
+                    Some(next) if !next.starts_with('-') => iter.next().unwrap(),
+                    _ => "BENCH_aggregate.json".to_string(),
+                });
+            }
             "--help" | "-h" => {
                 println!(
                     "usage: harness [--json FILE] [--bench-simkernel [FILE]] \
-                     [--bench-sweep [FILE]] [--bench-tracecache [FILE]] [E1..E8 | all]..."
+                     [--bench-sweep [FILE]] [--bench-tracecache [FILE]] \
+                     [--bench-aggregate [FILE]] [E1..E8 | all]..."
                 );
                 return ExitCode::SUCCESS;
             }
@@ -167,10 +217,15 @@ fn main() -> ExitCode {
         }
     }
 
-    let baseline_modes = [&simkernel_path, &sweep_path, &tracecache_path]
-        .iter()
-        .filter(|p| p.is_some())
-        .count();
+    let baseline_modes = [
+        &simkernel_path,
+        &sweep_path,
+        &tracecache_path,
+        &aggregate_path,
+    ]
+    .iter()
+    .filter(|p| p.is_some())
+    .count();
     if baseline_modes > 0 {
         // The baseline runs are their own mode; refuse silently dropped work.
         if !ids.is_empty() || json_path.is_some() {
@@ -189,6 +244,9 @@ fn main() -> ExitCode {
         }
         if let Some(path) = tracecache_path {
             return emit_tracecache_baseline(&path);
+        }
+        if let Some(path) = aggregate_path {
+            return emit_aggregate_baseline(&path);
         }
     }
 

@@ -8,17 +8,29 @@
 //! perf-gate BENCH_simkernel.json fresh_simkernel.json
 //! perf-gate BENCH_sweep.json fresh_sweep.json --max-regression 0.25
 //! perf-gate baseline.json fresh.json --metric speedup
+//! perf-gate BENCH_aggregate.json fresh_aggregate.json --max-mem-growth 3.0
 //! ```
 //!
 //! The compared metric defaults to `speedup` — a ratio of two timings taken on
 //! the *same* machine in the *same* run, so it transfers across differently
-//! sized CI runners where absolute milliseconds would not.
+//! sized CI runners where absolute milliseconds would not. (The aggregate
+//! baseline reports its memory-reduction ratio under the same field, for the
+//! same reason.)
+//!
+//! When both baselines carry peak-memory fields (`peak_*_bytes`), each is
+//! additionally compared lower-is-better: the fresh peak may not exceed the
+//! committed one by more than `--max-mem-growth` (a fraction; default 1.0,
+//! i.e. a doubling fails). Peak bytes vary with worker-thread counts, so the
+//! growth allowance is deliberately wider than the metric gate.
 
 use serde_json::Value;
 use std::process::ExitCode;
 
 /// Default allowed fractional regression (25%).
 const DEFAULT_MAX_REGRESSION: f64 = 0.25;
+
+/// Default allowed fractional growth of peak-memory fields (100%).
+const DEFAULT_MAX_MEM_GROWTH: f64 = 1.0;
 
 fn load(path: &str) -> Result<Value, String> {
     let text = std::fs::read_to_string(path).map_err(|e| format!("failed to read {path}: {e}"))?;
@@ -32,10 +44,55 @@ fn metric_of(value: &Value, metric: &str, path: &str) -> Result<f64, String> {
         .ok_or_else(|| format!("{path} has no numeric field '{metric}'"))
 }
 
+/// Compares every `peak_*_bytes` field present in both baselines,
+/// lower-is-better: fresh may exceed committed by at most `max_growth`.
+fn gate_memory_fields(baseline: &Value, fresh: &Value, max_growth: f64) -> Result<(), String> {
+    let Some(map) = baseline.as_object() else {
+        return Ok(());
+    };
+    for (field, was) in map {
+        if !(field.starts_with("peak_") && field.ends_with("_bytes")) {
+            continue;
+        }
+        let Some(was) = was.as_f64() else { continue };
+        // A peak field the committed baseline tracks must be present in the
+        // fresh measurement — a silently dropped field would pass the memory
+        // gate vacuously.
+        let Some(now) = fresh.get(field).and_then(Value::as_f64) else {
+            return Err(format!(
+                "fresh baseline has no numeric field '{field}' to compare against the \
+                 committed peak-memory value"
+            ));
+        };
+        let ceiling = was * (1.0 + max_growth);
+        let change = if was > 0.0 {
+            (now / was - 1.0) * 100.0
+        } else {
+            0.0
+        };
+        println!(
+            "perf-gate: {field} {:.2} MiB -> {:.2} MiB ({change:+.1}%), ceiling {:.2} MiB \
+             (max growth {:.0}%)",
+            was / (1 << 20) as f64,
+            now / (1 << 20) as f64,
+            ceiling / (1 << 20) as f64,
+            max_growth * 100.0
+        );
+        if now > ceiling {
+            return Err(format!(
+                "{field} grew beyond the {:.0}% gate: {now:.0} > {ceiling:.0} (baseline {was:.0})",
+                max_growth * 100.0
+            ));
+        }
+    }
+    Ok(())
+}
+
 fn run() -> Result<(), String> {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let mut metric = "speedup".to_string();
     let mut max_regression = DEFAULT_MAX_REGRESSION;
+    let mut max_mem_growth = DEFAULT_MAX_MEM_GROWTH;
     let mut paths: Vec<String> = Vec::new();
     let mut iter = args.into_iter();
     while let Some(arg) = iter.next() {
@@ -53,9 +110,20 @@ fn run() -> Result<(), String> {
                     return Err("--max-regression must be in [0, 1)".into());
                 }
             }
+            "--max-mem-growth" => {
+                max_mem_growth = iter
+                    .next()
+                    .ok_or("--max-mem-growth requires a fraction")?
+                    .parse::<f64>()
+                    .map_err(|e| format!("bad --max-mem-growth: {e}"))?;
+                if max_mem_growth < 0.0 {
+                    return Err("--max-mem-growth must be nonnegative".into());
+                }
+            }
             "--help" | "-h" => {
                 println!(
-                    "usage: perf-gate BASELINE.json FRESH.json [--metric NAME] [--max-regression FRAC]"
+                    "usage: perf-gate BASELINE.json FRESH.json [--metric NAME] \
+                     [--max-regression FRAC] [--max-mem-growth FRAC]"
                 );
                 return Ok(());
             }
@@ -89,7 +157,7 @@ fn run() -> Result<(), String> {
             max_regression * 100.0
         ));
     }
-    Ok(())
+    gate_memory_fields(&baseline, &fresh, max_mem_growth)
 }
 
 fn main() -> ExitCode {

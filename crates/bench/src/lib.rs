@@ -20,12 +20,15 @@
 #![warn(missing_docs)]
 #![warn(rust_2018_idioms)]
 
+pub mod aggregate;
+pub mod alloc;
 pub mod experiments;
 pub mod report;
 pub mod simbench;
 pub mod sweep;
 pub mod tracecache;
 
+pub use aggregate::{measure_aggregate, AggregateBaseline};
 pub use experiments::{run_all, run_by_id, ExpResult};
 pub use report::Table;
 pub use simbench::{measure_simkernel, SimkernelBaseline};

@@ -13,17 +13,64 @@
 //! `latsched_engine::SweepSpec` for the sweep spec format.
 
 use latsched_engine::{
-    builtin_scenarios, builtin_sweep, run_scenario, run_sweep, Scenario, ScheduleCache,
-    SweepCaches, SweepSpec,
+    builtin_scenarios, builtin_sweep, run_scenario, run_sweep, GroupReport, GroupSpec, Scenario,
+    ScheduleCache, SweepCaches, SweepMode, SweepSpec,
 };
 use std::process::ExitCode;
 
+/// Prints one sweep's group folds as a table: key, run count, aggregate
+/// delivery, mean latency and the p99 latency bucket bound. With `top`,
+/// rows are ranked by delivered packets and truncated.
+fn print_group_table(groups: &[GroupReport], top: Option<usize>) {
+    let mut order: Vec<usize> = (0..groups.len()).collect();
+    if top.is_some() {
+        order.sort_by_key(|&i| std::cmp::Reverse(groups[i].fold.sums().packets_delivered));
+    }
+    let shown = top.unwrap_or(groups.len()).min(groups.len());
+    println!(
+        "  {:<44} {:>8} {:>12} {:>12} {:>9} {:>10} {:>9}",
+        "group", "runs", "generated", "delivered", "ratio", "mean-lat", "p99-lat"
+    );
+    for &i in order.iter().take(shown) {
+        let g = &groups[i];
+        let sums = g.fold.sums();
+        let latency = g.fold.field("total_latency").expect("known field");
+        let mean_latency = if sums.packets_delivered > 0 {
+            latency.sum as f64 / sums.packets_delivered as f64
+        } else {
+            0.0
+        };
+        println!(
+            "  {:<44} {:>8} {:>12} {:>12} {:>8.1}% {:>10.2} {:>9}",
+            g.key.to_string(),
+            g.fold.runs,
+            sums.packets_generated,
+            sums.packets_delivered,
+            g.fold.delivery_ratio() * 100.0,
+            mean_latency,
+            g.fold
+                .latency
+                .percentile_lower_bound(0.99)
+                .map_or("-".to_string(), |b| format!("≥{b}")),
+        );
+    }
+    if shown < groups.len() {
+        println!("  … {} more group(s)", groups.len() - shown);
+    }
+}
+
 /// The `sweep` subcommand: run parameter-grid sweeps and report aggregate
 /// counters plus throughput (and, with `--stats`, per-tier cache counters of
-/// the artifact pipeline).
+/// the artifact pipeline). `--streaming` switches every sweep to online
+/// per-axis folds (`--group-by` selects the axes) so the report stays
+/// O(groups) on huge grids; `--top N` ranks the printed group table by
+/// delivered packets.
 fn sweep_main(args: Vec<String>) -> ExitCode {
     let mut json_path: Option<String> = None;
     let mut stats = false;
+    let mut streaming = false;
+    let mut group_by: Option<GroupSpec> = None;
+    let mut top: Option<usize> = None;
     let mut spec_paths: Vec<String> = Vec::new();
     let mut iter = args.into_iter();
     while let Some(arg) = iter.next() {
@@ -36,10 +83,39 @@ fn sweep_main(args: Vec<String>) -> ExitCode {
                 }
             },
             "--stats" => stats = true,
+            "--streaming" => streaming = true,
+            "--group-by" => match iter.next() {
+                Some(list) => match GroupSpec::parse(&list) {
+                    Ok(spec) => group_by = Some(spec),
+                    Err(err) => {
+                        eprintln!("bad --group-by: {err}");
+                        return ExitCode::FAILURE;
+                    }
+                },
+                None => {
+                    eprintln!("--group-by requires a comma-separated axis list");
+                    return ExitCode::FAILURE;
+                }
+            },
+            "--top" => match iter.next().and_then(|n| n.parse::<usize>().ok()) {
+                Some(n) => top = Some(n),
+                None => {
+                    eprintln!("--top requires a row count");
+                    return ExitCode::FAILURE;
+                }
+            },
             "--help" | "-h" => {
-                println!("usage: engine-cli sweep [--json FILE] [--stats] [SPEC.json]...");
+                println!(
+                    "usage: engine-cli sweep [--json FILE] [--stats] [--streaming] \
+                     [--group-by AXES] [--top N] [SPEC.json]..."
+                );
                 println!("With no spec files, runs the builtin 64-run stochastic sweep.");
-                println!("--stats prints hit/miss/entry counters of all three artifact tiers.");
+                println!("--stats prints hit/miss/entry counters of all four artifact tiers.");
+                println!(
+                    "--streaming folds runs online (O(groups) report memory, no per-run \
+                     detail); --group-by selects fold axes from window, traffic/load, \
+                     retries, seed."
+                );
                 return ExitCode::SUCCESS;
             }
             other => spec_paths.push(other.to_string()),
@@ -67,6 +143,12 @@ fn sweep_main(args: Vec<String>) -> ExitCode {
             }
         }
     }
+    if streaming || group_by.is_some() {
+        // The command-line mode overrides whatever the spec files say.
+        for spec in &mut sweeps {
+            spec.mode = SweepMode::Streaming(group_by.clone().unwrap_or_default());
+        }
+    }
 
     let caches = SweepCaches::new();
     let mut reports = Vec::with_capacity(sweeps.len());
@@ -74,6 +156,9 @@ fn sweep_main(args: Vec<String>) -> ExitCode {
         match run_sweep(spec, &caches) {
             Ok(report) => {
                 println!("{report}");
+                if matches!(report.mode, SweepMode::Streaming(_)) {
+                    print_group_table(&report.groups, top);
+                }
                 if stats {
                     println!("  caches: {}", report.caches);
                 }

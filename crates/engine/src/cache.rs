@@ -13,15 +13,19 @@
 //! * [`PlanCache`] — (slot assignment, interference adjacency) → fused
 //!   [`FramePlan`], content-addressed by 64-bit fingerprints so lookups never
 //!   clone the assignment or the adjacency;
+//! * [`AdjacencyCache`] — (window region, shape) → the window's interference
+//!   adjacency ([`InterferenceCsr`]), content-addressed by region and shape
+//!   fingerprints, so warm sweeps skip the O(window × shape) neighbour walk;
 //! * [`TraceCache`] — (plan fingerprint, seed, load, slots) → compiled
 //!   [`TrafficTrace`], so repeated sweeps, the retry axis of a grid and the
 //!   CI gate's samples never rebuild a trace.
 //!
 //! The tiers chain: a schedule compiles once per neighbourhood shape, feeds
-//! any number of plans (one per deployment window), and each plan feeds any
-//! number of traces (one per `(seed, load, slots)` tuple). Downstream keys
-//! embed the upstream artifact's content fingerprint, so the chain stays
-//! correct without identity or lifetime coupling between the tiers.
+//! any number of plans (one per deployment window's adjacency), and each plan
+//! feeds any number of traces (one per `(seed, load, slots)` tuple).
+//! Downstream keys embed the upstream artifact's content fingerprint, so the
+//! chain stays correct without identity or lifetime coupling between the
+//! tiers.
 
 use crate::compiled::CompiledSchedule;
 use crate::error::{EngineError, Result};
@@ -29,7 +33,7 @@ use crate::frames::{fingerprint_words, FramePlan, FrameSchedule, InterferenceCsr
 use crate::simkernel::TrafficTrace;
 use crate::store::{ArtifactStore, StoreStats};
 use latsched_core::theorem1;
-use latsched_lattice::Point;
+use latsched_lattice::{BoxRegion, Point};
 use latsched_tiling::{find_tiling, Prototile};
 use std::sync::Arc;
 
@@ -409,6 +413,152 @@ impl std::fmt::Debug for TraceCache {
     }
 }
 
+/// The content-addressed key of a cached window adjacency: fingerprints of
+/// the box region (dimension plus corner coordinates) and of the shape's
+/// offset set, with the point count as a safety margin.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+struct AdjacencyKey {
+    region: u64,
+    shape: u64,
+    points: u64,
+}
+
+/// Default entry bound of an [`AdjacencyCache`]: adjacencies are O(window ×
+/// shape) CSR structures — multi-megabyte on large windows — so the default
+/// store resets wholesale after this many distinct (region, shape) pairs.
+const DEFAULT_MAX_ADJACENCIES: usize = 64;
+
+/// A sharded, thread-safe cache of window interference adjacencies, keyed by
+/// the content of the (box region, neighbourhood shape) pair.
+///
+/// Building an adjacency walks every window point against every shape offset
+/// — about a millisecond on the 64×64 acceptance window, which used to be the
+/// whole setup phase of a warm sweep. The cache makes repeated sweeps (and
+/// repeated benchmark samples) over the same windows reuse the CSR instead.
+///
+/// # Examples
+///
+/// ```
+/// use latsched_engine::AdjacencyCache;
+/// use latsched_lattice::BoxRegion;
+/// use latsched_tiling::shapes;
+///
+/// let cache = AdjacencyCache::new();
+/// let window = BoxRegion::square_window(2, 8)?;
+/// let first = cache.get_or_build(&window, &shapes::moore())?;
+/// let again = cache.get_or_build(&window, &shapes::moore())?;
+/// assert!(std::sync::Arc::ptr_eq(&first, &again));
+/// assert_eq!((cache.hits(), cache.misses()), (1, 1));
+/// # Ok::<(), Box<dyn std::error::Error>>(())
+/// ```
+pub struct AdjacencyCache {
+    inner: ArtifactStore<AdjacencyKey, InterferenceCsr>,
+}
+
+impl AdjacencyCache {
+    /// An empty cache with the default shard count and entry bound.
+    pub fn new() -> Self {
+        AdjacencyCache::with_shards(crate::store::DEFAULT_SHARDS)
+    }
+
+    /// An empty cache with an explicit shard count (at least 1) and the
+    /// default entry bound.
+    pub fn with_shards(shards: usize) -> Self {
+        AdjacencyCache {
+            inner: ArtifactStore::with_shards(shards).with_max_entries(DEFAULT_MAX_ADJACENCIES),
+        }
+    }
+
+    /// Sets the maximum number of cached adjacencies (at least 1); inserting
+    /// beyond it resets the cache wholesale.
+    pub fn with_max_entries(mut self, max_entries: usize) -> Self {
+        self.inner = std::mem::take(&mut self.inner).with_max_entries(max_entries);
+        self
+    }
+
+    /// The interference adjacency of all lattice sensors in `region` under
+    /// the homogeneous neighbourhood `shape` (see
+    /// [`crate::sweep::grid_adjacency`]), building and inserting it on first
+    /// use. Concurrent misses on the same key wait for a single build.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`crate::sweep::grid_adjacency`] errors (window size
+    /// limits).
+    pub fn get_or_build(
+        &self,
+        region: &BoxRegion,
+        shape: &Prototile,
+    ) -> Result<Arc<InterferenceCsr>> {
+        let key = AdjacencyKey {
+            region: fingerprint_words(
+                region.dim() as u64,
+                region
+                    .min()
+                    .coords()
+                    .iter()
+                    .chain(region.max().coords())
+                    .map(|&c| c as u64),
+            ),
+            shape: fingerprint_words(
+                shape.len() as u64,
+                shape
+                    .iter()
+                    .flat_map(|p| p.coords().iter().map(|&c| c as u64)),
+            ),
+            points: region.len(),
+        };
+        self.inner
+            .get_or_build(key, || crate::sweep::grid_adjacency(region, shape))
+    }
+
+    /// Number of cached adjacencies.
+    pub fn len(&self) -> usize {
+        self.inner.len()
+    }
+
+    /// Whether the cache is empty.
+    pub fn is_empty(&self) -> bool {
+        self.inner.is_empty()
+    }
+
+    /// Number of lookups answered from the cache.
+    pub fn hits(&self) -> u64 {
+        self.inner.hits()
+    }
+
+    /// Number of lookups that had to build.
+    pub fn misses(&self) -> u64 {
+        self.inner.misses()
+    }
+
+    /// A point-in-time hit/miss/entry snapshot.
+    pub fn stats(&self) -> StoreStats {
+        self.inner.stats()
+    }
+
+    /// Drops every cached adjacency (counters are kept).
+    pub fn clear(&self) {
+        self.inner.clear();
+    }
+}
+
+impl Default for AdjacencyCache {
+    fn default() -> Self {
+        AdjacencyCache::new()
+    }
+}
+
+impl std::fmt::Debug for AdjacencyCache {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("AdjacencyCache")
+            .field("len", &self.len())
+            .field("hits", &self.hits())
+            .field("misses", &self.misses())
+            .finish()
+    }
+}
+
 /// Compiles the Theorem 1 schedule of a neighbourhood shape from scratch.
 ///
 /// # Errors
@@ -632,6 +782,49 @@ mod tests {
         cache.get_or_build(&plan, 2, 0.1, 32).unwrap();
         assert_eq!(cache.len(), 2);
         cache.get_or_build(&plan, 3, 0.1, 32).unwrap();
+        assert_eq!(cache.len(), 1, "new key at capacity resets wholesale");
+    }
+
+    #[test]
+    fn adjacency_cache_hits_on_equal_content_and_separates_otherwise() {
+        let cache = AdjacencyCache::new();
+        let window = BoxRegion::square_window(2, 5).unwrap();
+        let a = cache.get_or_build(&window, &shapes::moore()).unwrap();
+        // An equal-content region built separately still hits.
+        let window_again = BoxRegion::square_window(2, 5).unwrap();
+        let b = cache.get_or_build(&window_again, &shapes::moore()).unwrap();
+        assert!(Arc::ptr_eq(&a, &b));
+        assert_eq!((cache.hits(), cache.misses()), (1, 1));
+        // Every key coordinate separates entries: region and shape.
+        cache
+            .get_or_build(&BoxRegion::square_window(2, 6).unwrap(), &shapes::moore())
+            .unwrap();
+        cache.get_or_build(&window, &shapes::von_neumann()).unwrap();
+        assert_eq!(cache.len(), 3);
+        assert_eq!(cache.misses(), 3);
+        // The cached CSR is the same structure grid_adjacency builds.
+        let direct = crate::sweep::grid_adjacency(&window, &shapes::moore()).unwrap();
+        assert_eq!(a.fingerprint(), direct.fingerprint());
+        assert_eq!(a.num_nodes(), 25);
+        cache.clear();
+        assert!(cache.is_empty());
+        assert_eq!(AdjacencyCache::default().len(), 0);
+        assert!(!format!("{:?}", cache).is_empty());
+    }
+
+    #[test]
+    fn adjacency_cache_entry_bound_resets_wholesale() {
+        let cache = AdjacencyCache::new().with_max_entries(2);
+        let shape = shapes::moore();
+        for side in [3, 4] {
+            cache
+                .get_or_build(&BoxRegion::square_window(2, side).unwrap(), &shape)
+                .unwrap();
+        }
+        assert_eq!(cache.len(), 2);
+        cache
+            .get_or_build(&BoxRegion::square_window(2, 5).unwrap(), &shape)
+            .unwrap();
         assert_eq!(cache.len(), 1, "new key at capacity resets wholesale");
     }
 

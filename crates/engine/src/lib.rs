@@ -33,8 +33,9 @@
 //!    (Bernoulli traffic, slotted ALOHA) replay bit-identically through the
 //!    counter-based [`CounterRng`] — every draw is `hash(seed, node, slot)`.
 //! 5. The tiered artifact pipeline — one generic [`ArtifactStore`] (sharded,
-//!    single-flight, bounded, observable) backs three content-addressed
-//!    tiers: [`ScheduleCache`] (shape → compiled schedule), [`PlanCache`]
+//!    single-flight, bounded, observable) backs four content-addressed
+//!    tiers: [`ScheduleCache`] (shape → compiled schedule), [`AdjacencyCache`]
+//!    ((window region, shape) → interference adjacency), [`PlanCache`]
 //!    ((assignment, adjacency) → fused plan) and [`TraceCache`]
 //!    ((plan fingerprint, seed, load, slots) → compiled [`TrafficTrace`],
 //!    built block-wise from batched [`CounterRng::bernoulli_block`] draws).
@@ -47,6 +48,14 @@
 //!    acceptance grid even cold; warm repeats skip every compile and report
 //!    per-tier hit/miss counters in the [`SweepReport`]; `engine-cli sweep`
 //!    serves specs from JSON).
+//! 7. Streaming sweep statistics — [`SweepMode::Streaming`] folds every run
+//!    online into per-axis group accumulators ([`aggregate::OnlineFold`]:
+//!    exact integer count/sum/sum²/min/max per counter field plus log₂
+//!    latency and delivery-ratio histograms with bucket-exact percentiles),
+//!    merged as commutative monoids at the fan-out barrier — O(groups) report
+//!    memory instead of O(runs), bit-identical to folding full-mode per-run
+//!    reports by the same axes, which unlocks million-run grids
+//!    (`engine-cli sweep --streaming --group-by load,retries`).
 //!
 //! Underneath the table queries, 2-D and 3-D schedules use the
 //! dimension-specialized `latsched_lattice::FixedReducer`, which
@@ -80,6 +89,7 @@
 #![warn(missing_docs)]
 #![warn(rust_2018_idioms)]
 
+pub mod aggregate;
 mod cache;
 mod compiled;
 mod error;
@@ -90,7 +100,11 @@ mod simkernel;
 mod store;
 mod sweep;
 
-pub use cache::{compile_shape, PlanCache, ScheduleCache, TraceCache};
+pub use aggregate::{
+    count_values, fold_full_report, FieldFold, GroupAxis, GroupBy, GroupKey, GroupReport,
+    GroupSpec, Log2Histogram, OnlineFold, RatioHistogram, COUNT_FIELDS,
+};
+pub use cache::{compile_shape, AdjacencyCache, PlanCache, ScheduleCache, TraceCache};
 pub use compiled::CompiledSchedule;
 pub use error::{EngineError, Result};
 pub use frames::{FramePlan, FrameSchedule, InterferenceCsr};
@@ -101,6 +115,6 @@ pub use simkernel::{
 };
 pub use store::{ArtifactStore, StoreStats};
 pub use sweep::{
-    builtin_sweep, grid_adjacency, run_sweep, SweepCacheStats, SweepCaches, SweepMac, SweepReport,
-    SweepRunReport, SweepSpec, SweepTraffic,
+    builtin_sweep, grid_adjacency, run_sweep, SweepCacheStats, SweepCaches, SweepMac, SweepMode,
+    SweepReport, SweepRunReport, SweepSpec, SweepTraffic,
 };

@@ -196,6 +196,84 @@ const AUTO_TRACE_MIN_DRAWS: u64 = 1 << 12;
 /// back to the per-node walk.
 const STAGGER_RESIDUE_WORD_LIMIT: u64 = 1 << 22;
 
+/// Byte budget of the deterministic loop's full-burst memo (1 MiB). The memo
+/// used to hold one `Vec<u32>` slot for every slot of the frame period, so a
+/// huge-period schedule (TDMA on a big window) pinned O(n) memory per run
+/// even when only a few slots ever replayed; the budget bounds it regardless
+/// of period.
+const FULL_BURST_MEMO_BYTE_BUDGET: usize = 1 << 20;
+
+/// Approximate bookkeeping bytes charged per memo entry (hash-map slot, key,
+/// lengths) on top of the recorded outcome array.
+const FULL_BURST_ENTRY_OVERHEAD: usize = 64;
+
+/// The bounded memo of full-burst slot outcomes.
+///
+/// When *every* candidate of a slot transmits, the interference outcome is a
+/// pure function of the slot's content, so the per-transmitter decode counts
+/// and rx tally recorded on the first full burst replay later ones in
+/// O(candidates) instead of O(edges). Entries are keyed by the slot's content
+/// — its candidate range within the plan's relabelled id space, which
+/// determines the transmit set and its adjacency — and the memo stops
+/// admitting entries once a byte budget is reached: replay degrades
+/// gracefully to full interference resolution, results are unchanged, and
+/// huge-period schedules no longer pin O(period + n) memo memory.
+struct FullBurstMemo {
+    entries: std::collections::HashMap<u64, (Box<[u32]>, u64)>,
+    bytes: usize,
+    budget: usize,
+}
+
+impl FullBurstMemo {
+    fn new(budget: usize) -> Self {
+        FullBurstMemo {
+            entries: std::collections::HashMap::new(),
+            bytes: 0,
+            budget,
+        }
+    }
+
+    /// The content key of a slot: its packed candidate range in the plan's
+    /// relabelled id space. Slot-major relabelling makes the range determine
+    /// the candidate set (hence the full-burst outcome), ranges of distinct
+    /// slots are disjoint, and node counts fit in 32 bits (enforced by the
+    /// CSR size limits) — so the packing is injective and lookups are exact,
+    /// no hashing involved.
+    #[inline]
+    fn key(plan: &FramePlan, slot: usize) -> u64 {
+        let range = plan.slot_candidates(slot);
+        (range.start as u64) << 32 | range.end as u64
+    }
+
+    /// The recorded outcome of a slot's full burst, if memoized.
+    #[inline]
+    fn get(&self, plan: &FramePlan, slot: usize) -> Option<&(Box<[u32]>, u64)> {
+        self.entries.get(&Self::key(plan, slot))
+    }
+
+    /// Records a full-burst outcome unless it would exceed the byte budget
+    /// (over-budget outcomes are simply recomputed on later bursts).
+    fn insert(&mut self, plan: &FramePlan, slot: usize, outcomes: &[u32], rx: u64) {
+        let cost = std::mem::size_of_val(outcomes) + FULL_BURST_ENTRY_OVERHEAD;
+        if self.bytes + cost > self.budget {
+            return;
+        }
+        if self
+            .entries
+            .insert(Self::key(plan, slot), (outcomes.into(), rx))
+            .is_none()
+        {
+            self.bytes += cost;
+        }
+    }
+
+    /// Bytes currently charged against the budget (regression-test hook).
+    #[cfg(test)]
+    fn bytes(&self) -> usize {
+        self.bytes
+    }
+}
+
 /// The closed-form outcome accounting of one clean (conflict-free) slot: every
 /// transmitter delivers to all of its neighbours and same-slot receiver sets
 /// are disjoint, so `rx` is the degree sum and no bitset pass runs. `settle`
@@ -684,10 +762,10 @@ pub fn run_frames(plan: &FramePlan, config: &KernelConfig) -> Result<KernelCount
 
     match (&config.traffic, config.mac) {
         (KernelTraffic::Periodic { period }, KernelMac::Scheduled) => {
-            run_deterministic(plan, config, *period, false)
+            run_deterministic(plan, config, *period, false, FULL_BURST_MEMO_BYTE_BUDGET)
         }
         (KernelTraffic::Staggered { period }, KernelMac::Scheduled) => {
-            run_deterministic(plan, config, *period, true)
+            run_deterministic(plan, config, *period, true, FULL_BURST_MEMO_BYTE_BUDGET)
         }
         _ => run_general(plan, config),
     }
@@ -701,6 +779,7 @@ fn run_deterministic(
     config: &KernelConfig,
     traffic_period: u64,
     staggered: bool,
+    memo_budget: usize,
 ) -> Result<KernelCounts> {
     let n = plan.num_nodes();
     let mut counts = KernelCounts::default();
@@ -719,8 +798,10 @@ fn run_deterministic(
     // occurrence's per-transmitter decode counts and rx tally are recorded and
     // replayed on later full bursts in O(candidates) instead of O(edges). With
     // periodic traffic full bursts are the steady state, so this is the common
-    // path; staggered phases only shift when each node reaches it.
-    let mut full_burst_memo: Vec<Option<(Vec<u32>, u64)>> = vec![None; plan.period()];
+    // path; staggered phases only shift when each node reaches it. The memo is
+    // content-hash keyed and byte-budgeted (see [`FullBurstMemo`]), so huge
+    // frame periods no longer pin O(period + n) memory per run.
+    let mut full_burst_memo = FullBurstMemo::new(memo_budget);
 
     let frame_period = plan.period() as u64;
     for t in 0..config.slots {
@@ -784,11 +865,11 @@ fn run_deterministic(
         let full_burst = tx_count == plan.slot_candidates(slot).len();
 
         if full_burst {
-            if let Some((decoded, rx)) = &full_burst_memo[slot] {
+            if let Some((decoded, rx)) = full_burst_memo.get(plan, slot) {
                 // Memoized fast path: bitsets untouched, queues updated from
                 // the recorded outcomes.
                 counts.transmissions += tx_count as u64;
-                for (&v, &decoded) in tx_list.iter().zip(decoded) {
+                for (&v, &decoded) in tx_list.iter().zip(decoded.iter()) {
                     let v = v as usize;
                     queues.settle(&mut counts, v, decoded, plan.degree(v), t);
                 }
@@ -810,9 +891,10 @@ fn run_deterministic(
         counts.rx_slots += rx;
         counts.idle_slots += n as u64 - tx_count as u64 - rx;
 
-        // Record the outcome of a full burst for replay on its next occurrence.
+        // Record the outcome of a full burst for replay on its next
+        // occurrence (skipped silently once the byte budget is reached).
         if full_burst {
-            full_burst_memo[slot] = Some((buffers.outcomes[..tx_count].to_vec(), rx));
+            full_burst_memo.insert(plan, slot, &buffers.outcomes[..tx_count], rx);
         }
     }
 
@@ -1350,6 +1432,81 @@ mod tests {
         cfg.mac = KernelMac::Aloha { p: 0.0 };
         let silent = run_frames(&plan, &cfg).unwrap();
         assert_eq!(silent.transmissions, 0);
+    }
+
+    /// A conflicted plan with `pairs` slots, two interfering nodes per slot:
+    /// every slot's full burst collides, so every visited slot wants a memo
+    /// entry.
+    fn paired_plan(pairs: usize) -> FramePlan {
+        let n = 2 * pairs;
+        let assignment: Vec<usize> = (0..n).map(|v| v / 2).collect();
+        let lists: Vec<Vec<usize>> = (0..n)
+            .map(|v| vec![if v % 2 == 0 { v + 1 } else { v - 1 }])
+            .collect();
+        let adjacency = InterferenceCsr::from_lists(&lists).unwrap();
+        let frames = FrameSchedule::from_assignment(&assignment, pairs).unwrap();
+        FramePlan::new(&frames, &adjacency).unwrap()
+    }
+
+    #[test]
+    fn full_burst_memo_stays_under_its_byte_budget_on_large_periods() {
+        // Direct accounting check: inserting one outcome per slot of a
+        // large-period schedule must stop charging once the budget is hit,
+        // never exceed it, and keep answering for the entries it kept.
+        let plan = paired_plan(2048); // 2048-slot period, 4096 nodes
+        let budget = 4096usize;
+        let mut memo = FullBurstMemo::new(budget);
+        let outcomes = [1u32, 1];
+        for slot in 0..plan.period() {
+            memo.insert(&plan, slot, &outcomes, 2);
+            assert!(memo.bytes() <= budget, "budget exceeded at slot {slot}");
+        }
+        assert!(memo.bytes() > 0, "some entries fit");
+        assert!(
+            memo.entries.len() < plan.period(),
+            "the budget must reject most of a large period"
+        );
+        // Kept entries replay; rejected ones report a miss.
+        let kept = memo.entries.len();
+        let hits = (0..plan.period())
+            .filter(|&s| memo.get(&plan, s).is_some())
+            .count();
+        assert_eq!(hits, kept);
+        // Re-inserting a kept slot charges nothing twice.
+        let bytes = memo.bytes();
+        memo.insert(&plan, 0, &outcomes, 2);
+        assert_eq!(memo.bytes(), bytes);
+    }
+
+    #[test]
+    fn capped_memo_never_changes_deterministic_results() {
+        // The memo is a pure replay cache: running with a zero budget (every
+        // burst recomputed), a tiny budget (some replayed) and an unbounded
+        // one must produce identical counters on a conflicted large-period
+        // schedule.
+        let plan = paired_plan(64);
+        for (traffic_period, staggered) in [(1u64, false), (3, false), (5, true)] {
+            let cfg = config(
+                400,
+                if staggered {
+                    KernelTraffic::Staggered {
+                        period: traffic_period,
+                    }
+                } else {
+                    KernelTraffic::Periodic {
+                        period: traffic_period,
+                    }
+                },
+                1,
+            );
+            let unbounded =
+                run_deterministic(&plan, &cfg, traffic_period, staggered, usize::MAX).unwrap();
+            let capped = run_deterministic(&plan, &cfg, traffic_period, staggered, 256).unwrap();
+            let disabled = run_deterministic(&plan, &cfg, traffic_period, staggered, 0).unwrap();
+            assert_eq!(unbounded, capped, "period {traffic_period}");
+            assert_eq!(unbounded, disabled, "period {traffic_period}");
+            assert!(unbounded.collisions > 0, "the paired plan must conflict");
+        }
     }
 
     #[test]

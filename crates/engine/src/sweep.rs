@@ -45,15 +45,25 @@
 //! "periods": [...]}` or `{"kind": "staggered", "periods": [...]}`. The grid is
 //! the product `windows × traffic values × retries × seeds`.
 //!
+//! Two optional fields select the reporting mode: `"mode"` (`"full"`, the
+//! default, or `"streaming"`) and `"group_by"` (an array over `"window"`,
+//! `"traffic"`/`"load"`, `"retries"`, `"seed"`; implies streaming when given
+//! alone). A streaming sweep folds every run online into per-axis group
+//! accumulators ([`crate::aggregate::OnlineFold`]) — exact integer monoids
+//! merged at the fan-out barrier — so its report is O(groups) instead of
+//! O(runs) and the `per_run` section is never allocated, which is what makes
+//! million-run grids feasible (see [`crate::aggregate`]).
+//!
 //! Node ids reproduce the sensor-network simulator's exactly (positions in
 //! lexicographic window order, neighbours `p + N \ {p}`), so every run's
 //! counters are bit-identical to a reference-simulator run of the same
 //! configuration — property-tested across the crates in `tests/sweep_parity.rs`.
 
-use crate::cache::{PlanCache, ScheduleCache, TraceCache};
+use crate::aggregate::{GroupBy, GroupReport, GroupSpec, OnlineFold};
+use crate::cache::{AdjacencyCache, PlanCache, ScheduleCache, TraceCache};
 use crate::error::{EngineError, Result};
 use crate::frames::InterferenceCsr;
-use crate::parallel::fill_chunks_min;
+use crate::parallel::{fill_chunks_min, worker_threads};
 use crate::scenario::{get_u64, invalid, ShapeSpec};
 use crate::simkernel::{
     run_frames, KernelConfig, KernelCounts, KernelMac, KernelTraffic, TrafficTrace,
@@ -114,6 +124,49 @@ impl SweepTraffic {
     pub fn is_empty(&self) -> bool {
         self.len() == 0
     }
+
+    /// The human-readable label of the `i`-th traffic value (matches the
+    /// sensor-network simulator's `TrafficModel` display format, so sweep
+    /// reports and reference runs describe workloads identically).
+    pub fn label(&self, i: usize) -> String {
+        match self {
+            SweepTraffic::Bernoulli(loads) => format!("bernoulli(p={:.3})", loads[i]),
+            SweepTraffic::Periodic(periods) => format!("periodic(every {} slots)", periods[i]),
+            SweepTraffic::Staggered(periods) => format!("staggered(every {} slots)", periods[i]),
+        }
+    }
+}
+
+/// How a sweep reports its grid.
+#[derive(Clone, PartialEq, Debug, Default)]
+pub enum SweepMode {
+    /// Materialize one [`SweepRunReport`] per grid point (O(runs) report
+    /// memory).
+    #[default]
+    Full,
+    /// Fold runs online onto the given grid axes — each worker folds its
+    /// chunk locally and the monoid accumulators merge at the barrier — so
+    /// the report is O(groups) and `per_run` is never allocated. The empty
+    /// [`GroupSpec`] folds the whole grid into one global group.
+    Streaming(GroupSpec),
+}
+
+impl SweepMode {
+    /// The mode's spec-file name.
+    pub fn name(&self) -> &'static str {
+        match self {
+            SweepMode::Full => "full",
+            SweepMode::Streaming(_) => "streaming",
+        }
+    }
+
+    /// The grouping spec of a streaming mode (`None` for full mode).
+    pub fn group_spec(&self) -> Option<&GroupSpec> {
+        match self {
+            SweepMode::Full => None,
+            SweepMode::Streaming(spec) => Some(spec),
+        }
+    }
 }
 
 /// One sweep: a shape, a window axis and the stochastic parameter grid.
@@ -135,6 +188,9 @@ pub struct SweepSpec {
     pub seeds: Vec<u64>,
     /// Retry budgets.
     pub retries: Vec<u32>,
+    /// How the grid is reported: full per-run detail, or streaming per-axis
+    /// folds.
+    pub mode: SweepMode,
 }
 
 impl SweepSpec {
@@ -215,6 +271,31 @@ impl SweepSpec {
             .into_iter()
             .map(|r| r as u32)
             .collect::<Vec<u32>>();
+        // "mode" selects full or streaming reporting; "group_by" names the
+        // fold axes and, when present without an explicit mode, implies
+        // streaming.
+        let group_by = value
+            .get("group_by")
+            .map(GroupSpec::from_json)
+            .transpose()?;
+        let mode = match value.get("mode") {
+            None => match group_by {
+                Some(spec) => SweepMode::Streaming(spec),
+                None => SweepMode::Full,
+            },
+            Some(mode) => match mode.as_str() {
+                Some("full") => {
+                    if group_by.is_some() {
+                        return Err(invalid(
+                            "'group_by' requires streaming mode (drop 'mode' or set it to 'streaming')",
+                        ));
+                    }
+                    SweepMode::Full
+                }
+                Some("streaming") => SweepMode::Streaming(group_by.unwrap_or_default()),
+                _ => return Err(invalid("'mode' must be 'full' or 'streaming'")),
+            },
+        };
         let spec = SweepSpec {
             name,
             shape,
@@ -224,6 +305,7 @@ impl SweepSpec {
             traffic,
             seeds,
             retries,
+            mode,
         };
         if spec.num_runs() == 0 {
             return Err(invalid("sweep grid is empty"));
@@ -306,9 +388,11 @@ pub fn grid_adjacency(region: &BoxRegion, shape: &Prototile) -> Result<Interfere
 pub struct SweepCaches {
     /// Tier 1 — shape → compiled Theorem 1 schedule.
     pub schedules: ScheduleCache,
-    /// Tier 2 — (assignment, adjacency) → fused frame plan.
+    /// Tier 2 — (region, shape) → window interference adjacency.
+    pub adjacencies: AdjacencyCache,
+    /// Tier 3 — (assignment, adjacency) → fused frame plan.
     pub plans: PlanCache,
-    /// Tier 3 — (plan fingerprint, seed, load, slots) → compiled traffic
+    /// Tier 4 — (plan fingerprint, seed, load, slots) → compiled traffic
     /// trace.
     pub traces: TraceCache,
 }
@@ -319,10 +403,11 @@ impl SweepCaches {
         SweepCaches::default()
     }
 
-    /// A point-in-time snapshot of all three tiers' counters.
+    /// A point-in-time snapshot of all four tiers' counters.
     pub fn stats(&self) -> SweepCacheStats {
         SweepCacheStats {
             schedules: self.schedules.stats(),
+            adjacencies: self.adjacencies.stats(),
             plans: self.plans.stats(),
             traces: self.traces.stats(),
         }
@@ -336,6 +421,8 @@ impl SweepCaches {
 pub struct SweepCacheStats {
     /// Schedule-tier counters.
     pub schedules: StoreStats,
+    /// Adjacency-tier counters.
+    pub adjacencies: StoreStats,
     /// Plan-tier counters.
     pub plans: StoreStats,
     /// Trace-tier counters.
@@ -349,6 +436,7 @@ impl SweepCacheStats {
     pub fn since(&self, earlier: &SweepCacheStats) -> SweepCacheStats {
         SweepCacheStats {
             schedules: self.schedules.since(&earlier.schedules),
+            adjacencies: self.adjacencies.since(&earlier.adjacencies),
             plans: self.plans.since(&earlier.plans),
             traces: self.traces.since(&earlier.traces),
         }
@@ -366,6 +454,7 @@ impl SweepCacheStats {
         };
         let mut map = BTreeMap::new();
         map.insert("schedules".to_string(), tier(&self.schedules));
+        map.insert("adjacencies".to_string(), tier(&self.adjacencies));
         map.insert("plans".to_string(), tier(&self.plans));
         map.insert("traces".to_string(), tier(&self.traces));
         Value::Object(map)
@@ -376,8 +465,8 @@ impl fmt::Display for SweepCacheStats {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         write!(
             f,
-            "schedules {} | plans {} | traces {}",
-            self.schedules, self.plans, self.traces
+            "schedules {} | adjacencies {} | plans {} | traces {}",
+            self.schedules, self.adjacencies, self.plans, self.traces
         )
     }
 }
@@ -421,7 +510,12 @@ pub struct SweepReport {
     pub caches: SweepCacheStats,
     /// Element-wise sum of every run's counters.
     pub aggregate: KernelCounts,
-    /// Per-run reports, in grid order (windows × traffic × retries × seeds).
+    /// The reporting mode the sweep ran under.
+    pub mode: SweepMode,
+    /// Streaming group folds, in group-id order (empty in full mode).
+    pub groups: Vec<GroupReport>,
+    /// Per-run reports, in grid order (windows × traffic × retries × seeds);
+    /// empty in streaming mode, which never materializes them.
     pub per_run: Vec<SweepRunReport>,
 }
 
@@ -468,6 +562,14 @@ impl SweepReport {
         );
         map.insert("caches".to_string(), self.caches.to_json_value());
         map.insert("aggregate".to_string(), counts_json(&self.aggregate));
+        map.insert("mode".to_string(), Value::from(self.mode.name()));
+        if let SweepMode::Streaming(group_spec) = &self.mode {
+            map.insert("group_by".to_string(), group_spec.to_json_value());
+            map.insert(
+                "groups".to_string(),
+                Value::Array(self.groups.iter().map(GroupReport::to_json_value).collect()),
+            );
+        }
         map.insert(
             "per_run".to_string(),
             Value::Array(
@@ -514,19 +616,90 @@ impl fmt::Display for SweepReport {
     }
 }
 
-/// One expanded grid point, ready to execute.
-struct RunSpec {
+/// The shared artifacts and axis metadata of one sweep grid: any run index
+/// (in expansion order, windows × traffic × retries × seeds) resolves to a
+/// ready-to-execute kernel configuration in O(1), so streaming sweeps never
+/// materialize an O(runs) work list.
+struct GridContext<'a> {
+    spec: &'a SweepSpec,
+    /// Per-window shared artifacts: (window side, node count, fused plan).
+    plans: Vec<(i64, usize, Arc<FramePlan>)>,
+    /// One label per traffic-axis value (shared, never cloned per run).
+    labels: Vec<String>,
+    /// Per-(window index, seed, load bits) compiled traffic traces.
+    traces: HashMap<(usize, u64, u64), Arc<TrafficTrace>>,
+    mac: KernelMac,
+}
+
+/// One resolved grid point.
+struct RunPoint<'a> {
     window: i64,
     nodes: usize,
     seed: u64,
-    traffic_label: String,
+    traffic_index: usize,
     retries: u32,
-    plan: Arc<FramePlan>,
+    plan: &'a Arc<FramePlan>,
     config: KernelConfig,
 }
 
+impl GridContext<'_> {
+    /// The (window, traffic, retries, seed) coordinate indices of a run index.
+    #[inline]
+    fn coords(&self, run: usize) -> (usize, usize, usize, usize) {
+        let s = self.spec.seeds.len();
+        let r = self.spec.retries.len();
+        let t = self.spec.traffic.len();
+        (run / (s * r * t), run / (s * r) % t, run / s % r, run % s)
+    }
+
+    /// Resolves one run index to its grid point and kernel configuration.
+    fn point(&self, run: usize) -> RunPoint<'_> {
+        let (w, ti, ri, si) = self.coords(run);
+        let (window, nodes, plan) = &self.plans[w];
+        let seed = self.spec.seeds[si];
+        let retries = self.spec.retries[ri];
+        let traffic = match &self.spec.traffic {
+            SweepTraffic::Bernoulli(loads) => {
+                let key = (w, seed, loads[ti].to_bits());
+                KernelTraffic::Trace(Arc::clone(&self.traces[&key]))
+            }
+            SweepTraffic::Periodic(periods) => KernelTraffic::Periodic {
+                period: periods[ti],
+            },
+            SweepTraffic::Staggered(periods) => KernelTraffic::Staggered {
+                period: periods[ti],
+            },
+        };
+        RunPoint {
+            window: *window,
+            nodes: *nodes,
+            seed,
+            traffic_index: ti,
+            retries,
+            plan,
+            config: KernelConfig {
+                slots: self.spec.slots,
+                traffic,
+                mac: self.mac,
+                max_retries: retries,
+                seed,
+            },
+        }
+    }
+}
+
+/// One worker's locally folded share of a streaming grid: per-touched-group
+/// accumulators (keyed by group id, so a band's memory is bounded by the
+/// smaller of its run count and the group count) plus the band's aggregate.
+struct BandFold {
+    folds: HashMap<u32, OnlineFold>,
+    aggregate: KernelCounts,
+}
+
 /// Runs one sweep: compile every shared artifact once (through the caches),
-/// execute the whole grid across all cores, and aggregate the counters.
+/// execute the whole grid across all cores, and aggregate the counters —
+/// per run in full mode, or as online per-axis group folds in streaming mode
+/// (O(groups) report memory; `per_run` is never allocated).
 ///
 /// # Errors
 ///
@@ -536,11 +709,13 @@ pub fn run_sweep(spec: &SweepSpec, caches: &SweepCaches) -> Result<SweepReport> 
     let setup_start = Instant::now();
     let shape = spec.shape.prototile()?;
 
-    // Per-window shared artifacts: adjacency, slot assignment, fused plan.
+    // Per-window shared artifacts: adjacency (through the content-addressed
+    // adjacency tier, so warm sweeps skip the window walk), slot assignment,
+    // fused plan.
     let mut plans: Vec<(i64, usize, Arc<FramePlan>)> = Vec::with_capacity(spec.windows.len());
     for &window in &spec.windows {
         let region = BoxRegion::square_window(spec.shape.dim(), window)?;
-        let adjacency = grid_adjacency(&region, &shape)?;
+        let adjacency = caches.adjacencies.get_or_build(&region, &shape)?;
         let nodes = adjacency.num_nodes();
         let (assignment, period) = match spec.mac {
             SweepMac::Tiling => {
@@ -581,94 +756,121 @@ pub fn run_sweep(spec: &SweepSpec, caches: &SweepCaches) -> Result<SweepReport> 
         }
     }
 
-    // Expand the grid in deterministic order.
-    let mut runs: Vec<RunSpec> = Vec::with_capacity(spec.num_runs());
-    for (w, (window, nodes, plan)) in plans.iter().enumerate() {
-        for ti in 0..spec.traffic.len() {
-            let traffic_label = match &spec.traffic {
-                SweepTraffic::Bernoulli(loads) => format!("bernoulli(p={:.3})", loads[ti]),
-                SweepTraffic::Periodic(periods) => {
-                    format!("periodic(every {} slots)", periods[ti])
-                }
-                SweepTraffic::Staggered(periods) => {
-                    format!("staggered(every {} slots)", periods[ti])
-                }
-            };
-            for &retries in &spec.retries {
-                for &seed in &spec.seeds {
-                    let traffic = match &spec.traffic {
-                        SweepTraffic::Bernoulli(loads) => {
-                            let key = (w, seed, loads[ti].to_bits());
-                            KernelTraffic::Trace(Arc::clone(&traces[&key]))
-                        }
-                        SweepTraffic::Periodic(periods) => KernelTraffic::Periodic {
-                            period: periods[ti],
-                        },
-                        SweepTraffic::Staggered(periods) => KernelTraffic::Staggered {
-                            period: periods[ti],
-                        },
-                    };
-                    runs.push(RunSpec {
-                        window: *window,
-                        nodes: *nodes,
-                        seed,
-                        traffic_label: traffic_label.clone(),
-                        retries,
-                        plan: Arc::clone(plan),
-                        config: KernelConfig {
-                            slots: spec.slots,
-                            traffic,
-                            mac,
-                            max_retries: retries,
-                            seed,
-                        },
-                    });
-                }
-            }
-        }
-    }
+    let ctx = GridContext {
+        spec,
+        plans,
+        labels: (0..spec.traffic.len())
+            .map(|ti| spec.traffic.label(ti))
+            .collect(),
+        traces,
+        mac,
+    };
+    let num_runs = spec.num_runs();
+    // Resolve the grouping before the timed run phase so misconfigured specs
+    // fail fast.
+    let grouping = match &spec.mode {
+        SweepMode::Full => None,
+        SweepMode::Streaming(group_spec) => Some(GroupBy::for_spec(spec, group_spec)?),
+    };
     let setup_seconds = setup_start.elapsed().as_secs_f64();
 
     // Execute the grid: one independent kernel run per grid point, fanned
     // across worker threads.
     let run_start = Instant::now();
-    let mut results: Vec<Option<Result<KernelCounts>>> = Vec::new();
-    results.resize_with(runs.len(), || None);
-    {
-        let runs = &runs;
-        fill_chunks_min(&mut results, 2, |offset, chunk| {
-            for (i, out) in chunk.iter_mut().enumerate() {
-                let run = &runs[offset + i];
-                *out = Some(run_frames(&run.plan, &run.config));
+    let (aggregate, groups, per_run) = match &grouping {
+        None => {
+            // Full mode: collect every run's counters, then materialize the
+            // per-run reports.
+            let mut results: Vec<Option<Result<KernelCounts>>> = Vec::new();
+            results.resize_with(num_runs, || None);
+            {
+                let ctx = &ctx;
+                fill_chunks_min(&mut results, 2, |offset, chunk| {
+                    for (i, out) in chunk.iter_mut().enumerate() {
+                        let point = ctx.point(offset + i);
+                        *out = Some(run_frames(point.plan, &point.config));
+                    }
+                });
             }
-        });
-    }
+            let mut aggregate = KernelCounts::default();
+            let mut per_run = Vec::with_capacity(num_runs);
+            for (run, result) in results.into_iter().enumerate() {
+                let counts = result.expect("every chunk is filled")?;
+                aggregate.accumulate(&counts);
+                let point = ctx.point(run);
+                per_run.push(SweepRunReport {
+                    window: point.window,
+                    nodes: point.nodes,
+                    seed: point.seed,
+                    traffic: ctx.labels[point.traffic_index].clone(),
+                    retries: point.retries,
+                    counts,
+                });
+            }
+            (aggregate, Vec::new(), per_run)
+        }
+        Some(grouping) => {
+            // Streaming mode: each worker band folds its contiguous run range
+            // into local per-group accumulators; the folds are commutative
+            // monoids over exact integers, so the barrier merge (in band
+            // order) reproduces the sequential fold bit for bit regardless of
+            // how `fill_chunks_min` interleaves the bands.
+            let bands = worker_threads().min(num_runs).max(1);
+            let per_band = num_runs.div_ceil(bands);
+            let mut slots: Vec<Option<Result<BandFold>>> = Vec::new();
+            slots.resize_with(bands, || None);
+            {
+                let ctx = &ctx;
+                fill_chunks_min(&mut slots, 2, |offset, chunk| {
+                    for (b, out) in chunk.iter_mut().enumerate() {
+                        let start = (offset + b) * per_band;
+                        let end = (start + per_band).min(num_runs);
+                        let mut band = BandFold {
+                            folds: HashMap::new(),
+                            aggregate: KernelCounts::default(),
+                        };
+                        let run_band = || -> Result<BandFold> {
+                            for run in start..end {
+                                let point = ctx.point(run);
+                                let counts = run_frames(point.plan, &point.config)?;
+                                band.aggregate.accumulate(&counts);
+                                band.folds
+                                    .entry(grouping.group_of_run(run) as u32)
+                                    .or_default()
+                                    .observe(&counts);
+                            }
+                            Ok(band)
+                        };
+                        *out = Some(run_band());
+                    }
+                });
+            }
+            let mut aggregate = KernelCounts::default();
+            let mut folds = vec![OnlineFold::new(); grouping.num_groups()];
+            for slot in slots {
+                let band = slot.expect("every band is filled")?;
+                aggregate.accumulate(&band.aggregate);
+                for (group, fold) in &band.folds {
+                    folds[*group as usize].merge(fold);
+                }
+            }
+            (aggregate, grouping.reports(spec, folds), Vec::new())
+        }
+    };
     let run_seconds = run_start.elapsed().as_secs_f64();
 
-    let mut aggregate = KernelCounts::default();
-    let mut per_run = Vec::with_capacity(runs.len());
-    for (run, result) in runs.iter().zip(results) {
-        let counts = result.expect("every chunk is filled")?;
-        aggregate.accumulate(&counts);
-        per_run.push(SweepRunReport {
-            window: run.window,
-            nodes: run.nodes,
-            seed: run.seed,
-            traffic: run.traffic_label.clone(),
-            retries: run.retries,
-            counts,
-        });
-    }
     Ok(SweepReport {
         name: spec.name.clone(),
         mac: spec.mac.to_string(),
-        runs: per_run.len(),
+        runs: num_runs,
         slots: spec.slots,
         setup_seconds,
         run_seconds,
-        runs_per_second: per_run.len() as f64 / run_seconds.max(1e-12),
+        runs_per_second: num_runs as f64 / run_seconds.max(1e-12),
         caches: caches.stats().since(&stats0),
         aggregate,
+        mode: spec.mode.clone(),
+        groups,
         per_run,
     })
 }
@@ -690,6 +892,7 @@ pub fn builtin_sweep() -> SweepSpec {
         traffic: SweepTraffic::Bernoulli(vec![0.02, 0.05]),
         seeds: (1..=8).collect(),
         retries: vec![0, 1, 2, 4],
+        mode: SweepMode::Full,
     }
 }
 
@@ -846,6 +1049,123 @@ mod tests {
         );
         assert!(report.to_string().contains("4 runs"));
         assert!(report.caches.to_string().contains("traces"));
+    }
+
+    #[test]
+    fn streaming_mode_folds_groups_without_per_run_reports() {
+        use crate::aggregate::fold_full_report;
+
+        let full_spec = SweepSpec {
+            windows: vec![6, 8],
+            slots: 96,
+            seeds: vec![1, 2, 3],
+            retries: vec![0, 2],
+            traffic: SweepTraffic::Bernoulli(vec![0.1, 0.3]),
+            ..builtin_sweep()
+        };
+        let group_spec = GroupSpec::parse("load,retries").unwrap();
+        let streaming_spec = SweepSpec {
+            mode: SweepMode::Streaming(group_spec.clone()),
+            ..full_spec.clone()
+        };
+        let caches = SweepCaches::new();
+        let full = run_sweep(&full_spec, &caches).unwrap();
+        let streaming = run_sweep(&streaming_spec, &caches).unwrap();
+
+        assert_eq!(streaming.runs, full.runs);
+        assert!(
+            streaming.per_run.is_empty(),
+            "streaming never builds per_run"
+        );
+        assert!(full.groups.is_empty(), "full mode reports no groups");
+        assert_eq!(streaming.aggregate, full.aggregate);
+        assert_eq!(streaming.groups.len(), 2 * 2);
+
+        // The streaming folds are bit-identical to folding the full report's
+        // per-run list by the same axes.
+        let folded = fold_full_report(&full_spec, &group_spec, &full.per_run).unwrap();
+        assert_eq!(streaming.groups, folded);
+        let total_runs: u64 = streaming.groups.iter().map(|g| g.fold.runs).sum();
+        assert_eq!(total_runs, full.runs as u64);
+
+        // Group JSON carries keys, stats and histograms under stable names.
+        let json = streaming.to_json_value();
+        assert_eq!(json.get("mode").unwrap().as_str(), Some("streaming"));
+        assert_eq!(json.get("group_by").unwrap(), &group_spec.to_json_value());
+        let groups = json.get("groups").unwrap().as_array().unwrap();
+        assert_eq!(groups.len(), 4);
+        assert!(groups[0].get("key").unwrap().get("traffic").is_some());
+        assert!(groups[0]
+            .get("stats")
+            .unwrap()
+            .get("packets_delivered")
+            .is_some());
+        assert!(json.get("per_run").unwrap().as_array().unwrap().is_empty());
+        // Full-mode JSON stays shaped as before (mode only).
+        assert_eq!(
+            full.to_json_value().get("mode").unwrap().as_str(),
+            Some("full")
+        );
+        assert!(full.to_json_value().get("groups").is_none());
+    }
+
+    #[test]
+    fn streaming_specs_parse_from_json() {
+        let text = r#"{
+            "shape": {"kind": "ball", "dim": 2, "radius": 1},
+            "windows": [8], "slots": 32,
+            "traffic": {"kind": "bernoulli", "loads": [0.1]},
+            "seeds": [1, 2], "retries": [0],
+            "mode": "streaming", "group_by": ["seed"]
+        }"#;
+        let spec = &SweepSpec::parse_spec(text).unwrap()[0];
+        assert_eq!(
+            spec.mode,
+            SweepMode::Streaming(GroupSpec::parse("seed").unwrap())
+        );
+        // group_by alone implies streaming…
+        let implied = text.replace(r#""mode": "streaming", "#, "");
+        let spec = &SweepSpec::parse_spec(&implied).unwrap()[0];
+        assert!(matches!(spec.mode, SweepMode::Streaming(_)));
+        // …but full mode with group_by is contradictory.
+        let contradictory = text.replace(r#""mode": "streaming""#, r#""mode": "full""#);
+        assert!(SweepSpec::parse_spec(&contradictory).is_err());
+        let bad_mode = text.replace(r#""mode": "streaming""#, r#""mode": "warp""#);
+        assert!(SweepSpec::parse_spec(&bad_mode).is_err());
+        // Streaming with no group_by folds everything into one group.
+        let global = text.replace(r#", "group_by": ["seed"]"#, "");
+        let spec = &SweepSpec::parse_spec(&global).unwrap()[0];
+        assert_eq!(spec.mode, SweepMode::Streaming(GroupSpec::default()));
+        let report = run_sweep(spec, &SweepCaches::new()).unwrap();
+        assert_eq!(report.groups.len(), 1);
+        assert_eq!(report.groups[0].fold.runs, 2);
+        assert_eq!(report.groups[0].fold.sums(), report.aggregate);
+    }
+
+    #[test]
+    fn adjacency_tier_serves_warm_sweeps() {
+        let spec = tiny_spec();
+        let caches = SweepCaches::new();
+        let cold = run_sweep(&spec, &caches).unwrap();
+        assert_eq!(cold.caches.adjacencies.misses, 1);
+        assert_eq!(cold.caches.adjacencies.hits, 0);
+        let warm = run_sweep(&spec, &caches).unwrap();
+        assert_eq!(warm.caches.adjacencies.misses, 0, "adjacency reused warm");
+        assert_eq!(warm.caches.adjacencies.hits, 1);
+        assert_eq!(warm.caches.adjacencies.entries, 1);
+        // The tier shows up in the JSON and display surfaces.
+        let json = warm.to_json_value();
+        assert_eq!(
+            json.get("caches")
+                .unwrap()
+                .get("adjacencies")
+                .unwrap()
+                .get("misses")
+                .unwrap()
+                .as_u64(),
+            Some(0)
+        );
+        assert!(warm.caches.to_string().contains("adjacencies"));
     }
 
     #[test]

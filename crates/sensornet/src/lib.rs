@@ -50,7 +50,7 @@ pub use framesim::FrameKernel;
 pub use latsched_engine::PlanCache;
 pub use latsched_lattice::CounterRng;
 pub use mac::{CompiledMac, MacPolicy};
-pub use metrics::SimMetrics;
+pub use metrics::{MetricsFold, SimMetrics, METRIC_FIELDS};
 pub use packet::Packet;
 pub use scenario::{
     aloha_mac, coloring_mac, grid_network, run_comparison, tiling_mac, ComparisonRow,

@@ -8,7 +8,11 @@
 
 use latsched::prelude::*;
 use latsched::sensornet::{EnergyAccount, SimMetrics};
-use latsched_engine::{run_sweep, KernelCounts, SweepCaches, SweepMac, SweepSpec, SweepTraffic};
+use latsched_engine::{
+    fold_full_report, run_sweep, GroupAxis, GroupSpec, KernelCounts, SweepCaches, SweepMac,
+    SweepMode, SweepSpec, SweepTraffic,
+};
+use proptest::prelude::*;
 
 /// Converts one sweep run's kernel counters into the `SimMetrics` the
 /// reference simulator reports, applying the same energy model.
@@ -125,6 +129,116 @@ fn sweep_runs_match_reference_simulator_on_staggered_grids() {
         ..latsched_engine::builtin_sweep()
     };
     check_sweep_against_reference(&spec, &tiling_mac(&shapes::moore()).unwrap());
+}
+
+/// Runs one spec in both modes and asserts the streaming group folds are
+/// exactly the folds of the full report's per-run list by the same axes.
+fn assert_streaming_matches_full(spec: &SweepSpec, group_spec: &GroupSpec) {
+    let caches = SweepCaches::new();
+    let full_spec = SweepSpec {
+        mode: SweepMode::Full,
+        ..spec.clone()
+    };
+    let stream_spec = SweepSpec {
+        mode: SweepMode::Streaming(group_spec.clone()),
+        ..spec.clone()
+    };
+    let full = run_sweep(&full_spec, &caches).unwrap();
+    let stream = run_sweep(&stream_spec, &caches).unwrap();
+    assert!(stream.per_run.is_empty());
+    assert_eq!(stream.aggregate, full.aggregate);
+    let folded = fold_full_report(&full_spec, group_spec, &full.per_run).unwrap();
+    // Bit-exact equality of every group: run counts, per-field sums / sums of
+    // squares / min / max, and both histograms bucket for bucket.
+    assert_eq!(stream.groups, folded, "group_by {group_spec}");
+    let total: u64 = stream.groups.iter().map(|g| g.fold.runs).sum();
+    assert_eq!(total, full.runs as u64, "groups partition the grid");
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    /// Randomized grids across traffic families, MACs and every axis-subset
+    /// grouping: streaming folds must equal folding the full mode's per-run
+    /// reports by the same axes, bit for bit.
+    #[test]
+    fn streaming_folds_match_full_mode_on_random_grids(
+        windows_pick in 0usize..3,
+        slots in 1u64..120,
+        traffic_pick in 0usize..4,
+        mac_pick in 0usize..2,
+        seed_count in 1usize..3,
+        retry_count in 1usize..3,
+        axes_mask in 0usize..16,
+    ) {
+        let spec = SweepSpec {
+            windows: [vec![5], vec![6], vec![5, 7]][windows_pick].clone(),
+            slots,
+            traffic: match traffic_pick {
+                0 => SweepTraffic::Bernoulli(vec![0.1, 0.3]),
+                1 => SweepTraffic::Bernoulli(vec![0.25]),
+                2 => SweepTraffic::Periodic(vec![3, 9]),
+                _ => SweepTraffic::Staggered(vec![2, 5]),
+            },
+            mac: if mac_pick == 0 {
+                SweepMac::Tiling
+            } else {
+                SweepMac::Aloha { p: 0.4 }
+            },
+            seeds: (1..=seed_count as u64).collect(),
+            retries: (0..retry_count as u32).collect(),
+            ..latsched_engine::builtin_sweep()
+        };
+        let all = [GroupAxis::Window, GroupAxis::Traffic, GroupAxis::Retries, GroupAxis::Seed];
+        let axes = all
+            .iter()
+            .enumerate()
+            .filter(|(i, _)| axes_mask >> i & 1 == 1)
+            .map(|(_, &a)| a);
+        assert_streaming_matches_full(&spec, &GroupSpec::new(axes));
+    }
+}
+
+#[test]
+fn streaming_parity_holds_on_the_degenerate_one_run_per_group_grid() {
+    // Grouping by every axis puts exactly one run in every group, so the
+    // streaming report carries full per-run information in fold form — the
+    // boundary case where O(groups) = O(runs).
+    let spec = SweepSpec {
+        windows: vec![5, 6],
+        slots: 80,
+        seeds: vec![3, 4],
+        retries: vec![0, 1],
+        traffic: SweepTraffic::Bernoulli(vec![0.15, 0.35]),
+        mac: SweepMac::Tiling,
+        ..latsched_engine::builtin_sweep()
+    };
+    let group_spec = GroupSpec::new([
+        GroupAxis::Window,
+        GroupAxis::Traffic,
+        GroupAxis::Retries,
+        GroupAxis::Seed,
+    ]);
+    assert_streaming_matches_full(&spec, &group_spec);
+    // Each group's fold is one run: min = max = sum per field.
+    let caches = SweepCaches::new();
+    let report = run_sweep(
+        &SweepSpec {
+            mode: SweepMode::Streaming(group_spec),
+            ..spec.clone()
+        },
+        &caches,
+    )
+    .unwrap();
+    assert_eq!(report.groups.len(), spec.num_runs());
+    for group in &report.groups {
+        assert_eq!(group.fold.runs, 1);
+        assert!(group.key.window.is_some() && group.key.seed.is_some());
+        for field in &group.fold.fields {
+            assert_eq!(field.min, field.max);
+            assert_eq!(field.sum, field.min);
+        }
+    }
 }
 
 #[test]
