@@ -165,7 +165,7 @@ fn reference_fold_parity(sub_seeds: u64, caches: &SweepCaches) -> latsched_senso
     if let SweepTraffic::Staggered(periods) = &spec.traffic {
         for &period in periods {
             for &retries in &spec.retries {
-                for &seed in &spec.seeds {
+                for seed in spec.seeds.iter() {
                     let config = SimConfig {
                         mac: MacPolicy::SlottedAloha { p: 0.25 },
                         traffic: TrafficModel::Staggered { period },

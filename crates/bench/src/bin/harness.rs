@@ -15,11 +15,13 @@
 //!                              # the artifact pipeline, write BENCH_tracecache.json
 //! harness --bench-aggregate    # measure a 100k-run streaming sweep (peak
 //!                              # memory + fold parity), write BENCH_aggregate.json
+//! harness --bench-search       # measure warm (cached) vs cold schedule
+//!                              # searches, write BENCH_search.json
 //! ```
 
 use latsched_bench::{
-    measure_aggregate, measure_simkernel, measure_sweep, measure_tracecache, run_all, run_by_id,
-    Table,
+    measure_aggregate, measure_search, measure_simkernel, measure_sweep, measure_tracecache,
+    run_all, run_by_id, Table,
 };
 use std::process::ExitCode;
 
@@ -159,6 +161,36 @@ fn emit_aggregate_baseline(path: &str) -> ExitCode {
     ExitCode::SUCCESS
 }
 
+/// Acceptance workload of the schedule-search stage: the builtin Figure-2
+/// Moore search (lattice + coloring candidates on the 16×16 window) timed
+/// cold (fresh caches) and warm (the ranked outcome served whole from the
+/// tier-5 search cache), median of 3 samples per side.
+fn emit_search_baseline(path: &str) -> ExitCode {
+    let baseline = match measure_search(3) {
+        Ok(baseline) => baseline,
+        Err(err) => {
+            eprintln!("search baseline failed: {err}");
+            return ExitCode::FAILURE;
+        }
+    };
+    println!(
+        "search baseline: {} — cold {:.2} ms, warm {:.4} ms, speedup {:.1}x, parity {}",
+        baseline.workload, baseline.cold_ms, baseline.warm_ms, baseline.speedup, baseline.parity
+    );
+    println!("warm caches: {}", baseline.warm_caches);
+    let json = serde_json::to_string_pretty(&baseline.to_json_value());
+    if let Err(err) = std::fs::write(path, json + "\n") {
+        eprintln!("failed to write {path}: {err}");
+        return ExitCode::FAILURE;
+    }
+    println!("wrote search baseline to {path}");
+    if !baseline.parity {
+        eprintln!("search parity / zero-miss check failed");
+        return ExitCode::FAILURE;
+    }
+    ExitCode::SUCCESS
+}
+
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let mut json_path: Option<String> = None;
@@ -166,6 +198,7 @@ fn main() -> ExitCode {
     let mut sweep_path: Option<String> = None;
     let mut tracecache_path: Option<String> = None;
     let mut aggregate_path: Option<String> = None;
+    let mut search_path: Option<String> = None;
     let mut ids: Vec<String> = Vec::new();
     let mut iter = args.into_iter().peekable();
     while let Some(arg) = iter.next() {
@@ -205,11 +238,19 @@ fn main() -> ExitCode {
                     _ => "BENCH_aggregate.json".to_string(),
                 });
             }
+            "--bench-search" => {
+                // Optional path operand; defaults to BENCH_search.json.
+                search_path = Some(match iter.peek() {
+                    Some(next) if !next.starts_with('-') => iter.next().unwrap(),
+                    _ => "BENCH_search.json".to_string(),
+                });
+            }
             "--help" | "-h" => {
                 println!(
                     "usage: harness [--json FILE] [--bench-simkernel [FILE]] \
                      [--bench-sweep [FILE]] [--bench-tracecache [FILE]] \
-                     [--bench-aggregate [FILE]] [E1..E8 | all]..."
+                     [--bench-aggregate [FILE]] [--bench-search [FILE]] \
+                     [E1..E8 | all]..."
                 );
                 return ExitCode::SUCCESS;
             }
@@ -222,6 +263,7 @@ fn main() -> ExitCode {
         &sweep_path,
         &tracecache_path,
         &aggregate_path,
+        &search_path,
     ]
     .iter()
     .filter(|p| p.is_some())
@@ -247,6 +289,9 @@ fn main() -> ExitCode {
         }
         if let Some(path) = aggregate_path {
             return emit_aggregate_baseline(&path);
+        }
+        if let Some(path) = search_path {
+            return emit_search_baseline(&path);
         }
     }
 

@@ -114,7 +114,7 @@ fn sequential_configs(spec: &SweepSpec) -> latsched_sensornet::Result<Vec<SimCon
                 },
             };
             for &retries in &spec.retries {
-                for &seed in &spec.seeds {
+                for seed in spec.seeds.iter() {
                     configs.push(SimConfig {
                         mac: mac.clone(),
                         traffic,

@@ -821,12 +821,109 @@ impl GroupBy {
                         window: w.map(|i| spec.windows[i]),
                         traffic: t.map(|i| spec.traffic.label(i)),
                         retries: r.map(|i| spec.retries[i]),
-                        seed: s.map(|i| spec.seeds[i]),
+                        seed: s.map(|i| spec.seeds.get(i)),
                     },
                     fold,
                 }
             })
             .collect()
+    }
+}
+
+/// Dense worker-local per-group accumulators: a fixed `u32` index vector (one
+/// slot per group) pointing into a compact vector of folds for the groups the
+/// worker actually touched, plus the touched-group list.
+///
+/// Streaming sweeps and search evaluations fold every run into a per-band
+/// accumulator; near [`MAX_GROUPS`] a per-band `HashMap` spends most of its
+/// fold time hashing and probing. Here an observation is one array read (plus,
+/// on a group's first touch, one push), the index costs 4 bytes per group
+/// (256 KiB at [`MAX_GROUPS`]) and fold storage stays proportional to the
+/// groups the band actually saw. Within one band every group owns exactly one
+/// fold, so [`GroupFolds::merge_into`] reproduces the per-group sequential
+/// fold bit for bit whenever bands are merged in a fixed order.
+#[derive(Clone, Debug, Default)]
+pub struct GroupFolds {
+    /// Group id → slot in `folds` (`u32::MAX` marks an untouched group).
+    index: Vec<u32>,
+    /// One fold per touched group, in first-touch order.
+    folds: Vec<OnlineFold>,
+    /// The touched group ids, parallel to `folds`.
+    touched: Vec<u32>,
+}
+
+impl GroupFolds {
+    const UNTOUCHED: u32 = u32::MAX;
+
+    /// Empty accumulators over `num_groups` groups.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `num_groups` does not fit the `u32` index (far above
+    /// [`MAX_GROUPS`]).
+    pub fn new(num_groups: usize) -> Self {
+        assert!(
+            num_groups < Self::UNTOUCHED as usize,
+            "{num_groups} groups exceed the dense u32 index"
+        );
+        GroupFolds {
+            index: vec![Self::UNTOUCHED; num_groups],
+            folds: Vec::new(),
+            touched: Vec::new(),
+        }
+    }
+
+    /// The number of groups the accumulator covers.
+    pub fn num_groups(&self) -> usize {
+        self.index.len()
+    }
+
+    /// The number of groups touched so far.
+    pub fn len(&self) -> usize {
+        self.folds.len()
+    }
+
+    /// Whether no run has been folded in yet.
+    pub fn is_empty(&self) -> bool {
+        self.folds.is_empty()
+    }
+
+    /// Folds one run's counters into its group (first touch allocates the
+    /// group's fold).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `group` is out of range.
+    #[inline]
+    pub fn observe(&mut self, group: usize, counts: &KernelCounts) {
+        let mut slot = self.index[group];
+        if slot == Self::UNTOUCHED {
+            slot = self.folds.len() as u32;
+            self.index[group] = slot;
+            self.folds.push(OnlineFold::new());
+            self.touched.push(group as u32);
+        }
+        self.folds[slot as usize].observe(counts);
+    }
+
+    /// The touched groups and their folds, in first-touch order.
+    pub fn iter(&self) -> impl Iterator<Item = (usize, &OnlineFold)> + '_ {
+        self.touched
+            .iter()
+            .zip(&self.folds)
+            .map(|(&g, fold)| (g as usize, fold))
+    }
+
+    /// Merges every touched fold into a dense per-group vector indexed by
+    /// group id.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `dense` is shorter than [`GroupFolds::num_groups`].
+    pub fn merge_into(&self, dense: &mut [OnlineFold]) {
+        for (group, fold) in self.iter() {
+            dense[group].merge(fold);
+        }
     }
 }
 
@@ -1030,7 +1127,7 @@ mod tests {
             windows: vec![8, 16],
             traffic: SweepTraffic::Bernoulli(vec![0.1, 0.2, 0.3]),
             retries: vec![0, 2],
-            seeds: vec![1, 2, 3, 4, 5],
+            seeds: vec![1, 2, 3, 4, 5].into(),
             ..builtin_sweep()
         }
     }
@@ -1109,7 +1206,7 @@ mod tests {
             windows: vec![8],
             traffic: SweepTraffic::Bernoulli(vec![0.1]),
             retries: vec![0, 1],
-            seeds: vec![1, 2, 3],
+            seeds: vec![1, 2, 3].into(),
             ..builtin_sweep()
         };
         let gspec = GroupSpec::parse("retries").unwrap();
@@ -1129,5 +1226,38 @@ mod tests {
             a.merge(b);
         }
         assert_eq!(chunked, folds);
+    }
+
+    #[test]
+    fn group_folds_match_dense_sequential_folding() {
+        // A sparse banded accumulation over 1000 groups, touching a few.
+        let mut sparse = GroupFolds::new(1000);
+        assert_eq!(sparse.num_groups(), 1000);
+        assert!(sparse.is_empty());
+        let mut dense_reference = vec![OnlineFold::new(); 1000];
+        for (group, generated, delivered) in
+            [(7usize, 100, 90), (999, 50, 10), (7, 200, 150), (0, 30, 30)]
+        {
+            let c = counts(generated, delivered, delivered);
+            sparse.observe(group, &c);
+            dense_reference[group].observe(&c);
+        }
+        assert_eq!(sparse.len(), 3);
+        // Touched groups iterate in first-touch order, not group order.
+        let touched: Vec<usize> = sparse.iter().map(|(g, _)| g).collect();
+        assert_eq!(touched, vec![7, 999, 0]);
+        // merge_into reproduces the sequential dense fold bit-for-bit.
+        let mut dense = vec![OnlineFold::new(); 1000];
+        sparse.merge_into(&mut dense);
+        assert_eq!(dense, dense_reference);
+        // Merging a second band accumulates, exactly like sequential folding.
+        let mut band2 = GroupFolds::new(1000);
+        let extra = counts(10, 5, 5);
+        band2.observe(999, &extra);
+        band2.observe(3, &extra);
+        band2.merge_into(&mut dense);
+        dense_reference[999].observe(&extra);
+        dense_reference[3].observe(&extra);
+        assert_eq!(dense, dense_reference);
     }
 }

@@ -7,14 +7,17 @@
 //! engine-cli --dump ...              # stream every slot answer to stdout (CSV)
 //! engine-cli sweep                   # run the builtin 64-run stochastic sweep
 //! engine-cli sweep spec.json ...     # run sweeps from JSON spec files
+//! engine-cli search                  # run the builtin Figure-2 schedule search
+//! engine-cli search spec.json ...    # run schedule searches from JSON spec files
 //! ```
 //!
-//! See `latsched_engine::Scenario` for the scenario spec format and
-//! `latsched_engine::SweepSpec` for the sweep spec format.
+//! See `latsched_engine::Scenario` for the scenario spec format,
+//! `latsched_engine::SweepSpec` for the sweep spec format and
+//! `latsched_engine::SearchSpec` for the search spec format.
 
 use latsched_engine::{
-    builtin_scenarios, builtin_sweep, run_scenario, run_sweep, GroupReport, GroupSpec, Scenario,
-    ScheduleCache, SweepCaches, SweepMode, SweepSpec,
+    builtin_scenarios, builtin_search, builtin_sweep, run_scenario, run_search, run_sweep,
+    GroupReport, GroupSpec, Scenario, ScheduleCache, SearchSpec, SweepCaches, SweepMode, SweepSpec,
 };
 use std::process::ExitCode;
 
@@ -110,7 +113,7 @@ fn sweep_main(args: Vec<String>) -> ExitCode {
                      [--group-by AXES] [--top N] [SPEC.json]..."
                 );
                 println!("With no spec files, runs the builtin 64-run stochastic sweep.");
-                println!("--stats prints hit/miss/entry counters of all four artifact tiers.");
+                println!("--stats prints hit/miss/entry counters of all five artifact tiers.");
                 println!(
                     "--streaming folds runs online (O(groups) report memory, no per-run \
                      detail); --group-by selects fold axes from window, traffic/load, \
@@ -189,10 +192,140 @@ fn sweep_main(args: Vec<String>) -> ExitCode {
     ExitCode::SUCCESS
 }
 
+/// The `search` subcommand: enumerate, simulate and rank candidate schedules
+/// for each scenario spec, printing the ranked candidate table (and, with
+/// `--stats`, per-tier cache counters including the tier-5 search cache).
+/// `--top N` overrides every spec's ranked-report truncation.
+fn search_main(args: Vec<String>) -> ExitCode {
+    let mut json_path: Option<String> = None;
+    let mut stats = false;
+    let mut top: Option<usize> = None;
+    let mut spec_paths: Vec<String> = Vec::new();
+    let mut iter = args.into_iter();
+    while let Some(arg) = iter.next() {
+        match arg.as_str() {
+            "--json" => match iter.next() {
+                Some(path) => json_path = Some(path),
+                None => {
+                    eprintln!("--json requires a file path");
+                    return ExitCode::FAILURE;
+                }
+            },
+            "--stats" => stats = true,
+            "--top" => match iter.next().and_then(|n| n.parse::<usize>().ok()) {
+                Some(n) if n > 0 => top = Some(n),
+                _ => {
+                    eprintln!("--top requires a positive row count");
+                    return ExitCode::FAILURE;
+                }
+            },
+            "--help" | "-h" => {
+                println!(
+                    "usage: engine-cli search [--json FILE] [--stats] [--top N] [SPEC.json]..."
+                );
+                println!(
+                    "With no spec files, runs the builtin Figure-2 Moore search \
+                     (p99-latency objective)."
+                );
+                println!(
+                    "Specs choose an objective (period, delivery, energy, \
+                     latency_p<pct>), generator families (lattice, coloring), a \
+                     per-family candidate budget and the evaluation grid."
+                );
+                println!(
+                    "--stats prints hit/miss/entry counters of all five artifact \
+                     tiers; warm re-runs answer from the search tier without \
+                     re-evaluating any candidate."
+                );
+                return ExitCode::SUCCESS;
+            }
+            other => spec_paths.push(other.to_string()),
+        }
+    }
+
+    let mut searches: Vec<SearchSpec> = Vec::new();
+    if spec_paths.is_empty() {
+        searches.push(builtin_search());
+    } else {
+        for path in &spec_paths {
+            let text = match std::fs::read_to_string(path) {
+                Ok(text) => text,
+                Err(err) => {
+                    eprintln!("failed to read {path}: {err}");
+                    return ExitCode::FAILURE;
+                }
+            };
+            match SearchSpec::parse_spec(&text) {
+                Ok(mut parsed) => searches.append(&mut parsed),
+                Err(err) => {
+                    eprintln!("failed to parse {path}: {err}");
+                    return ExitCode::FAILURE;
+                }
+            }
+        }
+    }
+    if let Some(top) = top {
+        for spec in &mut searches {
+            spec.top = top;
+        }
+    }
+
+    let caches = SweepCaches::new();
+    let mut reports = Vec::with_capacity(searches.len());
+    for spec in &searches {
+        match run_search(spec, &caches) {
+            Ok(report) => {
+                print!("{report}");
+                if let Some(winner) = report.winner() {
+                    println!(
+                        "winner: {} ({}, period {}, {})",
+                        winner.generator,
+                        winner.family,
+                        winner.period,
+                        if winner.optimal {
+                            "provably optimal"
+                        } else {
+                            "above the clique bound"
+                        }
+                    );
+                }
+                if stats {
+                    println!("  caches: {}", report.caches);
+                }
+                reports.push(report);
+            }
+            Err(err) => {
+                eprintln!("search '{}' failed: {err}", spec.name);
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+    println!(
+        "{} search(es), artifact pipeline: {}",
+        reports.len(),
+        caches.stats()
+    );
+
+    if let Some(path) = json_path {
+        let json = serde_json::to_string_pretty(&serde_json::Value::Array(
+            reports.iter().map(|r| r.to_json_value()).collect(),
+        ));
+        if let Err(err) = std::fs::write(&path, json) {
+            eprintln!("failed to write {path}: {err}");
+            return ExitCode::FAILURE;
+        }
+        println!("wrote {} search report(s) to {path}", reports.len());
+    }
+    ExitCode::SUCCESS
+}
+
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     if args.first().map(String::as_str) == Some("sweep") {
         return sweep_main(args.into_iter().skip(1).collect());
+    }
+    if args.first().map(String::as_str) == Some("search") {
+        return search_main(args.into_iter().skip(1).collect());
     }
     let mut json_path: Option<String> = None;
     let mut dump = false;
@@ -211,6 +344,7 @@ fn main() -> ExitCode {
             "--help" | "-h" => {
                 println!("usage: engine-cli [--json FILE] [--dump] [SPEC.json]...");
                 println!("       engine-cli sweep [--json FILE] [SPEC.json]...");
+                println!("       engine-cli search [--json FILE] [SPEC.json]...");
                 println!("With no spec files, runs the builtin 512x512 scenario suite.");
                 return ExitCode::SUCCESS;
             }

@@ -5,7 +5,7 @@
 //! compiling an artifact (tiling search + table construction, frame-plan
 //! fusion, or `n × slots` counter draws) is many orders of magnitude more
 //! expensive than a query, so the tiers make repeated scenarios pay it once.
-//! All three are thin key-derivation wrappers over one generic
+//! All five are thin key-derivation wrappers over one generic
 //! [`ArtifactStore`] (sharded, single-flight, bounded — see
 //! [`crate::store`]):
 //!
@@ -18,7 +18,10 @@
 //!   fingerprints, so warm sweeps skip the O(window × shape) neighbour walk;
 //! * [`TraceCache`] — (plan fingerprint, seed, load, slots) → compiled
 //!   [`TrafficTrace`], so repeated sweeps, the retry axis of a grid and the
-//!   CI gate's samples never rebuild a trace.
+//!   CI gate's samples never rebuild a trace;
+//! * [`SearchCache`] — (scenario fingerprint, objective fingerprint) → ranked
+//!   [`SearchOutcome`], so a repeated schedule search resolves from the cache
+//!   without enumerating, compiling or simulating a single candidate.
 //!
 //! The tiers chain: a schedule compiles once per neighbourhood shape, feeds
 //! any number of plans (one per deployment window's adjacency), and each plan
@@ -30,6 +33,7 @@
 use crate::compiled::CompiledSchedule;
 use crate::error::{EngineError, Result};
 use crate::frames::{fingerprint_words, FramePlan, FrameSchedule, InterferenceCsr};
+use crate::search::SearchOutcome;
 use crate::simkernel::TrafficTrace;
 use crate::store::{ArtifactStore, StoreStats};
 use latsched_core::theorem1;
@@ -552,6 +556,123 @@ impl Default for AdjacencyCache {
 impl std::fmt::Debug for AdjacencyCache {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         f.debug_struct("AdjacencyCache")
+            .field("len", &self.len())
+            .field("hits", &self.hits())
+            .field("misses", &self.misses())
+            .finish()
+    }
+}
+
+/// The content-addressed key of a cached search outcome: the scenario's
+/// content fingerprint (shape, window, slots, traffic, seeds, retries) and
+/// the objective fingerprint (objective, families, budget, top) — see
+/// [`crate::search`], which derives both.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+struct SearchKey {
+    scenario: u64,
+    objective: u64,
+}
+
+/// Default entry bound of a [`SearchCache`]: outcomes hold per-candidate
+/// streaming folds (a few kilobytes each), so the default store resets
+/// wholesale after this many distinct (scenario, objective) pairs.
+const DEFAULT_MAX_SEARCHES: usize = 64;
+
+/// A sharded, thread-safe cache of ranked [`SearchOutcome`]s, keyed by
+/// `(scenario fingerprint, objective fingerprint)`.
+///
+/// A schedule search is the most expensive stage of the pipeline — it
+/// enumerates candidate schedules from the lattice-tiling and graph-coloring
+/// families, compiles each one and simulates the whole run grid over it — so
+/// a warm hit here skips candidate evaluation entirely: repeated searches of
+/// the same scenario under the same objective resolve without touching the
+/// schedule, plan, adjacency or trace tiers at all.
+pub struct SearchCache {
+    inner: ArtifactStore<SearchKey, SearchOutcome>,
+}
+
+impl SearchCache {
+    /// An empty cache with the default shard count and entry bound.
+    pub fn new() -> Self {
+        SearchCache::with_shards(crate::store::DEFAULT_SHARDS)
+    }
+
+    /// An empty cache with an explicit shard count (at least 1) and the
+    /// default entry bound.
+    pub fn with_shards(shards: usize) -> Self {
+        SearchCache {
+            inner: ArtifactStore::with_shards(shards).with_max_entries(DEFAULT_MAX_SEARCHES),
+        }
+    }
+
+    /// Sets the maximum number of cached outcomes (at least 1); inserting
+    /// beyond it resets the cache wholesale.
+    pub fn with_max_entries(mut self, max_entries: usize) -> Self {
+        self.inner = std::mem::take(&mut self.inner).with_max_entries(max_entries);
+        self
+    }
+
+    /// The search outcome of the given `(scenario, objective)` fingerprint
+    /// pair, running `build` and inserting its result on first use.
+    /// Concurrent misses on the same key wait for a single search.
+    ///
+    /// # Errors
+    ///
+    /// Propagates `build` errors; failed searches are evicted, so retries
+    /// rebuild.
+    pub fn get_or_build(
+        &self,
+        scenario: u64,
+        objective: u64,
+        build: impl FnOnce() -> Result<SearchOutcome>,
+    ) -> Result<Arc<SearchOutcome>> {
+        let key = SearchKey {
+            scenario,
+            objective,
+        };
+        self.inner.get_or_build(key, build)
+    }
+
+    /// Number of cached outcomes.
+    pub fn len(&self) -> usize {
+        self.inner.len()
+    }
+
+    /// Whether the cache is empty.
+    pub fn is_empty(&self) -> bool {
+        self.inner.is_empty()
+    }
+
+    /// Number of lookups answered from the cache.
+    pub fn hits(&self) -> u64 {
+        self.inner.hits()
+    }
+
+    /// Number of lookups that had to search.
+    pub fn misses(&self) -> u64 {
+        self.inner.misses()
+    }
+
+    /// A point-in-time hit/miss/entry snapshot.
+    pub fn stats(&self) -> StoreStats {
+        self.inner.stats()
+    }
+
+    /// Drops every cached outcome (counters are kept).
+    pub fn clear(&self) {
+        self.inner.clear();
+    }
+}
+
+impl Default for SearchCache {
+    fn default() -> Self {
+        SearchCache::new()
+    }
+}
+
+impl std::fmt::Debug for SearchCache {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("SearchCache")
             .field("len", &self.len())
             .field("hits", &self.hits())
             .field("misses", &self.misses())

@@ -57,6 +57,9 @@ pub enum EngineError {
     /// A simulation-kernel configuration was invalid; the string names the
     /// problem (e.g. a zero traffic period).
     InvalidKernelConfig(String),
+    /// An underlying graph-coloring computation failed; the string names the
+    /// error.
+    Coloring(String),
     /// An underlying schedule computation failed.
     Schedule(ScheduleError),
     /// An underlying tiling computation failed.
@@ -98,6 +101,7 @@ impl fmt::Display for EngineError {
             EngineError::InvalidKernelConfig(msg) => {
                 write!(f, "invalid kernel configuration: {msg}")
             }
+            EngineError::Coloring(msg) => write!(f, "coloring error: {msg}"),
             EngineError::Schedule(e) => write!(f, "schedule error: {e}"),
             EngineError::Tiling(e) => write!(f, "tiling error: {e}"),
             EngineError::Lattice(e) => write!(f, "lattice error: {e}"),

@@ -33,15 +33,17 @@
 //!    (Bernoulli traffic, slotted ALOHA) replay bit-identically through the
 //!    counter-based [`CounterRng`] — every draw is `hash(seed, node, slot)`.
 //! 5. The tiered artifact pipeline — one generic [`ArtifactStore`] (sharded,
-//!    single-flight, bounded, observable) backs four content-addressed
+//!    single-flight, bounded, observable) backs five content-addressed
 //!    tiers: [`ScheduleCache`] (shape → compiled schedule), [`AdjacencyCache`]
 //!    ((window region, shape) → interference adjacency), [`PlanCache`]
-//!    ((assignment, adjacency) → fused plan) and [`TraceCache`]
+//!    ((assignment, adjacency) → fused plan), [`TraceCache`]
 //!    ((plan fingerprint, seed, load, slots) → compiled [`TrafficTrace`],
-//!    built block-wise from batched [`CounterRng::bernoulli_block`] draws).
-//!    Downstream keys embed upstream content fingerprints, so any engine —
-//!    sweeps, the sensornet frame kernel, repeated benchmark samples — shares
-//!    compiled artifacts without identity coupling.
+//!    built block-wise from batched [`CounterRng::bernoulli_block`] draws)
+//!    and [`SearchCache`] ((scenario, objective) fingerprints → ranked
+//!    [`SearchOutcome`]). Downstream keys embed upstream content
+//!    fingerprints, so any engine — sweeps, the sensornet frame kernel,
+//!    repeated benchmark samples — shares compiled artifacts without
+//!    identity coupling.
 //! 6. Batched sweeps — [`SweepSpec`] / [`run_sweep`] fan whole parameter grids
 //!    (windows × loads × retry budgets × seeds) across all cores through the
 //!    artifact pipeline (≥5× over sequential reference runs on the 64-run
@@ -56,6 +58,16 @@
 //!    memory instead of O(runs), bit-identical to folding full-mode per-run
 //!    reports by the same axes, which unlocks million-run grids
 //!    (`engine-cli sweep --streaming --group-by load,retries`).
+//! 8. Objective-driven schedule search — [`SearchSpec`] / [`run_search`]
+//!    enumerate candidate schedules from two generator families (Theorem 1
+//!    sublattice tilings and `latsched_coloring` TDMA/greedy/DSATUR/
+//!    annealing/exact baselines), compile each through tiers 1–4, score them
+//!    with streaming folds under a user-chosen [`Objective`] (latency
+//!    percentile, delivery ratio, energy per delivery, period), and return a
+//!    ranked [`SearchReport`] with optimality annotations from
+//!    `latsched_core::optimality`; the ranked outcome itself is
+//!    content-addressed in tier 5, so warm re-runs skip candidate
+//!    enumeration and simulation entirely (`engine-cli search`).
 //!
 //! Underneath the table queries, 2-D and 3-D schedules use the
 //! dimension-specialized `latsched_lattice::FixedReducer`, which
@@ -96,25 +108,30 @@ mod error;
 mod frames;
 pub mod parallel;
 mod scenario;
+mod search;
 mod simkernel;
 mod store;
 mod sweep;
 
 pub use aggregate::{
-    count_values, fold_full_report, FieldFold, GroupAxis, GroupBy, GroupKey, GroupReport,
-    GroupSpec, Log2Histogram, OnlineFold, RatioHistogram, COUNT_FIELDS,
+    count_values, fold_full_report, FieldFold, GroupAxis, GroupBy, GroupFolds, GroupKey,
+    GroupReport, GroupSpec, Log2Histogram, OnlineFold, RatioHistogram, COUNT_FIELDS,
 };
-pub use cache::{compile_shape, AdjacencyCache, PlanCache, ScheduleCache, TraceCache};
+pub use cache::{compile_shape, AdjacencyCache, PlanCache, ScheduleCache, SearchCache, TraceCache};
 pub use compiled::CompiledSchedule;
 pub use error::{EngineError, Result};
 pub use frames::{FramePlan, FrameSchedule, InterferenceCsr};
 pub use latsched_lattice::CounterRng;
 pub use scenario::{builtin_scenarios, run_scenario, Scenario, ScenarioReport, ShapeSpec};
+pub use search::{
+    builtin_search, run_search, CandidateReport, Objective, SearchFamily, SearchOutcome,
+    SearchReport, SearchSpec,
+};
 pub use simkernel::{
     run_frames, KernelConfig, KernelCounts, KernelMac, KernelTraffic, TrafficTrace,
 };
 pub use store::{ArtifactStore, StoreStats};
 pub use sweep::{
-    builtin_sweep, grid_adjacency, run_sweep, SweepCacheStats, SweepCaches, SweepMac, SweepMode,
-    SweepReport, SweepRunReport, SweepSpec, SweepTraffic,
+    builtin_sweep, grid_adjacency, run_sweep, SeedAxis, SweepCacheStats, SweepCaches, SweepMac,
+    SweepMode, SweepReport, SweepRunReport, SweepSpec, SweepTraffic,
 };

@@ -59,8 +59,8 @@
 //! counters are bit-identical to a reference-simulator run of the same
 //! configuration — property-tested across the crates in `tests/sweep_parity.rs`.
 
-use crate::aggregate::{GroupBy, GroupReport, GroupSpec, OnlineFold};
-use crate::cache::{AdjacencyCache, PlanCache, ScheduleCache, TraceCache};
+use crate::aggregate::{GroupBy, GroupFolds, GroupReport, GroupSpec, OnlineFold};
+use crate::cache::{AdjacencyCache, PlanCache, ScheduleCache, SearchCache, TraceCache};
 use crate::error::{EngineError, Result};
 use crate::frames::InterferenceCsr;
 use crate::parallel::{fill_chunks_min, worker_threads};
@@ -100,6 +100,131 @@ impl fmt::Display for SweepMac {
     }
 }
 
+/// The seed axis of a sweep grid: an explicit list, or an inclusive range
+/// iterated lazily — a `{"range": [1, 5000000]}` axis costs two words instead
+/// of a ~40 MB seed vector materialized before the first run.
+#[derive(Clone, PartialEq, Eq, Hash, Debug)]
+pub enum SeedAxis {
+    /// Explicit seeds, in grid order.
+    List(Vec<u64>),
+    /// Every seed of the inclusive range `start..=end`, generated on demand.
+    Range {
+        /// First seed of the range.
+        start: u64,
+        /// Last seed of the range (inclusive; at least `start`).
+        end: u64,
+    },
+}
+
+impl SeedAxis {
+    /// The number of grid values along the seed axis.
+    ///
+    /// Range axes are validated at parse time to fit `usize`; a hand-built
+    /// range longer than `usize::MAX` saturates.
+    pub fn len(&self) -> usize {
+        match self {
+            SeedAxis::List(seeds) => seeds.len(),
+            SeedAxis::Range { start, end } => usize::try_from(end.wrapping_sub(*start))
+                .unwrap_or(usize::MAX)
+                .saturating_add(1),
+        }
+    }
+
+    /// Whether the seed axis is empty (a range never is).
+    pub fn is_empty(&self) -> bool {
+        match self {
+            SeedAxis::List(seeds) => seeds.is_empty(),
+            SeedAxis::Range { .. } => false,
+        }
+    }
+
+    /// The `i`-th seed in grid order.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i` is out of bounds.
+    #[inline]
+    pub fn get(&self, i: usize) -> u64 {
+        match self {
+            SeedAxis::List(seeds) => seeds[i],
+            SeedAxis::Range { start, end } => {
+                let seed = start + i as u64;
+                assert!(seed <= *end, "seed index {i} out of range");
+                seed
+            }
+        }
+    }
+
+    /// Iterates the seeds in grid order without materializing them.
+    pub fn iter(&self) -> impl Iterator<Item = u64> + '_ {
+        (0..self.len()).map(move |i| self.get(i))
+    }
+
+    /// Parses the `seeds` field of a spec: either an array of seeds or a
+    /// `{"range": [first, last]}` object (inclusive bounds, iterated lazily).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`EngineError::InvalidSpec`] for a malformed axis or an empty
+    /// or inverted range.
+    pub fn from_json(value: &Value) -> Result<Self> {
+        match value {
+            Value::Array(items) => {
+                if items.is_empty() {
+                    return Err(invalid("'seeds' must not be empty"));
+                }
+                let seeds = items
+                    .iter()
+                    .map(|v| {
+                        v.as_u64()
+                            .ok_or_else(|| invalid("'seeds' entries must be nonnegative integers"))
+                    })
+                    .collect::<Result<Vec<u64>>>()?;
+                Ok(SeedAxis::List(seeds))
+            }
+            Value::Object(_) => {
+                let range = value
+                    .get("range")
+                    .and_then(Value::as_array)
+                    .ok_or_else(|| invalid("'seeds' object needs a 'range' array"))?;
+                if range.len() != 2 {
+                    return Err(invalid("'seeds.range' must be [first, last]"));
+                }
+                let (start, end) = match (range[0].as_u64(), range[1].as_u64()) {
+                    (Some(lo), Some(hi)) => (lo, hi),
+                    _ => return Err(invalid("'seeds.range' bounds must be nonnegative integers")),
+                };
+                if start > end {
+                    return Err(invalid("'seeds.range' must satisfy first <= last"));
+                }
+                if usize::try_from(end - start)
+                    .ok()
+                    .and_then(|d| d.checked_add(1))
+                    .is_none()
+                {
+                    return Err(invalid("'seeds.range' is too long for this platform"));
+                }
+                Ok(SeedAxis::Range { start, end })
+            }
+            _ => Err(invalid(
+                "'seeds' must be an array or a {\"range\": [first, last]} object",
+            )),
+        }
+    }
+}
+
+impl From<Vec<u64>> for SeedAxis {
+    fn from(seeds: Vec<u64>) -> Self {
+        SeedAxis::List(seeds)
+    }
+}
+
+impl FromIterator<u64> for SeedAxis {
+    fn from_iter<I: IntoIterator<Item = u64>>(iter: I) -> Self {
+        SeedAxis::List(iter.into_iter().collect())
+    }
+}
+
 /// The traffic axis of a sweep grid.
 #[derive(Clone, PartialEq, Debug)]
 pub enum SweepTraffic {
@@ -133,6 +258,45 @@ impl SweepTraffic {
             SweepTraffic::Bernoulli(loads) => format!("bernoulli(p={:.3})", loads[i]),
             SweepTraffic::Periodic(periods) => format!("periodic(every {} slots)", periods[i]),
             SweepTraffic::Staggered(periods) => format!("staggered(every {} slots)", periods[i]),
+        }
+    }
+
+    /// Parses the `traffic` field of a spec: `{"kind": "bernoulli", "loads":
+    /// [...]}`, `{"kind": "periodic", "periods": [...]}` or `{"kind":
+    /// "staggered", "periods": [...]}`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`EngineError::InvalidSpec`] naming the first malformed field.
+    pub fn from_json(traffic: &Value) -> Result<Self> {
+        match traffic.get("kind").and_then(Value::as_str) {
+            Some("bernoulli") => {
+                let loads = traffic
+                    .get("loads")
+                    .and_then(Value::as_array)
+                    .ok_or_else(|| invalid("bernoulli traffic needs a 'loads' array"))?
+                    .iter()
+                    .map(|v| {
+                        v.as_f64()
+                            .ok_or_else(|| invalid("'loads' entries must be numbers"))
+                    })
+                    .collect::<Result<Vec<f64>>>()?;
+                Ok(SweepTraffic::Bernoulli(loads))
+            }
+            Some(kind @ ("periodic" | "staggered")) => {
+                let periods = get_u64_array(traffic, "periods")?;
+                if periods.contains(&0) {
+                    return Err(invalid("'periods' entries must be positive"));
+                }
+                if kind == "periodic" {
+                    Ok(SweepTraffic::Periodic(periods))
+                } else {
+                    Ok(SweepTraffic::Staggered(periods))
+                }
+            }
+            _ => Err(invalid(
+                "'traffic.kind' must be 'bernoulli', 'periodic' or 'staggered'",
+            )),
         }
     }
 }
@@ -184,8 +348,8 @@ pub struct SweepSpec {
     pub mac: SweepMac,
     /// The traffic axis.
     pub traffic: SweepTraffic,
-    /// RNG seeds.
-    pub seeds: Vec<u64>,
+    /// RNG seeds (an explicit list or a lazily iterated range).
+    pub seeds: SeedAxis,
     /// Retry budgets.
     pub retries: Vec<u32>,
     /// How the grid is reported: full per-run detail, or streaming per-axis
@@ -232,41 +396,16 @@ impl SweepSpec {
                 _ => return Err(invalid("'mac.kind' must be 'tiling' or 'aloha'")),
             },
         };
-        let traffic = value
-            .get("traffic")
-            .ok_or_else(|| invalid("sweep needs a 'traffic' object"))?;
-        let traffic = match traffic.get("kind").and_then(Value::as_str) {
-            Some("bernoulli") => {
-                let loads = traffic
-                    .get("loads")
-                    .and_then(Value::as_array)
-                    .ok_or_else(|| invalid("bernoulli traffic needs a 'loads' array"))?
-                    .iter()
-                    .map(|v| {
-                        v.as_f64()
-                            .ok_or_else(|| invalid("'loads' entries must be numbers"))
-                    })
-                    .collect::<Result<Vec<f64>>>()?;
-                SweepTraffic::Bernoulli(loads)
-            }
-            Some(kind @ ("periodic" | "staggered")) => {
-                let periods = get_u64_array(traffic, "periods")?;
-                if periods.contains(&0) {
-                    return Err(invalid("'periods' entries must be positive"));
-                }
-                if kind == "periodic" {
-                    SweepTraffic::Periodic(periods)
-                } else {
-                    SweepTraffic::Staggered(periods)
-                }
-            }
-            _ => {
-                return Err(invalid(
-                    "'traffic.kind' must be 'bernoulli', 'periodic' or 'staggered'",
-                ))
-            }
-        };
-        let seeds = get_u64_array(value, "seeds")?;
+        let traffic = SweepTraffic::from_json(
+            value
+                .get("traffic")
+                .ok_or_else(|| invalid("sweep needs a 'traffic' object"))?,
+        )?;
+        let seeds = SeedAxis::from_json(
+            value
+                .get("seeds")
+                .ok_or_else(|| invalid("missing field 'seeds'"))?,
+        )?;
         let retries = get_u64_array(value, "retries")?
             .into_iter()
             .map(|r| r as u32)
@@ -395,6 +534,9 @@ pub struct SweepCaches {
     /// Tier 4 — (plan fingerprint, seed, load, slots) → compiled traffic
     /// trace.
     pub traces: TraceCache,
+    /// Tier 5 — (scenario, objective) fingerprint → ranked search outcome
+    /// (see [`crate::search::run_search`]).
+    pub searches: SearchCache,
 }
 
 impl SweepCaches {
@@ -403,13 +545,14 @@ impl SweepCaches {
         SweepCaches::default()
     }
 
-    /// A point-in-time snapshot of all four tiers' counters.
+    /// A point-in-time snapshot of all five tiers' counters.
     pub fn stats(&self) -> SweepCacheStats {
         SweepCacheStats {
             schedules: self.schedules.stats(),
             adjacencies: self.adjacencies.stats(),
             plans: self.plans.stats(),
             traces: self.traces.stats(),
+            searches: self.searches.stats(),
         }
     }
 }
@@ -427,6 +570,8 @@ pub struct SweepCacheStats {
     pub plans: StoreStats,
     /// Trace-tier counters.
     pub traces: StoreStats,
+    /// Search-tier counters.
+    pub searches: StoreStats,
 }
 
 impl SweepCacheStats {
@@ -439,6 +584,7 @@ impl SweepCacheStats {
             adjacencies: self.adjacencies.since(&earlier.adjacencies),
             plans: self.plans.since(&earlier.plans),
             traces: self.traces.since(&earlier.traces),
+            searches: self.searches.since(&earlier.searches),
         }
     }
 
@@ -457,6 +603,7 @@ impl SweepCacheStats {
         map.insert("adjacencies".to_string(), tier(&self.adjacencies));
         map.insert("plans".to_string(), tier(&self.plans));
         map.insert("traces".to_string(), tier(&self.traces));
+        map.insert("searches".to_string(), tier(&self.searches));
         Value::Object(map)
     }
 }
@@ -465,8 +612,8 @@ impl fmt::Display for SweepCacheStats {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         write!(
             f,
-            "schedules {} | adjacencies {} | plans {} | traces {}",
-            self.schedules, self.adjacencies, self.plans, self.traces
+            "schedules {} | adjacencies {} | plans {} | traces {} | searches {}",
+            self.schedules, self.adjacencies, self.plans, self.traces, self.searches
         )
     }
 }
@@ -656,7 +803,7 @@ impl GridContext<'_> {
     fn point(&self, run: usize) -> RunPoint<'_> {
         let (w, ti, ri, si) = self.coords(run);
         let (window, nodes, plan) = &self.plans[w];
-        let seed = self.spec.seeds[si];
+        let seed = self.spec.seeds.get(si);
         let retries = self.spec.retries[ri];
         let traffic = match &self.spec.traffic {
             SweepTraffic::Bernoulli(loads) => {
@@ -688,11 +835,12 @@ impl GridContext<'_> {
     }
 }
 
-/// One worker's locally folded share of a streaming grid: per-touched-group
-/// accumulators (keyed by group id, so a band's memory is bounded by the
-/// smaller of its run count and the group count) plus the band's aggregate.
+/// One worker's locally folded share of a streaming grid: dense per-group
+/// accumulators with a touched-list ([`GroupFolds`] — O(1) array indexing per
+/// fold, fold storage proportional to the groups the band actually saw) plus
+/// the band's aggregate.
 struct BandFold {
-    folds: HashMap<u32, OnlineFold>,
+    folds: GroupFolds,
     aggregate: KernelCounts,
 }
 
@@ -746,7 +894,7 @@ pub fn run_sweep(spec: &SweepSpec, caches: &SweepCaches) -> Result<SweepReport> 
     if let SweepTraffic::Bernoulli(loads) = &spec.traffic {
         for (w, (_, _, plan)) in plans.iter().enumerate() {
             for &p in loads {
-                for &seed in &spec.seeds {
+                for seed in spec.seeds.iter() {
                     traces.insert(
                         (w, seed, p.to_bits()),
                         caches.traces.get_or_build(plan, seed, p, spec.slots)?,
@@ -826,7 +974,7 @@ pub fn run_sweep(spec: &SweepSpec, caches: &SweepCaches) -> Result<SweepReport> 
                         let start = (offset + b) * per_band;
                         let end = (start + per_band).min(num_runs);
                         let mut band = BandFold {
-                            folds: HashMap::new(),
+                            folds: GroupFolds::new(grouping.num_groups()),
                             aggregate: KernelCounts::default(),
                         };
                         let run_band = || -> Result<BandFold> {
@@ -834,10 +982,7 @@ pub fn run_sweep(spec: &SweepSpec, caches: &SweepCaches) -> Result<SweepReport> 
                                 let point = ctx.point(run);
                                 let counts = run_frames(point.plan, &point.config)?;
                                 band.aggregate.accumulate(&counts);
-                                band.folds
-                                    .entry(grouping.group_of_run(run) as u32)
-                                    .or_default()
-                                    .observe(&counts);
+                                band.folds.observe(grouping.group_of_run(run), &counts);
                             }
                             Ok(band)
                         };
@@ -850,9 +995,7 @@ pub fn run_sweep(spec: &SweepSpec, caches: &SweepCaches) -> Result<SweepReport> 
             for slot in slots {
                 let band = slot.expect("every band is filled")?;
                 aggregate.accumulate(&band.aggregate);
-                for (group, fold) in &band.folds {
-                    folds[*group as usize].merge(fold);
-                }
+                band.folds.merge_into(&mut folds);
             }
             (aggregate, grouping.reports(spec, folds), Vec::new())
         }
@@ -920,7 +1063,7 @@ mod tests {
         SweepSpec {
             windows: vec![8],
             slots: 64,
-            seeds: vec![1, 2],
+            seeds: vec![1, 2].into(),
             retries: vec![0, 2],
             traffic: SweepTraffic::Bernoulli(vec![0.1]),
             ..builtin_sweep()
@@ -973,6 +1116,69 @@ mod tests {
         ] {
             assert!(SweepSpec::parse_spec(bad).is_err(), "accepted: {bad}");
         }
+    }
+
+    #[test]
+    fn seed_axis_parses_ranges_lazily() {
+        let spec_text = |seeds: &str| {
+            format!(
+                r#"{{"shape": {{"kind": "hex7"}}, "windows": [8], "slots": 16,
+                    "traffic": {{"kind": "bernoulli", "loads": [0.1]}},
+                    "seeds": {seeds}, "retries": [0]}}"#
+            )
+        };
+        let spec = &SweepSpec::parse_spec(&spec_text(r#"{"range": [1, 5000000]}"#)).unwrap()[0];
+        assert_eq!(
+            spec.seeds,
+            SeedAxis::Range {
+                start: 1,
+                end: 5_000_000
+            }
+        );
+        // A five-million-seed axis is O(1) memory: length and lookups are
+        // computed, never materialized.
+        assert_eq!(spec.seeds.len(), 5_000_000);
+        assert_eq!(spec.num_runs(), 5_000_000);
+        assert_eq!(spec.seeds.get(0), 1);
+        assert_eq!(spec.seeds.get(4_999_999), 5_000_000);
+        assert_eq!(spec.seeds.iter().take(3).collect::<Vec<u64>>(), [1, 2, 3]);
+        // A singleton range is valid.
+        let one =
+            SeedAxis::from_json(&serde_json::from_str(r#"{"range": [7, 7]}"#).unwrap()).unwrap();
+        assert_eq!(one.iter().collect::<Vec<u64>>(), [7]);
+        // Malformed axes are rejected.
+        for bad in [
+            r#"[]"#,
+            r#"[1, -2]"#,
+            r#"{"range": [5, 1]}"#,
+            r#"{"range": [1]}"#,
+            r#"{"range": [1, 2, 3]}"#,
+            r#"{"range": ["a", "b"]}"#,
+            r#"{"span": [1, 2]}"#,
+            r#""everything""#,
+        ] {
+            assert!(
+                SweepSpec::parse_spec(&spec_text(bad)).is_err(),
+                "accepted seeds: {bad}"
+            );
+        }
+    }
+
+    #[test]
+    fn seed_range_sweeps_match_list_sweeps() {
+        let caches = SweepCaches::new();
+        let list = run_sweep(&tiny_spec(), &caches).unwrap();
+        let ranged = run_sweep(
+            &SweepSpec {
+                seeds: SeedAxis::Range { start: 1, end: 2 },
+                ..tiny_spec()
+            },
+            &caches,
+        )
+        .unwrap();
+        // Equal seed contents ⇒ bit-identical runs, whatever the axis form.
+        assert_eq!(list.per_run, ranged.per_run);
+        assert_eq!(list.aggregate, ranged.aggregate);
     }
 
     #[test]
@@ -1058,7 +1264,7 @@ mod tests {
         let full_spec = SweepSpec {
             windows: vec![6, 8],
             slots: 96,
-            seeds: vec![1, 2, 3],
+            seeds: vec![1, 2, 3].into(),
             retries: vec![0, 2],
             traffic: SweepTraffic::Bernoulli(vec![0.1, 0.3]),
             ..builtin_sweep()
@@ -1174,7 +1380,7 @@ mod tests {
             retries: vec![0, 8],
             traffic: SweepTraffic::Bernoulli(vec![0.4]),
             mac: SweepMac::Aloha { p: 0.5 },
-            seeds: vec![7],
+            seeds: vec![7].into(),
             ..tiny_spec()
         };
         let report = run_sweep(&spec, &SweepCaches::new()).unwrap();
@@ -1190,7 +1396,7 @@ mod tests {
     fn periodic_sweeps_run_without_traces() {
         let spec = SweepSpec {
             traffic: SweepTraffic::Periodic(vec![16, 32]),
-            seeds: vec![1],
+            seeds: vec![1].into(),
             retries: vec![2],
             ..tiny_spec()
         };

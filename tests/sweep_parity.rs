@@ -59,7 +59,7 @@ fn check_sweep_against_reference(spec: &SweepSpec, mac: &MacPolicy) {
                 },
             };
             for &retries in &spec.retries {
-                for &seed in &spec.seeds {
+                for seed in spec.seeds.iter() {
                     let run = &report.per_run[idx];
                     idx += 1;
                     assert_eq!(run.window, window);
@@ -94,7 +94,7 @@ fn sweep_runs_match_reference_simulator_on_bernoulli_tiling_grids() {
     let spec = SweepSpec {
         windows: vec![6, 9],
         slots: 200,
-        seeds: vec![1, 42],
+        seeds: vec![1, 42].into(),
         retries: vec![0, 3],
         traffic: SweepTraffic::Bernoulli(vec![0.05, 0.2]),
         mac: SweepMac::Tiling,
@@ -108,7 +108,7 @@ fn sweep_runs_match_reference_simulator_on_aloha_grids() {
     let spec = SweepSpec {
         windows: vec![7],
         slots: 150,
-        seeds: vec![3, 5],
+        seeds: vec![3, 5].into(),
         retries: vec![1],
         traffic: SweepTraffic::Bernoulli(vec![0.15]),
         mac: SweepMac::Aloha { p: 0.35 },
@@ -122,7 +122,7 @@ fn sweep_runs_match_reference_simulator_on_staggered_grids() {
     let spec = SweepSpec {
         windows: vec![8],
         slots: 180,
-        seeds: vec![11],
+        seeds: vec![11].into(),
         retries: vec![0, 2],
         traffic: SweepTraffic::Staggered(vec![4, 24]),
         mac: SweepMac::Tiling,
@@ -207,7 +207,7 @@ fn streaming_parity_holds_on_the_degenerate_one_run_per_group_grid() {
     let spec = SweepSpec {
         windows: vec![5, 6],
         slots: 80,
-        seeds: vec![3, 4],
+        seeds: vec![3, 4].into(),
         retries: vec![0, 1],
         traffic: SweepTraffic::Bernoulli(vec![0.15, 0.35]),
         mac: SweepMac::Tiling,
@@ -250,7 +250,7 @@ fn warm_sweeps_replay_cold_sweeps_through_every_tier() {
     let spec = SweepSpec {
         windows: vec![6, 9],
         slots: 160,
-        seeds: vec![2, 9],
+        seeds: vec![2, 9].into(),
         retries: vec![0, 2],
         traffic: SweepTraffic::Bernoulli(vec![0.1, 0.3]),
         mac: SweepMac::Tiling,
