@@ -17,11 +17,14 @@
 //!                              # memory + fold parity), write BENCH_aggregate.json
 //! harness --bench-search       # measure warm (cached) vs cold schedule
 //!                              # searches, write BENCH_search.json
+//! harness --bench-replay       # measure the analytic replay vs the slot loop
+//!                              # and 64-seed lanes vs scalar runs, write
+//!                              # BENCH_replay.json
 //! ```
 
 use latsched_bench::{
-    measure_aggregate, measure_search, measure_simkernel, measure_sweep, measure_tracecache,
-    run_all, run_by_id, Table,
+    measure_aggregate, measure_replay, measure_search, measure_simkernel, measure_sweep,
+    measure_tracecache, run_all, run_by_id, Table,
 };
 use std::process::ExitCode;
 
@@ -191,6 +194,44 @@ fn emit_search_baseline(path: &str) -> ExitCode {
     ExitCode::SUCCESS
 }
 
+/// Acceptance workload of the replay kernels: the Moore 64×64 window (4 096
+/// sensors), 1 024 slots per run, median of 3 samples per side — the analytic
+/// replay against the slot loop on the clean tiling schedule, and one 64-seed
+/// ALOHA lane batch against scalar per-seed runs, bit-exact parity asserted
+/// inside every timed sample.
+fn emit_replay_baseline(path: &str) -> ExitCode {
+    let baseline = match measure_replay(64, 1024, 3) {
+        Ok(baseline) => baseline,
+        Err(err) => {
+            eprintln!("replay baseline failed: {err}");
+            return ExitCode::FAILURE;
+        }
+    };
+    println!(
+        "replay baseline: {} — analytic {:.4} ms vs loop {:.2} ms ({:.1}x), \
+         lanes {:.2} ms vs scalar {:.2} ms ({:.1}x), parity {}",
+        baseline.workload,
+        baseline.analytic_ms,
+        baseline.loop_ms,
+        baseline.analytic_speedup,
+        baseline.lane_ms,
+        baseline.scalar_ms,
+        baseline.lane_speedup,
+        baseline.parity
+    );
+    let json = serde_json::to_string_pretty(&baseline.to_json_value());
+    if let Err(err) = std::fs::write(path, json + "\n") {
+        eprintln!("failed to write {path}: {err}");
+        return ExitCode::FAILURE;
+    }
+    println!("wrote replay baseline to {path}");
+    if !baseline.parity {
+        eprintln!("replay parity check failed");
+        return ExitCode::FAILURE;
+    }
+    ExitCode::SUCCESS
+}
+
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let mut json_path: Option<String> = None;
@@ -199,6 +240,7 @@ fn main() -> ExitCode {
     let mut tracecache_path: Option<String> = None;
     let mut aggregate_path: Option<String> = None;
     let mut search_path: Option<String> = None;
+    let mut replay_path: Option<String> = None;
     let mut ids: Vec<String> = Vec::new();
     let mut iter = args.into_iter().peekable();
     while let Some(arg) = iter.next() {
@@ -245,12 +287,19 @@ fn main() -> ExitCode {
                     _ => "BENCH_search.json".to_string(),
                 });
             }
+            "--bench-replay" => {
+                // Optional path operand; defaults to BENCH_replay.json.
+                replay_path = Some(match iter.peek() {
+                    Some(next) if !next.starts_with('-') => iter.next().unwrap(),
+                    _ => "BENCH_replay.json".to_string(),
+                });
+            }
             "--help" | "-h" => {
                 println!(
                     "usage: harness [--json FILE] [--bench-simkernel [FILE]] \
                      [--bench-sweep [FILE]] [--bench-tracecache [FILE]] \
                      [--bench-aggregate [FILE]] [--bench-search [FILE]] \
-                     [E1..E8 | all]..."
+                     [--bench-replay [FILE]] [E1..E8 | all]..."
                 );
                 return ExitCode::SUCCESS;
             }
@@ -264,6 +313,7 @@ fn main() -> ExitCode {
         &tracecache_path,
         &aggregate_path,
         &search_path,
+        &replay_path,
     ]
     .iter()
     .filter(|p| p.is_some())
@@ -292,6 +342,9 @@ fn main() -> ExitCode {
         }
         if let Some(path) = search_path {
             return emit_search_baseline(&path);
+        }
+        if let Some(path) = replay_path {
+            return emit_replay_baseline(&path);
         }
     }
 

@@ -23,6 +23,7 @@
 pub mod aggregate;
 pub mod alloc;
 pub mod experiments;
+pub mod replay;
 pub mod report;
 pub mod search;
 pub mod simbench;
@@ -31,6 +32,7 @@ pub mod tracecache;
 
 pub use aggregate::{measure_aggregate, AggregateBaseline};
 pub use experiments::{run_all, run_by_id, ExpResult};
+pub use replay::{measure_replay, ReplayBaseline};
 pub use report::Table;
 pub use search::{measure_search, SearchBaseline};
 pub use simbench::{measure_simkernel, SimkernelBaseline};

@@ -1,0 +1,226 @@
+//! The replay-kernel benchmark workload, shared by the criterion bench
+//! (`benches/bench_replay.rs`) and the harness's `--bench-replay` baseline
+//! emitter so both always measure exactly the same thing. Two fast paths of
+//! the engine's frame kernel are timed against their general counterparts:
+//!
+//! * **Analytic replay.** A clean 9-slot Moore tiling schedule under periodic
+//!   traffic and scheduled access is replayed closed-form
+//!   ([`latsched_engine::run_frames`], O(nodes) per run) against the explicit
+//!   slot loop ([`latsched_engine::run_frames_loop`], O(nodes × slots)).
+//! * **Seed lanes.** One slotted-ALOHA grid point is run for 64 seeds through
+//!   the bit-sliced lane kernel ([`latsched_engine::run_frames_lanes`], one
+//!   pass over the slot structure, lane `l` of every `u64` word tracking seed
+//!   `l`) against 64 scalar per-seed [`latsched_engine::run_frames`] calls.
+//!
+//! Both comparisons assert *bit-exact* [`KernelCounts`] parity inside the
+//! measurement loop — every timed analytic run is compared against the loop
+//! result and every timed lane batch against the per-seed scalar results —
+//! so the reported speedups can never come from a divergent fast path.
+
+use crate::sweep::median_ms;
+use latsched_engine::{
+    compile_shape, grid_adjacency, run_frames, run_frames_lanes, run_frames_loop, FramePlan,
+    FrameSchedule, KernelConfig, KernelCounts, KernelMac, KernelTraffic, Result,
+};
+use latsched_lattice::BoxRegion;
+use latsched_tiling::shapes;
+use serde_json::Value;
+use std::collections::BTreeMap;
+
+/// Seeds per lane batch: the full width of one `u64` lane word.
+pub const LANE_SEEDS: usize = 64;
+
+/// One measured baseline of the analytic replay and lane kernels.
+#[derive(Clone, Debug)]
+pub struct ReplayBaseline {
+    /// Human-readable workload description.
+    pub workload: String,
+    /// Number of nodes per run.
+    pub nodes: usize,
+    /// Number of slots simulated per run.
+    pub slots: u64,
+    /// Seeds packed into one lane batch.
+    pub lane_seeds: usize,
+    /// Timed executions per side (the median is reported).
+    pub samples: usize,
+    /// Median wall-clock of one closed-form analytic replay, in milliseconds.
+    pub analytic_ms: f64,
+    /// Median wall-clock of one explicit slot-loop run of the same
+    /// configuration, in milliseconds.
+    pub loop_ms: f64,
+    /// `loop_ms / analytic_ms` — how much the closed-form replay saves on a
+    /// clean scheduled run.
+    pub analytic_speedup: f64,
+    /// Median wall-clock of one 64-seed lane batch, in milliseconds.
+    pub lane_ms: f64,
+    /// Median wall-clock of the same 64 seeds as scalar per-seed runs, in
+    /// milliseconds.
+    pub scalar_ms: f64,
+    /// `scalar_ms / lane_ms` — how much bit-slicing the seed axis saves on a
+    /// stochastic grid point.
+    pub lane_speedup: f64,
+    /// Whether every in-measure parity check passed (see the module docs).
+    pub parity: bool,
+}
+
+impl ReplayBaseline {
+    /// The baseline as a JSON object for `BENCH_replay.json`.
+    pub fn to_json_value(&self) -> Value {
+        let mut map = BTreeMap::new();
+        map.insert("workload".into(), Value::String(self.workload.clone()));
+        map.insert("nodes".into(), Value::from(self.nodes));
+        map.insert("slots".into(), Value::from(self.slots));
+        map.insert("lane_seeds".into(), Value::from(self.lane_seeds));
+        map.insert("samples".into(), Value::from(self.samples));
+        map.insert("analytic_ms".into(), Value::from(self.analytic_ms));
+        map.insert("loop_ms".into(), Value::from(self.loop_ms));
+        map.insert(
+            "analytic_speedup".into(),
+            Value::from(self.analytic_speedup),
+        );
+        map.insert("lane_ms".into(), Value::from(self.lane_ms));
+        map.insert("scalar_ms".into(), Value::from(self.scalar_ms));
+        map.insert("lane_speedup".into(), Value::from(self.lane_speedup));
+        map.insert("parity".into(), Value::Bool(self.parity));
+        Value::Object(map)
+    }
+}
+
+/// The clean workload: the optimal 9-slot Moore tiling schedule of a
+/// `side × side` window, fused with the window's interference adjacency —
+/// conflict-free, so scheduled runs qualify for the analytic path.
+fn clean_plan(side: i64) -> Result<(FramePlan, usize)> {
+    let shape = shapes::moore();
+    let region = BoxRegion::square_window(2, side)?;
+    let adjacency = grid_adjacency(&region, &shape)?;
+    let compiled = compile_shape(&shape)?;
+    let assignment: Vec<usize> = compiled
+        .slots_of_region(&region)?
+        .into_iter()
+        .map(usize::from)
+        .collect();
+    let frames = FrameSchedule::from_assignment(&assignment, compiled.num_slots())?;
+    let nodes = adjacency.num_nodes();
+    Ok((FramePlan::new(&frames, &adjacency)?, nodes))
+}
+
+/// The stochastic workload: every node a candidate of a 1-slot frame (classic
+/// slotted ALOHA) on the same window's interference adjacency.
+fn aloha_plan(side: i64) -> Result<FramePlan> {
+    let shape = shapes::moore();
+    let region = BoxRegion::square_window(2, side)?;
+    let adjacency = grid_adjacency(&region, &shape)?;
+    let frames = FrameSchedule::from_assignment(&vec![0usize; adjacency.num_nodes()], 1)?;
+    FramePlan::new(&frames, &adjacency)
+}
+
+/// Times the analytic replay against the slot loop and the lane kernel
+/// against scalar per-seed runs, asserting bit-exact counter parity inside
+/// every timed sample.
+///
+/// # Errors
+///
+/// Propagates schedule compilation, plan fusion and kernel errors.
+pub fn measure_replay(side: i64, slots: u64, samples: usize) -> Result<ReplayBaseline> {
+    // Analytic side: clean tiling schedule, scheduled MAC, periodic traffic.
+    let (clean, nodes) = clean_plan(side)?;
+    let clean_config = KernelConfig {
+        slots,
+        traffic: KernelTraffic::Periodic { period: 64 },
+        mac: KernelMac::Scheduled,
+        max_retries: 2,
+        seed: 7,
+    };
+    let loop_counts = run_frames_loop(&clean, &clean_config)?;
+    let mut analytic_parity = true;
+    let analytic_ms = median_ms(samples, || {
+        let counts = run_frames(&clean, &clean_config).expect("analytic replay");
+        analytic_parity &= counts == loop_counts;
+    });
+    let loop_ms = median_ms(samples, || {
+        run_frames_loop(&clean, &clean_config).expect("slot loop");
+    });
+
+    // Lane side: one slotted-ALOHA grid point, 64 seeds per batch. Staggered
+    // traffic keeps generation deterministic (a lane requirement) while the
+    // MAC draws stay per-seed stochastic — the axis the lanes bit-slice.
+    let aloha = aloha_plan(side)?;
+    let seeds: Vec<u64> = (1..=LANE_SEEDS as u64).collect();
+    let lane_config = KernelConfig {
+        slots,
+        traffic: KernelTraffic::Staggered { period: 4 },
+        mac: KernelMac::Aloha { p: 0.25 },
+        max_retries: 2,
+        seed: seeds[0],
+    };
+    let scalar_counts: Vec<KernelCounts> = seeds
+        .iter()
+        .map(|&seed| {
+            run_frames(
+                &aloha,
+                &KernelConfig {
+                    seed,
+                    ..lane_config.clone()
+                },
+            )
+        })
+        .collect::<Result<_>>()?;
+    let mut lane_parity = true;
+    let lane_ms = median_ms(samples, || {
+        let counts = run_frames_lanes(&aloha, &lane_config, &seeds).expect("lane batch");
+        lane_parity &= counts == scalar_counts;
+    });
+    let scalar_ms = median_ms(samples, || {
+        for &seed in &seeds {
+            run_frames(
+                &aloha,
+                &KernelConfig {
+                    seed,
+                    ..lane_config.clone()
+                },
+            )
+            .expect("scalar run");
+        }
+    });
+
+    Ok(ReplayBaseline {
+        workload: format!(
+            "moore 3x3 neighbourhood, {side}x{side} window, {slots} slots/run: \
+             analytic replay of the 9-slot tiling schedule (periodic 1/64) vs the slot \
+             loop, and one {LANE_SEEDS}-seed aloha(p=0.25) lane batch (staggered 1/4) \
+             vs scalar per-seed runs"
+        ),
+        nodes,
+        slots,
+        lane_seeds: LANE_SEEDS,
+        samples: samples.max(1),
+        analytic_ms,
+        loop_ms,
+        analytic_speedup: loop_ms / analytic_ms.max(1e-9),
+        lane_ms,
+        scalar_ms,
+        lane_speedup: scalar_ms / lane_ms.max(1e-9),
+        parity: analytic_parity && lane_parity,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn baseline_measures_and_serializes() {
+        // Tiny workload: this test checks plumbing and parity, not
+        // performance (the ≥5×/≥4× thresholds only bind on the real
+        // workload, gated in CI by `perf_gate`).
+        let baseline = measure_replay(9, 256, 1).unwrap();
+        assert_eq!(baseline.nodes, 81);
+        assert_eq!(baseline.lane_seeds, 64);
+        assert!(baseline.parity, "fast paths must match their slow paths");
+        let json = baseline.to_json_value();
+        assert_eq!(json.get("nodes").unwrap().as_u64(), Some(81));
+        assert_eq!(json.get("parity").unwrap().as_bool(), Some(true));
+        assert!(json.get("analytic_speedup").unwrap().as_f64().unwrap() > 0.0);
+        assert!(json.get("lane_speedup").unwrap().as_f64().unwrap() > 0.0);
+    }
+}

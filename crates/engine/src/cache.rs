@@ -288,6 +288,10 @@ struct TraceKey {
     p_bits: u64,
     slots: u64,
     nodes: u64,
+    /// The counter-RNG stream the trace was drawn on: traffic generation
+    /// bitmaps and MAC decision bitmaps of one `(seed, p)` pair share every
+    /// other coordinate, so the stream tag keeps them distinct.
+    stream: u64,
 }
 
 /// Default entry bound of a [`TraceCache`]: traces are the largest artifacts
@@ -365,9 +369,39 @@ impl TraceCache {
             p_bits: p.to_bits(),
             slots,
             nodes: plan.num_nodes() as u64,
+            stream: latsched_lattice::TRAFFIC_STREAM,
         };
         self.inner
             .get_or_build(key, || TrafficTrace::bernoulli(plan, seed, p, slots))
+    }
+
+    /// The compiled slotted-ALOHA decision bitmap of `seed`'s MAC stream over
+    /// `slots` slots of the plan's node set (see
+    /// [`TrafficTrace::aloha_decisions`]), building and inserting it on first
+    /// use. Keyed separately from traffic traces by the counter-RNG stream
+    /// tag, so a sweep can share both artifacts of one `(seed, p)` pair.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`TrafficTrace::aloha_decisions`] errors (probability
+    /// range, size cap).
+    pub fn get_or_build_mac(
+        &self,
+        plan: &FramePlan,
+        seed: u64,
+        p: f64,
+        slots: u64,
+    ) -> Result<Arc<TrafficTrace>> {
+        let key = TraceKey {
+            plan: plan.fingerprint(),
+            seed,
+            p_bits: p.to_bits(),
+            slots,
+            nodes: plan.num_nodes() as u64,
+            stream: latsched_lattice::MAC_STREAM,
+        };
+        self.inner
+            .get_or_build(key, || TrafficTrace::aloha_decisions(plan, seed, p, slots))
     }
 
     /// Number of cached traces.

@@ -128,7 +128,8 @@ pub use search::{
     SearchReport, SearchSpec,
 };
 pub use simkernel::{
-    run_frames, KernelConfig, KernelCounts, KernelMac, KernelTraffic, TrafficTrace,
+    run_frames, run_frames_lanes, run_frames_loop, KernelConfig, KernelCounts, KernelMac,
+    KernelTraffic, TrafficTrace,
 };
 pub use store::{ArtifactStore, StoreStats};
 pub use sweep::{

@@ -42,7 +42,10 @@
 //!   *auto-compiles* an internal trace for inline Bernoulli runs above a size
 //!   threshold, so stochastic runs stop walking every node in every slot
 //!   (staggered periodic runs get per-residue generation bitmaps for the same
-//!   reason).
+//!   reason). Slotted-ALOHA MAC decisions compile the same way
+//!   ([`TrafficTrace::aloha_decisions`], replayed via
+//!   [`KernelMac::AlohaTrace`]), so the MAC draws of a `(seed, p)` pair are
+//!   hashed once per sweep instead of once per run.
 //! * **Partial-conflict narrowing.** The plan carries a per-slot conflict
 //!   bitmask: clean slots (no same-slot neighbour candidates, no shared
 //!   receivers) take a closed-form outcome path — `decoded = degree`,
@@ -53,6 +56,22 @@
 //!   transmitters chunk their outcome pass across worker threads with the
 //!   engine's scoped-thread executor. (Clean slots need no outcome pass at
 //!   all — their accounting is one fused add-and-settle walk.)
+//! * **Analytic replay.** On a conflict-free plan under scheduled access the
+//!   clean-slot closed form extends from slots to whole runs: every
+//!   transmission delivers, service opportunities of a node form an
+//!   arithmetic progression (one per frame period), and the FIFO service
+//!   recurrence `d = max(first_service ≥ arrival, previous + period)` settles
+//!   each packet in O(1) — [`run_frames`] dispatches such runs to a
+//!   no-slot-loop path costing `O(deliveries)` (periodic traffic) or one pass
+//!   over the arrival bitmaps (traces), with [`run_frames_loop`] as the
+//!   measured escape hatch.
+//! * **Bit-sliced seed lanes.** [`run_frames_lanes`] packs up to 64 seeds of
+//!   one configuration into `u64` lane words: one candidate scan, one
+//!   adjacency walk and one batched counter-RNG lane draw per slot serve all
+//!   seeds, interference saturating-counts resolve lane-parallel, and
+//!   per-lane tallies fall out of 64×64 bit transposes — turning the seed
+//!   axis of a sweep into near-free word width while staying bit-identical
+//!   to scalar per-seed runs.
 //!
 //! Floating-point energy is deliberately *not* computed here: the kernel
 //! reports integer slot counts (`tx_slots`/`rx_slots`/`idle_slots`) so callers
@@ -97,7 +116,7 @@ pub enum KernelTraffic {
 }
 
 /// The per-slot transmit policy of backlogged candidates.
-#[derive(Clone, Copy, PartialEq, Debug, Default)]
+#[derive(Clone, PartialEq, Debug, Default)]
 pub enum KernelMac {
     /// Deterministic slotted access: every backlogged candidate of the current
     /// frame slot transmits.
@@ -111,6 +130,12 @@ pub enum KernelMac {
         /// Per-slot transmission probability (must be in `[0, 1]`).
         p: f64,
     },
+    /// Slotted ALOHA replayed from a precompiled per-`(seed, p)` decision
+    /// bitmap (see [`TrafficTrace::aloha_decisions`]): bit-identical to the
+    /// [`KernelMac::Aloha`] model the trace was built from, amortizing the MAC
+    /// hash draws across the runs of a sweep the way compiled traffic traces
+    /// already amortize generation draws.
+    AlohaTrace(Arc<TrafficTrace>),
 }
 
 /// Configuration of one kernel run.
@@ -178,8 +203,9 @@ impl KernelCounts {
 
 /// Upper bound on `words × slots` of one compiled traffic trace: 2^28 words
 /// = 2 GiB of bitmap; the cap keeps accidental huge specs from crashing the
-/// process.
-const TRACE_WORD_LIMIT: u64 = 1 << 28;
+/// process. `pub(crate)` so the sweep engine applies the same guard before
+/// prefetching MAC decision bitmaps.
+pub(crate) const TRACE_WORD_LIMIT: u64 = 1 << 28;
 
 /// Draw-matrix words below which a trace build stays on the calling thread;
 /// one word is 64 hoisted-key draws, so this is ~64k draws of work.
@@ -362,6 +388,36 @@ impl TrafficTrace {
     /// Returns [`EngineError::InvalidKernelConfig`] for a probability outside
     /// `[0, 1]` or a trace exceeding the size cap.
     pub fn bernoulli(plan: &FramePlan, seed: u64, p: f64, slots: u64) -> Result<TrafficTrace> {
+        TrafficTrace::build(plan, CounterRng::traffic(seed), p, slots)
+    }
+
+    /// Compiles the slotted-ALOHA transmission decisions of `seed`'s MAC
+    /// stream over `slots` slots of the plan's node set: bit `v` of slot `t`
+    /// is the Bernoulli(`p`) MAC draw of node `v` at `t`. Replayed through
+    /// [`KernelMac::AlohaTrace`], the bitmap reproduces inline
+    /// [`KernelMac::Aloha`] runs bit for bit — MAC draws are pure functions of
+    /// `(seed, node, slot)`, so baking *all* of them (a superset of what a run
+    /// consumes, since only backlogged candidates draw inline) changes
+    /// nothing. Shares the batched block build of [`TrafficTrace::bernoulli`],
+    /// on the MAC stream instead of the traffic stream.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`EngineError::InvalidKernelConfig`] for a probability outside
+    /// `[0, 1]` or a trace exceeding the size cap.
+    pub fn aloha_decisions(
+        plan: &FramePlan,
+        seed: u64,
+        p: f64,
+        slots: u64,
+    ) -> Result<TrafficTrace> {
+        TrafficTrace::build(plan, CounterRng::mac(seed), p, slots)
+    }
+
+    /// The shared block build behind [`TrafficTrace::bernoulli`] and
+    /// [`TrafficTrace::aloha_decisions`]: all Bernoulli(`p`) draws of `rng`
+    /// over the plan's node set, compiled into slot-major bitmaps.
+    fn build(plan: &FramePlan, rng: CounterRng, p: f64, slots: u64) -> Result<TrafficTrace> {
         if !(0.0..=1.0).contains(&p) {
             return Err(EngineError::InvalidKernelConfig(
                 "bernoulli probability must be in [0, 1]".into(),
@@ -383,7 +439,6 @@ impl TrafficTrace {
                 counts: vec![0u32; slots as usize],
             });
         }
-        let rng = CounterRng::traffic(seed);
         let orig = plan.original_ids();
 
         // Streamed tile build, parallel over slot blocks: one slot block is
@@ -464,6 +519,12 @@ impl TrafficTrace {
     fn words_at(&self, t: u64) -> &[u64] {
         let base = t as usize * self.words;
         &self.bits[base..base + self.words]
+    }
+
+    /// The indicator of (relabelled) node `v` at slot `t`.
+    #[inline]
+    fn bit_at(&self, t: u64, v: usize) -> bool {
+        self.bits[t as usize * self.words + v / 64] >> (v % 64) & 1 == 1
     }
 }
 
@@ -719,6 +780,28 @@ impl SlotBuffers {
 /// probability outside `[0, 1]`, or a traffic trace whose node or slot counts
 /// do not cover the run.
 pub fn run_frames(plan: &FramePlan, config: &KernelConfig) -> Result<KernelCounts> {
+    run_frames_impl(plan, config, true)
+}
+
+/// [`run_frames`] with the closed-form analytic replay disabled: clean
+/// scheduled runs take the slot-loop paths they took before the analytic
+/// dispatch existed. The escape hatch exists for measurement (the
+/// `--bench-replay` baseline times analytic against loop execution) and for
+/// the parity suites that pin the two bit-identical; results are always
+/// identical to [`run_frames`].
+///
+/// # Errors
+///
+/// As for [`run_frames`].
+pub fn run_frames_loop(plan: &FramePlan, config: &KernelConfig) -> Result<KernelCounts> {
+    run_frames_impl(plan, config, false)
+}
+
+fn run_frames_impl(
+    plan: &FramePlan,
+    config: &KernelConfig,
+    allow_analytic: bool,
+) -> Result<KernelCounts> {
     let n = plan.num_nodes();
     match &config.traffic {
         KernelTraffic::Periodic { period: 0 } | KernelTraffic::Staggered { period: 0 } => {
@@ -744,12 +827,24 @@ pub fn run_frames(plan: &FramePlan, config: &KernelConfig) -> Result<KernelCount
         }
         _ => {}
     }
-    if let KernelMac::Aloha { p } = config.mac {
-        if !(0.0..=1.0).contains(&p) {
+    match &config.mac {
+        KernelMac::Aloha { p } if !(0.0..=1.0).contains(p) => {
             return Err(EngineError::InvalidKernelConfig(
                 "aloha probability must be in [0, 1]".into(),
             ));
         }
+        KernelMac::AlohaTrace(trace)
+            if trace.num_nodes() != n || trace.num_slots() < config.slots =>
+        {
+            return Err(EngineError::InvalidKernelConfig(format!(
+                "MAC decision trace covers {} nodes x {} slots, run needs {} x {}",
+                trace.num_nodes(),
+                trace.num_slots(),
+                n,
+                config.slots
+            )));
+        }
+        _ => {}
     }
 
     if matches!(config.traffic, KernelTraffic::None) {
@@ -760,7 +855,35 @@ pub fn run_frames(plan: &FramePlan, config: &KernelConfig) -> Result<KernelCount
         });
     }
 
-    match (&config.traffic, config.mac) {
+    // Closed-form analytic replay: on a conflict-free plan under scheduled
+    // access every transmission delivers, so the whole run is a per-node
+    // arithmetic-progression service problem — no slot loop needed (see
+    // `run_analytic_periodic` / `run_analytic_trace`).
+    if allow_analytic && matches!(config.mac, KernelMac::Scheduled) && plan.conflict_free() {
+        match &config.traffic {
+            KernelTraffic::Periodic { period } => {
+                return run_analytic_periodic(plan, config, *period, false);
+            }
+            KernelTraffic::Staggered { period } => {
+                return run_analytic_periodic(plan, config, *period, true);
+            }
+            KernelTraffic::Trace(trace) => {
+                return run_analytic_trace(plan, config, trace);
+            }
+            KernelTraffic::Bernoulli { p }
+                if n as u64 * config.slots >= AUTO_TRACE_MIN_DRAWS
+                    && n.div_ceil(64) as u64 * config.slots <= TRACE_WORD_LIMIT =>
+            {
+                // The same auto-trace conversion the general loop applies:
+                // compile the draws once, then replay the trace analytically.
+                let trace = TrafficTrace::bernoulli(plan, config.seed, *p, config.slots)?;
+                return run_analytic_trace(plan, config, &trace);
+            }
+            _ => {}
+        }
+    }
+
+    match (&config.traffic, &config.mac) {
         (KernelTraffic::Periodic { period }, KernelMac::Scheduled) => {
             run_deterministic(plan, config, *period, false, FULL_BURST_MEMO_BYTE_BUDGET)
         }
@@ -769,6 +892,180 @@ pub fn run_frames(plan: &FramePlan, config: &KernelConfig) -> Result<KernelCount
         }
         _ => run_general(plan, config),
     }
+}
+
+/// The per-node slot class of every relabelled node: `slot_of[v]` is the frame
+/// slot whose candidate range contains `v`, or `u32::MAX` for silent nodes
+/// (out-of-period assignments that never transmit).
+fn slot_classes(plan: &FramePlan) -> Vec<u32> {
+    let mut slot_of = vec![u32::MAX; plan.num_nodes()];
+    for slot in 0..plan.period() {
+        for v in plan.slot_candidates(slot) {
+            slot_of[v] = slot as u32;
+        }
+    }
+    slot_of
+}
+
+/// The first service opportunity of slot class `s` at or after slot `t` in a
+/// frame of period `m`: the smallest `t' ≥ t` with `t' ≡ s (mod m)`.
+#[inline]
+fn first_service_ge(t: u64, s: u64, m: u64) -> u64 {
+    t + (s + m - t % m) % m
+}
+
+/// Closed-form per-node accounting of one clean-plan service chain: arrivals
+/// `a_k` are served FIFO at `d_k = max(first_service_ge(a_k), d_{k-1} + m)`
+/// (one service per frame period; generation precedes the MAC within a slot,
+/// so an arrival can be served in its own slot). Every service delivers —
+/// the plan is conflict-free — so iterating services instead of slots costs
+/// `O(deliveries)`: the loop below walks arrivals lazily and stops at the
+/// first service past the horizon. Returns `(delivered, total_latency)`.
+#[inline]
+fn settle_clean_chain(
+    mut arrivals: impl Iterator<Item = u64>,
+    s: u64,
+    m: u64,
+    slots: u64,
+) -> (u64, u64) {
+    let mut next_free = 0u64;
+    let mut delivered = 0u64;
+    let mut latency = 0u64;
+    for a in arrivals.by_ref() {
+        let d = first_service_ge(a, s, m).max(next_free);
+        if d >= slots {
+            break;
+        }
+        delivered += 1;
+        latency += d - a;
+        next_free = d + m;
+    }
+    (delivered, latency)
+}
+
+/// Analytic replay of periodic (aligned or staggered) traffic on a clean plan
+/// under scheduled access: no slot loop, no queues, no bitsets. Aligned
+/// traffic is computed once per *slot class* (every node of a class shares
+/// phase 0, the same service chain and the same delivery schedule) and scaled
+/// by the class size and degree sum; staggered traffic walks nodes, each an
+/// `O(deliveries)` chain. Counter parity with the loop kernels is pinned by
+/// the `sim_parity` suite and the in-measure assertion of `--bench-replay`.
+fn run_analytic_periodic(
+    plan: &FramePlan,
+    config: &KernelConfig,
+    traffic_period: u64,
+    staggered: bool,
+) -> Result<KernelCounts> {
+    let n = plan.num_nodes();
+    let slots = config.slots;
+    let mut counts = KernelCounts::default();
+    if slots == 0 {
+        return Ok(counts);
+    }
+    let m = plan.period() as u64;
+
+    if staggered {
+        let slot_of = slot_classes(plan);
+        for (v, &ov) in plan.original_ids().iter().enumerate() {
+            let phase = u64::from(ov) % traffic_period;
+            if slots <= phase {
+                continue;
+            }
+            let generated = (slots - 1 - phase) / traffic_period + 1;
+            counts.packets_generated += generated;
+            if slot_of[v] == u32::MAX {
+                continue; // silent: arrivals only accumulate pending
+            }
+            let arrivals = (0..generated).map(|k| phase + k * traffic_period);
+            let (delivered, latency) =
+                settle_clean_chain(arrivals, u64::from(slot_of[v]), m, slots);
+            let degree = u64::from(plan.degree(v));
+            counts.packets_delivered += delivered;
+            counts.total_latency += latency;
+            counts.transmissions += delivered;
+            counts.receptions += delivered * degree;
+            counts.tx_slots += delivered;
+            counts.rx_slots += delivered * degree;
+        }
+    } else {
+        let generated = (slots - 1) / traffic_period + 1;
+        counts.packets_generated = generated * n as u64;
+        for slot in 0..plan.period() {
+            let class = plan.slot_candidates(slot);
+            if class.is_empty() {
+                continue;
+            }
+            let degree_sum: u64 = class.clone().map(|v| u64::from(plan.degree(v))).sum();
+            let arrivals = (0..generated).map(|k| k * traffic_period);
+            let (delivered, latency) = settle_clean_chain(arrivals, slot as u64, m, slots);
+            let size = class.len() as u64;
+            counts.packets_delivered += delivered * size;
+            counts.total_latency += latency * size;
+            counts.transmissions += delivered * size;
+            counts.receptions += delivered * degree_sum;
+            counts.tx_slots += delivered * size;
+            counts.rx_slots += delivered * degree_sum;
+        }
+    }
+
+    counts.packets_pending = counts.packets_generated - counts.packets_delivered;
+    counts.idle_slots = n as u64 * slots - counts.tx_slots - counts.rx_slots;
+    Ok(counts)
+}
+
+/// Analytic replay of compiled-trace traffic on a clean plan under scheduled
+/// access: one slot-major pass over the arrival bitmaps, with per-node
+/// `next_free` service cursors instead of queues — each arrival settles in
+/// O(1) via the same `d = max(first_service_ge(a), next_free)` recurrence as
+/// [`run_analytic_periodic`], and slots with no arrivals cost one counter
+/// read. (The trace may cover more slots than the run; extra slots are
+/// ignored, exactly as in the general loop.)
+fn run_analytic_trace(
+    plan: &FramePlan,
+    config: &KernelConfig,
+    trace: &TrafficTrace,
+) -> Result<KernelCounts> {
+    let n = plan.num_nodes();
+    let slots = config.slots;
+    let mut counts = KernelCounts::default();
+    if slots == 0 {
+        return Ok(counts);
+    }
+    let m = plan.period() as u64;
+    let slot_of = slot_classes(plan);
+    let mut next_free = vec![0u64; n];
+    for t in 0..slots {
+        if trace.count_at(t) == 0 {
+            continue;
+        }
+        counts.packets_generated += u64::from(trace.count_at(t));
+        for (w, &word) in trace.words_at(t).iter().enumerate() {
+            let mut bits = word;
+            while bits != 0 {
+                let v = w * 64 + bits.trailing_zeros() as usize;
+                bits &= bits - 1;
+                let s = slot_of[v];
+                if s == u32::MAX {
+                    continue; // silent node: the arrival only adds pending
+                }
+                let d = first_service_ge(t, u64::from(s), m).max(next_free[v]);
+                if d >= slots {
+                    continue; // served past the horizon: stays pending
+                }
+                let degree = u64::from(plan.degree(v));
+                counts.packets_delivered += 1;
+                counts.total_latency += d - t;
+                counts.transmissions += 1;
+                counts.receptions += degree;
+                counts.tx_slots += 1;
+                counts.rx_slots += degree;
+                next_free[v] = d + m;
+            }
+        }
+    }
+    counts.packets_pending = counts.packets_generated - counts.packets_delivered;
+    counts.idle_slots = n as u64 * slots - counts.tx_slots - counts.rx_slots;
+    Ok(counts)
 }
 
 /// The deterministic fast path: periodic (aligned or staggered) traffic under
@@ -1087,9 +1384,10 @@ fn run_general(plan: &FramePlan, config: &KernelConfig) -> Result<KernelCounts> 
                 while bits != 0 {
                     let v = w * 64 + bits.trailing_zeros() as usize;
                     bits &= bits - 1;
-                    let transmit = match config.mac {
+                    let transmit = match &config.mac {
                         KernelMac::Scheduled => true,
-                        KernelMac::Aloha { p } => mac_rng.bernoulli(p, u64::from(orig[v]), t),
+                        KernelMac::Aloha { p } => mac_rng.bernoulli(*p, u64::from(orig[v]), t),
+                        KernelMac::AlohaTrace(trace) => trace.bit_at(t, v),
                     };
                     if transmit {
                         tx_list.push(v as u32);
@@ -1125,6 +1423,463 @@ fn run_general(plan: &FramePlan, config: &KernelConfig) -> Result<KernelCounts> 
     }
 
     counts.packets_pending = state.queued_total;
+    Ok(counts)
+}
+
+/// A per-lane event tally: callers push lane words (bit `l` set = one event
+/// in lane `l`) and the tally accumulates per-lane counts. Words buffer into
+/// a 64×64 tile that is bit-transposed and popcounted when full, so the
+/// amortized cost per push is a store plus ~2 word operations instead of a
+/// 64-iteration bit loop — the accounting backbone of the bit-sliced lane
+/// kernel's per-edge reception/collision and per-receiver rx tallies.
+struct LaneTally {
+    buf: [u64; 64],
+    fill: usize,
+    totals: [u64; 64],
+}
+
+impl LaneTally {
+    fn new() -> Self {
+        LaneTally {
+            buf: [0u64; 64],
+            fill: 0,
+            totals: [0u64; 64],
+        }
+    }
+
+    #[inline]
+    fn push(&mut self, word: u64) {
+        self.buf[self.fill] = word;
+        self.fill += 1;
+        if self.fill == 64 {
+            self.flush();
+        }
+    }
+
+    fn flush(&mut self) {
+        if self.fill == 0 {
+            return;
+        }
+        for w in self.buf[self.fill..].iter_mut() {
+            *w = 0;
+        }
+        transpose64(&mut self.buf);
+        for (l, &w) in self.buf.iter().enumerate() {
+            self.totals[l] += u64::from(w.count_ones());
+        }
+        self.fill = 0;
+    }
+}
+
+/// Runs up to 64 seeds of one grid point through a single pass over the slot
+/// structure, bit-sliced: lane `l` of every `u64` lane word tracks seed
+/// `seeds[l]`, and the returned counters are bit-identical to running
+/// [`run_frames`] once per seed (`config.seed` is ignored).
+///
+/// One slot loop serves all lanes: the candidate scan, interference adjacency
+/// walk and generation schedule are shared, per-node backlog and transmit
+/// sets widen to lane words, slotted-ALOHA decisions come from batched
+/// counter-RNG lane draws ([`CounterRng::bernoulli_lanes`] over per-`(node,
+/// lane)` hoisted keys), and interference resolves lane-parallel with the
+/// same saturating once/twice masks as [`SlotBuffers::resolve`] — one `u64`
+/// operation where the scalar kernel pays one per seed. Accounting is
+/// bit-planed too: transmissions, deliveries, drops, receptions and rx
+/// exposure accumulate through [`LaneTally`] transposed popcounts, retry
+/// counters live as per-node bit planes incremented by a masked half-adder
+/// chain (with the retry-budget comparison folded into the same pass), and
+/// collisions follow by conservation (`deg·tx − receptions`) instead of a
+/// second per-edge tally; per-event scalar work survives only for
+/// lane-specific values (delivery latency, queue pops). Bit-exactness rests
+/// on the counter RNG: draws are pure functions of `(seed, node, slot)`, so
+/// masking a batched draw with the backlog is indistinguishable from the
+/// scalar kernel's conditional draws.
+///
+/// Lanes support deterministic traffic (periodic or staggered — generation
+/// must be lane-uniform so backlog refills are one mask store) under
+/// scheduled or slotted-ALOHA access, on clean *and* conflicted plans.
+///
+/// # Errors
+///
+/// Returns [`EngineError::InvalidKernelConfig`] for an empty or over-64 seed
+/// batch, a stochastic (Bernoulli/trace) traffic model, a trace-replayed MAC,
+/// a zero traffic period or an out-of-range ALOHA probability.
+pub fn run_frames_lanes(
+    plan: &FramePlan,
+    config: &KernelConfig,
+    seeds: &[u64],
+) -> Result<Vec<KernelCounts>> {
+    let lanes = seeds.len();
+    if lanes == 0 || lanes > 64 {
+        return Err(EngineError::InvalidKernelConfig(format!(
+            "lane batches take 1..=64 seeds, got {lanes}"
+        )));
+    }
+    let (traffic_period, staggered) = match &config.traffic {
+        KernelTraffic::Periodic { period } if *period > 0 => (*period, false),
+        KernelTraffic::Staggered { period } if *period > 0 => (*period, true),
+        KernelTraffic::Periodic { .. } | KernelTraffic::Staggered { .. } => {
+            return Err(EngineError::InvalidKernelConfig(
+                "periodic traffic period must be positive".into(),
+            ));
+        }
+        other => {
+            return Err(EngineError::InvalidKernelConfig(format!(
+                "lane batches need deterministic (periodic/staggered) traffic, got {other:?}"
+            )));
+        }
+    };
+    let aloha_p = match &config.mac {
+        KernelMac::Scheduled => None,
+        KernelMac::Aloha { p } => {
+            if !(0.0..=1.0).contains(p) {
+                return Err(EngineError::InvalidKernelConfig(
+                    "aloha probability must be in [0, 1]".into(),
+                ));
+            }
+            Some(*p)
+        }
+        KernelMac::AlohaTrace(_) => {
+            return Err(EngineError::InvalidKernelConfig(
+                "lane batches draw MAC decisions inline; trace-replayed MACs are per-run".into(),
+            ));
+        }
+    };
+
+    let n = plan.num_nodes();
+    let orig = plan.original_ids();
+    let lane_mask = if lanes == 64 {
+        !0u64
+    } else {
+        (1u64 << lanes) - 1
+    };
+    let mut counts = vec![KernelCounts::default(); lanes];
+
+    // Per-(node, lane) hoisted MAC keys: one batched lane draw per
+    // (candidate, slot) replaces one full hash per (candidate, slot, seed).
+    let (mac_hoisted, mac_threshold) = match aloha_p {
+        Some(p) => {
+            let rngs: Vec<CounterRng> = seeds.iter().map(|&s| CounterRng::mac(s)).collect();
+            let mut hoisted = vec![0u64; n * lanes];
+            for (v, &ov) in orig.iter().enumerate() {
+                for (l, rng) in rngs.iter().enumerate() {
+                    hoisted[v * lanes + l] = rng.hoist_node(u64::from(ov));
+                }
+            }
+            (hoisted, CounterRng::bernoulli_threshold(p))
+        }
+        None => (Vec::new(), 0),
+    };
+    let residues = staggered.then(|| StaggerResidues::build(plan, traffic_period));
+
+    // Lane-sliced queue state: implicit arithmetic-progression queues as in
+    // the deterministic scalar loop, one popped counter per (node, lane) —
+    // touched only on pop events — plus per-node lane backlog words and the
+    // all-lane queued total for the O(1) empty-slot skip (generation is
+    // lane-uniform, so the total reaches zero only when every lane is
+    // drained). The retry clock is bit-planed: plane `k` of a node holds bit
+    // `k` of every lane's attempt count, so the per-transmission increment
+    // and the retry-budget comparison are masked half-adder chains over
+    // whole lane words instead of per-lane counter updates.
+    let target = u64::from(config.max_retries) + 1;
+    let attempt_bits = (64 - target.leading_zeros()) as usize;
+    let mut popped = vec![0u64; n * lanes];
+    let mut attempt_planes = vec![0u64; n * attempt_bits];
+    let mut backlog = vec![0u64; n];
+    let mut queued_total: u64 = 0;
+
+    // Per-slot interference state, lane-wide: tx/once/twice words per node,
+    // cleared via touched lists rather than O(n) sweeps.
+    let mut tx_lanes = vec![0u64; n];
+    let mut once = vec![0u64; n];
+    let mut twice = vec![0u64; n];
+    let mut tx_list: Vec<u32> = Vec::with_capacity(n);
+    let mut heard: Vec<u32> = Vec::with_capacity(n);
+    let mut recv_tally = LaneTally::new();
+    let mut rx_tally = LaneTally::new();
+    let mut tx_tally = LaneTally::new();
+    let mut deliver_tally = LaneTally::new();
+    let mut drop_tally = LaneTally::new();
+    // Degree-weighted tallies: one tally per degree bit turns a `degree ×
+    // popcount(word)` contribution into plain bit counts scaled by 2^k at
+    // flush. Clean slots push delivered lanes (every delivery is heard by
+    // all `degree` neighbours); conflicted slots push transmitting lanes,
+    // from which collisions follow by conservation (every (edge, lane)
+    // attempt is either received or collided, so collisions = deg·tx −
+    // receptions) without a second per-edge tally.
+    let max_degree = (0..n).map(|v| u64::from(plan.degree(v))).max().unwrap_or(0);
+    let degree_bits = (64 - max_degree.leading_zeros()) as usize;
+    let mut degree_tallies: Vec<LaneTally> = (0..degree_bits).map(|_| LaneTally::new()).collect();
+    let mut degree_tx_tallies: Vec<LaneTally> =
+        (0..degree_bits).map(|_| LaneTally::new()).collect();
+
+    let frame_period = plan.period() as u64;
+    let phase_of = |v: usize| -> u64 {
+        if staggered {
+            u64::from(orig[v]) % traffic_period
+        } else {
+            0
+        }
+    };
+    for t in 0..config.slots {
+        // Lane-uniform generation: a generating node becomes backlogged in
+        // every lane (its per-lane queue lengths differ, but all grow by one).
+        if staggered {
+            let r = (t % traffic_period) as usize;
+            match &residues {
+                Some(Some(res)) => {
+                    if res.counts[r] > 0 {
+                        for (w, &word) in res.words_at(r).iter().enumerate() {
+                            let mut bits = word;
+                            while bits != 0 {
+                                let v = w * 64 + bits.trailing_zeros() as usize;
+                                bits &= bits - 1;
+                                backlog[v] = lane_mask;
+                            }
+                        }
+                        queued_total += u64::from(res.counts[r]) * lanes as u64;
+                    }
+                }
+                _ => {
+                    for (v, &ov) in orig.iter().enumerate() {
+                        if u64::from(ov) % traffic_period == r as u64 {
+                            backlog[v] = lane_mask;
+                            queued_total += lanes as u64;
+                        }
+                    }
+                }
+            }
+        } else if t.is_multiple_of(traffic_period) {
+            backlog[..n].fill(lane_mask);
+            queued_total += n as u64 * lanes as u64;
+        }
+        if queued_total == 0 {
+            continue; // idle slots fall out of the end-of-run identity
+        }
+
+        // Shared candidate scan; per-candidate lane transmit words.
+        let slot = (t % frame_period) as usize;
+        let aligned_generated = t / traffic_period + 1;
+        tx_list.clear();
+        for v in plan.slot_candidates(slot) {
+            let backlogged = backlog[v];
+            if backlogged == 0 {
+                continue;
+            }
+            let tx = match aloha_p {
+                None => backlogged,
+                Some(_) => {
+                    // Draws are pure functions of (seed, node, slot), so
+                    // masking the batched draw with the backlog reproduces
+                    // the scalar kernel's backlogged-only draws exactly.
+                    backlogged
+                        & CounterRng::bernoulli_lanes(
+                            &mac_hoisted[v * lanes..(v + 1) * lanes],
+                            mac_threshold,
+                            t,
+                        )
+                }
+            };
+            if tx != 0 {
+                tx_lanes[v] = tx;
+                tx_list.push(v as u32);
+            }
+        }
+        if tx_list.is_empty() {
+            continue;
+        }
+
+        let conflicted = plan.slot_conflicted(slot);
+        if conflicted {
+            // Lane-parallel saturating interference count: `once`/`twice`
+            // mirror SlotBuffers::resolve word-wise, one word per lane set.
+            for &v in &tx_list {
+                let tw = tx_lanes[v as usize];
+                let (entry_words, entry_bits) = plan.mask_entries(v as usize);
+                for (&w, &mask) in entry_words.iter().zip(entry_bits) {
+                    let mut bits = mask;
+                    while bits != 0 {
+                        let u = w as usize * 64 + bits.trailing_zeros() as usize;
+                        bits &= bits - 1;
+                        let cur = once[u];
+                        if cur == 0 {
+                            heard.push(u as u32);
+                        }
+                        twice[u] |= cur & tw;
+                        once[u] = cur | tw;
+                    }
+                }
+            }
+        }
+
+        // Settle transmitters word-parallel. On a clean slot every
+        // transmitting lane delivers (same closed form as
+        // `settle_clean_slot`); on a conflicted slot lane `l` of `v`
+        // delivers iff no neighbour is lost in lane `l`. Per-lane scalar
+        // work survives only where an event carries a lane-specific value
+        // (delivery latency, queue pops); transmissions, deliveries, drops,
+        // clean-slot receptions and the retry clock all run as bit-plane
+        // arithmetic over whole lane words.
+        for &v in &tx_list {
+            let v = v as usize;
+            let tx = tx_lanes[v];
+            let delivered_lanes = if conflicted {
+                let (entry_words, entry_bits) = plan.mask_entries(v);
+                let mut lost_any = 0u64;
+                for (&w, &mask) in entry_words.iter().zip(entry_bits) {
+                    let mut bits = mask;
+                    while bits != 0 {
+                        let u = w as usize * 64 + bits.trailing_zeros() as usize;
+                        bits &= bits - 1;
+                        let lost = tx_lanes[u] | twice[u];
+                        recv_tally.push(tx & !lost);
+                        lost_any |= lost;
+                    }
+                }
+                let mut degree = u64::from(plan.degree(v));
+                let mut k = 0;
+                while degree != 0 {
+                    if degree & 1 == 1 {
+                        degree_tx_tallies[k].push(tx);
+                    }
+                    degree >>= 1;
+                    k += 1;
+                }
+                tx & !lost_any
+            } else {
+                tx
+            };
+            tx_tally.push(tx);
+            // Retry clock: attempts += 1 on every transmitting lane via a
+            // masked half-adder carry chain, with a simultaneous equality
+            // compare against `target = max_retries + 1`. The final carry is
+            // always zero — a lane that reaches `target` pops (and resets)
+            // in this same slot, so the planes never hold a larger value.
+            let planes = &mut attempt_planes[v * attempt_bits..(v + 1) * attempt_bits];
+            let mut carry = tx;
+            let mut at_limit = !0u64;
+            for (k, plane) in planes.iter_mut().enumerate() {
+                let sum = *plane ^ carry;
+                carry &= *plane;
+                *plane = sum;
+                at_limit &= if target >> k & 1 == 1 { sum } else { !sum };
+            }
+            let drop_lanes = at_limit & tx & !delivered_lanes;
+            deliver_tally.push(delivered_lanes);
+            drop_tally.push(drop_lanes);
+            if !conflicted && delivered_lanes != 0 {
+                // Every delivered lane is heard by all `degree` neighbours;
+                // count per degree bit, scaled by 2^k at flush.
+                let mut degree = u64::from(plan.degree(v));
+                let mut k = 0;
+                while degree != 0 {
+                    if degree & 1 == 1 {
+                        degree_tallies[k].push(delivered_lanes);
+                    }
+                    degree >>= 1;
+                    k += 1;
+                }
+            }
+            let pop_lanes = delivered_lanes | drop_lanes;
+            if pop_lanes != 0 {
+                for plane in attempt_planes[v * attempt_bits..(v + 1) * attempt_bits].iter_mut() {
+                    *plane &= !pop_lanes;
+                }
+                let phase = phase_of(v);
+                let gen = if staggered {
+                    if t >= phase {
+                        (t - phase) / traffic_period + 1
+                    } else {
+                        0
+                    }
+                } else {
+                    aligned_generated
+                };
+                let mut bits = pop_lanes;
+                while bits != 0 {
+                    let l = bits.trailing_zeros() as usize;
+                    bits &= bits - 1;
+                    let idx = v * lanes + l;
+                    if delivered_lanes >> l & 1 == 1 {
+                        counts[l].total_latency += t - (phase + popped[idx] * traffic_period);
+                    }
+                    popped[idx] += 1;
+                    queued_total -= 1;
+                    if gen <= popped[idx] {
+                        backlog[v] &= !(1u64 << l);
+                    }
+                }
+            }
+        }
+
+        if conflicted {
+            // Per-lane receiver tally (≥ 1 heard, not transmitting), then
+            // clear only what this slot touched.
+            for &u in &heard {
+                let u = u as usize;
+                rx_tally.push(once[u] & !tx_lanes[u]);
+                once[u] = 0;
+                twice[u] = 0;
+            }
+            heard.clear();
+        }
+        for &v in &tx_list {
+            tx_lanes[v as usize] = 0;
+        }
+    }
+
+    recv_tally.flush();
+    rx_tally.flush();
+    tx_tally.flush();
+    deliver_tally.flush();
+    drop_tally.flush();
+    for tally in degree_tallies
+        .iter_mut()
+        .chain(degree_tx_tallies.iter_mut())
+    {
+        tally.flush();
+    }
+    for (l, lane) in counts.iter_mut().enumerate() {
+        lane.transmissions += tx_tally.totals[l];
+        lane.tx_slots += tx_tally.totals[l];
+        lane.packets_delivered += deliver_tally.totals[l];
+        lane.packets_dropped += drop_tally.totals[l];
+        for (k, tally) in degree_tallies.iter().enumerate() {
+            lane.receptions += tally.totals[l] << k;
+            lane.rx_slots += tally.totals[l] << k;
+        }
+        let conflicted_attempts: u64 = degree_tx_tallies
+            .iter()
+            .enumerate()
+            .map(|(k, tally)| tally.totals[l] << k)
+            .sum();
+        lane.receptions += recv_tally.totals[l];
+        lane.collisions += conflicted_attempts - recv_tally.totals[l];
+        lane.rx_slots += rx_tally.totals[l];
+    }
+
+    if config.slots > 0 {
+        // Lane-uniform closed-form generation totals (as in the scalar
+        // deterministic loop), then pending and idle by conservation.
+        let generated = if staggered {
+            (0..n as u64)
+                .map(|id| {
+                    let phase = id % traffic_period;
+                    if config.slots > phase {
+                        (config.slots - 1 - phase) / traffic_period + 1
+                    } else {
+                        0
+                    }
+                })
+                .sum()
+        } else {
+            ((config.slots - 1) / traffic_period + 1) * n as u64
+        };
+        for lane in counts.iter_mut() {
+            lane.packets_generated = generated;
+            lane.packets_pending = generated - lane.packets_delivered - lane.packets_dropped;
+            lane.idle_slots = n as u64 * config.slots - lane.tx_slots - lane.rx_slots;
+        }
+    }
     Ok(counts)
 }
 
@@ -1510,6 +2265,146 @@ mod tests {
     }
 
     #[test]
+    fn analytic_replay_matches_the_loop_kernels_bit_for_bit() {
+        // Clean (conflict-free) scheduled runs dispatch to the closed-form
+        // analytic replay; it must reproduce the slot-loop kernels exactly on
+        // every traffic model, including the auto-traced Bernoulli path.
+        let clean = plan(&[0, 1, 2], 3);
+        assert!(clean.conflict_free());
+        let big_slots = 2_000; // over the Bernoulli auto-trace threshold
+        let trace = Arc::new(TrafficTrace::bernoulli(&clean, 7, 0.3, 500).unwrap());
+        for traffic in [
+            KernelTraffic::Periodic { period: 1 },
+            KernelTraffic::Periodic { period: 7 },
+            KernelTraffic::Staggered { period: 2 },
+            KernelTraffic::Staggered { period: 13 },
+            KernelTraffic::Trace(trace),
+            KernelTraffic::Bernoulli { p: 0.25 },
+        ] {
+            for (slots, retries) in [(0u64, 0u32), (1, 0), (333, 2), (big_slots, 1)] {
+                let slots = match &traffic {
+                    KernelTraffic::Trace(tr) => slots.min(tr.num_slots()),
+                    _ => slots,
+                };
+                let cfg = config(slots, traffic.clone(), retries);
+                let analytic = run_frames(&clean, &cfg).unwrap();
+                let looped = run_frames_loop(&clean, &cfg).unwrap();
+                assert_eq!(analytic, looped, "traffic {traffic:?} slots {slots}");
+                if slots > 100 {
+                    assert!(analytic.packets_delivered > 0, "traffic {traffic:?}");
+                }
+            }
+        }
+        // Conflicted plans never take the analytic path; both entry points
+        // agree trivially there too.
+        let conflicted = plan(&[0, 1, 0], 2);
+        let cfg = config(250, KernelTraffic::Periodic { period: 4 }, 1);
+        assert_eq!(
+            run_frames(&conflicted, &cfg).unwrap(),
+            run_frames_loop(&conflicted, &cfg).unwrap()
+        );
+    }
+
+    #[test]
+    fn analytic_replay_accounts_for_silent_nodes() {
+        // Node 2's slot is out of period: it never transmits, its arrivals
+        // only accumulate pending — in the analytic path exactly as in the
+        // loop.
+        let silent = plan(&[0, 1, 9], 2);
+        assert!(silent.conflict_free());
+        for traffic in [
+            KernelTraffic::Periodic { period: 5 },
+            KernelTraffic::Staggered { period: 3 },
+        ] {
+            let cfg = config(120, traffic.clone(), 2);
+            let analytic = run_frames(&silent, &cfg).unwrap();
+            assert_eq!(
+                analytic,
+                run_frames_loop(&silent, &cfg).unwrap(),
+                "traffic {traffic:?}"
+            );
+            assert!(analytic.packets_pending > 0, "silent node stays backlogged");
+        }
+    }
+
+    #[test]
+    fn aloha_decision_traces_replay_inline_aloha_bit_for_bit() {
+        // Period-1 all-candidates plan (classic slotted ALOHA): replaying MAC
+        // decisions from a compiled bitmap must equal inline MAC draws.
+        let plan = plan(&[0, 0, 0], 1);
+        for p in [0.0, 0.35, 1.0] {
+            for traffic in [
+                KernelTraffic::Periodic { period: 2 },
+                KernelTraffic::Bernoulli { p: 0.3 },
+            ] {
+                let mut inline_cfg = config(300, traffic.clone(), 1);
+                inline_cfg.mac = KernelMac::Aloha { p };
+                let trace = TrafficTrace::aloha_decisions(&plan, inline_cfg.seed, p, 300).unwrap();
+                let mut traced_cfg = inline_cfg.clone();
+                traced_cfg.mac = KernelMac::AlohaTrace(Arc::new(trace));
+                assert_eq!(
+                    run_frames(&plan, &inline_cfg).unwrap(),
+                    run_frames(&plan, &traced_cfg).unwrap(),
+                    "p={p} traffic {traffic:?}"
+                );
+            }
+        }
+        // MAC traces live on the MAC stream: they must not equal the traffic
+        // stream's generation bitmaps.
+        let mac = TrafficTrace::aloha_decisions(&plan, 7, 0.35, 300).unwrap();
+        let traffic = TrafficTrace::bernoulli(&plan, 7, 0.35, 300).unwrap();
+        assert_ne!(mac, traffic, "streams must decorrelate");
+    }
+
+    #[test]
+    fn lane_batches_match_scalar_runs_on_every_lane() {
+        // Each lane of a bit-sliced batch must be bit-identical to the scalar
+        // run of its seed, on clean and partially conflicted plans, under
+        // scheduled and ALOHA access, including partial (<64) batches.
+        let seeds: Vec<u64> = (0..64).map(|i| i * 17 + 3).collect();
+        for plan in [plan(&[0, 1, 2], 3), plan(&[0, 1, 0], 2)] {
+            for mac in [KernelMac::Scheduled, KernelMac::Aloha { p: 0.45 }] {
+                for traffic in [
+                    KernelTraffic::Periodic { period: 3 },
+                    KernelTraffic::Staggered { period: 4 },
+                ] {
+                    for batch in [1usize, 5, 64] {
+                        let mut cfg = config(150, traffic.clone(), 1);
+                        cfg.mac = mac.clone();
+                        let lanes = run_frames_lanes(&plan, &cfg, &seeds[..batch]).unwrap();
+                        assert_eq!(lanes.len(), batch);
+                        for (l, &seed) in seeds[..batch].iter().enumerate() {
+                            let mut scalar_cfg = cfg.clone();
+                            scalar_cfg.seed = seed;
+                            let scalar = run_frames(&plan, &scalar_cfg).unwrap();
+                            assert_eq!(
+                                lanes[l], scalar,
+                                "lane {l} seed {seed} mac {mac:?} traffic {traffic:?}"
+                            );
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn lane_batches_reject_ineligible_configurations() {
+        let p = plan(&[0, 1, 2], 3);
+        let cfg = config(10, KernelTraffic::Periodic { period: 2 }, 0);
+        assert!(run_frames_lanes(&p, &cfg, &[]).is_err());
+        assert!(run_frames_lanes(&p, &cfg, &vec![1u64; 65]).is_err());
+        let bernoulli_cfg = config(10, KernelTraffic::Bernoulli { p: 0.5 }, 0);
+        assert!(run_frames_lanes(&p, &bernoulli_cfg, &[1, 2]).is_err());
+        let mut traced_mac_cfg = cfg.clone();
+        let trace = TrafficTrace::aloha_decisions(&p, 1, 0.5, 10).unwrap();
+        traced_mac_cfg.mac = KernelMac::AlohaTrace(Arc::new(trace));
+        assert!(run_frames_lanes(&p, &traced_mac_cfg, &[1, 2]).is_err());
+        let zero_period = config(10, KernelTraffic::Periodic { period: 0 }, 0);
+        assert!(run_frames_lanes(&p, &zero_period, &[1]).is_err());
+    }
+
+    #[test]
     fn invalid_inputs_are_rejected() {
         let frames = FrameSchedule::from_assignment(&[0, 1], 2).unwrap();
         assert!(matches!(
@@ -1540,5 +2435,14 @@ mod tests {
             Err(EngineError::InvalidKernelConfig(_))
         ));
         assert!(TrafficTrace::bernoulli(&p, 1, 7.0, 10).is_err());
+        // Undersized MAC decision traces are rejected too.
+        let mac_trace = TrafficTrace::aloha_decisions(&p, 1, 0.5, 10).unwrap();
+        let mut cfg = config(20, KernelTraffic::Periodic { period: 1 }, 0);
+        cfg.mac = KernelMac::AlohaTrace(Arc::new(mac_trace));
+        assert!(matches!(
+            run_frames(&p, &cfg),
+            Err(EngineError::InvalidKernelConfig(_))
+        ));
+        assert!(TrafficTrace::aloha_decisions(&p, 1, 7.0, 10).is_err());
     }
 }

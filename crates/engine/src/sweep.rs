@@ -14,10 +14,20 @@
 //!    every later sweep over the same caches, in the spirit of
 //!    derandomization: the sequential random draws of the reference simulator
 //!    become one deterministic per-position structure evaluated once;
-//! 3. fans the expanded grid across all cores with the engine's scoped-thread
-//!    executor ([`crate::parallel::fill_chunks_min`]) and aggregates the
-//!    per-run [`KernelCounts`] into a [`SweepReport`], including per-tier
-//!    cache hit/miss/entry counters ([`SweepCacheStats`]).
+//! 3. compiles each `(seed, p)` pair's slotted-ALOHA MAC decisions once into
+//!    a decision bitmap through the same [`TraceCache`] (stream-tagged keys)
+//!    when ALOHA runs replay compiled traffic, so MAC draws join generation
+//!    draws in being hashed once per sweep instead of once per run;
+//! 4. dispatches the seed axis to the bit-sliced lane kernel
+//!    ([`crate::run_frames_lanes`]) where eligible — ALOHA access over
+//!    deterministic (periodic/staggered) traffic — packing up to 64 seeds of
+//!    one `(window, traffic, retries)` grid point into one pass over the slot
+//!    structure, bit-identical to scalar per-seed runs;
+//! 5. fans the expanded grid (scalar runs or lane batches) across all cores
+//!    with the engine's scoped-thread executor
+//!    ([`crate::parallel::fill_chunks_min`]) and aggregates the per-run
+//!    [`KernelCounts`] into a [`SweepReport`], including per-tier cache
+//!    hit/miss/entry counters ([`SweepCacheStats`]).
 //!
 //! Because all three tiers are content-addressed, a *warm* repeat of a sweep
 //! (same [`SweepCaches`]) skips schedule compilation, plan fusion and trace
@@ -66,7 +76,8 @@ use crate::frames::InterferenceCsr;
 use crate::parallel::{fill_chunks_min, worker_threads};
 use crate::scenario::{get_u64, invalid, ShapeSpec};
 use crate::simkernel::{
-    run_frames, KernelConfig, KernelCounts, KernelMac, KernelTraffic, TrafficTrace,
+    run_frames, run_frames_lanes, KernelConfig, KernelCounts, KernelMac, KernelTraffic,
+    TrafficTrace, TRACE_WORD_LIMIT,
 };
 use crate::store::StoreStats;
 use crate::FramePlan;
@@ -775,6 +786,9 @@ struct GridContext<'a> {
     labels: Vec<String>,
     /// Per-(window index, seed, load bits) compiled traffic traces.
     traces: HashMap<(usize, u64, u64), Arc<TrafficTrace>>,
+    /// Per-(window index, seed) compiled ALOHA MAC decision bitmaps (empty
+    /// unless the sweep replays Bernoulli traffic under ALOHA access).
+    mac_traces: HashMap<(usize, u64), Arc<TrafficTrace>>,
     mac: KernelMac,
 }
 
@@ -817,6 +831,13 @@ impl GridContext<'_> {
                 period: periods[ti],
             },
         };
+        // A prefetched MAC decision bitmap replaces inline ALOHA draws for
+        // this (window, seed); windows past the trace size cap have no entry
+        // and keep the inline MAC.
+        let mac = match self.mac_traces.get(&(w, seed)) {
+            Some(trace) => KernelMac::AlohaTrace(Arc::clone(trace)),
+            None => self.mac.clone(),
+        };
         RunPoint {
             window: *window,
             nodes: *nodes,
@@ -827,12 +848,70 @@ impl GridContext<'_> {
             config: KernelConfig {
                 slots: self.spec.slots,
                 traffic,
-                mac: self.mac,
+                mac,
                 max_retries: retries,
                 seed,
             },
         }
     }
+
+    /// Executes one lane batch — `lanes` consecutive runs, the seed sub-range
+    /// of one `(window, traffic, retries)` grid point — through the
+    /// bit-sliced kernel, returning per-run counts in grid order.
+    fn lane_batch(&self, first: usize, lanes: usize) -> Result<Vec<KernelCounts>> {
+        let si = self.coords(first).3;
+        let point = self.point(first);
+        let seeds: Vec<u64> = (0..lanes).map(|l| self.spec.seeds.get(si + l)).collect();
+        run_frames_lanes(point.plan, &point.config, &seeds)
+    }
+
+    /// Materializes one run's full-mode report from its counts.
+    fn run_report(&self, run: usize, counts: KernelCounts) -> SweepRunReport {
+        let point = self.point(run);
+        SweepRunReport {
+            window: point.window,
+            nodes: point.nodes,
+            seed: point.seed,
+            traffic: self.labels[point.traffic_index].clone(),
+            retries: point.retries,
+            counts,
+        }
+    }
+}
+
+/// The lane batches of a grid, if its seed axis is lane-dispatchable:
+/// `(first run index, lane count)` pairs covering every run, in grid order.
+///
+/// Lane dispatch applies to ALOHA access over deterministic (periodic or
+/// staggered) traffic with a multi-seed axis: those runs need the slot loop
+/// (the MAC is stochastic), differ only in seed within one `(window, traffic,
+/// retries)` grid point, and the seed axis is innermost in run order — so
+/// every batch of up to 64 seeds is a contiguous run range. Tiling grids keep
+/// the scalar path (clean scheduled runs replay analytically, faster than any
+/// loop), as do Bernoulli-traffic grids (per-seed traffic traces have no
+/// lane-uniform generation).
+fn lane_tasks(spec: &SweepSpec) -> Option<Vec<(usize, usize)>> {
+    let eligible = matches!(spec.mac, SweepMac::Aloha { .. })
+        && matches!(
+            spec.traffic,
+            SweepTraffic::Periodic(_) | SweepTraffic::Staggered(_)
+        )
+        && spec.seeds.len() > 1;
+    if !eligible {
+        return None;
+    }
+    let s = spec.seeds.len();
+    let points = spec.num_runs() / s;
+    let mut tasks = Vec::with_capacity(points * s.div_ceil(64));
+    for point in 0..points {
+        let mut si = 0;
+        while si < s {
+            let lanes = (s - si).min(64);
+            tasks.push((point * s + si, lanes));
+            si += lanes;
+        }
+    }
+    Some(tasks)
 }
 
 /// One worker's locally folded share of a streaming grid: dense per-group
@@ -842,6 +921,31 @@ impl GridContext<'_> {
 struct BandFold {
     folds: GroupFolds,
     aggregate: KernelCounts,
+}
+
+impl BandFold {
+    fn new(num_groups: usize) -> Self {
+        BandFold {
+            folds: GroupFolds::new(num_groups),
+            aggregate: KernelCounts::default(),
+        }
+    }
+}
+
+/// Merges worker bands — in band order, so the result is deterministic — into
+/// the sweep's aggregate and per-group folds.
+fn merge_bands(
+    slots: Vec<Option<Result<BandFold>>>,
+    num_groups: usize,
+) -> Result<(KernelCounts, Vec<OnlineFold>)> {
+    let mut aggregate = KernelCounts::default();
+    let mut folds = vec![OnlineFold::new(); num_groups];
+    for slot in slots {
+        let band = slot.expect("every band is filled")?;
+        aggregate.accumulate(&band.aggregate);
+        band.folds.merge_into(&mut folds);
+    }
+    Ok((aggregate, folds))
 }
 
 /// Runs one sweep: compile every shared artifact once (through the caches),
@@ -904,6 +1008,29 @@ pub fn run_sweep(spec: &SweepSpec, caches: &SweepCaches) -> Result<SweepReport> 
         }
     }
 
+    // Per-(window, seed) compiled ALOHA MAC decision bitmaps, through the
+    // same stream-tagged trace tier: when ALOHA runs replay compiled
+    // Bernoulli traffic (the scalar path), the MAC's per-(node, slot)
+    // transmission draws are hashed once per (window, seed) and shared across
+    // the load and retry axes — and across warm sweeps. Deterministic-traffic
+    // ALOHA grids skip this: their seed axis dispatches to the lane kernel,
+    // which batches MAC draws directly.
+    let mut mac_traces: HashMap<(usize, u64), Arc<TrafficTrace>> = HashMap::new();
+    if let (SweepMac::Aloha { p }, SweepTraffic::Bernoulli(_)) = (spec.mac, &spec.traffic) {
+        for (w, (_, nodes, plan)) in plans.iter().enumerate() {
+            // Windows past the trace size cap keep inline per-slot MAC draws.
+            if nodes.div_ceil(64) as u64 * spec.slots > TRACE_WORD_LIMIT {
+                continue;
+            }
+            for seed in spec.seeds.iter() {
+                mac_traces.insert(
+                    (w, seed),
+                    caches.traces.get_or_build_mac(plan, seed, p, spec.slots)?,
+                );
+            }
+        }
+    }
+
     let ctx = GridContext {
         spec,
         plans,
@@ -911,22 +1038,24 @@ pub fn run_sweep(spec: &SweepSpec, caches: &SweepCaches) -> Result<SweepReport> 
             .map(|ti| spec.traffic.label(ti))
             .collect(),
         traces,
+        mac_traces,
         mac,
     };
     let num_runs = spec.num_runs();
-    // Resolve the grouping before the timed run phase so misconfigured specs
-    // fail fast.
+    // Resolve the grouping and the lane plan before the timed run phase so
+    // misconfigured specs fail fast and task bookkeeping counts as setup.
     let grouping = match &spec.mode {
         SweepMode::Full => None,
         SweepMode::Streaming(group_spec) => Some(GroupBy::for_spec(spec, group_spec)?),
     };
+    let lanes = lane_tasks(spec);
     let setup_seconds = setup_start.elapsed().as_secs_f64();
 
-    // Execute the grid: one independent kernel run per grid point, fanned
-    // across worker threads.
+    // Execute the grid: one independent kernel run (or 64-seed lane batch)
+    // per work item, fanned across worker threads.
     let run_start = Instant::now();
-    let (aggregate, groups, per_run) = match &grouping {
-        None => {
+    let (aggregate, groups, per_run) = match (&grouping, &lanes) {
+        (None, None) => {
             // Full mode: collect every run's counters, then materialize the
             // per-run reports.
             let mut results: Vec<Option<Result<KernelCounts>>> = Vec::new();
@@ -945,19 +1074,37 @@ pub fn run_sweep(spec: &SweepSpec, caches: &SweepCaches) -> Result<SweepReport> 
             for (run, result) in results.into_iter().enumerate() {
                 let counts = result.expect("every chunk is filled")?;
                 aggregate.accumulate(&counts);
-                let point = ctx.point(run);
-                per_run.push(SweepRunReport {
-                    window: point.window,
-                    nodes: point.nodes,
-                    seed: point.seed,
-                    traffic: ctx.labels[point.traffic_index].clone(),
-                    retries: point.retries,
-                    counts,
-                });
+                per_run.push(ctx.run_report(run, counts));
             }
             (aggregate, Vec::new(), per_run)
         }
-        Some(grouping) => {
+        (None, Some(tasks)) => {
+            // Full mode, lane-dispatched: fan whole batches; each batch's
+            // counts come back in seed order and land on a contiguous run
+            // range, so flattening the batches in task order reproduces grid
+            // order exactly.
+            let mut results: Vec<Option<Result<Vec<KernelCounts>>>> = Vec::new();
+            results.resize_with(tasks.len(), || None);
+            {
+                let ctx = &ctx;
+                fill_chunks_min(&mut results, 2, |offset, chunk| {
+                    for (i, out) in chunk.iter_mut().enumerate() {
+                        let (first, lanes) = tasks[offset + i];
+                        *out = Some(ctx.lane_batch(first, lanes));
+                    }
+                });
+            }
+            let mut aggregate = KernelCounts::default();
+            let mut per_run = Vec::with_capacity(num_runs);
+            for result in results {
+                for counts in result.expect("every chunk is filled")? {
+                    aggregate.accumulate(&counts);
+                    per_run.push(ctx.run_report(per_run.len(), counts));
+                }
+            }
+            (aggregate, Vec::new(), per_run)
+        }
+        (Some(grouping), None) => {
             // Streaming mode: each worker band folds its contiguous run range
             // into local per-group accumulators; the folds are commutative
             // monoids over exact integers, so the barrier merge (in band
@@ -973,10 +1120,7 @@ pub fn run_sweep(spec: &SweepSpec, caches: &SweepCaches) -> Result<SweepReport> 
                     for (b, out) in chunk.iter_mut().enumerate() {
                         let start = (offset + b) * per_band;
                         let end = (start + per_band).min(num_runs);
-                        let mut band = BandFold {
-                            folds: GroupFolds::new(grouping.num_groups()),
-                            aggregate: KernelCounts::default(),
-                        };
+                        let mut band = BandFold::new(grouping.num_groups());
                         let run_band = || -> Result<BandFold> {
                             for run in start..end {
                                 let point = ctx.point(run);
@@ -990,13 +1134,40 @@ pub fn run_sweep(spec: &SweepSpec, caches: &SweepCaches) -> Result<SweepReport> 
                     }
                 });
             }
-            let mut aggregate = KernelCounts::default();
-            let mut folds = vec![OnlineFold::new(); grouping.num_groups()];
-            for slot in slots {
-                let band = slot.expect("every band is filled")?;
-                aggregate.accumulate(&band.aggregate);
-                band.folds.merge_into(&mut folds);
+            let (aggregate, folds) = merge_bands(slots, grouping.num_groups())?;
+            (aggregate, grouping.reports(spec, folds), Vec::new())
+        }
+        (Some(grouping), Some(tasks)) => {
+            // Streaming mode, lane-dispatched: bands cover contiguous *task*
+            // ranges; every lane's counts fold at its own run index (`first +
+            // lane`), and the folds stay commutative monoids, so the barrier
+            // merge is as bit-exact as the scalar streaming path.
+            let bands = worker_threads().min(tasks.len()).max(1);
+            let per_band = tasks.len().div_ceil(bands);
+            let mut slots: Vec<Option<Result<BandFold>>> = Vec::new();
+            slots.resize_with(bands, || None);
+            {
+                let ctx = &ctx;
+                fill_chunks_min(&mut slots, 2, |offset, chunk| {
+                    for (b, out) in chunk.iter_mut().enumerate() {
+                        let start = (offset + b) * per_band;
+                        let end = (start + per_band).min(tasks.len());
+                        let mut band = BandFold::new(grouping.num_groups());
+                        let run_band = || -> Result<BandFold> {
+                            for &(first, lanes) in &tasks[start..end] {
+                                for (l, counts) in ctx.lane_batch(first, lanes)?.iter().enumerate()
+                                {
+                                    band.aggregate.accumulate(counts);
+                                    band.folds.observe(grouping.group_of_run(first + l), counts);
+                                }
+                            }
+                            Ok(band)
+                        };
+                        *out = Some(run_band());
+                    }
+                });
             }
+            let (aggregate, folds) = merge_bands(slots, grouping.num_groups())?;
             (aggregate, grouping.reports(spec, folds), Vec::new())
         }
     };
@@ -1390,6 +1561,77 @@ mod tests {
         // different drop behaviour.
         assert_eq!(a.counts.packets_generated, b.counts.packets_generated);
         assert!(a.counts.packets_dropped > b.counts.packets_dropped);
+    }
+
+    #[test]
+    fn lane_dispatched_sweeps_match_scalar_per_seed_sweeps() {
+        // ALOHA + staggered + 3 seeds lane-dispatches; the same grid with
+        // single-seed axes stays scalar (lanes need a multi-seed axis), so
+        // this pins lane batches bit-for-bit against the scalar kernel at the
+        // sweep level, across the traffic and retry axes.
+        let spec = SweepSpec {
+            mac: SweepMac::Aloha { p: 0.4 },
+            traffic: SweepTraffic::Staggered(vec![3, 8]),
+            seeds: vec![5, 6, 7].into(),
+            retries: vec![0, 2],
+            ..tiny_spec()
+        };
+        let caches = SweepCaches::new();
+        let report = run_sweep(&spec, &caches).unwrap();
+        assert_eq!(report.runs, 12);
+        assert_eq!(report.per_run.len(), 12);
+        for (i, seed) in [5u64, 6, 7].into_iter().enumerate() {
+            let scalar = run_sweep(
+                &SweepSpec {
+                    seeds: vec![seed].into(),
+                    ..spec.clone()
+                },
+                &caches,
+            )
+            .unwrap();
+            for (j, run) in scalar.per_run.iter().enumerate() {
+                assert_eq!(report.per_run[j * 3 + i], *run, "seed {seed} point {j}");
+            }
+        }
+        // Streaming over the same grid folds the identical lane counts.
+        let streaming = run_sweep(
+            &SweepSpec {
+                mode: SweepMode::Streaming(GroupSpec::default()),
+                ..spec
+            },
+            &caches,
+        )
+        .unwrap();
+        assert_eq!(streaming.aggregate, report.aggregate);
+    }
+
+    #[test]
+    fn mac_decision_bitmaps_are_cached_for_bernoulli_aloha_sweeps() {
+        // ALOHA over Bernoulli traffic compiles one traffic trace and one MAC
+        // decision bitmap per seed; both tiers replay warm, and the results
+        // are unchanged by where the draws came from.
+        let spec = SweepSpec {
+            mac: SweepMac::Aloha { p: 0.3 },
+            traffic: SweepTraffic::Bernoulli(vec![0.2]),
+            seeds: vec![1, 9].into(),
+            retries: vec![1, 4],
+            ..tiny_spec()
+        };
+        let caches = SweepCaches::new();
+        let cold = run_sweep(&spec, &caches).unwrap();
+        assert_eq!(
+            cold.caches.traces.misses, 4,
+            "one traffic trace + one MAC bitmap per seed"
+        );
+        let warm = run_sweep(&spec, &caches).unwrap();
+        assert_eq!(
+            warm.caches.traces.misses, 0,
+            "warm sweeps reuse MAC bitmaps"
+        );
+        assert_eq!(warm.caches.traces.hits, 4);
+        assert_eq!(warm.caches.traces.entries, 4);
+        assert_eq!(cold.per_run, warm.per_run);
+        assert!(cold.aggregate.collisions > 0, "ALOHA at p=0.3 collides");
     }
 
     #[test]

@@ -166,6 +166,40 @@ impl CounterRng {
         }
         bits
     }
+
+    /// Bernoulli indicators of up to 64 *keys* at one `(node, slot)`, packed
+    /// into a lane word: bit `l` of the result is the Bernoulli draw of the
+    /// `l`-th hoisted key against `threshold` at `slot`. This is the lane-axis
+    /// dual of [`CounterRng::bernoulli_block`]: where a block batches one seed
+    /// over 64 slots, a lane word batches 64 seeds (each contributing one
+    /// pre-hoisted node key from [`CounterRng::hoist_node`]) at one slot —
+    /// the building block of the bit-sliced seed-lane kernel. The threshold
+    /// comes from [`CounterRng::bernoulli_threshold`], so each lane reproduces
+    /// the corresponding scalar [`CounterRng::bernoulli`] bit for bit.
+    #[inline]
+    #[must_use]
+    pub fn bernoulli_lanes(hoisted: &[u64], threshold: u64, slot: u64) -> u64 {
+        debug_assert!(hoisted.len() <= 64);
+        let slot_mixed = slot.wrapping_mul(SLOT_C);
+        // Four independent accumulators break the OR dependency chain so the
+        // mix64 pipelines overlap; lanes are independent, so any grouping
+        // produces the same word.
+        let mut acc = [0u64; 4];
+        let mut chunks = hoisted.chunks_exact(4);
+        for (c, chunk) in chunks.by_ref().enumerate() {
+            let base = c * 4;
+            acc[0] |= u64::from(mix64(chunk[0] ^ slot_mixed) >> 11 < threshold) << base;
+            acc[1] |= u64::from(mix64(chunk[1] ^ slot_mixed) >> 11 < threshold) << (base + 1);
+            acc[2] |= u64::from(mix64(chunk[2] ^ slot_mixed) >> 11 < threshold) << (base + 2);
+            acc[3] |= u64::from(mix64(chunk[3] ^ slot_mixed) >> 11 < threshold) << (base + 3);
+        }
+        let tail = hoisted.len() - chunks.remainder().len();
+        let mut bits = acc[0] | acc[1] | acc[2] | acc[3];
+        for (l, &h) in chunks.remainder().iter().enumerate() {
+            bits |= u64::from(mix64(h ^ slot_mixed) >> 11 < threshold) << (tail + l);
+        }
+        bits
+    }
 }
 
 #[cfg(test)]
@@ -246,6 +280,36 @@ mod tests {
                     // Bits beyond `len` stay clear.
                     if len < 64 {
                         assert_eq!(bits >> len, 0, "p={p} len={len}");
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn bernoulli_lanes_match_single_indicators_bit_for_bit() {
+        // Each lane of a packed multi-seed draw must reproduce the scalar
+        // Bernoulli indicator of its seed's RNG at the same (node, slot).
+        let seeds: Vec<u64> = (0..67).map(|i| i * 31 + 5).collect();
+        for p in [0.0, 0.02, 0.3, 0.5, 0.999, 1.0] {
+            let threshold = CounterRng::bernoulli_threshold(p);
+            for node in [0u64, 9] {
+                for lanes in [1usize, 7, 63, 64] {
+                    let rngs: Vec<CounterRng> =
+                        seeds[..lanes].iter().map(|&s| CounterRng::mac(s)).collect();
+                    let hoisted: Vec<u64> = rngs.iter().map(|r| r.hoist_node(node)).collect();
+                    for slot in [0u64, 63, 64, 1_000_000] {
+                        let bits = CounterRng::bernoulli_lanes(&hoisted, threshold, slot);
+                        for (l, rng) in rngs.iter().enumerate() {
+                            assert_eq!(
+                                bits >> l & 1 == 1,
+                                rng.bernoulli(p, node, slot),
+                                "p={p} node={node} slot={slot} lane={l}"
+                            );
+                        }
+                        if lanes < 64 {
+                            assert_eq!(bits >> lanes, 0, "p={p} lanes={lanes}");
+                        }
                     }
                 }
             }

@@ -9,7 +9,9 @@
 //! traffic models (periodic, staggered, Bernoulli), MAC families (tiling,
 //! TDMA, colouring, slotted ALOHA), seeds, retry budgets and partially
 //! conflicting explicit assignments (mixed clean/conflicted frame slots,
-//! exercising the kernel's per-slot conflict-bitmask narrowing), and
+//! exercising the kernel's per-slot conflict-bitmask narrowing), pins the
+//! closed-form analytic replay and the bit-sliced 64-seed lane kernel against
+//! the explicit slot loop on randomized plans, and
 //! additionally cross-checks the dimension-specialized coset reduction —
 //! const-generic (`reduce_into_fixed` / `coset_rank_fixed`) and
 //! runtime-dimension (`reduce_into_dyn` / `coset_rank_dyn`) — against the
@@ -553,6 +555,181 @@ proptest! {
                     );
                 }
             }
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Randomized clean scheduled runs: the closed-form analytic replay (the
+    /// `run_frames` fast path for conflict-free plans) must reproduce the
+    /// general slot loop bit for bit, across periodic, staggered and
+    /// trace-compiled Bernoulli traffic, retry budgets and seeds.
+    #[test]
+    fn analytic_replay_matches_the_slot_loop_on_clean_schedules(
+        side in 3i64..8,
+        period_extra in 0usize..3,
+        traffic_idx in 0usize..3,
+        traffic_param in 1u64..24,
+        p_traffic in 0.02f64..0.5,
+        slots in 0u64..250,
+        max_retries in 0u32..4,
+        seed in 0u64..1000,
+    ) {
+        use latsched::engine::{
+            grid_adjacency, run_frames, run_frames_loop, FramePlan, FrameSchedule, KernelConfig,
+            KernelMac, KernelTraffic, TrafficTrace,
+        };
+        let shape = shapes::moore();
+        let region = BoxRegion::square_window(2, side).unwrap();
+        let adjacency = grid_adjacency(&region, &shape).unwrap();
+        let n = adjacency.num_nodes();
+        // One node per slot: conflict-free by construction, with optional
+        // trailing empty slots so the frame period stays arbitrary.
+        let assignment: Vec<usize> = (0..n).collect();
+        let frames = FrameSchedule::from_assignment(&assignment, n + period_extra).unwrap();
+        let plan = FramePlan::new(&frames, &adjacency).unwrap();
+        prop_assert!(plan.conflict_free());
+        let traffic = match traffic_idx {
+            0 => KernelTraffic::Periodic { period: traffic_param },
+            1 => KernelTraffic::Staggered { period: traffic_param },
+            _ => KernelTraffic::Trace(
+                TrafficTrace::bernoulli(&plan, seed, p_traffic, slots).unwrap().into(),
+            ),
+        };
+        let config = KernelConfig {
+            slots,
+            traffic,
+            mac: KernelMac::Scheduled,
+            max_retries,
+            seed,
+        };
+        let analytic = run_frames(&plan, &config).unwrap();
+        let looped = run_frames_loop(&plan, &config).unwrap();
+        prop_assert_eq!(analytic, looped);
+    }
+
+    /// The analytic gate never changes results: on arbitrary hash-randomized
+    /// assignments — mixing clean and conflicted frame slots — `run_frames`
+    /// (whichever path it picks) must equal the explicit slot loop.
+    #[test]
+    fn run_frames_fast_paths_match_the_loop_on_arbitrary_assignments(
+        side in 3i64..7,
+        period in 2usize..6,
+        assign_seed in 0u64..1000,
+        traffic_idx in 0usize..3,
+        traffic_param in 1u64..24,
+        p_traffic in 0.05f64..0.4,
+        slots in 0u64..200,
+        max_retries in 0u32..4,
+        seed in 0u64..1000,
+    ) {
+        use latsched::engine::{
+            grid_adjacency, run_frames, run_frames_loop, FramePlan, FrameSchedule, KernelConfig,
+            KernelMac, KernelTraffic, TrafficTrace,
+        };
+        let shape = shapes::moore();
+        let region = BoxRegion::square_window(2, side).unwrap();
+        let adjacency = grid_adjacency(&region, &shape).unwrap();
+        let n = adjacency.num_nodes();
+        let assignment: Vec<usize> = (0..n as u64)
+            .map(|i| {
+                let mut h = i
+                    .wrapping_mul(0x9E37_79B9_7F4A_7C15)
+                    .wrapping_add(assign_seed.wrapping_mul(0xBF58_476D_1CE4_E5B9));
+                h ^= h >> 31;
+                (h % period as u64) as usize
+            })
+            .collect();
+        let frames = FrameSchedule::from_assignment(&assignment, period).unwrap();
+        let plan = FramePlan::new(&frames, &adjacency).unwrap();
+        let traffic = match traffic_idx {
+            0 => KernelTraffic::Periodic { period: traffic_param },
+            1 => KernelTraffic::Staggered { period: traffic_param },
+            _ => KernelTraffic::Trace(
+                TrafficTrace::bernoulli(&plan, seed, p_traffic, slots).unwrap().into(),
+            ),
+        };
+        let config = KernelConfig {
+            slots,
+            traffic,
+            mac: KernelMac::Scheduled,
+            max_retries,
+            seed,
+        };
+        let fast = run_frames(&plan, &config).unwrap();
+        let looped = run_frames_loop(&plan, &config).unwrap();
+        prop_assert_eq!(fast, looped);
+    }
+
+    /// Each lane of the bit-sliced multi-seed kernel equals the scalar kernel
+    /// run of that lane's seed — on clean and partially conflicting plans,
+    /// under scheduled and slotted-ALOHA access, with partial (<64) batches.
+    #[test]
+    fn lane_kernel_matches_scalar_runs_on_random_plans(
+        side in 3i64..7,
+        clean in 0u8..2,
+        period in 1usize..6,
+        assign_seed in 0u64..1000,
+        aloha in 0u8..2,
+        p_aloha in 0.0f64..1.0,
+        staggered in 0u8..2,
+        traffic_param in 1u64..16,
+        slots in 0u64..200,
+        max_retries in 0u32..4,
+        seed0 in 0u64..1000,
+        lane_count in 1usize..7,
+    ) {
+        use latsched::engine::{
+            grid_adjacency, run_frames, run_frames_lanes, FramePlan, FrameSchedule, KernelConfig,
+            KernelMac, KernelTraffic,
+        };
+        let shape = shapes::moore();
+        let region = BoxRegion::square_window(2, side).unwrap();
+        let adjacency = grid_adjacency(&region, &shape).unwrap();
+        let n = adjacency.num_nodes();
+        let (assignment, frame_period) = if clean == 1 {
+            // One node per slot: conflict-free.
+            ((0..n).collect::<Vec<usize>>(), n)
+        } else {
+            // Hash-randomized dense slots: mixed clean/conflicted.
+            let assignment = (0..n as u64)
+                .map(|i| {
+                    let mut h = i
+                        .wrapping_mul(0x9E37_79B9_7F4A_7C15)
+                        .wrapping_add(assign_seed.wrapping_mul(0xBF58_476D_1CE4_E5B9));
+                    h ^= h >> 31;
+                    (h % period as u64) as usize
+                })
+                .collect();
+            (assignment, period)
+        };
+        let frames = FrameSchedule::from_assignment(&assignment, frame_period).unwrap();
+        let plan = FramePlan::new(&frames, &adjacency).unwrap();
+        let traffic = if staggered == 1 {
+            KernelTraffic::Staggered { period: traffic_param }
+        } else {
+            KernelTraffic::Periodic { period: traffic_param }
+        };
+        let mac = if aloha == 1 {
+            KernelMac::Aloha { p: p_aloha }
+        } else {
+            KernelMac::Scheduled
+        };
+        let seeds: Vec<u64> = (0..lane_count as u64).map(|l| seed0 + l * 13).collect();
+        let config = KernelConfig {
+            slots,
+            traffic,
+            mac,
+            max_retries,
+            seed: 0,
+        };
+        let lanes = run_frames_lanes(&plan, &config, &seeds).unwrap();
+        prop_assert_eq!(lanes.len(), seeds.len());
+        for (l, &seed) in seeds.iter().enumerate() {
+            let scalar = run_frames(&plan, &KernelConfig { seed, ..config.clone() }).unwrap();
+            prop_assert_eq!(&lanes[l], &scalar, "lane {} seed {}", l, seed);
         }
     }
 }

@@ -197,6 +197,48 @@ proptest! {
             .map(|(_, &a)| a);
         assert_streaming_matches_full(&spec, &GroupSpec::new(axes));
     }
+
+    /// Randomized lane-dispatched grids (ALOHA over deterministic traffic
+    /// with a multi-seed axis): every per-run report must be bit-identical to
+    /// a scalar single-seed sweep of the same grid point — single-seed axes
+    /// are not lane-eligible, so the comparison really crosses the two
+    /// kernels. The seed axis length stays under 64, so every batch is a
+    /// partial one.
+    #[test]
+    fn lane_dispatched_sweeps_match_scalar_per_seed_sweeps_on_random_grids(
+        window in 4i64..8,
+        slots in 1u64..150,
+        staggered in 0u8..2,
+        traffic_period in 1u64..12,
+        p_aloha in 0.0f64..1.0,
+        seed0 in 0u64..1000,
+        seed_count in 2usize..6,
+        retries in 0u32..4,
+    ) {
+        let spec = SweepSpec {
+            windows: vec![window],
+            slots,
+            traffic: if staggered == 1 {
+                SweepTraffic::Staggered(vec![traffic_period])
+            } else {
+                SweepTraffic::Periodic(vec![traffic_period])
+            },
+            mac: SweepMac::Aloha { p: p_aloha },
+            seeds: (seed0..seed0 + seed_count as u64).collect(),
+            retries: vec![retries],
+            ..latsched_engine::builtin_sweep()
+        };
+        let caches = SweepCaches::new();
+        let lanes = run_sweep(&spec, &caches).unwrap();
+        prop_assert_eq!(lanes.per_run.len(), seed_count);
+        for (i, seed) in spec.seeds.iter().enumerate() {
+            let scalar = run_sweep(
+                &SweepSpec { seeds: vec![seed].into(), ..spec.clone() },
+                &caches,
+            ).unwrap();
+            prop_assert_eq!(&lanes.per_run[i], &scalar.per_run[0], "seed {}", seed);
+        }
+    }
 }
 
 #[test]

@@ -50,15 +50,24 @@ pub struct ProptestConfig {
 }
 
 impl ProptestConfig {
-    /// A configuration running the given number of cases.
+    /// A configuration running the given number of cases — unless the
+    /// `PROPTEST_CASES` environment variable is set, which takes precedence
+    /// (over in-source counts too, unlike upstream proptest) so deep CI runs
+    /// (`PROPTEST_CASES=1024` on the nightly schedule) multiply coverage
+    /// without editing any test file.
     pub fn with_cases(cases: u32) -> Self {
+        let cases = std::env::var("PROPTEST_CASES")
+            .ok()
+            .and_then(|v| v.parse().ok())
+            .unwrap_or(cases);
         ProptestConfig { cases }
     }
 }
 
 impl Default for ProptestConfig {
+    /// 64 cases, or the `PROPTEST_CASES` override.
     fn default() -> Self {
-        ProptestConfig { cases: 64 }
+        ProptestConfig::with_cases(64)
     }
 }
 
