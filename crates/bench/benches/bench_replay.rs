@@ -1,8 +1,9 @@
 //! Micro-benchmarks of the frame kernel's replay fast paths — the closed-form
-//! analytic replay against the explicit slot loop, and the bit-sliced 64-seed
-//! lane kernel against scalar per-seed runs — plus an asserted acceptance
-//! check on the shared `--bench-replay` workload: both fast paths must be
-//! bit-identical to their slow paths and beat them by the committed factors.
+//! analytic replay (clean and partial-conflict hybrid) against the explicit
+//! slot loop, and the bit-sliced 64-seed lane kernel (deterministic and
+//! Bernoulli traffic) against scalar per-seed runs — plus an asserted
+//! acceptance check on the shared `--bench-replay` workload: every fast path
+//! must be bit-identical to its slow path and beat it by the committed factor.
 
 use criterion::{black_box, criterion_group, criterion_main, Criterion};
 use latsched_bench::measure_replay;
@@ -87,9 +88,11 @@ fn bench_lanes_vs_scalar(c: &mut Criterion) {
 }
 
 /// The acceptance check of this PR: on the committed baseline workload, the
-/// analytic replay must be ≥5× the slot loop and the 64-seed lane batch ≥4×
-/// the scalar runs, with bit-exact counter parity asserted inside every timed
-/// sample. Skipped in `--test` mode, where nothing is measured.
+/// analytic replay must be ≥5× the slot loop, the 64-seed lane batch ≥4× the
+/// scalar runs, the Bernoulli-traffic lane batch ≥3× its scalar runs, and the
+/// partial-conflict hybrid replay ≥2× the full slot loop — with bit-exact
+/// counter parity asserted inside every timed sample. Skipped in `--test`
+/// mode, where nothing is measured.
 fn bench_replay_check(c: &mut Criterion) {
     if std::env::args().any(|a| a == "--test") {
         return;
@@ -97,14 +100,21 @@ fn bench_replay_check(c: &mut Criterion) {
     let baseline = measure_replay(64, 1024, 3).unwrap();
     println!(
         "replay_check: {} — analytic {:.4} ms vs loop {:.2} ms ({:.1}x), \
-         lanes {:.2} ms vs scalar {:.2} ms ({:.1}x)",
+         lanes {:.2} ms vs scalar {:.2} ms ({:.1}x), bernoulli lanes {:.2} ms vs \
+         scalar {:.2} ms ({:.1}x), partial hybrid {:.4} ms vs loop {:.2} ms ({:.1}x)",
         baseline.workload,
         baseline.analytic_ms,
         baseline.loop_ms,
         baseline.analytic_speedup,
         baseline.lane_ms,
         baseline.scalar_ms,
-        baseline.lane_speedup
+        baseline.lane_speedup,
+        baseline.bernoulli_lane_ms,
+        baseline.bernoulli_scalar_ms,
+        baseline.bernoulli_lane_speedup,
+        baseline.partial_analytic_ms,
+        baseline.partial_loop_ms,
+        baseline.partial_analytic_speedup
     );
     assert!(
         baseline.parity,
@@ -119,6 +129,16 @@ fn bench_replay_check(c: &mut Criterion) {
         baseline.lane_speedup >= 4.0,
         "64-seed lanes must be >= 4x scalar runs, got {:.1}x",
         baseline.lane_speedup
+    );
+    assert!(
+        baseline.bernoulli_lane_speedup >= 3.0,
+        "64-seed bernoulli lanes must be >= 3x scalar runs, got {:.1}x",
+        baseline.bernoulli_lane_speedup
+    );
+    assert!(
+        baseline.partial_analytic_speedup >= 2.0,
+        "partial-conflict hybrid must be >= 2x the slot loop, got {:.1}x",
+        baseline.partial_analytic_speedup
     );
     c.bench_function("replay_check/done", |b| b.iter(|| baseline.lane_speedup));
 }

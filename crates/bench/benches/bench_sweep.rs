@@ -1,9 +1,10 @@
 //! Micro-benchmarks of the batched sweep engine against sequential
-//! reference-simulator runs on the shared 64-run stochastic workload, plus two
+//! reference-simulator runs on the shared 64-run stochastic workload, plus
 //! explicit asserted checks: the ≥5× cold-sweep speedup over sequential
-//! reference runs, and the ≥1.5× warm-over-cold speedup of the tiered
-//! artifact pipeline (schedule/plan/trace caches all hitting; ~1.9× measured
-//! on one core, more with cores).
+//! reference runs, the ≥1.5× warm-over-cold speedup of the tiered artifact
+//! pipeline (schedule/plan/trace caches all hitting; ~1.9× measured on one
+//! core, more with cores), and the work-stealing dispatch beating the static
+//! chunk split on a slow-clustered mixed grid whenever 2+ workers run.
 
 use criterion::{black_box, criterion_group, criterion_main, Criterion};
 use latsched_bench::sweep::{measure_sweep, sweep_spec};
@@ -54,6 +55,34 @@ fn bench_sweep_speedup_check(c: &mut Criterion) {
         "batched sweep must be ≥5x faster than sequential reference runs (got {:.1}x)",
         baseline.speedup
     );
+    println!(
+        "steal_check: {} items, {} threads — static {:.2} ms vs stealing {:.2} ms ({:.2}x)",
+        baseline.steal_items,
+        baseline.threads,
+        baseline.static_ms,
+        baseline.steal_ms,
+        baseline.steal_speedup
+    );
+    if baseline.threads >= 2 {
+        // With 2+ workers the slow-clustered grid must load-balance: stealing
+        // has to beat the static split outright.
+        assert!(
+            baseline.steal_speedup > 1.0,
+            "work stealing must beat the static split on the mixed grid \
+             with {} threads (got {:.2}x)",
+            baseline.threads,
+            baseline.steal_speedup
+        );
+    } else {
+        // One worker: both dispatches degenerate to the same sequential fill;
+        // sanity-bound the ratio so a pathological steal path still fails.
+        assert!(
+            baseline.steal_speedup > 0.7,
+            "single-threaded stealing must match the sequential fill \
+             (got {:.2}x)",
+            baseline.steal_speedup
+        );
+    }
     // Keep the group non-empty so the harness reports something even here.
     c.bench_function("sweep_speedup_check/done", |b| b.iter(|| baseline.speedup));
 }

@@ -11,8 +11,20 @@
 //!   the bit-sliced lane kernel ([`latsched_engine::run_frames_lanes`], one
 //!   pass over the slot structure, lane `l` of every `u64` word tracking seed
 //!   `l`) against 64 scalar per-seed [`latsched_engine::run_frames`] calls.
+//! * **Bernoulli seed lanes.** A saturated ALOHA grid point under Bernoulli
+//!   traffic — the lane kernel's bit-planed backlog counters and batched
+//!   `bernoulli_lanes` generation draws — against 64 scalar per-seed runs.
+//!   This comparison runs on a quarter-side window (16×16 for the committed
+//!   64×64 baseline): sweep grid points live at exactly this scale, and it
+//!   keeps the per-`(node, lane)` state cache-resident, where the bit-planed
+//!   counters amortize the per-slot MAC and collision machinery instead of
+//!   being bound by the (equal on both sides) arrival draw cost.
+//! * **Partial-conflict analytic replay.** The clean tiling assignment with
+//!   one node moved onto a neighbour's slot (one conflicted slot of nine):
+//!   the hybrid replay (closed-form clean classes, narrowed loop over the
+//!   conflicted class) against the full explicit slot loop.
 //!
-//! Both comparisons assert *bit-exact* [`KernelCounts`] parity inside the
+//! Every comparison asserts *bit-exact* [`KernelCounts`] parity inside the
 //! measurement loop — every timed analytic run is compared against the loop
 //! result and every timed lane batch against the per-seed scalar results —
 //! so the reported speedups can never come from a divergent fast path.
@@ -59,6 +71,24 @@ pub struct ReplayBaseline {
     /// `scalar_ms / lane_ms` — how much bit-slicing the seed axis saves on a
     /// stochastic grid point.
     pub lane_speedup: f64,
+    /// Median wall-clock of one 64-seed *Bernoulli-traffic* lane batch, in
+    /// milliseconds.
+    pub bernoulli_lane_ms: f64,
+    /// Median wall-clock of the same 64 Bernoulli seeds as scalar per-seed
+    /// runs, in milliseconds.
+    pub bernoulli_scalar_ms: f64,
+    /// `bernoulli_scalar_ms / bernoulli_lane_ms` — the win of bit-planed
+    /// backlog counters over 64 scalar Bernoulli runs.
+    pub bernoulli_lane_speedup: f64,
+    /// Median wall-clock of one hybrid partial-conflict replay, in
+    /// milliseconds.
+    pub partial_analytic_ms: f64,
+    /// Median wall-clock of the full slot loop on the same partially
+    /// conflicted plan, in milliseconds.
+    pub partial_loop_ms: f64,
+    /// `partial_loop_ms / partial_analytic_ms` — the win of narrowing the
+    /// loop to the conflicted slot minority.
+    pub partial_analytic_speedup: f64,
     /// Whether every in-measure parity check passed (see the module docs).
     pub parity: bool,
 }
@@ -81,6 +111,27 @@ impl ReplayBaseline {
         map.insert("lane_ms".into(), Value::from(self.lane_ms));
         map.insert("scalar_ms".into(), Value::from(self.scalar_ms));
         map.insert("lane_speedup".into(), Value::from(self.lane_speedup));
+        map.insert(
+            "bernoulli_lane_ms".into(),
+            Value::from(self.bernoulli_lane_ms),
+        );
+        map.insert(
+            "bernoulli_scalar_ms".into(),
+            Value::from(self.bernoulli_scalar_ms),
+        );
+        map.insert(
+            "bernoulli_lane_speedup".into(),
+            Value::from(self.bernoulli_lane_speedup),
+        );
+        map.insert(
+            "partial_analytic_ms".into(),
+            Value::from(self.partial_analytic_ms),
+        );
+        map.insert("partial_loop_ms".into(), Value::from(self.partial_loop_ms));
+        map.insert(
+            "partial_analytic_speedup".into(),
+            Value::from(self.partial_analytic_speedup),
+        );
         map.insert("parity".into(), Value::Bool(self.parity));
         Value::Object(map)
     }
@@ -89,7 +140,7 @@ impl ReplayBaseline {
 /// The clean workload: the optimal 9-slot Moore tiling schedule of a
 /// `side × side` window, fused with the window's interference adjacency —
 /// conflict-free, so scheduled runs qualify for the analytic path.
-fn clean_plan(side: i64) -> Result<(FramePlan, usize)> {
+pub(crate) fn clean_plan(side: i64) -> Result<(FramePlan, usize)> {
     let shape = shapes::moore();
     let region = BoxRegion::square_window(2, side)?;
     let adjacency = grid_adjacency(&region, &shape)?;
@@ -102,6 +153,27 @@ fn clean_plan(side: i64) -> Result<(FramePlan, usize)> {
     let frames = FrameSchedule::from_assignment(&assignment, compiled.num_slots())?;
     let nodes = adjacency.num_nodes();
     Ok((FramePlan::new(&frames, &adjacency)?, nodes))
+}
+
+/// The hybrid workload: the clean tiling assignment with node 0 moved onto
+/// its lattice neighbour's slot — exactly one conflicted slot out of the
+/// nine, under the `conflicted × 4 ≤ period` threshold that dispatches the
+/// partial-conflict analytic replay.
+fn partial_plan(side: i64) -> Result<FramePlan> {
+    let shape = shapes::moore();
+    let region = BoxRegion::square_window(2, side)?;
+    let adjacency = grid_adjacency(&region, &shape)?;
+    let compiled = compile_shape(&shape)?;
+    let mut assignment: Vec<usize> = compiled
+        .slots_of_region(&region)?
+        .into_iter()
+        .map(usize::from)
+        .collect();
+    // Nodes 0 and 1 are adjacent in lexicographic window order, so sharing a
+    // slot conflicts exactly that slot (and empties node 0's old one).
+    assignment[0] = assignment[1];
+    let frames = FrameSchedule::from_assignment(&assignment, compiled.num_slots())?;
+    FramePlan::new(&frames, &adjacency)
 }
 
 /// The stochastic workload: every node a candidate of a 1-slot frame (classic
@@ -122,6 +194,11 @@ fn aloha_plan(side: i64) -> Result<FramePlan> {
 ///
 /// Propagates schedule compilation, plan fusion and kernel errors.
 pub fn measure_replay(side: i64, slots: u64, samples: usize) -> Result<ReplayBaseline> {
+    // The analytic and partial-conflict sides run in microseconds, so their
+    // ratios are dominated by timer and scheduler jitter at the configured
+    // sample count; oversampling them is nearly free and keeps the medians
+    // stable enough for the 25% CI regression gate.
+    let micro_samples = samples.max(1) * 10 + 1;
     // Analytic side: clean tiling schedule, scheduled MAC, periodic traffic.
     let (clean, nodes) = clean_plan(side)?;
     let clean_config = KernelConfig {
@@ -133,11 +210,11 @@ pub fn measure_replay(side: i64, slots: u64, samples: usize) -> Result<ReplayBas
     };
     let loop_counts = run_frames_loop(&clean, &clean_config)?;
     let mut analytic_parity = true;
-    let analytic_ms = median_ms(samples, || {
+    let analytic_ms = median_ms(micro_samples, || {
         let counts = run_frames(&clean, &clean_config).expect("analytic replay");
         analytic_parity &= counts == loop_counts;
     });
-    let loop_ms = median_ms(samples, || {
+    let loop_ms = median_ms(micro_samples, || {
         run_frames_loop(&clean, &clean_config).expect("slot loop");
     });
 
@@ -183,12 +260,82 @@ pub fn measure_replay(side: i64, slots: u64, samples: usize) -> Result<ReplayBas
         }
     });
 
+    // Bernoulli lane side: a saturated ALOHA grid point under stochastic
+    // generation — the lane kernel's bit-planed backlog counters against 64
+    // scalar per-seed runs. A quarter-side window at sweep-grid-point scale
+    // (see the module docs): arrival draws cost the same per seed on both
+    // sides, so the measurement targets the backlogged regime where the
+    // scalar side's per-seed MAC draws and collision scans dominate and the
+    // lane kernel amortizes them 64 ways.
+    let bernoulli_side = (side / 4).max(4);
+    let bernoulli_aloha = aloha_plan(bernoulli_side)?;
+    let bernoulli_config = KernelConfig {
+        slots,
+        traffic: KernelTraffic::Bernoulli { p: 0.25 },
+        mac: KernelMac::Aloha { p: 0.5 },
+        max_retries: 1,
+        seed: seeds[0],
+    };
+    let bernoulli_scalar: Vec<KernelCounts> = seeds
+        .iter()
+        .map(|&seed| {
+            run_frames(
+                &bernoulli_aloha,
+                &KernelConfig {
+                    seed,
+                    ..bernoulli_config.clone()
+                },
+            )
+        })
+        .collect::<Result<_>>()?;
+    let mut bernoulli_parity = true;
+    let bernoulli_lane_ms = median_ms(samples, || {
+        let counts = run_frames_lanes(&bernoulli_aloha, &bernoulli_config, &seeds)
+            .expect("bernoulli lane batch");
+        bernoulli_parity &= counts == bernoulli_scalar;
+    });
+    let bernoulli_scalar_ms = median_ms(samples, || {
+        for &seed in &seeds {
+            run_frames(
+                &bernoulli_aloha,
+                &KernelConfig {
+                    seed,
+                    ..bernoulli_config.clone()
+                },
+            )
+            .expect("scalar bernoulli run");
+        }
+    });
+
+    // Partial-conflict side: one conflicted slot out of nine dispatches the
+    // hybrid replay (clean classes closed-form, one narrowed loop), timed
+    // against the full slot loop on the same plan. Both sides scale linearly
+    // in the slot count (the hybrid still loops over the conflicted slot
+    // class), so running 8x longer preserves the ratio while lifting each
+    // sample out of the sub-0.1 ms regime where scheduler drift dominates.
+    let partial = partial_plan(side)?;
+    let partial_config = KernelConfig {
+        slots: slots * 8,
+        ..clean_config.clone()
+    };
+    let partial_loop_counts = run_frames_loop(&partial, &partial_config)?;
+    let mut partial_parity = true;
+    let partial_analytic_ms = median_ms(micro_samples, || {
+        let counts = run_frames(&partial, &partial_config).expect("partial analytic replay");
+        partial_parity &= counts == partial_loop_counts;
+    });
+    let partial_loop_ms = median_ms(micro_samples, || {
+        run_frames_loop(&partial, &partial_config).expect("partial slot loop");
+    });
+
     Ok(ReplayBaseline {
         workload: format!(
             "moore 3x3 neighbourhood, {side}x{side} window, {slots} slots/run: \
              analytic replay of the 9-slot tiling schedule (periodic 1/64) vs the slot \
-             loop, and one {LANE_SEEDS}-seed aloha(p=0.25) lane batch (staggered 1/4) \
-             vs scalar per-seed runs"
+             loop (clean, plus a 1-conflicted-slot hybrid variant at 8x slots), one {LANE_SEEDS}-seed \
+             aloha(p=0.25) lane batch (staggered 1/4) vs scalar per-seed runs, and a \
+             saturated {bernoulli_side}x{bernoulli_side} aloha(p=0.5) batch under \
+             bernoulli(p=0.25) traffic"
         ),
         nodes,
         slots,
@@ -200,7 +347,13 @@ pub fn measure_replay(side: i64, slots: u64, samples: usize) -> Result<ReplayBas
         lane_ms,
         scalar_ms,
         lane_speedup: scalar_ms / lane_ms.max(1e-9),
-        parity: analytic_parity && lane_parity,
+        bernoulli_lane_ms,
+        bernoulli_scalar_ms,
+        bernoulli_lane_speedup: bernoulli_scalar_ms / bernoulli_lane_ms.max(1e-9),
+        partial_analytic_ms,
+        partial_loop_ms,
+        partial_analytic_speedup: partial_loop_ms / partial_analytic_ms.max(1e-9),
+        parity: analytic_parity && lane_parity && bernoulli_parity && partial_parity,
     })
 }
 
@@ -222,5 +375,19 @@ mod tests {
         assert_eq!(json.get("parity").unwrap().as_bool(), Some(true));
         assert!(json.get("analytic_speedup").unwrap().as_f64().unwrap() > 0.0);
         assert!(json.get("lane_speedup").unwrap().as_f64().unwrap() > 0.0);
+        assert!(
+            json.get("bernoulli_lane_speedup")
+                .unwrap()
+                .as_f64()
+                .unwrap()
+                > 0.0
+        );
+        assert!(
+            json.get("partial_analytic_speedup")
+                .unwrap()
+                .as_f64()
+                .unwrap()
+                > 0.0
+        );
     }
 }

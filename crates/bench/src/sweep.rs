@@ -6,10 +6,23 @@
 //! sweep engine (`latsched_engine::run_sweep` — cached plans, compiled traffic
 //! traces, multi-core fan-out) and once as sequential reference-simulator runs,
 //! with bit-exact parity checked between the two.
+//!
+//! It also measures the sweep executor's **work-stealing dispatch** against
+//! the legacy static chunk split on an adversarial mixed-cost grid: the slow
+//! (explicit slot-loop) runs are clustered at the front, so a static split
+//! hands one worker all of them while the analytic-path workers idle;
+//! stealing claims items one at a time from an atomic counter and
+//! load-balances. Both dispatches must produce bit-identical result vectors
+//! (element `i` is always filled as element `i`), which is the `parity` the
+//! committed baseline asserts. On a single-core host both fall back to the
+//! sequential fill, so `steal_speedup` honestly measures ~1.0 there; the gain
+//! shows on multi-core runners (the CI gate tracks regressions against the
+//! committed baseline either way).
 
+use latsched_engine::parallel::{fill_chunks_min, steal_chunks, worker_threads};
 use latsched_engine::{
-    run_sweep, KernelCounts, SweepCacheStats, SweepCaches, SweepMac, SweepReport, SweepSpec,
-    SweepTraffic,
+    run_frames, run_frames_loop, run_sweep, KernelConfig, KernelCounts, KernelMac, KernelTraffic,
+    SweepCacheStats, SweepCaches, SweepMac, SweepReport, SweepSpec, SweepTraffic,
 };
 use latsched_sensornet::{
     run_simulation_with, tiling_mac, EnergyAccount, MacPolicy, Network, ReferenceKernel, SimConfig,
@@ -53,7 +66,21 @@ pub struct SweepBaseline {
     pub sweep_ms: f64,
     /// `reference_ms / sweep_ms`.
     pub speedup: f64,
-    /// Whether every sweep run's counters matched its reference run exactly.
+    /// Items in the mixed-cost steal grid (slow loop runs clustered first).
+    pub steal_items: usize,
+    /// Worker threads the steal comparison ran with.
+    pub threads: usize,
+    /// Median wall-clock of the static chunk split on the mixed grid, in
+    /// milliseconds.
+    pub static_ms: f64,
+    /// Median wall-clock of the work-stealing dispatch on the same grid, in
+    /// milliseconds.
+    pub steal_ms: f64,
+    /// `static_ms / steal_ms` — ~1.0 on one core (both fills degenerate to
+    /// sequential), > 1 wherever stealing can balance the slow cluster.
+    pub steal_speedup: f64,
+    /// Whether every sweep run's counters matched its reference run exactly,
+    /// and the stolen mixed grid matched the static one bit for bit.
     pub parity: bool,
     /// Per-tier cache counters of the last measured (cold) sweep.
     pub caches: SweepCacheStats,
@@ -71,6 +98,11 @@ impl SweepBaseline {
         map.insert("reference_ms".into(), Value::from(self.reference_ms));
         map.insert("sweep_ms".into(), Value::from(self.sweep_ms));
         map.insert("speedup".into(), Value::from(self.speedup));
+        map.insert("steal_items".into(), Value::from(self.steal_items));
+        map.insert("threads".into(), Value::from(self.threads));
+        map.insert("static_ms".into(), Value::from(self.static_ms));
+        map.insert("steal_ms".into(), Value::from(self.steal_ms));
+        map.insert("steal_speedup".into(), Value::from(self.steal_speedup));
         map.insert("parity".into(), Value::Bool(self.parity));
         map.insert("caches".into(), self.caches.to_json_value());
         Value::Object(map)
@@ -213,10 +245,47 @@ pub fn measure_sweep(
     let parity = sweep_matches(&report, &references, &configs[0]);
     let caches = report.caches;
 
+    // Work-stealing dispatch vs the static chunk split, on a mixed-cost grid
+    // built to be adversarial for the static split: the first half of the
+    // items replay the clean plan through the explicit slot loop (slow), the
+    // second half closed-form (fast), so one static chunk carries all the
+    // slow runs while stealing claims items one at a time and balances.
+    let (clean, _) = crate::replay::clean_plan(window).map_err(SimError::Engine)?;
+    let steal_config = KernelConfig {
+        slots,
+        traffic: KernelTraffic::Periodic { period: 64 },
+        mac: KernelMac::Scheduled,
+        max_retries: 2,
+        seed: 7,
+    };
+    let steal_items = 96usize;
+    let fill = |offset: usize, chunk: &mut [Option<KernelCounts>]| {
+        for (i, out) in chunk.iter_mut().enumerate() {
+            let run = if offset + i < steal_items / 2 {
+                run_frames_loop(&clean, &steal_config)
+            } else {
+                run_frames(&clean, &steal_config)
+            };
+            *out = Some(run.expect("mixed-grid run"));
+        }
+    };
+    let mut static_out: Vec<Option<KernelCounts>> = vec![None; steal_items];
+    let static_ms = median_ms(samples, || {
+        static_out.iter_mut().for_each(|v| *v = None);
+        fill_chunks_min(&mut static_out, 2, fill);
+    });
+    let mut steal_out: Vec<Option<KernelCounts>> = vec![None; steal_items];
+    let steal_ms = median_ms(samples, || {
+        steal_out.iter_mut().for_each(|v| *v = None);
+        steal_chunks(&mut steal_out, 2, 1, fill);
+    });
+    let steal_parity = static_out == steal_out && static_out.iter().all(Option::is_some);
+
     Ok(SweepBaseline {
         workload: format!(
             "64-run stochastic sweep: moore 3x3, {window}x{window} window, tiling MAC, \
-             bernoulli loads x retry budgets x seeds, {slots} slots/run"
+             bernoulli loads x retry budgets x seeds, {slots} slots/run; plus a \
+             {steal_items}-item mixed loop/analytic grid dispatched static vs stealing"
         ),
         runs: report.runs,
         nodes: network.len(),
@@ -225,7 +294,12 @@ pub fn measure_sweep(
         reference_ms,
         sweep_ms,
         speedup: reference_ms / sweep_ms.max(1e-9),
-        parity,
+        steal_items,
+        threads: worker_threads(),
+        static_ms,
+        steal_ms,
+        steal_speedup: static_ms / steal_ms.max(1e-9),
+        parity: parity && steal_parity,
         caches,
     })
 }
@@ -246,5 +320,7 @@ mod tests {
         assert_eq!(json.get("runs").unwrap().as_u64(), Some(64));
         assert_eq!(json.get("parity").unwrap().as_bool(), Some(true));
         assert!(json.get("speedup").unwrap().as_f64().unwrap() > 0.0);
+        assert!(json.get("steal_speedup").unwrap().as_f64().unwrap() > 0.0);
+        assert!(json.get("threads").unwrap().as_u64().unwrap() >= 1);
     }
 }

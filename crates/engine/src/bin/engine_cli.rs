@@ -9,7 +9,12 @@
 //! engine-cli sweep spec.json ...     # run sweeps from JSON spec files
 //! engine-cli search                  # run the builtin Figure-2 schedule search
 //! engine-cli search spec.json ...    # run schedule searches from JSON spec files
+//! engine-cli --threads N ...         # pin the worker pool (any mode/subcommand)
 //! ```
+//!
+//! `--threads N` sets `LATSCHED_THREADS` before the first worker-pool query,
+//! so benches and CI determinism checks reproduce a fixed parallelism; it is
+//! accepted anywhere on the command line, in every mode.
 //!
 //! See `latsched_engine::Scenario` for the scenario spec format,
 //! `latsched_engine::SweepSpec` for the sweep spec format and
@@ -110,7 +115,7 @@ fn sweep_main(args: Vec<String>) -> ExitCode {
             "--help" | "-h" => {
                 println!(
                     "usage: engine-cli sweep [--json FILE] [--stats] [--streaming] \
-                     [--group-by AXES] [--top N] [SPEC.json]..."
+                     [--group-by AXES] [--top N] [--threads N] [SPEC.json]..."
                 );
                 println!("With no spec files, runs the builtin 64-run stochastic sweep.");
                 println!("--stats prints hit/miss/entry counters of all five artifact tiers.");
@@ -319,8 +324,35 @@ fn search_main(args: Vec<String>) -> ExitCode {
     ExitCode::SUCCESS
 }
 
+/// Strips a global `--threads N` flag (accepted anywhere on the command line)
+/// and pins the worker pool by setting `LATSCHED_THREADS` before the first
+/// `worker_threads()` query caches it. Returns the remaining args.
+fn apply_threads_flag(args: Vec<String>) -> Result<Vec<String>, String> {
+    let mut rest = Vec::with_capacity(args.len());
+    let mut iter = args.into_iter();
+    while let Some(arg) = iter.next() {
+        if arg == "--threads" {
+            let threads = iter
+                .next()
+                .and_then(|n| n.parse::<usize>().ok())
+                .filter(|&t| t >= 1)
+                .ok_or("--threads requires a positive thread count")?;
+            std::env::set_var("LATSCHED_THREADS", threads.to_string());
+        } else {
+            rest.push(arg);
+        }
+    }
+    Ok(rest)
+}
+
 fn main() -> ExitCode {
-    let args: Vec<String> = std::env::args().skip(1).collect();
+    let args = match apply_threads_flag(std::env::args().skip(1).collect()) {
+        Ok(args) => args,
+        Err(err) => {
+            eprintln!("{err}");
+            return ExitCode::FAILURE;
+        }
+    };
     if args.first().map(String::as_str) == Some("sweep") {
         return sweep_main(args.into_iter().skip(1).collect());
     }
@@ -346,6 +378,7 @@ fn main() -> ExitCode {
                 println!("       engine-cli sweep [--json FILE] [SPEC.json]...");
                 println!("       engine-cli search [--json FILE] [SPEC.json]...");
                 println!("With no spec files, runs the builtin 512x512 scenario suite.");
+                println!("--threads N pins the worker pool (any mode, sets LATSCHED_THREADS).");
                 return ExitCode::SUCCESS;
             }
             other => spec_paths.push(other.to_string()),

@@ -6,8 +6,18 @@
 //! embarrassingly parallel workloads (one independent table lookup per output
 //! element, or one independent simulation run per sweep grid point) this
 //! captures all the available speedup without a work-stealing runtime.
+//!
+//! Fine-grained element fills keep that static split ([`fill_chunks`] /
+//! [`fill_chunks_min`]): per-element costs are uniform, so equal chunks
+//! balance and the zero-coordination split is fastest. Coarse-grained batches
+//! with *heterogeneous* element costs — sweep grids mixing analytic-path,
+//! loop-path and lane-batch runs — use [`steal_chunks`] instead: workers
+//! claim fixed-size index ranges from one atomic counter, so a worker that
+//! drew cheap elements pulls more work instead of idling behind the slowest
+//! static chunk.
 
 use std::num::NonZeroUsize;
+use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::OnceLock;
 
 /// Batches smaller than this are filled on the calling thread by default; below
@@ -18,12 +28,22 @@ pub const PARALLEL_THRESHOLD: usize = 1 << 13;
 
 /// The number of worker threads used for batch evaluation.
 ///
-/// Cached after the first query: `available_parallelism` is a syscall (and on
-/// Linux a cgroup walk), and the simulation kernel consults this once per
-/// slot on its hot paths.
+/// The `LATSCHED_THREADS` environment variable (a positive integer) overrides
+/// the detected parallelism — benches and CI determinism checks use it to pin
+/// thread counts reproducibly (`engine-cli --threads N` sets it before the
+/// first query). Cached after the first query: `available_parallelism` is a
+/// syscall (and on Linux a cgroup walk), and the simulation kernel consults
+/// this once per slot on its hot paths.
 pub fn worker_threads() -> usize {
     static THREADS: OnceLock<usize> = OnceLock::new();
     *THREADS.get_or_init(|| {
+        if let Some(threads) = std::env::var("LATSCHED_THREADS")
+            .ok()
+            .and_then(|s| s.trim().parse::<usize>().ok())
+            .filter(|&t| t >= 1)
+        {
+            return threads;
+        }
         std::thread::available_parallelism()
             .map(NonZeroUsize::get)
             .unwrap_or(1)
@@ -75,6 +95,67 @@ where
     });
 }
 
+/// A raw base pointer into the output slice, shared across workers. Safety
+/// rests on the atomic claim counter: `fetch_add` hands every worker a
+/// distinct index range, so the per-claim sub-slices are disjoint.
+struct SlicePtr<T>(*mut T);
+
+// SAFETY: the pointer is only dereferenced on disjoint index ranges (one
+// atomic claim each), and `T: Send` lets those writes move across threads.
+unsafe impl<T: Send> Sync for SlicePtr<T> {}
+
+/// Fills `out` by calling `fill(offset, chunk)` for disjoint contiguous
+/// chunks of (up to) `chunk_len` elements, claimed by worker threads from a
+/// single atomic counter — the work-stealing counterpart of
+/// [`fill_chunks_min`].
+///
+/// Where the static split hands each worker one `len / threads` chunk up
+/// front, here a worker that finishes a claim immediately claims the next
+/// `chunk_len` range, so heterogeneous element costs (a sweep grid mixing
+/// closed-form analytic runs with slot-loop runs) load-balance instead of
+/// letting the slowest static chunk dominate wall-clock. Claim order is
+/// nondeterministic, but chunk *contents* are not: element `i` is always
+/// filled as element `i`, so any output-indexed merge (grid-order flattening,
+/// band-order monoid folds) is bit-exact regardless of interleave.
+///
+/// Slices shorter than `min_parallel` (or single-threaded processes) fill on
+/// the calling thread, exactly like [`fill_chunks_min`].
+pub fn steal_chunks<T, F>(out: &mut [T], min_parallel: usize, chunk_len: usize, fill: F)
+where
+    T: Send,
+    F: Fn(usize, &mut [T]) + Sync,
+{
+    let len = out.len();
+    let threads = worker_threads();
+    if len < min_parallel.max(2) || threads < 2 {
+        fill(0, out);
+        return;
+    }
+    let chunk_len = chunk_len.max(1);
+    let workers = threads.min(len.div_ceil(chunk_len));
+    let next = AtomicUsize::new(0);
+    let base = SlicePtr(out.as_mut_ptr());
+    std::thread::scope(|scope| {
+        for _ in 0..workers {
+            let next = &next;
+            let fill = &fill;
+            let base = &base;
+            scope.spawn(move || loop {
+                let start = next.fetch_add(chunk_len, Ordering::Relaxed);
+                if start >= len {
+                    break;
+                }
+                let take = chunk_len.min(len - start);
+                // SAFETY: `start` came from a unique `fetch_add` claim, so
+                // `[start, start + take)` ranges never overlap across workers
+                // and stay within `len`.
+                let chunk = unsafe { std::slice::from_raw_parts_mut(base.0.add(start), take) };
+                fill(start, chunk);
+            });
+        }
+    });
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -114,5 +195,34 @@ mod tests {
     #[test]
     fn worker_threads_is_positive() {
         assert!(worker_threads() >= 1);
+    }
+
+    #[test]
+    fn stolen_chunks_fill_every_element_exactly_once() {
+        for &(len, chunk) in &[(1usize, 1usize), (24, 1), (100, 7), (257, 64), (64, 64)] {
+            let mut out = vec![usize::MAX; len];
+            steal_chunks(&mut out, 2, chunk, |offset, chunk| {
+                for (i, v) in chunk.iter_mut().enumerate() {
+                    assert_eq!(*v, usize::MAX, "element claimed twice");
+                    *v = (offset + i) * 3;
+                }
+            });
+            assert!(out.iter().enumerate().all(|(i, &v)| v == i * 3));
+        }
+    }
+
+    #[test]
+    fn stolen_chunks_match_static_chunks_bit_for_bit() {
+        let mut stolen = vec![0u64; 513];
+        let mut static_split = vec![0u64; 513];
+        let fill = |offset: usize, chunk: &mut [u64]| {
+            for (i, v) in chunk.iter_mut().enumerate() {
+                let x = (offset + i) as u64;
+                *v = x.wrapping_mul(0x9E37_79B9_7F4A_7C15) ^ x;
+            }
+        };
+        steal_chunks(&mut stolen, 2, 8, fill);
+        fill_chunks_min(&mut static_split, 2, fill);
+        assert_eq!(stolen, static_split);
     }
 }

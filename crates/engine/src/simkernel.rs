@@ -222,6 +222,13 @@ const AUTO_TRACE_MIN_DRAWS: u64 = 1 << 12;
 /// back to the per-node walk.
 const STAGGER_RESIDUE_WORD_LIMIT: u64 = 1 << 22;
 
+/// Partial-conflict analytic dispatch threshold, as a denominator: plans with
+/// at most `period / ANALYTIC_CONFLICT_DENOM` conflicted slots replay hybrid
+/// (clean classes closed-form, conflicted classes on a narrowed slot loop).
+/// Beyond that fraction the narrowed loop approaches the full loop's cost and
+/// the closed-form side stops paying for its setup.
+const ANALYTIC_CONFLICT_DENOM: usize = 4;
+
 /// Byte budget of the deterministic loop's full-burst memo (1 MiB). The memo
 /// used to hold one `Vec<u32>` slot for every slot of the frame period, so a
 /// huge-period schedule (TDMA on a big window) pinned O(n) memory per run
@@ -858,28 +865,43 @@ fn run_frames_impl(
     // Closed-form analytic replay: on a conflict-free plan under scheduled
     // access every transmission delivers, so the whole run is a per-node
     // arithmetic-progression service problem — no slot loop needed (see
-    // `run_analytic_periodic` / `run_analytic_trace`).
-    if allow_analytic && matches!(config.mac, KernelMac::Scheduled) && plan.conflict_free() {
-        match &config.traffic {
-            KernelTraffic::Periodic { period } => {
-                return run_analytic_periodic(plan, config, *period, false);
+    // `run_analytic_periodic` / `run_analytic_trace`). Partially conflicted
+    // plans with a small enough conflicted minority replay hybrid: clean slot
+    // classes keep the closed form, only the conflicted classes loop (see
+    // `run_analytic_partial`).
+    if allow_analytic && matches!(config.mac, KernelMac::Scheduled) {
+        if plan.conflict_free() {
+            match &config.traffic {
+                KernelTraffic::Periodic { period } => {
+                    return run_analytic_periodic(plan, config, *period, false);
+                }
+                KernelTraffic::Staggered { period } => {
+                    return run_analytic_periodic(plan, config, *period, true);
+                }
+                KernelTraffic::Trace(trace) => {
+                    return run_analytic_trace(plan, config, trace);
+                }
+                KernelTraffic::Bernoulli { p }
+                    if n as u64 * config.slots >= AUTO_TRACE_MIN_DRAWS
+                        && n.div_ceil(64) as u64 * config.slots <= TRACE_WORD_LIMIT =>
+                {
+                    // The same auto-trace conversion the general loop applies:
+                    // compile the draws once, then replay the trace analytically.
+                    let trace = TrafficTrace::bernoulli(plan, config.seed, *p, config.slots)?;
+                    return run_analytic_trace(plan, config, &trace);
+                }
+                _ => {}
             }
-            KernelTraffic::Staggered { period } => {
-                return run_analytic_periodic(plan, config, *period, true);
+        } else if plan.conflicted_slots() * ANALYTIC_CONFLICT_DENOM <= plan.period() {
+            match &config.traffic {
+                KernelTraffic::Periodic { period } => {
+                    return run_analytic_partial(plan, config, *period, false);
+                }
+                KernelTraffic::Staggered { period } => {
+                    return run_analytic_partial(plan, config, *period, true);
+                }
+                _ => {}
             }
-            KernelTraffic::Trace(trace) => {
-                return run_analytic_trace(plan, config, trace);
-            }
-            KernelTraffic::Bernoulli { p }
-                if n as u64 * config.slots >= AUTO_TRACE_MIN_DRAWS
-                    && n.div_ceil(64) as u64 * config.slots <= TRACE_WORD_LIMIT =>
-            {
-                // The same auto-trace conversion the general loop applies:
-                // compile the draws once, then replay the trace analytically.
-                let trace = TrafficTrace::bernoulli(plan, config.seed, *p, config.slots)?;
-                return run_analytic_trace(plan, config, &trace);
-            }
-            _ => {}
         }
     }
 
@@ -1064,6 +1086,173 @@ fn run_analytic_trace(
         }
     }
     counts.packets_pending = counts.packets_generated - counts.packets_delivered;
+    counts.idle_slots = n as u64 * slots - counts.tx_slots - counts.rx_slots;
+    Ok(counts)
+}
+
+/// Hybrid analytic replay of periodic (aligned or staggered) traffic on a
+/// *partially* conflicted plan under scheduled access.
+///
+/// Under scheduled access, slot classes are dynamically decoupled: class `s`
+/// transmits only at slots `t ≡ s (mod m)`, its transmitters are exactly its
+/// own backlogged candidates, and interference at those slots resolves among
+/// them — no other class's queue state can influence an outcome. So the run
+/// splits exactly: clean classes (their slots carry no conflicts, every
+/// transmission delivers) keep the closed-form service chains of
+/// [`run_analytic_periodic`], while each conflicted class replays a *narrowed*
+/// slot loop visiting only its own service slots — `conflicted_slots / m` of
+/// the run instead of all of it — with the same resolve/settle/memo machinery
+/// as [`run_deterministic`]. Idle slots and pending packets close by
+/// conservation, exactly as the loop computes them. Bit-exact parity with
+/// [`run_frames_loop`] is pinned by the `sim_parity` suite and asserted inside
+/// every timed `--bench-replay` sample.
+fn run_analytic_partial(
+    plan: &FramePlan,
+    config: &KernelConfig,
+    traffic_period: u64,
+    staggered: bool,
+) -> Result<KernelCounts> {
+    let n = plan.num_nodes();
+    let slots = config.slots;
+    let mut counts = KernelCounts::default();
+    if slots == 0 {
+        return Ok(counts);
+    }
+    let m = plan.period() as u64;
+
+    // Clean classes: closed-form service chains, as in the fully-clean
+    // analytic replay, restricted to classes whose slot is unconflicted.
+    if staggered {
+        let slot_of = slot_classes(plan);
+        for (v, &ov) in plan.original_ids().iter().enumerate() {
+            let s = slot_of[v];
+            if s == u32::MAX || plan.slot_conflicted(s as usize) {
+                continue; // silent (pending only) or handled by the narrowed loop
+            }
+            let phase = u64::from(ov) % traffic_period;
+            if slots <= phase {
+                continue;
+            }
+            let generated = (slots - 1 - phase) / traffic_period + 1;
+            let arrivals = (0..generated).map(|k| phase + k * traffic_period);
+            let (delivered, latency) = settle_clean_chain(arrivals, u64::from(s), m, slots);
+            let degree = u64::from(plan.degree(v));
+            counts.packets_delivered += delivered;
+            counts.total_latency += latency;
+            counts.transmissions += delivered;
+            counts.receptions += delivered * degree;
+            counts.tx_slots += delivered;
+            counts.rx_slots += delivered * degree;
+        }
+    } else {
+        let generated = (slots - 1) / traffic_period + 1;
+        for slot in 0..plan.period() {
+            if plan.slot_conflicted(slot) {
+                continue;
+            }
+            let class = plan.slot_candidates(slot);
+            if class.is_empty() {
+                continue;
+            }
+            let degree_sum: u64 = class.clone().map(|v| u64::from(plan.degree(v))).sum();
+            let arrivals = (0..generated).map(|k| k * traffic_period);
+            let (delivered, latency) = settle_clean_chain(arrivals, slot as u64, m, slots);
+            let size = class.len() as u64;
+            counts.packets_delivered += delivered * size;
+            counts.total_latency += latency * size;
+            counts.transmissions += delivered * size;
+            counts.receptions += delivered * degree_sum;
+            counts.tx_slots += delivered * size;
+            counts.rx_slots += delivered * degree_sum;
+        }
+    }
+
+    // Conflicted classes: the narrowed slot loop. Queue state is indexed by
+    // relabelled id but only conflicted-class entries are ever touched; the
+    // full-burst memo and interference buffers are the loop kernel's own.
+    let mut buffers = SlotBuffers::new(n);
+    let mut tx_list: Vec<u32> = Vec::with_capacity(n);
+    let mut queues = Queues {
+        popped: vec![0u64; n],
+        attempts: vec![0u32; n],
+        queued_total: 0, // unused: the narrowed loop never skips on it
+        traffic_period,
+        max_retries: config.max_retries,
+        staggered_ids: staggered.then(|| plan.original_ids()),
+    };
+    let mut full_burst_memo = FullBurstMemo::new(FULL_BURST_MEMO_BYTE_BUDGET);
+    for slot in 0..plan.period() {
+        if !plan.slot_conflicted(slot) {
+            continue;
+        }
+        let class = plan.slot_candidates(slot);
+        if class.is_empty() {
+            continue;
+        }
+        let mut t = slot as u64;
+        while t < slots {
+            let aligned_generated = t / traffic_period + 1;
+            tx_list.clear();
+            for v in class.clone() {
+                let generated = if staggered {
+                    queues.generated(v, t)
+                } else {
+                    aligned_generated
+                };
+                if generated > queues.popped[v] {
+                    tx_list.push(v as u32);
+                }
+            }
+            if !tx_list.is_empty() {
+                let tx_count = tx_list.len();
+                // `settle` decrements the network backlog on every delivery
+                // or drop; the narrowed loop never reads it (no empty-slot
+                // skip), so top it up per burst to keep the counter unsigned.
+                queues.queued_total += tx_count as u64;
+                let full_burst = tx_count == class.len();
+                if full_burst {
+                    if let Some((decoded, rx)) = full_burst_memo.get(plan, slot) {
+                        counts.transmissions += tx_count as u64;
+                        for (&v, &decoded) in tx_list.iter().zip(decoded.iter()) {
+                            let v = v as usize;
+                            queues.settle(&mut counts, v, decoded, plan.degree(v), t);
+                        }
+                        counts.tx_slots += tx_count as u64;
+                        counts.rx_slots += *rx;
+                        t += m;
+                        continue;
+                    }
+                }
+                let rx = buffers.resolve(plan, &tx_list);
+                counts.transmissions += tx_count as u64;
+                for (&v, &decoded) in tx_list.iter().zip(&buffers.outcomes[..tx_count]) {
+                    let v = v as usize;
+                    queues.settle(&mut counts, v, decoded, plan.degree(v), t);
+                }
+                counts.tx_slots += tx_count as u64;
+                counts.rx_slots += rx;
+                if full_burst {
+                    full_burst_memo.insert(plan, slot, &buffers.outcomes[..tx_count], rx);
+                }
+            }
+            t += m;
+        }
+    }
+
+    // Global generation closed form, then pending and idle by conservation —
+    // the same identities the loop kernels close with.
+    if staggered {
+        for id in 0..n as u64 {
+            let phase = id % traffic_period;
+            if slots > phase {
+                counts.packets_generated += (slots - 1 - phase) / traffic_period + 1;
+            }
+        }
+    } else {
+        counts.packets_generated = ((slots - 1) / traffic_period + 1) * n as u64;
+    }
+    counts.packets_pending =
+        counts.packets_generated - counts.packets_delivered - counts.packets_dropped;
     counts.idle_slots = n as u64 * slots - counts.tx_slots - counts.rx_slots;
     Ok(counts)
 }
@@ -1494,15 +1683,26 @@ impl LaneTally {
 /// masking a batched draw with the backlog is indistinguishable from the
 /// scalar kernel's conditional draws.
 ///
-/// Lanes support deterministic traffic (periodic or staggered — generation
-/// must be lane-uniform so backlog refills are one mask store) under
-/// scheduled or slotted-ALOHA access, on clean *and* conflicted plans.
+/// Lanes support deterministic traffic (periodic or staggered — generation is
+/// lane-uniform, so backlog refills are one mask store) *and* Bernoulli
+/// traffic, under scheduled or slotted-ALOHA access, on clean and conflicted
+/// plans. Bernoulli generation draws are batched exactly like the MAC's
+/// ([`CounterRng::bernoulli_lanes`] over per-`(node, lane)` hoisted
+/// traffic-stream keys), and the per-lane backlog counters it needs —
+/// per-lane queue lengths are no longer uniform — are bit-planed like the
+/// retry clock: plane `k` of a node holds bit `k` of every lane's queue
+/// length, incremented by a masked half-adder chain on generation and
+/// decremented by its borrow-chain mirror on pops, with the backlog word
+/// recovered as the planes' OR. Only arrival timestamps (for delivery
+/// latency) stay per-event scalar, touched on generation and pop events
+/// alone.
 ///
 /// # Errors
 ///
 /// Returns [`EngineError::InvalidKernelConfig`] for an empty or over-64 seed
-/// batch, a stochastic (Bernoulli/trace) traffic model, a trace-replayed MAC,
-/// a zero traffic period or an out-of-range ALOHA probability.
+/// batch, a trace traffic model (per-seed traces have no lane batching — use
+/// the Bernoulli model they were compiled from), a trace-replayed MAC, a zero
+/// traffic period or an out-of-range probability.
 pub fn run_frames_lanes(
     plan: &FramePlan,
     config: &KernelConfig,
@@ -1514,6 +1714,21 @@ pub fn run_frames_lanes(
             "lane batches take 1..=64 seeds, got {lanes}"
         )));
     }
+    // Traffic mode: deterministic (lane-uniform generation) or Bernoulli
+    // (lane-sliced generation draws with bit-planed backlog counters). The
+    // deterministic arms keep `(traffic_period, staggered)`; the Bernoulli
+    // arm never reads them.
+    let bernoulli_p = match &config.traffic {
+        KernelTraffic::Bernoulli { p } => {
+            if !(0.0..=1.0).contains(p) {
+                return Err(EngineError::InvalidKernelConfig(
+                    "bernoulli probability must be in [0, 1]".into(),
+                ));
+            }
+            Some(*p)
+        }
+        _ => None,
+    };
     let (traffic_period, staggered) = match &config.traffic {
         KernelTraffic::Periodic { period } if *period > 0 => (*period, false),
         KernelTraffic::Staggered { period } if *period > 0 => (*period, true),
@@ -1522,9 +1737,12 @@ pub fn run_frames_lanes(
                 "periodic traffic period must be positive".into(),
             ));
         }
+        // The period is meaningless under Bernoulli traffic; 1 keeps the
+        // (unused) deterministic arithmetic well-defined.
+        KernelTraffic::Bernoulli { .. } => (1, false),
         other => {
             return Err(EngineError::InvalidKernelConfig(format!(
-                "lane batches need deterministic (periodic/staggered) traffic, got {other:?}"
+                "lane batches need periodic, staggered or bernoulli traffic, got {other:?}"
             )));
         }
     };
@@ -1571,21 +1789,58 @@ pub fn run_frames_lanes(
     };
     let residues = staggered.then(|| StaggerResidues::build(plan, traffic_period));
 
-    // Lane-sliced queue state: implicit arithmetic-progression queues as in
-    // the deterministic scalar loop, one popped counter per (node, lane) —
-    // touched only on pop events — plus per-node lane backlog words and the
-    // all-lane queued total for the O(1) empty-slot skip (generation is
-    // lane-uniform, so the total reaches zero only when every lane is
-    // drained). The retry clock is bit-planed: plane `k` of a node holds bit
-    // `k` of every lane's attempt count, so the per-transmission increment
-    // and the retry-budget comparison are masked half-adder chains over
-    // whole lane words instead of per-lane counter updates.
+    // Per-(node, lane) hoisted traffic keys for Bernoulli generation: the
+    // same batching as the MAC draws, on the traffic stream.
+    let (traffic_hoisted, traffic_threshold) = match bernoulli_p {
+        Some(p) => {
+            let rngs: Vec<CounterRng> = seeds.iter().map(|&s| CounterRng::traffic(s)).collect();
+            let mut hoisted = vec![0u64; n * lanes];
+            for (v, &ov) in orig.iter().enumerate() {
+                for (l, rng) in rngs.iter().enumerate() {
+                    hoisted[v * lanes + l] = rng.hoist_node(u64::from(ov));
+                }
+            }
+            (hoisted, CounterRng::bernoulli_threshold(p))
+        }
+        None => (Vec::new(), 0),
+    };
+
+    // Lane-sliced queue state. Deterministic traffic keeps implicit
+    // arithmetic-progression queues as in the scalar loop: one popped counter
+    // per (node, lane) — touched only on pop events — with lane-uniform
+    // generation refilling whole backlog words. Bernoulli traffic has
+    // non-uniform per-lane queue lengths instead, so those become bit planes
+    // mirroring the retry clock below: plane `k` of a node holds bit `k` of
+    // every lane's queue length (a length never exceeds the slot count, so
+    // the plane width is the slot count's bit length), incremented by a
+    // masked half-adder chain on generation draws and decremented by the
+    // borrow-chain mirror on pops; the backlog word is the planes' OR. Only
+    // arrival timestamps stay per-event scalar (delivery latency needs the
+    // head packet's generation slot), in per-(node, lane) FIFOs touched on
+    // generation and pop events alone. Both modes share the per-node lane
+    // backlog words and the all-lane queued total for the O(1) skip of slots
+    // with nothing queued anywhere. The retry clock is bit-planed: plane `k`
+    // of a node holds bit `k` of every lane's attempt count, so the
+    // per-transmission increment and the retry-budget comparison are masked
+    // half-adder chains over whole lane words instead of per-lane counter
+    // updates.
     let target = u64::from(config.max_retries) + 1;
     let attempt_bits = (64 - target.leading_zeros()) as usize;
-    let mut popped = vec![0u64; n * lanes];
+    let qlen_bits = match bernoulli_p {
+        Some(_) => (64 - config.slots.leading_zeros()) as usize,
+        None => 0,
+    };
+    let mut popped = vec![0u64; if bernoulli_p.is_some() { 0 } else { n * lanes }];
+    let mut qlen_planes = vec![0u64; n * qlen_bits];
+    let mut arrival_times: Vec<VecDeque<u64>> = if bernoulli_p.is_some() {
+        vec![VecDeque::new(); n * lanes]
+    } else {
+        Vec::new()
+    };
     let mut attempt_planes = vec![0u64; n * attempt_bits];
     let mut backlog = vec![0u64; n];
     let mut queued_total: u64 = 0;
+    let mut gen_tally = LaneTally::new();
 
     // Per-slot interference state, lane-wide: tx/once/twice words per node,
     // cleared via touched lists rather than O(n) sweeps.
@@ -1621,9 +1876,43 @@ pub fn run_frames_lanes(
         }
     };
     for t in 0..config.slots {
-        // Lane-uniform generation: a generating node becomes backlogged in
-        // every lane (its per-lane queue lengths differ, but all grow by one).
-        if staggered {
+        // Traffic generation. Bernoulli: one batched lane draw per node
+        // (pure functions of `(seed, node, slot)`, bit-identical to the
+        // scalar kernel's draws), folded into the bit-planed queue-length
+        // counters by a half-adder increment over the drawn lanes; the
+        // per-lane generated tally and the arrival-time pushes ride the same
+        // events. Deterministic traffic is lane-uniform: a generating node
+        // becomes backlogged in every lane (its per-lane queue lengths
+        // differ, but all grow by one).
+        if bernoulli_p.is_some() {
+            for v in 0..n {
+                let gen = CounterRng::bernoulli_lanes(
+                    &traffic_hoisted[v * lanes..(v + 1) * lanes],
+                    traffic_threshold,
+                    t,
+                );
+                if gen == 0 {
+                    continue;
+                }
+                gen_tally.push(gen);
+                queued_total += u64::from(gen.count_ones());
+                backlog[v] |= gen;
+                let planes = &mut qlen_planes[v * qlen_bits..(v + 1) * qlen_bits];
+                let mut carry = gen;
+                for plane in planes.iter_mut() {
+                    let sum = *plane ^ carry;
+                    carry &= *plane;
+                    *plane = sum;
+                }
+                debug_assert_eq!(carry, 0, "queue length exceeded the plane width");
+                let mut bits = gen;
+                while bits != 0 {
+                    let l = bits.trailing_zeros() as usize;
+                    bits &= bits - 1;
+                    arrival_times[v * lanes + l].push_back(t);
+                }
+            }
+        } else if staggered {
             let r = (t % traffic_period) as usize;
             match &residues {
                 Some(Some(res)) => {
@@ -1784,28 +2073,59 @@ pub fn run_frames_lanes(
                 for plane in attempt_planes[v * attempt_bits..(v + 1) * attempt_bits].iter_mut() {
                     *plane &= !pop_lanes;
                 }
-                let phase = phase_of(v);
-                let gen = if staggered {
-                    if t >= phase {
-                        (t - phase) / traffic_period + 1
-                    } else {
-                        0
+                if bernoulli_p.is_some() {
+                    // Half-adder decrement (borrow-chain mirror of the
+                    // generation increment) of the popping lanes' queue
+                    // lengths; the backlog word is the planes' OR. Latency
+                    // needs the head arrival slot — the one per-event scalar
+                    // read left in the Bernoulli path.
+                    let planes = &mut qlen_planes[v * qlen_bits..(v + 1) * qlen_bits];
+                    let mut borrow = pop_lanes;
+                    let mut nonzero = 0u64;
+                    for plane in planes.iter_mut() {
+                        let sum = *plane ^ borrow;
+                        borrow &= !*plane;
+                        *plane = sum;
+                        nonzero |= sum;
+                    }
+                    debug_assert_eq!(borrow, 0, "popped an empty lane queue");
+                    backlog[v] = nonzero;
+                    let mut bits = pop_lanes;
+                    while bits != 0 {
+                        let l = bits.trailing_zeros() as usize;
+                        bits &= bits - 1;
+                        let generated_at = arrival_times[v * lanes + l]
+                            .pop_front()
+                            .expect("transmitters are backlogged");
+                        if delivered_lanes >> l & 1 == 1 {
+                            counts[l].total_latency += t - generated_at;
+                        }
+                        queued_total -= 1;
                     }
                 } else {
-                    aligned_generated
-                };
-                let mut bits = pop_lanes;
-                while bits != 0 {
-                    let l = bits.trailing_zeros() as usize;
-                    bits &= bits - 1;
-                    let idx = v * lanes + l;
-                    if delivered_lanes >> l & 1 == 1 {
-                        counts[l].total_latency += t - (phase + popped[idx] * traffic_period);
-                    }
-                    popped[idx] += 1;
-                    queued_total -= 1;
-                    if gen <= popped[idx] {
-                        backlog[v] &= !(1u64 << l);
+                    let phase = phase_of(v);
+                    let gen = if staggered {
+                        if t >= phase {
+                            (t - phase) / traffic_period + 1
+                        } else {
+                            0
+                        }
+                    } else {
+                        aligned_generated
+                    };
+                    let mut bits = pop_lanes;
+                    while bits != 0 {
+                        let l = bits.trailing_zeros() as usize;
+                        bits &= bits - 1;
+                        let idx = v * lanes + l;
+                        if delivered_lanes >> l & 1 == 1 {
+                            counts[l].total_latency += t - (phase + popped[idx] * traffic_period);
+                        }
+                        popped[idx] += 1;
+                        queued_total -= 1;
+                        if gen <= popped[idx] {
+                            backlog[v] &= !(1u64 << l);
+                        }
                     }
                 }
             }
@@ -1858,26 +2178,38 @@ pub fn run_frames_lanes(
     }
 
     if config.slots > 0 {
-        // Lane-uniform closed-form generation totals (as in the scalar
-        // deterministic loop), then pending and idle by conservation.
-        let generated = if staggered {
-            (0..n as u64)
-                .map(|id| {
-                    let phase = id % traffic_period;
-                    if config.slots > phase {
-                        (config.slots - 1 - phase) / traffic_period + 1
-                    } else {
-                        0
-                    }
-                })
-                .sum()
+        if bernoulli_p.is_some() {
+            // Per-lane generated totals come off the generation tally (the
+            // draws are lane-specific); pending and idle by conservation.
+            gen_tally.flush();
+            for (l, lane) in counts.iter_mut().enumerate() {
+                lane.packets_generated = gen_tally.totals[l];
+                lane.packets_pending =
+                    gen_tally.totals[l] - lane.packets_delivered - lane.packets_dropped;
+                lane.idle_slots = n as u64 * config.slots - lane.tx_slots - lane.rx_slots;
+            }
         } else {
-            ((config.slots - 1) / traffic_period + 1) * n as u64
-        };
-        for lane in counts.iter_mut() {
-            lane.packets_generated = generated;
-            lane.packets_pending = generated - lane.packets_delivered - lane.packets_dropped;
-            lane.idle_slots = n as u64 * config.slots - lane.tx_slots - lane.rx_slots;
+            // Lane-uniform closed-form generation totals (as in the scalar
+            // deterministic loop), then pending and idle by conservation.
+            let generated = if staggered {
+                (0..n as u64)
+                    .map(|id| {
+                        let phase = id % traffic_period;
+                        if config.slots > phase {
+                            (config.slots - 1 - phase) / traffic_period + 1
+                        } else {
+                            0
+                        }
+                    })
+                    .sum()
+            } else {
+                ((config.slots - 1) / traffic_period + 1) * n as u64
+            };
+            for lane in counts.iter_mut() {
+                lane.packets_generated = generated;
+                lane.packets_pending = generated - lane.packets_delivered - lane.packets_dropped;
+                lane.idle_slots = n as u64 * config.slots - lane.tx_slots - lane.rx_slots;
+            }
         }
     }
     Ok(counts)
@@ -2328,6 +2660,54 @@ mod tests {
     }
 
     #[test]
+    fn partial_conflict_analytic_matches_the_loop_bit_for_bit() {
+        // A conflicted minority (slot 0 of 8) below the dispatch threshold:
+        // clean classes replay closed-form, only the conflicted class loops.
+        // Both the direct hybrid kernel and the `run_frames` dispatch must be
+        // bit-identical to the full slot loop, including with a silent node.
+        for assignment in [&[0usize, 4, 0][..], &[0, 9, 0][..]] {
+            let partial = plan(assignment, 8);
+            assert!(!partial.conflict_free());
+            assert!(partial.conflicted_slots() * ANALYTIC_CONFLICT_DENOM <= partial.period());
+            for (traffic_period, staggered) in [(1u64, false), (3, false), (2, true), (5, true)] {
+                for (slots, retries) in [(0u64, 0u32), (1, 0), (7, 2), (333, 1), (400, 0)] {
+                    let traffic = if staggered {
+                        KernelTraffic::Staggered {
+                            period: traffic_period,
+                        }
+                    } else {
+                        KernelTraffic::Periodic {
+                            period: traffic_period,
+                        }
+                    };
+                    let cfg = config(slots, traffic, retries);
+                    let looped = run_frames_loop(&partial, &cfg).unwrap();
+                    let hybrid =
+                        run_analytic_partial(&partial, &cfg, traffic_period, staggered).unwrap();
+                    assert_eq!(
+                        hybrid, looped,
+                        "assignment {assignment:?} period {traffic_period} staggered \
+                         {staggered} slots {slots} retries {retries}"
+                    );
+                    assert_eq!(run_frames(&partial, &cfg).unwrap(), looped);
+                    if slots > 100 {
+                        assert!(looped.collisions > 0, "the shared slot must conflict");
+                    }
+                }
+            }
+        }
+        // Above the threshold (half the period conflicted) the hybrid is not
+        // dispatched, but parity still holds when called directly.
+        let heavy = plan(&[0, 1, 0], 2);
+        assert!(heavy.conflicted_slots() * ANALYTIC_CONFLICT_DENOM > heavy.period());
+        let cfg = config(250, KernelTraffic::Periodic { period: 4 }, 1);
+        assert_eq!(
+            run_analytic_partial(&heavy, &cfg, 4, false).unwrap(),
+            run_frames_loop(&heavy, &cfg).unwrap()
+        );
+    }
+
+    #[test]
     fn aloha_decision_traces_replay_inline_aloha_bit_for_bit() {
         // Period-1 all-candidates plan (classic slotted ALOHA): replaying MAC
         // decisions from a compiled bitmap must equal inline MAC draws.
@@ -2367,6 +2747,7 @@ mod tests {
                 for traffic in [
                     KernelTraffic::Periodic { period: 3 },
                     KernelTraffic::Staggered { period: 4 },
+                    KernelTraffic::Bernoulli { p: 0.3 },
                 ] {
                     for batch in [1usize, 5, 64] {
                         let mut cfg = config(150, traffic.clone(), 1);
@@ -2394,8 +2775,16 @@ mod tests {
         let cfg = config(10, KernelTraffic::Periodic { period: 2 }, 0);
         assert!(run_frames_lanes(&p, &cfg, &[]).is_err());
         assert!(run_frames_lanes(&p, &cfg, &vec![1u64; 65]).is_err());
+        // Bernoulli traffic is lane-eligible now that backlog counters are
+        // bit-planed; pre-compiled traces (both streams) still are not.
         let bernoulli_cfg = config(10, KernelTraffic::Bernoulli { p: 0.5 }, 0);
-        assert!(run_frames_lanes(&p, &bernoulli_cfg, &[1, 2]).is_err());
+        assert_eq!(
+            run_frames_lanes(&p, &bernoulli_cfg, &[1, 2]).unwrap().len(),
+            2
+        );
+        let traffic_trace = TrafficTrace::bernoulli(&p, 1, 0.5, 10).unwrap();
+        let traced_cfg = config(10, KernelTraffic::Trace(Arc::new(traffic_trace)), 0);
+        assert!(run_frames_lanes(&p, &traced_cfg, &[1, 2]).is_err());
         let mut traced_mac_cfg = cfg.clone();
         let trace = TrafficTrace::aloha_decisions(&p, 1, 0.5, 10).unwrap();
         traced_mac_cfg.mac = KernelMac::AlohaTrace(Arc::new(trace));

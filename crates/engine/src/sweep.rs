@@ -20,14 +20,17 @@
 //!    draws in being hashed once per sweep instead of once per run;
 //! 4. dispatches the seed axis to the bit-sliced lane kernel
 //!    ([`crate::run_frames_lanes`]) where eligible — ALOHA access over
-//!    deterministic (periodic/staggered) traffic — packing up to 64 seeds of
+//!    periodic, staggered *or* Bernoulli traffic — packing up to 64 seeds of
 //!    one `(window, traffic, retries)` grid point into one pass over the slot
-//!    structure, bit-identical to scalar per-seed runs;
+//!    structure, bit-identical to scalar per-seed runs (lane-dispatched
+//!    Bernoulli grids skip trace prefetch entirely: the lane kernel draws
+//!    generation bits inline, bit-identical to trace replay);
 //! 5. fans the expanded grid (scalar runs or lane batches) across all cores
-//!    with the engine's scoped-thread executor
-//!    ([`crate::parallel::fill_chunks_min`]) and aggregates the per-run
-//!    [`KernelCounts`] into a [`SweepReport`], including per-tier cache
-//!    hit/miss/entry counters ([`SweepCacheStats`]).
+//!    with the engine's work-stealing executor
+//!    ([`crate::parallel::steal_chunks`]) — heterogeneous run costs (analytic
+//!    vs loop vs lane batches) load-balance via atomic chunk claims — and
+//!    aggregates the per-run [`KernelCounts`] into a [`SweepReport`],
+//!    including per-tier cache hit/miss/entry counters ([`SweepCacheStats`]).
 //!
 //! Because all three tiers are content-addressed, a *warm* repeat of a sweep
 //! (same [`SweepCaches`]) skips schedule compilation, plan fusion and trace
@@ -73,7 +76,7 @@ use crate::aggregate::{GroupBy, GroupFolds, GroupReport, GroupSpec, OnlineFold};
 use crate::cache::{AdjacencyCache, PlanCache, ScheduleCache, SearchCache, TraceCache};
 use crate::error::{EngineError, Result};
 use crate::frames::InterferenceCsr;
-use crate::parallel::{fill_chunks_min, worker_threads};
+use crate::parallel::{steal_chunks, worker_threads};
 use crate::scenario::{get_u64, invalid, ShapeSpec};
 use crate::simkernel::{
     run_frames, run_frames_lanes, KernelConfig, KernelCounts, KernelMac, KernelTraffic,
@@ -821,8 +824,15 @@ impl GridContext<'_> {
         let retries = self.spec.retries[ri];
         let traffic = match &self.spec.traffic {
             SweepTraffic::Bernoulli(loads) => {
+                // Lane-dispatched grids prefetch no traces: the lane kernel
+                // draws generation bits inline from the counter RNG, which is
+                // bit-identical to replaying a compiled trace of the same
+                // (seed, p) — so the fallback changes dispatch, not results.
                 let key = (w, seed, loads[ti].to_bits());
-                KernelTraffic::Trace(Arc::clone(&self.traces[&key]))
+                match self.traces.get(&key) {
+                    Some(trace) => KernelTraffic::Trace(Arc::clone(trace)),
+                    None => KernelTraffic::Bernoulli { p: loads[ti] },
+                }
             }
             SweepTraffic::Periodic(periods) => KernelTraffic::Periodic {
                 period: periods[ti],
@@ -882,21 +892,18 @@ impl GridContext<'_> {
 /// The lane batches of a grid, if its seed axis is lane-dispatchable:
 /// `(first run index, lane count)` pairs covering every run, in grid order.
 ///
-/// Lane dispatch applies to ALOHA access over deterministic (periodic or
-/// staggered) traffic with a multi-seed axis: those runs need the slot loop
+/// Lane dispatch applies to ALOHA access over periodic, staggered or
+/// Bernoulli traffic with a multi-seed axis: those runs need the slot loop
 /// (the MAC is stochastic), differ only in seed within one `(window, traffic,
 /// retries)` grid point, and the seed axis is innermost in run order — so
-/// every batch of up to 64 seeds is a contiguous run range. Tiling grids keep
-/// the scalar path (clean scheduled runs replay analytically, faster than any
-/// loop), as do Bernoulli-traffic grids (per-seed traffic traces have no
-/// lane-uniform generation).
+/// every batch of up to 64 seeds is a contiguous run range. Bernoulli grids
+/// became eligible when the lane kernel grew bit-planed backlog counters:
+/// batched `bernoulli_lanes` draws replace per-seed traffic traces (and the
+/// per-(window, seed) MAC decision bitmaps with them), bit-identically.
+/// Tiling grids keep the scalar path (clean scheduled runs replay
+/// analytically, faster than any loop).
 fn lane_tasks(spec: &SweepSpec) -> Option<Vec<(usize, usize)>> {
-    let eligible = matches!(spec.mac, SweepMac::Aloha { .. })
-        && matches!(
-            spec.traffic,
-            SweepTraffic::Periodic(_) | SweepTraffic::Staggered(_)
-        )
-        && spec.seeds.len() > 1;
+    let eligible = matches!(spec.mac, SweepMac::Aloha { .. }) && spec.seeds.len() > 1;
     if !eligible {
         return None;
     }
@@ -990,12 +997,17 @@ pub fn run_sweep(spec: &SweepSpec, caches: &SweepCaches) -> Result<SweepReport> 
         SweepMac::Aloha { p } => KernelMac::Aloha { p },
     };
 
+    // The lane plan decides prefetch: lane-dispatched grids draw generation
+    // and MAC bits inline inside the bit-sliced kernel, so compiling per-seed
+    // traces for them would be pure setup waste.
+    let lanes = lane_tasks(spec);
+
     // Per-(window, seed, load) compiled traffic traces, fetched through the
     // content-addressed trace tier: shared across the retry axis of the grid
     // within this sweep, and across sweeps reusing the same caches (warm
     // sweeps skip the `n × slots` draw compilation entirely).
     let mut traces: HashMap<(usize, u64, u64), Arc<TrafficTrace>> = HashMap::new();
-    if let SweepTraffic::Bernoulli(loads) = &spec.traffic {
+    if let (SweepTraffic::Bernoulli(loads), None) = (&spec.traffic, &lanes) {
         for (w, (_, _, plan)) in plans.iter().enumerate() {
             for &p in loads {
                 for seed in spec.seeds.iter() {
@@ -1012,11 +1024,13 @@ pub fn run_sweep(spec: &SweepSpec, caches: &SweepCaches) -> Result<SweepReport> 
     // same stream-tagged trace tier: when ALOHA runs replay compiled
     // Bernoulli traffic (the scalar path), the MAC's per-(node, slot)
     // transmission draws are hashed once per (window, seed) and shared across
-    // the load and retry axes — and across warm sweeps. Deterministic-traffic
-    // ALOHA grids skip this: their seed axis dispatches to the lane kernel,
-    // which batches MAC draws directly.
+    // the load and retry axes — and across warm sweeps. Lane-dispatched
+    // grids (any multi-seed ALOHA grid) skip this: the lane kernel batches
+    // MAC draws directly.
     let mut mac_traces: HashMap<(usize, u64), Arc<TrafficTrace>> = HashMap::new();
-    if let (SweepMac::Aloha { p }, SweepTraffic::Bernoulli(_)) = (spec.mac, &spec.traffic) {
+    if let (SweepMac::Aloha { p }, SweepTraffic::Bernoulli(_), None) =
+        (spec.mac, &spec.traffic, &lanes)
+    {
         for (w, (_, nodes, plan)) in plans.iter().enumerate() {
             // Windows past the trace size cap keep inline per-slot MAC draws.
             if nodes.div_ceil(64) as u64 * spec.slots > TRACE_WORD_LIMIT {
@@ -1042,17 +1056,18 @@ pub fn run_sweep(spec: &SweepSpec, caches: &SweepCaches) -> Result<SweepReport> 
         mac,
     };
     let num_runs = spec.num_runs();
-    // Resolve the grouping and the lane plan before the timed run phase so
-    // misconfigured specs fail fast and task bookkeeping counts as setup.
+    // Resolve the grouping before the timed run phase so misconfigured specs
+    // fail fast and bookkeeping counts as setup.
     let grouping = match &spec.mode {
         SweepMode::Full => None,
         SweepMode::Streaming(group_spec) => Some(GroupBy::for_spec(spec, group_spec)?),
     };
-    let lanes = lane_tasks(spec);
     let setup_seconds = setup_start.elapsed().as_secs_f64();
 
     // Execute the grid: one independent kernel run (or 64-seed lane batch)
-    // per work item, fanned across worker threads.
+    // per work item, fanned across worker threads with work-stealing claims —
+    // run costs are heterogeneous (analytic replays vs slot loops vs lane
+    // batches), so workers that draw cheap items pull more instead of idling.
     let run_start = Instant::now();
     let (aggregate, groups, per_run) = match (&grouping, &lanes) {
         (None, None) => {
@@ -1062,7 +1077,7 @@ pub fn run_sweep(spec: &SweepSpec, caches: &SweepCaches) -> Result<SweepReport> 
             results.resize_with(num_runs, || None);
             {
                 let ctx = &ctx;
-                fill_chunks_min(&mut results, 2, |offset, chunk| {
+                steal_chunks(&mut results, 2, 1, |offset, chunk| {
                     for (i, out) in chunk.iter_mut().enumerate() {
                         let point = ctx.point(offset + i);
                         *out = Some(run_frames(point.plan, &point.config));
@@ -1087,7 +1102,7 @@ pub fn run_sweep(spec: &SweepSpec, caches: &SweepCaches) -> Result<SweepReport> 
             results.resize_with(tasks.len(), || None);
             {
                 let ctx = &ctx;
-                fill_chunks_min(&mut results, 2, |offset, chunk| {
+                steal_chunks(&mut results, 2, 1, |offset, chunk| {
                     for (i, out) in chunk.iter_mut().enumerate() {
                         let (first, lanes) = tasks[offset + i];
                         *out = Some(ctx.lane_batch(first, lanes));
@@ -1109,14 +1124,15 @@ pub fn run_sweep(spec: &SweepSpec, caches: &SweepCaches) -> Result<SweepReport> 
             // into local per-group accumulators; the folds are commutative
             // monoids over exact integers, so the barrier merge (in band
             // order) reproduces the sequential fold bit for bit regardless of
-            // how `fill_chunks_min` interleaves the bands.
-            let bands = worker_threads().min(num_runs).max(1);
+            // which worker stole which band. Bands oversubscribe the workers
+            // 4× so stealing has slack to balance heterogeneous band costs.
+            let bands = (worker_threads() * 4).min(num_runs).max(1);
             let per_band = num_runs.div_ceil(bands);
             let mut slots: Vec<Option<Result<BandFold>>> = Vec::new();
             slots.resize_with(bands, || None);
             {
                 let ctx = &ctx;
-                fill_chunks_min(&mut slots, 2, |offset, chunk| {
+                steal_chunks(&mut slots, 2, 1, |offset, chunk| {
                     for (b, out) in chunk.iter_mut().enumerate() {
                         let start = (offset + b) * per_band;
                         let end = (start + per_band).min(num_runs);
@@ -1141,14 +1157,15 @@ pub fn run_sweep(spec: &SweepSpec, caches: &SweepCaches) -> Result<SweepReport> 
             // Streaming mode, lane-dispatched: bands cover contiguous *task*
             // ranges; every lane's counts fold at its own run index (`first +
             // lane`), and the folds stay commutative monoids, so the barrier
-            // merge is as bit-exact as the scalar streaming path.
-            let bands = worker_threads().min(tasks.len()).max(1);
+            // merge is as bit-exact as the scalar streaming path. Bands
+            // oversubscribe the workers 4× for stealing slack.
+            let bands = (worker_threads() * 4).min(tasks.len()).max(1);
             let per_band = tasks.len().div_ceil(bands);
             let mut slots: Vec<Option<Result<BandFold>>> = Vec::new();
             slots.resize_with(bands, || None);
             {
                 let ctx = &ctx;
-                fill_chunks_min(&mut slots, 2, |offset, chunk| {
+                steal_chunks(&mut slots, 2, 1, |offset, chunk| {
                     for (b, out) in chunk.iter_mut().enumerate() {
                         let start = (offset + b) * per_band;
                         let end = (start + per_band).min(tasks.len());
@@ -1607,31 +1624,74 @@ mod tests {
 
     #[test]
     fn mac_decision_bitmaps_are_cached_for_bernoulli_aloha_sweeps() {
-        // ALOHA over Bernoulli traffic compiles one traffic trace and one MAC
-        // decision bitmap per seed; both tiers replay warm, and the results
-        // are unchanged by where the draws came from.
+        // A *single-seed* ALOHA × Bernoulli grid keeps the scalar trace path:
+        // one traffic trace and one MAC decision bitmap for the seed, both
+        // replayed warm, and results unchanged by where the draws came from.
+        // (Multi-seed grids lane-dispatch and compile no traces at all — see
+        // `bernoulli_lane_sweeps_match_scalar_trace_sweeps`.)
         let spec = SweepSpec {
             mac: SweepMac::Aloha { p: 0.3 },
             traffic: SweepTraffic::Bernoulli(vec![0.2]),
-            seeds: vec![1, 9].into(),
+            seeds: vec![9].into(),
             retries: vec![1, 4],
             ..tiny_spec()
         };
         let caches = SweepCaches::new();
         let cold = run_sweep(&spec, &caches).unwrap();
         assert_eq!(
-            cold.caches.traces.misses, 4,
-            "one traffic trace + one MAC bitmap per seed"
+            cold.caches.traces.misses, 2,
+            "one traffic trace + one MAC bitmap for the seed"
         );
         let warm = run_sweep(&spec, &caches).unwrap();
         assert_eq!(
             warm.caches.traces.misses, 0,
             "warm sweeps reuse MAC bitmaps"
         );
-        assert_eq!(warm.caches.traces.hits, 4);
-        assert_eq!(warm.caches.traces.entries, 4);
+        assert_eq!(warm.caches.traces.hits, 2);
+        assert_eq!(warm.caches.traces.entries, 2);
         assert_eq!(cold.per_run, warm.per_run);
         assert!(cold.aggregate.collisions > 0, "ALOHA at p=0.3 collides");
+    }
+
+    #[test]
+    fn bernoulli_lane_sweeps_match_scalar_trace_sweeps() {
+        // A multi-seed ALOHA × Bernoulli grid lane-dispatches: no traffic
+        // traces or MAC bitmaps are compiled (inline lane draws replace
+        // both), and every run's counters are bit-identical to the
+        // trace-replaying scalar path of the same single-seed grid.
+        let spec = SweepSpec {
+            mac: SweepMac::Aloha { p: 0.3 },
+            traffic: SweepTraffic::Bernoulli(vec![0.1, 0.2]),
+            seeds: vec![1, 9, 23].into(),
+            retries: vec![1, 4],
+            ..tiny_spec()
+        };
+        assert!(
+            lane_tasks(&spec).is_some(),
+            "multi-seed grids lane-dispatch"
+        );
+        let caches = SweepCaches::new();
+        let laned = run_sweep(&spec, &caches).unwrap();
+        assert_eq!(laned.runs, 12);
+        assert_eq!(
+            laned.caches.traces.misses + laned.caches.traces.hits,
+            0,
+            "lane dispatch never touches the trace tier"
+        );
+        for (i, seed) in [1u64, 9, 23].into_iter().enumerate() {
+            let scalar = run_sweep(
+                &SweepSpec {
+                    seeds: vec![seed].into(),
+                    ..spec.clone()
+                },
+                &caches,
+            )
+            .unwrap();
+            for (j, run) in scalar.per_run.iter().enumerate() {
+                assert_eq!(laned.per_run[j * 3 + i], *run, "seed {seed} point {j}");
+            }
+        }
+        assert!(laned.aggregate.collisions > 0, "ALOHA at p=0.3 collides");
     }
 
     #[test]

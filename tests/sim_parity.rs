@@ -610,6 +610,64 @@ proptest! {
         prop_assert_eq!(analytic, looped);
     }
 
+    /// Randomized *sparsely conflicted* scheduled runs: a clean one-node-per-
+    /// slot plan with a few nodes moved onto other nodes' slots stays under
+    /// the `conflicted × 4 ≤ period` threshold, so `run_frames` dispatches
+    /// the partial-conflict hybrid (closed-form clean classes + narrowed
+    /// conflicted loops) — which must reproduce the full slot loop bit for
+    /// bit across periodic and staggered traffic, retries and slot counts.
+    #[test]
+    fn partial_conflict_analytic_matches_the_slot_loop(
+        side in 4i64..8,
+        moved in 1usize..4,
+        move_seed in 0u64..1000,
+        staggered in 0u8..2,
+        traffic_param in 1u64..24,
+        slots in 0u64..250,
+        max_retries in 0u32..4,
+    ) {
+        use latsched::engine::{
+            grid_adjacency, run_frames, run_frames_loop, FramePlan, FrameSchedule, KernelConfig,
+            KernelMac, KernelTraffic,
+        };
+        let shape = shapes::moore();
+        let region = BoxRegion::square_window(2, side).unwrap();
+        let adjacency = grid_adjacency(&region, &shape).unwrap();
+        let n = adjacency.num_nodes();
+        // Start clean (one node per slot), then move a few hash-picked nodes
+        // onto their successor's slot: each move conflicts at most one slot
+        // (adjacent window positions interfere under the Moore shape).
+        let mut assignment: Vec<usize> = (0..n).collect();
+        for k in 0..moved {
+            let mut h = (k as u64)
+                .wrapping_mul(0x9E37_79B9_7F4A_7C15)
+                .wrapping_add(move_seed.wrapping_mul(0xBF58_476D_1CE4_E5B9));
+            h ^= h >> 31;
+            let v = (h % (n as u64 - 1)) as usize;
+            assignment[v] = assignment[v + 1];
+        }
+        let frames = FrameSchedule::from_assignment(&assignment, n).unwrap();
+        let plan = FramePlan::new(&frames, &adjacency).unwrap();
+        // side ≥ 4 gives n ≥ 16 slots and at most 3 conflicted slots, so the
+        // conflicted minority stays under the dispatch threshold.
+        prop_assert!(plan.conflicted_slots() * 4 <= plan.period());
+        let traffic = if staggered == 1 {
+            KernelTraffic::Staggered { period: traffic_param }
+        } else {
+            KernelTraffic::Periodic { period: traffic_param }
+        };
+        let config = KernelConfig {
+            slots,
+            traffic,
+            mac: KernelMac::Scheduled,
+            max_retries,
+            seed: 7,
+        };
+        let fast = run_frames(&plan, &config).unwrap();
+        let looped = run_frames_loop(&plan, &config).unwrap();
+        prop_assert_eq!(fast, looped);
+    }
+
     /// The analytic gate never changes results: on arbitrary hash-randomized
     /// assignments — mixing clean and conflicted frame slots — `run_frames`
     /// (whichever path it picks) must equal the explicit slot loop.
@@ -665,7 +723,9 @@ proptest! {
 
     /// Each lane of the bit-sliced multi-seed kernel equals the scalar kernel
     /// run of that lane's seed — on clean and partially conflicting plans,
-    /// under scheduled and slotted-ALOHA access, with partial (<64) batches.
+    /// under scheduled and slotted-ALOHA access, across periodic, staggered
+    /// and Bernoulli traffic (the bit-planed backlog counters), with partial
+    /// (<64) batches.
     #[test]
     fn lane_kernel_matches_scalar_runs_on_random_plans(
         side in 3i64..7,
@@ -674,8 +734,9 @@ proptest! {
         assign_seed in 0u64..1000,
         aloha in 0u8..2,
         p_aloha in 0.0f64..1.0,
-        staggered in 0u8..2,
+        traffic_idx in 0u8..3,
         traffic_param in 1u64..16,
+        p_traffic in 0.02f64..0.6,
         slots in 0u64..200,
         max_retries in 0u32..4,
         seed0 in 0u64..1000,
@@ -707,10 +768,10 @@ proptest! {
         };
         let frames = FrameSchedule::from_assignment(&assignment, frame_period).unwrap();
         let plan = FramePlan::new(&frames, &adjacency).unwrap();
-        let traffic = if staggered == 1 {
-            KernelTraffic::Staggered { period: traffic_param }
-        } else {
-            KernelTraffic::Periodic { period: traffic_param }
+        let traffic = match traffic_idx {
+            0 => KernelTraffic::Periodic { period: traffic_param },
+            1 => KernelTraffic::Staggered { period: traffic_param },
+            _ => KernelTraffic::Bernoulli { p: p_traffic },
         };
         let mac = if aloha == 1 {
             KernelMac::Aloha { p: p_aloha }

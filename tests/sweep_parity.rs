@@ -1,6 +1,7 @@
 //! Cross-stack parity of the batched sweep engine: every run of
 //! `latsched_engine::run_sweep` — which builds its own window adjacency,
-//! compiles plans through the caches and replays compiled traffic traces —
+//! compiles plans through the caches and replays compiled traffic traces (or
+//! lane-dispatches multi-seed ALOHA grids through the bit-sliced kernel) —
 //! must report exactly the counters of a reference-simulator run of the same
 //! configuration on a `latsched_sensornet::Network`. This pins down the whole
 //! pipeline at once: node ordering, adjacency construction, counter-RNG
@@ -231,6 +232,45 @@ proptest! {
         let caches = SweepCaches::new();
         let lanes = run_sweep(&spec, &caches).unwrap();
         prop_assert_eq!(lanes.per_run.len(), seed_count);
+        for (i, seed) in spec.seeds.iter().enumerate() {
+            let scalar = run_sweep(
+                &SweepSpec { seeds: vec![seed].into(), ..spec.clone() },
+                &caches,
+            ).unwrap();
+            prop_assert_eq!(&lanes.per_run[i], &scalar.per_run[0], "seed {}", seed);
+        }
+    }
+
+    /// The widened lane eligibility: ALOHA grids over *Bernoulli* traffic with
+    /// a multi-seed axis now lane-dispatch too, drawing arrivals and MAC
+    /// decisions inline per lane instead of prefetching compiled traces. Every
+    /// per-run report must still be bit-identical to a scalar single-seed
+    /// sweep of the same point — which compiles and replays traces — so the
+    /// comparison crosses the trace pipeline against the batched draws.
+    #[test]
+    fn bernoulli_lane_sweeps_match_scalar_trace_sweeps_on_random_grids(
+        window in 4i64..8,
+        slots in 1u64..150,
+        p_traffic in 0.02f64..0.6,
+        p_aloha in 0.0f64..1.0,
+        seed0 in 0u64..1000,
+        seed_count in 2usize..6,
+        retries in 0u32..4,
+    ) {
+        let spec = SweepSpec {
+            windows: vec![window],
+            slots,
+            traffic: SweepTraffic::Bernoulli(vec![p_traffic]),
+            mac: SweepMac::Aloha { p: p_aloha },
+            seeds: (seed0..seed0 + seed_count as u64).collect(),
+            retries: vec![retries],
+            ..latsched_engine::builtin_sweep()
+        };
+        let caches = SweepCaches::new();
+        let lanes = run_sweep(&spec, &caches).unwrap();
+        prop_assert_eq!(lanes.per_run.len(), seed_count);
+        // Lane dispatch skips the traffic/MAC trace prefetch entirely.
+        prop_assert_eq!(lanes.caches.traces.misses + lanes.caches.traces.hits, 0);
         for (i, seed) in spec.seeds.iter().enumerate() {
             let scalar = run_sweep(
                 &SweepSpec { seeds: vec![seed].into(), ..spec.clone() },
