@@ -20,11 +20,13 @@
 //! harness --bench-replay       # measure the analytic replay vs the slot loop
 //!                              # and 64-seed lanes vs scalar runs, write
 //!                              # BENCH_replay.json
+//! harness --bench-telemetry    # measure the warm acceptance sweep with
+//!                              # telemetry off vs on, write BENCH_telemetry.json
 //! ```
 
 use latsched_bench::{
     measure_aggregate, measure_replay, measure_search, measure_simkernel, measure_sweep,
-    measure_tracecache, run_all, run_by_id, Table,
+    measure_telemetry, measure_tracecache, run_all, run_by_id, Table,
 };
 use std::process::ExitCode;
 
@@ -232,6 +234,40 @@ fn emit_replay_baseline(path: &str) -> ExitCode {
     ExitCode::SUCCESS
 }
 
+/// Acceptance workload of the telemetry subsystem: the warm 64-run acceptance
+/// sweep (Moore 64×64, 512 slots) timed with telemetry disabled and enabled,
+/// median of 5 samples per side, reporting the off/on overhead ratio.
+fn emit_telemetry_baseline(path: &str) -> ExitCode {
+    let baseline = match measure_telemetry(64, 512, 5) {
+        Ok(baseline) => baseline,
+        Err(err) => {
+            eprintln!("telemetry baseline failed: {err}");
+            return ExitCode::FAILURE;
+        }
+    };
+    println!(
+        "telemetry baseline: {} — off {:.2} ms, on {:.2} ms, overhead ratio {:.3}, \
+         dispatch total {}, parity {}",
+        baseline.workload,
+        baseline.off_ms,
+        baseline.on_ms,
+        baseline.overhead_ratio,
+        baseline.dispatch_total,
+        baseline.parity
+    );
+    let json = serde_json::to_string_pretty(&baseline.to_json_value());
+    if let Err(err) = std::fs::write(path, json + "\n") {
+        eprintln!("failed to write {path}: {err}");
+        return ExitCode::FAILURE;
+    }
+    println!("wrote telemetry baseline to {path}");
+    if !baseline.parity {
+        eprintln!("telemetry parity check failed");
+        return ExitCode::FAILURE;
+    }
+    ExitCode::SUCCESS
+}
+
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let mut json_path: Option<String> = None;
@@ -241,6 +277,7 @@ fn main() -> ExitCode {
     let mut aggregate_path: Option<String> = None;
     let mut search_path: Option<String> = None;
     let mut replay_path: Option<String> = None;
+    let mut telemetry_path: Option<String> = None;
     let mut ids: Vec<String> = Vec::new();
     let mut iter = args.into_iter().peekable();
     while let Some(arg) = iter.next() {
@@ -294,12 +331,20 @@ fn main() -> ExitCode {
                     _ => "BENCH_replay.json".to_string(),
                 });
             }
+            "--bench-telemetry" => {
+                // Optional path operand; defaults to BENCH_telemetry.json.
+                telemetry_path = Some(match iter.peek() {
+                    Some(next) if !next.starts_with('-') => iter.next().unwrap(),
+                    _ => "BENCH_telemetry.json".to_string(),
+                });
+            }
             "--help" | "-h" => {
                 println!(
                     "usage: harness [--json FILE] [--bench-simkernel [FILE]] \
                      [--bench-sweep [FILE]] [--bench-tracecache [FILE]] \
                      [--bench-aggregate [FILE]] [--bench-search [FILE]] \
-                     [--bench-replay [FILE]] [E1..E8 | all]..."
+                     [--bench-replay [FILE]] [--bench-telemetry [FILE]] \
+                     [E1..E8 | all]..."
                 );
                 return ExitCode::SUCCESS;
             }
@@ -314,6 +359,7 @@ fn main() -> ExitCode {
         &aggregate_path,
         &search_path,
         &replay_path,
+        &telemetry_path,
     ]
     .iter()
     .filter(|p| p.is_some())
@@ -345,6 +391,9 @@ fn main() -> ExitCode {
         }
         if let Some(path) = replay_path {
             return emit_replay_baseline(&path);
+        }
+        if let Some(path) = telemetry_path {
+            return emit_telemetry_baseline(&path);
         }
     }
 

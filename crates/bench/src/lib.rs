@@ -28,6 +28,7 @@ pub mod report;
 pub mod search;
 pub mod simbench;
 pub mod sweep;
+pub mod telemetry;
 pub mod tracecache;
 
 pub use aggregate::{measure_aggregate, AggregateBaseline};
@@ -37,4 +38,5 @@ pub use report::Table;
 pub use search::{measure_search, SearchBaseline};
 pub use simbench::{measure_simkernel, SimkernelBaseline};
 pub use sweep::{measure_sweep, SweepBaseline};
+pub use telemetry::{measure_telemetry, TelemetryBaseline};
 pub use tracecache::{measure_tracecache, TraceCacheBaseline};

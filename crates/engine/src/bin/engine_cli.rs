@@ -10,11 +10,20 @@
 //! engine-cli search                  # run the builtin Figure-2 schedule search
 //! engine-cli search spec.json ...    # run schedule searches from JSON spec files
 //! engine-cli --threads N ...         # pin the worker pool (any mode/subcommand)
+//! engine-cli sweep --profile         # print the per-sweep runtime profile
+//! engine-cli --metrics-out FILE ...  # write Prometheus-style telemetry text
 //! ```
 //!
 //! `--threads N` sets `LATSCHED_THREADS` before the first worker-pool query,
 //! so benches and CI determinism checks reproduce a fixed parallelism; it is
 //! accepted anywhere on the command line, in every mode.
+//!
+//! `--metrics-out FILE` (also accepted anywhere, in every mode) enables the
+//! telemetry registry and, after the run, writes every counter and stage
+//! histogram as Prometheus-style text exposition to `FILE`. `sweep --profile`
+//! and `search --profile` enable the same registry and pretty-print each
+//! report's embedded [`latsched_engine::TelemetrySnapshot`]: the fast-path
+//! dispatch mix, per-tier cache counters and the nested stage-time tree.
 //!
 //! See `latsched_engine::Scenario` for the scenario spec format,
 //! `latsched_engine::SweepSpec` for the sweep spec format and
@@ -76,6 +85,7 @@ fn print_group_table(groups: &[GroupReport], top: Option<usize>) {
 fn sweep_main(args: Vec<String>) -> ExitCode {
     let mut json_path: Option<String> = None;
     let mut stats = false;
+    let mut profile = false;
     let mut streaming = false;
     let mut group_by: Option<GroupSpec> = None;
     let mut top: Option<usize> = None;
@@ -91,6 +101,7 @@ fn sweep_main(args: Vec<String>) -> ExitCode {
                 }
             },
             "--stats" => stats = true,
+            "--profile" => profile = true,
             "--streaming" => streaming = true,
             "--group-by" => match iter.next() {
                 Some(list) => match GroupSpec::parse(&list) {
@@ -114,11 +125,15 @@ fn sweep_main(args: Vec<String>) -> ExitCode {
             },
             "--help" | "-h" => {
                 println!(
-                    "usage: engine-cli sweep [--json FILE] [--stats] [--streaming] \
-                     [--group-by AXES] [--top N] [--threads N] [SPEC.json]..."
+                    "usage: engine-cli sweep [--json FILE] [--stats] [--profile] [--streaming] \
+                     [--group-by AXES] [--top N] [--threads N] [--metrics-out FILE] [SPEC.json]..."
                 );
                 println!("With no spec files, runs the builtin 64-run stochastic sweep.");
                 println!("--stats prints hit/miss/entry counters of all five artifact tiers.");
+                println!(
+                    "--profile prints each sweep's runtime profile: kernel dispatch mix, \
+                     cache counters and the nested stage-time tree."
+                );
                 println!(
                     "--streaming folds runs online (O(groups) report memory, no per-run \
                      detail); --group-by selects fold axes from window, traffic/load, \
@@ -157,6 +172,9 @@ fn sweep_main(args: Vec<String>) -> ExitCode {
             spec.mode = SweepMode::Streaming(group_by.clone().unwrap_or_default());
         }
     }
+    if profile {
+        latsched_engine::telemetry().set_enabled(true);
+    }
 
     let caches = SweepCaches::new();
     let mut reports = Vec::with_capacity(sweeps.len());
@@ -169,6 +187,11 @@ fn sweep_main(args: Vec<String>) -> ExitCode {
                 }
                 if stats {
                     println!("  caches: {}", report.caches);
+                }
+                if profile {
+                    if let Some(telemetry) = &report.telemetry {
+                        print!("{telemetry}");
+                    }
                 }
                 reports.push(report);
             }
@@ -204,6 +227,7 @@ fn sweep_main(args: Vec<String>) -> ExitCode {
 fn search_main(args: Vec<String>) -> ExitCode {
     let mut json_path: Option<String> = None;
     let mut stats = false;
+    let mut profile = false;
     let mut top: Option<usize> = None;
     let mut spec_paths: Vec<String> = Vec::new();
     let mut iter = args.into_iter();
@@ -217,6 +241,7 @@ fn search_main(args: Vec<String>) -> ExitCode {
                 }
             },
             "--stats" => stats = true,
+            "--profile" => profile = true,
             "--top" => match iter.next().and_then(|n| n.parse::<usize>().ok()) {
                 Some(n) if n > 0 => top = Some(n),
                 _ => {
@@ -226,7 +251,8 @@ fn search_main(args: Vec<String>) -> ExitCode {
             },
             "--help" | "-h" => {
                 println!(
-                    "usage: engine-cli search [--json FILE] [--stats] [--top N] [SPEC.json]..."
+                    "usage: engine-cli search [--json FILE] [--stats] [--profile] [--top N] \
+                     [--threads N] [--metrics-out FILE] [SPEC.json]..."
                 );
                 println!(
                     "With no spec files, runs the builtin Figure-2 Moore search \
@@ -274,6 +300,9 @@ fn search_main(args: Vec<String>) -> ExitCode {
             spec.top = top;
         }
     }
+    if profile {
+        latsched_engine::telemetry().set_enabled(true);
+    }
 
     let caches = SweepCaches::new();
     let mut reports = Vec::with_capacity(searches.len());
@@ -296,6 +325,11 @@ fn search_main(args: Vec<String>) -> ExitCode {
                 }
                 if stats {
                     println!("  caches: {}", report.caches);
+                }
+                if profile {
+                    if let Some(telemetry) = &report.telemetry {
+                        print!("{telemetry}");
+                    }
                 }
                 reports.push(report);
             }
@@ -324,11 +358,15 @@ fn search_main(args: Vec<String>) -> ExitCode {
     ExitCode::SUCCESS
 }
 
-/// Strips a global `--threads N` flag (accepted anywhere on the command line)
-/// and pins the worker pool by setting `LATSCHED_THREADS` before the first
-/// `worker_threads()` query caches it. Returns the remaining args.
-fn apply_threads_flag(args: Vec<String>) -> Result<Vec<String>, String> {
+/// Strips the global flags accepted anywhere on the command line, in every
+/// mode: `--threads N` pins the worker pool by setting `LATSCHED_THREADS`
+/// before the first `worker_threads()` query caches it, and
+/// `--metrics-out FILE` enables the telemetry registry and selects the
+/// Prometheus exposition file written after the run. Returns the remaining
+/// args and the metrics path.
+fn apply_global_flags(args: Vec<String>) -> Result<(Vec<String>, Option<String>), String> {
     let mut rest = Vec::with_capacity(args.len());
+    let mut metrics_out = None;
     let mut iter = args.into_iter();
     while let Some(arg) = iter.next() {
         if arg == "--threads" {
@@ -338,26 +376,54 @@ fn apply_threads_flag(args: Vec<String>) -> Result<Vec<String>, String> {
                 .filter(|&t| t >= 1)
                 .ok_or("--threads requires a positive thread count")?;
             std::env::set_var("LATSCHED_THREADS", threads.to_string());
+        } else if arg == "--metrics-out" {
+            let path = iter.next().ok_or("--metrics-out requires a file path")?;
+            latsched_engine::telemetry().set_enabled(true);
+            metrics_out = Some(path);
         } else {
             rest.push(arg);
         }
     }
-    Ok(rest)
+    Ok((rest, metrics_out))
+}
+
+/// Writes the registry's full state (every counter and stage histogram) as
+/// Prometheus-style text exposition. Returns whether the write succeeded.
+fn write_metrics(path: &str) -> bool {
+    let text = latsched_engine::telemetry().snapshot().to_prometheus();
+    if let Err(err) = std::fs::write(path, text) {
+        eprintln!("failed to write {path}: {err}");
+        return false;
+    }
+    println!("wrote telemetry metrics to {path}");
+    true
 }
 
 fn main() -> ExitCode {
-    let args = match apply_threads_flag(std::env::args().skip(1).collect()) {
-        Ok(args) => args,
+    let (args, metrics_out) = match apply_global_flags(std::env::args().skip(1).collect()) {
+        Ok(parsed) => parsed,
         Err(err) => {
             eprintln!("{err}");
             return ExitCode::FAILURE;
         }
     };
     if args.first().map(String::as_str) == Some("sweep") {
-        return sweep_main(args.into_iter().skip(1).collect());
+        let code = sweep_main(args.into_iter().skip(1).collect());
+        if let Some(path) = metrics_out {
+            if !write_metrics(&path) {
+                return ExitCode::FAILURE;
+            }
+        }
+        return code;
     }
     if args.first().map(String::as_str) == Some("search") {
-        return search_main(args.into_iter().skip(1).collect());
+        let code = search_main(args.into_iter().skip(1).collect());
+        if let Some(path) = metrics_out {
+            if !write_metrics(&path) {
+                return ExitCode::FAILURE;
+            }
+        }
+        return code;
     }
     let mut json_path: Option<String> = None;
     let mut dump = false;
@@ -447,6 +513,11 @@ fn main() -> ExitCode {
             return ExitCode::FAILURE;
         }
         println!("wrote {} report(s) to {path}", reports.len());
+    }
+    if let Some(path) = metrics_out {
+        if !write_metrics(&path) {
+            return ExitCode::FAILURE;
+        }
     }
     ExitCode::SUCCESS
 }

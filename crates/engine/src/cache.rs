@@ -36,10 +36,17 @@ use crate::frames::{fingerprint_words, FramePlan, FrameSchedule, InterferenceCsr
 use crate::search::SearchOutcome;
 use crate::simkernel::TrafficTrace;
 use crate::store::{ArtifactStore, StoreStats};
+use crate::telemetry::{span, telemetry, CacheTier, Stage};
 use latsched_core::theorem1;
 use latsched_lattice::{BoxRegion, Point};
 use latsched_tiling::{find_tiling, Prototile};
 use std::sync::Arc;
+
+/// Folds one tier lookup outcome into the telemetry registry (a no-op while
+/// telemetry is disabled).
+fn note_lookup(tier: CacheTier, hit: bool) {
+    telemetry().count(tier.counter(hit), 1);
+}
 
 /// A sharded, thread-safe cache from neighbourhood shapes to their compiled
 /// Theorem 1 schedules.
@@ -88,9 +95,28 @@ impl ScheduleCache {
     /// * [`EngineError::NotSchedulable`] if the shape does not tile the lattice;
     /// * compilation errors from [`CompiledSchedule::compile`].
     pub fn get_or_compile(&self, shape: &Prototile) -> Result<Arc<CompiledSchedule>> {
+        self.get_or_compile_tracked(shape).map(|(v, _)| v)
+    }
+
+    /// [`ScheduleCache::get_or_compile`], also reporting whether this lookup
+    /// hit the cache.
+    ///
+    /// # Errors
+    ///
+    /// As for [`ScheduleCache::get_or_compile`].
+    pub fn get_or_compile_tracked(
+        &self,
+        shape: &Prototile,
+    ) -> Result<(Arc<CompiledSchedule>, bool)> {
         let key = shape.to_points();
         let shape = shape.clone();
-        self.inner.get_or_build(key, move || compile_shape(&shape))
+        let result = self
+            .inner
+            .get_or_build_tracked(key, move || compile_shape(&shape));
+        if let Ok((_, hit)) = result {
+            note_lookup(CacheTier::Schedules, hit);
+        }
+        result
     }
 
     /// Number of cached schedules.
@@ -218,16 +244,36 @@ impl PlanCache {
         period: usize,
         adjacency: &InterferenceCsr,
     ) -> Result<Arc<FramePlan>> {
+        self.get_or_build_tracked(slots, period, adjacency)
+            .map(|(v, _)| v)
+    }
+
+    /// [`PlanCache::get_or_build`], also reporting whether this lookup hit
+    /// the cache.
+    ///
+    /// # Errors
+    ///
+    /// As for [`PlanCache::get_or_build`].
+    pub fn get_or_build_tracked(
+        &self,
+        slots: &[usize],
+        period: usize,
+        adjacency: &InterferenceCsr,
+    ) -> Result<(Arc<FramePlan>, bool)> {
         let key = PlanKey {
             assignment: fingerprint_words(period as u64, slots.iter().map(|&s| s as u64)),
             adjacency: adjacency.fingerprint(),
             nodes: slots.len() as u64,
             period: period as u64,
         };
-        self.inner.get_or_build(key, || {
+        let result = self.inner.get_or_build_tracked(key, || {
             let frames = FrameSchedule::from_assignment(slots, period)?;
             FramePlan::new(&frames, adjacency)
-        })
+        });
+        if let Ok((_, hit)) = result {
+            note_lookup(CacheTier::Plans, hit);
+        }
+        result
     }
 
     /// Number of cached plans.
@@ -363,6 +409,23 @@ impl TraceCache {
         p: f64,
         slots: u64,
     ) -> Result<Arc<TrafficTrace>> {
+        self.get_or_build_tracked(plan, seed, p, slots)
+            .map(|(v, _)| v)
+    }
+
+    /// [`TraceCache::get_or_build`], also reporting whether this lookup hit
+    /// the cache.
+    ///
+    /// # Errors
+    ///
+    /// As for [`TraceCache::get_or_build`].
+    pub fn get_or_build_tracked(
+        &self,
+        plan: &FramePlan,
+        seed: u64,
+        p: f64,
+        slots: u64,
+    ) -> Result<(Arc<TrafficTrace>, bool)> {
         let key = TraceKey {
             plan: plan.fingerprint(),
             seed,
@@ -371,8 +434,13 @@ impl TraceCache {
             nodes: plan.num_nodes() as u64,
             stream: latsched_lattice::TRAFFIC_STREAM,
         };
-        self.inner
-            .get_or_build(key, || TrafficTrace::bernoulli(plan, seed, p, slots))
+        let result = self
+            .inner
+            .get_or_build_tracked(key, || TrafficTrace::bernoulli(plan, seed, p, slots));
+        if let Ok((_, hit)) = result {
+            note_lookup(CacheTier::Traces, hit);
+        }
+        result
     }
 
     /// The compiled slotted-ALOHA decision bitmap of `seed`'s MAC stream over
@@ -392,6 +460,23 @@ impl TraceCache {
         p: f64,
         slots: u64,
     ) -> Result<Arc<TrafficTrace>> {
+        self.get_or_build_mac_tracked(plan, seed, p, slots)
+            .map(|(v, _)| v)
+    }
+
+    /// [`TraceCache::get_or_build_mac`], also reporting whether this lookup
+    /// hit the cache.
+    ///
+    /// # Errors
+    ///
+    /// As for [`TraceCache::get_or_build_mac`].
+    pub fn get_or_build_mac_tracked(
+        &self,
+        plan: &FramePlan,
+        seed: u64,
+        p: f64,
+        slots: u64,
+    ) -> Result<(Arc<TrafficTrace>, bool)> {
         let key = TraceKey {
             plan: plan.fingerprint(),
             seed,
@@ -400,8 +485,13 @@ impl TraceCache {
             nodes: plan.num_nodes() as u64,
             stream: latsched_lattice::MAC_STREAM,
         };
-        self.inner
-            .get_or_build(key, || TrafficTrace::aloha_decisions(plan, seed, p, slots))
+        let result = self
+            .inner
+            .get_or_build_tracked(key, || TrafficTrace::aloha_decisions(plan, seed, p, slots));
+        if let Ok((_, hit)) = result {
+            note_lookup(CacheTier::Traces, hit);
+        }
+        result
     }
 
     /// Number of cached traces.
@@ -528,6 +618,20 @@ impl AdjacencyCache {
         region: &BoxRegion,
         shape: &Prototile,
     ) -> Result<Arc<InterferenceCsr>> {
+        self.get_or_build_tracked(region, shape).map(|(v, _)| v)
+    }
+
+    /// [`AdjacencyCache::get_or_build`], also reporting whether this lookup
+    /// hit the cache.
+    ///
+    /// # Errors
+    ///
+    /// As for [`AdjacencyCache::get_or_build`].
+    pub fn get_or_build_tracked(
+        &self,
+        region: &BoxRegion,
+        shape: &Prototile,
+    ) -> Result<(Arc<InterferenceCsr>, bool)> {
         let key = AdjacencyKey {
             region: fingerprint_words(
                 region.dim() as u64,
@@ -546,8 +650,13 @@ impl AdjacencyCache {
             ),
             points: region.len(),
         };
-        self.inner
-            .get_or_build(key, || crate::sweep::grid_adjacency(region, shape))
+        let result = self
+            .inner
+            .get_or_build_tracked(key, || crate::sweep::grid_adjacency(region, shape));
+        if let Ok((_, hit)) = result {
+            note_lookup(CacheTier::Adjacencies, hit);
+        }
+        result
     }
 
     /// Number of cached adjacencies.
@@ -660,11 +769,31 @@ impl SearchCache {
         objective: u64,
         build: impl FnOnce() -> Result<SearchOutcome>,
     ) -> Result<Arc<SearchOutcome>> {
+        self.get_or_build_tracked(scenario, objective, build)
+            .map(|(v, _)| v)
+    }
+
+    /// [`SearchCache::get_or_build`], also reporting whether this lookup hit
+    /// the cache.
+    ///
+    /// # Errors
+    ///
+    /// As for [`SearchCache::get_or_build`].
+    pub fn get_or_build_tracked(
+        &self,
+        scenario: u64,
+        objective: u64,
+        build: impl FnOnce() -> Result<SearchOutcome>,
+    ) -> Result<(Arc<SearchOutcome>, bool)> {
         let key = SearchKey {
             scenario,
             objective,
         };
-        self.inner.get_or_build(key, build)
+        let result = self.inner.get_or_build_tracked(key, build);
+        if let Ok((_, hit)) = result {
+            note_lookup(CacheTier::Searches, hit);
+        }
+        result
     }
 
     /// Number of cached outcomes.
@@ -721,6 +850,7 @@ impl std::fmt::Debug for SearchCache {
 /// * [`EngineError::NotSchedulable`] if the shape does not tile the lattice;
 /// * tiling and compilation errors otherwise.
 pub fn compile_shape(shape: &Prototile) -> Result<CompiledSchedule> {
+    let _span = span(Stage::ScheduleCompile);
     let tiling =
         find_tiling(shape)?.ok_or_else(|| EngineError::NotSchedulable(shape.to_string()))?;
     let schedule = theorem1::schedule_from_tiling(&tiling);

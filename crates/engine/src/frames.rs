@@ -336,6 +336,7 @@ impl FramePlan {
     /// Returns [`EngineError::NodeCountMismatch`] if the two were built for
     /// different node counts.
     pub fn new(frames: &FrameSchedule, adjacency: &InterferenceCsr) -> Result<Self> {
+        let _span = crate::telemetry::span(crate::telemetry::Stage::PlanFuse);
         if frames.num_nodes() != adjacency.num_nodes() {
             return Err(EngineError::NodeCountMismatch {
                 frames: frames.num_nodes(),

@@ -68,6 +68,13 @@
 //!    `latsched_core::optimality`; the ranked outcome itself is
 //!    content-addressed in tier 5, so warm re-runs skip candidate
 //!    enumeration and simulation entirely (`engine-cli search`).
+//! 9. Runtime telemetry — the [`telemetry`] registry traces every pipeline
+//!    stage (RAII spans into log₂ duration histograms and a nested
+//!    stage-time tree) and counts every kernel fast-path dispatch and cache
+//!    tier lookup; disabled it costs one relaxed atomic load per site, and
+//!    enabled it exports as a [`TelemetrySnapshot`] embedded in sweep/search
+//!    reports, a human profile (`engine-cli sweep --profile`) and Prometheus
+//!    text exposition (`engine-cli --metrics-out FILE`).
 //!
 //! Underneath the table queries, 2-D and 3-D schedules use the
 //! dimension-specialized `latsched_lattice::FixedReducer`, which
@@ -112,6 +119,7 @@ mod search;
 mod simkernel;
 mod store;
 mod sweep;
+pub mod telemetry;
 
 pub use aggregate::{
     count_values, fold_full_report, FieldFold, GroupAxis, GroupBy, GroupFolds, GroupKey,
@@ -136,3 +144,4 @@ pub use sweep::{
     builtin_sweep, grid_adjacency, run_sweep, SeedAxis, SweepCacheStats, SweepCaches, SweepMac,
     SweepMode, SweepReport, SweepRunReport, SweepSpec, SweepTraffic,
 };
+pub use telemetry::{telemetry, TelemetryRegistry, TelemetrySnapshot};

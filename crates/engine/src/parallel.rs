@@ -145,6 +145,9 @@ where
                 if start >= len {
                     break;
                 }
+                // One claim that yielded work; telemetry-gated, so the claim
+                // loop stays a bare fetch_add when profiling is off.
+                crate::telemetry::telemetry().count(crate::telemetry::Counter::StealClaims, 1);
                 let take = chunk_len.min(len - start);
                 // SAFETY: `start` came from a unique `fetch_add` claim, so
                 // `[start, start + take)` ranges never overlap across workers

@@ -50,7 +50,9 @@ use crate::frames::fingerprint_words;
 use crate::parallel::{fill_chunks_min, worker_threads};
 use crate::scenario::{get_u64, invalid, ShapeSpec};
 use crate::simkernel::{run_frames, KernelConfig, KernelMac, KernelTraffic, TrafficTrace};
+use crate::store::StoreStats;
 use crate::sweep::{SeedAxis, SweepCacheStats, SweepCaches, SweepTraffic};
+use crate::telemetry::{span, telemetry, Stage, TelemetrySnapshot};
 use crate::FramePlan;
 use latsched_coloring::{
     annealing_coloring, dsatur_coloring, exact_coloring, greedy_coloring, tdma_coloring,
@@ -517,10 +519,14 @@ pub struct SearchReport {
     pub from_cache: bool,
     /// Wall-clock seconds of this invocation.
     pub seconds: f64,
-    /// Per-tier cache counters over this invocation.
+    /// Per-tier cache counters over this invocation, tallied per lookup so
+    /// they stay exact when concurrent searches or sweeps share the caches.
     pub caches: SweepCacheStats,
     /// The (possibly cached) ranked outcome.
     pub outcome: Arc<SearchOutcome>,
+    /// Telemetry movement over this invocation, captured as a registry delta
+    /// when telemetry was enabled; `None` otherwise.
+    pub telemetry: Option<TelemetrySnapshot>,
 }
 
 impl SearchReport {
@@ -566,6 +572,9 @@ impl SearchReport {
                     .collect(),
             ),
         );
+        if let Some(telemetry) = &self.telemetry {
+            map.insert("telemetry".to_string(), telemetry.to_json_value());
+        }
         Value::Object(map)
     }
 }
@@ -677,9 +686,19 @@ fn execute_search(
     spec: &SearchSpec,
     shape: &Prototile,
     caches: &SweepCaches,
+    tally: &mut SweepCacheStats,
 ) -> Result<SearchOutcome> {
+    let _span = span(Stage::SearchCompile);
+    let note = |stats: &mut StoreStats, hit: bool| {
+        if hit {
+            stats.hits += 1;
+        } else {
+            stats.misses += 1;
+        }
+    };
     let region = BoxRegion::square_window(spec.shape.dim(), spec.window)?;
-    let adjacency = caches.adjacencies.get_or_build(&region, shape)?;
+    let (adjacency, hit) = caches.adjacencies.get_or_build_tracked(&region, shape)?;
+    note(&mut tally.adjacencies, hit);
     let nodes = adjacency.num_nodes();
     let deployment = Deployment::Homogeneous(shape.clone());
     let lower_bound = optimality::slot_lower_bound(&deployment);
@@ -699,7 +718,9 @@ fn execute_search(
             // (`find_tiling` takes the first), so candidate 0 shares the
             // cached table; later witnesses are per-search artifacts.
             let compiled = if i == 0 {
-                caches.schedules.get_or_compile(shape)?
+                let (compiled, hit) = caches.schedules.get_or_compile_tracked(shape)?;
+                note(&mut tally.schedules, hit);
+                compiled
             } else {
                 Arc::new(CompiledSchedule::compile(&schedule)?)
             };
@@ -709,7 +730,10 @@ fn execute_search(
                 .map(usize::from)
                 .collect();
             let period = compiled.num_slots();
-            let plan = caches.plans.get_or_build(&assignment, period, &adjacency)?;
+            let (plan, hit) = caches
+                .plans
+                .get_or_build_tracked(&assignment, period, &adjacency)?;
+            note(&mut tally.plans, hit);
             candidates.push(Candidate {
                 family: SearchFamily::Lattice,
                 generator,
@@ -728,9 +752,11 @@ fn execute_search(
         let conflicts = graph.conflict_graph();
         for (name, coloring) in coloring_candidates(&conflicts, budget)? {
             let period = coloring.colors_used.max(1);
-            let plan = caches
-                .plans
-                .get_or_build(&coloring.colors, period, &adjacency)?;
+            let (plan, hit) =
+                caches
+                    .plans
+                    .get_or_build_tracked(&coloring.colors, period, &adjacency)?;
+            note(&mut tally.plans, hit);
             candidates.push(Candidate {
                 family: SearchFamily::Coloring,
                 generator: name.to_string(),
@@ -754,12 +780,12 @@ fn execute_search(
         for (c, candidate) in candidates.iter().enumerate() {
             for &p in loads {
                 for seed in spec.seeds.iter() {
-                    traces.insert(
-                        (c, seed, p.to_bits()),
+                    let (trace, hit) =
                         caches
                             .traces
-                            .get_or_build(&candidate.plan, seed, p, spec.slots)?,
-                    );
+                            .get_or_build_tracked(&candidate.plan, seed, p, spec.slots)?;
+                    note(&mut tally.traces, hit);
+                    traces.insert((c, seed, p.to_bits()), trace);
                 }
             }
         }
@@ -875,26 +901,42 @@ fn execute_search(
 ///
 /// Propagates spec-resolution, enumeration, compilation and kernel errors.
 pub fn run_search(spec: &SearchSpec, caches: &SweepCaches) -> Result<SearchReport> {
-    let stats0 = caches.stats();
+    // Per-lookup tally, threaded through the cold path: exact per-search
+    // attribution even when other searches or sweeps share the caches.
+    let mut tally = SweepCacheStats::default();
+    let telemetry_before = telemetry().enabled().then(|| telemetry().snapshot());
     let start = Instant::now();
     let shape = spec.shape.prototile()?;
     if spec.runs_per_candidate() == 0 {
         return Err(invalid("search evaluation grid is empty"));
     }
     let (scenario, objective) = spec.fingerprints(&shape);
-    let outcome = caches
+    let (outcome, hit) = caches
         .searches
-        .get_or_build(scenario, objective, || execute_search(spec, &shape, caches))?;
-    let delta = caches.stats().since(&stats0);
+        .get_or_build_tracked(scenario, objective, || {
+            execute_search(spec, &shape, caches, &mut tally)
+        })?;
+    if hit {
+        tally.searches.hits += 1;
+    } else {
+        tally.searches.misses += 1;
+    }
+    let levels = caches.stats();
+    tally.schedules.entries = levels.schedules.entries;
+    tally.adjacencies.entries = levels.adjacencies.entries;
+    tally.plans.entries = levels.plans.entries;
+    tally.traces.entries = levels.traces.entries;
+    tally.searches.entries = levels.searches.entries;
     Ok(SearchReport {
         name: spec.name.clone(),
         objective: spec.objective,
         window: spec.window,
         slots: spec.slots,
-        from_cache: delta.searches.misses == 0,
+        from_cache: hit,
         seconds: start.elapsed().as_secs_f64(),
-        caches: delta,
+        caches: tally,
         outcome,
+        telemetry: telemetry_before.map(|before| telemetry().snapshot().since(&before)),
     })
 }
 

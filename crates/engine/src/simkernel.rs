@@ -425,6 +425,8 @@ impl TrafficTrace {
     /// [`TrafficTrace::aloha_decisions`]: all Bernoulli(`p`) draws of `rng`
     /// over the plan's node set, compiled into slot-major bitmaps.
     fn build(plan: &FramePlan, rng: CounterRng, p: f64, slots: u64) -> Result<TrafficTrace> {
+        let _span = crate::telemetry::span(crate::telemetry::Stage::TraceCompile);
+        crate::telemetry::telemetry().count(crate::telemetry::Counter::TraceCompilations, 1);
         if !(0.0..=1.0).contains(&p) {
             return Err(EngineError::InvalidKernelConfig(
                 "bernoulli probability must be in [0, 1]".into(),
@@ -804,11 +806,21 @@ pub fn run_frames_loop(plan: &FramePlan, config: &KernelConfig) -> Result<Kernel
     run_frames_impl(plan, config, false)
 }
 
+/// Bumps the dispatch-path counter of one kernel run — every
+/// [`run_frames_impl`] call and every lane-kernel seed passes through exactly
+/// one of these, so the six dispatch counters sum to the number of simulated
+/// runs (a no-op while telemetry is disabled).
+#[inline]
+fn note_dispatch(counter: crate::telemetry::Counter, runs: u64) {
+    crate::telemetry::telemetry().count(counter, runs);
+}
+
 fn run_frames_impl(
     plan: &FramePlan,
     config: &KernelConfig,
     allow_analytic: bool,
 ) -> Result<KernelCounts> {
+    use crate::telemetry::Counter;
     let n = plan.num_nodes();
     match &config.traffic {
         KernelTraffic::Periodic { period: 0 } | KernelTraffic::Staggered { period: 0 } => {
@@ -856,6 +868,8 @@ fn run_frames_impl(
 
     if matches!(config.traffic, KernelTraffic::None) {
         // Without traffic nothing ever transmits: every node idles every slot.
+        // Closed-form, so it counts as an analytic dispatch.
+        note_dispatch(Counter::DispatchAnalytic, 1);
         return Ok(KernelCounts {
             idle_slots: n as u64 * config.slots,
             ..KernelCounts::default()
@@ -873,12 +887,15 @@ fn run_frames_impl(
         if plan.conflict_free() {
             match &config.traffic {
                 KernelTraffic::Periodic { period } => {
+                    note_dispatch(Counter::DispatchAnalytic, 1);
                     return run_analytic_periodic(plan, config, *period, false);
                 }
                 KernelTraffic::Staggered { period } => {
+                    note_dispatch(Counter::DispatchAnalytic, 1);
                     return run_analytic_periodic(plan, config, *period, true);
                 }
                 KernelTraffic::Trace(trace) => {
+                    note_dispatch(Counter::DispatchAnalytic, 1);
                     return run_analytic_trace(plan, config, trace);
                 }
                 KernelTraffic::Bernoulli { p }
@@ -887,6 +904,7 @@ fn run_frames_impl(
                 {
                     // The same auto-trace conversion the general loop applies:
                     // compile the draws once, then replay the trace analytically.
+                    note_dispatch(Counter::DispatchAnalytic, 1);
                     let trace = TrafficTrace::bernoulli(plan, config.seed, *p, config.slots)?;
                     return run_analytic_trace(plan, config, &trace);
                 }
@@ -895,9 +913,11 @@ fn run_frames_impl(
         } else if plan.conflicted_slots() * ANALYTIC_CONFLICT_DENOM <= plan.period() {
             match &config.traffic {
                 KernelTraffic::Periodic { period } => {
+                    note_dispatch(Counter::DispatchPartialAnalytic, 1);
                     return run_analytic_partial(plan, config, *period, false);
                 }
                 KernelTraffic::Staggered { period } => {
+                    note_dispatch(Counter::DispatchPartialAnalytic, 1);
                     return run_analytic_partial(plan, config, *period, true);
                 }
                 _ => {}
@@ -905,6 +925,16 @@ fn run_frames_impl(
         }
     }
 
+    // Slot-loop dispatch: conflict-free plans never run interference passes
+    // (the loop's clean shortcut), everything else pays the bitset loop.
+    note_dispatch(
+        if plan.conflict_free() {
+            Counter::DispatchConflictFree
+        } else {
+            Counter::DispatchGeneralLoop
+        },
+        1,
+    );
     match (&config.traffic, &config.mac) {
         (KernelTraffic::Periodic { period }, KernelMac::Scheduled) => {
             run_deterministic(plan, config, *period, false, FULL_BURST_MEMO_BYTE_BUDGET)
@@ -1762,6 +1792,23 @@ pub fn run_frames_lanes(
             ));
         }
     };
+
+    // Validation is done: one lane batch, and each seed is one simulated run
+    // on its lane dispatch path.
+    {
+        use crate::telemetry::Counter;
+        let registry = crate::telemetry::telemetry();
+        registry.count(Counter::LaneBatches, 1);
+        registry.count(Counter::LaneRuns, lanes as u64);
+        note_dispatch(
+            if bernoulli_p.is_some() {
+                Counter::DispatchLaneBernoulli
+            } else {
+                Counter::DispatchLaneScalar
+            },
+            lanes as u64,
+        );
+    }
 
     let n = plan.num_nodes();
     let orig = plan.original_ids();

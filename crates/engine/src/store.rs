@@ -137,6 +137,24 @@ impl<K: Clone + Eq + Hash, V> ArtifactStore<K, V> {
     ///
     /// Propagates the builder's error (the key is evicted first).
     pub fn get_or_build(&self, key: K, build: impl FnOnce() -> Result<V>) -> Result<Arc<V>> {
+        self.get_or_build_tracked(key, build)
+            .map(|(value, _)| value)
+    }
+
+    /// [`ArtifactStore::get_or_build`], also reporting whether *this* lookup
+    /// was a hit — the per-lookup truth the sweep engine aggregates into its
+    /// per-sweep cache statistics, which stay exact even when concurrent
+    /// sweeps share the store (global counter deltas would attribute the
+    /// other sweep's traffic to both).
+    ///
+    /// # Errors
+    ///
+    /// Propagates the builder's error (the key is evicted first).
+    pub fn get_or_build_tracked(
+        &self,
+        key: K,
+        build: impl FnOnce() -> Result<V>,
+    ) -> Result<(Arc<V>, bool)> {
         // Enforce the entry bound: a new key at capacity resets the store
         // wholesale rather than tracking recency — entries are
         // content-addressed and rebuildable, and the engine's workloads touch
@@ -169,7 +187,7 @@ impl<K: Clone + Eq + Hash, V> ArtifactStore<K, V> {
             .lock()
             .unwrap_or_else(std::sync::PoisonError::into_inner);
         if let Some(built) = value.as_ref() {
-            return Ok(Arc::clone(built));
+            return Ok((Arc::clone(built), !claimed));
         }
         // Either we claimed the slot, or the claimant's build failed and was
         // evicted while we waited; build here (shard lock not held, so other
@@ -191,7 +209,7 @@ impl<K: Clone + Eq + Hash, V> ArtifactStore<K, V> {
                         .entry(key)
                         .or_insert_with(|| Arc::clone(&slot));
                 }
-                Ok(built)
+                Ok((built, !claimed))
             }
             Err(err) => {
                 if claimed {

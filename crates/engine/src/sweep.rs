@@ -83,6 +83,7 @@ use crate::simkernel::{
     TrafficTrace, TRACE_WORD_LIMIT,
 };
 use crate::store::StoreStats;
+use crate::telemetry::{span, span_within, telemetry, Stage, TelemetrySnapshot};
 use crate::FramePlan;
 use latsched_lattice::BoxRegion;
 use latsched_tiling::Prototile;
@@ -496,6 +497,7 @@ impl SweepSpec {
 ///
 /// Propagates CSR size-limit errors.
 pub fn grid_adjacency(region: &BoxRegion, shape: &Prototile) -> Result<InterferenceCsr> {
+    let _span = span(Stage::AdjacencyBuild);
     let dim = region.dim();
     let lo = region.min().coords().to_vec();
     let hi = region.max().coords().to_vec();
@@ -667,7 +669,9 @@ pub struct SweepReport {
     /// Runs executed per second (excluding setup).
     pub runs_per_second: f64,
     /// Per-tier cache counters: hits/misses over this sweep, entries at its
-    /// end.
+    /// end. Hit/miss counts are tallied per lookup by this sweep, so they are
+    /// exact even when concurrent sweeps (or searches) share the caches —
+    /// a global-counter delta would attribute the other sweeps' lookups here.
     pub caches: SweepCacheStats,
     /// Element-wise sum of every run's counters.
     pub aggregate: KernelCounts,
@@ -678,6 +682,10 @@ pub struct SweepReport {
     /// Per-run reports, in grid order (windows × traffic × retries × seeds);
     /// empty in streaming mode, which never materializes them.
     pub per_run: Vec<SweepRunReport>,
+    /// Telemetry movement over this sweep (counters, stage timings and the
+    /// stage tree), captured as a registry delta when telemetry was enabled
+    /// for the run; `None` otherwise.
+    pub telemetry: Option<TelemetrySnapshot>,
 }
 
 impl SweepReport {
@@ -749,6 +757,9 @@ impl SweepReport {
                     .collect(),
             ),
         );
+        if let Some(telemetry) = &self.telemetry {
+            map.insert("telemetry".to_string(), telemetry.to_json_value());
+        }
         Value::Object(map)
     }
 }
@@ -964,8 +975,20 @@ fn merge_bands(
 ///
 /// Propagates compilation, trace and kernel errors.
 pub fn run_sweep(spec: &SweepSpec, caches: &SweepCaches) -> Result<SweepReport> {
-    let stats0 = caches.stats();
+    // Per-lookup tally: every cache access below records its own hit/miss
+    // outcome here, so the report's counters belong to this sweep alone
+    // (entry levels are filled in from the shared caches at the end).
+    let mut tally = SweepCacheStats::default();
+    let note = |stats: &mut StoreStats, hit: bool| {
+        if hit {
+            stats.hits += 1;
+        } else {
+            stats.misses += 1;
+        }
+    };
+    let telemetry_before = telemetry().enabled().then(|| telemetry().snapshot());
     let setup_start = Instant::now();
+    let setup_span = span(Stage::SweepSetup);
     let shape = spec.shape.prototile()?;
 
     // Per-window shared artifacts: adjacency (through the content-addressed
@@ -974,11 +997,13 @@ pub fn run_sweep(spec: &SweepSpec, caches: &SweepCaches) -> Result<SweepReport> 
     let mut plans: Vec<(i64, usize, Arc<FramePlan>)> = Vec::with_capacity(spec.windows.len());
     for &window in &spec.windows {
         let region = BoxRegion::square_window(spec.shape.dim(), window)?;
-        let adjacency = caches.adjacencies.get_or_build(&region, &shape)?;
+        let (adjacency, hit) = caches.adjacencies.get_or_build_tracked(&region, &shape)?;
+        note(&mut tally.adjacencies, hit);
         let nodes = adjacency.num_nodes();
         let (assignment, period) = match spec.mac {
             SweepMac::Tiling => {
-                let compiled = caches.schedules.get_or_compile(&shape)?;
+                let (compiled, hit) = caches.schedules.get_or_compile_tracked(&shape)?;
+                note(&mut tally.schedules, hit);
                 let slots = compiled.slots_of_region(&region)?;
                 (
                     slots.into_iter().map(usize::from).collect::<Vec<usize>>(),
@@ -989,7 +1014,10 @@ pub fn run_sweep(spec: &SweepSpec, caches: &SweepCaches) -> Result<SweepReport> 
             // 1-slot frame and the MAC thins candidates stochastically.
             SweepMac::Aloha { .. } => (vec![0usize; nodes], 1),
         };
-        let plan = caches.plans.get_or_build(&assignment, period, &adjacency)?;
+        let (plan, hit) = caches
+            .plans
+            .get_or_build_tracked(&assignment, period, &adjacency)?;
+        note(&mut tally.plans, hit);
         plans.push((window, nodes, plan));
     }
     let mac = match spec.mac {
@@ -1011,10 +1039,11 @@ pub fn run_sweep(spec: &SweepSpec, caches: &SweepCaches) -> Result<SweepReport> 
         for (w, (_, _, plan)) in plans.iter().enumerate() {
             for &p in loads {
                 for seed in spec.seeds.iter() {
-                    traces.insert(
-                        (w, seed, p.to_bits()),
-                        caches.traces.get_or_build(plan, seed, p, spec.slots)?,
-                    );
+                    let (trace, hit) = caches
+                        .traces
+                        .get_or_build_tracked(plan, seed, p, spec.slots)?;
+                    note(&mut tally.traces, hit);
+                    traces.insert((w, seed, p.to_bits()), trace);
                 }
             }
         }
@@ -1037,10 +1066,11 @@ pub fn run_sweep(spec: &SweepSpec, caches: &SweepCaches) -> Result<SweepReport> 
                 continue;
             }
             for seed in spec.seeds.iter() {
-                mac_traces.insert(
-                    (w, seed),
-                    caches.traces.get_or_build_mac(plan, seed, p, spec.slots)?,
-                );
+                let (trace, hit) = caches
+                    .traces
+                    .get_or_build_mac_tracked(plan, seed, p, spec.slots)?;
+                note(&mut tally.traces, hit);
+                mac_traces.insert((w, seed), trace);
             }
         }
     }
@@ -1062,6 +1092,7 @@ pub fn run_sweep(spec: &SweepSpec, caches: &SweepCaches) -> Result<SweepReport> 
         SweepMode::Full => None,
         SweepMode::Streaming(group_spec) => Some(GroupBy::for_spec(spec, group_spec)?),
     };
+    drop(setup_span);
     let setup_seconds = setup_start.elapsed().as_secs_f64();
 
     // Execute the grid: one independent kernel run (or 64-seed lane batch)
@@ -1069,6 +1100,7 @@ pub fn run_sweep(spec: &SweepSpec, caches: &SweepCaches) -> Result<SweepReport> 
     // run costs are heterogeneous (analytic replays vs slot loops vs lane
     // batches), so workers that draw cheap items pull more instead of idling.
     let run_start = Instant::now();
+    let run_span = span(Stage::SweepRun);
     let (aggregate, groups, per_run) = match (&grouping, &lanes) {
         (None, None) => {
             // Full mode: collect every run's counters, then materialize the
@@ -1078,6 +1110,9 @@ pub fn run_sweep(spec: &SweepSpec, caches: &SweepCaches) -> Result<SweepReport> 
             {
                 let ctx = &ctx;
                 steal_chunks(&mut results, 2, 1, |offset, chunk| {
+                    // Worker threads start with an empty span path, so the
+                    // task span re-parents itself under the sweep's run span.
+                    let _span = span_within(&[Stage::SweepRun], Stage::SweepTask);
                     for (i, out) in chunk.iter_mut().enumerate() {
                         let point = ctx.point(offset + i);
                         *out = Some(run_frames(point.plan, &point.config));
@@ -1103,6 +1138,7 @@ pub fn run_sweep(spec: &SweepSpec, caches: &SweepCaches) -> Result<SweepReport> 
             {
                 let ctx = &ctx;
                 steal_chunks(&mut results, 2, 1, |offset, chunk| {
+                    let _span = span_within(&[Stage::SweepRun], Stage::SweepTask);
                     for (i, out) in chunk.iter_mut().enumerate() {
                         let (first, lanes) = tasks[offset + i];
                         *out = Some(ctx.lane_batch(first, lanes));
@@ -1133,6 +1169,7 @@ pub fn run_sweep(spec: &SweepSpec, caches: &SweepCaches) -> Result<SweepReport> 
             {
                 let ctx = &ctx;
                 steal_chunks(&mut slots, 2, 1, |offset, chunk| {
+                    let _span = span_within(&[Stage::SweepRun], Stage::SweepBand);
                     for (b, out) in chunk.iter_mut().enumerate() {
                         let start = (offset + b) * per_band;
                         let end = (start + per_band).min(num_runs);
@@ -1150,7 +1187,9 @@ pub fn run_sweep(spec: &SweepSpec, caches: &SweepCaches) -> Result<SweepReport> 
                     }
                 });
             }
+            let merge_span = span(Stage::FoldMerge);
             let (aggregate, folds) = merge_bands(slots, grouping.num_groups())?;
+            drop(merge_span);
             (aggregate, grouping.reports(spec, folds), Vec::new())
         }
         (Some(grouping), Some(tasks)) => {
@@ -1166,6 +1205,7 @@ pub fn run_sweep(spec: &SweepSpec, caches: &SweepCaches) -> Result<SweepReport> 
             {
                 let ctx = &ctx;
                 steal_chunks(&mut slots, 2, 1, |offset, chunk| {
+                    let _span = span_within(&[Stage::SweepRun], Stage::SweepBand);
                     for (b, out) in chunk.iter_mut().enumerate() {
                         let start = (offset + b) * per_band;
                         let end = (start + per_band).min(tasks.len());
@@ -1184,11 +1224,23 @@ pub fn run_sweep(spec: &SweepSpec, caches: &SweepCaches) -> Result<SweepReport> 
                     }
                 });
             }
+            let merge_span = span(Stage::FoldMerge);
             let (aggregate, folds) = merge_bands(slots, grouping.num_groups())?;
+            drop(merge_span);
             (aggregate, grouping.reports(spec, folds), Vec::new())
         }
     };
+    drop(run_span);
     let run_seconds = run_start.elapsed().as_secs_f64();
+
+    // Entry counts are levels, not flows: report where the shared caches
+    // stand now, next to this sweep's own hit/miss tallies.
+    let levels = caches.stats();
+    tally.schedules.entries = levels.schedules.entries;
+    tally.adjacencies.entries = levels.adjacencies.entries;
+    tally.plans.entries = levels.plans.entries;
+    tally.traces.entries = levels.traces.entries;
+    tally.searches.entries = levels.searches.entries;
 
     Ok(SweepReport {
         name: spec.name.clone(),
@@ -1198,11 +1250,12 @@ pub fn run_sweep(spec: &SweepSpec, caches: &SweepCaches) -> Result<SweepReport> 
         setup_seconds,
         run_seconds,
         runs_per_second: num_runs as f64 / run_seconds.max(1e-12),
-        caches: caches.stats().since(&stats0),
+        caches: tally,
         aggregate,
         mode: spec.mode.clone(),
         groups,
         per_run,
+        telemetry: telemetry_before.map(|before| telemetry().snapshot().since(&before)),
     })
 }
 

@@ -119,6 +119,8 @@ impl SimBackend for FrameKernel {
     }
 
     fn run(&self, network: &Network, config: &SimConfig) -> Result<SimMetrics> {
+        let _span =
+            latsched_engine::telemetry::span(latsched_engine::telemetry::Stage::FrameSimRun);
         config.traffic.validate()?;
         let mac = config.mac.compile(network.positions())?;
         let n = network.len();

@@ -9,11 +9,28 @@
 
 use latsched::prelude::*;
 use latsched::sensornet::{EnergyAccount, SimMetrics};
+use latsched_engine::telemetry::{telemetry, Counter, DISPATCH_COUNTERS};
 use latsched_engine::{
     fold_full_report, run_sweep, GroupAxis, GroupSpec, KernelCounts, SweepCaches, SweepMac,
     SweepMode, SweepSpec, SweepTraffic,
 };
 use proptest::prelude::*;
+use std::sync::{RwLock, RwLockReadGuard, RwLockWriteGuard};
+
+/// The telemetry tests below enable the process-global registry, so any sweep
+/// running concurrently in another test thread would tally into their
+/// before/after snapshot windows. Sweep-running tests take this gate for
+/// reading (they may overlap each other freely); telemetry-profiling tests
+/// take it for writing and so run exclusively.
+static TELEMETRY_GATE: RwLock<()> = RwLock::new(());
+
+fn shared_sweep_gate() -> RwLockReadGuard<'static, ()> {
+    TELEMETRY_GATE.read().unwrap_or_else(|e| e.into_inner())
+}
+
+fn exclusive_telemetry_gate() -> RwLockWriteGuard<'static, ()> {
+    TELEMETRY_GATE.write().unwrap_or_else(|e| e.into_inner())
+}
 
 /// Converts one sweep run's kernel counters into the `SimMetrics` the
 /// reference simulator reports, applying the same energy model.
@@ -39,6 +56,7 @@ fn metrics_of(counts: &KernelCounts, nodes: usize, slots: u64, config: &SimConfi
 }
 
 fn check_sweep_against_reference(spec: &SweepSpec, mac: &MacPolicy) {
+    let _gate = shared_sweep_gate();
     let report = run_sweep(spec, &SweepCaches::new()).unwrap();
     assert_eq!(report.runs, spec.num_runs());
 
@@ -135,6 +153,7 @@ fn sweep_runs_match_reference_simulator_on_staggered_grids() {
 /// Runs one spec in both modes and asserts the streaming group folds are
 /// exactly the folds of the full report's per-run list by the same axes.
 fn assert_streaming_matches_full(spec: &SweepSpec, group_spec: &GroupSpec) {
+    let _gate = shared_sweep_gate();
     let caches = SweepCaches::new();
     let full_spec = SweepSpec {
         mode: SweepMode::Full,
@@ -229,6 +248,7 @@ proptest! {
             retries: vec![retries],
             ..latsched_engine::builtin_sweep()
         };
+        let _gate = shared_sweep_gate();
         let caches = SweepCaches::new();
         let lanes = run_sweep(&spec, &caches).unwrap();
         prop_assert_eq!(lanes.per_run.len(), seed_count);
@@ -266,6 +286,7 @@ proptest! {
             retries: vec![retries],
             ..latsched_engine::builtin_sweep()
         };
+        let _gate = shared_sweep_gate();
         let caches = SweepCaches::new();
         let lanes = run_sweep(&spec, &caches).unwrap();
         prop_assert_eq!(lanes.per_run.len(), seed_count);
@@ -303,6 +324,7 @@ fn streaming_parity_holds_on_the_degenerate_one_run_per_group_grid() {
     ]);
     assert_streaming_matches_full(&spec, &group_spec);
     // Each group's fold is one run: min = max = sum per field.
+    let _gate = shared_sweep_gate();
     let caches = SweepCaches::new();
     let report = run_sweep(
         &SweepSpec {
@@ -338,6 +360,7 @@ fn warm_sweeps_replay_cold_sweeps_through_every_tier() {
         mac: SweepMac::Tiling,
         ..latsched_engine::builtin_sweep()
     };
+    let _gate = shared_sweep_gate();
     let caches = SweepCaches::new();
     let cold = run_sweep(&spec, &caches).unwrap();
     // One schedule for the shape, one plan per window, one trace per
@@ -352,4 +375,168 @@ fn warm_sweeps_replay_cold_sweeps_through_every_tier() {
     assert_eq!(warm.caches.traces.misses, 0, "no trace is ever rebuilt");
     assert_eq!(warm.caches.traces.hits, 2 * 2 * 2);
     assert_eq!(warm.caches.traces.entries, 8);
+}
+
+/// The 16-run tiling/Bernoulli grid whose telemetry profile is pinned below
+/// and re-asserted (thread-invariantly) by `tests/telemetry_threads.rs` under
+/// a forced single-thread pool.
+fn pinned_mix_spec() -> SweepSpec {
+    SweepSpec {
+        windows: vec![6, 9],
+        slots: 160,
+        seeds: vec![2, 9].into(),
+        retries: vec![0, 2],
+        traffic: SweepTraffic::Bernoulli(vec![0.1, 0.3]),
+        mac: SweepMac::Tiling,
+        ..latsched_engine::builtin_sweep()
+    }
+}
+
+#[test]
+fn profiled_sweep_reports_the_pinned_dispatch_mix() {
+    let spec = pinned_mix_spec();
+    let _gate = exclusive_telemetry_gate();
+    telemetry().set_enabled(true);
+    let report = run_sweep(&spec, &SweepCaches::new()).unwrap();
+    telemetry().set_enabled(false);
+    let snapshot = report.telemetry.expect("profiled sweeps attach a snapshot");
+    // Tiling grids over compiled Bernoulli traces replay analytically: every
+    // one of the 16 runs lands on the analytic path, none anywhere else.
+    assert_eq!(snapshot.counter(Counter::DispatchAnalytic), 16);
+    for counter in [
+        Counter::DispatchPartialAnalytic,
+        Counter::DispatchLaneScalar,
+        Counter::DispatchLaneBernoulli,
+        Counter::DispatchConflictFree,
+        Counter::DispatchGeneralLoop,
+        Counter::LaneBatches,
+        Counter::LaneRuns,
+    ] {
+        assert_eq!(snapshot.counter(counter), 0, "{}", counter.name());
+    }
+    assert_eq!(snapshot.dispatch_total(), spec.num_runs() as u64);
+    // One compilation per trace miss: windows × loads × seeds.
+    assert_eq!(snapshot.counter(Counter::TraceCompilations), 8);
+    // The snapshot's cache counters agree with the report's exact per-sweep
+    // tallies (the same lookups, counted through two independent paths).
+    assert_eq!(
+        snapshot.counter(Counter::ScheduleHits),
+        report.caches.schedules.hits
+    );
+    assert_eq!(
+        snapshot.counter(Counter::ScheduleMisses),
+        report.caches.schedules.misses
+    );
+    assert_eq!(
+        snapshot.counter(Counter::AdjacencyHits),
+        report.caches.adjacencies.hits
+    );
+    assert_eq!(
+        snapshot.counter(Counter::AdjacencyMisses),
+        report.caches.adjacencies.misses
+    );
+    assert_eq!(
+        snapshot.counter(Counter::PlanHits),
+        report.caches.plans.hits
+    );
+    assert_eq!(
+        snapshot.counter(Counter::PlanMisses),
+        report.caches.plans.misses
+    );
+    assert_eq!(
+        snapshot.counter(Counter::TraceHits),
+        report.caches.traces.hits
+    );
+    assert_eq!(
+        snapshot.counter(Counter::TraceMisses),
+        report.caches.traces.misses
+    );
+    assert_eq!(report.caches.traces.misses, 8);
+}
+
+#[test]
+fn concurrent_sweeps_attribute_cache_stats_exactly() {
+    // Regression test: per-sweep cache stats used to be computed as a delta
+    // of the shared caches' global counters, so sweeps running concurrently
+    // over the same `SweepCaches` tallied each other's lookups (a warm sweep
+    // could report its neighbour's hits on top of its own). The tracked
+    // lookups attribute every hit and miss to the sweep that issued it.
+    let spec = pinned_mix_spec();
+    let _gate = shared_sweep_gate();
+    let caches = SweepCaches::new();
+    let cold = run_sweep(&spec, &caches).unwrap();
+    assert_eq!(cold.caches.traces.misses, 8);
+    let reports: Vec<_> = std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..4)
+            .map(|_| scope.spawn(|| run_sweep(&spec, &caches).unwrap()))
+            .collect();
+        handles.into_iter().map(|h| h.join().unwrap()).collect()
+    });
+    for warm in &reports {
+        assert_eq!(warm.per_run, cold.per_run);
+        // A warm sweep issues exactly the cold sweep's lookups, all hits —
+        // regardless of how many sweeps share the caches at the time.
+        for (warm_tier, cold_tier) in [
+            (&warm.caches.schedules, &cold.caches.schedules),
+            (&warm.caches.adjacencies, &cold.caches.adjacencies),
+            (&warm.caches.plans, &cold.caches.plans),
+            (&warm.caches.traces, &cold.caches.traces),
+        ] {
+            assert_eq!(warm_tier.misses, 0);
+            assert_eq!(warm_tier.hits, cold_tier.hits + cold_tier.misses);
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(8))]
+
+    /// Randomized grids across traffic families, MACs and axis sizes: the six
+    /// dispatch-path counters of a profiled sweep must sum to exactly the
+    /// grid size (every simulated run bumps exactly one path), and the lane
+    /// accounting must cover exactly the lane-dispatched share.
+    #[test]
+    fn dispatch_counters_sum_to_grid_size_on_random_specs(
+        windows_pick in 0usize..3,
+        slots in 1u64..120,
+        traffic_pick in 0usize..4,
+        mac_pick in 0usize..2,
+        seed_count in 1usize..5,
+        retry_count in 1usize..3,
+    ) {
+        let spec = SweepSpec {
+            windows: [vec![5], vec![6], vec![5, 7]][windows_pick].clone(),
+            slots,
+            traffic: match traffic_pick {
+                0 => SweepTraffic::Bernoulli(vec![0.1, 0.3]),
+                1 => SweepTraffic::Bernoulli(vec![0.25]),
+                2 => SweepTraffic::Periodic(vec![3, 9]),
+                _ => SweepTraffic::Staggered(vec![2, 5]),
+            },
+            mac: if mac_pick == 0 {
+                SweepMac::Tiling
+            } else {
+                SweepMac::Aloha { p: 0.4 }
+            },
+            seeds: (1..=seed_count as u64).collect(),
+            retries: (0..retry_count as u32).collect(),
+            ..latsched_engine::builtin_sweep()
+        };
+        let _gate = exclusive_telemetry_gate();
+        telemetry().set_enabled(true);
+        let report = run_sweep(&spec, &SweepCaches::new()).unwrap();
+        telemetry().set_enabled(false);
+        let snapshot = report.telemetry.expect("profiled sweeps attach a snapshot");
+        let total: u64 = DISPATCH_COUNTERS
+            .iter()
+            .map(|&c| snapshot.counter(c))
+            .sum();
+        prop_assert_eq!(total, spec.num_runs() as u64);
+        prop_assert_eq!(snapshot.dispatch_total(), spec.num_runs() as u64);
+        prop_assert_eq!(
+            snapshot.counter(Counter::LaneRuns),
+            snapshot.counter(Counter::DispatchLaneScalar)
+                + snapshot.counter(Counter::DispatchLaneBernoulli)
+        );
+    }
 }
